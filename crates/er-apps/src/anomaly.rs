@@ -1,0 +1,225 @@
+//! Anomaly detection on time-evolving graphs.
+//!
+//! The paper cites anomaly localisation in time-evolving graphs [64] as an ER
+//! application in the data-management community: effective resistance between
+//! probe pairs is a global connectivity summary, so a sudden jump of
+//! `r(s, t)` between consecutive snapshots signals that structure carrying
+//! the `s`–`t` connection disappeared (a severed corridor, a failed router, a
+//! de-friended community bridge) even when `s` and `t` themselves are
+//! untouched.
+//!
+//! [`ResistanceMonitor`] tracks a fixed set of probe pairs across snapshots
+//! and flags snapshots whose resistance delta is an outlier relative to the
+//! history observed so far (mean + `threshold_sigmas` · standard deviation,
+//! with a small absolute floor so the very first snapshots cannot trigger on
+//! noise alone).
+
+use er_core::{ApproxConfig, EstimatorError, Geer, GraphContext, ResistanceEstimator};
+use er_graph::{Graph, NodeId};
+
+/// Per-snapshot monitoring outcome.
+#[derive(Clone, Debug)]
+pub struct SnapshotReport {
+    /// Index of the snapshot in the stream (0-based; the baseline snapshot is
+    /// index 0 and never flagged).
+    pub snapshot: usize,
+    /// Resistance of every probe pair in this snapshot.
+    pub resistances: Vec<f64>,
+    /// Absolute change per probe pair relative to the previous snapshot.
+    pub deltas: Vec<f64>,
+    /// Probe pairs flagged as anomalous in this snapshot.
+    pub flagged: Vec<usize>,
+}
+
+impl SnapshotReport {
+    /// Whether any probe pair was flagged.
+    pub fn is_anomalous(&self) -> bool {
+        !self.flagged.is_empty()
+    }
+
+    /// The largest per-pair delta in this snapshot.
+    pub fn max_delta(&self) -> f64 {
+        self.deltas.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Streaming monitor of probe-pair resistances.
+pub struct ResistanceMonitor {
+    probes: Vec<(NodeId, NodeId)>,
+    config: ApproxConfig,
+    threshold_sigmas: f64,
+    min_delta: f64,
+    /// Per-probe history of |Δr| values observed so far.
+    history: Vec<Vec<f64>>,
+    previous: Option<Vec<f64>>,
+    snapshots_seen: usize,
+}
+
+impl ResistanceMonitor {
+    /// Creates a monitor for the given probe pairs.
+    ///
+    /// `threshold_sigmas` controls how far above the historical mean a delta
+    /// must lie to be flagged; `min_delta` is an absolute floor below which
+    /// nothing is flagged (guards against flagging pure estimator noise; set
+    /// it to at least the estimator's ε).
+    pub fn new(
+        probes: Vec<(NodeId, NodeId)>,
+        config: ApproxConfig,
+        threshold_sigmas: f64,
+        min_delta: f64,
+    ) -> Self {
+        let history = vec![Vec::new(); probes.len()];
+        ResistanceMonitor {
+            probes,
+            config,
+            threshold_sigmas,
+            min_delta,
+            history,
+            previous: None,
+            snapshots_seen: 0,
+        }
+    }
+
+    /// The monitored probe pairs.
+    pub fn probes(&self) -> &[(NodeId, NodeId)] {
+        &self.probes
+    }
+
+    /// Number of snapshots observed so far.
+    pub fn snapshots_seen(&self) -> usize {
+        self.snapshots_seen
+    }
+
+    /// Ingests the next snapshot and reports deltas/flags.
+    pub fn observe(&mut self, snapshot: &Graph) -> Result<SnapshotReport, EstimatorError> {
+        let context = GraphContext::preprocess(snapshot)?;
+        let mut geer = Geer::new(&context, self.config);
+        let mut resistances = Vec::with_capacity(self.probes.len());
+        for &(s, t) in &self.probes {
+            resistances.push(geer.estimate(s, t)?.value);
+        }
+        let index = self.snapshots_seen;
+        self.snapshots_seen += 1;
+
+        let (deltas, flagged) = match &self.previous {
+            None => (vec![0.0; self.probes.len()], Vec::new()),
+            Some(previous) => {
+                let deltas: Vec<f64> = resistances
+                    .iter()
+                    .zip(previous)
+                    .map(|(now, before)| (now - before).abs())
+                    .collect();
+                let mut flagged = Vec::new();
+                for (p, &delta) in deltas.iter().enumerate() {
+                    let history = &self.history[p];
+                    let threshold = if history.is_empty() {
+                        self.min_delta
+                    } else {
+                        let mean = history.iter().sum::<f64>() / history.len() as f64;
+                        let variance = history
+                            .iter()
+                            .map(|d| (d - mean) * (d - mean))
+                            .sum::<f64>()
+                            / history.len() as f64;
+                        (mean + self.threshold_sigmas * variance.sqrt()).max(self.min_delta)
+                    };
+                    if delta > threshold {
+                        flagged.push(p);
+                    }
+                }
+                for (p, &delta) in deltas.iter().enumerate() {
+                    self.history[p].push(delta);
+                }
+                (deltas, flagged)
+            }
+        };
+        self.previous = Some(resistances.clone());
+        Ok(SnapshotReport {
+            snapshot: index,
+            resistances,
+            deltas,
+            flagged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::{generators, transform, GraphBuilder};
+
+    fn config() -> ApproxConfig {
+        ApproxConfig {
+            epsilon: 0.05,
+            ..ApproxConfig::default()
+        }
+    }
+
+    /// Two communities joined by three bridges; the "event" removes two of
+    /// them, leaving the graph connected but much more stretched.
+    fn corridor_graph() -> (Graph, Vec<(usize, usize)>) {
+        let a = generators::barabasi_albert(60, 3, 1).unwrap();
+        let b = generators::barabasi_albert(60, 3, 2).unwrap();
+        let mut builder = GraphBuilder::from_edges(120, a.edges());
+        for (u, v) in b.edges() {
+            builder = builder.add_edge(60 + u, 60 + v);
+        }
+        let bridges = vec![(10, 70), (20, 80), (30, 90)];
+        for &(u, v) in &bridges {
+            builder = builder.add_edge(u, v);
+        }
+        (builder.build().unwrap(), bridges)
+    }
+
+    #[test]
+    fn severed_corridor_is_flagged_and_quiet_periods_are_not() {
+        let (g, bridges) = corridor_graph();
+        // Probe pairs: one spanning the two communities, one inside a community.
+        let mut monitor = ResistanceMonitor::new(vec![(0, 119), (0, 40)], config(), 4.0, 0.1);
+
+        // Several quiet snapshots: the graph plus a couple of random edges that
+        // change nothing structural.
+        let mut reports = Vec::new();
+        reports.push(monitor.observe(&g).unwrap());
+        let quiet1 = transform::add_edges(&g, &[(2, 17)]).unwrap();
+        reports.push(monitor.observe(&quiet1).unwrap());
+        let quiet2 = transform::add_edges(&quiet1, &[(61, 97)]).unwrap();
+        reports.push(monitor.observe(&quiet2).unwrap());
+        assert!(reports.iter().all(|r| !r.is_anomalous()), "quiet period must not flag");
+
+        // The event: two of the three bridges disappear.
+        let severed = transform::remove_edges(&quiet2, &bridges[..2]).unwrap();
+        let event = monitor.observe(&severed).unwrap();
+        assert!(event.is_anomalous(), "the severed corridor must be flagged");
+        assert!(event.flagged.contains(&0), "the cross-community probe flags");
+        assert!(!event.flagged.contains(&1), "the intra-community probe stays quiet");
+        assert!(event.max_delta() > 0.1);
+        assert_eq!(monitor.snapshots_seen(), 4);
+    }
+
+    #[test]
+    fn first_snapshot_is_never_anomalous() {
+        let g = generators::social_network_like(100, 8.0, 5).unwrap();
+        let mut monitor = ResistanceMonitor::new(vec![(0, 50)], config(), 3.0, 0.05);
+        let report = monitor.observe(&g).unwrap();
+        assert_eq!(report.snapshot, 0);
+        assert!(!report.is_anomalous());
+        assert_eq!(report.deltas, vec![0.0]);
+        assert_eq!(report.resistances.len(), 1);
+    }
+
+    #[test]
+    fn invalid_probe_pairs_surface_as_errors() {
+        let g = generators::complete(10).unwrap();
+        let mut monitor = ResistanceMonitor::new(vec![(0, 99)], config(), 3.0, 0.05);
+        assert!(monitor.observe(&g).is_err());
+    }
+
+    #[test]
+    fn monitor_exposes_probes() {
+        let probes = vec![(1, 2), (3, 4)];
+        let monitor = ResistanceMonitor::new(probes.clone(), config(), 3.0, 0.01);
+        assert_eq!(monitor.probes(), probes.as_slice());
+        assert_eq!(monitor.snapshots_seen(), 0);
+    }
+}

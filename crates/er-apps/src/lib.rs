@@ -1,0 +1,42 @@
+//! Applications of pairwise effective-resistance estimation.
+//!
+//! The introduction of the paper motivates fast ε-approximate PER queries
+//! with a list of downstream uses; this crate implements one representative
+//! pipeline per family, all built on the public APIs of `er-core`,
+//! `er-index` and `er-graph`:
+//!
+//! * [`clustering`] — resistance k-medoids graph clustering with modularity /
+//!   adjusted-Rand-index quality measures (graph clustering [2, 51, 79]).
+//! * [`recommend`] — 2-hop candidate generation ranked by effective
+//!   resistance, plus an offline holdout evaluation against a
+//!   common-neighbours baseline (recommender systems [24, 36]).
+//! * [`robustness`] — edge criticality, sampled Kirchhoff index and
+//!   targeted-vs-random attack simulation (power networks, cascading
+//!   failures [26, 59–61]).
+//! * [`anomaly`] — probe-pair monitoring across graph snapshots
+//!   (time-evolving anomaly localisation [64]).
+//! * [`segmentation`] — commute-time segmentation of pixel-grid similarity
+//!   graphs (image segmentation [9, 50]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod clustering;
+pub mod recommend;
+pub mod robustness;
+pub mod segmentation;
+
+pub use anomaly::{ResistanceMonitor, SnapshotReport};
+pub use clustering::{
+    adjusted_rand_index, modularity, resistance_separation, ClusteringConfig, ClusteringResult,
+    ResistanceClustering,
+};
+pub use recommend::{
+    evaluate_holdout, holdout_split, EvaluationReport, HoldoutSplit, Recommendation, Recommender,
+};
+pub use robustness::{
+    disconnection_point, edge_criticality, estimate_kirchhoff_index, simulate_attack,
+    AttackStep, AttackStrategy, EdgeCriticality,
+};
+pub use segmentation::{segment, Segmentation, SyntheticImage};

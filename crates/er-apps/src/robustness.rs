@@ -1,0 +1,256 @@
+//! Network robustness analysis with effective resistance.
+//!
+//! In infrastructure networks (the paper cites cascading failures and power
+//! grid stability [26, 59–61]) the effective resistance of an edge measures
+//! how much of the connection between its endpoints is carried by that edge:
+//! `r(e) = 1` means the edge is a bridge, `r(e) ≈ 0` means plenty of parallel
+//! paths exist. The whole-graph Kirchhoff index `Σ_{s<t} r(s, t)` is the
+//! standard global robustness score. This module provides:
+//!
+//! * per-edge criticality ranking ([`edge_criticality`]),
+//! * a sampled Kirchhoff-index estimator for graphs too large for all-pairs
+//!   computation ([`estimate_kirchhoff_index`]),
+//! * targeted-vs-random attack simulation ([`simulate_attack`]) that tracks
+//!   connectivity and largest-component size as edges are removed.
+
+use er_core::{ApproxConfig, EstimatorError, Geer, GraphContext, ResistanceEstimator};
+use er_graph::{analysis, transform, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An edge with its criticality score (its effective resistance).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeCriticality {
+    /// Edge endpoint.
+    pub u: NodeId,
+    /// Edge endpoint.
+    pub v: NodeId,
+    /// Effective resistance of the edge (1 = bridge, near 0 = redundant).
+    pub resistance: f64,
+}
+
+/// Scores every edge by its effective resistance with GEER and returns the
+/// edges sorted by decreasing criticality.
+pub fn edge_criticality(
+    graph: &Graph,
+    config: ApproxConfig,
+) -> Result<Vec<EdgeCriticality>, EstimatorError> {
+    let context = GraphContext::preprocess(graph)?;
+    let mut geer = Geer::new(&context, config);
+    let mut scored = Vec::with_capacity(graph.num_edges());
+    for (u, v) in graph.edges() {
+        let resistance = geer.estimate(u, v)?.value.clamp(0.0, 1.0);
+        scored.push(EdgeCriticality { u, v, resistance });
+    }
+    scored.sort_by(|a, b| {
+        b.resistance
+            .partial_cmp(&a.resistance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(scored)
+}
+
+/// Estimates the Kirchhoff index `Σ_{s<t} r(s, t)` by uniform pair sampling
+/// (`sample_pairs` ε-approximate queries), returning the estimate and its
+/// sample standard error.
+pub fn estimate_kirchhoff_index(
+    graph: &Graph,
+    config: ApproxConfig,
+    sample_pairs: usize,
+    seed: u64,
+) -> Result<(f64, f64), EstimatorError> {
+    let n = graph.num_nodes();
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    let context = GraphContext::preprocess(graph)?;
+    let mut geer = Geer::new(&context, config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = sample_pairs.max(2);
+    let mut values = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let s = rng.gen_range(0..n);
+        let mut t = rng.gen_range(0..n);
+        while t == s {
+            t = rng.gen_range(0..n);
+        }
+        values.push(geer.estimate(s, t)?.value);
+    }
+    let mean = values.iter().sum::<f64>() / samples as f64;
+    let variance =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (samples as f64 - 1.0);
+    let estimate = mean * total_pairs;
+    let standard_error = (variance / samples as f64).sqrt() * total_pairs;
+    Ok((estimate, standard_error))
+}
+
+/// How the attack chooses which edges to remove.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackStrategy {
+    /// Remove edges in decreasing effective-resistance order (targeted).
+    HighestResistance,
+    /// Remove uniformly random edges (the usual robustness baseline).
+    Random {
+        /// Seed for the random removal order.
+        seed: u64,
+    },
+}
+
+/// State of the network after a prefix of removals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackStep {
+    /// Number of edges removed so far.
+    pub removed: usize,
+    /// Whether the graph is still connected.
+    pub connected: bool,
+    /// Fraction of nodes in the largest connected component.
+    pub largest_component_fraction: f64,
+}
+
+/// Removes up to `max_removals` edges following `strategy`, recording the
+/// connectivity trajectory after every removal.
+pub fn simulate_attack(
+    graph: &Graph,
+    config: ApproxConfig,
+    strategy: AttackStrategy,
+    max_removals: usize,
+) -> Result<Vec<AttackStep>, EstimatorError> {
+    let order: Vec<(NodeId, NodeId)> = match strategy {
+        AttackStrategy::HighestResistance => edge_criticality(graph, config)?
+            .into_iter()
+            .map(|e| (e.u, e.v))
+            .collect(),
+        AttackStrategy::Random { seed } => {
+            let mut edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+            edges.shuffle(&mut StdRng::seed_from_u64(seed));
+            edges
+        }
+    };
+    let max_removals = max_removals.min(order.len());
+    let n = graph.num_nodes() as f64;
+    let mut steps = Vec::with_capacity(max_removals);
+    let mut current = transform::remove_edges(graph, &[]).map_err(EstimatorError::from)?;
+    for (i, &(u, v)) in order.iter().take(max_removals).enumerate() {
+        current = transform::remove_edges(&current, &[(u, v)]).map_err(EstimatorError::from)?;
+        let components = analysis::connected_components(&current);
+        let num_components = components.iter().copied().max().map_or(1, |c| c + 1);
+        let mut sizes = vec![0usize; num_components];
+        for &c in &components {
+            sizes[c] += 1;
+        }
+        let largest = sizes.iter().copied().max().unwrap_or(0) as f64;
+        steps.push(AttackStep {
+            removed: i + 1,
+            connected: num_components == 1,
+            largest_component_fraction: largest / n,
+        });
+    }
+    Ok(steps)
+}
+
+/// Number of removals after which the graph first disconnects, if it does
+/// within the simulated horizon.
+pub fn disconnection_point(steps: &[AttackStep]) -> Option<usize> {
+    steps.iter().find(|s| !s.connected).map(|s| s.removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use er_graph::GraphBuilder;
+
+    fn config() -> ApproxConfig {
+        ApproxConfig {
+            epsilon: 0.1,
+            ..ApproxConfig::default()
+        }
+    }
+
+    /// Two meshes joined by two tie lines — the classic "weak corridor".
+    fn two_region_grid() -> Graph {
+        let a = generators::grid(6, 6).unwrap();
+        let mut b = GraphBuilder::from_edges(72, a.edges());
+        // Diagonals make both regions non-bipartite.
+        b = b.add_edge(0, 7).add_edge(36, 43);
+        for (u, v) in generators::grid(6, 6).unwrap().edges() {
+            b = b.add_edge(36 + u, 36 + v);
+        }
+        b = b.add_edge(5, 36); // tie line 1
+        b = b.add_edge(35, 66); // tie line 2
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tie_lines_rank_among_the_most_critical_edges() {
+        let g = two_region_grid();
+        let ranking = edge_criticality(&g, config()).unwrap();
+        assert_eq!(ranking.len(), g.num_edges());
+        // Scores are sorted descending and lie in [0, 1].
+        for pair in ranking.windows(2) {
+            assert!(pair[0].resistance >= pair[1].resistance);
+        }
+        assert!(ranking.iter().all(|e| (0.0..=1.0).contains(&e.resistance)));
+        let top10: Vec<(NodeId, NodeId)> = ranking.iter().take(10).map(|e| (e.u, e.v)).collect();
+        assert!(
+            top10.contains(&(5, 36)) || top10.contains(&(35, 66)),
+            "a tie line must appear in the top-10 critical edges: {top10:?}"
+        );
+    }
+
+    #[test]
+    fn targeted_attack_disconnects_faster_than_random() {
+        let g = two_region_grid();
+        let budget = 12;
+        let targeted =
+            simulate_attack(&g, config(), AttackStrategy::HighestResistance, budget).unwrap();
+        let random =
+            simulate_attack(&g, config(), AttackStrategy::Random { seed: 17 }, budget).unwrap();
+        assert_eq!(targeted.len(), budget);
+        assert_eq!(random.len(), budget);
+        let targeted_disconnect = disconnection_point(&targeted).unwrap_or(usize::MAX);
+        let random_disconnect = disconnection_point(&random).unwrap_or(usize::MAX);
+        assert!(
+            targeted_disconnect <= random_disconnect,
+            "targeted {targeted_disconnect} vs random {random_disconnect}"
+        );
+        // Component fractions never increase as edges are removed.
+        for pair in targeted.windows(2) {
+            assert!(pair[1].largest_component_fraction <= pair[0].largest_component_fraction + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kirchhoff_estimate_matches_exact_on_complete_graph() {
+        // K_n: Kf = n - 1 exactly.
+        let n = 30;
+        let g = generators::complete(n).unwrap();
+        let (estimate, stderr) = estimate_kirchhoff_index(&g, config(), 200, 3).unwrap();
+        let exact = n as f64 - 1.0;
+        assert!(
+            (estimate - exact).abs() < 4.0 * stderr.max(0.5),
+            "estimate {estimate} ± {stderr} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn kirchhoff_estimate_tracks_index_crate_on_structured_graph() {
+        let g = generators::community_social_network(150, 8.0, 2, 0.05, 6).unwrap();
+        let exact = er_index::ErIndex::build(&g).unwrap().kirchhoff_index();
+        let (estimate, stderr) = estimate_kirchhoff_index(&g, config(), 400, 11).unwrap();
+        assert!(
+            (estimate - exact).abs() < 5.0 * stderr + 0.05 * exact,
+            "estimate {estimate} ± {stderr} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn bridges_score_one_in_criticality() {
+        let g = generators::lollipop(8, 3).unwrap();
+        let ranking = edge_criticality(&g, config()).unwrap();
+        // The three tail edges (including the clique attachment) are bridges
+        // and must occupy the top ranks with r ≈ 1.
+        for e in ranking.iter().take(3) {
+            assert!(e.resistance > 0.9, "bridge ({}, {}) scored {}", e.u, e.v, e.resistance);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion counterpart of Fig. 10: GEER latency as the SMM/AMC switch point
+//! ℓ_b is moved away from the greedy choice ℓ*_b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::geer::SwitchRule;
+use er_core::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use er_graph::{generators, NodePairQuerySet};
+
+fn bench_switch_point(c: &mut Criterion) {
+    let graph = generators::social_network_like(2_000, 16.0, 0xf10).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let queries = NodePairQuerySet::uniform(&graph, 8, 11);
+    let pairs: Vec<(usize, usize)> = queries.pairs().iter().map(|p| (p.s, p.t)).collect();
+    let config = ApproxConfig::with_epsilon(0.1);
+
+    let mut group = c.benchmark_group("fig10_lb_offset");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &offset in &[-4isize, -2, 0, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("GEER", format!("lb*{offset:+}")),
+            &offset,
+            |b, &offset| {
+                let mut est =
+                    Geer::new(&ctx, config).with_switch_rule(SwitchRule::GreedyOffset(offset));
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    est.estimate(s, t).unwrap().value
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch_point);
+criterion_main!(benches);

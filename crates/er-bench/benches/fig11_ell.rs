@@ -1,0 +1,48 @@
+//! Criterion counterpart of Fig. 11: SMM with the refined walk length of
+//! Eq. (6) versus Peng et al.'s length of Eq. (5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::{ApproxConfig, GraphContext, ResistanceEstimator, Smm};
+use er_graph::{generators, NodePairQuerySet};
+
+fn bench_lengths(c: &mut Criterion) {
+    // High average degree is where the refined length wins most (Fig. 11).
+    let graph = generators::social_network_like(2_000, 40.0, 0xf11).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let queries = NodePairQuerySet::uniform(&graph, 8, 13);
+    let pairs: Vec<(usize, usize)> = queries.pairs().iter().map(|p| (p.s, p.t)).collect();
+
+    let mut group = c.benchmark_group("fig11_ell");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &epsilon in &[0.5, 0.05] {
+        let config = ApproxConfig::with_epsilon(epsilon);
+        group.bench_with_input(BenchmarkId::new("SMM-our-ell", epsilon), &epsilon, |b, _| {
+            let mut est = Smm::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("SMM-peng-ell", epsilon),
+            &epsilon,
+            |b, _| {
+                let mut est = Smm::with_peng_length(&ctx, config);
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    est.estimate(s, t).unwrap().value
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lengths);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion counterpart of Fig. 4: per-query latency of each method on
+//! random node-pair queries, at reduced scale so `cargo bench` stays fast.
+//!
+//! The full sweep (all datasets, all ε, 100 queries, the paper's exclusion
+//! rules) lives in the `fig4` binary; this bench pins down the per-query cost
+//! of each method's code path on one small social-network-like graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::{
+    Amc, ApproxConfig, Exact, Geer, GraphContext, ResistanceEstimator, Rp, Smm, Tp, Tpc,
+};
+use er_graph::{generators, NodePairQuerySet};
+
+fn bench_random_queries(c: &mut Criterion) {
+    let graph = generators::social_network_like(2_000, 20.0, 0xf16).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let queries = NodePairQuerySet::uniform(&graph, 16, 7);
+    let pairs: Vec<(usize, usize)> = queries.pairs().iter().map(|p| (p.s, p.t)).collect();
+
+    let mut group = c.benchmark_group("fig4_random_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &epsilon in &[0.5, 0.2] {
+        let config = ApproxConfig::with_epsilon(epsilon);
+        group.bench_with_input(BenchmarkId::new("GEER", epsilon), &epsilon, |b, _| {
+            let mut est = Geer::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("AMC", epsilon), &epsilon, |b, _| {
+            let mut est = Amc::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("SMM", epsilon), &epsilon, |b, _| {
+            let mut est = Smm::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        // TP and TPC with their faithful budgets are orders of magnitude
+        // slower (that is the paper's point); cap their walks so the bench
+        // terminates while still exercising the full code path.
+        group.bench_with_input(BenchmarkId::new("TP(capped)", epsilon), &epsilon, |b, _| {
+            let mut est = Tp::new(&ctx, config).with_walk_budget(200_000);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("TPC(capped)", epsilon), &epsilon, |b, _| {
+            let mut est = Tpc::new(&ctx, config).with_walk_budget(200_000);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+    }
+    // Query-time-only baselines (preprocessing excluded, as in the paper).
+    let config = ApproxConfig::with_epsilon(0.5);
+    let mut exact = Exact::new(&ctx).unwrap();
+    group.bench_function("EXACT/query_only", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            exact.estimate(s, t).unwrap().value
+        })
+    });
+    let mut rp = Rp::new(&ctx, config).unwrap();
+    group.bench_function("RP/query_only", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            rp.estimate(s, t).unwrap().value
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_queries);
+criterion_main!(benches);

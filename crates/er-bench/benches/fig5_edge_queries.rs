@@ -1,0 +1,70 @@
+//! Criterion counterpart of Fig. 5: per-query latency of the edge-query
+//! methods (GEER, AMC, SMM, MC2, HAY) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::{Amc, ApproxConfig, Geer, GraphContext, Hay, Mc2, ResistanceEstimator, Smm};
+use er_graph::{generators, EdgeQuerySet};
+
+fn bench_edge_queries(c: &mut Criterion) {
+    let graph = generators::social_network_like(2_000, 20.0, 0xf05).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let queries = EdgeQuerySet::uniform(&graph, 16, 9);
+    let pairs: Vec<(usize, usize)> = queries.pairs().iter().map(|p| (p.s, p.t)).collect();
+
+    let mut group = c.benchmark_group("fig5_edge_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &epsilon in &[0.5, 0.2] {
+        let config = ApproxConfig::with_epsilon(epsilon);
+        group.bench_with_input(BenchmarkId::new("GEER", epsilon), &epsilon, |b, _| {
+            let mut est = Geer::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("AMC", epsilon), &epsilon, |b, _| {
+            let mut est = Amc::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("SMM", epsilon), &epsilon, |b, _| {
+            let mut est = Smm::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("MC2(capped)", epsilon), &epsilon, |b, _| {
+            let mut est = Mc2::new(&ctx, config).with_walk_budget(50_000);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HAY(capped)", epsilon), &epsilon, |b, _| {
+            let mut est = Hay::new(&ctx, config).with_tree_budget(20);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_queries);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion counterpart of Figs. 8–9: AMC and GEER latency as the batch
+//! count τ varies (ε = 0.2 here; the binaries sweep both ε = 0.2 and 0.02).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_core::{Amc, ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use er_graph::{generators, NodePairQuerySet};
+
+fn bench_tau(c: &mut Criterion) {
+    let graph = generators::social_network_like(2_000, 8.0, 0xf08).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let queries = NodePairQuerySet::uniform(&graph, 8, 5);
+    let pairs: Vec<(usize, usize)> = queries.pairs().iter().map(|p| (p.s, p.t)).collect();
+
+    let mut group = c.benchmark_group("fig8_tau");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tau in &[1usize, 3, 5, 8] {
+        let config = ApproxConfig {
+            epsilon: 0.2,
+            tau,
+            ..ApproxConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("GEER", tau), &tau, |b, _| {
+            let mut est = Geer::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("AMC", tau), &tau, |b, _| {
+            let mut est = Amc::new(&ctx, config);
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                est.estimate(s, t).unwrap().value
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau);
+criterion_main!(benches);

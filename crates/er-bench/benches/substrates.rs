@@ -1,0 +1,57 @@
+//! Microbenchmarks of the substrates every estimator is built on: sparse
+//! transition steps (SMM's inner loop), truncated random walks (AMC's inner
+//! loop), escape walks (MC), Wilson spanning trees (HAY), CG Laplacian solves
+//! (ground truth / RP) and the Lanczos preprocessing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_core::smm;
+use er_graph::generators;
+use er_linalg::{lanczos, LaplacianSolver};
+use er_walks::{hitting, spanning, truncated};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_substrates(c: &mut Criterion) {
+    let graph = generators::social_network_like(5_000, 16.0, 0x5b).unwrap();
+    let n = graph.num_nodes();
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("smm_transition_step_dense_frontier", |b| {
+        let x = vec![1.0 / n as f64; n];
+        let mut out = vec![0.0; n];
+        b.iter(|| smm::transition_step(&graph, &x, &mut out))
+    });
+
+    group.bench_function("truncated_walk_len32", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| truncated::walk_endpoint(&graph, 0, 32, &mut rng))
+    });
+
+    group.bench_function("escape_walk", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| hitting::escape_walk(&graph, 0, n / 2, 1_000_000, &mut rng))
+    });
+
+    group.bench_function("wilson_spanning_tree", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| spanning::sample_spanning_tree(&graph, 0, &mut rng).num_nodes())
+    });
+
+    group.bench_function("cg_laplacian_solve", |b| {
+        let solver = LaplacianSolver::new(&graph, 1e-8, 10 * n);
+        b.iter(|| solver.effective_resistance(0, n / 2))
+    });
+
+    group.bench_function("lanczos_spectral_bounds", |b| {
+        b.iter(|| lanczos::spectral_bounds(&graph, 60, 4))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Fig. 10 — effect of GEER's switch point ℓ_b.
+//!
+//! The paper removes the greedy rule (Eq. 17) and fixes ℓ_b = ℓ*_b ± x for
+//! x ∈ {0, 2, 4, 6}, showing that the greedy choice ℓ*_b sits at (or next to)
+//! the minimum of the cost curve: shrinking ℓ_b degrades GEER towards AMC
+//! (more walks), growing it pays for ever-denser matrix–vector products.
+//!
+//! Datasets: Facebook-, DBLP-, LiveJournal- and Orkut-like; ε ∈ {0.2, 0.05, 0.01}.
+//!
+//! Run with `cargo run -p er-bench --release --bin fig10`.
+
+use er_bench::datasets;
+use er_bench::harness::{run_estimator_on_workload, Workload};
+use er_bench::{print_table, write_csv, BenchArgs};
+use er_core::geer::SwitchRule;
+use er_core::{ApproxConfig, Geer, GraphContext};
+
+const OFFSETS: [isize; 7] = [-6, -4, -2, 0, 2, 4, 6];
+const DEFAULT_EPSILONS: [f64; 3] = [0.2, 0.05, 0.01];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let default_sets = vec![
+        "facebook-like".to_string(),
+        "dblp-like".to_string(),
+        "livejournal-like".to_string(),
+        "orkut-like".to_string(),
+    ];
+    let names = args.datasets.clone().unwrap_or(default_sets);
+    let specs = match datasets::select(Some(&names)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let epsilons = args.epsilons_or(&DEFAULT_EPSILONS);
+    let mut runs = Vec::new();
+    for spec in &specs {
+        eprintln!("[{}] preparing dataset ...", spec.name);
+        let prepared = spec.prepare(args.scale);
+        let graph = &prepared.graph;
+        let ctx = GraphContext::preprocess(graph).expect("registry datasets are ergodic");
+        let workload = Workload::random_pairs(graph, args.queries, args.seed);
+        for &epsilon in &epsilons {
+            let config = ApproxConfig {
+                epsilon,
+                seed: args.seed,
+                ..ApproxConfig::default()
+            };
+            for &offset in &OFFSETS {
+                let label = if offset == 0 {
+                    "GEER(lb*)".to_string()
+                } else {
+                    format!("GEER(lb*{offset:+})")
+                };
+                let mut geer =
+                    Geer::new(&ctx, config).with_switch_rule(SwitchRule::GreedyOffset(offset));
+                let run = run_estimator_on_workload(
+                    &mut geer,
+                    &label,
+                    epsilon,
+                    spec.name,
+                    &workload,
+                    args.budget,
+                );
+                eprintln!(
+                    "[{}] eps={epsilon} {label}: {:.3} ms/query",
+                    spec.name, run.avg_time_ms
+                );
+                runs.push(run);
+            }
+        }
+    }
+    print_table("Fig. 10: running time (ms) vs ell_b offset from the greedy choice", &runs);
+    match write_csv("fig10_lb_offset", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

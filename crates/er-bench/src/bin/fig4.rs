@@ -1,0 +1,46 @@
+//! Fig. 4 — running time vs ε for **random** pairwise queries.
+//!
+//! Methods: GEER, AMC, SMM, TP, TPC, RP, EXACT (the paper's Fig. 4 lineup).
+//! Cells are average milliseconds per query; `OOM` marks the out-of-memory
+//! exclusions the paper reports for EXACT/RP on larger graphs, `*` marks
+//! sweeps cut short by the time budget (the analogue of the one-day timeout).
+//!
+//! Run with `cargo run -p er-bench --release --bin fig4`
+//! (add `-- --scale paper --queries 100 --budget-secs 600` to approach the
+//! paper's settings).
+
+use er_bench::methods::MethodKind;
+use er_bench::sweeps::{epsilon_sweep, WorkloadKind};
+use er_bench::{print_table, write_csv, BenchArgs};
+
+/// The ε values of the paper's Fig. 4.
+const PAPER_EPSILONS: [f64; 6] = [0.5, 0.2, 0.1, 0.05, 0.02, 0.01];
+/// Default sweep at small scale (the two smallest ε are where TP/TPC/SMM blow
+/// up; they remain reachable via `--epsilons`).
+const DEFAULT_EPSILONS: [f64; 4] = [0.5, 0.2, 0.1, 0.05];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let epsilons: Vec<f64> = if args.epsilons.is_some() {
+        args.epsilons_or(&PAPER_EPSILONS)
+    } else {
+        DEFAULT_EPSILONS.to_vec()
+    };
+    let runs = match epsilon_sweep(
+        &args,
+        &epsilons,
+        &MethodKind::random_query_lineup(),
+        WorkloadKind::RandomPairs,
+    ) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    print_table("Fig. 4: running time (ms) vs epsilon, random queries", &runs);
+    match write_csv("fig4_random_query_time", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 5 — running time vs ε for **edge** queries.
+//!
+//! Methods: GEER, AMC, SMM, MC2, HAY (the paper's Fig. 5 lineup).
+//!
+//! Run with `cargo run -p er-bench --release --bin fig5`.
+
+use er_bench::methods::MethodKind;
+use er_bench::sweeps::{epsilon_sweep, WorkloadKind};
+use er_bench::{print_table, write_csv, BenchArgs};
+
+const DEFAULT_EPSILONS: [f64; 4] = [0.5, 0.2, 0.1, 0.05];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let epsilons = args.epsilons_or(&DEFAULT_EPSILONS);
+    let runs = match epsilon_sweep(
+        &args,
+        &epsilons,
+        &MethodKind::edge_query_lineup(),
+        WorkloadKind::RandomEdges,
+    ) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    print_table("Fig. 5: running time (ms) vs epsilon, edge queries", &runs);
+    match write_csv("fig5_edge_query_time", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 6 — average absolute error vs ε for **random** pairwise queries.
+//!
+//! Same sweep as Fig. 4 but reporting the measured error against ground
+//! truth. Every point must fall below the dashed `error = ε` diagonal of the
+//! paper's figure; the table prints the measured averages so that claim can be
+//! checked directly.
+//!
+//! Run with `cargo run -p er-bench --release --bin fig6`.
+
+use er_bench::methods::MethodKind;
+use er_bench::report::print_error_table;
+use er_bench::sweeps::{epsilon_sweep, WorkloadKind};
+use er_bench::{write_csv, BenchArgs};
+
+const DEFAULT_EPSILONS: [f64; 4] = [0.5, 0.2, 0.1, 0.05];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let epsilons = args.epsilons_or(&DEFAULT_EPSILONS);
+    let runs = match epsilon_sweep(
+        &args,
+        &epsilons,
+        &MethodKind::random_query_lineup(),
+        WorkloadKind::RandomPairs,
+    ) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    print_error_table(
+        "Fig. 6: average absolute error vs epsilon, random queries",
+        &runs,
+    );
+    let violations: Vec<_> = runs
+        .iter()
+        .filter(|r| r.avg_abs_error.map_or(false, |e| e > r.epsilon))
+        .collect();
+    if violations.is_empty() {
+        println!("\nall completed points are below the error threshold (successful queries)");
+    } else {
+        println!("\npoints above the error threshold:");
+        for r in violations {
+            println!(
+                "  {} / {} eps={} avg_err={:.5}",
+                r.dataset,
+                r.method,
+                r.epsilon,
+                r.avg_abs_error.unwrap()
+            );
+        }
+    }
+    match write_csv("fig6_random_query_error", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

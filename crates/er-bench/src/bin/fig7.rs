@@ -1,0 +1,37 @@
+//! Fig. 7 — average absolute error vs ε for **edge** queries.
+//!
+//! Same sweep as Fig. 5 but reporting measured error against ground truth.
+//!
+//! Run with `cargo run -p er-bench --release --bin fig7`.
+
+use er_bench::methods::MethodKind;
+use er_bench::report::print_error_table;
+use er_bench::sweeps::{epsilon_sweep, WorkloadKind};
+use er_bench::{write_csv, BenchArgs};
+
+const DEFAULT_EPSILONS: [f64; 4] = [0.5, 0.2, 0.1, 0.05];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let epsilons = args.epsilons_or(&DEFAULT_EPSILONS);
+    let runs = match epsilon_sweep(
+        &args,
+        &epsilons,
+        &MethodKind::edge_query_lineup(),
+        WorkloadKind::RandomEdges,
+    ) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    print_error_table(
+        "Fig. 7: average absolute error vs epsilon, edge queries",
+        &runs,
+    );
+    match write_csv("fig7_edge_query_error", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig. 8 — effect of the batch count τ on AMC and GEER at ε = 0.2.
+//!
+//! The paper sweeps τ ∈ [1, 8] on DBLP, YouTube and Orkut. A reasonable τ lets
+//! the empirical-Bernstein early termination fire without paying for many
+//! tiny batches; the paper's takeaway is that τ = 5 works well everywhere.
+//!
+//! Run with `cargo run -p er-bench --release --bin fig8`.
+
+use er_bench::sweeps::tau_sweep;
+use er_bench::{print_table, write_csv, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let runs = match tau_sweep(&args, 0.2) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    print_table("Fig. 8: running time (ms) vs tau (epsilon = 0.2)", &runs);
+    match write_csv("fig8_tau_eps02", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig. 9 — effect of the batch count τ on AMC and GEER at ε = 0.02.
+//!
+//! Identical sweep to Fig. 8 at a much tighter error threshold, where AMC's
+//! sample counts explode and the adaptive batching matters most.
+//!
+//! Run with `cargo run -p er-bench --release --bin fig9`
+//! (consider `-- --queries 5 --budget-secs 30`; the small ε makes AMC slow,
+//! exactly as in the paper).
+
+use er_bench::sweeps::tau_sweep;
+use er_bench::{print_table, write_csv, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let runs = match tau_sweep(&args, 0.02) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    print_table("Fig. 9: running time (ms) vs tau (epsilon = 0.02)", &runs);
+    match write_csv("fig9_tau_eps002", &runs) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write csv: {e}"),
+    }
+}

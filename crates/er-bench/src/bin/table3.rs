@@ -1,0 +1,65 @@
+//! Table 3 — dataset statistics.
+//!
+//! Prints, for every dataset in the registry, the statistics of the graph the
+//! harness will actually use (synthetic substitute or real edge list if
+//! present under `data/`), alongside the original SNAP numbers from the paper
+//! for comparison.
+//!
+//! Run with `cargo run -p er-bench --release --bin table3 [-- --scale paper]`.
+
+use er_bench::{datasets, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let specs = match datasets::select(args.datasets.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{:<20} {:>12} {:>14} {:>10} | {:>10} {:>12} {:>10} {:>8}",
+        "dataset (ours)",
+        "#nodes",
+        "#edges",
+        "avg.deg",
+        "orig nodes",
+        "orig edges",
+        "orig deg",
+        "source"
+    );
+    let mut csv_rows = Vec::new();
+    for spec in specs {
+        let prepared = spec.prepare(args.scale);
+        let stats = prepared.stats();
+        println!(
+            "{:<20} {:>12} {:>14} {:>10.2} | {:>10} {:>12} {:>10.2} {:>8}",
+            spec.name,
+            stats.num_nodes,
+            stats.num_edges,
+            stats.average_degree,
+            spec.original_nodes,
+            spec.original_edges,
+            spec.avg_degree,
+            if prepared.loaded_from_file { "file" } else { "synthetic" },
+        );
+        csv_rows.push(format!(
+            "{},{},{},{:.4},{},{},{:.2},{}",
+            spec.name,
+            stats.num_nodes,
+            stats.num_edges,
+            stats.average_degree,
+            spec.original_nodes,
+            spec.original_edges,
+            spec.avg_degree,
+            prepared.loaded_from_file
+        ));
+    }
+    let dir = er_bench::report::experiments_dir();
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join("table3.csv");
+    let header = "dataset,nodes,edges,avg_degree,original_nodes,original_edges,original_avg_degree,loaded_from_file";
+    std::fs::write(&path, format!("{header}\n{}\n", csv_rows.join("\n"))).expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,311 @@
+//! Workload construction and method execution.
+//!
+//! Reproduces the measurement protocol of Section 5.1: per dataset, a set of
+//! uniformly random node pairs and a set of uniformly random edges, ground
+//! truth computed once per workload, and per-method wall-clock timing with a
+//! time budget standing in for the paper's one-day timeout.
+
+use crate::methods::MethodKind;
+use er_core::{ApproxConfig, GraphContext, GroundTruth, GroundTruthMethod};
+use er_graph::{EdgeQuerySet, Graph, NodePairQuerySet};
+use std::time::{Duration, Instant};
+
+/// A query workload: node pairs plus their ground-truth resistances.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable kind ("random" or "edge").
+    pub kind: &'static str,
+    /// The query pairs.
+    pub pairs: Vec<(usize, usize)>,
+    /// Ground-truth effective resistances, aligned with `pairs`.
+    pub ground_truth: Vec<f64>,
+}
+
+impl Workload {
+    /// The paper's random query set: `count` uniformly random node pairs.
+    pub fn random_pairs(graph: &Graph, count: usize, seed: u64) -> Self {
+        let set = NodePairQuerySet::uniform(graph, count, seed);
+        let pairs: Vec<_> = set.pairs().iter().map(|p| (p.s, p.t)).collect();
+        let ground_truth = Self::truth(graph, &pairs);
+        Workload {
+            kind: "random",
+            pairs,
+            ground_truth,
+        }
+    }
+
+    /// The paper's edge query set: `count` uniformly random edges.
+    pub fn random_edges(graph: &Graph, count: usize, seed: u64) -> Self {
+        let set = EdgeQuerySet::uniform(graph, count, seed);
+        let pairs: Vec<_> = set.pairs().iter().map(|p| (p.s, p.t)).collect();
+        let ground_truth = Self::truth(graph, &pairs);
+        Workload {
+            kind: "edge",
+            pairs,
+            ground_truth,
+        }
+    }
+
+    fn truth(graph: &Graph, pairs: &[(usize, usize)]) -> Vec<f64> {
+        // One CG Laplacian solve per pair: equivalent precision to the paper's
+        // 1000-iteration SMM at a fraction of the cost on sparse graphs.
+        let oracle = GroundTruth::with_method(graph, GroundTruthMethod::LaplacianSolve);
+        oracle
+            .resistances(pairs)
+            .expect("workload pairs are valid nodes of the graph")
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Result of running one method at one ε on one dataset's workload — one
+/// point of a paper figure.
+#[derive(Clone, Debug)]
+pub struct MethodRun {
+    /// Method label ("GEER", "AMC", …).
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Workload kind ("random" / "edge").
+    pub workload: String,
+    /// Error threshold ε.
+    pub epsilon: f64,
+    /// Queries attempted (the workload size).
+    pub queries_total: usize,
+    /// Queries finished within the budget.
+    pub queries_completed: usize,
+    /// Average wall-clock time per completed query, in milliseconds.
+    pub avg_time_ms: f64,
+    /// Average absolute error over completed queries (None if none completed).
+    pub avg_abs_error: Option<f64>,
+    /// Maximum absolute error over completed queries.
+    pub max_abs_error: Option<f64>,
+    /// Whether the time budget expired before all queries completed
+    /// (the analogue of the paper's "cannot terminate within one day").
+    pub timed_out: bool,
+    /// Set when the method could not run at all (e.g. out-of-memory
+    /// exclusions for EXACT / RP), with the reason.
+    pub excluded: Option<String>,
+}
+
+impl MethodRun {
+    /// True if the run produced at least one usable measurement.
+    pub fn has_data(&self) -> bool {
+        self.queries_completed > 0 && self.excluded.is_none()
+    }
+}
+
+/// Derives a per-query walk budget from the wall-clock budget. This is the
+/// harness's stand-in for the paper's one-day timeout: roughly two million
+/// walks per second of budget keeps even TP/TPC terminating in bounded time
+/// while leaving the fast methods entirely unconstrained.
+pub fn walk_budget_for(budget: Duration) -> u64 {
+    ((budget.as_secs_f64() * 2_000_000.0) as u64).max(100_000)
+}
+
+/// Runs one method over a workload with a time budget.
+///
+/// Preprocessing that the paper also counts as preprocessing (RP's sketch,
+/// EXACT's pseudo-inverse) happens inside the build step and is *not* included
+/// in the per-query time, matching the paper's measurement protocol.
+pub fn run_method_on_workload(
+    kind: MethodKind,
+    ctx: &GraphContext<'_>,
+    config: ApproxConfig,
+    dataset: &str,
+    workload: &Workload,
+    budget: Duration,
+) -> MethodRun {
+    let mut run = MethodRun {
+        method: kind.label().to_string(),
+        dataset: dataset.to_string(),
+        workload: workload.kind.to_string(),
+        epsilon: config.epsilon,
+        queries_total: workload.len(),
+        queries_completed: 0,
+        avg_time_ms: 0.0,
+        avg_abs_error: None,
+        max_abs_error: None,
+        timed_out: false,
+        excluded: None,
+    };
+    let mut estimator = match kind.build(ctx, config, Some(walk_budget_for(budget))) {
+        Ok(est) => est,
+        Err(err) => {
+            run.excluded = Some(err.to_string());
+            return run;
+        }
+    };
+    time_estimator(estimator.as_mut(), workload, budget, &mut run);
+    run
+}
+
+/// Runs an already-built estimator over a workload with a time budget,
+/// producing a [`MethodRun`] labelled `label`. The figure binaries that sweep
+/// estimator-specific knobs (τ in Fig. 8/9, ℓ_b in Fig. 10) use this directly.
+pub fn run_estimator_on_workload(
+    estimator: &mut dyn er_core::ResistanceEstimator,
+    label: &str,
+    epsilon: f64,
+    dataset: &str,
+    workload: &Workload,
+    budget: Duration,
+) -> MethodRun {
+    let mut run = MethodRun {
+        method: label.to_string(),
+        dataset: dataset.to_string(),
+        workload: workload.kind.to_string(),
+        epsilon,
+        queries_total: workload.len(),
+        queries_completed: 0,
+        avg_time_ms: 0.0,
+        avg_abs_error: None,
+        max_abs_error: None,
+        timed_out: false,
+        excluded: None,
+    };
+    time_estimator(estimator, workload, budget, &mut run);
+    run
+}
+
+fn time_estimator(
+    estimator: &mut dyn er_core::ResistanceEstimator,
+    workload: &Workload,
+    budget: Duration,
+    run: &mut MethodRun,
+) {
+    let started = Instant::now();
+    let mut total_time = Duration::ZERO;
+    let mut total_error = 0.0;
+    let mut max_error = 0.0_f64;
+    for (idx, &(s, t)) in workload.pairs.iter().enumerate() {
+        if started.elapsed() > budget {
+            run.timed_out = true;
+            break;
+        }
+        let q_start = Instant::now();
+        let estimate = match estimator.estimate(s, t) {
+            Ok(e) => e,
+            Err(err) => {
+                run.excluded = Some(format!("query {idx} failed: {err}"));
+                break;
+            }
+        };
+        total_time += q_start.elapsed();
+        let error = (estimate.value - workload.ground_truth[idx]).abs();
+        total_error += error;
+        max_error = max_error.max(error);
+        run.queries_completed += 1;
+    }
+    if run.queries_completed > 0 {
+        run.avg_time_ms = total_time.as_secs_f64() * 1000.0 / run.queries_completed as f64;
+        run.avg_abs_error = Some(total_error / run.queries_completed as f64);
+        run.max_abs_error = Some(max_error);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    fn small_context(g: &Graph) -> GraphContext<'_> {
+        GraphContext::preprocess(g).unwrap()
+    }
+
+    #[test]
+    fn workloads_have_truth_aligned_with_pairs() {
+        let g = generators::social_network_like(300, 10.0, 3).unwrap();
+        let random = Workload::random_pairs(&g, 15, 1);
+        assert_eq!(random.len(), 15);
+        assert!(!random.is_empty());
+        assert_eq!(random.pairs.len(), random.ground_truth.len());
+        assert!(random.ground_truth.iter().all(|&r| r > 0.0));
+        let edges = Workload::random_edges(&g, 10, 2);
+        assert_eq!(edges.kind, "edge");
+        for (i, &(s, t)) in edges.pairs.iter().enumerate() {
+            assert!(g.has_edge(s, t));
+            assert!(edges.ground_truth[i] <= 1.0 + 1e-9, "edge ER is at most 1");
+        }
+    }
+
+    #[test]
+    fn geer_run_completes_within_budget_and_meets_epsilon() {
+        let g = generators::social_network_like(400, 14.0, 5).unwrap();
+        let ctx = small_context(&g);
+        let workload = Workload::random_pairs(&g, 10, 7);
+        let run = run_method_on_workload(
+            MethodKind::Geer,
+            &ctx,
+            ApproxConfig::with_epsilon(0.2),
+            "unit-test",
+            &workload,
+            Duration::from_secs(30),
+        );
+        assert!(run.has_data());
+        assert!(!run.timed_out, "GEER should finish 10 queries in 30s");
+        assert_eq!(run.queries_completed, 10);
+        assert!(run.avg_abs_error.unwrap() <= 0.2);
+        assert!(run.max_abs_error.unwrap() <= 0.2 + 1e-9);
+        assert!(run.avg_time_ms >= 0.0);
+    }
+
+    #[test]
+    fn zero_budget_times_out_immediately() {
+        let g = generators::social_network_like(300, 8.0, 6).unwrap();
+        let ctx = small_context(&g);
+        let workload = Workload::random_pairs(&g, 5, 3);
+        let run = run_method_on_workload(
+            MethodKind::Amc,
+            &ctx,
+            ApproxConfig::with_epsilon(0.5),
+            "unit-test",
+            &workload,
+            Duration::ZERO,
+        );
+        assert!(run.timed_out);
+        assert_eq!(run.queries_completed, 0);
+        assert!(!run.has_data());
+    }
+
+    #[test]
+    fn excluded_methods_are_reported_not_panicked() {
+        // Force an exclusion by querying a non-edge with an edge-only method.
+        let g = generators::cycle(9).unwrap();
+        // cycle(9) is non-bipartite and connected
+        let ctx = small_context(&g);
+        let workload = Workload {
+            kind: "random",
+            pairs: vec![(0, 4)],
+            ground_truth: vec![
+                GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve)
+                    .resistance(0, 4)
+                    .unwrap(),
+            ],
+        };
+        let run = run_method_on_workload(
+            MethodKind::Hay,
+            &ctx,
+            ApproxConfig::with_epsilon(0.5),
+            "unit-test",
+            &workload,
+            Duration::from_secs(5),
+        );
+        assert!(run.excluded.is_some());
+        assert!(!run.has_data());
+    }
+
+    #[test]
+    fn walk_budget_scales_with_time_budget() {
+        assert!(walk_budget_for(Duration::from_secs(10)) > walk_budget_for(Duration::from_secs(1)));
+        assert!(walk_budget_for(Duration::ZERO) >= 100_000);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared ε-sweep driver used by the Fig. 4–7 binaries.
+
+use crate::args::BenchArgs;
+use crate::datasets::{self, DatasetSpec};
+use crate::harness::{run_method_on_workload, MethodRun, Workload};
+use crate::methods::MethodKind;
+use er_core::{ApproxConfig, GraphContext};
+
+/// Which query workload a sweep uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Uniformly random node pairs (Fig. 4 / Fig. 6).
+    RandomPairs,
+    /// Uniformly random edges (Fig. 5 / Fig. 7).
+    RandomEdges,
+}
+
+/// Runs every (dataset, ε, method) combination and returns one
+/// [`MethodRun`] per point. Progress is logged to stderr because the sweeps
+/// can take minutes at larger scales.
+pub fn epsilon_sweep(
+    args: &BenchArgs,
+    default_epsilons: &[f64],
+    methods: &[MethodKind],
+    workload_kind: WorkloadKind,
+) -> Result<Vec<MethodRun>, String> {
+    let specs = datasets::select(args.datasets.as_deref())?;
+    let epsilons = args.epsilons_or(default_epsilons);
+    let mut runs = Vec::new();
+    for spec in &specs {
+        runs.extend(sweep_dataset(args, spec, &epsilons, methods, workload_kind));
+    }
+    Ok(runs)
+}
+
+fn sweep_dataset(
+    args: &BenchArgs,
+    spec: &DatasetSpec,
+    epsilons: &[f64],
+    methods: &[MethodKind],
+    workload_kind: WorkloadKind,
+) -> Vec<MethodRun> {
+    eprintln!("[{}] preparing dataset ...", spec.name);
+    let prepared = spec.prepare(args.scale);
+    let graph = &prepared.graph;
+    eprintln!(
+        "[{}] n={} m={} avg_deg={:.2} ({})",
+        spec.name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.average_degree(),
+        if prepared.loaded_from_file { "file" } else { "synthetic" }
+    );
+    let ctx = match GraphContext::preprocess(graph) {
+        Ok(ctx) => ctx,
+        Err(err) => {
+            eprintln!("[{}] skipped: {err}", spec.name);
+            return Vec::new();
+        }
+    };
+    eprintln!("[{}] lambda = {:.6}", spec.name, ctx.lambda());
+    let workload = match workload_kind {
+        WorkloadKind::RandomPairs => Workload::random_pairs(graph, args.queries, args.seed),
+        WorkloadKind::RandomEdges => Workload::random_edges(graph, args.queries, args.seed),
+    };
+    let mut runs = Vec::new();
+    // EXACT's answer and cost do not depend on epsilon (its preprocessing is a
+    // full pseudo-inverse); run it once per dataset and replicate the row so
+    // the figure still shows its flat line without paying for the expensive
+    // preprocessing once per epsilon.
+    let mut exact_template: Option<MethodRun> = None;
+    for &epsilon in epsilons {
+        let config = ApproxConfig {
+            epsilon,
+            seed: args.seed,
+            ..ApproxConfig::default()
+        };
+        for &method in methods {
+            if method == MethodKind::Exact {
+                if let Some(template) = &exact_template {
+                    let mut cloned = template.clone();
+                    cloned.epsilon = epsilon;
+                    runs.push(cloned);
+                    continue;
+                }
+            }
+            let run = run_method_on_workload(method, &ctx, config, spec.name, &workload, args.budget);
+            if method == MethodKind::Exact {
+                exact_template = Some(run.clone());
+            }
+            eprintln!(
+                "[{}] eps={epsilon} {}: {} ({}/{} queries{})",
+                spec.name,
+                method.label(),
+                if run.excluded.is_some() {
+                    "excluded".to_string()
+                } else {
+                    format!("{:.3} ms/query", run.avg_time_ms)
+                },
+                run.queries_completed,
+                run.queries_total,
+                if run.timed_out { ", timed out" } else { "" },
+            );
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Runs the τ sweep shared by Fig. 8 (ε = 0.2) and Fig. 9 (ε = 0.02): AMC and
+/// GEER with τ ∈ [1, 8] on the given datasets (defaults to DBLP-, YouTube- and
+/// Orkut-like, as in the paper).
+pub fn tau_sweep(args: &BenchArgs, epsilon: f64) -> Result<Vec<MethodRun>, String> {
+    use crate::harness::run_estimator_on_workload;
+    use er_core::{Amc, Geer};
+
+    let default_sets = vec![
+        "dblp-like".to_string(),
+        "youtube-like".to_string(),
+        "orkut-like".to_string(),
+    ];
+    let names = args.datasets.clone().unwrap_or(default_sets);
+    let specs = datasets::select(Some(&names))?;
+    let mut runs = Vec::new();
+    for spec in &specs {
+        eprintln!("[{}] preparing dataset ...", spec.name);
+        let prepared = spec.prepare(args.scale);
+        let graph = &prepared.graph;
+        let ctx = GraphContext::preprocess(graph)
+            .map_err(|e| format!("dataset {} is not ergodic: {e}", spec.name))?;
+        let workload = Workload::random_pairs(graph, args.queries, args.seed);
+        for tau in 1..=8usize {
+            let config = ApproxConfig {
+                epsilon,
+                tau,
+                seed: args.seed,
+                ..ApproxConfig::default()
+            };
+            let mut geer = Geer::new(&ctx, config);
+            let run = run_estimator_on_workload(
+                &mut geer,
+                &format!("GEER(tau={tau})"),
+                epsilon,
+                spec.name,
+                &workload,
+                args.budget,
+            );
+            eprintln!("[{}] GEER tau={tau}: {:.3} ms/query", spec.name, run.avg_time_ms);
+            runs.push(run);
+            let mut amc = Amc::new(&ctx, config);
+            let run = run_estimator_on_workload(
+                &mut amc,
+                &format!("AMC(tau={tau})"),
+                epsilon,
+                spec.name,
+                &workload,
+                args.budget,
+            );
+            eprintln!(
+                "[{}] AMC tau={tau}: {:.3} ms/query ({} queries{})",
+                spec.name,
+                run.avg_time_ms,
+                run.queries_completed,
+                if run.timed_out { ", timed out" } else { "" }
+            );
+            runs.push(run);
+        }
+    }
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn tiny_sweep_produces_one_run_per_point() {
+        let args = BenchArgs {
+            queries: 3,
+            budget: Duration::from_secs(5),
+            datasets: Some(vec!["facebook-like".to_string()]),
+            epsilons: Some(vec![0.5]),
+            ..BenchArgs::default()
+        };
+        let runs = epsilon_sweep(
+            &args,
+            &[0.5],
+            &[MethodKind::Geer, MethodKind::Smm],
+            WorkloadKind::RandomPairs,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.dataset == "facebook-like"));
+        assert!(runs.iter().any(|r| r.method == "GEER"));
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let args = BenchArgs {
+            datasets: Some(vec!["missing".to_string()]),
+            ..BenchArgs::default()
+        };
+        assert!(epsilon_sweep(&args, &[0.5], &[MethodKind::Smm], WorkloadKind::RandomEdges).is_err());
+    }
+}

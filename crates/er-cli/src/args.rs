@@ -1,0 +1,100 @@
+//! Minimal flag parsing for the `er` binary.
+//!
+//! The workspace deliberately avoids a CLI-parsing dependency (see DESIGN.md:
+//! only the offline-approved numeric crates are used), so this module provides
+//! the small amount of structure the subcommands need: `--flag value` pairs,
+//! positional arguments and typed accessors with readable error messages.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, its positional arguments and its flags.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    /// The subcommand name (first non-flag argument).
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` flags (a trailing flag with no value maps to "true").
+    pub flags: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty flag name '--'".into());
+                }
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                parsed.flags.insert(name.to_string(), value);
+            } else if parsed.command.is_none() {
+                parsed.command = Some(arg);
+            } else {
+                parsed.positional.push(arg);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// String flag with a default.
+    pub fn flag_str(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Typed flag with a default.
+    pub fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("flag --{name}: '{raw}' is not a valid value")),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn is_set(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> ParsedArgs {
+        ParsedArgs::parse(line.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn subcommand_positionals_and_flags() {
+        let args = parse("query data.txt --epsilon 0.05 --pairs 10 extra --verbose");
+        assert_eq!(args.command.as_deref(), Some("query"));
+        assert_eq!(args.positional, vec!["data.txt".to_string(), "extra".to_string()]);
+        assert_eq!(args.flag("epsilon", 0.1).unwrap(), 0.05);
+        assert_eq!(args.flag("pairs", 0usize).unwrap(), 10);
+        assert!(args.is_set("verbose"));
+        assert!(!args.is_set("quiet"));
+    }
+
+    #[test]
+    fn defaults_and_required_flags() {
+        let args = parse("stats");
+        assert_eq!(args.flag("epsilon", 0.1).unwrap(), 0.1);
+        assert_eq!(args.flag_str("graph", "synthetic"), "synthetic");
+        assert!(!args.is_set("input"));
+    }
+
+    #[test]
+    fn invalid_values_are_reported() {
+        let args = parse("query --epsilon abc");
+        let err = args.flag("epsilon", 0.1_f64).unwrap_err();
+        assert!(err.contains("epsilon"));
+        assert!(ParsedArgs::parse(vec!["--".to_string()]).is_err());
+    }
+}

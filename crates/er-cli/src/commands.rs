@@ -1,0 +1,317 @@
+//! Implementation of the `er` subcommands.
+//!
+//! Each command takes the already-loaded graph plus its parsed flags and
+//! returns the report it would print, so the command logic is unit-testable
+//! without spawning processes or capturing stdout.
+
+use crate::args::ParsedArgs;
+use er_apps::{
+    adjusted_rand_index, edge_criticality, modularity, ClusteringConfig, ResistanceClustering,
+};
+use er_core::{ApproxConfig, Geer, GraphContext, GroundTruth, GroundTruthMethod, ResistanceEstimator};
+use er_graph::{Graph, GraphStats, NodePairQuerySet};
+use er_index::{ErIndex, LandmarkIndex, LandmarkSelection};
+use er_sparsify::{sample_sparsifier, EdgeScores, QualityEvaluator, SampleBudget, ScoreMethod};
+use std::fmt::Write as _;
+
+/// Shared estimator configuration from the common flags.
+pub fn approx_config(args: &ParsedArgs) -> Result<ApproxConfig, String> {
+    let config = ApproxConfig {
+        epsilon: args.flag("epsilon", 0.1)?,
+        delta: args.flag("delta", 0.01)?,
+        tau: args.flag("tau", 5usize)?,
+        seed: args.flag("seed", 42u64)?,
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// `er stats`: structural and spectral summary of the graph.
+pub fn stats(graph: &Graph, _args: &ParsedArgs) -> Result<String, String> {
+    let stats = GraphStats::compute(graph);
+    let context = GraphContext::preprocess(graph).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{stats:#?}");
+    let _ = writeln!(
+        out,
+        "spectral bound lambda = max(|lambda_2|, |lambda_n|) = {:.6}",
+        context.lambda()
+    );
+    let _ = writeln!(
+        out,
+        "  (lambda_2 = {:.6}, lambda_n = {:.6})",
+        context.lambda2(),
+        context.lambda_n()
+    );
+    Ok(out)
+}
+
+/// `er query s t [more pairs…]`: ε-approximate PER queries with GEER, checked
+/// against the exact solver when `--check` is passed.
+pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
+    let config = approx_config(args)?;
+    let context = GraphContext::preprocess(graph).map_err(|e| e.to_string())?;
+    let mut geer = Geer::new(&context, config);
+
+    // Pairs come from positionals ("s t s t …") or --random N.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let positional: Vec<usize> = args
+        .positional
+        .iter()
+        .map(|p| p.parse::<usize>().map_err(|_| format!("'{p}' is not a node id")))
+        .collect::<Result<_, _>>()?;
+    for chunk in positional.chunks(2) {
+        if let [s, t] = chunk {
+            pairs.push((*s, *t));
+        } else {
+            return Err("query expects an even number of node ids (s t pairs)".into());
+        }
+    }
+    let random: usize = args.flag("random", 0usize)?;
+    if random > 0 {
+        let set = NodePairQuerySet::uniform(graph, random, config.seed);
+        pairs.extend(set.pairs().iter().map(|p| (p.s, p.t)));
+    }
+    if pairs.is_empty() {
+        return Err("no query pairs: pass node ids or --random N".into());
+    }
+
+    let check = args.is_set("check");
+    let truth = GroundTruth::with_method(graph, GroundTruthMethod::LaplacianSolve);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "s", "t", "r'(s,t)", "walks", "matvec-ops", if check { "exact" } else { "" }
+    );
+    for (s, t) in pairs {
+        let estimate = geer.estimate(s, t).map_err(|e| e.to_string())?;
+        let exact = if check {
+            format!("{:.6}", truth.resistance(s, t).map_err(|e| e.to_string())?)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{s:>8} {t:>8} {:>12.6} {:>12} {:>10} {:>12}",
+            estimate.value, estimate.cost.random_walks, estimate.cost.matvec_ops, exact
+        );
+    }
+    Ok(out)
+}
+
+/// `er critical`: the top `--top K` most critical (highest-resistance) edges.
+pub fn critical(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
+    let config = approx_config(args)?;
+    let top: usize = args.flag("top", 10usize)?;
+    let ranking = edge_criticality(graph, config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>8} {:>12}", "u", "v", "r(u,v)");
+    for edge in ranking.iter().take(top) {
+        let _ = writeln!(out, "{:>8} {:>8} {:>12.4}", edge.u, edge.v, edge.resistance);
+    }
+    let bridges = ranking.iter().filter(|e| e.resistance > 0.99).count();
+    let _ = writeln!(out, "\n{} of {} edges are (near-)bridges (r > 0.99)", bridges, ranking.len());
+    Ok(out)
+}
+
+/// `er sparsify`: build a spectral sparsifier and report its quality.
+pub fn sparsify(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
+    let config = approx_config(args)?;
+    let method = match args.flag_str("scores", "geer").as_str() {
+        "exact" => ScoreMethod::Exact,
+        "geer" => ScoreMethod::Geer { epsilon: config.epsilon },
+        "trees" => ScoreMethod::SpanningTrees { samples: args.flag("samples", 200usize)? },
+        other => return Err(format!("unknown --scores method '{other}' (exact, geer, trees)")),
+    };
+    let quality_epsilon: f64 = args.flag("quality-epsilon", 0.4)?;
+    let scores = EdgeScores::compute(graph, method, config.seed).map_err(|e| e.to_string())?;
+    let output = sample_sparsifier(
+        graph,
+        &scores,
+        SampleBudget::SpectralGuarantee { epsilon: quality_epsilon, scale: 1.5 },
+        config.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let report = QualityEvaluator::new(graph).evaluate(&output.sparsifier);
+    let mut out = String::new();
+    let _ = writeln!(out, "edge scores:       {:?} (Foster total {:.1}, n-1 = {})", method, scores.total(), graph.num_nodes() - 1);
+    let _ = writeln!(out, "samples drawn:     {}", output.samples_drawn);
+    let _ = writeln!(
+        out,
+        "edges kept:        {} of {} ({:.1}%)",
+        output.distinct_edges,
+        graph.num_edges(),
+        100.0 * output.keep_fraction(graph)
+    );
+    let _ = writeln!(out, "connected:         {}", report.connected);
+    let _ = writeln!(out, "max quad. distortion: {:.3}", report.max_quadratic_distortion);
+    let _ = writeln!(out, "max cut distortion:   {:.3}", report.max_cut_distortion);
+    let _ = writeln!(out, "meets epsilon {:.2}:   {}", quality_epsilon, report.satisfies(quality_epsilon));
+    Ok(out)
+}
+
+/// `er cluster`: resistance k-medoids clustering.
+pub fn cluster(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
+    let k: usize = args.flag("k", 2usize)?;
+    let config = ClusteringConfig {
+        num_clusters: k,
+        max_iterations: args.flag("iterations", 12usize)?,
+        seed: args.flag("seed", 42u64)?,
+        ..ClusteringConfig::default()
+    };
+    let result = ResistanceClustering::new(graph, config)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "clusters:   {}", result.num_clusters());
+    let _ = writeln!(out, "sizes:      {:?}", result.sizes());
+    let _ = writeln!(out, "medoids:    {:?}", result.medoids);
+    let _ = writeln!(out, "iterations: {} (converged: {})", result.iterations, result.converged);
+    let _ = writeln!(out, "modularity: {:.3}", modularity(graph, &result.assignments));
+    if args.is_set("print-assignments") {
+        let _ = writeln!(out, "assignments: {:?}", result.assignments);
+    }
+    // Self-consistency diagnostic: clustering twice with different seeds
+    // should give essentially the same partition on well-separated graphs.
+    if args.is_set("stability") {
+        let alt = ResistanceClustering::new(
+            graph,
+            ClusteringConfig { seed: config.seed.wrapping_add(1), ..config },
+        )
+        .run()
+        .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "stability (ARI vs reseeded run): {:.3}",
+            adjusted_rand_index(&result.assignments, &alt.assignments)
+        );
+    }
+    Ok(out)
+}
+
+/// `er profile s`: single-source resistance profile and nearest neighbours.
+pub fn profile(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
+    let source: usize = match args.positional.first() {
+        Some(raw) => raw.parse().map_err(|_| format!("'{raw}' is not a node id"))?,
+        None => return Err("profile expects a source node id".into()),
+    };
+    let top: usize = args.flag("top", 10usize)?;
+    let mut index = ErIndex::build(graph).map_err(|e| e.to_string())?;
+    let nearest = index.nearest(source, top).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "nearest {} nodes to {} by effective resistance:", nearest.len(), source);
+    let _ = writeln!(out, "{:>8} {:>12} {:>8}", "node", "r", "degree");
+    for (node, r) in &nearest {
+        let _ = writeln!(out, "{node:>8} {r:>12.4} {:>8}", graph.degree(*node));
+    }
+    let _ = writeln!(out, "\nKirchhoff index: {:.1}", index.kirchhoff_index());
+    let landmarks = LandmarkIndex::build(graph, args.flag("landmarks", 8usize)?, LandmarkSelection::Mixed, 7)
+        .map_err(|e| e.to_string())?;
+    let far = graph.num_nodes() - 1;
+    let bounds = landmarks.bounds(source, far).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "landmark bounds for r({source}, {far}): [{:.4}, {:.4}]",
+        bounds.lower, bounds.upper
+    );
+    Ok(out)
+}
+
+/// The usage string printed by `er help` or on errors.
+pub fn usage() -> String {
+    "er — effective-resistance toolkit (SIGMOD 2023 reproduction)
+
+USAGE:
+    er <command> [args] [--graph <edge-list-path | family:n[:deg[:seed]]>] [flags]
+
+COMMANDS:
+    stats                       structural + spectral summary of the graph
+    query <s> <t> […]           ε-approximate PER queries with GEER (--random N, --check)
+    profile <s>                 single-source resistance profile (--top K, --landmarks K)
+    critical                    rank edges by criticality (--top K)
+    sparsify                    build and evaluate a spectral sparsifier (--scores exact|geer|trees)
+    cluster                     resistance k-medoids clustering (--k K, --stability)
+    help                        print this message
+
+COMMON FLAGS:
+    --graph <source>            edge-list file or synthetic spec (default: social:2000)
+    --epsilon <f>               additive error ε (default 0.1)
+    --delta <f>                 failure probability δ (default 0.01)
+    --tau <n>                   AMC/GEER batches τ (default 5)
+    --seed <n>                  RNG seed (default 42)
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    fn args(line: &str) -> ParsedArgs {
+        ParsedArgs::parse(line.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    fn graph() -> Graph {
+        generators::community_social_network(240, 10.0, 2, 0.01, 5).unwrap()
+    }
+
+    #[test]
+    fn stats_reports_structure_and_spectrum() {
+        let out = stats(&graph(), &args("stats")).unwrap();
+        assert!(out.contains("lambda"));
+        assert!(out.contains("num_nodes") || out.contains("GraphStats"));
+    }
+
+    #[test]
+    fn query_supports_pairs_random_and_check() {
+        let g = graph();
+        let out = query(&g, &args("query 0 120 5 17 --epsilon 0.2 --check")).unwrap();
+        assert_eq!(out.lines().count(), 3, "header plus two result rows");
+        assert!(out.contains("exact"));
+        let out = query(&g, &args("query --random 3")).unwrap();
+        assert_eq!(out.lines().count(), 4);
+        assert!(query(&g, &args("query 1")).is_err(), "odd number of ids");
+        assert!(query(&g, &args("query")).is_err(), "no pairs at all");
+    }
+
+    #[test]
+    fn critical_and_sparsify_produce_reports() {
+        let g = graph();
+        let out = critical(&g, &args("critical --top 5 --epsilon 0.2")).unwrap();
+        assert!(out.lines().count() >= 7);
+        let out = sparsify(&g, &args("sparsify --scores trees --samples 60")).unwrap();
+        assert!(out.contains("edges kept"));
+        assert!(out.contains("true"), "the sparsifier of a small graph stays connected: {out}");
+        assert!(sparsify(&g, &args("sparsify --scores bogus")).is_err());
+    }
+
+    #[test]
+    fn cluster_recovers_two_communities() {
+        let g = graph();
+        let out = cluster(&g, &args("cluster --k 2 --stability")).unwrap();
+        assert!(out.contains("clusters:   2"));
+        assert!(out.contains("modularity"));
+        assert!(out.contains("stability"));
+    }
+
+    #[test]
+    fn profile_lists_nearest_nodes() {
+        let g = graph();
+        let out = profile(&g, &args("profile 3 --top 4 --landmarks 4")).unwrap();
+        assert!(out.contains("nearest 4 nodes"));
+        assert!(out.contains("Kirchhoff"));
+        assert!(profile(&g, &args("profile")).is_err());
+        assert!(profile(&g, &args("profile notanode")).is_err());
+    }
+
+    #[test]
+    fn config_flags_are_validated() {
+        assert!(approx_config(&args("query --epsilon 0")).is_err());
+        assert!(approx_config(&args("query --tau 0")).is_err());
+        let config = approx_config(&args("query --epsilon 0.05 --seed 9")).unwrap();
+        assert_eq!(config.epsilon, 0.05);
+        assert_eq!(config.seed, 9);
+    }
+}

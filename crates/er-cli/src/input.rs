@@ -1,0 +1,155 @@
+//! Graph acquisition for the CLI: load a SNAP-style edge list or synthesise a
+//! named benchmark graph, then extract the largest connected component so the
+//! estimators' standing assumptions hold.
+
+use er_graph::{analysis, generators, io, Graph};
+
+/// Where the graph comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A whitespace-separated edge-list file (SNAP format).
+    EdgeList(String),
+    /// A named synthetic graph: `family:n[:avg_degree[:seed]]`.
+    Synthetic(String),
+}
+
+impl GraphSource {
+    /// Resolves the `--graph` flag value: an existing path loads a file,
+    /// anything else is treated as a synthetic spec.
+    pub fn from_flag(value: &str) -> GraphSource {
+        if std::path::Path::new(value).exists() {
+            GraphSource::EdgeList(value.to_string())
+        } else {
+            GraphSource::Synthetic(value.to_string())
+        }
+    }
+
+    /// Loads or generates the graph and reduces it to its largest connected
+    /// component (reporting how much was dropped).
+    pub fn load(&self) -> Result<(Graph, String), String> {
+        let (raw, label) = match self {
+            GraphSource::EdgeList(path) => {
+                let graph = io::read_edge_list(path).map_err(|e| format!("loading {path}: {e}"))?;
+                (graph, format!("edge list {path}"))
+            }
+            GraphSource::Synthetic(spec) => {
+                let graph = synthesize(spec)?;
+                (graph, format!("synthetic '{spec}'"))
+            }
+        };
+        let n_before = raw.num_nodes();
+        let (lcc, _) = analysis::largest_connected_component(&raw);
+        let dropped = n_before - lcc.num_nodes();
+        let mut description = format!(
+            "{label}: {} nodes, {} edges (avg degree {:.1})",
+            lcc.num_nodes(),
+            lcc.num_edges(),
+            lcc.average_degree()
+        );
+        if dropped > 0 {
+            description.push_str(&format!(", {dropped} nodes outside the LCC dropped"));
+        }
+        if analysis::is_bipartite(&lcc) {
+            return Err(format!(
+                "{label} is bipartite; the random-walk estimators need a non-bipartite graph"
+            ));
+        }
+        Ok((lcc, description))
+    }
+}
+
+/// Parses a synthetic graph spec of the form `family:n[:avg_degree[:seed]]`.
+///
+/// Families: `social`, `community`, `ba` (Barabási–Albert), `er`
+/// (Erdős–Rényi), `grid`, `complete`, `lollipop`.
+fn synthesize(spec: &str) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let family = parts[0];
+    let parse_usize = |idx: usize, default: usize| -> Result<usize, String> {
+        match parts.get(idx) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| format!("'{raw}' in spec '{spec}' is not an integer")),
+        }
+    };
+    let parse_f64 = |idx: usize, default: f64| -> Result<f64, String> {
+        match parts.get(idx) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("'{raw}' in spec '{spec}' is not a number")),
+        }
+    };
+    let n = parse_usize(1, 2_000)?;
+    let degree = parse_f64(2, 12.0)?;
+    let seed = parse_usize(3, 42)? as u64;
+    let graph = match family {
+        "social" => generators::social_network_like(n, degree, seed),
+        "community" => generators::community_social_network(n, degree, 4, 0.02, seed),
+        "ba" => generators::barabasi_albert(n, (degree / 2.0).round().max(1.0) as usize, seed),
+        "er" => generators::erdos_renyi_gnm(n, (n as f64 * degree / 2.0) as usize, seed),
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            generators::grid(side, side)
+        }
+        "complete" => generators::complete(n),
+        "lollipop" => generators::lollipop(n / 2, n - n / 2),
+        other => {
+            return Err(format!(
+                "unknown synthetic family '{other}' (expected social, community, ba, er, grid, complete or lollipop)"
+            ))
+        }
+    };
+    graph.map_err(|e| format!("generating '{spec}': {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_specs_parse_and_generate() {
+        for spec in ["social:500", "community:400:10", "ba:300:6:7", "er:200:8", "complete:30"] {
+            let (graph, description) = GraphSource::Synthetic(spec.to_string()).load().unwrap();
+            assert!(graph.num_nodes() > 0, "{spec}");
+            assert!(analysis::is_connected(&graph));
+            assert!(description.contains("synthetic"));
+        }
+    }
+
+    #[test]
+    fn grid_spec_is_rejected_as_bipartite() {
+        // A pure grid is bipartite; the loader must say so rather than let the
+        // estimators loop on a periodic chain.
+        let err = GraphSource::Synthetic("grid:100".to_string()).load().unwrap_err();
+        assert!(err.contains("bipartite"));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(GraphSource::Synthetic("wat:100".to_string()).load().is_err());
+        assert!(GraphSource::Synthetic("social:abc".to_string()).load().is_err());
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let dir = std::env::temp_dir().join("er_cli_input_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.txt");
+        let g = generators::social_network_like(120, 6.0, 3).unwrap();
+        io::write_edge_list(&g, &path).unwrap();
+        let source = GraphSource::from_flag(path.to_str().unwrap());
+        assert!(matches!(source, GraphSource::EdgeList(_)));
+        let (loaded, _) = source.load().unwrap();
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_path_is_treated_as_synthetic_and_reported() {
+        let source = GraphSource::from_flag("definitely/not/a/file.txt");
+        assert!(matches!(source, GraphSource::Synthetic(_)));
+        assert!(source.load().is_err());
+    }
+}

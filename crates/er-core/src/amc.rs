@@ -1,0 +1,448 @@
+//! AMC — the Adaptive Monte Carlo estimator (Algorithm 1 of the paper).
+//!
+//! AMC estimates the tail quantity
+//! `q(s, t) = Σ_{i=1}^{ℓ_f} Σ_v (p_i(s, v) − p_i(t, v)) (s(v)/d(s) − t(v)/d(t))`
+//! (Eq. 12) by simulating pairs of length-`ℓ_f` random walks from `s` and `t`
+//! in geometrically growing batches. Each batch re-estimates the empirical
+//! mean and variance; sampling stops as soon as the empirical Bernstein bound
+//! (Lemma 3.2) certifies an ε/2 error, or after τ batches, at which point the
+//! Hoeffding-derived worst case η* (Eq. 8) has been reached.
+//!
+//! With `s = e_s`, `t = e_t` and `ℓ_f` set to the refined length of Eq. (6),
+//! `q(s, t) + 1_{s≠t}(1/d(s) + 1/d(t))` is an ε-approximation of `r(s, t)`
+//! with probability ≥ 1 − δ (Theorem 3.4). GEER instead passes the SMM
+//! frontier vectors, whose much smaller `max1`/`max2` values shrink ψ and
+//! hence the walk budget — the effect Section 4.1.2 calls a "≥ 96% reduction".
+
+use crate::config::ApproxConfig;
+use crate::context::GraphContext;
+use crate::error::EstimatorError;
+use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
+use crate::length;
+use er_graph::{Graph, NodeId};
+use er_linalg::vector;
+use er_walks::truncated;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one AMC run (Algorithm 1's inputs besides the graph, the
+/// query pair and the weight vectors).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmcParameters {
+    /// Additive error threshold ε; the run targets an ε/2-accurate estimate
+    /// of `q(s, t)`.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Maximum number of sampling batches τ.
+    pub tau: usize,
+    /// Maximum random-walk length ℓ_f.
+    pub ell_f: usize,
+    /// Optional cap on the total number of walks; when the next batch would
+    /// exceed it the run stops with [`AmcOutput::budget_truncated`] set. Used
+    /// by the benchmark harness to mirror the paper's one-day-per-method
+    /// timeout without aborting mid-query.
+    pub walk_budget: Option<u64>,
+}
+
+impl AmcParameters {
+    /// Builds parameters from a shared [`ApproxConfig`] and a walk length.
+    pub fn from_config(config: &ApproxConfig, ell_f: usize) -> Self {
+        AmcParameters {
+            epsilon: config.epsilon,
+            delta: config.delta,
+            tau: config.tau.max(1),
+            ell_f,
+            walk_budget: None,
+        }
+    }
+}
+
+/// Output of one AMC run.
+#[derive(Clone, Debug)]
+pub struct AmcOutput {
+    /// The estimate `r_f(s, t)` of `q(s, t)`.
+    pub r_f: f64,
+    /// Batches executed (1..=τ).
+    pub batches_used: usize,
+    /// Whether the empirical Bernstein condition triggered early termination
+    /// (as opposed to exhausting all τ batches).
+    pub terminated_early: bool,
+    /// Whether the optional walk budget cut the run short.
+    pub budget_truncated: bool,
+    /// Empirical variance of the final batch.
+    pub empirical_variance: f64,
+    /// The worst-case walk count η* of Eq. (8).
+    pub eta_star: u64,
+    /// Work performed.
+    pub cost: CostBreakdown,
+}
+
+/// ψ of Eq. (9): an upper bound on `2 |Z_k|` for the walk-pair random variable
+/// `Z_k` of Eq. (11), derived from Lemma 3.3.
+pub fn psi_bound(
+    s_vec: &[f64],
+    t_vec: &[f64],
+    degree_s: usize,
+    degree_t: usize,
+    ell_f: usize,
+) -> f64 {
+    if ell_f == 0 {
+        return 0.0;
+    }
+    let ds = degree_s as f64;
+    let dt = degree_t as f64;
+    let half_up = ell_f.div_ceil(2) as f64;
+    let half_down = (ell_f / 2) as f64;
+    let m1 = vector::max1(s_vec) / ds + vector::max1(t_vec) / dt;
+    let m2 = if s_vec.len() >= 2 {
+        vector::max2(s_vec) / ds + vector::max2(t_vec) / dt
+    } else {
+        0.0
+    };
+    2.0 * half_up * m1 + 2.0 * half_down * m2
+}
+
+/// η* of Eq. (8): the Hoeffding-derived worst-case number of walk pairs,
+/// `η* = 2 ψ² ln(2τ/δ) / ε²`.
+pub fn eta_star(psi: f64, epsilon: f64, delta: f64, tau: usize) -> u64 {
+    let raw = 2.0 * psi * psi * (2.0 * tau as f64 / delta).ln() / (epsilon * epsilon);
+    raw.ceil().max(1.0).min(u64::MAX as f64) as u64
+}
+
+/// The empirical Bernstein error bound `f(n_z, σ̂², ψ, δ)` of Lemma 3.2 (Eq. 7):
+/// `√(2 σ̂² ln(3/δ) / n_z) + 3 ψ ln(3/δ) / n_z`.
+pub fn empirical_bernstein_error(n_z: u64, sigma_sq: f64, psi: f64, delta: f64) -> f64 {
+    let n = n_z as f64;
+    let log_term = (3.0 / delta).ln();
+    (2.0 * sigma_sq * log_term / n).sqrt() + 3.0 * psi * log_term / n
+}
+
+/// Total walk-pair budget `h(ℓ_f) = Σ_{i=1}^{τ} 2^{i−1} η = (2^τ − 1) ⌈η*/2^{τ−1}⌉`
+/// that Algorithm 1 can spend across all batches (Section 3.3.2). GEER's
+/// switch rule (Eq. 17) compares the next SpMV cost against this quantity.
+pub fn total_walk_budget(eta_star: u64, tau: usize) -> u64 {
+    let tau = tau.max(1) as u32;
+    let first_batch = eta_star.div_ceil(1u64 << (tau - 1)).max(1);
+    ((1u64 << tau) - 1).saturating_mul(first_batch)
+}
+
+/// Runs Algorithm 1 for the pair `(s, t)` with weight vectors `s_vec`, `t_vec`.
+///
+/// For a standalone ε-approximate PER query pass `s_vec = e_s`, `t_vec = e_t`
+/// and add `1_{s≠t}(1/d(s) + 1/d(t))` to the returned `r_f` (Theorem 3.4);
+/// the [`Amc`] estimator does exactly that. GEER passes the SMM frontier
+/// vectors instead and adds its own deterministic prefix.
+pub fn run_amc<R: Rng + ?Sized>(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    s_vec: &[f64],
+    t_vec: &[f64],
+    params: &AmcParameters,
+    rng: &mut R,
+) -> AmcOutput {
+    let ds = graph.degree(s) as f64;
+    let dt = graph.degree(t) as f64;
+    let psi = psi_bound(s_vec, t_vec, graph.degree(s), graph.degree(t), params.ell_f);
+    let mut cost = CostBreakdown::default();
+
+    // A zero walk length (or a zero ψ, meaning both weight vectors vanish)
+    // makes the tail identically zero — nothing to sample.
+    if params.ell_f == 0 || psi == 0.0 {
+        return AmcOutput {
+            r_f: 0.0,
+            batches_used: 0,
+            terminated_early: true,
+            budget_truncated: false,
+            empirical_variance: 0.0,
+            eta_star: 0,
+            cost,
+        };
+    }
+
+    let eta_max = eta_star(psi, params.epsilon, params.delta, params.tau);
+    let tau = params.tau.max(1);
+    let mut eta = eta_max.div_ceil(1u64 << (tau as u32 - 1)).max(1);
+
+    let mut z_mean = 0.0;
+    let mut sigma_sq = 0.0;
+    let mut batches_used = 0;
+    let mut terminated_early = false;
+    let mut budget_truncated = false;
+
+    for _ in 0..tau {
+        if let Some(budget) = params.walk_budget {
+            if cost.random_walks.saturating_add(2 * eta) > budget {
+                budget_truncated = true;
+                break;
+            }
+        }
+        batches_used += 1;
+        let mut z_sum = 0.0;
+        let mut z_sq_sum = 0.0;
+        for _ in 0..eta {
+            let mut z_k = 0.0;
+            truncated::walk_accumulate(graph, s, params.ell_f, rng, |u| {
+                z_k += s_vec[u] / ds - t_vec[u] / dt;
+            });
+            truncated::walk_accumulate(graph, t, params.ell_f, rng, |u| {
+                z_k += t_vec[u] / dt - s_vec[u] / ds;
+            });
+            z_sum += z_k;
+            z_sq_sum += z_k * z_k;
+        }
+        cost.random_walks += 2 * eta;
+        cost.walk_steps += 2 * eta * params.ell_f as u64;
+        z_mean = z_sum / eta as f64;
+        sigma_sq = (z_sq_sum / eta as f64 - z_mean * z_mean).max(0.0);
+        let err = empirical_bernstein_error(eta, sigma_sq, psi, params.delta / tau as f64);
+        if err <= params.epsilon / 2.0 {
+            terminated_early = true;
+            break;
+        }
+        eta = eta.saturating_mul(2);
+    }
+
+    AmcOutput {
+        r_f: z_mean,
+        batches_used,
+        terminated_early,
+        budget_truncated,
+        empirical_variance: sigma_sq,
+        eta_star: eta_max,
+        cost,
+    }
+}
+
+/// The standalone AMC estimator: refined walk length (Eq. 6), one-hot weight
+/// vectors and the `1_{s≠t}(1/d(s) + 1/d(t))` correction of Theorem 3.4.
+pub struct Amc<'g> {
+    context: &'g GraphContext<'g>,
+    config: ApproxConfig,
+    rng: StdRng,
+    walk_budget: Option<u64>,
+}
+
+impl<'g> Amc<'g> {
+    /// Creates an AMC estimator.
+    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+        Amc {
+            context,
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            walk_budget: None,
+        }
+    }
+
+    /// Sets an optional per-query walk budget (see [`AmcParameters::walk_budget`]).
+    pub fn with_walk_budget(mut self, budget: u64) -> Self {
+        self.walk_budget = Some(budget);
+        self
+    }
+
+    /// The refined maximum walk length this estimator will use for `(s, t)`.
+    pub fn walk_length_for(&self, s: NodeId, t: NodeId) -> usize {
+        let g = self.context.graph();
+        length::refined_length(
+            self.config.epsilon,
+            self.context.lambda(),
+            g.degree(s),
+            g.degree(t),
+        )
+    }
+}
+
+impl ResistanceEstimator for Amc<'_> {
+    fn name(&self) -> &'static str {
+        "AMC"
+    }
+
+    fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError> {
+        self.config.validate()?;
+        self.context.check_pair(s, t)?;
+        if s == t {
+            return Ok(Estimate::with_value(0.0));
+        }
+        let g = self.context.graph();
+        let ell_f = self.walk_length_for(s, t);
+        let n = g.num_nodes();
+        let s_vec = vector::unit(n, s);
+        let t_vec = vector::unit(n, t);
+        let mut params = AmcParameters::from_config(&self.config, ell_f);
+        params.walk_budget = self.walk_budget;
+        let out = run_amc(g, s, t, &s_vec, &t_vec, &params, &mut self.rng);
+        if out.budget_truncated && out.batches_used == 0 {
+            // Not even the smallest batch fit in the walk budget: reporting the
+            // bare degree correction would silently be meaningless, so surface
+            // the exhaustion instead (the harness records it as an exclusion,
+            // like the paper's timed-out methods).
+            return Err(EstimatorError::BudgetExceeded {
+                resource: "random walks",
+                message: format!(
+                    "AMC needs at least {} walk pairs per batch for ({s}, {t}) but the budget is {}",
+                    out.eta_star.div_ceil(1u64 << (self.config.tau.max(1) as u32 - 1)),
+                    self.walk_budget.unwrap_or(0)
+                ),
+            });
+        }
+        let correction = 1.0 / g.degree(s) as f64 + 1.0 / g.degree(t) as f64;
+        Ok(Estimate {
+            value: out.r_f + correction,
+            cost: out.cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use er_linalg::LaplacianSolver;
+
+    #[test]
+    fn psi_matches_hand_computation() {
+        // s_vec = e_0, t_vec = e_1, degrees 2 and 4, ell_f = 5:
+        // psi = 2*ceil(5/2)*(1/2 + 1/4) + 2*floor(5/2)*(0 + 0) = 2*3*0.75 = 4.5
+        let s_vec = vector::unit(6, 0);
+        let t_vec = vector::unit(6, 1);
+        let psi = psi_bound(&s_vec, &t_vec, 2, 4, 5);
+        assert!((psi - 4.5).abs() < 1e-12);
+        assert_eq!(psi_bound(&s_vec, &t_vec, 2, 4, 0), 0.0);
+    }
+
+    #[test]
+    fn eta_star_matches_formula_and_monotonicity() {
+        let e1 = eta_star(2.0, 0.5, 0.1, 5);
+        // 2 * 4 * ln(100) / 0.25 = 32 ln(100) ≈ 147.4 -> 148
+        assert_eq!(e1, (8.0 * (100.0f64).ln() / 0.25).ceil() as u64);
+        assert!(eta_star(2.0, 0.1, 0.1, 5) > e1, "smaller epsilon needs more walks");
+        assert!(eta_star(4.0, 0.5, 0.1, 5) > e1, "larger psi needs more walks");
+    }
+
+    #[test]
+    fn bernstein_error_shrinks_with_samples_and_variance() {
+        let base = empirical_bernstein_error(100, 0.5, 2.0, 0.01);
+        assert!(empirical_bernstein_error(10_000, 0.5, 2.0, 0.01) < base);
+        assert!(empirical_bernstein_error(100, 0.01, 2.0, 0.01) < base);
+        assert!(empirical_bernstein_error(100, 0.5, 0.1, 0.01) < base);
+    }
+
+    #[test]
+    fn total_walk_budget_is_about_twice_eta_star() {
+        let eta = 1000;
+        let budget = total_walk_budget(eta, 5);
+        assert!(budget >= eta && budget <= 2 * eta + 64, "budget {budget}");
+        // tau = 1 degenerates to a single batch of eta* walks
+        assert_eq!(total_walk_budget(eta, 1), eta);
+    }
+
+    #[test]
+    fn amc_is_epsilon_accurate_on_small_graphs() {
+        let g = generators::social_network_like(300, 14.0, 11).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let solver = LaplacianSolver::for_ground_truth(&g);
+        let eps = 0.25;
+        let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(eps).reseeded(1));
+        for &(s, t) in &[(0usize, 100usize), (5, 250), (42, 43)] {
+            let est = amc.estimate(s, t).unwrap();
+            let exact = solver.effective_resistance(s, t);
+            assert!(
+                (est.value - exact).abs() <= eps,
+                "({s},{t}): amc {} vs exact {exact}",
+                est.value
+            );
+        }
+        // Forcing a pessimistic lambda makes the refined length strictly
+        // positive, so AMC actually simulates walks and still meets epsilon.
+        let slow_ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+        let mut amc = Amc::new(&slow_ctx, ApproxConfig::with_epsilon(eps).reseeded(2));
+        let est = amc.estimate(0, 100).unwrap();
+        let exact = solver.effective_resistance(0, 100);
+        assert!(est.cost.random_walks > 0);
+        assert!((est.value - exact).abs() <= eps);
+    }
+
+    #[test]
+    fn amc_zero_for_identical_nodes_and_valid_cost() {
+        let g = generators::complete(10).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(0.5));
+        let est = amc.estimate(4, 4).unwrap();
+        assert_eq!(est.value, 0.0);
+        assert_eq!(est.cost.random_walks, 0);
+    }
+
+    #[test]
+    fn adaptive_scheme_uses_fewer_walks_than_worst_case() {
+        // The empirical variance of Z_k with one-hot weight vectors is far
+        // below the worst case ψ²/4 assumed by Hoeffding, so the Bernstein
+        // condition should fire before all τ batches are spent.
+        let g = generators::social_network_like(300, 12.0, 19).unwrap();
+        // A pessimistic lambda forces a sizable walk length so the adaptive
+        // batching actually has room to terminate early.
+        let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+        let g_ref = ctx.graph();
+        let (s, t) = (0, 150);
+        let ell = length::refined_length(0.1, ctx.lambda(), g_ref.degree(s), g_ref.degree(t));
+        let params = AmcParameters {
+            epsilon: 0.1,
+            delta: 0.01,
+            tau: 5,
+            ell_f: ell.max(1),
+            walk_budget: None,
+        };
+        let n = g_ref.num_nodes();
+        let s_vec = vector::unit(n, s);
+        let t_vec = vector::unit(n, t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_amc(g_ref, s, t, &s_vec, &t_vec, &params, &mut rng);
+        assert!(out.terminated_early, "should stop before the last batch");
+        let pairs_used = out.cost.random_walks / 2;
+        let worst_case = total_walk_budget(out.eta_star, 5);
+        assert!(
+            pairs_used < worst_case,
+            "pairs {pairs_used} should be below the worst-case budget {worst_case}"
+        );
+    }
+
+    #[test]
+    fn walk_budget_truncation_is_reported() {
+        // A pessimistic lambda forces a long walk length and hence a large
+        // first batch; a tiny budget cannot even cover it, and the estimator
+        // reports the exhaustion instead of returning a meaningless value.
+        let g = generators::social_network_like(200, 6.0, 2).unwrap();
+        let ctx = GraphContext::with_lambda(&g, 0.95).unwrap();
+        let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(0.05)).with_walk_budget(10);
+        match amc.estimate(0, 100) {
+            Err(EstimatorError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, "random walks")
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // With a budget that covers at least one batch the estimate returns
+        // normally and respects the cap.
+        let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(0.3)).with_walk_budget(2_000_000);
+        let est = amc.estimate(0, 100).unwrap();
+        assert!(est.cost.random_walks <= 2_000_000);
+    }
+
+    #[test]
+    fn unbiasedness_of_zk_estimator() {
+        // With one-hot weight vectors E[r_f] = q(s, t) = r_l(s,t) - (1/d(s) + 1/d(t)).
+        // Check by averaging many independent AMC runs on the triangle, where
+        // r(0, 1) = 2/3 and the truncated tail converges quickly.
+        let g = generators::complete(3).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let solver = LaplacianSolver::for_ground_truth(&g);
+        let exact = solver.effective_resistance(0, 1);
+        let mut total = 0.0;
+        let runs = 30;
+        for seed in 0..runs {
+            let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(0.1).reseeded(seed));
+            total += amc.estimate(0, 1).unwrap().value;
+        }
+        let mean = total / runs as f64;
+        assert!((mean - exact).abs() < 0.05, "mean {mean} vs exact {exact}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared configuration for the randomized estimators.
+
+use crate::error::EstimatorError;
+
+/// Parameters of an ε-approximate PER query (Definition 2.2 of the paper)
+/// plus the knobs shared by the randomized estimators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxConfig {
+    /// Additive error threshold ε (Eq. 2). The paper evaluates
+    /// ε ∈ {0.01, 0.02, 0.05, 0.1, 0.2, 0.5}.
+    pub epsilon: f64,
+    /// Failure probability δ. The paper fixes δ = 0.01 for all randomized
+    /// algorithms.
+    pub delta: f64,
+    /// Maximum number of batches τ of AMC's adaptive sampling scheme
+    /// (Section 3.2). The paper uses τ = 5 by default and sweeps 1..=8 in
+    /// Figs. 8–9.
+    pub tau: usize,
+    /// Seed for the estimator's random number generator; estimates are fully
+    /// deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            epsilon: 0.1,
+            delta: 0.01,
+            tau: 5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// Creates a config with the given ε and the paper's defaults elsewhere.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        ApproxConfig {
+            epsilon,
+            ..ApproxConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different seed (convenient for repeated trials).
+    pub fn reseeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates ε > 0, δ ∈ (0, 1) and τ ≥ 1.
+    pub fn validate(&self) -> Result<(), EstimatorError> {
+        if !(self.epsilon > 0.0) || !self.epsilon.is_finite() {
+            return Err(EstimatorError::InvalidParameter {
+                name: "epsilon",
+                message: format!("must be a positive finite number, got {}", self.epsilon),
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(EstimatorError::InvalidParameter {
+                name: "delta",
+                message: format!("must lie in (0, 1), got {}", self.delta),
+            });
+        }
+        if self.tau == 0 {
+            return Err(EstimatorError::InvalidParameter {
+                name: "tau",
+                message: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = ApproxConfig::default();
+        assert_eq!(c.delta, 0.01);
+        assert_eq!(c.tau, 5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_epsilon_and_reseeded() {
+        let c = ApproxConfig::with_epsilon(0.02).reseeded(99);
+        assert_eq!(c.epsilon, 0.02);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.tau, ApproxConfig::default().tau);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ApproxConfig::with_epsilon(0.0).validate().is_err());
+        assert!(ApproxConfig::with_epsilon(f64::NAN).validate().is_err());
+        let mut c = ApproxConfig::default();
+        c.delta = 1.5;
+        assert!(c.validate().is_err());
+        c.delta = 0.01;
+        c.tau = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by all estimators.
+
+use er_graph::GraphError;
+use std::fmt;
+
+/// Errors produced by the effective-resistance estimators.
+#[derive(Debug)]
+pub enum EstimatorError {
+    /// The underlying graph violated an assumption (disconnected, bipartite,
+    /// node id out of range, …).
+    Graph(GraphError),
+    /// A configuration parameter was invalid (e.g. ε ≤ 0 or δ ∉ (0, 1)).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        message: String,
+    },
+    /// The estimator is only defined for node pairs joined by an edge
+    /// (MC2 and HAY), but the query pair is not an edge.
+    NotAnEdge {
+        /// Query source.
+        s: usize,
+        /// Query target.
+        t: usize,
+    },
+    /// The estimator refused to run because it would exceed a resource budget
+    /// (mirrors the paper's out-of-memory / one-day-timeout exclusions).
+    BudgetExceeded {
+        /// Which budget was exceeded.
+        resource: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimatorError::Graph(e) => write!(f, "graph error: {e}"),
+            EstimatorError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter '{name}': {message}")
+            }
+            EstimatorError::NotAnEdge { s, t } => {
+                write!(f, "({s}, {t}) is not an edge; this estimator only supports edge queries")
+            }
+            EstimatorError::BudgetExceeded { resource, message } => {
+                write!(f, "{resource} budget exceeded: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimatorError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for EstimatorError {
+    fn from(e: GraphError) -> Self {
+        EstimatorError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EstimatorError::NotAnEdge { s: 1, t: 2 };
+        assert!(e.to_string().contains("not an edge"));
+        let e = EstimatorError::InvalidParameter {
+            name: "epsilon",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+        let e = EstimatorError::BudgetExceeded {
+            resource: "memory",
+            message: "sketch too large".into(),
+        };
+        assert!(e.to_string().contains("memory"));
+        let e: EstimatorError = GraphError::NotConnected.into();
+        assert!(e.to_string().contains("connected"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,135 @@
+//! The common estimator interface and cost accounting.
+
+use crate::error::EstimatorError;
+use er_graph::NodeId;
+use std::ops::AddAssign;
+
+/// Work performed while answering a query, broken down by primitive.
+///
+/// The paper compares methods by wall-clock time; the cost breakdown makes the
+/// *reason* for those differences visible (e.g. GEER trading SpMV operations
+/// against random-walk steps at the switch point of Eq. 17) and lets tests
+/// assert structural properties ("GEER performs at most as many walks as AMC")
+/// without depending on timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Number of random walks simulated.
+    pub random_walks: u64,
+    /// Total random-walk steps taken.
+    pub walk_steps: u64,
+    /// Scalar multiply–add operations performed inside sparse matrix–vector
+    /// products (one per traversed edge endpoint).
+    pub matvec_ops: u64,
+    /// Conjugate-gradient (or other solver) iterations.
+    pub solver_iterations: u64,
+    /// Uniform spanning trees sampled (HAY only).
+    pub spanning_trees: u64,
+}
+
+impl AddAssign for CostBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.random_walks += rhs.random_walks;
+        self.walk_steps += rhs.walk_steps;
+        self.matvec_ops += rhs.matvec_ops;
+        self.solver_iterations += rhs.solver_iterations;
+        self.spanning_trees += rhs.spanning_trees;
+    }
+}
+
+impl CostBreakdown {
+    /// A rough single-number cost proxy (every primitive counted once).
+    pub fn total_operations(&self) -> u64 {
+        self.walk_steps + self.matvec_ops + self.solver_iterations + self.spanning_trees
+    }
+}
+
+/// An answered ε-approximate PER query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// The estimated effective resistance `r'(s, t)`.
+    pub value: f64,
+    /// Work performed to produce it.
+    pub cost: CostBreakdown,
+}
+
+impl Estimate {
+    /// Convenience constructor for estimators with zero bookkeeping.
+    pub fn with_value(value: f64) -> Self {
+        Estimate {
+            value,
+            cost: CostBreakdown::default(),
+        }
+    }
+}
+
+/// A pairwise effective-resistance estimator.
+///
+/// Implementations take `&mut self` because the randomized estimators carry
+/// their RNG state (and some cache per-graph preprocessing), but answering a
+/// query never mutates the graph.
+pub trait ResistanceEstimator {
+    /// Short, stable name used in benchmark tables ("GEER", "AMC", "SMM", …).
+    fn name(&self) -> &'static str;
+
+    /// Answers a single ε-approximate PER query for the node pair `(s, t)`.
+    fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError>;
+
+    /// Answers a batch of queries, stopping early if any query fails.
+    fn estimate_many(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Estimate>, EstimatorError> {
+        pairs.iter().map(|&(s, t)| self.estimate(s, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl ResistanceEstimator for Fixed {
+        fn name(&self) -> &'static str {
+            "FIXED"
+        }
+        fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError> {
+            if s == t {
+                Ok(Estimate::with_value(0.0))
+            } else {
+                Ok(Estimate::with_value(self.0))
+            }
+        }
+    }
+
+    #[test]
+    fn cost_breakdown_accumulates() {
+        let mut a = CostBreakdown {
+            random_walks: 1,
+            walk_steps: 10,
+            matvec_ops: 5,
+            solver_iterations: 0,
+            spanning_trees: 2,
+        };
+        let b = CostBreakdown {
+            random_walks: 2,
+            walk_steps: 20,
+            matvec_ops: 1,
+            solver_iterations: 7,
+            spanning_trees: 0,
+        };
+        a += b;
+        assert_eq!(a.random_walks, 3);
+        assert_eq!(a.walk_steps, 30);
+        assert_eq!(a.total_operations(), 30 + 6 + 7 + 2);
+    }
+
+    #[test]
+    fn estimate_many_uses_estimate() {
+        let mut f = Fixed(0.25);
+        let out = f.estimate_many(&[(0, 1), (2, 2), (3, 4)]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].value, 0.25);
+        assert_eq!(out[1].value, 0.0);
+        assert_eq!(f.name(), "FIXED");
+    }
+}

@@ -1,0 +1,158 @@
+//! HAY — spanning-tree sampling for *edge* effective resistance
+//! (Hayashi, Akiba & Yoshida [29]; the edge-query baseline of Fig. 5/7).
+//!
+//! By the matrix-tree theorem, for an edge `(s, t) ∈ E` the effective
+//! resistance equals the probability that the edge belongs to a uniformly
+//! random spanning tree. HAY samples uniform spanning trees (here with
+//! Wilson's algorithm) and returns the fraction containing the query edge.
+//! A Hoeffding argument shows `ln(2/δ) / (2ε²)` trees suffice for an additive
+//! ε-approximation with probability ≥ 1 − δ.
+
+use crate::config::ApproxConfig;
+use crate::context::GraphContext;
+use crate::error::EstimatorError;
+use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
+use er_graph::NodeId;
+use er_walks::spanning::sample_spanning_tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The HAY estimator (edge queries only).
+pub struct Hay<'g> {
+    context: &'g GraphContext<'g>,
+    config: ApproxConfig,
+    rng: StdRng,
+    tree_budget: Option<u64>,
+}
+
+impl<'g> Hay<'g> {
+    /// Creates a HAY estimator.
+    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+        Hay {
+            context,
+            config,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x11a7),
+            tree_budget: None,
+        }
+    }
+
+    /// Caps the number of spanning trees sampled per query.
+    pub fn with_tree_budget(mut self, budget: u64) -> Self {
+        self.tree_budget = Some(budget);
+        self
+    }
+
+    /// Number of spanning trees the Hoeffding bound requires:
+    /// `⌈ln(2/δ) / (2ε²)⌉`.
+    pub fn trees_required(&self) -> u64 {
+        let eps = self.config.epsilon;
+        ((2.0 / self.config.delta).ln() / (2.0 * eps * eps))
+            .ceil()
+            .max(1.0) as u64
+    }
+}
+
+impl ResistanceEstimator for Hay<'_> {
+    fn name(&self) -> &'static str {
+        "HAY"
+    }
+
+    fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError> {
+        self.config.validate()?;
+        self.context.check_pair(s, t)?;
+        if s == t {
+            return Ok(Estimate::with_value(0.0));
+        }
+        let g = self.context.graph();
+        if !g.has_edge(s, t) {
+            return Err(EstimatorError::NotAnEdge { s, t });
+        }
+        let mut trees = self.trees_required();
+        if let Some(budget) = self.tree_budget {
+            trees = trees.min(budget.max(1));
+        }
+        let mut containing = 0u64;
+        let mut cost = CostBreakdown::default();
+        for _ in 0..trees {
+            let tree = sample_spanning_tree(g, s, &mut self.rng);
+            if tree.contains_edge(s, t) {
+                containing += 1;
+            }
+            cost.spanning_trees += 1;
+            // Wilson's algorithm walks at least n - 1 steps; we do not track
+            // its exact step count, so record the tree-size lower bound.
+            cost.walk_steps += (g.num_nodes() - 1) as u64;
+        }
+        Ok(Estimate {
+            value: containing as f64 / trees as f64,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use er_linalg::LaplacianSolver;
+
+    #[test]
+    fn rejects_non_edges_and_handles_self_queries() {
+        let g = generators::cycle(7).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let mut hay = Hay::new(&ctx, ApproxConfig::with_epsilon(0.5));
+        assert!(matches!(
+            hay.estimate(0, 3),
+            Err(EstimatorError::NotAnEdge { .. })
+        ));
+        assert_eq!(hay.estimate(2, 2).unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn tree_count_follows_hoeffding() {
+        let g = generators::complete(6).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let coarse = Hay::new(&ctx, ApproxConfig::with_epsilon(0.5)).trees_required();
+        let fine = Hay::new(&ctx, ApproxConfig::with_epsilon(0.05)).trees_required();
+        // 1/eps^2 scaling, up to the ceilings applied to both counts
+        assert!(
+            fine >= 90 * coarse && fine <= 100 * coarse,
+            "trees scale with 1/eps^2: coarse {coarse} fine {fine}"
+        );
+    }
+
+    #[test]
+    fn hay_is_accurate_on_edges() {
+        let g = generators::social_network_like(120, 8.0, 9).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let solver = LaplacianSolver::for_ground_truth(&g);
+        let eps = 0.1;
+        let mut hay = Hay::new(&ctx, ApproxConfig::with_epsilon(eps).reseeded(2));
+        let mut checked = 0;
+        for (s, t) in g.edges().step_by(97) {
+            let exact = solver.effective_resistance(s, t);
+            let est = hay.estimate(s, t).unwrap();
+            assert!(
+                (est.value - exact).abs() <= eps,
+                "({s},{t}): hay {} vs exact {exact}",
+                est.value
+            );
+            assert!(est.cost.spanning_trees > 0);
+            checked += 1;
+            if checked >= 3 {
+                break;
+            }
+        }
+        assert!(checked >= 3);
+    }
+
+    #[test]
+    fn tree_budget_is_respected() {
+        let g = generators::complete(40).unwrap();
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let mut hay = Hay::new(&ctx, ApproxConfig::with_epsilon(0.01)).with_tree_budget(25);
+        let est = hay.estimate(0, 1).unwrap();
+        assert_eq!(est.cost.spanning_trees, 25);
+        assert!((0.0..=1.0).contains(&est.value));
+    }
+}

@@ -1,0 +1,72 @@
+//! Pairwise effective-resistance (PER) estimation.
+//!
+//! This crate implements the algorithms of *"Efficient Estimation of Pairwise
+//! Effective Resistance"* (Yang & Tang, SIGMOD 2023):
+//!
+//! * [`Amc`] — the adaptive Monte Carlo estimator (Algorithm 1) with the
+//!   refined per-pair maximum walk length of Theorem 3.1 and
+//!   empirical-Bernstein early termination,
+//! * [`Geer`] — the greedy hybrid (Algorithm 3) that runs deterministic
+//!   sparse matrix–vector iterations ([`Smm`], Algorithm 2) until their cost
+//!   would exceed the remaining Monte Carlo budget (Eq. 17), then hands the
+//!   frontier vectors to AMC,
+//!
+//! together with every baseline the paper evaluates against: [`Exact`]
+//! (pseudo-inverse of the Laplacian), [`Smm`], [`Mc`], [`Mc2`], [`Tp`],
+//! [`Tpc`], [`Rp`] (random projection) and [`Hay`] (spanning-tree sampling).
+//!
+//! # Quick start
+//!
+//! ```
+//! use er_core::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+//! use er_graph::generators;
+//!
+//! let graph = generators::social_network_like(2_000, 12.0, 7).unwrap();
+//! let ctx = GraphContext::preprocess(&graph).unwrap();
+//! let config = ApproxConfig { epsilon: 0.1, ..ApproxConfig::default() };
+//! let mut geer = Geer::new(&ctx, config);
+//! let estimate = geer.estimate(0, 42).unwrap();
+//! println!("r(0, 42) ≈ {:.4}", estimate.value);
+//! ```
+//!
+//! Every estimator implements [`ResistanceEstimator`], returning both the
+//! value and a [`CostBreakdown`] (walks simulated, walk steps, matrix–vector
+//! operations, Laplacian solves) so the benchmark harness can report the same
+//! quantities the paper plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amc;
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod estimator;
+pub mod exact;
+pub mod geer;
+pub mod ground_truth;
+pub mod hay;
+pub mod length;
+pub mod mc;
+pub mod mc2;
+pub mod rp;
+pub mod smm;
+pub mod tp;
+pub mod tpc;
+
+pub use amc::{Amc, AmcOutput, AmcParameters};
+pub use config::ApproxConfig;
+pub use context::GraphContext;
+pub use error::EstimatorError;
+pub use estimator::{CostBreakdown, Estimate, ResistanceEstimator};
+pub use exact::Exact;
+pub use geer::{Geer, GeerTrace, SwitchRule};
+pub use ground_truth::{GroundTruth, GroundTruthMethod};
+pub use hay::Hay;
+pub use length::{peng_length, refined_length};
+pub use mc::Mc;
+pub use mc2::Mc2;
+pub use rp::Rp;
+pub use smm::Smm;
+pub use tp::Tp;
+pub use tpc::Tpc;

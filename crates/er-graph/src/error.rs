@@ -1,0 +1,92 @@
+//! Error types for graph construction and loading.
+
+use std::fmt;
+
+/// Errors produced while building, loading or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// A node id referenced an index outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// The graph is not connected but the operation requires connectivity.
+    NotConnected,
+    /// The graph is bipartite but the operation requires a non-bipartite graph
+    /// (the random-walk transition matrix must be aperiodic).
+    Bipartite,
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Underlying IO failure while reading or writing an edge list.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::Bipartite => write!(f, "graph is bipartite (walk is periodic)"),
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GraphError::Empty.to_string().contains("no nodes"));
+        assert!(GraphError::NotConnected.to_string().contains("connected"));
+        assert!(GraphError::Bipartite.to_string().contains("bipartite"));
+        let e = GraphError::NodeOutOfRange { node: 7, n: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("12") && e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(e.to_string().contains("missing"));
+        assert!(e.source().is_some());
+        assert!(GraphError::Empty.source().is_none());
+    }
+}

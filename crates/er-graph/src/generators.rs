@@ -1,0 +1,570 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on six SNAP social networks (Facebook, DBLP, YouTube,
+//! Orkut, LiveJournal, Friendster). Those raw datasets are not shipped with
+//! this repository, so the benchmark harness substitutes synthetic graphs
+//! whose *shape* matches: heavy-tailed degree distributions produced by the
+//! Barabási–Albert preferential-attachment model (optionally mixed with a
+//! stochastic block model for community structure), with the average degree
+//! tuned to each dataset. All generators are deterministic given a seed.
+//!
+//! Small structured graphs (paths, cycles, grids, stars, complete graphs,
+//! lollipops, barbells) are provided for unit tests and for validating the
+//! estimators against closed-form effective-resistance values (e.g. on a path
+//! graph `r(s, t) = |s - t|`, on a complete graph `r(s, t) = 2 / n`).
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Path graph `0 - 1 - … - (n-1)`. Exact ER: `r(s, t) = |s - t|`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b = b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n` nodes. Exact ER: `r(s, t) = k (n - k) / n` where
+/// `k = |s - t| mod n` is the hop distance along the cycle.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b = b.add_edge(v - 1, v);
+    }
+    if n > 2 {
+        b = b.add_edge(n - 1, 0);
+    }
+    b.build()
+}
+
+/// Star graph: node 0 is the hub connected to `1..n`.
+/// Exact ER: `r(0, v) = 1`, `r(u, v) = 2` for distinct leaves `u, v`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b = b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`. Exact ER: `r(s, t) = 2 / n` for `s != t`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b = b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Two-dimensional grid graph of `rows x cols` nodes with 4-neighbour
+/// connectivity. Node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                b = b.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                b = b.add_edge(id, id + cols);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Lollipop graph: a complete graph on `clique` nodes with a path of `tail`
+/// extra nodes attached to node 0. A classic worst case for commute times.
+pub fn lollipop(clique: usize, tail: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(clique + tail);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b = b.add_edge(u, v);
+        }
+    }
+    let mut prev = 0;
+    for i in 0..tail {
+        let node = clique + i;
+        b = b.add_edge(prev, node);
+        prev = node;
+    }
+    b.build()
+}
+
+/// Barbell graph: two complete graphs on `clique` nodes joined by a path of
+/// `bridge` nodes. Another stress test for mixing-time-sensitive estimators.
+pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, GraphError> {
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b = b.add_edge(u, v);
+            b = b.add_edge(clique + bridge + u, clique + bridge + v);
+        }
+    }
+    let mut prev = 0; // attach bridge between node 0 of the left clique …
+    for i in 0..bridge {
+        let node = clique + i;
+        b = b.add_edge(prev, node);
+        prev = node;
+    }
+    // … and node 0 of the right clique.
+    b = b.add_edge(prev, clique + bridge);
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b = b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)` random graph with exactly `m` distinct edges
+/// (or the maximum possible if `m` exceeds `n(n-1)/2`).
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let target = m.min(max_edges);
+    let mut chosen = std::collections::HashSet::with_capacity(target);
+    let mut b = GraphBuilder::new(n);
+    while chosen.len() < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b = b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique on
+/// `m0 = max(m_attach, 2)` nodes, then each new node attaches to `m_attach`
+/// distinct existing nodes chosen with probability proportional to degree.
+///
+/// Produces the heavy-tailed degree distribution characteristic of the SNAP
+/// social networks used in the paper; the average degree is ≈ `2 * m_attach`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, GraphError> {
+    let m_attach = m_attach.max(1);
+    let m0 = (m_attach + 1).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it is exactly degree-proportional sampling.
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(2 * n * m_attach);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            b = b.add_edge(u, v);
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    for new in m0..n {
+        let mut picked = std::collections::HashSet::with_capacity(m_attach);
+        let mut guard = 0;
+        while picked.len() < m_attach.min(new) && guard < 50 * m_attach + 100 {
+            guard += 1;
+            let target = if endpoint_pool.is_empty() {
+                rng.gen_range(0..new)
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if target != new {
+                picked.insert(target);
+            }
+        }
+        for &t in &picked {
+            b = b.add_edge(new, t);
+            endpoint_pool.push(new);
+            endpoint_pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k` nearest neighbours (`k` even), with each edge rewired to a random
+/// endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    let k = k.max(2) & !1; // force even
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    let final_edges: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|&(u, v)| {
+            if rng.gen::<f64>() < beta {
+                // rewire the far endpoint
+                let mut w = rng.gen_range(0..n);
+                let mut guard = 0;
+                while (w == u || w == v) && guard < 10 {
+                    w = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if w == u {
+                    (u, v)
+                } else {
+                    (u, w)
+                }
+            } else {
+                (u, v)
+            }
+        })
+        .collect();
+    GraphBuilder::from_edges(n, final_edges).build()
+}
+
+/// Stochastic block model with `blocks` equally sized communities:
+/// within-community edge probability `p_in`, across-community probability `p_out`.
+pub fn stochastic_block_model(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    let blocks = blocks.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let block_of = |v: usize| v * blocks / n.max(1);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                b = b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A "social-network-like" graph: Barabási–Albert backbone plus random triadic
+/// closure edges, which raises clustering towards what the SNAP datasets show.
+///
+/// `avg_degree` controls the target average degree; the result is connected by
+/// construction (the BA backbone is connected).
+pub fn social_network_like(n: usize, avg_degree: f64, seed: u64) -> Result<Graph, GraphError> {
+    let m_attach = ((avg_degree / 2.0).round() as usize).max(1);
+    let base = barabasi_albert(n, m_attach, seed)?;
+    // Triadic closure: for a sample of wedges u - v - w, add edge u - w.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
+    let extra_target = ((avg_degree * n as f64 / 2.0) as usize).saturating_sub(base.num_edges());
+    let mut b = GraphBuilder::from_edges(n, base.edges());
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_target && guard < 20 * extra_target + 100 {
+        guard += 1;
+        let v = rng.gen_range(0..n);
+        let nbrs = base.neighbors(v);
+        if nbrs.len() < 2 {
+            continue;
+        }
+        let u = nbrs[rng.gen_range(0..nbrs.len())];
+        let w = nbrs[rng.gen_range(0..nbrs.len())];
+        if u != w && !base.has_edge(u, w) {
+            b = b.add_edge(u, w);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// A "community-structured social network": `num_communities` Barabási–Albert
+/// communities of roughly equal size arranged on a ring, joined by a thin
+/// layer of inter-community bridge edges (`inter_fraction` of the total edge
+/// budget, spread over adjacent communities).
+///
+/// Compared to [`social_network_like`] (a single preferential-attachment
+/// graph, which is a strong expander), the thin bridges slow down mixing and
+/// push the transition matrix's λ = max{|λ₂|, |λₙ|} close to 1 — matching the
+/// behaviour of the real SNAP social networks far better, which is exactly
+/// what the maximum-walk-length formulas (Eq. 5/6 of the paper) are sensitive
+/// to. The benchmark dataset registry uses this generator for its synthetic
+/// SNAP substitutes.
+pub fn community_social_network(
+    n: usize,
+    avg_degree: f64,
+    num_communities: usize,
+    inter_fraction: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    let num_communities = num_communities.clamp(1, n.max(1));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0331);
+    // Community sizes: as equal as possible.
+    let base = n / num_communities;
+    let remainder = n % num_communities;
+    let mut start = 0usize;
+    let mut ranges = Vec::with_capacity(num_communities);
+    for c in 0..num_communities {
+        let size = base + usize::from(c < remainder);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Intra-community edges from independent BA graphs, offset into place.
+    for (c, range) in ranges.iter().enumerate() {
+        let size = range.len();
+        if size == 0 {
+            continue;
+        }
+        let m_attach = ((avg_degree / 2.0).round() as usize).max(1).min(size.saturating_sub(1).max(1));
+        let community = barabasi_albert(size.max(2), m_attach, seed.wrapping_add(c as u64))?;
+        for (u, v) in community.edges() {
+            if u < size && v < size {
+                b = b.add_edge(range.start + u, range.start + v);
+            }
+        }
+    }
+    // Inter-community bridges along the ring (plus a few random chords), sized
+    // as a fraction of the total edge budget.
+    let total_edges = (avg_degree * n as f64 / 2.0) as usize;
+    let bridges = ((total_edges as f64 * inter_fraction).ceil() as usize).max(num_communities);
+    for i in 0..bridges {
+        let c = i % num_communities;
+        let next = if i % 7 == 6 {
+            // occasional long-range chord keeps the diameter reasonable
+            rng.gen_range(0..num_communities)
+        } else {
+            (c + 1) % num_communities
+        };
+        if ranges[c].is_empty() || ranges[next].is_empty() {
+            continue;
+        }
+        let u = rng.gen_range(ranges[c].clone());
+        let v = rng.gen_range(ranges[next].clone());
+        if u != v {
+            b = b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The 11-node toy graph of Fig. 2 in the paper (nodes `s`, `t` and `v1..v9`).
+///
+/// Node ids: `s = 0`, `t = 1`, `v_i = i + 1` for `i = 1..9`. The figure does
+/// not list the edge set explicitly; this reconstruction gives `s` two
+/// neighbours and `t` seven neighbours, matching the path-count narrative of
+/// Section 4 (few paths near `s`, an explosion of paths near `t`).
+pub fn fig2_toy() -> Graph {
+    // s = 0, t = 1, v1..v9 = 2..=10
+    let edges = vec![
+        // s has two neighbours: v1, v2
+        (0, 2),
+        (0, 3),
+        // t has seven neighbours: v2..v8
+        (1, 3),
+        (1, 4),
+        (1, 5),
+        (1, 6),
+        (1, 7),
+        (1, 8),
+        (1, 9),
+        // periphery connections keeping the graph connected and non-bipartite
+        (2, 3),
+        (4, 5),
+        (6, 7),
+        (8, 9),
+        (9, 10),
+        (2, 10),
+    ];
+    GraphBuilder::from_edges(11, edges)
+        .build()
+        .expect("fig2 toy graph is a valid graph")
+}
+
+/// Randomly shuffles node labels of a graph (useful to de-correlate node id
+/// order from generation order in benchmarks).
+pub fn shuffle_labels(g: &Graph, seed: u64) -> Graph {
+    let n = g.num_nodes();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let edges = g.edges().map(|(u, v)| (perm[u], perm[v]));
+    GraphBuilder::from_edges(n, edges)
+        .build()
+        .expect("relabelling preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5).unwrap();
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5).unwrap();
+        assert_eq!(c.num_edges(), 5);
+        assert!(c.nodes().all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_and_complete_shapes() {
+        let s = star(6).unwrap();
+        assert_eq!(s.degree(0), 5);
+        assert!(s.nodes().skip(1).all(|v| s.degree(v) == 1));
+        let k = complete(6).unwrap();
+        assert_eq!(k.num_edges(), 15);
+        assert!(k.nodes().all(|v| k.degree(v) == 5));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        // 3*3 horizontal + 2*4 vertical = 9 + 8 = 17
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_and_barbell() {
+        let l = lollipop(5, 3).unwrap();
+        assert_eq!(l.num_nodes(), 8);
+        assert_eq!(l.num_edges(), 10 + 3);
+        assert!(analysis::is_connected(&l));
+        let b = barbell(4, 2).unwrap();
+        assert_eq!(b.num_nodes(), 10);
+        assert_eq!(b.num_edges(), 6 + 6 + 3);
+        assert!(analysis::is_connected(&b));
+    }
+
+    #[test]
+    fn gnp_and_gnm_are_deterministic_given_seed() {
+        let a = erdos_renyi_gnp(50, 0.2, 7).unwrap();
+        let b = erdos_renyi_gnp(50, 0.2, 7).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = erdos_renyi_gnm(50, 100, 7).unwrap();
+        assert_eq!(c.num_edges(), 100);
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_with_expected_density() {
+        let g = barabasi_albert(500, 4, 42).unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        assert!(analysis::is_connected(&g));
+        let avg = g.average_degree();
+        assert!(avg > 6.0 && avg < 10.0, "avg degree {avg} should be ~8");
+        // heavy tail: max degree should be much larger than the average
+        assert!(g.max_degree() as f64 > 3.0 * avg);
+    }
+
+    #[test]
+    fn watts_strogatz_density() {
+        let g = watts_strogatz(200, 6, 0.1, 3).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        // roughly n*k/2 edges (rewiring can only merge duplicates)
+        assert!(g.num_edges() > 500 && g.num_edges() <= 600);
+    }
+
+    #[test]
+    fn sbm_respects_block_structure() {
+        let g = stochastic_block_model(100, 2, 0.3, 0.01, 11).unwrap();
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if (u < 50) == (v < 50) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(within > 5 * across, "within={within} across={across}");
+    }
+
+    #[test]
+    fn social_network_like_matches_target_degree() {
+        let g = social_network_like(1000, 12.0, 5).unwrap();
+        assert!(analysis::is_connected(&g));
+        let avg = g.average_degree();
+        assert!(avg > 8.0 && avg < 16.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn community_network_is_connected_with_target_degree() {
+        let g = community_social_network(2_000, 10.0, 16, 0.01, 3).unwrap();
+        assert_eq!(g.num_nodes(), 2_000);
+        assert!(analysis::is_connected(&g));
+        assert!(!analysis::is_bipartite(&g));
+        let avg = g.average_degree();
+        assert!(avg > 6.0 && avg < 14.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn community_network_mixes_slower_than_plain_ba() {
+        // The thin inter-community bridges must slow down mixing: the number
+        // of edges crossing between the first and second half of the node ids
+        // (communities are contiguous id ranges) should be a small fraction of
+        // all edges, unlike in the single-community generator.
+        let g = community_social_network(1_000, 10.0, 10, 0.01, 5).unwrap();
+        let crossing = g
+            .edges()
+            .filter(|&(u, v)| (u < 500) != (v < 500))
+            .count();
+        assert!(
+            (crossing as f64) < 0.05 * g.num_edges() as f64,
+            "crossing edges {crossing} of {}",
+            g.num_edges()
+        );
+        let ba = social_network_like(1_000, 10.0, 5).unwrap();
+        let ba_crossing = ba
+            .edges()
+            .filter(|&(u, v)| (u < 500) != (v < 500))
+            .count();
+        assert!(ba_crossing > 4 * crossing, "BA graph has no community structure");
+    }
+
+    #[test]
+    fn fig2_toy_is_valid() {
+        let g = fig2_toy();
+        assert_eq!(g.num_nodes(), 11);
+        assert!(analysis::is_connected(&g));
+        assert!(!analysis::is_bipartite(&g));
+        assert_eq!(g.degree(0), 2, "s has two neighbours");
+        assert_eq!(g.degree(1), 7, "t has seven neighbours");
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let g = barabasi_albert(100, 3, 1).unwrap();
+        let h = shuffle_labels(&g, 99);
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        let mut gd = g.degrees();
+        let mut hd = h.degrees();
+        gd.sort_unstable();
+        hd.sort_unstable();
+        assert_eq!(gd, hd, "degree multiset preserved");
+    }
+}

@@ -1,0 +1,271 @@
+//! Immutable undirected graph in compressed sparse row (CSR) form.
+//!
+//! The representation mirrors what the paper's algorithms need:
+//!
+//! * O(1) degree lookup `d(v)` (Eq. 4, Eq. 6, Eq. 9, …),
+//! * O(1) uniform neighbour sampling for simple random walks,
+//! * cache-friendly sequential adjacency scans for the SMM sparse
+//!   matrix–vector multiplications (Algorithm 2),
+//! * constant-time edge-membership tests for the MC2/HAY edge-query
+//!   estimators (backed by per-node sorted adjacency and binary search).
+
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Node identifier. Nodes are always `0..n` after construction.
+pub type NodeId = usize;
+
+/// An immutable, undirected, unweighted graph in CSR form.
+///
+/// Parallel edges and self-loops are removed during construction by
+/// [`crate::GraphBuilder`]. Each undirected edge `{u, v}` is stored twice
+/// (once in `u`'s adjacency list and once in `v`'s), so
+/// [`Graph::num_directed_edges`] is `2 * m`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node sorted adjacency lists, length `2 * m`.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges `m`.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// This is the low-level constructor used by [`crate::GraphBuilder`]; the
+    /// invariants (sorted adjacency, symmetric edges, no self-loops) are the
+    /// builder's responsibility. Prefer the builder in application code.
+    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<NodeId>, num_edges: usize) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        Graph {
+            offsets,
+            neighbors,
+            num_edges,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of directed arcs stored, i.e. `2 * m`.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree `d(v)` of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Average degree `2m / n`.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_directed_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// The neighbours of `v` as a sorted slice.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Returns `true` if the undirected edge `{u, v}` exists.
+    ///
+    /// Runs in O(log d(u)) via binary search over the sorted adjacency list of
+    /// the lower-degree endpoint.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Samples a uniformly random neighbour of `v`, or `None` if `v` is isolated.
+    ///
+    /// This is the single step of the simple random walk used throughout the
+    /// paper: from `v`, move to each neighbour with probability `1 / d(v)`.
+    #[inline]
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, v: NodeId, rng: &mut R) -> Option<NodeId> {
+        let nbrs = self.neighbors(v);
+        if nbrs.is_empty() {
+            None
+        } else {
+            Some(nbrs[rng.gen_range(0..nbrs.len())])
+        }
+    }
+
+    /// Iterates over every undirected edge `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.num_nodes()
+    }
+
+    /// The stationary probability `π(v) = d(v) / 2m` of the simple random walk.
+    #[inline]
+    pub fn stationary(&self, v: NodeId) -> f64 {
+        self.degree(v) as f64 / self.num_directed_edges() as f64
+    }
+
+    /// Degrees of all nodes as a vector (convenience for the linear-algebra layer).
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes()).map(|v| self.degree(v)).collect()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Validates that a node id is within range.
+    pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: v,
+                n: self.num_nodes(),
+            })
+        }
+    }
+
+    /// Returns the CSR arrays `(offsets, neighbors)`; used by the
+    /// linear-algebra layer to construct the transition matrix without copying
+    /// the adjacency structure node by node.
+    pub fn csr(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> crate::Graph {
+        GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.average_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn degrees_and_neighbors_are_sorted() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 3)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(2, 3)
+            .build()
+            .unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.degrees(), vec![3, 1, 2, 2]);
+    }
+
+    #[test]
+    fn has_edge_symmetry() {
+        let g = triangle();
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(g.has_edge(u, v), u != v);
+                assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one() {
+        let g = GraphBuilder::new(5)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 0)
+            .add_edge(0, 2)
+            .build()
+            .unwrap();
+        let total: f64 = g.nodes().map(|v| g.stationary(v)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_neighbor_respects_adjacency() {
+        let g = triangle();
+        let mut rng = rand::thread_rng();
+        for _ in 0..100 {
+            let v = g.random_neighbor(0, &mut rng).unwrap();
+            assert!(g.neighbors(0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = triangle();
+        assert!(g.check_node(2).is_ok());
+        assert!(g.check_node(3).is_err());
+    }
+}

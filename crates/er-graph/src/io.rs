@@ -1,0 +1,151 @@
+//! SNAP-style edge-list input/output.
+//!
+//! The SNAP datasets used in the paper's evaluation are plain-text files with
+//! one whitespace-separated `u v` pair per line and `#`-prefixed comment
+//! lines. [`read_edge_list`] accepts that format (and arbitrary non-contiguous
+//! node ids, which are compacted to `0..n`), so the real datasets can be
+//! dropped into the benchmark harness unchanged.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads an undirected graph from a SNAP-style edge list.
+///
+/// * Lines starting with `#` or `%` are comments.
+/// * Blank lines are skipped.
+/// * Node ids may be arbitrary `u64`s; they are compacted to `0..n` in first-
+///   appearance order. The mapping is discarded (the estimators only need the
+///   structure); use [`read_edge_list_with_mapping`] to keep it.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    read_edge_list_with_mapping(path).map(|(g, _)| g)
+}
+
+/// Like [`read_edge_list`] but also returns `original id -> compact id`.
+pub fn read_edge_list_with_mapping(
+    path: impl AsRef<Path>,
+) -> Result<(Graph, HashMap<u64, usize>), GraphError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    parse_edge_list(reader)
+}
+
+/// Parses an edge list from any reader (exposed for tests and in-memory data).
+pub fn parse_edge_list<R: BufRead>(
+    reader: R,
+) -> Result<(Graph, HashMap<u64, usize>), GraphError> {
+    let mut mapping: HashMap<u64, usize> = HashMap::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("expected two node ids, got '{trimmed}'"),
+                })
+            }
+        };
+        let parse = |tok: &str| -> Result<u64, GraphError> {
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("'{tok}' is not a non-negative integer"),
+            })
+        };
+        let (a, b) = (parse(a)?, parse(b)?);
+        let next_id = mapping.len();
+        let ua = *mapping.entry(a).or_insert(next_id);
+        let next_id = mapping.len();
+        let ub = *mapping.entry(b).or_insert(next_id);
+        edges.push((ua, ub));
+    }
+    if mapping.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    let g = GraphBuilder::from_edges(mapping.len(), edges).build()?;
+    Ok((g, mapping))
+}
+
+/// Writes a graph as a SNAP-style edge list (one `u v` line per undirected
+/// edge, plus a comment header with the node/edge counts).
+pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let data = "# a comment\n0 1\n1 2\n\n2 0\n";
+        let (g, mapping) = parse_edge_list(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(mapping.len(), 3);
+    }
+
+    #[test]
+    fn parse_compacts_sparse_ids() {
+        let data = "1000 42\n42 7\n7 1000\n";
+        let (g, mapping) = parse_edge_list(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(mapping.contains_key(&1000));
+        assert!(mapping.contains_key(&42));
+        assert!(mapping.contains_key(&7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = parse_edge_list(Cursor::new("0 1\nfoo bar\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        let err = parse_edge_list(Cursor::new("0\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_empty_input() {
+        let err = parse_edge_list(Cursor::new("# only comments\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Empty));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = generators::barabasi_albert(200, 3, 17).unwrap();
+        let dir = std::env::temp_dir().join("er_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list(&g, &path).unwrap();
+        let h = read_edge_list(&path).unwrap();
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        let mut gd = g.degrees();
+        let mut hd = h.degrees();
+        gd.sort_unstable();
+        hd.sort_unstable();
+        assert_eq!(gd, hd);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,174 @@
+//! Query-set generation for the paper's evaluation workloads.
+//!
+//! Section 5.1: "For each dataset, we pick 100 node pairs uniformly at random
+//! as the random query set and randomly select 100 edges out of edge set E as
+//! the edge query set." These helpers reproduce exactly that, deterministically
+//! given a seed.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single `(s, t)` query pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryPair {
+    /// Source node `s`.
+    pub s: NodeId,
+    /// Target node `t`.
+    pub t: NodeId,
+}
+
+impl QueryPair {
+    /// Creates a query pair.
+    pub fn new(s: NodeId, t: NodeId) -> Self {
+        QueryPair { s, t }
+    }
+}
+
+/// A set of uniformly random node pairs (the paper's "random query set").
+#[derive(Clone, Debug)]
+pub struct NodePairQuerySet {
+    pairs: Vec<QueryPair>,
+}
+
+impl NodePairQuerySet {
+    /// Samples `count` node pairs uniformly at random (with `s != t`).
+    ///
+    /// Pairs may repeat across draws, matching uniform sampling with
+    /// replacement over the `n(n-1)` ordered pairs.
+    pub fn uniform(g: &Graph, count: usize, seed: u64) -> Self {
+        let n = g.num_nodes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity(count);
+        while pairs.len() < count {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            if s != t {
+                pairs.push(QueryPair::new(s, t));
+            }
+        }
+        NodePairQuerySet { pairs }
+    }
+
+    /// The query pairs.
+    pub fn pairs(&self) -> &[QueryPair] {
+        &self.pairs
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// A set of query pairs drawn uniformly from the edge set (the paper's
+/// "edge query set", used by MC2 and HAY).
+#[derive(Clone, Debug)]
+pub struct EdgeQuerySet {
+    pairs: Vec<QueryPair>,
+}
+
+impl EdgeQuerySet {
+    /// Samples `count` edges uniformly at random (with replacement) from `E`.
+    pub fn uniform(g: &Graph, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Sample a directed arc index uniformly from 0..2m and take the edge it
+        // belongs to; every undirected edge has exactly two arcs, so edges are
+        // uniform. Arc -> (u, v) is resolved by locating the owning node via
+        // binary search over the CSR offsets.
+        let (offsets, neighbors) = g.csr();
+        let arcs = neighbors.len();
+        let mut pairs = Vec::with_capacity(count);
+        while pairs.len() < count && arcs > 0 {
+            let a = rng.gen_range(0..arcs);
+            // owner u: largest u with offsets[u] <= a
+            let u = match offsets.binary_search(&a) {
+                Ok(mut i) => {
+                    // skip over zero-degree nodes that share the same offset
+                    while i + 1 < offsets.len() && offsets[i + 1] == a {
+                        i += 1;
+                    }
+                    i
+                }
+                Err(i) => i - 1,
+            };
+            let v = neighbors[a];
+            pairs.push(QueryPair::new(u, v));
+        }
+        EdgeQuerySet { pairs }
+    }
+
+    /// The query pairs. Every pair is guaranteed to be an edge of the graph.
+    pub fn pairs(&self) -> &[QueryPair] {
+        &self.pairs
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn node_pairs_are_distinct_endpoints_and_deterministic() {
+        let g = generators::barabasi_albert(300, 4, 9).unwrap();
+        let q1 = NodePairQuerySet::uniform(&g, 100, 7);
+        let q2 = NodePairQuerySet::uniform(&g, 100, 7);
+        assert_eq!(q1.len(), 100);
+        assert!(!q1.is_empty());
+        assert_eq!(q1.pairs(), q2.pairs(), "same seed gives same queries");
+        for p in q1.pairs() {
+            assert_ne!(p.s, p.t);
+            assert!(p.s < g.num_nodes() && p.t < g.num_nodes());
+        }
+        let q3 = NodePairQuerySet::uniform(&g, 100, 8);
+        assert_ne!(q1.pairs(), q3.pairs(), "different seed gives different queries");
+    }
+
+    #[test]
+    fn edge_queries_are_actual_edges() {
+        let g = generators::barabasi_albert(300, 4, 9).unwrap();
+        let q = EdgeQuerySet::uniform(&g, 100, 21);
+        assert_eq!(q.len(), 100);
+        for p in q.pairs() {
+            assert!(g.has_edge(p.s, p.t), "({}, {}) must be an edge", p.s, p.t);
+        }
+    }
+
+    #[test]
+    fn edge_queries_cover_different_edges() {
+        let g = generators::complete(30).unwrap();
+        let q = EdgeQuerySet::uniform(&g, 200, 5);
+        let distinct: std::collections::HashSet<_> = q
+            .pairs()
+            .iter()
+            .map(|p| if p.s < p.t { (p.s, p.t) } else { (p.t, p.s) })
+            .collect();
+        assert!(distinct.len() > 50, "sampling should touch many distinct edges");
+    }
+
+    #[test]
+    fn edge_queries_on_star_always_touch_hub() {
+        let g = generators::star(50).unwrap();
+        let q = EdgeQuerySet::uniform(&g, 64, 3);
+        for p in q.pairs() {
+            assert!(p.s == 0 || p.t == 0);
+            assert!(g.has_edge(p.s, p.t));
+        }
+    }
+}

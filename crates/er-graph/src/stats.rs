@@ -1,0 +1,136 @@
+//! Dataset statistics (Table 3 of the paper).
+
+use crate::analysis;
+use crate::graph::Graph;
+use std::fmt;
+
+/// Summary statistics of a graph, mirroring Table 3 ("Statistics of Datasets")
+/// plus a few structural diagnostics useful when validating synthetic
+/// substitutes against the originals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Number of undirected edges `m`.
+    pub num_edges: usize,
+    /// Average degree `2m / n`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Whether the graph is bipartite.
+    pub bipartite: bool,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        GraphStats {
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+            average_degree: g.average_degree(),
+            max_degree: g.max_degree(),
+            min_degree: g.min_degree(),
+            num_components: analysis::num_components(g),
+            bipartite: analysis::is_bipartite(g),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_deg={} min_deg={} components={} bipartite={}",
+            self.num_nodes,
+            self.num_edges,
+            self.average_degree,
+            self.max_degree,
+            self.min_degree,
+            self.num_components,
+            self.bipartite
+        )
+    }
+}
+
+/// Degree histogram: `hist[d]` is the number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Global clustering coefficient (transitivity): `3 * #triangles / #wedges`.
+///
+/// Used to sanity-check that the `social_network_like` generator produces
+/// clustering in the range observed in real social networks.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let mut triangles = 0usize;
+    let mut wedges = 0usize;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        wedges += d * d.saturating_sub(1) / 2;
+        let nbrs = g.neighbors(v);
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        // each triangle is counted once per corner, i.e. 3 times in `triangles`
+        triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = generators::complete(10).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 10);
+        assert_eq!(s.num_edges, 45);
+        assert!((s.average_degree - 9.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.min_degree, 9);
+        assert_eq!(s.num_components, 1);
+        assert!(!s.bipartite);
+        assert!(s.to_string().contains("n=10"));
+    }
+
+    #[test]
+    fn degree_histogram_on_star() {
+        let g = generators::star(6).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 5);
+        assert_eq!(hist[5], 1);
+        assert_eq!(hist.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn clustering_coefficient_extremes() {
+        // complete graph: every wedge closes -> coefficient 1
+        let k = generators::complete(6).unwrap();
+        assert!((global_clustering_coefficient(&k) - 1.0).abs() < 1e-12);
+        // star: no triangles -> 0
+        let s = generators::star(6).unwrap();
+        assert_eq!(global_clustering_coefficient(&s), 0.0);
+        // social-network-like graphs should land strictly in between
+        let g = generators::social_network_like(500, 10.0, 3).unwrap();
+        let c = global_clustering_coefficient(&g);
+        assert!(c > 0.0 && c < 1.0, "clustering {c}");
+    }
+}

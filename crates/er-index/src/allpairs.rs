@@ -1,0 +1,192 @@
+//! All-pairs effective resistance for small graphs.
+//!
+//! The paper explicitly rules out materialising all `O(n²)` pairwise values on
+//! large graphs — that is the whole point of per-pair queries — but small
+//! graphs (up to a few thousand nodes) are exactly where downstream analyses
+//! such as sparsifier construction, clustering validation and Kirchhoff-index
+//! studies want the full matrix. [`AllPairsResistance`] computes it from the
+//! dense pseudo-inverse and exposes the classic whole-graph summaries
+//! (Foster's theorem check, Kirchhoff index, resistance diameter, extreme
+//! pairs).
+
+use crate::error::IndexError;
+use er_graph::{analysis, Graph, NodeId};
+use er_linalg::DenseMatrix;
+
+/// Dense matrix of all pairwise effective resistances.
+pub struct AllPairsResistance {
+    n: usize,
+    /// Row-major `n × n` resistance values.
+    values: Vec<f64>,
+}
+
+impl AllPairsResistance {
+    /// Default node cap: beyond this the dense computation is refused.
+    pub const DEFAULT_NODE_CAP: usize = 2_000;
+
+    /// Computes the full resistance matrix (default node cap).
+    pub fn compute(graph: &Graph) -> Result<Self, IndexError> {
+        Self::compute_with_cap(graph, Self::DEFAULT_NODE_CAP)
+    }
+
+    /// Computes the full resistance matrix, refusing graphs with more than
+    /// `node_cap` nodes (the `O(n³)` eigendecomposition and `O(n²)` storage
+    /// mirror the paper's argument for why all-pairs materialisation does not
+    /// scale).
+    pub fn compute_with_cap(graph: &Graph, node_cap: usize) -> Result<Self, IndexError> {
+        analysis::validate_ergodic(graph)?;
+        let n = graph.num_nodes();
+        if n > node_cap {
+            return Err(IndexError::BudgetExceeded {
+                resource: "memory",
+                message: format!("all-pairs ER needs an {n}×{n} dense matrix; cap is {node_cap}"),
+            });
+        }
+        let pinv = DenseMatrix::laplacian(graph).pseudo_inverse(1e-9);
+        let mut values = vec![0.0; n * n];
+        for s in 0..n {
+            for t in (s + 1)..n {
+                let r = (pinv.get(s, s) + pinv.get(t, t) - 2.0 * pinv.get(s, t)).max(0.0);
+                values[s * n + t] = r;
+                values[t * n + s] = r;
+            }
+        }
+        Ok(AllPairsResistance { n, values })
+    }
+
+    /// Number of nodes covered by the matrix.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// `r(s, t)` (0 on the diagonal).
+    pub fn get(&self, s: NodeId, t: NodeId) -> f64 {
+        self.values[s * self.n + t]
+    }
+
+    /// Sum of `r(u, v)` over the edges of `graph`. Foster's theorem states
+    /// this equals exactly `n − 1` for any connected graph — a strong
+    /// whole-matrix correctness check.
+    pub fn foster_sum(&self, graph: &Graph) -> f64 {
+        graph.edges().map(|(u, v)| self.get(u, v)).sum()
+    }
+
+    /// The Kirchhoff index `Σ_{s<t} r(s, t)`.
+    pub fn kirchhoff_index(&self) -> f64 {
+        let mut total = 0.0;
+        for s in 0..self.n {
+            for t in (s + 1)..self.n {
+                total += self.get(s, t);
+            }
+        }
+        total
+    }
+
+    /// The largest resistance over all pairs ("resistance diameter") and a
+    /// pair attaining it.
+    pub fn resistance_diameter(&self) -> (f64, (NodeId, NodeId)) {
+        let mut best = (0.0, (0, 0));
+        for s in 0..self.n {
+            for t in (s + 1)..self.n {
+                let r = self.get(s, t);
+                if r > best.0 {
+                    best = (r, (s, t));
+                }
+            }
+        }
+        best
+    }
+
+    /// The `k` most dissimilar (highest-resistance) pairs, sorted descending.
+    pub fn top_pairs(&self, k: usize) -> Vec<(NodeId, NodeId, f64)> {
+        let mut pairs: Vec<(NodeId, NodeId, f64)> = (0..self.n)
+            .flat_map(|s| ((s + 1)..self.n).map(move |t| (s, t)))
+            .map(|(s, t)| (s, t, self.get(s, t)))
+            .collect();
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Average resistance over all distinct pairs.
+    pub fn mean_resistance(&self) -> f64 {
+        let pairs = (self.n * (self.n - 1) / 2) as f64;
+        if pairs == 0.0 {
+            0.0
+        } else {
+            self.kirchhoff_index() / pairs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    #[test]
+    fn foster_theorem_holds() {
+        for (name, g) in [
+            ("complete", generators::complete(12).unwrap()),
+            ("lollipop", generators::lollipop(6, 4).unwrap()),
+            ("social", generators::social_network_like(80, 6.0, 2).unwrap()),
+        ] {
+            let apr = AllPairsResistance::compute(&g).unwrap();
+            let foster = apr.foster_sum(&g);
+            let expected = g.num_nodes() as f64 - 1.0;
+            assert!(
+                (foster - expected).abs() < 1e-6,
+                "{name}: Foster sum {foster} vs n-1 = {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_matrix_is_uniform() {
+        let n = 10;
+        let g = generators::complete(n).unwrap();
+        let apr = AllPairsResistance::compute(&g).unwrap();
+        for s in 0..n {
+            assert_eq!(apr.get(s, s), 0.0);
+            for t in 0..n {
+                if s != t {
+                    assert!((apr.get(s, t) - 2.0 / n as f64).abs() < 1e-9);
+                }
+            }
+        }
+        assert!((apr.mean_resistance() - 2.0 / n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_of_lollipop_is_between_tail_tip_and_clique() {
+        let g = generators::lollipop(6, 6).unwrap();
+        let apr = AllPairsResistance::compute(&g).unwrap();
+        let (diameter, (s, t)) = apr.resistance_diameter();
+        // The farthest pair must involve the tail tip (last node).
+        assert!(s == g.num_nodes() - 1 || t == g.num_nodes() - 1);
+        assert!(diameter >= 6.0, "tail alone contributes 6 ohms");
+        let top = apr.top_pairs(3);
+        assert_eq!(top.len(), 3);
+        assert!((top[0].2 - diameter).abs() < 1e-12);
+        assert!(top[0].2 >= top[1].2 && top[1].2 >= top[2].2);
+    }
+
+    #[test]
+    fn node_cap_is_enforced() {
+        let g = generators::complete(50).unwrap();
+        assert!(AllPairsResistance::compute_with_cap(&g, 10).is_err());
+        assert!(AllPairsResistance::compute_with_cap(&g, 50).is_ok());
+    }
+
+    #[test]
+    fn kirchhoff_matches_single_source_index() {
+        let g = generators::barabasi_albert(90, 3, 8).unwrap();
+        let apr = AllPairsResistance::compute(&g).unwrap();
+        let index = crate::ErIndex::build(&g).unwrap();
+        assert!(
+            (apr.kirchhoff_index() - index.kirchhoff_index()).abs()
+                / apr.kirchhoff_index()
+                < 1e-6
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Batched query execution over any [`ResistanceEstimator`].
+//!
+//! The benchmark workloads of the paper (Section 5.1) and most applications
+//! issue queries in batches: 100 random pairs, every candidate of one user,
+//! every edge of a subgraph. [`BatchExecutor`] wraps an arbitrary estimator
+//! with the [`QueryCache`], deduplicates symmetric repeats inside and across
+//! batches, short-circuits self-pairs, and reports how much work the cache
+//! saved.
+
+use crate::cache::QueryCache;
+use er_core::{EstimatorError, ResistanceEstimator};
+use er_graph::NodeId;
+
+/// Summary of one executed batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// Estimated resistance per input pair, in input order.
+    pub values: Vec<f64>,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Queries that had to run the estimator.
+    pub estimator_calls: u64,
+    /// Self-pairs answered as 0 without touching estimator or cache.
+    pub trivial_queries: u64,
+}
+
+impl BatchReport {
+    /// Fraction of non-trivial queries served from the cache.
+    pub fn savings(&self) -> f64 {
+        let total = self.cache_hits + self.estimator_calls;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Executes batches of pairwise queries through a shared cache.
+#[derive(Debug)]
+pub struct BatchExecutor {
+    cache: QueryCache,
+}
+
+impl BatchExecutor {
+    /// Creates an executor whose cache holds `cache_capacity` pairs.
+    pub fn new(cache_capacity: usize) -> Self {
+        BatchExecutor {
+            cache: QueryCache::new(cache_capacity),
+        }
+    }
+
+    /// Read access to the underlying cache (for statistics).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Runs every pair through `estimator`, serving repeats from the cache.
+    ///
+    /// Stops at the first estimator error (cache contents from already
+    /// answered queries are kept, so a retry after fixing the problem does not
+    /// repeat work).
+    pub fn run<E: ResistanceEstimator>(
+        &mut self,
+        estimator: &mut E,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<BatchReport, EstimatorError> {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut cache_hits = 0;
+        let mut estimator_calls = 0;
+        let mut trivial_queries = 0;
+        for &(s, t) in pairs {
+            if s == t {
+                trivial_queries += 1;
+                values.push(0.0);
+                continue;
+            }
+            if let Some(v) = self.cache.get(s, t) {
+                cache_hits += 1;
+                values.push(v);
+                continue;
+            }
+            let estimate = estimator.estimate(s, t)?;
+            estimator_calls += 1;
+            self.cache.insert(s, t, estimate.value);
+            values.push(estimate.value);
+        }
+        Ok(BatchReport {
+            values,
+            cache_hits,
+            estimator_calls,
+            trivial_queries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{Estimate, EstimatorError};
+
+    /// Test double that returns `base + s + t` and counts invocations.
+    struct Counting {
+        calls: u64,
+    }
+
+    impl ResistanceEstimator for Counting {
+        fn name(&self) -> &'static str {
+            "COUNTING"
+        }
+        fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError> {
+            self.calls += 1;
+            if s >= 1000 || t >= 1000 {
+                return Err(EstimatorError::InvalidParameter {
+                    name: "node",
+                    message: "out of range in test double".into(),
+                });
+            }
+            Ok(Estimate::with_value((s + t) as f64 / 100.0))
+        }
+    }
+
+    #[test]
+    fn repeats_and_symmetric_pairs_hit_the_cache() {
+        let mut executor = BatchExecutor::new(16);
+        let mut estimator = Counting { calls: 0 };
+        let pairs = [(1, 2), (2, 1), (1, 2), (3, 4), (4, 4)];
+        let report = executor.run(&mut estimator, &pairs).unwrap();
+        assert_eq!(report.values.len(), 5);
+        assert_eq!(report.estimator_calls, 2, "only (1,2) and (3,4) run");
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(report.trivial_queries, 1);
+        assert_eq!(estimator.calls, 2);
+        assert_eq!(report.values[0], report.values[1]);
+        assert_eq!(report.values[4], 0.0);
+        assert!((report.savings() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let mut executor = BatchExecutor::new(16);
+        let mut estimator = Counting { calls: 0 };
+        executor.run(&mut estimator, &[(5, 6), (7, 8)]).unwrap();
+        let second = executor.run(&mut estimator, &[(6, 5), (9, 10)]).unwrap();
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.estimator_calls, 1);
+        assert_eq!(estimator.calls, 3);
+    }
+
+    #[test]
+    fn errors_propagate_but_answered_queries_stay_cached() {
+        let mut executor = BatchExecutor::new(16);
+        let mut estimator = Counting { calls: 0 };
+        let result = executor.run(&mut estimator, &[(1, 2), (5000, 1), (3, 4)]);
+        assert!(result.is_err());
+        // (1, 2) was answered before the failure and is cached now.
+        let retry = executor.run(&mut estimator, &[(1, 2)]).unwrap();
+        assert_eq!(retry.cache_hits, 1);
+        assert_eq!(retry.estimator_calls, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut executor = BatchExecutor::new(4);
+        let mut estimator = Counting { calls: 0 };
+        let report = executor.run(&mut estimator, &[]).unwrap();
+        assert!(report.values.is_empty());
+        assert_eq!(report.savings(), 0.0);
+    }
+}

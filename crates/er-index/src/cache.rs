@@ -1,0 +1,169 @@
+//! Bounded memoisation of answered queries.
+//!
+//! Real query workloads repeat pairs (recommendation candidates overlap,
+//! robustness analyses re-rank the same edges); a small bounded cache in front
+//! of any estimator removes that redundant work. Effective resistance is
+//! symmetric, so the cache normalises `(s, t)` to `(min, max)` and serves both
+//! orientations from one entry.
+
+use er_graph::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded FIFO cache of answered pairwise queries.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    values: HashMap<(NodeId, NodeId), f64>,
+    insertion_order: VecDeque<(NodeId, NodeId)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity: capacity.max(1),
+            values: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn key(s: NodeId, t: NodeId) -> (NodeId, NodeId) {
+        if s <= t {
+            (s, t)
+        } else {
+            (t, s)
+        }
+    }
+
+    /// Looks up a pair, counting a hit or miss.
+    pub fn get(&mut self, s: NodeId, t: NodeId) -> Option<f64> {
+        match self.values.get(&Self::key(s, t)).copied() {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) the value for a pair, evicting the oldest
+    /// entry when full.
+    pub fn insert(&mut self, s: NodeId, t: NodeId, value: f64) {
+        let key = Self::key(s, t);
+        if self.values.insert(key, value).is_none() {
+            self.insertion_order.push_back(key);
+            if self.values.len() > self.capacity {
+                if let Some(oldest) = self.insertion_order.pop_front() {
+                    self.values.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Configured maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all lookups so far (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drops all entries (statistics are kept).
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.insertion_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_pairs_share_one_entry() {
+        let mut cache = QueryCache::new(8);
+        cache.insert(3, 7, 0.5);
+        assert_eq!(cache.get(7, 3), Some(0.5));
+        assert_eq!(cache.get(3, 7), Some(0.5));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_respects_capacity() {
+        let mut cache = QueryCache::new(2);
+        cache.insert(0, 1, 0.1);
+        cache.insert(0, 2, 0.2);
+        cache.insert(0, 3, 0.3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(0, 1), None, "oldest entry evicted");
+        assert_eq!(cache.get(0, 2), Some(0.2));
+        assert_eq!(cache.get(0, 3), Some(0.3));
+    }
+
+    #[test]
+    fn overwriting_does_not_grow_the_cache() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(1, 2, 0.5);
+        cache.insert(2, 1, 0.75);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1, 2), Some(0.75));
+    }
+
+    #[test]
+    fn statistics_and_clear() {
+        let mut cache = QueryCache::new(4);
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert!(cache.is_empty());
+        cache.insert(0, 1, 1.0);
+        cache.get(0, 1);
+        cache.get(5, 6);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 4);
+        assert_eq!(cache.hits(), 1, "statistics survive clear");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let cache = QueryCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Effective resistance on an evolving graph.
+//!
+//! The paper's estimators assume a static graph plus a one-off spectral
+//! preprocessing step (λ = max{|λ₂|, |λₙ|}). Applications such as anomaly
+//! detection on time-evolving graphs (cited in the paper's introduction via
+//! [64]) instead interleave edge insertions/deletions with queries.
+//! [`DynamicEr`] keeps an editable edge set and rebuilds the CSR snapshot and
+//! its spectral preprocessing *lazily*: mutations are O(log m) set updates,
+//! and the first query after a burst of mutations pays the rebuild once.
+
+use crate::error::IndexError;
+use er_core::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use er_graph::{Graph, GraphBuilder, NodeId};
+use er_linalg::{spectral_bounds, LaplacianSolver};
+use std::collections::BTreeSet;
+
+/// An editable graph with lazily refreshed effective-resistance estimation.
+pub struct DynamicEr {
+    num_nodes: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+    config: ApproxConfig,
+    lanczos_iterations: usize,
+    /// Cached snapshot (graph + λ), invalidated by mutations.
+    snapshot: Option<(Graph, f64)>,
+    version: u64,
+    rebuilds: u64,
+}
+
+impl DynamicEr {
+    /// Creates a dynamic graph from an initial edge list.
+    pub fn new(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+        config: ApproxConfig,
+    ) -> Self {
+        let normalized = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        DynamicEr {
+            num_nodes,
+            edges: normalized,
+            config,
+            lanczos_iterations: 120,
+            snapshot: None,
+            version: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Creates a dynamic graph seeded from an existing static graph.
+    pub fn from_graph(graph: &Graph, config: ApproxConfig) -> Self {
+        Self::new(graph.num_nodes(), graph.edges(), config)
+    }
+
+    /// Number of nodes (fixed for the lifetime of the structure).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Monotone counter bumped by every successful mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many times the snapshot (graph + λ) has been rebuilt.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Whether the undirected edge `{u, v}` is currently present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&Self::key(u, v))
+    }
+
+    fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), IndexError> {
+        if v < self.num_nodes {
+            Ok(())
+        } else {
+            Err(IndexError::Graph(er_graph::GraphError::NodeOutOfRange {
+                node: v,
+                n: self.num_nodes,
+            }))
+        }
+    }
+
+    /// Inserts the undirected edge `{u, v}`. Returns `true` if the edge was
+    /// not already present (self-loops are rejected with `false`).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, IndexError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Ok(false);
+        }
+        let inserted = self.edges.insert(Self::key(u, v));
+        if inserted {
+            self.version += 1;
+            self.snapshot = None;
+        }
+        Ok(inserted)
+    }
+
+    /// Removes the undirected edge `{u, v}`. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, IndexError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let removed = self.edges.remove(&Self::key(u, v));
+        if removed {
+            self.version += 1;
+            self.snapshot = None;
+        }
+        Ok(removed)
+    }
+
+    fn ensure_snapshot(&mut self) -> Result<(), IndexError> {
+        if self.snapshot.is_none() {
+            let graph = GraphBuilder::from_edges(self.num_nodes, self.edges.iter().copied())
+                .build()?;
+            er_graph::analysis::validate_ergodic(&graph)?;
+            let (l2, ln) = spectral_bounds(&graph, self.lanczos_iterations, 0xd1a);
+            let lambda = l2.abs().max(ln.abs()).clamp(1e-9, 1.0 - 1e-9);
+            self.snapshot = Some((graph, lambda));
+            self.rebuilds += 1;
+        }
+        Ok(())
+    }
+
+    /// The current graph snapshot (rebuilding it if needed).
+    pub fn graph(&mut self) -> Result<&Graph, IndexError> {
+        self.ensure_snapshot()?;
+        Ok(&self.snapshot.as_ref().expect("just ensured").0)
+    }
+
+    /// Answers an ε-approximate PER query on the current graph with GEER,
+    /// reusing the cached spectral preprocessing when no mutation happened
+    /// since the last query.
+    pub fn resistance(&mut self, s: NodeId, t: NodeId) -> Result<f64, IndexError> {
+        self.check_node(s)?;
+        self.check_node(t)?;
+        self.ensure_snapshot()?;
+        let (graph, lambda) = self.snapshot.as_ref().expect("just ensured");
+        let context = GraphContext::with_lambda(graph, *lambda)?;
+        let mut geer = Geer::new(&context, self.config);
+        Ok(geer.estimate(s, t)?.value)
+    }
+
+    /// Exact resistance on the current graph (CG solve), for callers that
+    /// want ground truth after a mutation burst.
+    pub fn resistance_exact(&mut self, s: NodeId, t: NodeId) -> Result<f64, IndexError> {
+        self.check_node(s)?;
+        self.check_node(t)?;
+        self.ensure_snapshot()?;
+        let (graph, _) = self.snapshot.as_ref().expect("just ensured");
+        Ok(LaplacianSolver::for_ground_truth(graph).effective_resistance(s, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    fn base_config() -> ApproxConfig {
+        ApproxConfig {
+            epsilon: 0.05,
+            ..ApproxConfig::default()
+        }
+    }
+
+    #[test]
+    fn inserting_edges_never_increases_resistance() {
+        // Rayleigh monotonicity: adding an edge can only decrease r(s, t).
+        let g = generators::social_network_like(200, 6.0, 1).unwrap();
+        let mut dynamic = DynamicEr::from_graph(&g, base_config());
+        let before = dynamic.resistance_exact(3, 150).unwrap();
+        assert!(dynamic.insert_edge(3, 150).unwrap());
+        let after = dynamic.resistance_exact(3, 150).unwrap();
+        assert!(after < before, "adding the direct edge must lower r: {after} vs {before}");
+        assert!(after <= 1.0 + 1e-9, "edge endpoints have r <= 1");
+    }
+
+    #[test]
+    fn removing_edges_never_decreases_resistance() {
+        let g = generators::complete(20).unwrap();
+        let mut dynamic = DynamicEr::from_graph(&g, base_config());
+        let before = dynamic.resistance_exact(0, 1).unwrap();
+        assert!(dynamic.remove_edge(0, 1).unwrap());
+        let after = dynamic.resistance_exact(0, 1).unwrap();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn approximate_queries_track_exact_values_across_mutations() {
+        let g = generators::social_network_like(300, 10.0, 7).unwrap();
+        let mut dynamic = DynamicEr::from_graph(&g, base_config());
+        let approx = dynamic.resistance(5, 200).unwrap();
+        let exact = dynamic.resistance_exact(5, 200).unwrap();
+        assert!((approx - exact).abs() <= base_config().epsilon);
+        dynamic.insert_edge(5, 200).unwrap();
+        dynamic.insert_edge(5, 201).unwrap();
+        let approx = dynamic.resistance(5, 200).unwrap();
+        let exact = dynamic.resistance_exact(5, 200).unwrap();
+        assert!((approx - exact).abs() <= base_config().epsilon);
+    }
+
+    #[test]
+    fn snapshot_is_rebuilt_lazily() {
+        let g = generators::complete(30).unwrap();
+        let mut dynamic = DynamicEr::from_graph(&g, base_config());
+        assert_eq!(dynamic.rebuilds(), 0);
+        dynamic.resistance(0, 5).unwrap();
+        assert_eq!(dynamic.rebuilds(), 1);
+        dynamic.resistance(1, 6).unwrap();
+        assert_eq!(dynamic.rebuilds(), 1, "no mutation, no rebuild");
+        dynamic.insert_edge(0, 1).unwrap_or(false);
+        dynamic.remove_edge(2, 3).unwrap();
+        dynamic.remove_edge(4, 5).unwrap();
+        assert_eq!(dynamic.rebuilds(), 1, "mutations alone do not rebuild");
+        dynamic.resistance(0, 5).unwrap();
+        assert_eq!(dynamic.rebuilds(), 2, "one rebuild for the whole burst");
+    }
+
+    #[test]
+    fn mutation_bookkeeping_and_validation() {
+        let mut dynamic = DynamicEr::new(5, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)], base_config());
+        assert_eq!(dynamic.num_edges(), 6);
+        assert!(dynamic.has_edge(1, 0));
+        assert!(!dynamic.insert_edge(0, 1).unwrap(), "already present");
+        assert!(!dynamic.insert_edge(3, 3).unwrap(), "self-loop rejected");
+        assert!(!dynamic.remove_edge(0, 4).unwrap(), "absent edge");
+        assert!(dynamic.insert_edge(0, 9).is_err(), "out of range");
+        let v = dynamic.version();
+        assert!(dynamic.insert_edge(0, 3).unwrap());
+        assert_eq!(dynamic.version(), v + 1);
+    }
+
+    #[test]
+    fn disconnecting_the_graph_is_reported() {
+        let mut dynamic = DynamicEr::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)], base_config());
+        assert!(dynamic.resistance(0, 3).is_ok());
+        dynamic.remove_edge(2, 3).unwrap();
+        assert!(matches!(dynamic.resistance(0, 3), Err(IndexError::Graph(_))));
+    }
+}

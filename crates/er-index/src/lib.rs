@@ -1,0 +1,41 @@
+//! Indexing and workload layer on top of pairwise effective-resistance
+//! estimation.
+//!
+//! The paper's estimators ([`er_core::Geer`], [`er_core::Amc`]) answer one
+//! ε-approximate pair query at a time with no preprocessing beyond the
+//! spectral bound λ. Real workloads wrap that primitive in recurring access
+//! patterns, which this crate provides:
+//!
+//! * [`ErIndex`] — single-source / exact pairwise resistance from Laplacian
+//!   pseudo-inverse columns plus a pre-computed diagonal
+//!   ([`DiagonalStrategy`]), including Kirchhoff index and nearest-neighbour
+//!   search.
+//! * [`AllPairsResistance`] — the full resistance matrix for small graphs,
+//!   with Foster's-theorem and resistance-diameter summaries.
+//! * [`LandmarkIndex`] — O(k)-per-query lower/upper bounds from `k` landmark
+//!   columns, exploiting that `√r` is a metric.
+//! * [`QueryCache`] / [`BatchExecutor`] — memoisation and batched execution
+//!   over any [`er_core::ResistanceEstimator`].
+//! * [`DynamicEr`] — an editable graph with lazily refreshed spectral
+//!   preprocessing for insert/delete/query workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allpairs;
+pub mod batch;
+pub mod cache;
+pub mod diagonal;
+pub mod dynamic;
+pub mod error;
+pub mod landmark;
+pub mod single_source;
+
+pub use allpairs::AllPairsResistance;
+pub use batch::{BatchExecutor, BatchReport};
+pub use cache::QueryCache;
+pub use diagonal::{pseudo_inverse_diagonal, DiagonalStrategy};
+pub use dynamic::DynamicEr;
+pub use error::IndexError;
+pub use landmark::{LandmarkBounds, LandmarkIndex, LandmarkSelection};
+pub use single_source::ErIndex;

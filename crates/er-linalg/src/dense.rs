@@ -1,0 +1,336 @@
+//! Small dense matrices, symmetric eigendecomposition and the Moore–Penrose
+//! pseudo-inverse.
+//!
+//! The EXACT baseline of the paper (Definition 2.1) computes
+//! `r(s, t) = (e_s − e_t) L† (e_s − e_t)ᵀ` from the pseudo-inverse of the
+//! Laplacian. Materialising `L†` needs O(n²) memory and O(n³) time, which is
+//! exactly why the paper reports EXACT running out of memory beyond the
+//! smallest dataset — the harness reproduces that behaviour by capping the
+//! size this module accepts. The eigendecomposition uses the cyclic Jacobi
+//! method: slower than LAPACK but dependency-free, simple to verify and
+//! perfectly adequate for n ≤ a few thousand.
+
+use er_graph::Graph;
+use std::fmt;
+
+/// A dense, row-major `n × n` matrix.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix({}x{})", self.n, self.n)?;
+        for i in 0..self.n.min(8) {
+            for j in 0..self.n.min(8) {
+                write!(f, "{:9.4} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl DenseMatrix {
+    /// The `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// The dense combinatorial Laplacian `D − A` of a graph.
+    pub fn laplacian(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut m = DenseMatrix::zeros(n);
+        for v in g.nodes() {
+            m.set(v, v, g.degree(v) as f64);
+            for &u in g.neighbors(v) {
+                m.set(v, u, -1.0);
+            }
+        }
+        m
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        self.data[i * self.n + j] = value;
+    }
+
+    /// Matrix–vector product.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum())
+            .collect()
+    }
+
+    /// Matrix–matrix product `self * other`.
+    pub fn mat_mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += aik * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute off-diagonal entry (Jacobi convergence criterion).
+    fn max_off_diagonal(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    best = best.max(self.get(i, j).abs());
+                }
+            }
+        }
+        best
+    }
+
+    /// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` where column `k` of the returned
+    /// matrix is the eigenvector for `eigenvalues[k]`. Eigenvalues are sorted
+    /// in descending order. The input must be symmetric (checked loosely in
+    /// debug builds).
+    pub fn symmetric_eigen(&self) -> (Vec<f64>, DenseMatrix) {
+        let n = self.n;
+        let mut a = self.clone();
+        let mut v = DenseMatrix::identity(n);
+        let max_sweeps = 100;
+        let tol = 1e-12;
+        for _ in 0..max_sweeps {
+            if a.max_off_diagonal() < tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply the rotation J(p, q, θ) on both sides of A and
+                    // accumulate it into V.
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, c * apk - s * aqk);
+                        a.set(q, k, s * apk + c * aqk);
+                    }
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|k| (a.get(k, k), k)).collect();
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        let eigenvalues: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+        let mut vectors = DenseMatrix::zeros(n);
+        for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+            for row in 0..n {
+                vectors.set(row, new_col, v.get(row, old_col));
+            }
+        }
+        (eigenvalues, vectors)
+    }
+
+    /// Moore–Penrose pseudo-inverse of a symmetric matrix, computed from the
+    /// eigendecomposition by inverting every eigenvalue above `tol` and
+    /// zeroing the rest.
+    pub fn pseudo_inverse(&self, tol: f64) -> DenseMatrix {
+        let n = self.n;
+        let (vals, vecs) = self.symmetric_eigen();
+        let mut out = DenseMatrix::zeros(n);
+        for k in 0..n {
+            if vals[k].abs() <= tol {
+                continue;
+            }
+            let inv = 1.0 / vals[k];
+            for i in 0..n {
+                let vik = vecs.get(i, k);
+                if vik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += inv * vik * vecs.get(j, k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius-norm distance to another matrix (testing helper).
+    pub fn frobenius_distance(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    #[test]
+    fn identity_and_matvec() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.mat_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(i.dim(), 3);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let mut a = DenseMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 3.0);
+        a.set(1, 1, 4.0);
+        let at = a.transpose();
+        assert_eq!(at.get(0, 1), 3.0);
+        let aa = a.mat_mul(&at);
+        // [1 2; 3 4] * [1 3; 2 4] = [5 11; 11 25]
+        assert_eq!(aa.get(0, 0), 5.0);
+        assert_eq!(aa.get(0, 1), 11.0);
+        assert_eq!(aa.get(1, 1), 25.0);
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_of_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 2.0);
+        let (vals, vecs) = m.symmetric_eigen();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector check: M v = lambda v
+        for k in 0..2 {
+            let v: Vec<f64> = (0..2).map(|i| vecs.get(i, k)).collect();
+            let mv = m.mat_vec(&v);
+            for i in 0..2 {
+                assert!((mv[i] - vals[k] * v[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_eigenvalues_of_complete_graph() {
+        // L of K_n has eigenvalues {0, n, n, ..., n}.
+        let g = generators::complete(5).unwrap();
+        let l = DenseMatrix::laplacian(&g);
+        let (vals, _) = l.symmetric_eigen();
+        assert!((vals[0] - 5.0).abs() < 1e-9);
+        assert!((vals[3] - 5.0).abs() < 1e-9);
+        assert!(vals[4].abs() < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_inverse_satisfies_penrose_identity() {
+        let g = generators::social_network_like(30, 6.0, 3).unwrap();
+        let l = DenseMatrix::laplacian(&g);
+        let pinv = l.pseudo_inverse(1e-9);
+        // L L+ L == L
+        let recon = l.mat_mul(&pinv).mat_mul(&l);
+        assert!(recon.frobenius_distance(&l) < 1e-6);
+        // L+ L L+ == L+
+        let recon2 = pinv.mat_mul(&l).mat_mul(&pinv);
+        assert!(recon2.frobenius_distance(&pinv) < 1e-6);
+    }
+
+    #[test]
+    fn exact_er_on_path_via_pseudo_inverse() {
+        // On the path graph r(s, t) = |s - t| exactly.
+        let g = generators::path(6).unwrap();
+        let pinv = DenseMatrix::laplacian(&g).pseudo_inverse(1e-9);
+        let n = g.num_nodes();
+        for s in 0..n {
+            for t in 0..n {
+                let mut x = vec![0.0; n];
+                x[s] += 1.0;
+                x[t] -= 1.0;
+                let y = pinv.mat_vec(&x);
+                let r: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+                let expected = (s as f64 - t as f64).abs();
+                assert!(
+                    (r - expected).abs() < 1e-8,
+                    "r({s},{t}) = {r}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn debug_format_does_not_panic() {
+        let m = DenseMatrix::identity(3);
+        let s = format!("{m:?}");
+        assert!(s.contains("DenseMatrix(3x3)"));
+    }
+}

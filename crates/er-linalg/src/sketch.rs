@@ -1,0 +1,163 @@
+//! Spielman–Srivastava random-projection sketch for effective resistance.
+//!
+//! The RP baseline of the paper [62] preprocesses the graph into a
+//! `k × n` matrix `Z ≈ Q W^{1/2} B L†` with `k = ⌈c·ln n / ε²⌉` rows, where
+//! `B` is the edge–node incidence matrix, `W` the (identity) edge-weight
+//! matrix and `Q` a random ±1/√k matrix. Afterwards every pairwise query is
+//! answered in O(k) time as `‖Z(e_s − e_t)‖²`.
+//!
+//! Building the sketch requires `k` Laplacian solves (here: CG from
+//! [`crate::solver`]) and `k·n` floats of memory — which is exactly why the
+//! paper reports RP going out of memory on the larger datasets; the
+//! [`ResistanceSketch::build_with_limit`] constructor reproduces that failure
+//! mode by refusing to allocate past a configurable budget.
+
+use crate::solver::LaplacianSolver;
+use er_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error raised when the sketch would exceed its memory budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SketchMemoryExceeded {
+    /// Rows the sketch would need.
+    pub rows_needed: usize,
+    /// Entry budget (rows × n) that was exceeded.
+    pub entry_budget: usize,
+}
+
+impl std::fmt::Display for SketchMemoryExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "random-projection sketch needs {} rows, exceeding the entry budget {}",
+            self.rows_needed, self.entry_budget
+        )
+    }
+}
+
+impl std::error::Error for SketchMemoryExceeded {}
+
+/// A built random-projection sketch: `rows` vectors of length `n`.
+#[derive(Clone, Debug)]
+pub struct ResistanceSketch {
+    rows: Vec<Vec<f64>>,
+}
+
+impl ResistanceSketch {
+    /// Number of projection rows `k`.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Builds a sketch with `k = ⌈scale · ln n / ε²⌉` rows.
+    ///
+    /// The classic analysis uses `scale = 24`; the paper's experiments use the
+    /// same constant. Each row is one Laplacian solve.
+    pub fn build(graph: &Graph, epsilon: f64, scale: f64, seed: u64) -> Self {
+        let k = Self::rows_for(graph, epsilon, scale);
+        Self::build_rows(graph, k, seed)
+    }
+
+    /// Same as [`build`](Self::build) but fails (like the paper's
+    /// out-of-memory runs) if `k·n` would exceed `entry_budget` floats.
+    pub fn build_with_limit(
+        graph: &Graph,
+        epsilon: f64,
+        scale: f64,
+        seed: u64,
+        entry_budget: usize,
+    ) -> Result<Self, SketchMemoryExceeded> {
+        let k = Self::rows_for(graph, epsilon, scale);
+        if k.saturating_mul(graph.num_nodes()) > entry_budget {
+            return Err(SketchMemoryExceeded {
+                rows_needed: k,
+                entry_budget,
+            });
+        }
+        Ok(Self::build_rows(graph, k, seed))
+    }
+
+    /// Number of rows required for a given `epsilon` and `scale`.
+    pub fn rows_for(graph: &Graph, epsilon: f64, scale: f64) -> usize {
+        let n = graph.num_nodes().max(2) as f64;
+        ((scale * n.ln()) / (epsilon * epsilon)).ceil() as usize
+    }
+
+    fn build_rows(graph: &Graph, k: usize, seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let solver = LaplacianSolver::new(graph, 1e-8, 20 * n.max(100));
+        let inv_sqrt_k = 1.0 / (k.max(1) as f64).sqrt();
+        let mut rows = Vec::with_capacity(k);
+        for _ in 0..k {
+            // y = (Q W^{1/2} B)_i as a length-n vector: every edge contributes
+            // ±1/√k to its two endpoints with opposite signs.
+            let mut y = vec![0.0; n];
+            for (u, v) in graph.edges() {
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                y[u] += sign * inv_sqrt_k;
+                y[v] -= sign * inv_sqrt_k;
+            }
+            // z_i solves L z_i = y (y ⊥ 1 by construction).
+            let (z, _) = solver.solve(&y);
+            rows.push(z);
+        }
+        ResistanceSketch { rows }
+    }
+
+    /// Approximate effective resistance `‖Z(e_s − e_t)‖²`.
+    pub fn query(&self, s: usize, t: usize) -> f64 {
+        if s == t {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|z| {
+                let d = z[s] - z[t];
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::LaplacianSolver;
+    use er_graph::generators;
+
+    #[test]
+    fn rows_for_scales_inverse_quadratically_in_epsilon() {
+        let g = generators::complete(100).unwrap();
+        let coarse = ResistanceSketch::rows_for(&g, 0.5, 24.0);
+        let fine = ResistanceSketch::rows_for(&g, 0.05, 24.0);
+        assert!(fine > 90 * coarse, "fine {fine} coarse {coarse}");
+    }
+
+    #[test]
+    fn sketch_approximates_er_on_small_graph() {
+        let g = generators::social_network_like(80, 8.0, 3).unwrap();
+        // generous row count so the multiplicative error is small
+        let sketch = ResistanceSketch::build(&g, 0.3, 24.0, 7);
+        let solver = LaplacianSolver::for_ground_truth(&g);
+        for &(s, t) in &[(0usize, 5usize), (10, 60), (33, 34)] {
+            let exact = solver.effective_resistance(s, t);
+            let approx = sketch.query(s, t);
+            let rel = (approx - exact).abs() / exact.max(1e-12);
+            assert!(rel < 0.5, "({s},{t}): exact {exact} approx {approx}");
+        }
+        assert_eq!(sketch.query(4, 4), 0.0);
+    }
+
+    #[test]
+    fn memory_limit_is_enforced() {
+        let g = generators::complete(50).unwrap();
+        let err = ResistanceSketch::build_with_limit(&g, 0.01, 24.0, 1, 10_000).unwrap_err();
+        assert!(err.rows_needed > 0);
+        assert!(err.to_string().contains("exceeding"));
+        // and a generous budget succeeds
+        let ok = ResistanceSketch::build_with_limit(&g, 0.5, 24.0, 1, 10_000_000).unwrap();
+        assert!(ok.num_rows() > 0);
+    }
+}

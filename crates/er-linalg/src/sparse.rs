@@ -1,0 +1,216 @@
+//! Explicit compressed-sparse-row matrices.
+//!
+//! Most of the library works with the matrix-free operators in [`crate::ops`],
+//! but a few places want an explicit matrix: building shifted operators,
+//! materialising `P` for repeated SMM runs over the same graph, and tests that
+//! compare matrix-free and explicit products.
+
+use crate::ops::LinearOperator;
+use er_graph::Graph;
+
+/// A square sparse matrix in CSR format.
+#[derive(Clone, Debug)]
+pub struct CsrMatrix {
+    n: usize,
+    offsets: Vec<usize>,
+    columns: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` triples.
+    ///
+    /// Rows must be supplied in order `0..n`; entries within a row may be in
+    /// any order and are kept as given (duplicates are summed).
+    pub fn from_rows(n: usize, rows: Vec<Vec<(usize, f64)>>) -> Self {
+        assert_eq!(rows.len(), n, "one entry list per row required");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut columns = Vec::new();
+        let mut values = Vec::new();
+        offsets.push(0);
+        for mut row in rows {
+            row.sort_by_key(|&(c, _)| c);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for (c, v) in row {
+                match merged.last_mut() {
+                    Some(last) if last.0 == c => last.1 += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                assert!(c < n, "column {c} out of range");
+                columns.push(c);
+                values.push(v);
+            }
+            offsets.push(columns.len());
+        }
+        CsrMatrix {
+            n,
+            offsets,
+            columns,
+            values,
+        }
+    }
+
+    /// The random-walk transition matrix `P = D⁻¹A` of a graph.
+    pub fn transition_matrix(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let rows = g
+            .nodes()
+            .map(|u| {
+                let d = g.degree(u).max(1) as f64;
+                g.neighbors(u).iter().map(|&v| (v, 1.0 / d)).collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(n, rows)
+    }
+
+    /// The combinatorial Laplacian `L = D − A` of a graph.
+    pub fn laplacian(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let rows = g
+            .nodes()
+            .map(|u| {
+                let mut row: Vec<(usize, f64)> = g.neighbors(u).iter().map(|&v| (v, -1.0)).collect();
+                row.push((u, g.degree(u) as f64));
+                row
+            })
+            .collect();
+        CsrMatrix::from_rows(n, rows)
+    }
+
+    /// The adjacency matrix `A` of a graph.
+    pub fn adjacency(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let rows = g
+            .nodes()
+            .map(|u| g.neighbors(u).iter().map(|&v| (v, 1.0)).collect())
+            .collect();
+        CsrMatrix::from_rows(n, rows)
+    }
+
+    /// Number of rows (= columns).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The entry `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.offsets[i];
+        let hi = self.offsets[i + 1];
+        match self.columns[lo..hi].binary_search(&j) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Adds `alpha` to every diagonal entry, returning a new matrix.
+    pub fn shift_diagonal(&self, alpha: f64) -> Self {
+        let rows = (0..self.n)
+            .map(|i| {
+                let mut row: Vec<(usize, f64)> = self.row(i).map(|(c, v)| (c, v)).collect();
+                row.push((i, alpha));
+                row
+            })
+            .collect();
+        CsrMatrix::from_rows(self.n, rows)
+    }
+
+    /// Iterates over the stored `(column, value)` entries of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.offsets[i];
+        let hi = self.offsets[i + 1];
+        self.columns[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for (c, v) in self.row(i) {
+                acc += v * x[c];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{LaplacianOp, TransitionOp};
+    use er_graph::generators;
+
+    #[test]
+    fn from_rows_merges_duplicates_and_sorts() {
+        let m = CsrMatrix::from_rows(2, vec![vec![(1, 2.0), (0, 1.0), (1, 3.0)], vec![(0, 4.0)]]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn explicit_transition_matches_matrix_free() {
+        let g = generators::barabasi_albert(80, 3, 4).unwrap();
+        let n = g.num_nodes();
+        let explicit = CsrMatrix::transition_matrix(&g);
+        let free = TransitionOp::new(&g);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) / 7.0).collect();
+        let a = explicit.apply_vec(&x);
+        let b = free.apply_vec(&x);
+        assert!(crate::vector::max_abs_diff(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn explicit_laplacian_matches_matrix_free() {
+        let g = generators::grid(6, 7).unwrap();
+        let n = g.num_nodes();
+        let explicit = CsrMatrix::laplacian(&g);
+        let free = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        assert!(crate::vector::max_abs_diff(&explicit.apply_vec(&x), &free.apply_vec(&x)) < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_row_sums_are_degrees() {
+        let g = generators::social_network_like(100, 6.0, 1).unwrap();
+        let a = CsrMatrix::adjacency(&g);
+        let ones = vec![1.0; g.num_nodes()];
+        let sums = a.apply_vec(&ones);
+        for v in g.nodes() {
+            assert!((sums[v] - g.degree(v) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_diagonal_adds_identity_multiple() {
+        let g = generators::complete(4).unwrap();
+        let l = CsrMatrix::laplacian(&g);
+        let shifted = l.shift_diagonal(2.5);
+        for i in 0..4 {
+            assert!((shifted.get(i, i) - (l.get(i, i) + 2.5)).abs() < 1e-12);
+        }
+        assert_eq!(shifted.get(0, 1), l.get(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry list per row")]
+    fn from_rows_checks_row_count() {
+        let _ = CsrMatrix::from_rows(3, vec![vec![], vec![]]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Dense vector helpers.
+//!
+//! These are the handful of BLAS-1 style kernels the estimators need, plus
+//! the order statistics `max1`/`max2` that appear in the ψ bound of AMC
+//! (Eq. (9) of the paper) and the `min` of Lemma 3.3.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a vector in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Largest element of a non-empty slice (`max1(x)` in the paper's notation).
+#[inline]
+pub fn max1(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Second-largest element of a slice with at least two entries
+/// (`max2(x)` in the paper's notation: the 2nd largest *value*, counting
+/// duplicates separately — so `max2([5, 5, 1]) = 5`).
+#[inline]
+pub fn max2(x: &[f64]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &v in x {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    second
+}
+
+/// Smallest element of a non-empty slice (`min(x)` in the paper's notation).
+#[inline]
+pub fn min(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// The standard basis vector `e_i` of length `n`.
+pub fn unit(n: usize, i: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[i] = 1.0;
+    v
+}
+
+/// Projects `x` onto the orthogonal complement of the all-ones vector,
+/// i.e. subtracts the mean. The Laplacian is singular exactly along `1`, so
+/// CG iterates are kept in `1⊥` with this projection.
+pub fn remove_mean(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let mean = sum(x) / x.len() as f64;
+    for xi in x {
+        *xi -= mean;
+    }
+}
+
+/// Maximum absolute difference between two vectors (`‖a − b‖_∞`).
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, -0.5]);
+    }
+
+    #[test]
+    fn order_statistics() {
+        let x = [0.3, 0.7, 0.1, 0.7, 0.5];
+        assert_eq!(max1(&x), 0.7);
+        assert_eq!(max2(&x), 0.7, "duplicates count separately");
+        assert_eq!(min(&x), 0.1);
+        let y = [2.0, 1.0];
+        assert_eq!(max2(&y), 1.0);
+    }
+
+    #[test]
+    fn unit_vector() {
+        let e = unit(4, 2);
+        assert_eq!(e, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn remove_mean_centres() {
+        let mut x = vec![1.0, 2.0, 3.0, 6.0];
+        remove_mean(&mut x);
+        assert!(sum(&x).abs() < 1e-12);
+        assert!((x[3] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Spectral graph sparsification by effective resistance.
+//!
+//! Spielman & Srivastava [62 in the paper] showed that sampling edges with
+//! probability proportional to their effective resistance yields a spectral
+//! sparsifier — the application the paper's introduction highlights first
+//! (cut approximation, max-flow, Laplacian solving). This crate is the
+//! end-to-end pipeline built on the pairwise estimators of `er-core`:
+//!
+//! 1. [`EdgeScores`] — compute `r(u, v)` for every edge with an
+//!    interchangeable strategy ([`ScoreMethod`]): exact solves, the paper's
+//!    GEER, a shared random-projection sketch, or spanning-tree frequencies.
+//! 2. [`sample_sparsifier`] — importance-sample `q` edges with replacement
+//!    and reweight them `1 / (q p_e)` ([`SampleBudget`] chooses `q`).
+//! 3. [`QualityEvaluator`] — measure quadratic-form, cut and connectivity
+//!    distortion of the resulting [`WeightedGraph`] against the original.
+//!
+//! The deterministic [`top_score_baseline`] is included as the ablation
+//! every evaluation compares against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod quality;
+pub mod sample;
+pub mod scores;
+pub mod weighted;
+
+pub use quality::{QualityEvaluator, QualityReport};
+pub use sample::{sample_sparsifier, top_score_baseline, SampleBudget, SparsifierOutput};
+pub use scores::{EdgeScores, ScoreMethod};
+pub use weighted::{WeightedGraph, WeightedLaplacianOp};

@@ -1,0 +1,294 @@
+//! Edge-weighted undirected graphs.
+//!
+//! The estimators of the paper work on unweighted graphs ([`er_graph::Graph`]),
+//! but the *output* of effective-resistance sparsification is inherently
+//! weighted: each sampled edge carries weight `1 / (q · p_e)` so that the
+//! sparsifier's Laplacian is an unbiased estimate of the original. This module
+//! provides the small weighted-graph substrate the sparsification pipeline
+//! needs — weighted degrees, the weighted Laplacian quadratic form, a
+//! matrix-free weighted Laplacian operator and connectivity.
+
+use er_graph::{Graph, GraphError, NodeId};
+use er_linalg::LinearOperator;
+
+/// An undirected graph with non-negative edge weights, stored as an edge list
+/// plus a CSR-style adjacency for traversals.
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    num_nodes: usize,
+    /// Unique undirected edges `(u, v)` with `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Weight of each edge (parallel samples accumulate here).
+    weights: Vec<f64>,
+    /// CSR offsets into `adjacency`.
+    offsets: Vec<usize>,
+    /// `(neighbor, edge index)` pairs.
+    adjacency: Vec<(NodeId, usize)>,
+}
+
+impl WeightedGraph {
+    /// Builds a weighted graph from an edge/weight list. Self-loops and
+    /// non-positive weights are rejected; duplicate edges accumulate weight.
+    pub fn from_weighted_edges(
+        num_nodes: usize,
+        weighted_edges: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
+    ) -> Result<Self, GraphError> {
+        if num_nodes == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut dedup: std::collections::BTreeMap<(NodeId, NodeId), f64> =
+            std::collections::BTreeMap::new();
+        for (u, v, w) in weighted_edges {
+            if u >= num_nodes || v >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u.max(v),
+                    n: num_nodes,
+                });
+            }
+            if u == v {
+                continue;
+            }
+            if !(w > 0.0) || !w.is_finite() {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: format!("edge ({u}, {v}) has invalid weight {w}"),
+                });
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            *dedup.entry(key).or_insert(0.0) += w;
+        }
+        let edges: Vec<(NodeId, NodeId)> = dedup.keys().copied().collect();
+        let weights: Vec<f64> = dedup.values().copied().collect();
+
+        let mut degree_count = vec![0usize; num_nodes];
+        for &(u, v) in &edges {
+            degree_count[u] += 1;
+            degree_count[v] += 1;
+        }
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for v in 0..num_nodes {
+            offsets[v + 1] = offsets[v] + degree_count[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![(0usize, 0usize); 2 * edges.len()];
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            adjacency[cursor[u]] = (v, idx);
+            cursor[u] += 1;
+            adjacency[cursor[v]] = (u, idx);
+            cursor[v] += 1;
+        }
+        Ok(WeightedGraph {
+            num_nodes,
+            edges,
+            weights,
+            offsets,
+            adjacency,
+        })
+    }
+
+    /// Every edge of an unweighted graph with unit weight.
+    pub fn from_unit_graph(graph: &Graph) -> Self {
+        Self::from_weighted_edges(graph.num_nodes(), graph.edges().map(|(u, v)| (u, v, 1.0)))
+            .expect("a valid Graph converts losslessly")
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of distinct undirected edges with positive weight.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over `(u, v, weight)` triples with `u < v`.
+    pub fn weighted_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.edges
+            .iter()
+            .zip(&self.weights)
+            .map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Weighted degree `Σ_{(u,v) ∈ E} w(u, v)` of node `u`.
+    pub fn weighted_degree(&self, u: NodeId) -> f64 {
+        self.adjacency[self.offsets[u]..self.offsets[u + 1]]
+            .iter()
+            .map(|&(_, idx)| self.weights[idx])
+            .sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// The weight of edge `{u, v}` (0 if absent).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> f64 {
+        let key = if u < v { (u, v) } else { (v, u) };
+        match self.edges.binary_search(&key) {
+            Ok(idx) => self.weights[idx],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The weighted Laplacian quadratic form `xᵀ L_w x = Σ_e w_e (x_u − x_v)²`.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_nodes);
+        self.weighted_edges()
+            .map(|(u, v, w)| {
+                let d = x[u] - x[v];
+                w * d * d
+            })
+            .sum()
+    }
+
+    /// Weight crossing the cut `(S, V∖S)` where `in_s[v]` marks membership.
+    pub fn cut_weight(&self, in_s: &[bool]) -> f64 {
+        assert_eq!(in_s.len(), self.num_nodes);
+        self.weighted_edges()
+            .filter(|&(u, v, _)| in_s[u] != in_s[v])
+            .map(|(_, _, w)| w)
+            .sum()
+    }
+
+    /// Whether every node is reachable from node 0 through positive-weight
+    /// edges (vacuously true for the single-node graph).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes == 0 {
+            return false;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adjacency[self.offsets[u]..self.offsets[u + 1]] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+
+    /// Forgets the weights, producing the support graph (used to reuse the
+    /// unweighted analyses: connectivity, bipartiteness, generators of query
+    /// sets on the sparsifier).
+    pub fn support(&self) -> Result<Graph, GraphError> {
+        er_graph::GraphBuilder::from_edges(self.num_nodes, self.edges.iter().copied()).build()
+    }
+}
+
+/// Matrix-free weighted Laplacian `L_w x`.
+pub struct WeightedLaplacianOp<'w> {
+    graph: &'w WeightedGraph,
+}
+
+impl<'w> WeightedLaplacianOp<'w> {
+    /// Creates the operator over `graph`.
+    pub fn new(graph: &'w WeightedGraph) -> Self {
+        WeightedLaplacianOp { graph }
+    }
+}
+
+impl LinearOperator for WeightedLaplacianOp<'_> {
+    fn dim(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        for (u, v, w) in self.graph.weighted_edges() {
+            let d = x[u] - x[v];
+            out[u] += w * d;
+            out[v] -= w * d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use er_linalg::LaplacianOp;
+
+    #[test]
+    fn unit_conversion_matches_unweighted_laplacian() {
+        let g = generators::social_network_like(100, 6.0, 3).unwrap();
+        let wg = WeightedGraph::from_unit_graph(&g);
+        assert_eq!(wg.num_edges(), g.num_edges());
+        assert_eq!(wg.total_weight(), g.num_edges() as f64);
+        let x: Vec<f64> = (0..g.num_nodes()).map(|i| (i % 7) as f64 / 7.0).collect();
+        let unweighted = LaplacianOp::new(&g).apply_vec(&x);
+        let weighted = WeightedLaplacianOp::new(&wg).apply_vec(&x);
+        for (a, b) in unweighted.iter().zip(&weighted) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let qf_direct = wg.quadratic_form(&x);
+        let qf_operator: f64 = x.iter().zip(&weighted).map(|(a, b)| a * b).sum();
+        assert!((qf_direct - qf_operator).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate_weight() {
+        let wg = WeightedGraph::from_weighted_edges(
+            3,
+            vec![(0, 1, 1.0), (1, 0, 0.5), (1, 2, 2.0), (2, 2, 9.0)],
+        )
+        .unwrap();
+        assert_eq!(wg.num_edges(), 2);
+        assert!((wg.edge_weight(0, 1) - 1.5).abs() < 1e-12);
+        assert!((wg.edge_weight(1, 0) - 1.5).abs() < 1e-12);
+        assert_eq!(wg.edge_weight(0, 2), 0.0);
+        assert!((wg.weighted_degree(1) - 3.5).abs() < 1e-12);
+        assert!((wg.total_weight() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(WeightedGraph::from_weighted_edges(0, vec![]).is_err());
+        assert!(WeightedGraph::from_weighted_edges(2, vec![(0, 5, 1.0)]).is_err());
+        assert!(WeightedGraph::from_weighted_edges(2, vec![(0, 1, 0.0)]).is_err());
+        assert!(WeightedGraph::from_weighted_edges(2, vec![(0, 1, -2.0)]).is_err());
+        assert!(WeightedGraph::from_weighted_edges(2, vec![(0, 1, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn cut_weight_and_connectivity() {
+        let wg = WeightedGraph::from_weighted_edges(
+            4,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0), (3, 0, 8.0)],
+        )
+        .unwrap();
+        assert!(wg.is_connected());
+        let cut = wg.cut_weight(&[true, true, false, false]);
+        assert!((cut - (2.0 + 8.0)).abs() < 1e-12);
+        let disconnected =
+            WeightedGraph::from_weighted_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn support_graph_preserves_structure() {
+        let wg = WeightedGraph::from_weighted_edges(
+            5,
+            vec![(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.3), (3, 4, 0.4), (4, 0, 0.5)],
+        )
+        .unwrap();
+        let support = wg.support().unwrap();
+        assert_eq!(support.num_nodes(), 5);
+        assert_eq!(support.num_edges(), 5);
+        assert!(support.has_edge(4, 0));
+    }
+
+    #[test]
+    fn quadratic_form_is_zero_on_constant_vectors() {
+        let g = generators::barabasi_albert(60, 3, 1).unwrap();
+        let wg = WeightedGraph::from_unit_graph(&g);
+        let constant = vec![3.25; 60];
+        assert!(wg.quadratic_form(&constant).abs() < 1e-12);
+    }
+}

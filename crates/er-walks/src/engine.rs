@@ -1,0 +1,243 @@
+//! Batched random-walk execution with buffer reuse.
+//!
+//! The Monte Carlo estimators simulate the same kind of walk thousands of
+//! times per query. Allocating a fresh `Vec` per walk is both slow and noisy
+//! for benchmarking, so [`WalkEngine`] owns the scratch buffers and exposes
+//! bulk operations:
+//!
+//! * [`WalkEngine::endpoint_histogram`] — how often each node is the endpoint
+//!   of a length-`len` walk (TP's estimate of `p_len(s, ·)`),
+//! * [`WalkEngine::visit_counts`] — how often each node is visited anywhere
+//!   along the walk (AMC's weighted sums over visited nodes),
+//! * [`WalkEngine::endpoint_samples`] — raw endpoints, for estimators that
+//!   post-process the sample (e.g. collision counting in TPC).
+
+use er_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Histogram of walk endpoints over the node set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndpointHistogram {
+    counts: Vec<u64>,
+    walks: u64,
+}
+
+impl EndpointHistogram {
+    /// Number of walks aggregated into the histogram.
+    pub fn num_walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Raw endpoint count of node `v`.
+    pub fn count(&self, v: NodeId) -> u64 {
+        self.counts[v]
+    }
+
+    /// Empirical endpoint probability of node `v` (0 when no walks were run).
+    pub fn frequency(&self, v: NodeId) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.counts[v] as f64 / self.walks as f64
+        }
+    }
+
+    /// The empirical endpoint distribution as a dense probability vector.
+    pub fn distribution(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|v| self.frequency(v)).collect()
+    }
+
+    /// Total variation distance between the empirical endpoint distribution
+    /// and an arbitrary reference distribution (e.g. the stationary
+    /// distribution π).
+    pub fn total_variation_from(&self, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.counts.len());
+        0.5 * reference
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| (self.frequency(v) - p).abs())
+            .sum::<f64>()
+    }
+}
+
+/// Reusable executor for batches of simple random walks on one graph.
+#[derive(Debug)]
+pub struct WalkEngine<'g> {
+    graph: &'g Graph,
+    /// Total number of walk steps taken since construction (cost accounting).
+    steps: u64,
+    /// Total number of walks simulated since construction.
+    walks: u64,
+}
+
+impl<'g> WalkEngine<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        WalkEngine {
+            graph,
+            steps: 0,
+            walks: 0,
+        }
+    }
+
+    /// The graph the engine walks on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Total number of walk steps taken so far.
+    pub fn total_steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total number of walks simulated so far.
+    pub fn total_walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Simulates one length-`len` walk and returns its endpoint.
+    pub fn endpoint<R: Rng + ?Sized>(&mut self, start: NodeId, len: usize, rng: &mut R) -> NodeId {
+        let mut current = start;
+        for _ in 0..len {
+            match self.graph.random_neighbor(current, rng) {
+                Some(next) => {
+                    current = next;
+                    self.steps += 1;
+                }
+                None => break,
+            }
+        }
+        self.walks += 1;
+        current
+    }
+
+    /// Runs `num_walks` length-`len` walks from `start` and returns the raw
+    /// endpoint samples.
+    pub fn endpoint_samples<R: Rng + ?Sized>(
+        &mut self,
+        start: NodeId,
+        len: usize,
+        num_walks: u64,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        (0..num_walks).map(|_| self.endpoint(start, len, rng)).collect()
+    }
+
+    /// Runs `num_walks` length-`len` walks from `start` and histograms their
+    /// endpoints — an empirical estimate of the distribution `p_len(start, ·)`.
+    pub fn endpoint_histogram<R: Rng + ?Sized>(
+        &mut self,
+        start: NodeId,
+        len: usize,
+        num_walks: u64,
+        rng: &mut R,
+    ) -> EndpointHistogram {
+        let mut counts = vec![0u64; self.graph.num_nodes()];
+        for _ in 0..num_walks {
+            counts[self.endpoint(start, len, rng)] += 1;
+        }
+        EndpointHistogram {
+            counts,
+            walks: num_walks,
+        }
+    }
+
+    /// Runs `num_walks` length-`len` walks from `start` and counts how many
+    /// times each node is visited across all steps of all walks (step 0, the
+    /// start node itself, is not counted — matching the `i ≥ 1` sums of
+    /// Eq. (12) in the paper).
+    pub fn visit_counts<R: Rng + ?Sized>(
+        &mut self,
+        start: NodeId,
+        len: usize,
+        num_walks: u64,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let mut counts = vec![0u64; self.graph.num_nodes()];
+        for _ in 0..num_walks {
+            let mut current = start;
+            for _ in 0..len {
+                match self.graph.random_neighbor(current, rng) {
+                    Some(next) => {
+                        current = next;
+                        counts[current] += 1;
+                        self.steps += 1;
+                    }
+                    None => break,
+                }
+            }
+            self.walks += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_counts_and_frequencies_are_consistent() {
+        let g = generators::complete(5).unwrap();
+        let mut engine = WalkEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let hist = engine.endpoint_histogram(0, 3, 4_000, &mut rng);
+        assert_eq!(hist.num_walks(), 4_000);
+        let total: u64 = (0..5).map(|v| hist.count(v)).sum();
+        assert_eq!(total, 4_000);
+        let freq_sum: f64 = hist.distribution().iter().sum();
+        assert!((freq_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_distribution_approaches_stationary_on_expander() {
+        let g = generators::complete(8).unwrap();
+        let mut engine = WalkEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hist = engine.endpoint_histogram(3, 6, 20_000, &mut rng);
+        let stationary: Vec<f64> = g.nodes().map(|v| g.stationary(v)).collect();
+        assert!(hist.total_variation_from(&stationary) < 0.03);
+    }
+
+    #[test]
+    fn cost_accounting_tracks_steps_and_walks() {
+        let g = generators::cycle(9).unwrap();
+        let mut engine = WalkEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        engine.endpoint_samples(0, 4, 10, &mut rng);
+        assert_eq!(engine.total_walks(), 10);
+        assert_eq!(engine.total_steps(), 40);
+        engine.visit_counts(0, 2, 5, &mut rng);
+        assert_eq!(engine.total_walks(), 15);
+        assert_eq!(engine.total_steps(), 50);
+    }
+
+    #[test]
+    fn visit_counts_on_star_alternate_between_hub_and_leaves() {
+        // Walks from a leaf of a star visit the hub on every odd step.
+        let g = generators::star(6).unwrap();
+        let mut engine = WalkEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let walks = 500;
+        let len = 4;
+        let counts = engine.visit_counts(1, len, walks, &mut rng);
+        assert_eq!(counts[0], walks * (len as u64) / 2, "hub visited every other step");
+        let leaf_total: u64 = counts[1..].iter().sum();
+        assert_eq!(leaf_total, walks * (len as u64) / 2);
+    }
+
+    #[test]
+    fn zero_walks_and_zero_length_are_handled() {
+        let g = generators::complete(4).unwrap();
+        let mut engine = WalkEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hist = engine.endpoint_histogram(2, 5, 0, &mut rng);
+        assert_eq!(hist.num_walks(), 0);
+        assert_eq!(hist.frequency(2), 0.0);
+        let hist = engine.endpoint_histogram(2, 0, 50, &mut rng);
+        assert_eq!(hist.count(2), 50, "length-0 walks end where they start");
+    }
+}

@@ -1,0 +1,256 @@
+//! First-hit and escape-probability walks (the MC and MC2 baselines).
+
+use er_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Outcome of an escape-probability walk used by the MC baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscapeOutcome {
+    /// The walk reached the target `t` before returning to the source `s`.
+    ReachedTarget {
+        /// Number of steps taken.
+        steps: usize,
+    },
+    /// The walk returned to `s` before reaching `t`.
+    ReturnedToSource {
+        /// Number of steps taken.
+        steps: usize,
+    },
+    /// The step cap was hit before either event (reported so callers can
+    /// account for truncation instead of silently mislabelling the walk).
+    Truncated,
+}
+
+/// Runs one escape-probability trial for the MC estimator: start at `s`, take
+/// simple random-walk steps, and stop on the first return to `s` or the first
+/// visit to `t`.
+///
+/// The escape probability `Pr[hit t before returning to s]` equals
+/// `1 / (d(s) · r(s, t))`, which is the identity the MC baseline inverts.
+/// `max_steps` guards against pathologically long excursions (the paper's MC
+/// has no cap and its worst-case time reflects that; the cap only matters for
+/// adversarial inputs and is reported via [`EscapeOutcome::Truncated`]).
+pub fn escape_walk<R: Rng + ?Sized>(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    rng: &mut R,
+) -> EscapeOutcome {
+    debug_assert_ne!(s, t);
+    let mut current = s;
+    for step in 1..=max_steps {
+        current = match graph.random_neighbor(current, rng) {
+            Some(next) => next,
+            None => return EscapeOutcome::Truncated,
+        };
+        if current == t {
+            return EscapeOutcome::ReachedTarget { steps: step };
+        }
+        if current == s {
+            return EscapeOutcome::ReturnedToSource { steps: step };
+        }
+    }
+    EscapeOutcome::Truncated
+}
+
+/// Outcome of a first-hit walk used by the MC2 baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FirstHitOutcome {
+    /// The walk reached `t`; `via_direct_edge` records whether the final step
+    /// used the edge `(s, t)` itself (i.e. the walk was at `s` and stepped to
+    /// `t`), which is the event whose probability equals `r(s, t)` for
+    /// `(s, t) ∈ E`.
+    Hit {
+        /// Whether the arriving step traversed the query edge `(s, t)`.
+        via_direct_edge: bool,
+        /// Number of steps taken.
+        steps: usize,
+    },
+    /// The step cap was reached before hitting `t`.
+    Truncated,
+}
+
+/// Runs one first-hit trial for the MC2 estimator: walk from `s` until the
+/// first visit to `t` and report whether the arriving step used edge `(s, t)`.
+pub fn first_hit_walk<R: Rng + ?Sized>(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    rng: &mut R,
+) -> FirstHitOutcome {
+    debug_assert_ne!(s, t);
+    let mut current = s;
+    for step in 1..=max_steps {
+        let next = match graph.random_neighbor(current, rng) {
+            Some(next) => next,
+            None => return FirstHitOutcome::Truncated,
+        };
+        if next == t {
+            return FirstHitOutcome::Hit {
+                via_direct_edge: current == s,
+                steps: step,
+            };
+        }
+        current = next;
+    }
+    FirstHitOutcome::Truncated
+}
+
+/// Estimates the commute time `c(s, t)` (expected steps of a round trip
+/// `s → t → s`) from `trials` independent round-trip walks. Returns `None`
+/// if every trial hit the step cap.
+///
+/// `r(s, t) = c(s, t) / 2m` gives yet another consistency check used by the
+/// integration tests; this estimator is not part of the paper's evaluated
+/// methods but documents the commute-time interpretation of Section 1.
+pub fn commute_time_estimate<R: Rng + ?Sized>(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    trials: usize,
+    max_steps: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    if s == t {
+        return Some(0.0);
+    }
+    let mut total = 0usize;
+    let mut completed = 0usize;
+    for _ in 0..trials {
+        let mut current = s;
+        let mut steps = 0usize;
+        let mut reached_t = false;
+        let mut done = false;
+        while steps < max_steps {
+            current = graph.random_neighbor(current, rng)?;
+            steps += 1;
+            if !reached_t && current == t {
+                reached_t = true;
+            } else if reached_t && current == s {
+                done = true;
+                break;
+            }
+        }
+        if done {
+            total += steps;
+            completed += 1;
+        }
+    }
+    if completed == 0 {
+        None
+    } else {
+        Some(total as f64 / completed as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn escape_walk_terminates_with_named_outcome() {
+        let g = generators::social_network_like(100, 8.0, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut reached = 0;
+        let mut returned = 0;
+        for _ in 0..200 {
+            match escape_walk(&g, 0, 50, 100_000, &mut rng) {
+                EscapeOutcome::ReachedTarget { steps } => {
+                    assert!(steps >= 1);
+                    reached += 1;
+                }
+                EscapeOutcome::ReturnedToSource { steps } => {
+                    assert!(steps >= 2, "a return needs at least two steps");
+                    returned += 1;
+                }
+                EscapeOutcome::Truncated => panic!("cap should not be hit on this graph"),
+            }
+        }
+        assert!(reached > 0 && returned > 0);
+    }
+
+    #[test]
+    fn escape_probability_matches_er_on_path_endpoints() {
+        // On a 2-node path (single edge), r(0, 1) = 1 and d(0) = 1, so the
+        // escape probability must be exactly 1: the first step always hits t.
+        let g = generators::path(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(matches!(
+                escape_walk(&g, 0, 1, 10, &mut rng),
+                EscapeOutcome::ReachedTarget { steps: 1 }
+            ));
+        }
+    }
+
+    #[test]
+    fn escape_probability_on_triangle() {
+        // Triangle: r(s, t) = 2/3, d(s) = 2, escape prob = 1/(d(s) r) = 3/4.
+        let g = generators::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 40_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if matches!(
+                escape_walk(&g, 0, 1, 10_000, &mut rng),
+                EscapeOutcome::ReachedTarget { .. }
+            ) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.75).abs() < 0.01, "escape probability {p}");
+    }
+
+    #[test]
+    fn first_hit_via_edge_probability_on_triangle() {
+        // For an edge (s, t) of the triangle, r(s, t) = 2/3 equals the
+        // probability the first visit to t arrives over the edge (s, t).
+        let g = generators::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 40_000;
+        let mut direct = 0;
+        for _ in 0..trials {
+            match first_hit_walk(&g, 0, 1, 10_000, &mut rng) {
+                FirstHitOutcome::Hit { via_direct_edge, .. } => {
+                    if via_direct_edge {
+                        direct += 1;
+                    }
+                }
+                FirstHitOutcome::Truncated => panic!("no truncation expected"),
+            }
+        }
+        let p = direct as f64 / trials as f64;
+        assert!((p - 2.0 / 3.0).abs() < 0.01, "first-hit-via-edge probability {p}");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let g = generators::path(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        // 1-step cap cannot reach node 49 from node 0
+        assert_eq!(
+            escape_walk(&g, 0, 49, 1, &mut rng),
+            EscapeOutcome::Truncated
+        );
+        assert_eq!(
+            first_hit_walk(&g, 0, 49, 1, &mut rng),
+            FirstHitOutcome::Truncated
+        );
+    }
+
+    #[test]
+    fn commute_time_matches_er_identity_on_triangle() {
+        // c(s, t) = 2 m r(s, t) = 2 * 3 * 2/3 = 4 on the triangle.
+        let g = generators::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let c = commute_time_estimate(&g, 0, 1, 20_000, 100_000, &mut rng).unwrap();
+        assert!((c - 4.0).abs() < 0.1, "commute time {c}");
+        assert_eq!(commute_time_estimate(&g, 2, 2, 5, 10, &mut rng), Some(0.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Random-walk engine for effective-resistance estimation.
+//!
+//! Every Monte Carlo estimator in the paper is built from one of a handful of
+//! walk primitives, which live here so `er-core` can stay focused on the
+//! estimation logic:
+//!
+//! * [`truncated`] — fixed-length simple random walks (AMC's Algorithm 1,
+//!   TP's per-length walks, TPC's half-length collision walks).
+//! * [`hitting`] — first-hit and escape-probability walks (the MC and MC2
+//!   baselines, which walk until they reach the target or return to the
+//!   source).
+//! * [`spanning`] — uniform spanning-tree sampling with Wilson's algorithm
+//!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`).
+//!
+//! All primitives take an explicit `&mut impl Rng`, so estimators control
+//! seeding and reproducibility end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod hitting;
+pub mod mixing;
+pub mod spanning;
+pub mod truncated;
+
+pub use engine::{EndpointHistogram, WalkEngine};
+pub use hitting::{escape_walk, first_hit_walk, EscapeOutcome, FirstHitOutcome};
+pub use mixing::{empirical_mixing_profile, empirical_mixing_time, MixingProfile};
+pub use spanning::{sample_spanning_tree, SpanningTree};
+pub use truncated::{walk_accumulate, walk_endpoint, walk_nodes};

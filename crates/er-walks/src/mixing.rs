@@ -1,0 +1,144 @@
+//! Empirical mixing-time estimation.
+//!
+//! Section 3.1 of the paper motivates the refined maximum walk length ℓ by the
+//! *mixing time* ξ_s of each query node: once walks from `s` and `t` have
+//! mixed, longer walks contribute nothing to `r_ℓ(s, t)`. The exact mixing
+//! time needs the full spectrum, but an empirical estimate — run many walks of
+//! increasing length and measure the total-variation distance of the endpoint
+//! distribution from the stationary distribution π — is cheap and useful both
+//! for diagnostics and for validating the refined ℓ of Theorem 3.1 in tests.
+
+use crate::engine::WalkEngine;
+use er_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Total-variation distance to the stationary distribution for a range of
+/// walk lengths, all starting from the same source node.
+#[derive(Clone, Debug)]
+pub struct MixingProfile {
+    /// The source node the walks start from.
+    pub source: NodeId,
+    /// `distances[i]` is the empirical TV distance after `i + 1` steps.
+    pub distances: Vec<f64>,
+    /// Number of walks simulated per length.
+    pub walks_per_length: u64,
+}
+
+impl MixingProfile {
+    /// The smallest length whose empirical TV distance drops below
+    /// `threshold`, if any length in the profile does.
+    pub fn mixing_time(&self, threshold: f64) -> Option<usize> {
+        self.distances
+            .iter()
+            .position(|&d| d < threshold)
+            .map(|i| i + 1)
+    }
+
+    /// The longest length covered by the profile.
+    pub fn max_length(&self) -> usize {
+        self.distances.len()
+    }
+}
+
+/// Estimates the total-variation distance `‖ p_len(source, ·) − π ‖_TV` for
+/// every length `1..=max_length`, using `walks_per_length` endpoint samples
+/// per length.
+///
+/// The estimate is biased upwards by sampling noise (roughly
+/// `√(n / walks_per_length)`), so thresholds should not be taken too close
+/// to zero on large graphs; for the diagnostic purpose here that bias is
+/// acceptable and documented.
+pub fn empirical_mixing_profile<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    max_length: usize,
+    walks_per_length: u64,
+    rng: &mut R,
+) -> MixingProfile {
+    let stationary: Vec<f64> = graph.nodes().map(|v| graph.stationary(v)).collect();
+    let mut engine = WalkEngine::new(graph);
+    let distances = (1..=max_length)
+        .map(|len| {
+            engine
+                .endpoint_histogram(source, len, walks_per_length, rng)
+                .total_variation_from(&stationary)
+        })
+        .collect();
+    MixingProfile {
+        source,
+        distances,
+        walks_per_length,
+    }
+}
+
+/// Convenience wrapper: the smallest walk length at which the empirical
+/// endpoint distribution is within `threshold` total-variation distance of
+/// stationary, or `None` if that never happens within `max_length` steps.
+pub fn empirical_mixing_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    max_length: usize,
+    walks_per_length: u64,
+    threshold: f64,
+    rng: &mut R,
+) -> Option<usize> {
+    empirical_mixing_profile(graph, source, max_length, walks_per_length, rng).mixing_time(threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_mixes_almost_immediately() {
+        let g = generators::complete(10).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = empirical_mixing_profile(&g, 0, 5, 20_000, &mut rng);
+        assert_eq!(profile.max_length(), 5);
+        // After two steps the distribution is essentially uniform.
+        assert!(profile.distances[1] < 0.05, "tv = {}", profile.distances[1]);
+        let mixing = profile.mixing_time(0.1).expect("K_10 mixes within 5 steps");
+        assert!(mixing <= 2, "mixing time {mixing}");
+    }
+
+    #[test]
+    fn lollipop_tail_mixes_slower_than_clique_core() {
+        // Walks started deep in the tail of a lollipop need to find the clique
+        // before they can mix; walks started inside the clique mix quickly.
+        let g = generators::lollipop(12, 12).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tail_end = g.num_nodes() - 1;
+        let clique_node = 0;
+        let from_clique = empirical_mixing_profile(&g, clique_node, 30, 3_000, &mut rng);
+        let from_tail = empirical_mixing_profile(&g, tail_end, 30, 3_000, &mut rng);
+        let clique_tv_at_10 = from_clique.distances[9];
+        let tail_tv_at_10 = from_tail.distances[9];
+        assert!(
+            tail_tv_at_10 > clique_tv_at_10,
+            "tail should be farther from stationary after 10 steps ({tail_tv_at_10} vs {clique_tv_at_10})"
+        );
+    }
+
+    #[test]
+    fn mixing_time_is_none_when_threshold_unreachable() {
+        let g = generators::cycle(51).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // A 51-cycle needs Θ(n²) steps to mix; 5 steps is hopeless.
+        assert_eq!(empirical_mixing_time(&g, 0, 5, 2_000, 0.05, &mut rng), None);
+    }
+
+    #[test]
+    fn profile_distances_are_valid_tv_values() {
+        let g = generators::barabasi_albert(200, 3, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = empirical_mixing_profile(&g, 7, 12, 500, &mut rng);
+        for &d in &profile.distances {
+            assert!((0.0..=1.0).contains(&d));
+        }
+        assert_eq!(profile.walks_per_length, 500);
+        assert_eq!(profile.source, 7);
+    }
+}

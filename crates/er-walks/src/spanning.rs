@@ -1,0 +1,208 @@
+//! Uniform spanning-tree sampling with Wilson's algorithm.
+//!
+//! The HAY baseline [29] estimates the effective resistance of an *edge*
+//! `(s, t) ∈ E` through the matrix-tree identity
+//! `r(s, t) = Pr[(s, t) ∈ T]` where `T` is a uniformly random spanning tree.
+//! Wilson's algorithm samples exact uniform spanning trees by stitching
+//! together loop-erased random walks, in expected time proportional to the
+//! mean hitting time of the graph.
+
+use er_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A sampled spanning tree, stored as `parent[v]` pointers towards the root
+/// (with `parent[root] == root`).
+#[derive(Clone, Debug)]
+pub struct SpanningTree {
+    root: NodeId,
+    parent: Vec<NodeId>,
+}
+
+impl SpanningTree {
+    /// The root node the tree was grown towards.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Returns `true` if the undirected edge `{u, v}` belongs to the tree.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && (self.parent[u] == v || self.parent[v] == u)
+    }
+
+    /// The `n − 1` undirected edges of the tree.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| v != p)
+            .map(|(v, &p)| if v < p { (v, p) } else { (p, v) })
+            .collect()
+    }
+
+    /// Number of nodes spanned.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+/// Samples a uniform spanning tree of a connected graph with Wilson's
+/// algorithm, rooted at `root`.
+///
+/// Panics in debug builds if the graph is disconnected (the loop-erased walk
+/// from an unreachable node would never terminate); in release builds an
+/// unreachable component would loop forever, so callers must validate
+/// connectivity first (as `er-core` does).
+pub fn sample_spanning_tree<R: Rng + ?Sized>(graph: &Graph, root: NodeId, rng: &mut R) -> SpanningTree {
+    let n = graph.num_nodes();
+    let mut in_tree = vec![false; n];
+    let mut parent: Vec<NodeId> = (0..n).collect();
+    in_tree[root] = true;
+
+    // `next[v]` records the successor of v on the current loop-erased walk.
+    let mut next = vec![usize::MAX; n];
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        // Random walk from `start` until it hits the tree, remembering only
+        // the latest successor of each visited node (this implicitly erases
+        // loops: revisiting a node overwrites the old successor).
+        let mut u = start;
+        while !in_tree[u] {
+            let v = graph
+                .random_neighbor(u, rng)
+                .expect("connected graph has no isolated nodes");
+            next[u] = v;
+            u = v;
+        }
+        // Retrace the loop-erased path and attach it to the tree.
+        let mut u = start;
+        while !in_tree[u] {
+            in_tree[u] = true;
+            parent[u] = next[u];
+            u = next[u];
+        }
+    }
+    SpanningTree { root, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn is_spanning_tree(g: &Graph, tree: &SpanningTree) -> bool {
+        let edges = tree.edges();
+        if edges.len() != g.num_nodes() - 1 {
+            return false;
+        }
+        // all tree edges are graph edges
+        if !edges.iter().all(|&(u, v)| g.has_edge(u, v)) {
+            return false;
+        }
+        // connectivity of the tree: union-find over tree edges
+        let mut parent: Vec<usize> = (0..g.num_nodes()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for &(u, v) in &edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru == rv {
+                return false; // cycle
+            }
+            parent[ru] = rv;
+        }
+        let root = find(&mut parent, 0);
+        (0..g.num_nodes()).all(|v| find(&mut parent, v) == root)
+    }
+
+    #[test]
+    fn sampled_trees_are_spanning_trees() {
+        let g = generators::social_network_like(120, 6.0, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for i in 0..10 {
+            let tree = sample_spanning_tree(&g, i % g.num_nodes(), &mut rng);
+            assert_eq!(tree.num_nodes(), g.num_nodes());
+            assert!(is_spanning_tree(&g, &tree), "sample {i} is not a spanning tree");
+        }
+    }
+
+    #[test]
+    fn tree_of_a_tree_is_itself() {
+        let g = generators::path(20).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = sample_spanning_tree(&g, 0, &mut rng);
+        let edges: HashSet<_> = tree.edges().into_iter().collect();
+        let expected: HashSet<_> = g.edges().collect();
+        assert_eq!(edges, expected);
+        assert_eq!(tree.root(), 0);
+    }
+
+    #[test]
+    fn contains_edge_matches_edge_list() {
+        let g = generators::complete(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = sample_spanning_tree(&g, 5, &mut rng);
+        let edges: HashSet<_> = tree.edges().into_iter().collect();
+        for u in 0..8 {
+            for v in 0..8 {
+                let key = if u < v { (u, v) } else { (v, u) };
+                assert_eq!(tree.contains_edge(u, v), u != v && edges.contains(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn uniformity_on_triangle() {
+        // The triangle has 3 spanning trees, each omitting one edge; every
+        // edge appears in exactly 2 of 3 trees, so empirical edge frequencies
+        // must approach 2/3 (which is also r(u, v), the HAY identity).
+        let g = generators::complete(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            let tree = sample_spanning_tree(&g, 0, &mut rng);
+            if tree.contains_edge(0, 1) {
+                counts[0] += 1;
+            }
+            if tree.contains_edge(1, 2) {
+                counts[1] += 1;
+            }
+            if tree.contains_edge(0, 2) {
+                counts[2] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 2.0 / 3.0).abs() < 0.01, "edge {i} frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn uniformity_on_square_with_diagonal() {
+        // Graph: square 0-1-2-3-0 plus diagonal 0-2. Spanning trees: 8 total
+        // (by the matrix-tree theorem). Edge (0,2) ER = 1/2, so it should
+        // appear in half of the sampled trees.
+        let g = er_graph::GraphBuilder::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let trials = 30_000;
+        let mut diag = 0usize;
+        for _ in 0..trials {
+            if sample_spanning_tree(&g, 1, &mut rng).contains_edge(0, 2) {
+                diag += 1;
+            }
+        }
+        let freq = diag as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.01, "diagonal frequency {freq}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Spectral graph sparsification by effective resistance.
+//!
+//! Spielman & Srivastava [62] showed that sampling edges with probability
+//! proportional to w_e · r(e) (their "effective-resistance scores") yields a
+//! spectral sparsifier: a reweighted subgraph whose Laplacian quadratic form
+//! approximates the original on every vector. The paper cites this as a
+//! primary application of fast ER computation (cut/flow approximation, linear
+//! system solving).
+//!
+//! This example estimates the ER of every edge with GEER, samples a
+//! sparsifier, and verifies the quality by comparing Laplacian quadratic forms
+//! on random test vectors and by checking connectivity.
+//!
+//! Run with `cargo run --release --example sparsification`.
+
+use effective_resistance::graph::{analysis, generators, Graph, GraphBuilder};
+use effective_resistance::linalg::{LaplacianOp, LinearOperator};
+use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Laplacian quadratic form x^T L x (with unit edge weights scaled by `weights`).
+fn quadratic_form(graph: &Graph, weights: &[f64], x: &[f64]) -> f64 {
+    graph
+        .edges()
+        .enumerate()
+        .map(|(idx, (u, v))| {
+            let d = x[u] - x[v];
+            weights[idx] * d * d
+        })
+        .sum()
+}
+
+fn main() {
+    let graph = generators::social_network_like(3_000, 20.0, 11).expect("graph generation");
+    let m = graph.num_edges();
+    println!("original graph: {} nodes, {m} edges", graph.num_nodes());
+
+    // 1. Estimate the ER of every edge with GEER (epsilon = 0.05 is plenty:
+    //    the scores only steer a sampling distribution).
+    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
+    let mut geer = Geer::new(&ctx, ApproxConfig::with_epsilon(0.05));
+    let edges: Vec<(usize, usize)> = graph.edges().collect();
+    let scores: Vec<f64> = edges
+        .iter()
+        .map(|&(u, v)| geer.estimate(u, v).expect("valid edge query").value.max(1e-6))
+        .collect();
+    let total_score: f64 = scores.iter().sum();
+    println!(
+        "sum of edge ER scores = {total_score:.1} (Foster's theorem says the exact sum is n - 1 = {})",
+        graph.num_nodes() - 1
+    );
+
+    // 2. Sample q = n ln n edges proportionally to their scores, with
+    //    replacement, accumulating weights 1/(q p_e) as in [62]. (The theory
+    //    asks for O(n log n / eps^2) samples; a single n log n keeps the demo
+    //    visibly sparser than the input while preserving the spectrum well.)
+    let n = graph.num_nodes();
+    let q = (n as f64 * (n as f64).ln()) as usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut weights = vec![0.0; m];
+    // cumulative distribution over edges
+    let mut cumulative = Vec::with_capacity(m);
+    let mut acc = 0.0;
+    for &s in &scores {
+        acc += s / total_score;
+        cumulative.push(acc);
+    }
+    for _ in 0..q {
+        let r: f64 = rng.gen();
+        let idx = cumulative.partition_point(|&c| c < r).min(m - 1);
+        let p = scores[idx] / total_score;
+        weights[idx] += 1.0 / (q as f64 * p);
+    }
+    let kept: usize = weights.iter().filter(|&&w| w > 0.0).count();
+    println!(
+        "sparsifier keeps {kept} of {m} edges ({:.1}%)",
+        100.0 * kept as f64 / m as f64
+    );
+
+    // 3. Verify: the sparsifier stays connected and preserves Laplacian
+    //    quadratic forms on random test vectors.
+    let sparsified = GraphBuilder::from_edges(
+        n,
+        edges
+            .iter()
+            .zip(&weights)
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(&e, _)| e),
+    )
+    .build()
+    .expect("non-empty sparsifier");
+    assert!(analysis::is_connected(&sparsified), "sparsifier must stay connected");
+
+    let original_weights = vec![1.0; m];
+    let mut worst_ratio: f64 = 1.0;
+    for trial in 0..10 {
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        // remove the component along the all-ones null space
+        let mean: f64 = x.iter().sum::<f64>() / n as f64;
+        x.iter_mut().for_each(|xi| *xi -= mean);
+        let original = quadratic_form(&graph, &original_weights, &x);
+        let sparse = quadratic_form(&graph, &weights, &x);
+        let ratio = sparse / original;
+        worst_ratio = worst_ratio.max((ratio - 1.0).abs() + 1.0);
+        if trial < 3 {
+            println!("test vector {trial}: x^T L x = {original:.2} vs sparsified {sparse:.2} (ratio {ratio:.3})");
+        }
+    }
+    println!("worst multiplicative distortion over 10 test vectors: {worst_ratio:.3}");
+
+    // Smoke-check against the matrix-free Laplacian operator on one vector.
+    let x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) / 13.0).collect();
+    let lx = LaplacianOp::new(&graph).apply_vec(&x);
+    let via_operator: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+    let via_edges = quadratic_form(&graph, &original_weights, &x);
+    assert!((via_operator - via_edges).abs() < 1e-6);
+}

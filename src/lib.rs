@@ -1,0 +1,69 @@
+//! Facade crate for the effective-resistance workspace.
+//!
+//! This repository reproduces *"Efficient Estimation of Pairwise Effective
+//! Resistance"* (Yang & Tang, SIGMOD 2023). The implementation is split into
+//! focused crates; this facade re-exports the pieces a typical user needs so
+//! examples and downstream code can depend on a single crate:
+//!
+//! * [`graph`] (= `er-graph`) — CSR graphs, generators, IO, query sets.
+//! * [`linalg`] (= `er-linalg`) — sparse/dense linear algebra, Lanczos, CG.
+//! * [`walks`] (= `er-walks`) — random-walk primitives.
+//! * [`er_core`] (re-exported at the root) — the estimators: [`Geer`], [`Amc`]
+//!   and every baseline the paper compares against.
+//! * [`index`] (= `er-index`) — single-source / all-pairs ER, landmark
+//!   bounds, query caching and dynamic graphs.
+//! * [`sparsify`] (= `er-sparsify`) — Spielman–Srivastava sparsification
+//!   driven by the estimators.
+//! * [`apps`] (= `er-apps`) — clustering, recommendation, robustness,
+//!   anomaly-detection and segmentation pipelines.
+//!
+//! # Example
+//!
+//! ```
+//! use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+//! use effective_resistance::graph::generators;
+//!
+//! let graph = generators::social_network_like(1_000, 10.0, 1).unwrap();
+//! let ctx = GraphContext::preprocess(&graph).unwrap();
+//! let mut geer = Geer::new(&ctx, ApproxConfig::with_epsilon(0.1));
+//! let r = geer.estimate(0, 500).unwrap().value;
+//! assert!(r > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Graph substrate (re-export of the `er-graph` crate).
+pub mod graph {
+    pub use er_graph::*;
+}
+
+/// Linear-algebra substrate (re-export of the `er-linalg` crate).
+pub mod linalg {
+    pub use er_linalg::*;
+}
+
+/// Random-walk substrate (re-export of the `er-walks` crate).
+pub mod walks {
+    pub use er_walks::*;
+}
+
+/// Indexing layer: single-source/all-pairs ER, landmark bounds, query
+/// caching/batching and dynamic graphs (re-export of the `er-index` crate).
+pub mod index {
+    pub use er_index::*;
+}
+
+/// Spectral sparsification by effective-resistance sampling (re-export of the
+/// `er-sparsify` crate).
+pub mod sparsify {
+    pub use er_sparsify::*;
+}
+
+/// Application pipelines: clustering, recommendation, robustness, anomaly
+/// detection and segmentation (re-export of the `er-apps` crate).
+pub mod apps {
+    pub use er_apps::*;
+}
+
+pub use er_core::*;

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: every estimator meets the paper's accuracy
+//! contract on realistic graphs, measured against two independent ground
+//! truths.
+
+use effective_resistance::graph::{generators, EdgeQuerySet, NodePairQuerySet};
+use effective_resistance::{
+    Amc, ApproxConfig, Exact, Geer, GraphContext, GroundTruth, GroundTruthMethod, Hay, Mc2,
+    ResistanceEstimator, Rp, Smm,
+};
+
+/// A mid-size social-network-like graph shared by the accuracy tests.
+fn test_graph() -> effective_resistance::graph::Graph {
+    generators::social_network_like(1_200, 14.0, 0xacc).unwrap()
+}
+
+#[test]
+fn ground_truth_oracles_agree() {
+    let graph = test_graph();
+    let smm_truth = GroundTruth::with_method(&graph, GroundTruthMethod::SmmIterations(600));
+    let cg_truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let queries = NodePairQuerySet::uniform(&graph, 10, 3);
+    for pair in queries.pairs() {
+        let a = smm_truth.resistance(pair.s, pair.t).unwrap();
+        let b = cg_truth.resistance(pair.s, pair.t).unwrap();
+        assert!((a - b).abs() < 1e-6, "({}, {}): {a} vs {b}", pair.s, pair.t);
+    }
+}
+
+#[test]
+fn geer_amc_smm_meet_epsilon_on_random_pairs() {
+    let graph = test_graph();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let queries = NodePairQuerySet::uniform(&graph, 12, 7);
+    for &epsilon in &[0.5, 0.1] {
+        let config = ApproxConfig::with_epsilon(epsilon).reseeded(11);
+        let mut geer = Geer::new(&ctx, config);
+        let mut amc = Amc::new(&ctx, config);
+        let mut smm = Smm::new(&ctx, config);
+        for pair in queries.pairs() {
+            let exact = truth.resistance(pair.s, pair.t).unwrap();
+            for (name, value) in [
+                ("GEER", geer.estimate(pair.s, pair.t).unwrap().value),
+                ("AMC", amc.estimate(pair.s, pair.t).unwrap().value),
+                ("SMM", smm.estimate(pair.s, pair.t).unwrap().value),
+            ] {
+                assert!(
+                    (value - exact).abs() <= epsilon,
+                    "{name} eps={epsilon} ({}, {}): {value} vs {exact}",
+                    pair.s,
+                    pair.t
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_query_methods_meet_epsilon_on_edges() {
+    let graph = test_graph();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let queries = EdgeQuerySet::uniform(&graph, 8, 5);
+    let epsilon = 0.1;
+    let config = ApproxConfig::with_epsilon(epsilon).reseeded(23);
+    let mut geer = Geer::new(&ctx, config);
+    let mut hay = Hay::new(&ctx, config);
+    let mut mc2 = Mc2::new(&ctx, config).with_gamma_lower(0.01);
+    for pair in queries.pairs() {
+        let exact = truth.resistance(pair.s, pair.t).unwrap();
+        assert!(exact <= 1.0 + 1e-9, "edge resistance is at most 1");
+        for (name, value) in [
+            ("GEER", geer.estimate(pair.s, pair.t).unwrap().value),
+            ("HAY", hay.estimate(pair.s, pair.t).unwrap().value),
+            ("MC2", mc2.estimate(pair.s, pair.t).unwrap().value),
+        ] {
+            assert!(
+                (value - exact).abs() <= epsilon,
+                "{name} ({}, {}): {value} vs {exact}",
+                pair.s,
+                pair.t
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_and_rp_agree_with_cg_solver() {
+    let graph = generators::social_network_like(400, 10.0, 0xe4).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let mut exact = Exact::new(&ctx).unwrap();
+    let mut rp = Rp::new(&ctx, ApproxConfig::with_epsilon(0.4)).unwrap();
+    let queries = NodePairQuerySet::uniform(&graph, 6, 9);
+    for pair in queries.pairs() {
+        let reference = truth.resistance(pair.s, pair.t).unwrap();
+        let via_pinv = exact.estimate(pair.s, pair.t).unwrap().value;
+        assert!((via_pinv - reference).abs() < 1e-6);
+        let via_rp = rp.estimate(pair.s, pair.t).unwrap().value;
+        let rel = (via_rp - reference).abs() / reference.max(1e-12);
+        assert!(rel < 0.6, "RP is a multiplicative approximation: {via_rp} vs {reference}");
+    }
+}
+
+#[test]
+fn estimates_are_deterministic_given_seed() {
+    let graph = generators::social_network_like(600, 12.0, 0xde).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let config = ApproxConfig::with_epsilon(0.2).reseeded(77);
+    let a = Geer::new(&ctx, config).estimate(1, 300).unwrap().value;
+    let b = Geer::new(&ctx, config).estimate(1, 300).unwrap().value;
+    assert_eq!(a, b, "same seed, same answer");
+    // To check that the seed really drives the Monte Carlo part, force a
+    // pessimistic lambda so the refined walk length (and hence AMC's role
+    // inside GEER) is substantial.
+    let slow_ctx = GraphContext::with_lambda(&graph, 0.95).unwrap();
+    let c1 = Geer::new(&slow_ctx, config.reseeded(101)).estimate(1, 300).unwrap();
+    let c2 = Geer::new(&slow_ctx, config.reseeded(202)).estimate(1, 300).unwrap();
+    assert!(c1.cost.random_walks > 0, "forced context must use walks");
+    assert_ne!(
+        c1.value, c2.value,
+        "different seed should perturb the Monte Carlo part"
+    );
+}
+
+#[test]
+fn self_queries_are_exactly_zero_for_every_method() {
+    let graph = generators::social_network_like(500, 10.0, 0x5e).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let config = ApproxConfig::with_epsilon(0.3);
+    let mut estimators: Vec<Box<dyn ResistanceEstimator>> = vec![
+        Box::new(Geer::new(&ctx, config)),
+        Box::new(Amc::new(&ctx, config)),
+        Box::new(Smm::new(&ctx, config)),
+        Box::new(Exact::with_solver(&ctx)),
+    ];
+    for est in estimators.iter_mut() {
+        assert_eq!(est.estimate(42, 42).unwrap().value, 0.0, "{}", est.name());
+    }
+}

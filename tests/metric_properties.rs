@@ -1,0 +1,130 @@
+//! Integration tests of the mathematical properties of effective resistance,
+//! exercised through the public estimators (not the internal solvers), so a
+//! regression anywhere in the stack shows up as a broken invariant.
+
+use effective_resistance::graph::{generators, Graph};
+use effective_resistance::{
+    ApproxConfig, Exact, Geer, GraphContext, GroundTruth, GroundTruthMethod, ResistanceEstimator,
+};
+
+fn exact_resistance(graph: &Graph, s: usize, t: usize) -> f64 {
+    GroundTruth::with_method(graph, GroundTruthMethod::LaplacianSolve)
+        .resistance(s, t)
+        .unwrap()
+}
+
+#[test]
+fn closed_forms_on_structured_graphs() {
+    // Complete graph K_n: r = 2/n for every pair.
+    let k = generators::complete(20).unwrap();
+    let ctx = GraphContext::preprocess(&k).unwrap();
+    let mut exact = Exact::new(&ctx).unwrap();
+    for &(s, t) in &[(0usize, 1usize), (3, 17), (10, 19)] {
+        assert!((exact.estimate(s, t).unwrap().value - 0.1).abs() < 1e-9);
+    }
+    // Lollipop: along the tail, resistances add like series resistors.
+    let lol = generators::lollipop(6, 8).unwrap();
+    assert!((exact_resistance(&lol, 6, 10) - 4.0).abs() < 1e-7);
+    // Cycle C_n: r(0, k) = k (n - k) / n.
+    let n = 11;
+    let cycle = generators::cycle(n).unwrap();
+    for k in 1..n {
+        let expected = (k * (n - k)) as f64 / n as f64;
+        assert!((exact_resistance(&cycle, 0, k) - expected).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn symmetry_of_the_estimators() {
+    let graph = generators::social_network_like(800, 12.0, 0x5a).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let eps = 0.1;
+    let mut geer = Geer::new(&ctx, ApproxConfig::with_epsilon(eps).reseeded(1));
+    for &(s, t) in &[(0usize, 400usize), (13, 700), (250, 251)] {
+        let forward = geer.estimate(s, t).unwrap().value;
+        let backward = geer.estimate(t, s).unwrap().value;
+        // Randomized estimates of the same symmetric quantity: both are within
+        // eps of the truth, hence within 2*eps of each other.
+        assert!(
+            (forward - backward).abs() <= 2.0 * eps,
+            "r({s},{t})={forward} vs r({t},{s})={backward}"
+        );
+    }
+}
+
+#[test]
+fn triangle_inequality_holds_for_exact_values() {
+    let graph = generators::social_network_like(500, 10.0, 0x7a).unwrap();
+    let triples = [(0usize, 100usize, 200usize), (5, 50, 450), (321, 322, 323)];
+    for (a, b, c) in triples {
+        let rab = exact_resistance(&graph, a, b);
+        let rbc = exact_resistance(&graph, b, c);
+        let rac = exact_resistance(&graph, a, c);
+        assert!(rac <= rab + rbc + 1e-9, "triangle inequality violated");
+        assert!(rab > 0.0 && rbc > 0.0 && rac > 0.0);
+    }
+}
+
+#[test]
+fn foster_theorem_edge_resistances_sum_to_n_minus_one() {
+    // Foster's theorem: sum over edges of r(e) equals n - 1. A strong global
+    // consistency check that exercises the solver on every edge.
+    let graph = generators::social_network_like(300, 8.0, 0xf0).unwrap();
+    let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let total: f64 = graph
+        .edges()
+        .map(|(u, v)| truth.resistance(u, v).unwrap())
+        .sum();
+    let expected = (graph.num_nodes() - 1) as f64;
+    assert!(
+        (total - expected).abs() < 1e-4 * expected,
+        "Foster sum {total} vs n-1 = {expected}"
+    );
+}
+
+#[test]
+fn rayleigh_monotonicity_adding_edges_cannot_increase_resistance() {
+    // Rayleigh's monotonicity law: adding an edge can only decrease (or keep)
+    // every pairwise effective resistance.
+    let sparse = generators::social_network_like(400, 6.0, 0x9a).unwrap();
+    let mut builder =
+        effective_resistance::graph::GraphBuilder::from_edges(sparse.num_nodes(), sparse.edges());
+    // add a bundle of extra random-ish edges
+    for i in 0..200 {
+        builder = builder.add_edge((i * 7) % 400, (i * 13 + 5) % 400);
+    }
+    let dense = builder.build().unwrap();
+    for &(s, t) in &[(0usize, 200usize), (11, 399), (123, 321)] {
+        let before = exact_resistance(&sparse, s, t);
+        let after = exact_resistance(&dense, s, t);
+        assert!(
+            after <= before + 1e-9,
+            "adding edges increased r({s},{t}): {before} -> {after}"
+        );
+    }
+}
+
+#[test]
+fn resistance_bounds_from_degrees() {
+    // For any pair, r(s, t) >= 1/d(s) + 1/d(t) - ... is not a general law, but
+    // two universal bounds are: for (s, t) in E, 1/(2m) <= r <= 1, and for any
+    // s != t, r(s, t) >= max(1/d(s), 1/d(t)) / 2 is implied by the parallel
+    // cut argument r(s,t) >= 1/d(s) + 1/d(t) - 1 when both ends... keep to the
+    // provable ones: r(s,t) <= n - 1 (series bound on a connected graph) and
+    // r(s,t) >= 1/min(d(s), d(t)) only when the smaller-degree endpoint's
+    // edges form a cut of size d, giving r >= 1/d. Check r >= 1/d for leaves.
+    let lol = generators::lollipop(5, 4).unwrap();
+    let tail_end = lol.num_nodes() - 1; // degree-1 node
+    let r = exact_resistance(&lol, tail_end, 0);
+    assert!(r >= 1.0 - 1e-9, "a degree-1 node sees at least its own edge");
+    assert!(r <= (lol.num_nodes() - 1) as f64);
+
+    let graph = generators::social_network_like(300, 10.0, 0xbd).unwrap();
+    let ctx = GraphContext::preprocess(&graph).unwrap();
+    let mut exact = Exact::new(&ctx).unwrap();
+    for (u, v) in graph.edges().take(50) {
+        let r = exact.estimate(u, v).unwrap().value;
+        assert!(r >= 1.0 / (2.0 * graph.num_edges() as f64) - 1e-12);
+        assert!(r <= 1.0 + 1e-9);
+    }
+}

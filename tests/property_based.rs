@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) spanning the whole stack: random graphs in,
+//! invariants of effective resistance and of the estimators out.
+
+use effective_resistance::graph::{analysis, generators, Graph, GraphBuilder};
+use effective_resistance::{
+    ApproxConfig, Geer, GraphContext, GroundTruth, GroundTruthMethod, ResistanceEstimator, Smm,
+};
+use proptest::prelude::*;
+
+/// Strategy: a connected, non-bipartite graph built from a random edge list on
+/// `n` nodes (a random spanning-path backbone plus extra random edges plus one
+/// triangle to break bipartiteness).
+fn arbitrary_graph(max_nodes: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_nodes)
+        .prop_flat_map(|n| {
+            let extra_edges = proptest::collection::vec((0..n, 0..n), 0..(3 * n));
+            (Just(n), extra_edges)
+        })
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for v in 1..n {
+                b = b.add_edge(v - 1, v); // backbone keeps it connected
+            }
+            b = b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2); // triangle
+            for (u, v) in extra {
+                if u != v {
+                    b = b.add_edge(u, v);
+                }
+            }
+            b.build().expect("non-empty")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn generated_graphs_satisfy_standing_assumptions(g in arbitrary_graph(60)) {
+        prop_assert!(analysis::is_connected(&g));
+        prop_assert!(!analysis::is_bipartite(&g));
+        prop_assert!(analysis::validate_ergodic(&g).is_ok());
+    }
+
+    #[test]
+    fn exact_resistance_is_a_metric(g in arbitrary_graph(40)) {
+        let truth = GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve);
+        let n = g.num_nodes();
+        let (a, b, c) = (0, n / 2, n - 1);
+        let rab = truth.resistance(a, b).unwrap();
+        let rbc = truth.resistance(b, c).unwrap();
+        let rac = truth.resistance(a, c).unwrap();
+        // non-negativity, identity, symmetry, triangle inequality
+        prop_assert!(rab >= -1e-12 && rbc >= -1e-12 && rac >= -1e-12);
+        prop_assert_eq!(truth.resistance(a, a).unwrap(), 0.0);
+        let rba = truth.resistance(b, a).unwrap();
+        prop_assert!((rab - rba).abs() < 1e-7);
+        if a != b && b != c && a != c {
+            prop_assert!(rac <= rab + rbc + 1e-7);
+        }
+    }
+
+    #[test]
+    fn foster_theorem_on_random_graphs(g in arbitrary_graph(30)) {
+        let truth = GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve);
+        let total: f64 = g.edges().map(|(u, v)| truth.resistance(u, v).unwrap()).sum();
+        let expected = (g.num_nodes() - 1) as f64;
+        prop_assert!((total - expected).abs() < 1e-5 * expected.max(1.0),
+            "Foster sum {} vs {}", total, expected);
+    }
+
+    #[test]
+    fn smm_meets_epsilon_on_random_graphs(g in arbitrary_graph(40), seed in 0u64..1000) {
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let truth = GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve);
+        let epsilon = 0.2;
+        let mut smm = Smm::new(&ctx, ApproxConfig::with_epsilon(epsilon).reseeded(seed));
+        let n = g.num_nodes();
+        let (s, t) = (seed as usize % n, (seed as usize * 7 + 1) % n);
+        let estimate = smm.estimate(s, t).unwrap().value;
+        let exact = truth.resistance(s, t).unwrap();
+        prop_assert!((estimate - exact).abs() <= epsilon,
+            "SMM r({},{}) = {} vs exact {}", s, t, estimate, exact);
+    }
+
+    #[test]
+    fn geer_meets_epsilon_on_random_graphs(g in arbitrary_graph(40), seed in 0u64..1000) {
+        let ctx = GraphContext::preprocess(&g).unwrap();
+        let truth = GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve);
+        let epsilon = 0.35;
+        let mut geer = Geer::new(&ctx, ApproxConfig::with_epsilon(epsilon).reseeded(seed));
+        let n = g.num_nodes();
+        let (s, t) = ((seed as usize * 3) % n, (seed as usize * 11 + 2) % n);
+        let estimate = geer.estimate(s, t).unwrap().value;
+        let exact = truth.resistance(s, t).unwrap();
+        // Theorem 3.4 gives a 1 - delta probability guarantee; with delta =
+        // 0.01 per query and ~24 cases a failure would be a <1/4 chance of a
+        // single violation across the whole suite if the implementation were
+        // only just meeting the bound — in practice the bound is loose and
+        // this assertion is stable.
+        prop_assert!((estimate - exact).abs() <= epsilon,
+            "GEER r({},{}) = {} vs exact {}", s, t, estimate, exact);
+    }
+
+    #[test]
+    fn rayleigh_monotonicity_under_random_edge_addition(
+        g in arbitrary_graph(35),
+        extra_u in 0usize..35,
+        extra_v in 0usize..35,
+    ) {
+        let n = g.num_nodes();
+        let (u, v) = (extra_u % n, extra_v % n);
+        prop_assume!(u != v && !g.has_edge(u, v));
+        let truth_before = GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve);
+        let denser = GraphBuilder::from_edges(n, g.edges().chain(std::iter::once((u, v))))
+            .build()
+            .unwrap();
+        let truth_after = GroundTruth::with_method(&denser, GroundTruthMethod::LaplacianSolve);
+        let (s, t) = (0, n - 1);
+        let before = truth_before.resistance(s, t).unwrap();
+        let after = truth_after.resistance(s, t).unwrap();
+        prop_assert!(after <= before + 1e-7, "adding ({},{}) raised r: {} -> {}", u, v, before, after);
+    }
+
+    #[test]
+    fn path_graph_resistance_is_hop_distance(len in 2usize..30, a in 0usize..30, b in 0usize..30) {
+        // The path graph is bipartite, so the estimators refuse it; but the
+        // solver-based ground truth is still defined and must match |a - b|.
+        let g = generators::path(len).unwrap();
+        let (a, b) = (a % len, b % len);
+        let truth = GroundTruth::with_method(&g, GroundTruthMethod::LaplacianSolve);
+        let r = truth.resistance(a, b).unwrap();
+        prop_assert!((r - (a as f64 - b as f64).abs()).abs() < 1e-6);
+    }
+}
