@@ -116,10 +116,7 @@ impl ResistanceMonitor {
                         self.min_delta
                     } else {
                         let mean = history.iter().sum::<f64>() / history.len() as f64;
-                        let variance = history
-                            .iter()
-                            .map(|d| (d - mean) * (d - mean))
-                            .sum::<f64>()
+                        let variance = history.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
                             / history.len() as f64;
                         (mean + self.threshold_sigmas * variance.sqrt()).max(self.min_delta)
                     };
@@ -185,14 +182,23 @@ mod tests {
         reports.push(monitor.observe(&quiet1).unwrap());
         let quiet2 = transform::add_edges(&quiet1, &[(61, 97)]).unwrap();
         reports.push(monitor.observe(&quiet2).unwrap());
-        assert!(reports.iter().all(|r| !r.is_anomalous()), "quiet period must not flag");
+        assert!(
+            reports.iter().all(|r| !r.is_anomalous()),
+            "quiet period must not flag"
+        );
 
         // The event: two of the three bridges disappear.
         let severed = transform::remove_edges(&quiet2, &bridges[..2]).unwrap();
         let event = monitor.observe(&severed).unwrap();
         assert!(event.is_anomalous(), "the severed corridor must be flagged");
-        assert!(event.flagged.contains(&0), "the cross-community probe flags");
-        assert!(!event.flagged.contains(&1), "the intra-community probe stays quiet");
+        assert!(
+            event.flagged.contains(&0),
+            "the cross-community probe flags"
+        );
+        assert!(
+            !event.flagged.contains(&1),
+            "the intra-community probe stays quiet"
+        );
         assert!(event.max_delta() > 0.1);
         assert_eq!(monitor.snapshots_seen(), 4);
     }

@@ -111,7 +111,7 @@ impl<'g> ResistanceClustering<'g> {
     /// The clustering distance from `source` to every node: raw resistance,
     /// or the degree-corrected deviation `r(s, t) − 1/d(s) − 1/d(t)` (clamped
     /// at zero) when the correction is enabled.
-    fn distance_row(&self, index: &mut ErIndex<'_>, source: NodeId) -> Result<Vec<f64>, IndexError> {
+    fn distance_row(&self, index: &mut ErIndex, source: NodeId) -> Result<Vec<f64>, IndexError> {
         let mut row = index.single_source(source)?;
         if self.config.degree_correction {
             let inv_source = 1.0 / self.graph.degree(source) as f64;
@@ -364,12 +364,14 @@ mod tests {
     #[test]
     fn cluster_bookkeeping_is_consistent() {
         let (g, _) = two_communities(3);
-        let result = ResistanceClustering::new(&g, ClusteringConfig::default()).run().unwrap();
+        let result = ResistanceClustering::new(&g, ClusteringConfig::default())
+            .run()
+            .unwrap();
         let sizes = result.sizes();
         assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
-        for c in 0..result.num_clusters() {
+        for (c, &size) in sizes.iter().enumerate() {
             let members = result.members(c);
-            assert_eq!(members.len(), sizes[c]);
+            assert_eq!(members.len(), size);
             assert!(members.iter().all(|&v| result.assignments[v] == c));
         }
         assert!(result.iterations >= 1);

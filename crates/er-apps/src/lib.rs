@@ -36,7 +36,7 @@ pub use recommend::{
     evaluate_holdout, holdout_split, EvaluationReport, HoldoutSplit, Recommendation, Recommender,
 };
 pub use robustness::{
-    disconnection_point, edge_criticality, estimate_kirchhoff_index, simulate_attack,
-    AttackStep, AttackStrategy, EdgeCriticality,
+    disconnection_point, edge_criticality, estimate_kirchhoff_index, simulate_attack, AttackStep,
+    AttackStrategy, EdgeCriticality,
 };
 pub use segmentation::{segment, Segmentation, SyntheticImage};

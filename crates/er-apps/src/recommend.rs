@@ -33,18 +33,21 @@ pub struct Recommendation {
 }
 
 /// Effective-resistance link recommender over a static graph.
-pub struct Recommender<'g> {
-    context: GraphContext<'g>,
+///
+/// Owns its [`GraphContext`], so recommenders are `Send + Sync` and storable
+/// in long-lived services.
+pub struct Recommender {
+    context: GraphContext,
     config: ApproxConfig,
     max_candidates: usize,
 }
 
-impl<'g> Recommender<'g> {
+impl Recommender {
     /// Default cap on the candidate pool evaluated per request.
     pub const DEFAULT_MAX_CANDIDATES: usize = 300;
 
     /// Builds a recommender (runs the spectral preprocessing once).
-    pub fn new(graph: &'g Graph, config: ApproxConfig) -> Result<Self, EstimatorError> {
+    pub fn new(graph: &Graph, config: ApproxConfig) -> Result<Self, EstimatorError> {
         Ok(Recommender {
             context: GraphContext::preprocess(graph)?,
             config,
@@ -206,8 +209,16 @@ pub fn evaluate_holdout(
         }
     }
     Ok(EvaluationReport {
-        er_hit_rate: if cases == 0 { 0.0 } else { er_hits as f64 / cases as f64 },
-        common_neighbor_hit_rate: if cases == 0 { 0.0 } else { cn_hits as f64 / cases as f64 },
+        er_hit_rate: if cases == 0 {
+            0.0
+        } else {
+            er_hits as f64 / cases as f64
+        },
+        common_neighbor_hit_rate: if cases == 0 {
+            0.0
+        } else {
+            cn_hits as f64 / cases as f64
+        },
         cases,
     })
 }
@@ -241,7 +252,9 @@ mod tests {
     #[test]
     fn recommendations_are_sorted_and_bounded() {
         let g = generators::social_network_like(500, 10.0, 9).unwrap();
-        let recommender = Recommender::new(&g, small_config()).unwrap().with_max_candidates(50);
+        let recommender = Recommender::new(&g, small_config())
+            .unwrap()
+            .with_max_candidates(50);
         let recs = recommender.recommend(10, 5).unwrap();
         assert!(recs.len() <= 5);
         for pair in recs.windows(2) {

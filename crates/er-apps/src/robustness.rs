@@ -215,7 +215,9 @@ mod tests {
         );
         // Component fractions never increase as edges are removed.
         for pair in targeted.windows(2) {
-            assert!(pair[1].largest_component_fraction <= pair[0].largest_component_fraction + 1e-12);
+            assert!(
+                pair[1].largest_component_fraction <= pair[0].largest_component_fraction + 1e-12
+            );
         }
     }
 
@@ -250,7 +252,13 @@ mod tests {
         // The three tail edges (including the clique attachment) are bridges
         // and must occupy the top ranks with r ≈ 1.
         for e in ranking.iter().take(3) {
-            assert!(e.resistance > 0.9, "bridge ({}, {}) scored {}", e.u, e.v, e.resistance);
+            assert!(
+                e.resistance > 0.9,
+                "bridge ({}, {}) scored {}",
+                e.u,
+                e.v,
+                e.resistance
+            );
         }
     }
 }

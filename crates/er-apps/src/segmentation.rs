@@ -228,7 +228,10 @@ mod tests {
         assert!(cross_edges > 0, "the interesting case has leaky boundaries");
         let segmentation = segment(&image, 0.45, 2, 5).unwrap();
         let accuracy = segmentation.binary_accuracy(&image.two_region_truth());
-        assert!(accuracy > 0.8, "accuracy {accuracy} with {cross_edges} leaks");
+        assert!(
+            accuracy > 0.8,
+            "accuracy {accuracy} with {cross_edges} leaks"
+        );
     }
 
     #[test]
@@ -239,7 +242,11 @@ mod tests {
         assert!(strict.has_edge(1, 3), "right column is similar");
         assert!(!strict.has_edge(0, 1), "across the jump is dissimilar");
         let permissive = image.similarity_graph(2.0);
-        assert_eq!(permissive.num_edges(), 4 + 1, "all 4-neighbour pairs plus one diagonal");
+        assert_eq!(
+            permissive.num_edges(),
+            4 + 1,
+            "all 4-neighbour pairs plus one diagonal"
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ fn bench_edge_score_methods(c: &mut Criterion) {
     let methods = [
         ("exact-solves", ScoreMethod::Exact),
         ("geer", ScoreMethod::Geer { epsilon: 0.1 }),
-        ("spanning-trees", ScoreMethod::SpanningTrees { samples: 100 }),
+        (
+            "spanning-trees",
+            ScoreMethod::SpanningTrees { samples: 100 },
+        ),
     ];
     for (label, method) in methods {
         group.bench_function(BenchmarkId::new("scores", label), |b| {
@@ -180,7 +183,9 @@ fn bench_point_query_backends(c: &mut Criterion) {
     // The index pays one CG solve per *new source*; cycling over the fixed
     // pair set measures the amortised per-query cost of the cached columns.
     group.bench_function("er_index_query", |b| {
-        let mut index = ErIndex::build(&graph).unwrap().with_column_capacity(pairs.len());
+        let mut index = ErIndex::build(&graph)
+            .unwrap()
+            .with_column_capacity(pairs.len());
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
@@ -204,7 +209,11 @@ fn bench_point_query_backends(c: &mut Criterion) {
     group.bench_function("walk_engine_1k_endpoints", |b| {
         let mut engine = WalkEngine::new(&graph);
         let mut rng = StdRng::seed_from_u64(11);
-        b.iter(|| engine.endpoint_histogram(pairs[0].0, 16, 1_000, &mut rng).num_walks())
+        b.iter(|| {
+            engine
+                .endpoint_histogram(pairs[0].0, 16, 1_000, &mut rng)
+                .num_walks()
+        })
     });
 
     group.finish();

@@ -18,15 +18,19 @@ fn bench_lengths(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for &epsilon in &[0.5, 0.05] {
         let config = ApproxConfig::with_epsilon(epsilon);
-        group.bench_with_input(BenchmarkId::new("SMM-our-ell", epsilon), &epsilon, |b, _| {
-            let mut est = Smm::new(&ctx, config);
-            let mut i = 0;
-            b.iter(|| {
-                let (s, t) = pairs[i % pairs.len()];
-                i += 1;
-                est.estimate(s, t).unwrap().value
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("SMM-our-ell", epsilon),
+            &epsilon,
+            |b, _| {
+                let mut est = Smm::new(&ctx, config);
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    est.estimate(s, t).unwrap().value
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("SMM-peng-ell", epsilon),
             &epsilon,

@@ -62,15 +62,19 @@ fn bench_random_queries(c: &mut Criterion) {
                 est.estimate(s, t).unwrap().value
             })
         });
-        group.bench_with_input(BenchmarkId::new("TPC(capped)", epsilon), &epsilon, |b, _| {
-            let mut est = Tpc::new(&ctx, config).with_walk_budget(200_000);
-            let mut i = 0;
-            b.iter(|| {
-                let (s, t) = pairs[i % pairs.len()];
-                i += 1;
-                est.estimate(s, t).unwrap().value
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("TPC(capped)", epsilon),
+            &epsilon,
+            |b, _| {
+                let mut est = Tpc::new(&ctx, config).with_walk_budget(200_000);
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    est.estimate(s, t).unwrap().value
+                })
+            },
+        );
     }
     // Query-time-only baselines (preprocessing excluded, as in the paper).
     let config = ApproxConfig::with_epsilon(0.5);

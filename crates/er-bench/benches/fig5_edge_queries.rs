@@ -44,24 +44,32 @@ fn bench_edge_queries(c: &mut Criterion) {
                 est.estimate(s, t).unwrap().value
             })
         });
-        group.bench_with_input(BenchmarkId::new("MC2(capped)", epsilon), &epsilon, |b, _| {
-            let mut est = Mc2::new(&ctx, config).with_walk_budget(50_000);
-            let mut i = 0;
-            b.iter(|| {
-                let (s, t) = pairs[i % pairs.len()];
-                i += 1;
-                est.estimate(s, t).unwrap().value
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("HAY(capped)", epsilon), &epsilon, |b, _| {
-            let mut est = Hay::new(&ctx, config).with_tree_budget(20);
-            let mut i = 0;
-            b.iter(|| {
-                let (s, t) = pairs[i % pairs.len()];
-                i += 1;
-                est.estimate(s, t).unwrap().value
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("MC2(capped)", epsilon),
+            &epsilon,
+            |b, _| {
+                let mut est = Mc2::new(&ctx, config).with_walk_budget(50_000);
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    est.estimate(s, t).unwrap().value
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("HAY(capped)", epsilon),
+            &epsilon,
+            |b, _| {
+                let mut est = Hay::new(&ctx, config).with_tree_budget(20);
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    est.estimate(s, t).unwrap().value
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,42 @@
+//! Thread-scaling of the deterministic parallel sampling layer.
+//!
+//! Sweeps 1/2/4/8 worker threads over a fixed bulk-walk workload on a
+//! generated social-network graph, so future PRs have a perf baseline to
+//! beat. The `thread_scaling` binary (`cargo run --release -p er-bench --bin
+//! thread_scaling`) prints the same sweep as a walks/sec table with speedup
+//! factors; this bench feeds the numbers into the shared criterion-style
+//! output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_graph::generators;
+use er_walks::WalkEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let graph = generators::social_network_like(20_000, 20.0, 0x5ca1e).unwrap();
+    let mut group = c.benchmark_group("thread_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let walks = 50_000u64;
+    let len = 32usize;
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("endpoint_histogram", threads),
+            &threads,
+            |b, &threads| {
+                let mut engine = WalkEngine::new(&graph).with_threads(threads);
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    engine
+                        .endpoint_histogram(0, len, walks, &mut rng)
+                        .num_walks()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

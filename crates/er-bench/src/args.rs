@@ -12,6 +12,8 @@
 //! * `--epsilons a,b,c` — the ε sweep (default depends on the figure).
 //! * `--datasets a,b,c` — restrict to named datasets.
 //! * `--seed N` — global seed.
+//! * `--threads N` — worker threads for the parallel sampling layer
+//!   (default 0 = all cores; results are identical at any thread count).
 
 use std::time::Duration;
 
@@ -39,6 +41,8 @@ pub struct BenchArgs {
     pub datasets: Option<Vec<String>>,
     /// Global seed.
     pub seed: u64,
+    /// Worker threads for the parallel sampling layer (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for BenchArgs {
@@ -50,6 +54,7 @@ impl Default for BenchArgs {
             epsilons: None,
             datasets: None,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -95,15 +100,17 @@ impl BenchArgs {
                     out.datasets =
                         Some(value()?.split(',').map(|s| s.trim().to_string()).collect());
                 }
-                "--seed" => {
-                    out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                "--seed" => out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                "--threads" => {
+                    out.threads = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?
                 }
                 "--help" | "-h" => {
-                    return Err(
-                        "usage: --scale small|paper --queries N --budget-secs S \
-                         --epsilons 0.5,0.2 --datasets facebook-like,dblp-like --seed N"
-                            .to_string(),
-                    )
+                    return Err("usage: --scale small|paper --queries N --budget-secs S \
+                         --epsilons 0.5,0.2 --datasets facebook-like,dblp-like --seed N \
+                         --threads N"
+                        .to_string())
                 }
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -161,6 +168,8 @@ mod tests {
             "facebook-like, orkut-like",
             "--seed",
             "7",
+            "--threads",
+            "3",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Paper);
@@ -172,6 +181,7 @@ mod tests {
             vec!["facebook-like".to_string(), "orkut-like".to_string()]
         );
         assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 3);
     }
 
     #[test]

@@ -72,7 +72,10 @@ fn main() {
             }
         }
     }
-    print_table("Fig. 10: running time (ms) vs ell_b offset from the greedy choice", &runs);
+    print_table(
+        "Fig. 10: running time (ms) vs ell_b offset from the greedy choice",
+        &runs,
+    );
     match write_csv("fig10_lb_offset", &runs) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("failed to write csv: {e}"),

@@ -58,14 +58,8 @@ fn main() {
                 spec.name
             );
             for method in [MethodKind::Smm, MethodKind::SmmPengLength] {
-                let run = run_method_on_workload(
-                    method,
-                    &ctx,
-                    config,
-                    spec.name,
-                    &workload,
-                    args.budget,
-                );
+                let run =
+                    run_method_on_workload(method, &ctx, config, spec.name, &workload, args.budget);
                 eprintln!(
                     "[{}] eps={epsilon} {}: {:.3} ms/query",
                     spec.name,

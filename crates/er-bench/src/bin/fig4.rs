@@ -38,7 +38,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    print_table("Fig. 4: running time (ms) vs epsilon, random queries", &runs);
+    print_table(
+        "Fig. 4: running time (ms) vs epsilon, random queries",
+        &runs,
+    );
     match write_csv("fig4_random_query_time", &runs) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("failed to write csv: {e}"),

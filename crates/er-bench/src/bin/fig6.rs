@@ -35,7 +35,7 @@ fn main() {
     );
     let violations: Vec<_> = runs
         .iter()
-        .filter(|r| r.avg_abs_error.map_or(false, |e| e > r.epsilon))
+        .filter(|r| r.avg_abs_error.is_some_and(|e| e > r.epsilon))
         .collect();
     if violations.is_empty() {
         println!("\nall completed points are below the error threshold (successful queries)");

@@ -42,7 +42,11 @@ fn main() {
             spec.original_nodes,
             spec.original_edges,
             spec.avg_degree,
-            if prepared.loaded_from_file { "file" } else { "synthetic" },
+            if prepared.loaded_from_file {
+                "file"
+            } else {
+                "synthetic"
+            },
         );
         csv_rows.push(format!(
             "{},{},{},{:.4},{},{},{:.2},{}",

@@ -1,0 +1,96 @@
+//! Thread-scaling report for the deterministic parallel sampling layer.
+//!
+//! Sweeps 1/2/4/8 worker threads (clamped to the machine) over two workloads
+//! on a generated social-network graph and reports walks/sec plus speedup vs
+//! one thread:
+//!
+//! * raw bulk walks through `WalkEngine::endpoint_histogram`,
+//! * end-to-end AMC queries (the walk-pair loop of Algorithm 1).
+//!
+//! It also cross-checks determinism: the histogram and the AMC estimate must
+//! be bit-identical at every thread count.
+//!
+//! Run with `cargo run --release -p er-bench --bin thread_scaling
+//! [--queries N] [--seed N]`.
+
+use er_bench::args::BenchArgs;
+use er_core::{Amc, ApproxConfig, GraphContext, ResistanceEstimator};
+use er_graph::generators;
+use er_walks::WalkEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let graph = generators::social_network_like(20_000, 20.0, 0x5ca1e).expect("generator");
+    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
+    eprintln!(
+        "graph: n = {}, m = {}, lambda = {:.4}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        ctx.lambda()
+    );
+
+    let walks = 200_000u64;
+    let len = 32usize;
+    let queries = args.queries.max(1);
+
+    println!(
+        "{:>8} {:>16} {:>10} {:>16} {:>10}",
+        "threads", "walks/sec", "speedup", "amc queries/sec", "speedup"
+    );
+    let mut base_walk_rate = 0.0;
+    let mut base_query_rate = 0.0;
+    let mut reference: Option<(Vec<u64>, Vec<f64>)> = None;
+    for &threads in &[1usize, 2, 4, 8] {
+        // Bulk walks.
+        let mut engine = WalkEngine::new(&graph).with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let start = Instant::now();
+        let hist = engine.endpoint_histogram(0, len, walks, &mut rng);
+        let walk_rate = walks as f64 / start.elapsed().as_secs_f64();
+        let counts: Vec<u64> = (0..graph.num_nodes()).map(|v| hist.count(v)).collect();
+
+        // End-to-end AMC queries. A pessimistic lambda forces a non-trivial
+        // walk length so the timing reflects real sampling work.
+        let slow_ctx = GraphContext::with_lambda(&graph, 0.9).expect("lambda in range");
+        let config = ApproxConfig::with_epsilon(0.2)
+            .reseeded(args.seed)
+            .with_threads(threads);
+        let mut amc = Amc::new(&slow_ctx, config);
+        let start = Instant::now();
+        let mut values = Vec::with_capacity(queries);
+        for q in 0..queries {
+            let s = (q * 37) % graph.num_nodes();
+            let t = (q * 101 + graph.num_nodes() / 2) % graph.num_nodes();
+            values.push(amc.estimate(s, t).expect("valid query").value);
+        }
+        let query_rate = queries as f64 / start.elapsed().as_secs_f64();
+
+        match &reference {
+            None => {
+                base_walk_rate = walk_rate;
+                base_query_rate = query_rate;
+                reference = Some((counts, values));
+            }
+            Some((ref_counts, ref_values)) => {
+                assert_eq!(
+                    ref_counts, &counts,
+                    "histogram differs at {threads} threads"
+                );
+                let identical = ref_values
+                    .iter()
+                    .zip(&values)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(identical, "AMC estimates differ at {threads} threads");
+            }
+        }
+        println!(
+            "{threads:>8} {walk_rate:>16.0} {:>9.2}x {query_rate:>16.2} {:>9.2}x",
+            walk_rate / base_walk_rate,
+            query_rate / base_query_rate
+        );
+    }
+    println!("\ndeterminism: all thread counts produced bit-identical results");
+}

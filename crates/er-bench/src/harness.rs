@@ -118,7 +118,7 @@ pub fn walk_budget_for(budget: Duration) -> u64 {
 /// in the per-query time, matching the paper's measurement protocol.
 pub fn run_method_on_workload(
     kind: MethodKind,
-    ctx: &GraphContext<'_>,
+    ctx: &GraphContext,
     config: ApproxConfig,
     dataset: &str,
     workload: &Workload,
@@ -217,7 +217,7 @@ mod tests {
     use super::*;
     use er_graph::generators;
 
-    fn small_context(g: &Graph) -> GraphContext<'_> {
+    fn small_context(g: &Graph) -> GraphContext {
         GraphContext::preprocess(g).unwrap()
     }
 

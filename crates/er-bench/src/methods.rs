@@ -93,12 +93,12 @@ impl MethodKind {
     /// (EXACT / RP beyond their memory budgets) return the error so the caller
     /// can record the exclusion, exactly as the paper's figures omit those
     /// bars.
-    pub fn build<'g>(
+    pub fn build(
         &self,
-        ctx: &'g GraphContext<'g>,
+        ctx: &GraphContext,
         config: ApproxConfig,
         walk_budget: Option<u64>,
-    ) -> Result<Box<dyn ResistanceEstimator + 'g>, EstimatorError> {
+    ) -> Result<Box<dyn ResistanceEstimator>, EstimatorError> {
         Ok(match self {
             MethodKind::Geer => {
                 let mut est = Geer::new(ctx, config);

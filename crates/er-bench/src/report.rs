@@ -133,8 +133,10 @@ pub fn write_csv(name: &str, runs: &[MethodRun]) -> std::io::Result<PathBuf> {
             run.queries_total,
             run.queries_completed,
             run.avg_time_ms,
-            run.avg_abs_error.map_or(String::new(), |e| format!("{e:.8}")),
-            run.max_abs_error.map_or(String::new(), |e| format!("{e:.8}")),
+            run.avg_abs_error
+                .map_or(String::new(), |e| format!("{e:.8}")),
+            run.max_abs_error
+                .map_or(String::new(), |e| format!("{e:.8}")),
             run.timed_out,
             run.excluded
                 .as_deref()
@@ -169,7 +171,15 @@ mod tests {
 
     #[test]
     fn cell_formats_exclusions() {
-        assert_eq!(cell(&sample_run("RP", 0.1, None, Some("memory budget exceeded: x"))), "OOM");
+        assert_eq!(
+            cell(&sample_run(
+                "RP",
+                0.1,
+                None,
+                Some("memory budget exceeded: x")
+            )),
+            "OOM"
+        );
         assert_eq!(cell(&sample_run("GEER", 0.1, Some(0.01), None)), "1.250");
         let mut never_finished = sample_run("TP", 0.1, None, None);
         never_finished.queries_completed = 0;
@@ -188,7 +198,10 @@ mod tests {
         assert_eq!(lines.len(), 3, "header + 2 rows");
         assert!(lines[0].starts_with("dataset,workload,method"));
         assert!(lines[1].contains("GEER"));
-        assert!(lines[2].contains("memory; exceeded"), "commas are sanitised");
+        assert!(
+            lines[2].contains("memory; exceeded"),
+            "commas are sanitised"
+        );
         std::fs::remove_file(path).ok();
     }
 

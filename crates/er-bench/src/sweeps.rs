@@ -49,7 +49,11 @@ fn sweep_dataset(
         graph.num_nodes(),
         graph.num_edges(),
         graph.average_degree(),
-        if prepared.loaded_from_file { "file" } else { "synthetic" }
+        if prepared.loaded_from_file {
+            "file"
+        } else {
+            "synthetic"
+        }
     );
     let ctx = match GraphContext::preprocess(graph) {
         Ok(ctx) => ctx,
@@ -73,6 +77,7 @@ fn sweep_dataset(
         let config = ApproxConfig {
             epsilon,
             seed: args.seed,
+            threads: args.threads,
             ..ApproxConfig::default()
         };
         for &method in methods {
@@ -84,7 +89,8 @@ fn sweep_dataset(
                     continue;
                 }
             }
-            let run = run_method_on_workload(method, &ctx, config, spec.name, &workload, args.budget);
+            let run =
+                run_method_on_workload(method, &ctx, config, spec.name, &workload, args.budget);
             if method == MethodKind::Exact {
                 exact_template = Some(run.clone());
             }
@@ -134,6 +140,7 @@ pub fn tau_sweep(args: &BenchArgs, epsilon: f64) -> Result<Vec<MethodRun>, Strin
                 epsilon,
                 tau,
                 seed: args.seed,
+                threads: args.threads,
                 ..ApproxConfig::default()
             };
             let mut geer = Geer::new(&ctx, config);
@@ -145,7 +152,10 @@ pub fn tau_sweep(args: &BenchArgs, epsilon: f64) -> Result<Vec<MethodRun>, Strin
                 &workload,
                 args.budget,
             );
-            eprintln!("[{}] GEER tau={tau}: {:.3} ms/query", spec.name, run.avg_time_ms);
+            eprintln!(
+                "[{}] GEER tau={tau}: {:.3} ms/query",
+                spec.name, run.avg_time_ms
+            );
             runs.push(run);
             let mut amc = Amc::new(&ctx, config);
             let run = run_estimator_on_workload(
@@ -201,6 +211,8 @@ mod tests {
             datasets: Some(vec!["missing".to_string()]),
             ..BenchArgs::default()
         };
-        assert!(epsilon_sweep(&args, &[0.5], &[MethodKind::Smm], WorkloadKind::RandomEdges).is_err());
+        assert!(
+            epsilon_sweep(&args, &[0.5], &[MethodKind::Smm], WorkloadKind::RandomEdges).is_err()
+        );
     }
 }

@@ -44,7 +44,10 @@ impl ParsedArgs {
 
     /// String flag with a default.
     pub fn flag_str(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Typed flag with a default.
@@ -75,7 +78,10 @@ mod tests {
     fn subcommand_positionals_and_flags() {
         let args = parse("query data.txt --epsilon 0.05 --pairs 10 extra --verbose");
         assert_eq!(args.command.as_deref(), Some("query"));
-        assert_eq!(args.positional, vec!["data.txt".to_string(), "extra".to_string()]);
+        assert_eq!(
+            args.positional,
+            vec!["data.txt".to_string(), "extra".to_string()]
+        );
         assert_eq!(args.flag("epsilon", 0.1).unwrap(), 0.05);
         assert_eq!(args.flag("pairs", 0usize).unwrap(), 10);
         assert!(args.is_set("verbose"));

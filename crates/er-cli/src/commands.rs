@@ -8,9 +8,11 @@ use crate::args::ParsedArgs;
 use er_apps::{
     adjusted_rand_index, edge_criticality, modularity, ClusteringConfig, ResistanceClustering,
 };
-use er_core::{ApproxConfig, Geer, GraphContext, GroundTruth, GroundTruthMethod, ResistanceEstimator};
+use er_core::{
+    ApproxConfig, Geer, GraphContext, GroundTruth, GroundTruthMethod, ResistanceEstimator,
+};
 use er_graph::{Graph, GraphStats, NodePairQuerySet};
-use er_index::{ErIndex, LandmarkIndex, LandmarkSelection};
+use er_index::{DiagonalStrategy, ErIndex, LandmarkIndex, LandmarkSelection};
 use er_sparsify::{sample_sparsifier, EdgeScores, QualityEvaluator, SampleBudget, ScoreMethod};
 use std::fmt::Write as _;
 
@@ -21,6 +23,7 @@ pub fn approx_config(args: &ParsedArgs) -> Result<ApproxConfig, String> {
         delta: args.flag("delta", 0.01)?,
         tau: args.flag("tau", 5usize)?,
         seed: args.flag("seed", 42u64)?,
+        threads: args.flag("threads", 0usize)?,
     };
     config.validate().map_err(|e| e.to_string())?;
     Ok(config)
@@ -58,7 +61,10 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let positional: Vec<usize> = args
         .positional
         .iter()
-        .map(|p| p.parse::<usize>().map_err(|_| format!("'{p}' is not a node id")))
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| format!("'{p}' is not a node id"))
+        })
         .collect::<Result<_, _>>()?;
     for chunk in positional.chunks(2) {
         if let [s, t] = chunk {
@@ -82,7 +88,12 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let _ = writeln!(
         out,
         "{:>8} {:>8} {:>12} {:>12} {:>10} {:>12}",
-        "s", "t", "r'(s,t)", "walks", "matvec-ops", if check { "exact" } else { "" }
+        "s",
+        "t",
+        "r'(s,t)",
+        "walks",
+        "matvec-ops",
+        if check { "exact" } else { "" }
     );
     for (s, t) in pairs {
         let estimate = geer.estimate(s, t).map_err(|e| e.to_string())?;
@@ -111,7 +122,12 @@ pub fn critical(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
         let _ = writeln!(out, "{:>8} {:>8} {:>12.4}", edge.u, edge.v, edge.resistance);
     }
     let bridges = ranking.iter().filter(|e| e.resistance > 0.99).count();
-    let _ = writeln!(out, "\n{} of {} edges are (near-)bridges (r > 0.99)", bridges, ranking.len());
+    let _ = writeln!(
+        out,
+        "\n{} of {} edges are (near-)bridges (r > 0.99)",
+        bridges,
+        ranking.len()
+    );
     Ok(out)
 }
 
@@ -120,22 +136,40 @@ pub fn sparsify(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = approx_config(args)?;
     let method = match args.flag_str("scores", "geer").as_str() {
         "exact" => ScoreMethod::Exact,
-        "geer" => ScoreMethod::Geer { epsilon: config.epsilon },
-        "trees" => ScoreMethod::SpanningTrees { samples: args.flag("samples", 200usize)? },
-        other => return Err(format!("unknown --scores method '{other}' (exact, geer, trees)")),
+        "geer" => ScoreMethod::Geer {
+            epsilon: config.epsilon,
+        },
+        "trees" => ScoreMethod::SpanningTrees {
+            samples: args.flag("samples", 200usize)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown --scores method '{other}' (exact, geer, trees)"
+            ))
+        }
     };
     let quality_epsilon: f64 = args.flag("quality-epsilon", 0.4)?;
-    let scores = EdgeScores::compute(graph, method, config.seed).map_err(|e| e.to_string())?;
+    let scores = EdgeScores::compute_with_threads(graph, method, config.seed, config.threads)
+        .map_err(|e| e.to_string())?;
     let output = sample_sparsifier(
         graph,
         &scores,
-        SampleBudget::SpectralGuarantee { epsilon: quality_epsilon, scale: 1.5 },
+        SampleBudget::SpectralGuarantee {
+            epsilon: quality_epsilon,
+            scale: 1.5,
+        },
         config.seed,
     )
     .map_err(|e| e.to_string())?;
     let report = QualityEvaluator::new(graph).evaluate(&output.sparsifier);
     let mut out = String::new();
-    let _ = writeln!(out, "edge scores:       {:?} (Foster total {:.1}, n-1 = {})", method, scores.total(), graph.num_nodes() - 1);
+    let _ = writeln!(
+        out,
+        "edge scores:       {:?} (Foster total {:.1}, n-1 = {})",
+        method,
+        scores.total(),
+        graph.num_nodes() - 1
+    );
     let _ = writeln!(out, "samples drawn:     {}", output.samples_drawn);
     let _ = writeln!(
         out,
@@ -145,9 +179,22 @@ pub fn sparsify(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
         100.0 * output.keep_fraction(graph)
     );
     let _ = writeln!(out, "connected:         {}", report.connected);
-    let _ = writeln!(out, "max quad. distortion: {:.3}", report.max_quadratic_distortion);
-    let _ = writeln!(out, "max cut distortion:   {:.3}", report.max_cut_distortion);
-    let _ = writeln!(out, "meets epsilon {:.2}:   {}", quality_epsilon, report.satisfies(quality_epsilon));
+    let _ = writeln!(
+        out,
+        "max quad. distortion: {:.3}",
+        report.max_quadratic_distortion
+    );
+    let _ = writeln!(
+        out,
+        "max cut distortion:   {:.3}",
+        report.max_cut_distortion
+    );
+    let _ = writeln!(
+        out,
+        "meets epsilon {:.2}:   {}",
+        quality_epsilon,
+        report.satisfies(quality_epsilon)
+    );
     Ok(out)
 }
 
@@ -167,8 +214,16 @@ pub fn cluster(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let _ = writeln!(out, "clusters:   {}", result.num_clusters());
     let _ = writeln!(out, "sizes:      {:?}", result.sizes());
     let _ = writeln!(out, "medoids:    {:?}", result.medoids);
-    let _ = writeln!(out, "iterations: {} (converged: {})", result.iterations, result.converged);
-    let _ = writeln!(out, "modularity: {:.3}", modularity(graph, &result.assignments));
+    let _ = writeln!(
+        out,
+        "iterations: {} (converged: {})",
+        result.iterations, result.converged
+    );
+    let _ = writeln!(
+        out,
+        "modularity: {:.3}",
+        modularity(graph, &result.assignments)
+    );
     if args.is_set("print-assignments") {
         let _ = writeln!(out, "assignments: {:?}", result.assignments);
     }
@@ -177,7 +232,10 @@ pub fn cluster(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     if args.is_set("stability") {
         let alt = ResistanceClustering::new(
             graph,
-            ClusteringConfig { seed: config.seed.wrapping_add(1), ..config },
+            ClusteringConfig {
+                seed: config.seed.wrapping_add(1),
+                ..config
+            },
         )
         .run()
         .map_err(|e| e.to_string())?;
@@ -193,21 +251,40 @@ pub fn cluster(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
 /// `er profile s`: single-source resistance profile and nearest neighbours.
 pub fn profile(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let source: usize = match args.positional.first() {
-        Some(raw) => raw.parse().map_err(|_| format!("'{raw}' is not a node id"))?,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("'{raw}' is not a node id"))?,
         None => return Err("profile expects a source node id".into()),
     };
     let top: usize = args.flag("top", 10usize)?;
-    let mut index = ErIndex::build(graph).map_err(|e| e.to_string())?;
+    let config = approx_config(args)?;
+    let mut index = ErIndex::build_with_threads(
+        graph,
+        DiagonalStrategy::ExactSolves,
+        config.seed,
+        config.threads,
+    )
+    .map_err(|e| e.to_string())?;
     let nearest = index.nearest(source, top).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "nearest {} nodes to {} by effective resistance:", nearest.len(), source);
+    let _ = writeln!(
+        out,
+        "nearest {} nodes to {} by effective resistance:",
+        nearest.len(),
+        source
+    );
     let _ = writeln!(out, "{:>8} {:>12} {:>8}", "node", "r", "degree");
     for (node, r) in &nearest {
         let _ = writeln!(out, "{node:>8} {r:>12.4} {:>8}", graph.degree(*node));
     }
     let _ = writeln!(out, "\nKirchhoff index: {:.1}", index.kirchhoff_index());
-    let landmarks = LandmarkIndex::build(graph, args.flag("landmarks", 8usize)?, LandmarkSelection::Mixed, 7)
-        .map_err(|e| e.to_string())?;
+    let landmarks = LandmarkIndex::build(
+        graph,
+        args.flag("landmarks", 8usize)?,
+        LandmarkSelection::Mixed,
+        7,
+    )
+    .map_err(|e| e.to_string())?;
     let far = graph.num_nodes() - 1;
     let bounds = landmarks.bounds(source, far).map_err(|e| e.to_string())?;
     let _ = writeln!(
@@ -240,6 +317,8 @@ COMMON FLAGS:
     --delta <f>                 failure probability δ (default 0.01)
     --tau <n>                   AMC/GEER batches τ (default 5)
     --seed <n>                  RNG seed (default 42)
+    --threads <n>               worker threads for parallel sampling (default 0 = all
+                                cores; results are identical at any thread count)
 "
     .to_string()
 }
@@ -283,7 +362,10 @@ mod tests {
         assert!(out.lines().count() >= 7);
         let out = sparsify(&g, &args("sparsify --scores trees --samples 60")).unwrap();
         assert!(out.contains("edges kept"));
-        assert!(out.contains("true"), "the sparsifier of a small graph stays connected: {out}");
+        assert!(
+            out.contains("true"),
+            "the sparsifier of a small graph stays connected: {out}"
+        );
         assert!(sparsify(&g, &args("sparsify --scores bogus")).is_err());
     }
 
@@ -310,8 +392,14 @@ mod tests {
     fn config_flags_are_validated() {
         assert!(approx_config(&args("query --epsilon 0")).is_err());
         assert!(approx_config(&args("query --tau 0")).is_err());
-        let config = approx_config(&args("query --epsilon 0.05 --seed 9")).unwrap();
+        let config = approx_config(&args("query --epsilon 0.05 --seed 9 --threads 2")).unwrap();
         assert_eq!(config.epsilon, 0.05);
         assert_eq!(config.seed, 9);
+        assert_eq!(config.threads, 2);
+        assert_eq!(
+            approx_config(&args("query")).unwrap().threads,
+            0,
+            "default: all cores"
+        );
     }
 }

@@ -110,7 +110,13 @@ mod tests {
 
     #[test]
     fn synthetic_specs_parse_and_generate() {
-        for spec in ["social:500", "community:400:10", "ba:300:6:7", "er:200:8", "complete:30"] {
+        for spec in [
+            "social:500",
+            "community:400:10",
+            "ba:300:6:7",
+            "er:200:8",
+            "complete:30",
+        ] {
             let (graph, description) = GraphSource::Synthetic(spec.to_string()).load().unwrap();
             assert!(graph.num_nodes() > 0, "{spec}");
             assert!(analysis::is_connected(&graph));
@@ -122,14 +128,20 @@ mod tests {
     fn grid_spec_is_rejected_as_bipartite() {
         // A pure grid is bipartite; the loader must say so rather than let the
         // estimators loop on a periodic chain.
-        let err = GraphSource::Synthetic("grid:100".to_string()).load().unwrap_err();
+        let err = GraphSource::Synthetic("grid:100".to_string())
+            .load()
+            .unwrap_err();
         assert!(err.contains("bipartite"));
     }
 
     #[test]
     fn bad_specs_are_rejected() {
-        assert!(GraphSource::Synthetic("wat:100".to_string()).load().is_err());
-        assert!(GraphSource::Synthetic("social:abc".to_string()).load().is_err());
+        assert!(GraphSource::Synthetic("wat:100".to_string())
+            .load()
+            .is_err());
+        assert!(GraphSource::Synthetic("social:abc".to_string())
+            .load()
+            .is_err());
     }
 
     #[test]

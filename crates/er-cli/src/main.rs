@@ -51,7 +51,10 @@ fn main() -> ExitCode {
         "critical" => commands::critical(&graph, &parsed),
         "sparsify" => commands::sparsify(&graph, &parsed),
         "cluster" => commands::cluster(&graph, &parsed),
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+        other => Err(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::usage()
+        )),
     };
     match result {
         Ok(report) => {

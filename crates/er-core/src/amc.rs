@@ -21,7 +21,7 @@ use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use crate::length;
 use er_graph::{Graph, NodeId};
 use er_linalg::vector;
-use er_walks::truncated;
+use er_walks::{par, truncated};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,6 +43,9 @@ pub struct AmcParameters {
     /// by the benchmark harness to mirror the paper's one-day-per-method
     /// timeout without aborting mid-query.
     pub walk_budget: Option<u64>,
+    /// Worker threads for the walk-pair fan-out (0 = all cores). The estimate
+    /// is bit-identical at any thread count for a fixed seed.
+    pub threads: usize,
 }
 
 impl AmcParameters {
@@ -54,6 +57,7 @@ impl AmcParameters {
             tau: config.tau.max(1),
             ell_f,
             walk_budget: None,
+            threads: config.threads,
         }
     }
 }
@@ -133,6 +137,11 @@ pub fn total_walk_budget(eta_star: u64, tau: usize) -> u64 {
 /// and add `1_{s≠t}(1/d(s) + 1/d(t))` to the returned `r_f` (Theorem 3.4);
 /// the [`Amc`] estimator does exactly that. GEER passes the SMM frontier
 /// vectors instead and adds its own deterministic prefix.
+///
+/// Each batch draws one `u64` from `rng` to seed the parallel walk-pair
+/// fan-out; walk pair `k` then uses its own RNG stream derived from
+/// `(batch_seed, k)`, so the result is a pure function of the caller's RNG
+/// state regardless of `params.threads`.
 pub fn run_amc<R: Rng + ?Sized>(
     graph: &Graph,
     s: NodeId,
@@ -173,27 +182,38 @@ pub fn run_amc<R: Rng + ?Sized>(
 
     for _ in 0..tau {
         if let Some(budget) = params.walk_budget {
-            if cost.random_walks.saturating_add(2 * eta) > budget {
+            if cost.random_walks.saturating_add(eta.saturating_mul(2)) > budget {
                 budget_truncated = true;
                 break;
             }
         }
         batches_used += 1;
-        let mut z_sum = 0.0;
-        let mut z_sq_sum = 0.0;
-        for _ in 0..eta {
-            let mut z_k = 0.0;
-            truncated::walk_accumulate(graph, s, params.ell_f, rng, |u| {
-                z_k += s_vec[u] / ds - t_vec[u] / dt;
-            });
-            truncated::walk_accumulate(graph, t, params.ell_f, rng, |u| {
-                z_k += t_vec[u] / dt - s_vec[u] / ds;
-            });
-            z_sum += z_k;
-            z_sq_sum += z_k * z_k;
-        }
+        let batch_seed = rng.next_u64();
+        let (z_sum, z_sq_sum) = par::par_fold_indexed(
+            eta,
+            batch_seed,
+            params.threads,
+            || (0.0f64, 0.0f64),
+            |_, walk_rng, acc| {
+                let mut z_k = 0.0;
+                truncated::walk_accumulate(graph, s, params.ell_f, walk_rng, |u| {
+                    z_k += s_vec[u] / ds - t_vec[u] / dt;
+                });
+                truncated::walk_accumulate(graph, t, params.ell_f, walk_rng, |u| {
+                    z_k += t_vec[u] / dt - s_vec[u] / ds;
+                });
+                acc.0 += z_k;
+                acc.1 += z_k * z_k;
+            },
+            |total, part| {
+                total.0 += part.0;
+                total.1 += part.1;
+            },
+        );
         cost.random_walks += 2 * eta;
-        cost.walk_steps += 2 * eta * params.ell_f as u64;
+        cost.walk_steps = cost
+            .walk_steps
+            .saturating_add(eta.saturating_mul(2 * params.ell_f as u64));
         z_mean = z_sum / eta as f64;
         sigma_sq = (z_sq_sum / eta as f64 - z_mean * z_mean).max(0.0);
         let err = empirical_bernstein_error(eta, sigma_sq, psi, params.delta / tau as f64);
@@ -217,18 +237,19 @@ pub fn run_amc<R: Rng + ?Sized>(
 
 /// The standalone AMC estimator: refined walk length (Eq. 6), one-hot weight
 /// vectors and the `1_{s≠t}(1/d(s) + 1/d(t))` correction of Theorem 3.4.
-pub struct Amc<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Amc {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     walk_budget: Option<u64>,
 }
 
-impl<'g> Amc<'g> {
-    /// Creates an AMC estimator.
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+impl Amc {
+    /// Creates an AMC estimator (the context is cloned — a cheap `Arc` bump).
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Amc {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed),
             walk_budget: None,
@@ -253,7 +274,15 @@ impl<'g> Amc<'g> {
     }
 }
 
-impl ResistanceEstimator for Amc<'_> {
+impl crate::estimator::ForkableEstimator for Amc {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng = StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Amc {
     fn name(&self) -> &'static str {
         "AMC"
     }
@@ -316,8 +345,14 @@ mod tests {
         let e1 = eta_star(2.0, 0.5, 0.1, 5);
         // 2 * 4 * ln(100) / 0.25 = 32 ln(100) ≈ 147.4 -> 148
         assert_eq!(e1, (8.0 * (100.0f64).ln() / 0.25).ceil() as u64);
-        assert!(eta_star(2.0, 0.1, 0.1, 5) > e1, "smaller epsilon needs more walks");
-        assert!(eta_star(4.0, 0.5, 0.1, 5) > e1, "larger psi needs more walks");
+        assert!(
+            eta_star(2.0, 0.1, 0.1, 5) > e1,
+            "smaller epsilon needs more walks"
+        );
+        assert!(
+            eta_star(4.0, 0.5, 0.1, 5) > e1,
+            "larger psi needs more walks"
+        );
     }
 
     #[test]
@@ -391,6 +426,7 @@ mod tests {
             tau: 5,
             ell_f: ell.max(1),
             walk_budget: None,
+            threads: 1,
         };
         let n = g_ref.num_nodes();
         let s_vec = vector::unit(n, s);

@@ -17,8 +17,14 @@ pub struct ApproxConfig {
     /// Figs. 8–9.
     pub tau: usize,
     /// Seed for the estimator's random number generator; estimates are fully
-    /// deterministic given the seed.
+    /// deterministic given the seed — at *any* thread count (see [`Self::threads`]).
     pub seed: u64,
+    /// Worker threads for the parallel sampling layer (0 = all cores).
+    ///
+    /// Sampling fans out with per-walk RNG streams derived from
+    /// `(seed, walk_index)`, so for a fixed [`Self::seed`] the estimate is
+    /// bit-identical whether this is 1 or 64.
+    pub threads: usize,
 }
 
 impl Default for ApproxConfig {
@@ -28,6 +34,7 @@ impl Default for ApproxConfig {
             delta: 0.01,
             tau: 5,
             seed: 0x5eed,
+            threads: 0,
         }
     }
 }
@@ -47,9 +54,15 @@ impl ApproxConfig {
         self
     }
 
+    /// Returns a copy with a different thread count (0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates ε > 0, δ ∈ (0, 1) and τ ≥ 1.
     pub fn validate(&self) -> Result<(), EstimatorError> {
-        if !(self.epsilon > 0.0) || !self.epsilon.is_finite() {
+        if self.epsilon <= 0.0 || !self.epsilon.is_finite() {
             return Err(EstimatorError::InvalidParameter {
                 name: "epsilon",
                 message: format!("must be a positive finite number, got {}", self.epsilon),
@@ -85,18 +98,24 @@ mod tests {
 
     #[test]
     fn with_epsilon_and_reseeded() {
-        let c = ApproxConfig::with_epsilon(0.02).reseeded(99);
+        let c = ApproxConfig::with_epsilon(0.02)
+            .reseeded(99)
+            .with_threads(4);
         assert_eq!(c.epsilon, 0.02);
         assert_eq!(c.seed, 99);
+        assert_eq!(c.threads, 4);
         assert_eq!(c.tau, ApproxConfig::default().tau);
+        assert_eq!(ApproxConfig::default().threads, 0, "default is all cores");
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(ApproxConfig::with_epsilon(0.0).validate().is_err());
         assert!(ApproxConfig::with_epsilon(f64::NAN).validate().is_err());
-        let mut c = ApproxConfig::default();
-        c.delta = 1.5;
+        let mut c = ApproxConfig {
+            delta: 1.5,
+            ..ApproxConfig::default()
+        };
         assert!(c.validate().is_err());
         c.delta = 0.01;
         c.tau = 0;

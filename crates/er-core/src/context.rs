@@ -4,41 +4,53 @@
 //! `λ = max{|λ₂|, |λₙ|}` of the transition matrix (Section 3.1): it is
 //! computed once per graph (the paper quotes under five minutes with ARPACK on
 //! the 117-million-edge Orkut graph) and reused by every query through
-//! Eq. (5)/(6). [`GraphContext`] bundles the graph reference with that value
-//! and validates the standing assumptions (connected, non-bipartite).
+//! Eq. (5)/(6). [`GraphContext`] bundles a shared handle to the graph with
+//! that value and validates the standing assumptions (connected,
+//! non-bipartite).
+//!
+//! The context is **owned**: it holds the graph as an `Arc<Graph>`, so it is
+//! `Send + Sync`, cheap to clone (a reference-count bump plus three floats)
+//! and free of borrow lifetimes — estimators store their own copy, services
+//! can cache contexts, and the parallel sampling layer can share one context
+//! across worker threads.
 
 use crate::error::EstimatorError;
-use er_graph::{analysis, Graph};
+use er_graph::{analysis, Graph, IntoGraphArc};
 use er_linalg::lanczos;
+use std::sync::Arc;
 
 /// A graph together with its spectral preprocessing.
 #[derive(Clone, Debug)]
-pub struct GraphContext<'g> {
-    graph: &'g Graph,
+pub struct GraphContext {
+    graph: Arc<Graph>,
     lambda: f64,
     lambda2: f64,
     lambda_n: f64,
 }
 
-impl<'g> GraphContext<'g> {
+impl GraphContext {
     /// Default Krylov dimension for the Lanczos eigenvalue estimation.
     pub const DEFAULT_LANCZOS_ITERATIONS: usize = 120;
 
     /// Validates the graph (connected, non-bipartite) and computes
     /// `λ = max{|λ₂|, |λₙ|}` with the default Lanczos budget.
-    pub fn preprocess(graph: &'g Graph) -> Result<Self, EstimatorError> {
+    ///
+    /// Accepts a `Graph`, an `Arc<Graph>`, or a reference to either (a `&Graph`
+    /// is copied once; pass the graph or an `Arc` by value to avoid the copy).
+    pub fn preprocess(graph: impl IntoGraphArc) -> Result<Self, EstimatorError> {
         Self::preprocess_with(graph, Self::DEFAULT_LANCZOS_ITERATIONS, 0xe16e)
     }
 
     /// Validates the graph and computes λ with an explicit Lanczos iteration
     /// budget and seed.
     pub fn preprocess_with(
-        graph: &'g Graph,
+        graph: impl IntoGraphArc,
         lanczos_iterations: usize,
         seed: u64,
     ) -> Result<Self, EstimatorError> {
-        analysis::validate_ergodic(graph)?;
-        let (lambda2, lambda_n) = lanczos::spectral_bounds(graph, lanczos_iterations, seed);
+        let graph = graph.into_graph_arc();
+        analysis::validate_ergodic(&graph)?;
+        let (lambda2, lambda_n) = lanczos::spectral_bounds(&graph, lanczos_iterations, seed);
         let lambda = lambda2.abs().max(lambda_n.abs()).clamp(1e-9, 1.0 - 1e-9);
         Ok(GraphContext {
             graph,
@@ -51,8 +63,9 @@ impl<'g> GraphContext<'g> {
     /// Builds a context from an externally supplied λ (e.g. loaded from a
     /// preprocessing file, or a synthetic value in tests). The graph is still
     /// validated.
-    pub fn with_lambda(graph: &'g Graph, lambda: f64) -> Result<Self, EstimatorError> {
-        analysis::validate_ergodic(graph)?;
+    pub fn with_lambda(graph: impl IntoGraphArc, lambda: f64) -> Result<Self, EstimatorError> {
+        let graph = graph.into_graph_arc();
+        analysis::validate_ergodic(&graph)?;
         if !(lambda > 0.0 && lambda < 1.0) {
             return Err(EstimatorError::InvalidParameter {
                 name: "lambda",
@@ -68,8 +81,14 @@ impl<'g> GraphContext<'g> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared graph handle (for callers that want to keep the graph alive
+    /// beyond the context, or to build further owned components on it).
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
     }
 
     /// `λ = max{|λ₂|, |λₙ|}`, clamped into (0, 1).
@@ -144,5 +163,25 @@ mod tests {
         let g = generators::complete(11).unwrap();
         let ctx = GraphContext::preprocess(&g).unwrap();
         assert!((ctx.lambda() - 0.1).abs() < 1e-6, "lambda {}", ctx.lambda());
+    }
+
+    #[test]
+    fn context_is_owned_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone + 'static>() {}
+        assert_send_sync::<GraphContext>();
+
+        // Contexts built from an Arc share the graph without copying it, can
+        // outlive the caller's handle, and clones agree on everything.
+        let g = std::sync::Arc::new(generators::complete(7).unwrap());
+        let ctx = GraphContext::preprocess(g.clone()).unwrap();
+        assert!(std::sync::Arc::ptr_eq(ctx.graph_arc(), &g));
+        drop(g);
+        let clone = ctx.clone();
+        assert!(std::sync::Arc::ptr_eq(ctx.graph_arc(), clone.graph_arc()));
+        assert_eq!(ctx.lambda(), clone.lambda());
+
+        // A context can be moved to another thread and used there.
+        let handle = std::thread::spawn(move || clone.graph().num_nodes());
+        assert_eq!(handle.join().unwrap(), 7);
     }
 }

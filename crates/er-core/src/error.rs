@@ -42,7 +42,10 @@ impl fmt::Display for EstimatorError {
                 write!(f, "invalid parameter '{name}': {message}")
             }
             EstimatorError::NotAnEdge { s, t } => {
-                write!(f, "({s}, {t}) is not an edge; this estimator only supports edge queries")
+                write!(
+                    f,
+                    "({s}, {t}) is not an edge; this estimator only supports edge queries"
+                )
             }
             EstimatorError::BudgetExceeded { resource, message } => {
                 write!(f, "{resource} budget exceeded: {message}")

@@ -83,6 +83,22 @@ pub trait ResistanceEstimator {
     }
 }
 
+/// Estimators that can produce independent per-stream copies for parallel
+/// query fan-out.
+///
+/// `fork(stream)` returns an estimator whose RNG state is re-derived from the
+/// configured seed and `stream`, so a batch executor can hand query `i` the
+/// fork with `stream = i` and obtain results that are deterministic for a
+/// fixed seed at any thread count (and independent of the order in which the
+/// queries run). Deterministic estimators simply clone themselves.
+///
+/// Since the `GraphContext` refactor every estimator is owned (`'static`) and
+/// holds the graph behind an `Arc`, so forks are cheap and `Send`.
+pub trait ForkableEstimator: ResistanceEstimator + Clone + Send + Sync {
+    /// Returns an independent copy on RNG stream `stream`.
+    fn fork(&self, stream: u64) -> Self;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,34 +24,35 @@ use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
 use er_linalg::{DenseMatrix, LaplacianSolver};
 
-enum Backend<'g> {
+#[derive(Clone)]
+enum Backend {
     PseudoInverse(Box<DenseMatrix>),
-    Solver(LaplacianSolver<'g>),
+    /// A conjugate-gradient solve per query; the solver itself is constructed
+    /// on demand (it only borrows the graph and is free to build).
+    Solver,
 }
 
 /// The EXACT estimator.
-pub struct Exact<'g> {
-    context: &'g GraphContext<'g>,
-    backend: Backend<'g>,
+#[derive(Clone)]
+pub struct Exact {
+    context: GraphContext,
+    backend: Backend,
 }
 
-impl<'g> Exact<'g> {
+impl Exact {
     /// Default node cap for the dense pseudo-inverse path (mirrors the paper's
     /// out-of-memory failures on anything but the smallest dataset, scaled to
     /// laptop memory).
     pub const DEFAULT_NODE_CAP: usize = 5_000;
 
     /// Builds the dense pseudo-inverse with the default node cap.
-    pub fn new(context: &'g GraphContext<'g>) -> Result<Self, EstimatorError> {
+    pub fn new(context: &GraphContext) -> Result<Self, EstimatorError> {
         Self::with_node_cap(context, Self::DEFAULT_NODE_CAP)
     }
 
     /// Builds the dense pseudo-inverse, failing if the graph has more than
     /// `node_cap` nodes.
-    pub fn with_node_cap(
-        context: &'g GraphContext<'g>,
-        node_cap: usize,
-    ) -> Result<Self, EstimatorError> {
+    pub fn with_node_cap(context: &GraphContext, node_cap: usize) -> Result<Self, EstimatorError> {
         let graph = context.graph();
         let n = graph.num_nodes();
         if n > node_cap {
@@ -72,26 +73,32 @@ impl<'g> Exact<'g> {
             rhs[j] = 1.0;
             let (x, _) = solver.solve(&rhs);
             rhs[j] = 0.0;
-            for i in 0..n {
-                pinv.set(i, j, x[i]);
+            for (i, &value) in x.iter().enumerate() {
+                pinv.set(i, j, value);
             }
         }
         Ok(Exact {
-            context,
+            context: context.clone(),
             backend: Backend::PseudoInverse(Box::new(pinv)),
         })
     }
 
     /// Uses a CG Laplacian solve per query instead of materialising `L†`.
-    pub fn with_solver(context: &'g GraphContext<'g>) -> Self {
+    pub fn with_solver(context: &GraphContext) -> Self {
         Exact {
-            context,
-            backend: Backend::Solver(LaplacianSolver::for_ground_truth(context.graph())),
+            context: context.clone(),
+            backend: Backend::Solver,
         }
     }
 }
 
-impl ResistanceEstimator for Exact<'_> {
+impl crate::estimator::ForkableEstimator for Exact {
+    fn fork(&self, _stream: u64) -> Self {
+        self.clone() // deterministic: every fork computes identical values
+    }
+}
+
+impl ResistanceEstimator for Exact {
     fn name(&self) -> &'static str {
         "EXACT"
     }
@@ -110,7 +117,8 @@ impl ResistanceEstimator for Exact<'_> {
                     cost: CostBreakdown::default(),
                 })
             }
-            Backend::Solver(solver) => {
+            Backend::Solver => {
+                let solver = LaplacianSolver::for_ground_truth(self.context.graph());
                 let n = self.context.graph().num_nodes();
                 let mut b = vec![0.0; n];
                 b[s] = 1.0;

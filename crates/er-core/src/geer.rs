@@ -61,19 +61,20 @@ impl GeerTrace {
 }
 
 /// The GEER estimator.
-pub struct Geer<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Geer {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     switch_rule: SwitchRule,
     walk_budget: Option<u64>,
 }
 
-impl<'g> Geer<'g> {
+impl Geer {
     /// Creates a GEER estimator with the greedy switch rule of Eq. (17).
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Geer {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x6eee),
             switch_rule: SwitchRule::Greedy,
@@ -171,6 +172,7 @@ impl<'g> Geer<'g> {
             tau,
             ell_f: remaining,
             walk_budget: self.walk_budget,
+            threads: self.config.threads,
         };
         if let Some(budget) = self.walk_budget {
             params.walk_budget = Some(budget.saturating_sub(cost.random_walks));
@@ -189,7 +191,16 @@ impl<'g> Geer<'g> {
     }
 }
 
-impl ResistanceEstimator for Geer<'_> {
+impl crate::estimator::ForkableEstimator for Geer {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng =
+            StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed ^ 0x6eee, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Geer {
     fn name(&self) -> &'static str {
         "GEER"
     }

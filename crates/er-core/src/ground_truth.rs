@@ -36,7 +36,7 @@ impl<'g> GroundTruth<'g> {
     pub const DEFAULT_SMM_ITERATIONS: usize = 1000;
 
     /// Creates a ground-truth oracle with the paper's SMM-based method.
-    pub fn new(context: &'g GraphContext<'g>) -> Self {
+    pub fn new(context: &'g GraphContext) -> Self {
         GroundTruth {
             graph: context.graph(),
             method: GroundTruthMethod::SmmIterations(Self::DEFAULT_SMM_ITERATIONS),

@@ -13,23 +13,25 @@ use crate::context::GraphContext;
 use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
+use er_walks::par;
 use er_walks::spanning::sample_spanning_tree;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// The HAY estimator (edge queries only).
-pub struct Hay<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Hay {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     tree_budget: Option<u64>,
 }
 
-impl<'g> Hay<'g> {
+impl Hay {
     /// Creates a HAY estimator.
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Hay {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x11a7),
             tree_budget: None,
@@ -52,7 +54,16 @@ impl<'g> Hay<'g> {
     }
 }
 
-impl ResistanceEstimator for Hay<'_> {
+impl crate::estimator::ForkableEstimator for Hay {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng =
+            StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed ^ 0x11a7, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Hay {
     fn name(&self) -> &'static str {
         "HAY"
     }
@@ -71,18 +82,25 @@ impl ResistanceEstimator for Hay<'_> {
         if let Some(budget) = self.tree_budget {
             trees = trees.min(budget.max(1));
         }
-        let mut containing = 0u64;
         let mut cost = CostBreakdown::default();
-        for _ in 0..trees {
-            let tree = sample_spanning_tree(g, s, &mut self.rng);
-            if tree.contains_edge(s, t) {
-                containing += 1;
-            }
-            cost.spanning_trees += 1;
-            // Wilson's algorithm walks at least n - 1 steps; we do not track
-            // its exact step count, so record the tree-size lower bound.
-            cost.walk_steps += (g.num_nodes() - 1) as u64;
-        }
+        let fan_seed = self.rng.next_u64();
+        let containing = par::par_fold_indexed(
+            trees,
+            fan_seed,
+            self.config.threads,
+            || 0u64,
+            |_, tree_rng, acc| {
+                let tree = sample_spanning_tree(g, s, tree_rng);
+                if tree.contains_edge(s, t) {
+                    *acc += 1;
+                }
+            },
+            |total, part| *total += part,
+        );
+        cost.spanning_trees = trees;
+        // Wilson's algorithm walks at least n - 1 steps per tree; we do not
+        // track its exact step count, so record the tree-size lower bound.
+        cost.walk_steps = trees * (g.num_nodes() - 1) as u64;
         Ok(Estimate {
             value: containing as f64 / trees as f64,
             cost,

@@ -10,7 +10,10 @@
 /// `ℓ = ⌈ ln(4 / (ε (1 − λ))) / ln(1 / λ) − 1 ⌉`, clamped to ≥ 0.
 pub fn peng_length(epsilon: f64, lambda: f64) -> usize {
     assert!(epsilon > 0.0, "epsilon must be positive");
-    assert!((0.0..1.0).contains(&lambda) && lambda > 0.0, "lambda must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&lambda) && lambda > 0.0,
+        "lambda must be in (0,1)"
+    );
     let numerator = (4.0 / (epsilon * (1.0 - lambda))).ln();
     let denominator = (1.0 / lambda).ln();
     let raw = numerator / denominator - 1.0;
@@ -23,8 +26,14 @@ pub fn peng_length(epsilon: f64, lambda: f64) -> usize {
 /// `degree_s` and `degree_t` are the degrees of the query nodes.
 pub fn refined_length(epsilon: f64, lambda: f64, degree_s: usize, degree_t: usize) -> usize {
     assert!(epsilon > 0.0, "epsilon must be positive");
-    assert!((0.0..1.0).contains(&lambda) && lambda > 0.0, "lambda must be in (0,1)");
-    assert!(degree_s > 0 && degree_t > 0, "query nodes must have positive degree");
+    assert!(
+        (0.0..1.0).contains(&lambda) && lambda > 0.0,
+        "lambda must be in (0,1)"
+    );
+    assert!(
+        degree_s > 0 && degree_t > 0,
+        "query nodes must have positive degree"
+    );
     let budget = 2.0 / degree_s as f64 + 2.0 / degree_t as f64;
     let numerator = (budget / (epsilon * (1.0 - lambda))).ln();
     let denominator = (1.0 / lambda).ln();
@@ -38,8 +47,7 @@ pub fn refined_length(epsilon: f64, lambda: f64, degree_s: usize, degree_t: usiz
 /// Exposed so tests can verify that both length formulas achieve ≤ ε/2 and
 /// the refined one is not unnecessarily loose.
 pub fn truncation_error_bound(ell: usize, lambda: f64, degree_s: usize, degree_t: usize) -> f64 {
-    lambda.powi(ell as i32 + 1) / (1.0 - lambda)
-        * (1.0 / degree_s as f64 + 1.0 / degree_t as f64)
+    lambda.powi(ell as i32 + 1) / (1.0 - lambda) * (1.0 / degree_s as f64 + 1.0 / degree_t as f64)
 }
 
 #[cfg(test)]

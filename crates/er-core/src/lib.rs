@@ -58,7 +58,7 @@ pub use amc::{Amc, AmcOutput, AmcParameters};
 pub use config::ApproxConfig;
 pub use context::GraphContext;
 pub use error::EstimatorError;
-pub use estimator::{CostBreakdown, Estimate, ResistanceEstimator};
+pub use estimator::{CostBreakdown, Estimate, ForkableEstimator, ResistanceEstimator};
 pub use exact::Exact;
 pub use geer::{Geer, GeerTrace, SwitchRule};
 pub use ground_truth::{GroundTruth, GroundTruthMethod};

@@ -18,12 +18,14 @@ use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
 use er_walks::hitting::{escape_walk, EscapeOutcome};
+use er_walks::par;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// The MC estimator.
-pub struct Mc<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Mc {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     /// Upper bound γ on `r(s, t)` assumed when sizing the number of trials.
@@ -34,16 +36,16 @@ pub struct Mc<'g> {
     walk_budget: Option<u64>,
 }
 
-impl<'g> Mc<'g> {
+impl Mc {
     /// Default step cap per escape walk.
     pub const DEFAULT_MAX_STEPS: usize = 50_000_000;
 
     /// Creates an MC estimator with the assumption `r(s, t) ≤ 1` (true for
     /// every edge query and for most pairs in the well-connected graphs the
     /// paper evaluates; callers can raise γ for long-path graphs).
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Mc {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x0c11),
             gamma: 1.0,
@@ -73,7 +75,16 @@ impl<'g> Mc<'g> {
     }
 }
 
-impl ResistanceEstimator for Mc<'_> {
+impl crate::estimator::ForkableEstimator for Mc {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng =
+            StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed ^ 0x0c11, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Mc {
     fn name(&self) -> &'static str {
         "MC"
     }
@@ -90,22 +101,32 @@ impl ResistanceEstimator for Mc<'_> {
             trials = trials.min(budget.max(1));
         }
         let mut cost = CostBreakdown::default();
-        let mut hits = 0u64;
-        for _ in 0..trials {
-            match escape_walk(g, s, t, self.max_steps_per_walk, &mut self.rng) {
+        let fan_seed = self.rng.next_u64();
+        let max_steps = self.max_steps_per_walk;
+        let (hits, steps) = par::par_fold_indexed(
+            trials,
+            fan_seed,
+            self.config.threads,
+            || (0u64, 0u64),
+            |_, walk_rng, acc| match escape_walk(g, s, t, max_steps, walk_rng) {
                 EscapeOutcome::ReachedTarget { steps } => {
-                    hits += 1;
-                    cost.walk_steps += steps as u64;
+                    acc.0 += 1;
+                    acc.1 += steps as u64;
                 }
                 EscapeOutcome::ReturnedToSource { steps } => {
-                    cost.walk_steps += steps as u64;
+                    acc.1 += steps as u64;
                 }
                 EscapeOutcome::Truncated => {
-                    cost.walk_steps += self.max_steps_per_walk as u64;
+                    acc.1 += max_steps as u64;
                 }
-            }
-            cost.random_walks += 1;
-        }
+            },
+            |total, part| {
+                total.0 += part.0;
+                total.1 += part.1;
+            },
+        );
+        cost.random_walks = trials;
+        cost.walk_steps = steps;
         // With zero hits the escape probability estimate is 0 and the
         // resistance estimate diverges; report the largest value consistent
         // with the assumption instead (the paper's analysis assumes r ≤ γ).

@@ -15,12 +15,14 @@ use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
 use er_walks::hitting::{first_hit_walk, FirstHitOutcome};
+use er_walks::par;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// The MC2 estimator (edge queries only).
-pub struct Mc2<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Mc2 {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     /// Assumed lower bound γ on the queried resistance; `None` uses the
@@ -30,14 +32,14 @@ pub struct Mc2<'g> {
     walk_budget: Option<u64>,
 }
 
-impl<'g> Mc2<'g> {
+impl Mc2 {
     /// Default step cap per first-hit walk.
     pub const DEFAULT_MAX_STEPS: usize = 50_000_000;
 
     /// Creates an MC2 estimator with the universal `r ≥ 1/(2m)` lower bound.
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Mc2 {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x0c22),
             gamma_lower: None,
@@ -69,7 +71,16 @@ impl<'g> Mc2<'g> {
     }
 }
 
-impl ResistanceEstimator for Mc2<'_> {
+impl crate::estimator::ForkableEstimator for Mc2 {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng =
+            StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed ^ 0x0c22, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Mc2 {
     fn name(&self) -> &'static str {
         "MC2"
     }
@@ -89,24 +100,34 @@ impl ResistanceEstimator for Mc2<'_> {
             trials = trials.min(budget.max(1));
         }
         let mut cost = CostBreakdown::default();
-        let mut direct = 0u64;
-        for _ in 0..trials {
-            match first_hit_walk(g, s, t, self.max_steps_per_walk, &mut self.rng) {
+        let fan_seed = self.rng.next_u64();
+        let max_steps = self.max_steps_per_walk;
+        let (direct, steps) = par::par_fold_indexed(
+            trials,
+            fan_seed,
+            self.config.threads,
+            || (0u64, 0u64),
+            |_, walk_rng, acc| match first_hit_walk(g, s, t, max_steps, walk_rng) {
                 FirstHitOutcome::Hit {
                     via_direct_edge,
                     steps,
                 } => {
                     if via_direct_edge {
-                        direct += 1;
+                        acc.0 += 1;
                     }
-                    cost.walk_steps += steps as u64;
+                    acc.1 += steps as u64;
                 }
                 FirstHitOutcome::Truncated => {
-                    cost.walk_steps += self.max_steps_per_walk as u64;
+                    acc.1 += max_steps as u64;
                 }
-            }
-            cost.random_walks += 1;
-        }
+            },
+            |total, part| {
+                total.0 += part.0;
+                total.1 += part.1;
+            },
+        );
+        cost.random_walks = trials;
+        cost.walk_steps = steps;
         Ok(Estimate {
             value: direct as f64 / trials as f64,
             cost,

@@ -14,12 +14,13 @@ use er_graph::NodeId;
 use er_linalg::sketch::ResistanceSketch;
 
 /// The RP estimator.
-pub struct Rp<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Rp {
+    context: GraphContext,
     sketch: ResistanceSketch,
 }
 
-impl<'g> Rp<'g> {
+impl Rp {
     /// The multiplicative constant in the row-count formula (`24 ln n / ε²`).
     pub const ROW_SCALE: f64 = 24.0;
 
@@ -28,13 +29,13 @@ impl<'g> Rp<'g> {
     pub const DEFAULT_ENTRY_BUDGET: usize = 200_000_000;
 
     /// Builds the sketch, failing if it would exceed the default entry budget.
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Result<Self, EstimatorError> {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Result<Self, EstimatorError> {
         Self::with_entry_budget(context, config, Self::DEFAULT_ENTRY_BUDGET)
     }
 
     /// Builds the sketch with an explicit entry budget.
     pub fn with_entry_budget(
-        context: &'g GraphContext<'g>,
+        context: &GraphContext,
         config: ApproxConfig,
         entry_budget: usize,
     ) -> Result<Self, EstimatorError> {
@@ -50,7 +51,10 @@ impl<'g> Rp<'g> {
             resource: "memory",
             message: e.to_string(),
         })?;
-        Ok(Rp { context, sketch })
+        Ok(Rp {
+            context: context.clone(),
+            sketch,
+        })
     }
 
     /// Number of sketch rows built during preprocessing.
@@ -59,7 +63,13 @@ impl<'g> Rp<'g> {
     }
 }
 
-impl ResistanceEstimator for Rp<'_> {
+impl crate::estimator::ForkableEstimator for Rp {
+    fn fork(&self, _stream: u64) -> Self {
+        self.clone() // the sketch is fixed at build time; queries are deterministic
+    }
+}
+
+impl ResistanceEstimator for Rp {
     fn name(&self) -> &'static str {
         "RP"
     }

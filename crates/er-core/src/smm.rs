@@ -135,17 +135,18 @@ pub enum SmmLengthRule {
 
 /// The standalone SMM estimator (Algorithm 2 used end-to-end, as in the
 /// paper's experiments where SMM is a baseline in its own right).
-pub struct Smm<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Smm {
+    context: GraphContext,
     config: ApproxConfig,
     length_rule: SmmLengthRule,
 }
 
-impl<'g> Smm<'g> {
+impl Smm {
     /// Creates an SMM estimator using the refined length of Eq. (6).
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Smm {
-            context,
+            context: context.clone(),
             config,
             length_rule: SmmLengthRule::Refined,
         }
@@ -153,9 +154,9 @@ impl<'g> Smm<'g> {
 
     /// Creates an SMM estimator using Peng et al.'s length (Eq. 5), for the
     /// Fig. 11 ablation.
-    pub fn with_peng_length(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn with_peng_length(context: &GraphContext, config: ApproxConfig) -> Self {
         Smm {
-            context,
+            context: context.clone(),
             config,
             length_rule: SmmLengthRule::Peng,
         }
@@ -176,7 +177,13 @@ impl<'g> Smm<'g> {
     }
 }
 
-impl ResistanceEstimator for Smm<'_> {
+impl crate::estimator::ForkableEstimator for Smm {
+    fn fork(&self, _stream: u64) -> Self {
+        self.clone() // deterministic: every fork computes identical values
+    }
+}
+
+impl ResistanceEstimator for Smm {
     fn name(&self) -> &'static str {
         match self.length_rule {
             SmmLengthRule::Refined => "SMM",

@@ -21,24 +21,26 @@ use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use crate::length;
 use er_graph::NodeId;
+use er_walks::par;
 use er_walks::truncated::walk_endpoint;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// The TP estimator.
-pub struct Tp<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Tp {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     sample_scale: f64,
     walk_budget: Option<u64>,
 }
 
-impl<'g> Tp<'g> {
+impl Tp {
     /// Creates a TP estimator with the faithful sample budget of [49].
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Tp {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x0071),
             sample_scale: 1.0,
@@ -70,11 +72,23 @@ impl<'g> Tp<'g> {
         let ell = self.max_length().max(1) as f64;
         let eps = self.config.epsilon;
         let raw = 40.0 * ell * ell * (8.0 * ell / self.config.delta).ln() / (eps * eps);
-        (raw * self.sample_scale).ceil().max(1.0).min(u64::MAX as f64) as u64
+        (raw * self.sample_scale)
+            .ceil()
+            .max(1.0)
+            .min(u64::MAX as f64) as u64
     }
 }
 
-impl ResistanceEstimator for Tp<'_> {
+impl crate::estimator::ForkableEstimator for Tp {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng =
+            StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed ^ 0x0071, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Tp {
     fn name(&self) -> &'static str {
         "TP"
     }
@@ -93,38 +107,57 @@ impl ResistanceEstimator for Tp<'_> {
         let mut cost = CostBreakdown::default();
         // i = 0 term of Eq. (4): p_0(s,s) = p_0(t,t) = 1, p_0(s,t) = p_0(t,s) = 0.
         let mut value = 1.0 / ds + 1.0 / dt;
-        'outer: for i in 1..=ell {
-            let mut hits_ss = 0u64;
-            let mut hits_st = 0u64;
-            let mut hits_tt = 0u64;
-            let mut hits_ts = 0u64;
-            for _ in 0..per_length {
-                if let Some(budget) = self.walk_budget {
-                    if cost.random_walks + 2 > budget {
-                        break 'outer;
-                    }
-                }
-                let end_s = walk_endpoint(g, s, i, &mut self.rng);
-                let end_t = walk_endpoint(g, t, i, &mut self.rng);
-                cost.random_walks += 2;
-                cost.walk_steps += 2 * i as u64;
-                if end_s == s {
-                    hits_ss += 1;
-                }
-                if end_s == t {
-                    hits_st += 1;
-                }
-                if end_t == t {
-                    hits_tt += 1;
-                }
-                if end_t == s {
-                    hits_ts += 1;
+        for i in 1..=ell {
+            // The per-length batch runs whole or not at all: a partial batch
+            // would bias the empirical p_i estimates it feeds.
+            if let Some(budget) = self.walk_budget {
+                if cost
+                    .random_walks
+                    .saturating_add(per_length.saturating_mul(2))
+                    > budget
+                {
+                    break;
                 }
             }
+            let fan_seed = self.rng.next_u64();
+            // (hits_ss, hits_st, hits_tt, hits_ts) over the batch; each walk
+            // pair k draws from its own (fan_seed, k) stream.
+            let hits = par::par_fold_indexed(
+                per_length,
+                fan_seed,
+                self.config.threads,
+                || (0u64, 0u64, 0u64, 0u64),
+                |_, walk_rng, acc| {
+                    let end_s = walk_endpoint(g, s, i, walk_rng);
+                    let end_t = walk_endpoint(g, t, i, walk_rng);
+                    if end_s == s {
+                        acc.0 += 1;
+                    }
+                    if end_s == t {
+                        acc.1 += 1;
+                    }
+                    if end_t == t {
+                        acc.2 += 1;
+                    }
+                    if end_t == s {
+                        acc.3 += 1;
+                    }
+                },
+                |total, part| {
+                    total.0 += part.0;
+                    total.1 += part.1;
+                    total.2 += part.2;
+                    total.3 += part.3;
+                },
+            );
+            cost.random_walks += 2 * per_length;
+            cost.walk_steps = cost
+                .walk_steps
+                .saturating_add(per_length.saturating_mul(2 * i as u64));
             let denom = per_length as f64;
-            value += hits_ss as f64 / denom / ds + hits_tt as f64 / denom / dt
-                - hits_st as f64 / denom / dt
-                - hits_ts as f64 / denom / ds;
+            value += hits.0 as f64 / denom / ds + hits.2 as f64 / denom / dt
+                - hits.1 as f64 / denom / dt
+                - hits.3 as f64 / denom / ds;
         }
         Ok(Estimate { value, cost })
     }

@@ -23,14 +23,52 @@ use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use crate::length;
 use er_graph::{Graph, NodeId};
+use er_walks::par;
 use er_walks::truncated::walk_endpoint;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashMap;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Samples `eta` endpoints of length-`len` walks from `origin` into a count
+/// multiset, fanning the walks out deterministically (walk `k` uses the
+/// `(fan_seed, k)` stream; counts merge associatively, so the multiset is
+/// thread-count invariant). The multiset is a `BTreeMap` on purpose: the
+/// pilot-β and collision estimates fold these counts into floating-point
+/// sums, and ordered iteration keeps that rounding a pure function of the
+/// seed (a `HashMap` would iterate in per-process-random order).
+fn sample_endpoints(
+    graph: &Graph,
+    origin: NodeId,
+    len: usize,
+    eta: u64,
+    fan_seed: u64,
+    threads: usize,
+) -> BTreeMap<NodeId, u64> {
+    par::par_fold_commutative(
+        eta,
+        fan_seed,
+        threads,
+        BTreeMap::new,
+        |_, walk_rng, acc: &mut BTreeMap<NodeId, u64>| {
+            let end = if len == 0 {
+                origin
+            } else {
+                walk_endpoint(graph, origin, len, walk_rng)
+            };
+            *acc.entry(end).or_insert(0) += 1;
+        },
+        |total, part| {
+            for (node, count) in part {
+                *total.entry(node).or_insert(0) += count;
+            }
+        },
+    )
+}
 
 /// The TPC estimator.
-pub struct Tpc<'g> {
-    context: &'g GraphContext<'g>,
+#[derive(Clone)]
+pub struct Tpc {
+    context: GraphContext,
     config: ApproxConfig,
     rng: StdRng,
     sample_scale: f64,
@@ -38,14 +76,14 @@ pub struct Tpc<'g> {
     walk_budget: Option<u64>,
 }
 
-impl<'g> Tpc<'g> {
+impl Tpc {
     /// Constant in the sample-size formula of [49] (`40000 × (…)`).
     pub const SAMPLE_CONSTANT: f64 = 40_000.0;
 
     /// Creates a TPC estimator with the heuristic βᵢ pilot estimation.
-    pub fn new(context: &'g GraphContext<'g>, config: ApproxConfig) -> Self {
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Tpc {
-            context,
+            context: context.clone(),
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x007c),
             sample_scale: 1.0,
@@ -75,15 +113,18 @@ impl<'g> Tpc<'g> {
     /// Pilot estimate of βᵢ from `pilot_walks` endpoint samples of length
     /// `half` starting at `origin`: `Σ_v (count(v)/η)² / d(v)`, floored at the
     /// stationary value `1/(2m)`.
-    fn beta_pilot(&mut self, graph: &Graph, origin: NodeId, half: usize, cost: &mut CostBreakdown) -> f64 {
+    fn beta_pilot(
+        &mut self,
+        graph: &Graph,
+        origin: NodeId,
+        half: usize,
+        cost: &mut CostBreakdown,
+    ) -> f64 {
         let eta = self.pilot_walks.max(1);
-        let mut counts: HashMap<NodeId, u64> = HashMap::new();
-        for _ in 0..eta {
-            let end = walk_endpoint(graph, origin, half, &mut self.rng);
-            *counts.entry(end).or_insert(0) += 1;
-            cost.random_walks += 1;
-            cost.walk_steps += half as u64;
-        }
+        let fan_seed = self.rng.next_u64();
+        let counts = sample_endpoints(graph, origin, half, eta, fan_seed, self.config.threads);
+        cost.random_walks += eta;
+        cost.walk_steps += eta * half as u64;
         let mut beta = 0.0;
         for (v, c) in counts {
             let p = c as f64 / eta as f64;
@@ -99,11 +140,23 @@ impl<'g> Tpc<'g> {
         let eps = self.config.epsilon;
         let raw = Self::SAMPLE_CONSTANT
             * (ell * (ell * beta).sqrt() / eps + ell.powi(3) * beta.powf(1.5) / (eps * eps));
-        (raw * self.sample_scale).ceil().max(1.0).min(u64::MAX as f64) as u64
+        (raw * self.sample_scale)
+            .ceil()
+            .max(1.0)
+            .min(u64::MAX as f64) as u64
     }
 }
 
-impl ResistanceEstimator for Tpc<'_> {
+impl crate::estimator::ForkableEstimator for Tpc {
+    fn fork(&self, stream: u64) -> Self {
+        let mut fork = self.clone();
+        fork.rng =
+            StdRng::seed_from_u64(er_walks::par::mix_seed(self.config.seed ^ 0x007c, stream));
+        fork
+    }
+}
+
+impl ResistanceEstimator for Tpc {
     fn name(&self) -> &'static str {
         "TPC"
     }
@@ -114,7 +167,10 @@ impl ResistanceEstimator for Tpc<'_> {
         if s == t {
             return Ok(Estimate::with_value(0.0));
         }
-        let g = self.context.graph();
+        // Hold the graph through a local Arc so `&mut self` stays available
+        // for the RNG draws below.
+        let graph = self.context.graph_arc().clone();
+        let g = &*graph;
         let ds = g.degree(s) as f64;
         let dt = g.degree(t) as f64;
         let ell = self.max_length();
@@ -130,33 +186,28 @@ impl ResistanceEstimator for Tpc<'_> {
             let beta = beta_s.max(beta_t);
             let eta = self.walks_for_beta(beta);
             if let Some(budget) = self.walk_budget {
-                if cost.random_walks + 4 * eta > budget {
+                if cost.random_walks.saturating_add(eta.saturating_mul(4)) > budget {
                     break 'outer;
                 }
             }
 
             // Sample endpoint multisets for the four collision estimates.
-            let sample = |origin: NodeId, len: usize, rng: &mut StdRng, cost: &mut CostBreakdown| {
-                let mut counts: HashMap<NodeId, u64> = HashMap::new();
-                for _ in 0..eta {
-                    let end = if len == 0 {
-                        origin
-                    } else {
-                        walk_endpoint(g, origin, len, rng)
-                    };
-                    *counts.entry(end).or_insert(0) += 1;
-                    cost.random_walks += 1;
-                    cost.walk_steps += len as u64;
-                }
-                counts
-            };
+            let threads = self.config.threads;
+            let sample =
+                |origin: NodeId, len: usize, rng: &mut StdRng, cost: &mut CostBreakdown| {
+                    let fan_seed = rng.next_u64();
+                    let counts = sample_endpoints(g, origin, len, eta, fan_seed, threads);
+                    cost.random_walks += eta;
+                    cost.walk_steps += eta * len as u64;
+                    counts
+                };
             let from_s_a = sample(s, a, &mut self.rng, &mut cost);
             let from_s_b = sample(s, b, &mut self.rng, &mut cost);
             let from_t_a = sample(t, a, &mut self.rng, &mut cost);
             let from_t_b = sample(t, b, &mut self.rng, &mut cost);
 
             // p_i(x, y) ≈ Σ_v (count_x^a(v)/η) (count_y^b(v)/η) d(v)/d(y).
-            let collide = |xa: &HashMap<NodeId, u64>, yb: &HashMap<NodeId, u64>, d_y: f64| {
+            let collide = |xa: &BTreeMap<NodeId, u64>, yb: &BTreeMap<NodeId, u64>, d_y: f64| {
                 let (small, large, swap) = if xa.len() <= yb.len() {
                     (xa, yb, false)
                 } else {
@@ -165,8 +216,13 @@ impl ResistanceEstimator for Tpc<'_> {
                 let mut total = 0.0;
                 for (&v, &c_small) in small {
                     if let Some(&c_large) = large.get(&v) {
-                        let (cx, cy) = if swap { (c_large, c_small) } else { (c_small, c_large) };
-                        total += (cx as f64 / eta as f64) * (cy as f64 / eta as f64)
+                        let (cx, cy) = if swap {
+                            (c_large, c_small)
+                        } else {
+                            (c_small, c_large)
+                        };
+                        total += (cx as f64 / eta as f64)
+                            * (cy as f64 / eta as f64)
                             * g.degree(v) as f64
                             / d_y;
                     }
@@ -208,8 +264,8 @@ mod tests {
         let g = generators::complete(15).unwrap();
         let ctx = GraphContext::preprocess(&g).unwrap();
         let exact = LaplacianSolver::for_ground_truth(&g).effective_resistance(0, 3);
-        let mut tpc = Tpc::new(&ctx, ApproxConfig::with_epsilon(0.2).reseeded(6))
-            .with_sample_scale(1e-3);
+        let mut tpc =
+            Tpc::new(&ctx, ApproxConfig::with_epsilon(0.2).reseeded(6)).with_sample_scale(1e-3);
         let est = tpc.estimate(0, 3).unwrap();
         assert!(
             (est.value - exact).abs() <= 0.2,
@@ -225,7 +281,10 @@ mod tests {
         let ctx = GraphContext::preprocess(&g).unwrap();
         let mut tpc = Tpc::new(&ctx, ApproxConfig::with_epsilon(0.1)).with_walk_budget(5_000);
         let est = tpc.estimate(0, 100).unwrap();
-        assert!(est.cost.random_walks <= 5_000 + 2 * 200 + 4, "budget roughly respected");
+        assert!(
+            est.cost.random_walks <= 5_000 + 2 * 200 + 4,
+            "budget roughly respected"
+        );
         assert!(est.value.is_finite());
         assert_eq!(tpc.estimate(4, 4).unwrap().value, 0.0);
     }

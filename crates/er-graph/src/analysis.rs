@@ -38,7 +38,11 @@ pub fn connected_components(g: &Graph) -> Vec<usize> {
 
 /// Number of connected components.
 pub fn num_components(g: &Graph) -> usize {
-    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+    connected_components(g)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1)
 }
 
 /// `true` iff the graph is connected (and non-empty).
@@ -146,12 +150,12 @@ pub fn count_walks_from(g: &Graph, source: NodeId, max_len: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(max_len);
     for _ in 0..max_len {
         let mut next = vec![0u64; n];
-        for u in 0..n {
-            if current[u] == 0 {
+        for (u, &mass) in current.iter().enumerate() {
+            if mass == 0 {
                 continue;
             }
             for &v in g.neighbors(u) {
-                next[v] = next[v].saturating_add(current[u]);
+                next[v] = next[v].saturating_add(mass);
             }
         }
         current = next;
@@ -204,13 +208,18 @@ mod tests {
 
     #[test]
     fn validate_ergodic_flags_both_failure_modes() {
-        let disconnected = GraphBuilder::from_edges(4, vec![(0, 1), (2, 3)]).build().unwrap();
+        let disconnected = GraphBuilder::from_edges(4, vec![(0, 1), (2, 3)])
+            .build()
+            .unwrap();
         assert!(matches!(
             validate_ergodic(&disconnected),
             Err(GraphError::NotConnected)
         ));
         let even_cycle = generators::cycle(4).unwrap();
-        assert!(matches!(validate_ergodic(&even_cycle), Err(GraphError::Bipartite)));
+        assert!(matches!(
+            validate_ergodic(&even_cycle),
+            Err(GraphError::Bipartite)
+        ));
         let ok = generators::complete(4).unwrap();
         assert!(validate_ergodic(&ok).is_ok());
     }
@@ -241,7 +250,13 @@ mod tests {
         // The qualitative claim of the running example: walk counts from t
         // (degree 7) dominate those from s (degree 2) at every length.
         for i in 0..8 {
-            assert!(from_t[i] > from_s[i], "length {}: {} !> {}", i + 1, from_t[i], from_s[i]);
+            assert!(
+                from_t[i] > from_s[i],
+                "length {}: {} !> {}",
+                i + 1,
+                from_t[i],
+                from_s[i]
+            );
         }
     }
 }

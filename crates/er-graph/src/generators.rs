@@ -179,7 +179,11 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, Gr
         }
     }
     for new in m0..n {
-        let mut picked = std::collections::HashSet::with_capacity(m_attach);
+        // BTreeSet, not HashSet: the picked targets are appended to
+        // `endpoint_pool` in iteration order, and later sampling indexes into
+        // the pool — HashSet's per-process hash keys would make the generated
+        // graph differ between runs despite the fixed seed.
+        let mut picked = std::collections::BTreeSet::new();
         let mut guard = 0;
         while picked.len() < m_attach.min(new) && guard < 50 * m_attach + 100 {
             guard += 1;
@@ -255,7 +259,11 @@ pub fn stochastic_block_model(
     let block_of = |v: usize| v * blocks / n.max(1);
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            let p = if block_of(u) == block_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen::<f64>() < p {
                 b = b.add_edge(u, v);
             }
@@ -333,7 +341,9 @@ pub fn community_social_network(
         if size == 0 {
             continue;
         }
-        let m_attach = ((avg_degree / 2.0).round() as usize).max(1).min(size.saturating_sub(1).max(1));
+        let m_attach = ((avg_degree / 2.0).round() as usize)
+            .max(1)
+            .min(size.saturating_sub(1).max(1));
         let community = barabasi_albert(size.max(2), m_attach, seed.wrapping_add(c as u64))?;
         for (u, v) in community.edges() {
             if u < size && v < size {
@@ -528,21 +538,18 @@ mod tests {
         // (communities are contiguous id ranges) should be a small fraction of
         // all edges, unlike in the single-community generator.
         let g = community_social_network(1_000, 10.0, 10, 0.01, 5).unwrap();
-        let crossing = g
-            .edges()
-            .filter(|&(u, v)| (u < 500) != (v < 500))
-            .count();
+        let crossing = g.edges().filter(|&(u, v)| (u < 500) != (v < 500)).count();
         assert!(
             (crossing as f64) < 0.05 * g.num_edges() as f64,
             "crossing edges {crossing} of {}",
             g.num_edges()
         );
         let ba = social_network_like(1_000, 10.0, 5).unwrap();
-        let ba_crossing = ba
-            .edges()
-            .filter(|&(u, v)| (u < 500) != (v < 500))
-            .count();
-        assert!(ba_crossing > 4 * crossing, "BA graph has no community structure");
+        let ba_crossing = ba.edges().filter(|&(u, v)| (u < 500) != (v < 500)).count();
+        assert!(
+            ba_crossing > 4 * crossing,
+            "BA graph has no community structure"
+        );
     }
 
     #[test]

@@ -11,9 +11,51 @@
 
 use crate::error::GraphError;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Node identifier. Nodes are always `0..n` after construction.
 pub type NodeId = usize;
+
+/// Conversion into a shared, reference-counted graph handle.
+///
+/// The owned layers of the stack (`GraphContext`, `WalkEngine`, `ErIndex`)
+/// store the graph as an `Arc<Graph>` so they are `Send + Sync`, cheaply
+/// clonable and free of borrow lifetimes. This trait lets their constructors
+/// accept whatever the caller has:
+///
+/// * `Graph` / `Arc<Graph>` — moved in, zero copies,
+/// * `&Arc<Graph>` — reference count bump, zero copies,
+/// * `&Graph` — one CSR copy (kept for source compatibility with the
+///   borrow-based API; the copy is O(m) and is dwarfed by any preprocessing
+///   the caller does next).
+pub trait IntoGraphArc {
+    /// Converts `self` into a shared graph handle.
+    fn into_graph_arc(self) -> Arc<Graph>;
+}
+
+impl IntoGraphArc for Graph {
+    fn into_graph_arc(self) -> Arc<Graph> {
+        Arc::new(self)
+    }
+}
+
+impl IntoGraphArc for Arc<Graph> {
+    fn into_graph_arc(self) -> Arc<Graph> {
+        self
+    }
+}
+
+impl IntoGraphArc for &Arc<Graph> {
+    fn into_graph_arc(self) -> Arc<Graph> {
+        Arc::clone(self)
+    }
+}
+
+impl IntoGraphArc for &Graph {
+    fn into_graph_arc(self) -> Arc<Graph> {
+        Arc::new(self.clone())
+    }
+}
 
 /// An immutable, undirected, unweighted graph in CSR form.
 ///

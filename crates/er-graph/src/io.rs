@@ -34,9 +34,7 @@ pub fn read_edge_list_with_mapping(
 }
 
 /// Parses an edge list from any reader (exposed for tests and in-memory data).
-pub fn parse_edge_list<R: BufRead>(
-    reader: R,
-) -> Result<(Graph, HashMap<u64, usize>), GraphError> {
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<(Graph, HashMap<u64, usize>), GraphError> {
     let mut mapping: HashMap<u64, usize> = HashMap::new();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {

@@ -35,6 +35,6 @@ pub mod transform;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::{Graph, NodeId};
+pub use graph::{Graph, IntoGraphArc, NodeId};
 pub use queries::{EdgeQuerySet, NodePairQuerySet, QueryPair};
 pub use stats::GraphStats;

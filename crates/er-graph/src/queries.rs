@@ -137,7 +137,11 @@ mod tests {
             assert!(p.s < g.num_nodes() && p.t < g.num_nodes());
         }
         let q3 = NodePairQuerySet::uniform(&g, 100, 8);
-        assert_ne!(q1.pairs(), q3.pairs(), "different seed gives different queries");
+        assert_ne!(
+            q1.pairs(),
+            q3.pairs(),
+            "different seed gives different queries"
+        );
     }
 
     #[test]
@@ -159,7 +163,10 @@ mod tests {
             .iter()
             .map(|p| if p.s < p.t { (p.s, p.t) } else { (p.t, p.s) })
             .collect();
-        assert!(distinct.len() > 50, "sampling should touch many distinct edges");
+        assert!(
+            distinct.len() > 50,
+            "sampling should touch many distinct edges"
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub fn contract_pair(g: &Graph, s: NodeId, t: NodeId) -> Result<(Graph, Vec<Node
         .edges()
         .map(|(u, v)| (mapping[u], mapping[v]))
         .filter(|&(u, v)| u != v);
-    Ok((GraphBuilder::from_edges(g.num_nodes() - 1, edges).build()?, mapping))
+    Ok((
+        GraphBuilder::from_edges(g.num_nodes() - 1, edges).build()?,
+        mapping,
+    ))
 }
 
 /// Core number (largest `k` such that the node belongs to the `k`-core) of
@@ -293,6 +296,6 @@ mod tests {
             assert!(core[v] >= 1, "BA graphs are connected");
         }
         let d = degeneracy(&g);
-        assert!(core.iter().any(|&c| c == d));
+        assert!(core.contains(&d));
     }
 }

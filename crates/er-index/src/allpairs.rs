@@ -11,7 +11,8 @@
 
 use crate::error::IndexError;
 use er_graph::{analysis, Graph, NodeId};
-use er_linalg::DenseMatrix;
+use er_linalg::LaplacianSolver;
+use er_walks::par;
 
 /// Dense matrix of all pairwise effective resistances.
 pub struct AllPairsResistance {
@@ -24,16 +25,31 @@ impl AllPairsResistance {
     /// Default node cap: beyond this the dense computation is refused.
     pub const DEFAULT_NODE_CAP: usize = 2_000;
 
-    /// Computes the full resistance matrix (default node cap).
+    /// Computes the full resistance matrix (default node cap, all cores).
     pub fn compute(graph: &Graph) -> Result<Self, IndexError> {
         Self::compute_with_cap(graph, Self::DEFAULT_NODE_CAP)
     }
 
     /// Computes the full resistance matrix, refusing graphs with more than
-    /// `node_cap` nodes (the `O(n³)` eigendecomposition and `O(n²)` storage
+    /// `node_cap` nodes (the `O(n²)` storage and `O(n)` Laplacian solves
     /// mirror the paper's argument for why all-pairs materialisation does not
-    /// scale).
+    /// scale). Uses all cores; see [`Self::compute_with_threads`].
     pub fn compute_with_cap(graph: &Graph, node_cap: usize) -> Result<Self, IndexError> {
+        Self::compute_with_threads(graph, node_cap, par::AUTO)
+    }
+
+    /// [`Self::compute_with_cap`] with an explicit worker-thread count
+    /// (0 = all cores).
+    ///
+    /// The matrix is assembled from the columns of `L†` — one conjugate-
+    /// gradient solve `L x = e_s` per node, fanned out over the deterministic
+    /// parallel layer (CG is deterministic, so the matrix is identical at any
+    /// thread count) — then `r(s, t) = L†(s,s) + L†(t,t) − 2 L†(t,s)`.
+    pub fn compute_with_threads(
+        graph: &Graph,
+        node_cap: usize,
+        threads: usize,
+    ) -> Result<Self, IndexError> {
         analysis::validate_ergodic(graph)?;
         let n = graph.num_nodes();
         if n > node_cap {
@@ -42,11 +58,17 @@ impl AllPairsResistance {
                 message: format!("all-pairs ER needs an {n}×{n} dense matrix; cap is {node_cap}"),
             });
         }
-        let pinv = DenseMatrix::laplacian(graph).pseudo_inverse(1e-9);
+        let solver = LaplacianSolver::new(graph, 1e-10, 20 * n.max(100));
+        let columns = par::par_map_indexed(n as u64, 0, threads, |s, _| {
+            let mut rhs = vec![0.0; n];
+            rhs[s as usize] = 1.0;
+            let (x, _) = solver.solve(&rhs);
+            x
+        });
         let mut values = vec![0.0; n * n];
         for s in 0..n {
             for t in (s + 1)..n {
-                let r = (pinv.get(s, s) + pinv.get(t, t) - 2.0 * pinv.get(s, t)).max(0.0);
+                let r = (columns[s][s] + columns[t][t] - columns[s][t] - columns[t][s]).max(0.0);
                 values[s * n + t] = r;
                 values[t * n + s] = r;
             }
@@ -129,7 +151,10 @@ mod tests {
         for (name, g) in [
             ("complete", generators::complete(12).unwrap()),
             ("lollipop", generators::lollipop(6, 4).unwrap()),
-            ("social", generators::social_network_like(80, 6.0, 2).unwrap()),
+            (
+                "social",
+                generators::social_network_like(80, 6.0, 2).unwrap(),
+            ),
         ] {
             let apr = AllPairsResistance::compute(&g).unwrap();
             let foster = apr.foster_sum(&g);
@@ -184,9 +209,7 @@ mod tests {
         let apr = AllPairsResistance::compute(&g).unwrap();
         let index = crate::ErIndex::build(&g).unwrap();
         assert!(
-            (apr.kirchhoff_index() - index.kirchhoff_index()).abs()
-                / apr.kirchhoff_index()
-                < 1e-6
+            (apr.kirchhoff_index() - index.kirchhoff_index()).abs() / apr.kirchhoff_index() < 1e-6
         );
     }
 }

@@ -8,8 +8,10 @@
 //! saved.
 
 use crate::cache::QueryCache;
-use er_core::{EstimatorError, ResistanceEstimator};
+use er_core::{EstimatorError, ForkableEstimator, ResistanceEstimator};
 use er_graph::NodeId;
+use er_walks::par;
+use std::collections::HashMap;
 
 /// Summary of one executed batch.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,6 +94,99 @@ impl BatchExecutor {
             trivial_queries,
         })
     }
+
+    /// Runs a batch through `estimator` with the misses fanned out over
+    /// `threads` worker threads (0 = all cores).
+    ///
+    /// Cache lookups and dedup happen up front on the calling thread; each
+    /// distinct uncached pair is then answered by an independent fork of the
+    /// estimator on the RNG stream of the pair's first position in the batch,
+    /// so for a fixed estimator seed the report is identical at any thread
+    /// count — and identical no matter how the queries interleave.
+    ///
+    /// Error semantics match [`Self::run`] in spirit: if any query fails, the
+    /// error of the earliest-position failing query is returned, but values
+    /// that were computed successfully are still cached for a retry.
+    pub fn run_parallel<E: ForkableEstimator>(
+        &mut self,
+        estimator: &E,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Result<BatchReport, EstimatorError> {
+        let mut values = vec![0.0; pairs.len()];
+        let mut cache_hits = 0;
+        let mut trivial_queries = 0;
+        // Position in `misses` of each distinct uncached pair, keyed by the
+        // cache's canonical (ordered) form.
+        let mut miss_index: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        let mut misses: Vec<(usize, (NodeId, NodeId))> = Vec::new();
+        // Positions whose value comes from miss slot i.
+        let mut resolve: Vec<(usize, usize)> = Vec::new();
+        for (pos, &(s, t)) in pairs.iter().enumerate() {
+            if s == t {
+                trivial_queries += 1;
+                continue;
+            }
+            if let Some(v) = self.cache.get(s, t) {
+                cache_hits += 1;
+                values[pos] = v;
+                continue;
+            }
+            let key = (s.min(t), s.max(t));
+            let slot = *miss_index.entry(key).or_insert_with(|| {
+                misses.push((pos, (s, t)));
+                misses.len() - 1
+            });
+            if misses[slot].0 == pos {
+                resolve.push((pos, slot));
+            } else {
+                // Repeat of a pair already scheduled in this batch: counts as
+                // a cache hit, exactly like the sequential executor.
+                cache_hits += 1;
+                resolve.push((pos, slot));
+            }
+        }
+
+        let results: Vec<(usize, Result<f64, EstimatorError>)> = par::par_map_indexed(
+            misses.len() as u64,
+            0, // streams come from batch positions, not from this seed
+            threads,
+            |i, _| {
+                let (pos, (s, t)) = misses[i as usize];
+                let mut fork = estimator.fork(pos as u64);
+                (pos, fork.estimate(s, t).map(|e| e.value))
+            },
+        );
+
+        let mut slot_values = vec![0.0; misses.len()];
+        let mut first_error: Option<(usize, EstimatorError)> = None;
+        for (slot, (pos, result)) in results.into_iter().enumerate() {
+            match result {
+                Ok(value) => {
+                    let (s, t) = misses[slot].1;
+                    self.cache.insert(s, t, value);
+                    slot_values[slot] = value;
+                }
+                Err(err) => {
+                    if first_error.as_ref().is_none_or(|(p, _)| pos < *p) {
+                        first_error = Some((pos, err));
+                    }
+                }
+            }
+        }
+        if let Some((_, err)) = first_error {
+            return Err(err);
+        }
+        for (pos, slot) in resolve {
+            values[pos] = slot_values[slot];
+        }
+        Ok(BatchReport {
+            values,
+            cache_hits,
+            estimator_calls: misses.len() as u64,
+            trivial_queries,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +251,72 @@ mod tests {
         // (1, 2) was answered before the failure and is cached now.
         let retry = executor.run(&mut estimator, &[(1, 2)]).unwrap();
         assert_eq!(retry.cache_hits, 1);
+        assert_eq!(retry.estimator_calls, 0);
+    }
+
+    /// Forkable test double whose value records which RNG stream served it,
+    /// so the tests can verify stream assignment is position-based.
+    #[derive(Clone)]
+    struct Forky {
+        stream: u64,
+    }
+
+    impl ResistanceEstimator for Forky {
+        fn name(&self) -> &'static str {
+            "FORKY"
+        }
+        fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError> {
+            if s >= 1000 || t >= 1000 {
+                return Err(EstimatorError::InvalidParameter {
+                    name: "node",
+                    message: format!("out of range in test double ({s},{t})"),
+                });
+            }
+            Ok(Estimate::with_value(
+                (s + t) as f64 + self.stream as f64 / 1000.0,
+            ))
+        }
+    }
+
+    impl er_core::ForkableEstimator for Forky {
+        fn fork(&self, stream: u64) -> Self {
+            Forky { stream }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_reporting_and_is_thread_invariant() {
+        let pairs = [(1, 2), (2, 1), (1, 2), (3, 4), (4, 4), (5, 6)];
+        let run_at = |threads: usize| {
+            let mut executor = BatchExecutor::new(16);
+            executor
+                .run_parallel(&Forky { stream: 0 }, &pairs, threads)
+                .unwrap()
+        };
+        let base = run_at(1);
+        assert_eq!(base.estimator_calls, 3, "(1,2), (3,4), (5,6)");
+        assert_eq!(base.cache_hits, 2);
+        assert_eq!(base.trivial_queries, 1);
+        assert_eq!(base.values[4], 0.0);
+        assert_eq!(base.values[0], base.values[1]);
+        // Stream ids come from batch positions: (1,2) at position 0, (3,4) at 3.
+        assert_eq!(base.values[0], 3.0);
+        assert_eq!(base.values[3], 7.0 + 0.003);
+        for threads in [2, 8] {
+            assert_eq!(run_at(threads), base, "differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_reports_earliest_error_but_caches_successes() {
+        let mut executor = BatchExecutor::new(16);
+        let result = executor.run_parallel(&Forky { stream: 0 }, &[(1, 2), (5000, 1), (3, 4)], 4);
+        assert!(result.is_err());
+        // (1, 2) and (3, 4) were computed and cached despite the failure.
+        let retry = executor
+            .run_parallel(&Forky { stream: 0 }, &[(1, 2), (3, 4)], 4)
+            .unwrap();
+        assert_eq!(retry.cache_hits, 2);
         assert_eq!(retry.estimator_calls, 0);
     }
 

@@ -20,8 +20,8 @@
 
 use er_graph::Graph;
 use er_linalg::{DenseMatrix, LaplacianSolver};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use er_walks::par;
+use rand::Rng;
 
 /// How to obtain `diag(L†)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,19 +43,29 @@ pub enum DiagonalStrategy {
 /// the average of `r(v, u)` over the "electrical" distribution and is always
 /// non-negative for the exact strategies.
 pub fn pseudo_inverse_diagonal(graph: &Graph, strategy: DiagonalStrategy, seed: u64) -> Vec<f64> {
+    pseudo_inverse_diagonal_with_threads(graph, strategy, seed, par::AUTO)
+}
+
+/// [`pseudo_inverse_diagonal`] with an explicit worker-thread count
+/// (0 = all cores). The per-node solves of [`DiagonalStrategy::ExactSolves`]
+/// and the probes of [`DiagonalStrategy::Hutchinson`] fan out over the
+/// deterministic parallel layer; results are identical at any thread count.
+pub fn pseudo_inverse_diagonal_with_threads(
+    graph: &Graph,
+    strategy: DiagonalStrategy,
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
     let n = graph.num_nodes();
     match strategy {
         DiagonalStrategy::ExactSolves => {
             let solver = LaplacianSolver::for_ground_truth(graph);
-            let mut diag = vec![0.0; n];
-            let mut rhs = vec![0.0; n];
-            for v in 0..n {
-                rhs[v] = 1.0;
+            par::par_map_indexed(n as u64, seed, threads, |v, _| {
+                let mut rhs = vec![0.0; n];
+                rhs[v as usize] = 1.0;
                 let (x, _) = solver.solve(&rhs);
-                rhs[v] = 0.0;
-                diag[v] = x[v];
-            }
-            diag
+                x[v as usize]
+            })
         }
         DiagonalStrategy::DensePseudoInverse => {
             let pinv = DenseMatrix::laplacian(graph).pseudo_inverse(1e-9);
@@ -64,17 +74,26 @@ pub fn pseudo_inverse_diagonal(graph: &Graph, strategy: DiagonalStrategy, seed: 
         DiagonalStrategy::Hutchinson { probes } => {
             let probes = probes.max(1);
             let solver = LaplacianSolver::for_ground_truth(graph);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut diag = vec![0.0; n];
-            for _ in 0..probes {
-                let z: Vec<f64> = (0..n)
-                    .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
-                    .collect();
-                let (x, _) = solver.solve(&z);
-                for v in 0..n {
-                    diag[v] += z[v] * x[v];
-                }
-            }
+            let mut diag = par::par_fold_indexed(
+                probes as u64,
+                seed,
+                threads,
+                || vec![0.0f64; n],
+                |_, probe_rng, acc: &mut Vec<f64>| {
+                    let z: Vec<f64> = (0..n)
+                        .map(|_| if probe_rng.gen::<bool>() { 1.0 } else { -1.0 })
+                        .collect();
+                    let (x, _) = solver.solve(&z);
+                    for v in 0..n {
+                        acc[v] += z[v] * x[v];
+                    }
+                },
+                |total, part| {
+                    for (t, p) in total.iter_mut().zip(part) {
+                        *t += p;
+                    }
+                },
+            );
             for d in &mut diag {
                 *d /= probes as f64;
             }
@@ -120,8 +139,7 @@ mod tests {
     fn hutchinson_estimate_tracks_the_exact_diagonal() {
         let g = generators::complete(12).unwrap();
         let exact = pseudo_inverse_diagonal(&g, DiagonalStrategy::ExactSolves, 0);
-        let approx =
-            pseudo_inverse_diagonal(&g, DiagonalStrategy::Hutchinson { probes: 600 }, 7);
+        let approx = pseudo_inverse_diagonal(&g, DiagonalStrategy::Hutchinson { probes: 600 }, 7);
         let mean_abs_err: f64 = exact
             .iter()
             .zip(&approx)

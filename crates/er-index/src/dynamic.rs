@@ -128,8 +128,8 @@ impl DynamicEr {
 
     fn ensure_snapshot(&mut self) -> Result<(), IndexError> {
         if self.snapshot.is_none() {
-            let graph = GraphBuilder::from_edges(self.num_nodes, self.edges.iter().copied())
-                .build()?;
+            let graph =
+                GraphBuilder::from_edges(self.num_nodes, self.edges.iter().copied()).build()?;
             er_graph::analysis::validate_ergodic(&graph)?;
             let (l2, ln) = spectral_bounds(&graph, self.lanczos_iterations, 0xd1a);
             let lambda = l2.abs().max(ln.abs()).clamp(1e-9, 1.0 - 1e-9);
@@ -189,7 +189,10 @@ mod tests {
         let before = dynamic.resistance_exact(3, 150).unwrap();
         assert!(dynamic.insert_edge(3, 150).unwrap());
         let after = dynamic.resistance_exact(3, 150).unwrap();
-        assert!(after < before, "adding the direct edge must lower r: {after} vs {before}");
+        assert!(
+            after < before,
+            "adding the direct edge must lower r: {after} vs {before}"
+        );
         assert!(after <= 1.0 + 1e-9, "edge endpoints have r <= 1");
     }
 
@@ -236,7 +239,11 @@ mod tests {
 
     #[test]
     fn mutation_bookkeeping_and_validation() {
-        let mut dynamic = DynamicEr::new(5, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)], base_config());
+        let mut dynamic = DynamicEr::new(
+            5,
+            vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+            base_config(),
+        );
         assert_eq!(dynamic.num_edges(), 6);
         assert!(dynamic.has_edge(1, 0));
         assert!(!dynamic.insert_edge(0, 1).unwrap(), "already present");
@@ -253,6 +260,9 @@ mod tests {
         let mut dynamic = DynamicEr::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)], base_config());
         assert!(dynamic.resistance(0, 3).is_ok());
         dynamic.remove_edge(2, 3).unwrap();
-        assert!(matches!(dynamic.resistance(0, 3), Err(IndexError::Graph(_))));
+        assert!(matches!(
+            dynamic.resistance(0, 3),
+            Err(IndexError::Graph(_))
+        ));
     }
 }

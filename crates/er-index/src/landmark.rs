@@ -79,7 +79,13 @@ impl LandmarkIndex {
         selection: LandmarkSelection,
         seed: u64,
     ) -> Result<Self, IndexError> {
-        Self::build_with(graph, num_landmarks, selection, DiagonalStrategy::ExactSolves, seed)
+        Self::build_with(
+            graph,
+            num_landmarks,
+            selection,
+            DiagonalStrategy::ExactSolves,
+            seed,
+        )
     }
 
     /// Builds an index with an explicit diagonal strategy (a Hutchinson
@@ -101,8 +107,8 @@ impl LandmarkIndex {
         let n = graph.num_nodes();
         let num_landmarks = num_landmarks.min(n);
         let landmarks = select_landmarks(graph, num_landmarks, selection, seed);
-        let mut index = ErIndex::build_with(graph, diagonal, seed)?
-            .with_column_capacity(num_landmarks.max(1));
+        let mut index =
+            ErIndex::build_with(graph, diagonal, seed)?.with_column_capacity(num_landmarks.max(1));
         let mut sqrt_resistances = Vec::with_capacity(landmarks.len());
         for &l in &landmarks {
             let profile = index.single_source(l)?;
@@ -134,7 +140,10 @@ impl LandmarkIndex {
             }));
         }
         if s == t {
-            return Ok(LandmarkBounds { lower: 0.0, upper: 0.0 });
+            return Ok(LandmarkBounds {
+                lower: 0.0,
+                upper: 0.0,
+            });
         }
         let mut lower: f64 = 0.0;
         let mut upper = f64::INFINITY;
@@ -148,7 +157,10 @@ impl LandmarkIndex {
             // A query endpoint that *is* a landmark gives exact values.
             if l == s || l == t {
                 let exact = if l == s { b * b } else { a * a };
-                return Ok(LandmarkBounds { lower: exact, upper: exact });
+                return Ok(LandmarkBounds {
+                    lower: exact,
+                    upper: exact,
+                });
             }
         }
         Ok(LandmarkBounds { lower, upper })

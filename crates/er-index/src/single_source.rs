@@ -15,16 +15,21 @@
 //! pre-computes the diagonal once (strategy chosen by the caller, see
 //! [`DiagonalStrategy`]) and caches recently used columns.
 
-use crate::diagonal::{pseudo_inverse_diagonal, DiagonalStrategy};
+use crate::diagonal::{pseudo_inverse_diagonal_with_threads, DiagonalStrategy};
 use crate::error::IndexError;
-use er_graph::{analysis, Graph, NodeId};
+use er_graph::{analysis, Graph, IntoGraphArc, NodeId};
 use er_linalg::LaplacianSolver;
+use er_walks::par;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Exact (up to solver tolerance) effective-resistance index built from
 /// Laplacian pseudo-inverse columns and a pre-computed diagonal.
-pub struct ErIndex<'g> {
-    graph: &'g Graph,
+///
+/// The index owns the graph behind an `Arc`, so it is `Send`, storable in
+/// services, and free of borrow lifetimes.
+pub struct ErIndex {
+    graph: Arc<Graph>,
     diagonal: Vec<f64>,
     strategy: DiagonalStrategy,
     columns: HashMap<NodeId, Vec<f64>>,
@@ -32,25 +37,39 @@ pub struct ErIndex<'g> {
     solves: u64,
 }
 
-impl<'g> ErIndex<'g> {
+impl ErIndex {
     /// Default number of pseudo-inverse columns kept in the cache.
     pub const DEFAULT_COLUMN_CAPACITY: usize = 64;
 
     /// Builds the index with the exact per-node-solve diagonal. `O(n)` CG
-    /// solves; intended for graphs up to a few thousand nodes.
-    pub fn build(graph: &'g Graph) -> Result<Self, IndexError> {
+    /// solves, fanned out over all cores; intended for graphs up to a few
+    /// thousand nodes.
+    pub fn build(graph: impl IntoGraphArc) -> Result<Self, IndexError> {
         Self::build_with(graph, DiagonalStrategy::ExactSolves, 0)
     }
 
     /// Builds the index with an explicit diagonal strategy and RNG seed (the
-    /// seed only matters for [`DiagonalStrategy::Hutchinson`]).
+    /// seed only matters for [`DiagonalStrategy::Hutchinson`]), using all
+    /// cores for the diagonal fan-out.
     pub fn build_with(
-        graph: &'g Graph,
+        graph: impl IntoGraphArc,
         strategy: DiagonalStrategy,
         seed: u64,
     ) -> Result<Self, IndexError> {
-        analysis::validate_ergodic(graph)?;
-        let diagonal = pseudo_inverse_diagonal(graph, strategy, seed);
+        Self::build_with_threads(graph, strategy, seed, par::AUTO)
+    }
+
+    /// [`Self::build_with`] with an explicit worker-thread count (0 = all
+    /// cores); the diagonal is identical at any thread count.
+    pub fn build_with_threads(
+        graph: impl IntoGraphArc,
+        strategy: DiagonalStrategy,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, IndexError> {
+        let graph = graph.into_graph_arc();
+        analysis::validate_ergodic(&graph)?;
+        let diagonal = pseudo_inverse_diagonal_with_threads(&graph, strategy, seed, threads);
         let solves = match strategy {
             DiagonalStrategy::ExactSolves => graph.num_nodes() as u64,
             DiagonalStrategy::DensePseudoInverse => 0,
@@ -74,8 +93,13 @@ impl<'g> ErIndex<'g> {
     }
 
     /// The graph the index answers queries about.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared graph handle.
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
     }
 
     /// The diagonal strategy the index was built with.
@@ -109,7 +133,7 @@ impl<'g> ErIndex<'g> {
                     self.columns.remove(&evict);
                 }
             }
-            let solver = LaplacianSolver::for_ground_truth(self.graph);
+            let solver = LaplacianSolver::for_ground_truth(&self.graph);
             let mut rhs = vec![0.0; self.graph.num_nodes()];
             rhs[s] = 1.0;
             let (x, _) = solver.solve(&rhs);

@@ -202,11 +202,11 @@ impl DenseMatrix {
         let n = self.n;
         let (vals, vecs) = self.symmetric_eigen();
         let mut out = DenseMatrix::zeros(n);
-        for k in 0..n {
-            if vals[k].abs() <= tol {
+        for (k, &val) in vals.iter().enumerate() {
+            if val.abs() <= tol {
                 continue;
             }
-            let inv = 1.0 / vals[k];
+            let inv = 1.0 / val;
             for i in 0..n {
                 let vik = vecs.get(i, k);
                 if vik == 0.0 {
@@ -272,11 +272,11 @@ mod tests {
         assert!((vals[0] - 3.0).abs() < 1e-10);
         assert!((vals[1] - 1.0).abs() < 1e-10);
         // Eigenvector check: M v = lambda v
-        for k in 0..2 {
+        for (k, &val) in vals.iter().enumerate() {
             let v: Vec<f64> = (0..2).map(|i| vecs.get(i, k)).collect();
             let mv = m.mat_vec(&v);
             for i in 0..2 {
-                assert!((mv[i] - vals[k] * v[i]).abs() < 1e-9);
+                assert!((mv[i] - val * v[i]).abs() < 1e-9);
             }
         }
     }

@@ -198,8 +198,14 @@ mod tests {
         let dense_l2 = vals[1];
         let dense_ln = *vals.last().unwrap();
         let (l2, ln) = spectral_bounds(&g, 120, 7);
-        assert!((l2 - dense_l2).abs() < 1e-4, "lanczos {l2} dense {dense_l2}");
-        assert!((ln - dense_ln).abs() < 1e-4, "lanczos {ln} dense {dense_ln}");
+        assert!(
+            (l2 - dense_l2).abs() < 1e-4,
+            "lanczos {l2} dense {dense_l2}"
+        );
+        assert!(
+            (ln - dense_ln).abs() < 1e-4,
+            "lanczos {ln} dense {dense_ln}"
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl<'g> NormalizedAdjacencyOp<'g> {
                 }
             })
             .collect();
-        NormalizedAdjacencyOp { graph, inv_sqrt_deg }
+        NormalizedAdjacencyOp {
+            graph,
+            inv_sqrt_deg,
+        }
     }
 
     /// The (unit-norm) Perron eigenvector of `N`, `φ₁(v) = √(d(v) / 2m)`,
@@ -300,7 +303,10 @@ mod tests {
         let phi = op.perron_vector();
         let defl = DeflatedOp::new(&op, phi.clone(), 1.0);
         let y = defl.apply_vec(&phi);
-        assert!(vector::norm2(&y) < 1e-9, "deflated operator annihilates phi");
+        assert!(
+            vector::norm2(&y) < 1e-9,
+            "deflated operator annihilates phi"
+        );
     }
 
     #[test]

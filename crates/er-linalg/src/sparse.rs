@@ -71,7 +71,8 @@ impl CsrMatrix {
         let rows = g
             .nodes()
             .map(|u| {
-                let mut row: Vec<(usize, f64)> = g.neighbors(u).iter().map(|&v| (v, -1.0)).collect();
+                let mut row: Vec<(usize, f64)> =
+                    g.neighbors(u).iter().map(|&v| (v, -1.0)).collect();
                 row.push((u, g.degree(u) as f64));
                 row
             })
@@ -113,7 +114,7 @@ impl CsrMatrix {
     pub fn shift_diagonal(&self, alpha: f64) -> Self {
         let rows = (0..self.n)
             .map(|i| {
-                let mut row: Vec<(usize, f64)> = self.row(i).map(|(c, v)| (c, v)).collect();
+                let mut row: Vec<(usize, f64)> = self.row(i).collect();
                 row.push((i, alpha));
                 row
             })
@@ -138,12 +139,12 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for i in 0..self.n {
+        for (i, out) in y.iter_mut().enumerate().take(self.n) {
             let mut acc = 0.0;
             for (c, v) in self.row(i) {
                 acc += v * x[c];
             }
-            y[i] = acc;
+            *out = acc;
         }
     }
 }

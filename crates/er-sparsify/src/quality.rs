@@ -179,7 +179,9 @@ mod tests {
         let scores = EdgeScores::compute(&g, ScoreMethod::Exact, 0).unwrap();
         let sampled = sample_sparsifier(&g, &scores, SampleBudget::Fixed(4_000), 3).unwrap();
         let baseline = top_score_baseline(&g, &scores, sampled.distinct_edges).unwrap();
-        let evaluator = QualityEvaluator::new(&g).with_test_vectors(15).with_test_cuts(15);
+        let evaluator = QualityEvaluator::new(&g)
+            .with_test_vectors(15)
+            .with_test_cuts(15);
         let sampled_report = evaluator.evaluate(&sampled.sparsifier);
         let baseline_report = evaluator.evaluate(&baseline.sparsifier);
         assert!(
@@ -200,7 +202,9 @@ mod tests {
     fn distortion_shrinks_with_more_samples() {
         let g = generators::barabasi_albert(300, 8, 9).unwrap();
         let scores = EdgeScores::compute(&g, ScoreMethod::Exact, 0).unwrap();
-        let evaluator = QualityEvaluator::new(&g).with_test_vectors(10).with_test_cuts(5);
+        let evaluator = QualityEvaluator::new(&g)
+            .with_test_vectors(10)
+            .with_test_cuts(5);
         let coarse = sample_sparsifier(&g, &scores, SampleBudget::Fixed(1_500), 2).unwrap();
         let fine = sample_sparsifier(&g, &scores, SampleBudget::Fixed(40_000), 2).unwrap();
         let coarse_report = evaluator.evaluate(&coarse.sparsifier);
@@ -220,7 +224,9 @@ mod tests {
         // Drop the bridge from the sparsifier on purpose.
         let wg = WeightedGraph::from_weighted_edges(
             g.num_nodes(),
-            g.edges().filter(|&(u, v)| !(u == 0 && v == 10)).map(|(u, v)| (u, v, 1.0)),
+            g.edges()
+                .filter(|&(u, v)| !(u == 0 && v == 10))
+                .map(|(u, v)| (u, v, 1.0)),
         )
         .unwrap();
         let report = QualityEvaluator::new(&g).evaluate(&wg);

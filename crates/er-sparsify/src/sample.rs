@@ -172,8 +172,14 @@ mod tests {
     fn spectral_budget_grows_with_n_and_shrinks_with_epsilon() {
         let small = generators::complete(50).unwrap();
         let large = generators::complete(200).unwrap();
-        let loose = SampleBudget::SpectralGuarantee { epsilon: 0.5, scale: 1.0 };
-        let tight = SampleBudget::SpectralGuarantee { epsilon: 0.1, scale: 1.0 };
+        let loose = SampleBudget::SpectralGuarantee {
+            epsilon: 0.5,
+            scale: 1.0,
+        };
+        let tight = SampleBudget::SpectralGuarantee {
+            epsilon: 0.1,
+            scale: 1.0,
+        };
         assert!(loose.resolve(&large) > loose.resolve(&small));
         assert!(tight.resolve(&small) > loose.resolve(&small));
         assert_eq!(SampleBudget::Fixed(0).resolve(&small), 1);
@@ -189,7 +195,10 @@ mod tests {
         let out = sample_sparsifier(
             &g,
             &scores,
-            SampleBudget::SpectralGuarantee { epsilon: 0.3, scale: 2.0 },
+            SampleBudget::SpectralGuarantee {
+                epsilon: 0.3,
+                scale: 2.0,
+            },
             11,
         )
         .unwrap();

@@ -16,12 +16,12 @@
 //!   the score of `e` is the fraction of trees containing `e`
 //!   (`r(e) = Pr[e ∈ UST]`, the HAY identity).
 
-use er_core::{ApproxConfig, EstimatorError, Geer, GraphContext, ResistanceEstimator};
+use er_core::{
+    ApproxConfig, EstimatorError, ForkableEstimator, Geer, GraphContext, ResistanceEstimator,
+};
 use er_graph::{Graph, NodeId};
 use er_linalg::{LaplacianSolver, ResistanceSketch};
-use er_walks::sample_spanning_tree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use er_walks::{par, sample_spanning_tree};
 
 /// Strategy for computing per-edge resistance scores.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,30 +59,49 @@ impl EdgeScores {
     /// an edge's sampling probability entirely.
     pub const SCORE_FLOOR: f64 = 1e-9;
 
-    /// Computes the score of every edge of `graph` with the chosen method.
+    /// Computes the score of every edge of `graph` with the chosen method,
+    /// using all cores (see [`Self::compute_with_threads`]).
     pub fn compute(graph: &Graph, method: ScoreMethod, seed: u64) -> Result<Self, EstimatorError> {
+        Self::compute_with_threads(graph, method, seed, par::AUTO)
+    }
+
+    /// [`Self::compute`] with an explicit worker-thread count (0 = all cores).
+    ///
+    /// Scoring is one pairwise query per edge — exactly the workload the paper
+    /// accelerates — so every method fans its per-edge work out over the
+    /// deterministic parallel layer: CG solves and sketch queries are
+    /// deterministic outright, GEER queries fork one estimator per edge on the
+    /// edge-index RNG stream, and spanning trees sample on per-tree streams.
+    /// For a fixed seed the scores are identical at any thread count.
+    pub fn compute_with_threads(
+        graph: &Graph,
+        method: ScoreMethod,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, EstimatorError> {
         let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
         let scores = match method {
             ScoreMethod::Exact => {
                 let solver = LaplacianSolver::for_ground_truth(graph);
-                edges
-                    .iter()
-                    .map(|&(u, v)| solver.effective_resistance(u, v))
-                    .collect::<Vec<f64>>()
+                par::par_map_indexed(edges.len() as u64, seed, threads, |i, _| {
+                    let (u, v) = edges[i as usize];
+                    solver.effective_resistance(u, v)
+                })
             }
             ScoreMethod::Geer { epsilon } => {
                 let context = GraphContext::preprocess(graph)?;
                 let config = ApproxConfig {
                     epsilon,
                     seed,
+                    threads: 1, // parallelism comes from the per-edge fan-out
                     ..ApproxConfig::default()
                 };
-                let mut geer = Geer::new(&context, config);
-                let mut out = Vec::with_capacity(edges.len());
-                for &(u, v) in &edges {
-                    out.push(geer.estimate(u, v)?.value);
-                }
-                out
+                let geer = Geer::new(&context, config);
+                let results = par::par_map_indexed(edges.len() as u64, seed, threads, |i, _| {
+                    let (u, v) = edges[i as usize];
+                    geer.fork(i).estimate(u, v).map(|e| e.value)
+                });
+                results.into_iter().collect::<Result<Vec<f64>, _>>()?
             }
             ScoreMethod::Sketch { epsilon } => {
                 let sketch = ResistanceSketch::build(graph, epsilon, 24.0, seed);
@@ -90,16 +109,25 @@ impl EdgeScores {
             }
             ScoreMethod::SpanningTrees { samples } => {
                 let samples = samples.max(1);
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut counts = vec![0u64; edges.len()];
-                for _ in 0..samples {
-                    let tree = sample_spanning_tree(graph, 0, &mut rng);
-                    for (idx, &(u, v)) in edges.iter().enumerate() {
-                        if tree.contains_edge(u, v) {
-                            counts[idx] += 1;
+                let counts = par::par_fold_commutative(
+                    samples as u64,
+                    seed,
+                    threads,
+                    || vec![0u64; edges.len()],
+                    |_, tree_rng, acc: &mut Vec<u64>| {
+                        let tree = sample_spanning_tree(graph, 0, tree_rng);
+                        for (idx, &(u, v)) in edges.iter().enumerate() {
+                            if tree.contains_edge(u, v) {
+                                acc[idx] += 1;
+                            }
                         }
-                    }
-                }
+                    },
+                    |total, part| {
+                        for (t, p) in total.iter_mut().zip(part) {
+                            *t += p;
+                        }
+                    },
+                );
                 counts
                     .into_iter()
                     .map(|c| c as f64 / samples as f64)
@@ -108,7 +136,7 @@ impl EdgeScores {
         };
         let scores = scores
             .into_iter()
-            .map(|s| s.max(Self::SCORE_FLOOR).min(1.0))
+            .map(|s| s.clamp(Self::SCORE_FLOOR, 1.0))
             .collect();
         Ok(EdgeScores {
             edges,
@@ -196,7 +224,8 @@ mod tests {
         // Each per-edge query is within ε = 0.1 with probability ≥ 1 − δ; over
         // ~750 edges allow a small slack beyond ε for the rare tail.
         assert!(geer.max_deviation_from(&exact) <= 0.15);
-        let trees = EdgeScores::compute(&g, ScoreMethod::SpanningTrees { samples: 400 }, 2).unwrap();
+        let trees =
+            EdgeScores::compute(&g, ScoreMethod::SpanningTrees { samples: 400 }, 2).unwrap();
         // Tree-frequency estimates of a per-edge probability have standard
         // deviation <= 0.5/sqrt(400) = 0.025; allow five sigmas.
         assert!(trees.max_deviation_from(&exact) < 0.13);
@@ -238,7 +267,8 @@ mod tests {
         // 1 under the spanning-tree method and exactly 1 under Exact.
         let lolly = generators::lollipop(5, 3).unwrap();
         let exact = EdgeScores::compute(&lolly, ScoreMethod::Exact, 0).unwrap();
-        let trees = EdgeScores::compute(&lolly, ScoreMethod::SpanningTrees { samples: 64 }, 1).unwrap();
+        let trees =
+            EdgeScores::compute(&lolly, ScoreMethod::SpanningTrees { samples: 64 }, 1).unwrap();
         for (idx, &(u, v)) in exact.edges().iter().enumerate() {
             if u >= 4 || v >= 5 {
                 // tail edges are bridges

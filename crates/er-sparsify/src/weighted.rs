@@ -48,7 +48,7 @@ impl WeightedGraph {
             if u == v {
                 continue;
             }
-            if !(w > 0.0) || !w.is_finite() {
+            if w <= 0.0 || !w.is_finite() {
                 return Err(GraphError::Parse {
                     line: 0,
                     message: format!("edge ({u}, {v}) has invalid weight {w}"),
@@ -275,7 +275,13 @@ mod tests {
     fn support_graph_preserves_structure() {
         let wg = WeightedGraph::from_weighted_edges(
             5,
-            vec![(0, 1, 0.1), (1, 2, 0.2), (2, 3, 0.3), (3, 4, 0.4), (4, 0, 0.5)],
+            vec![
+                (0, 1, 0.1),
+                (1, 2, 0.2),
+                (2, 3, 0.3),
+                (3, 4, 0.4),
+                (4, 0, 0.5),
+            ],
         )
         .unwrap();
         let support = wg.support().unwrap();

@@ -1,9 +1,9 @@
-//! Batched random-walk execution with buffer reuse.
+//! Batched random-walk execution with deterministic parallel fan-out.
 //!
 //! The Monte Carlo estimators simulate the same kind of walk thousands of
-//! times per query. Allocating a fresh `Vec` per walk is both slow and noisy
-//! for benchmarking, so [`WalkEngine`] owns the scratch buffers and exposes
-//! bulk operations:
+//! times per query. [`WalkEngine`] owns the graph (as an `Arc`, so engines are
+//! `Send + Sync` and cheap to clone) and exposes bulk operations that fan the
+//! walks out over the [`crate::par`] layer:
 //!
 //! * [`WalkEngine::endpoint_histogram`] — how often each node is the endpoint
 //!   of a length-`len` walk (TP's estimate of `p_len(s, ·)`),
@@ -11,9 +11,16 @@
 //!   along the walk (AMC's weighted sums over visited nodes),
 //! * [`WalkEngine::endpoint_samples`] — raw endpoints, for estimators that
 //!   post-process the sample (e.g. collision counting in TPC).
+//!
+//! Each bulk call draws a single `u64` from the caller's RNG to seed the
+//! fan-out; per-walk streams are then derived from `(fan_seed, walk_index)`,
+//! so for a fixed caller seed the results are bit-identical at any thread
+//! count.
 
-use er_graph::{Graph, NodeId};
+use crate::par;
+use er_graph::{Graph, IntoGraphArc, NodeId};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Histogram of walk endpoints over the node set.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,29 +67,52 @@ impl EndpointHistogram {
     }
 }
 
+/// Per-worker accumulator of the bulk walk operations: node counts plus the
+/// steps actually taken (walks stop early only at isolated nodes).
+struct WalkTally {
+    counts: Vec<u64>,
+    steps: u64,
+}
+
 /// Reusable executor for batches of simple random walks on one graph.
-#[derive(Debug)]
-pub struct WalkEngine<'g> {
-    graph: &'g Graph,
+#[derive(Clone, Debug)]
+pub struct WalkEngine {
+    graph: Arc<Graph>,
+    /// Worker threads for the bulk operations (0 = all cores).
+    threads: usize,
     /// Total number of walk steps taken since construction (cost accounting).
     steps: u64,
     /// Total number of walks simulated since construction.
     walks: u64,
 }
 
-impl<'g> WalkEngine<'g> {
-    /// Creates an engine over `graph`.
-    pub fn new(graph: &'g Graph) -> Self {
+impl WalkEngine {
+    /// Creates an engine over `graph`, using all cores for bulk operations.
+    pub fn new(graph: impl IntoGraphArc) -> Self {
         WalkEngine {
-            graph,
+            graph: graph.into_graph_arc(),
+            threads: par::AUTO,
             steps: 0,
             walks: 0,
         }
     }
 
+    /// Sets the number of worker threads for the bulk operations
+    /// (0 = all cores). Results are identical at any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The graph the engine walks on.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The engine's shared graph handle.
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
     }
 
     /// Total number of walk steps taken so far.
@@ -97,22 +127,14 @@ impl<'g> WalkEngine<'g> {
 
     /// Simulates one length-`len` walk and returns its endpoint.
     pub fn endpoint<R: Rng + ?Sized>(&mut self, start: NodeId, len: usize, rng: &mut R) -> NodeId {
-        let mut current = start;
-        for _ in 0..len {
-            match self.graph.random_neighbor(current, rng) {
-                Some(next) => {
-                    current = next;
-                    self.steps += 1;
-                }
-                None => break,
-            }
-        }
+        let (end, steps) = endpoint_with_steps(&self.graph, start, len, rng);
+        self.steps += steps;
         self.walks += 1;
-        current
+        end
     }
 
     /// Runs `num_walks` length-`len` walks from `start` and returns the raw
-    /// endpoint samples.
+    /// endpoint samples, in walk-index order.
     pub fn endpoint_samples<R: Rng + ?Sized>(
         &mut self,
         start: NodeId,
@@ -120,7 +142,26 @@ impl<'g> WalkEngine<'g> {
         num_walks: u64,
         rng: &mut R,
     ) -> Vec<NodeId> {
-        (0..num_walks).map(|_| self.endpoint(start, len, rng)).collect()
+        let fan_seed = rng.next_u64();
+        let graph = &*self.graph;
+        let out = par::par_fold_indexed(
+            num_walks,
+            fan_seed,
+            self.threads,
+            || (Vec::new(), 0u64),
+            |_, walk_rng, acc: &mut (Vec<NodeId>, u64)| {
+                let (end, steps) = endpoint_with_steps(graph, start, len, walk_rng);
+                acc.0.push(end);
+                acc.1 += steps;
+            },
+            |total, part| {
+                total.0.extend(part.0);
+                total.1 += part.1;
+            },
+        );
+        self.steps += out.1;
+        self.walks += num_walks;
+        out.0
     }
 
     /// Runs `num_walks` length-`len` walks from `start` and histograms their
@@ -132,12 +173,28 @@ impl<'g> WalkEngine<'g> {
         num_walks: u64,
         rng: &mut R,
     ) -> EndpointHistogram {
-        let mut counts = vec![0u64; self.graph.num_nodes()];
-        for _ in 0..num_walks {
-            counts[self.endpoint(start, len, rng)] += 1;
-        }
+        let fan_seed = rng.next_u64();
+        let graph = &*self.graph;
+        let n = graph.num_nodes();
+        let tally = par::par_fold_commutative(
+            num_walks,
+            fan_seed,
+            self.threads,
+            || WalkTally {
+                counts: vec![0; n],
+                steps: 0,
+            },
+            |_, walk_rng, acc| {
+                let (end, steps) = endpoint_with_steps(graph, start, len, walk_rng);
+                acc.counts[end] += 1;
+                acc.steps += steps;
+            },
+            merge_tallies,
+        );
+        self.steps += tally.steps;
+        self.walks += num_walks;
         EndpointHistogram {
-            counts,
+            counts: tally.counts,
             walks: num_walks,
         }
     }
@@ -153,23 +210,65 @@ impl<'g> WalkEngine<'g> {
         num_walks: u64,
         rng: &mut R,
     ) -> Vec<u64> {
-        let mut counts = vec![0u64; self.graph.num_nodes()];
-        for _ in 0..num_walks {
-            let mut current = start;
-            for _ in 0..len {
-                match self.graph.random_neighbor(current, rng) {
-                    Some(next) => {
-                        current = next;
-                        counts[current] += 1;
-                        self.steps += 1;
+        let fan_seed = rng.next_u64();
+        let graph = &*self.graph;
+        let n = graph.num_nodes();
+        let tally = par::par_fold_commutative(
+            num_walks,
+            fan_seed,
+            self.threads,
+            || WalkTally {
+                counts: vec![0; n],
+                steps: 0,
+            },
+            |_, walk_rng, acc| {
+                let mut current = start;
+                for _ in 0..len {
+                    match graph.random_neighbor(current, walk_rng) {
+                        Some(next) => {
+                            current = next;
+                            acc.counts[current] += 1;
+                            acc.steps += 1;
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
-            }
-            self.walks += 1;
-        }
-        counts
+            },
+            merge_tallies,
+        );
+        self.steps += tally.steps;
+        self.walks += num_walks;
+        tally.counts
     }
+}
+
+fn merge_tallies(total: &mut WalkTally, part: WalkTally) {
+    for (t, p) in total.counts.iter_mut().zip(part.counts) {
+        *t += p;
+    }
+    total.steps += part.steps;
+}
+
+/// One length-`len` walk returning its endpoint and the steps actually taken.
+#[inline]
+fn endpoint_with_steps<R: Rng + ?Sized>(
+    graph: &Graph,
+    start: NodeId,
+    len: usize,
+    rng: &mut R,
+) -> (NodeId, u64) {
+    let mut current = start;
+    let mut steps = 0;
+    for _ in 0..len {
+        match graph.random_neighbor(current, rng) {
+            Some(next) => {
+                current = next;
+                steps += 1;
+            }
+            None => break,
+        }
+    }
+    (current, steps)
 }
 
 #[cfg(test)]
@@ -224,7 +323,11 @@ mod tests {
         let walks = 500;
         let len = 4;
         let counts = engine.visit_counts(1, len, walks, &mut rng);
-        assert_eq!(counts[0], walks * (len as u64) / 2, "hub visited every other step");
+        assert_eq!(
+            counts[0],
+            walks * (len as u64) / 2,
+            "hub visited every other step"
+        );
         let leaf_total: u64 = counts[1..].iter().sum();
         assert_eq!(leaf_total, walks * (len as u64) / 2);
     }
@@ -239,5 +342,35 @@ mod tests {
         assert_eq!(hist.frequency(2), 0.0);
         let hist = engine.endpoint_histogram(2, 0, 50, &mut rng);
         assert_eq!(hist.count(2), 50, "length-0 walks end where they start");
+    }
+
+    #[test]
+    fn bulk_operations_are_thread_count_invariant() {
+        let g = generators::social_network_like(200, 8.0, 3).unwrap();
+        let run = |threads: usize| {
+            let mut engine = WalkEngine::new(&g).with_threads(threads);
+            let mut rng = StdRng::seed_from_u64(0xdeed);
+            let hist = engine.endpoint_histogram(0, 12, 5_000, &mut rng);
+            let visits = engine.visit_counts(1, 8, 3_000, &mut rng);
+            let samples = engine.endpoint_samples(2, 5, 2_500, &mut rng);
+            (hist, visits, samples, engine.total_steps())
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert_eq!(base.0, other.0, "histogram differs at {threads} threads");
+            assert_eq!(base.1, other.1, "visit counts differ at {threads} threads");
+            assert_eq!(base.2, other.2, "samples differ at {threads} threads");
+            assert_eq!(
+                base.3, other.3,
+                "step accounting differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<WalkEngine>();
     }
 }

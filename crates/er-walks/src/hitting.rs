@@ -217,7 +217,9 @@ mod tests {
         let mut direct = 0;
         for _ in 0..trials {
             match first_hit_walk(&g, 0, 1, 10_000, &mut rng) {
-                FirstHitOutcome::Hit { via_direct_edge, .. } => {
+                FirstHitOutcome::Hit {
+                    via_direct_edge, ..
+                } => {
                     if via_direct_edge {
                         direct += 1;
                     }
@@ -226,7 +228,10 @@ mod tests {
             }
         }
         let p = direct as f64 / trials as f64;
-        assert!((p - 2.0 / 3.0).abs() < 0.01, "first-hit-via-edge probability {p}");
+        assert!(
+            (p - 2.0 / 3.0).abs() < 0.01,
+            "first-hit-via-edge probability {p}"
+        );
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //! * [`spanning`] — uniform spanning-tree sampling with Wilson's algorithm
 //!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`).
 //!
+//! * [`par`] — the deterministic parallel sampling layer: indexed fan-out of
+//!   sampling tasks over scoped threads with per-task RNG streams derived from
+//!   `(seed, index)`, bit-identical at any thread count.
+//!
 //! All primitives take an explicit `&mut impl Rng`, so estimators control
-//! seeding and reproducibility end to end.
+//! seeding and reproducibility end to end; the bulk operations additionally
+//! accept a thread count and guarantee the result does not depend on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +26,13 @@
 pub mod engine;
 pub mod hitting;
 pub mod mixing;
+pub mod par;
 pub mod spanning;
 pub mod truncated;
 
 pub use engine::{EndpointHistogram, WalkEngine};
 pub use hitting::{escape_walk, first_hit_walk, EscapeOutcome, FirstHitOutcome};
 pub use mixing::{empirical_mixing_profile, empirical_mixing_time, MixingProfile};
+pub use par::{mix_seed, par_fold_indexed, par_map_indexed, resolve_threads, stream_rng};
 pub use spanning::{sample_spanning_tree, SpanningTree};
 pub use truncated::{walk_accumulate, walk_endpoint, walk_nodes};

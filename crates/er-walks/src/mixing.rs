@@ -82,7 +82,8 @@ pub fn empirical_mixing_time<R: Rng + ?Sized>(
     threshold: f64,
     rng: &mut R,
 ) -> Option<usize> {
-    empirical_mixing_profile(graph, source, max_length, walks_per_length, rng).mixing_time(threshold)
+    empirical_mixing_profile(graph, source, max_length, walks_per_length, rng)
+        .mixing_time(threshold)
 }
 
 #[cfg(test)]

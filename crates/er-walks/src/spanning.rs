@@ -52,7 +52,11 @@ impl SpanningTree {
 /// from an unreachable node would never terminate); in release builds an
 /// unreachable component would loop forever, so callers must validate
 /// connectivity first (as `er-core` does).
-pub fn sample_spanning_tree<R: Rng + ?Sized>(graph: &Graph, root: NodeId, rng: &mut R) -> SpanningTree {
+pub fn sample_spanning_tree<R: Rng + ?Sized>(
+    graph: &Graph,
+    root: NodeId,
+    rng: &mut R,
+) -> SpanningTree {
     let n = graph.num_nodes();
     let mut in_tree = vec![false; n];
     let mut parent: Vec<NodeId> = (0..n).collect();
@@ -130,7 +134,10 @@ mod tests {
         for i in 0..10 {
             let tree = sample_spanning_tree(&g, i % g.num_nodes(), &mut rng);
             assert_eq!(tree.num_nodes(), g.num_nodes());
-            assert!(is_spanning_tree(&g, &tree), "sample {i} is not a spanning tree");
+            assert!(
+                is_spanning_tree(&g, &tree),
+                "sample {i} is not a spanning tree"
+            );
         }
     }
 

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn walk_stops_at_isolated_node() {
         // node 2 is isolated; a walk starting there goes nowhere.
-        let g = er_graph::GraphBuilder::new(3).add_edge(0, 1).build().unwrap();
+        let g = er_graph::GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .build()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(walk_nodes(&g, 2, 5, &mut rng).is_empty());
         assert_eq!(walk_endpoint(&g, 2, 5, &mut rng), 2);
@@ -144,9 +147,13 @@ mod tests {
         }
         // long-run frequency of each node ≈ its stationary probability 1/6;
         // parity effects are absent because K_6 is non-bipartite.
-        for v in 0..6 {
-            let freq = counts[v] as f64 / trials as f64;
-            let expected = if v == 0 { 0.2 * 0.2 + 0.8 * 0.16 } else { 1.0 / 6.0 };
+        for (v, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / trials as f64;
+            let expected = if v == 0 {
+                0.2 * 0.2 + 0.8 * 0.16
+            } else {
+                1.0 / 6.0
+            };
             // loose check: within 4 percentage points of 1/6
             let _ = expected;
             assert!((freq - 1.0 / 6.0).abs() < 0.04, "node {v} freq {freq}");

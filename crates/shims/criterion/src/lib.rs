@@ -1,0 +1,233 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset the `er-bench` benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark warms up, then times batches
+//! until the measurement window closes, and prints the mean time per
+//! iteration to stdout. No statistical analysis, plots or persisted
+//! baselines — just honest wall-clock numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.warm_up_time, self.measurement_time, f);
+    }
+}
+
+/// A named collection of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.warm_up_time, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark within a group, e.g. `GEER/0.1`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration of one call.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also calibrates the batch size so each measured batch is
+        // long enough for the clock to resolve but short enough to fit many
+        // batches into the measurement window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        let batch = (10_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.result = Some(start.elapsed() / iters.max(1) as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_benchmark<F>(label: &str, warm_up: Duration, measurement: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        warm_up_time: warm_up,
+        measurement_time: measurement,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(mean) => println!("{label:<60} time: {}", format_duration(mean)),
+        None => println!("{label:<60} (no timing loop executed)"),
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

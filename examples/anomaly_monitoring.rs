@@ -47,7 +47,14 @@ fn main() {
 
     // Day 0..3: organic growth (a few new friendships per day).
     let mut snapshots = vec![base.clone()];
-    let organic_edges = [(3, 17), (155, 290), (60, 120), (200, 244), (5, 141), (162, 299)];
+    let organic_edges = [
+        (3, 17),
+        (155, 290),
+        (60, 120),
+        (200, 244),
+        (5, 141),
+        (162, 299),
+    ];
     for day in 1..4 {
         let previous = snapshots.last().unwrap();
         let new_edges = &organic_edges[2 * (day - 1)..2 * day];
@@ -60,13 +67,20 @@ fn main() {
     let after = transform::add_edges(snapshots.last().unwrap(), &[(20, 33)]).expect("valid");
     snapshots.push(after);
 
-    println!("\n{:>4} {:>12} {:>12} {:>12}  flags", "day", "r(0,299)", "r(0,75)", "r(151,280)");
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>12}  flags",
+        "day", "r(0,299)", "r(0,75)", "r(151,280)"
+    );
     let mut event_days = Vec::new();
     for (day, snapshot) in snapshots.iter().enumerate() {
         let report = monitor.observe(snapshot).expect("snapshot is ergodic");
         println!(
             "{:>4} {:>12.4} {:>12.4} {:>12.4}  {:?}",
-            day, report.resistances[0], report.resistances[1], report.resistances[2], report.flagged
+            day,
+            report.resistances[0],
+            report.resistances[1],
+            report.resistances[2],
+            report.flagged
         );
         if report.is_anomalous() {
             event_days.push(day);

@@ -10,8 +10,7 @@
 //! Run with `cargo run --release --example community_clustering`.
 
 use effective_resistance::apps::{
-    adjusted_rand_index, modularity, resistance_separation, ClusteringConfig,
-    ResistanceClustering,
+    adjusted_rand_index, modularity, resistance_separation, ClusteringConfig, ResistanceClustering,
 };
 use effective_resistance::graph::generators;
 
@@ -52,11 +51,14 @@ fn main() {
     println!("modularity of discovered partition:   {q_found:.3}");
     println!("modularity of planted partition:      {q_truth:.3}");
 
-    let (intra, inter) = resistance_separation(&graph, &result.assignments, 60, 7)
-        .expect("separation sampling");
+    let (intra, inter) =
+        resistance_separation(&graph, &result.assignments, 60, 7).expect("separation sampling");
     println!("\nmean effective resistance inside clusters:  {intra:.4}");
     println!("mean effective resistance across clusters:  {inter:.4}");
-    println!("separation ratio (inter / intra):           {:.2}", inter / intra);
+    println!(
+        "separation ratio (inter / intra):           {:.2}",
+        inter / intra
+    );
 
     assert!(ari > 0.6, "the planted communities should be recovered");
     assert!(inter > intra, "clusters must be separated in resistance");

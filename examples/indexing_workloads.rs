@@ -18,8 +18,8 @@ use effective_resistance::index::{DynamicEr, ErIndex, LandmarkIndex, LandmarkSel
 use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
 
 fn main() {
-    let graph = generators::community_social_network(800, 12.0, 4, 0.02, 9)
-        .expect("graph generation");
+    let graph =
+        generators::community_social_network(800, 12.0, 4, 0.02, 9).expect("graph generation");
     println!(
         "graph: {} nodes, {} edges, average degree {:.1}",
         graph.num_nodes(),
@@ -34,9 +34,15 @@ fn main() {
     let nearest = index.nearest(source, 5).expect("profile");
     println!("\nfive nodes closest to node {source} in effective resistance:");
     for (node, r) in &nearest {
-        println!("  node {node:>5}   r = {r:.4}   degree = {}", graph.degree(*node));
+        println!(
+            "  node {node:>5}   r = {r:.4}   degree = {}",
+            graph.degree(*node)
+        );
     }
-    println!("Kirchhoff index of the graph: {:.1}", index.kirchhoff_index());
+    println!(
+        "Kirchhoff index of the graph: {:.1}",
+        index.kirchhoff_index()
+    );
 
     // 2. Landmark bounds as a cheap filter in front of GEER.
     let landmarks = LandmarkIndex::build(&graph, 12, LandmarkSelection::Mixed, 3)
@@ -44,8 +50,14 @@ fn main() {
     let ctx = GraphContext::preprocess(&graph).expect("spectral preprocessing");
     let mut geer = Geer::new(&ctx, config);
     let query_pairs = [(17usize, 500usize), (3, 780), (250, 251), (600, 610)];
-    println!("\nlandmark bounds vs GEER ({} landmarks):", landmarks.landmarks().len());
-    println!("{:>8} {:>8} {:>10} {:>10} {:>10} {:>8}", "s", "t", "lower", "upper", "GEER", "skip?");
+    println!(
+        "\nlandmark bounds vs GEER ({} landmarks):",
+        landmarks.landmarks().len()
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "s", "t", "lower", "upper", "GEER", "skip?"
+    );
     let mut skipped = 0;
     for &(s, t) in &query_pairs {
         let bounds = landmarks.bounds(s, t).expect("bounds");
@@ -65,7 +77,10 @@ fn main() {
             "GEER must land inside the landmark bounds (up to its own ε)"
         );
     }
-    println!("{skipped} of {} queries could skip the estimator entirely", query_pairs.len());
+    println!(
+        "{skipped} of {} queries could skip the estimator entirely",
+        query_pairs.len()
+    );
 
     // 3. Dynamic updates: resistances react to edge insertions/removals.
     let mut dynamic = DynamicEr::from_graph(&graph, config);
@@ -79,7 +94,10 @@ fn main() {
     println!("  before any change:          {before:.4}");
     println!("  after inserting the edge:   {after_insert:.4}");
     println!("  after removing it again:    {after_remove:.4}");
-    assert!(after_insert < before, "Rayleigh monotonicity: adding an edge lowers resistance");
+    assert!(
+        after_insert < before,
+        "Rayleigh monotonicity: adding an edge lowers resistance"
+    );
     assert!((after_remove - before).abs() <= 2.0 * config.epsilon + 0.02);
     println!(
         "  snapshot rebuilds: {} (mutations are lazy; queries pay the rebuild once)",

@@ -76,7 +76,10 @@ fn main() {
     for &(u, v, g, h) in scored.iter().take(5) {
         println!("{u:>8} {v:>8} {g:>10.3} {h:>10.3}");
         // the two estimators should agree to within their epsilons
-        assert!((g - h).abs() <= 2.0 * config.epsilon + 0.02, "estimators agree");
+        assert!(
+            (g - h).abs() <= 2.0 * config.epsilon + 0.02,
+            "estimators agree"
+        );
     }
 
     // Verify the ranking is meaningful: removing the top-ranked line must
@@ -87,7 +90,9 @@ fn main() {
     let degradation = |skip: (usize, usize)| -> f64 {
         let reduced = GraphBuilder::from_edges(
             graph.num_nodes(),
-            graph.edges().filter(|&e| e != skip && e != (skip.1, skip.0)),
+            graph
+                .edges()
+                .filter(|&e| e != skip && e != (skip.1, skip.0)),
         )
         .build()
         .expect("non-empty");
@@ -101,9 +106,7 @@ fn main() {
     println!(
         "\nafter removing the top line ({u1},{v1}): endpoint resistance becomes {loss_top:.3}"
     );
-    println!(
-        "after removing a median line ({u2},{v2}): endpoint resistance becomes {loss_mid:.3}"
-    );
+    println!("after removing a median line ({u2},{v2}): endpoint resistance becomes {loss_mid:.3}");
     assert!(
         loss_top > loss_mid,
         "the ER ranking should identify the more damaging failure"

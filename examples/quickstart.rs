@@ -45,7 +45,13 @@ fn main() {
             "{:>6} {:>6} | {:>10.5} {:>10.5} {:>10.5} {:>10.5} | {:>12} {:>12}",
             s, t, truth, g.value, a.value, m.value, g.cost.random_walks, g.cost.matvec_ops
         );
-        assert!((g.value - truth).abs() <= config.epsilon, "GEER within epsilon");
+        assert!(
+            (g.value - truth).abs() <= config.epsilon,
+            "GEER within epsilon"
+        );
     }
-    println!("\nall GEER answers were within epsilon = {} of the exact value", config.epsilon);
+    println!(
+        "\nall GEER answers were within epsilon = {} of the exact value",
+        config.epsilon
+    );
 }

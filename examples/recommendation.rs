@@ -62,14 +62,23 @@ fn main() {
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
     println!("\ntop-10 recommendations (lowest effective resistance first):");
-    println!("{:>8} {:>10} {:>10} {:>14}", "node", "r(user,v)", "degree", "common friends");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14}",
+        "node", "r(user,v)", "degree", "common friends"
+    );
     for &(c, r, _) in scored.iter().take(10) {
         let common = graph
             .neighbors(user)
             .iter()
             .filter(|&&f| graph.has_edge(f, c))
             .count();
-        println!("{:>8} {:>10.4} {:>10} {:>14}", c, r, graph.degree(c), common);
+        println!(
+            "{:>8} {:>10.4} {:>10} {:>14}",
+            c,
+            r,
+            graph.degree(c),
+            common
+        );
     }
 
     // Sanity: the top recommendation should share at least one friend, and the

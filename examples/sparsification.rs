@@ -43,7 +43,12 @@ fn main() {
     let edges: Vec<(usize, usize)> = graph.edges().collect();
     let scores: Vec<f64> = edges
         .iter()
-        .map(|&(u, v)| geer.estimate(u, v).expect("valid edge query").value.max(1e-6))
+        .map(|&(u, v)| {
+            geer.estimate(u, v)
+                .expect("valid edge query")
+                .value
+                .max(1e-6)
+        })
         .collect();
     let total_score: f64 = scores.iter().sum();
     println!(
@@ -90,7 +95,10 @@ fn main() {
     )
     .build()
     .expect("non-empty sparsifier");
-    assert!(analysis::is_connected(&sparsified), "sparsifier must stay connected");
+    assert!(
+        analysis::is_connected(&sparsified),
+        "sparsifier must stay connected"
+    );
 
     let original_weights = vec![1.0; m];
     let mut worst_ratio: f64 = 1.0;

@@ -98,7 +98,10 @@ fn exact_and_rp_agree_with_cg_solver() {
         assert!((via_pinv - reference).abs() < 1e-6);
         let via_rp = rp.estimate(pair.s, pair.t).unwrap().value;
         let rel = (via_rp - reference).abs() / reference.max(1e-12);
-        assert!(rel < 0.6, "RP is a multiplicative approximation: {via_rp} vs {reference}");
+        assert!(
+            rel < 0.6,
+            "RP is a multiplicative approximation: {via_rp} vs {reference}"
+        );
     }
 }
 
@@ -114,8 +117,12 @@ fn estimates_are_deterministic_given_seed() {
     // pessimistic lambda so the refined walk length (and hence AMC's role
     // inside GEER) is substantial.
     let slow_ctx = GraphContext::with_lambda(&graph, 0.95).unwrap();
-    let c1 = Geer::new(&slow_ctx, config.reseeded(101)).estimate(1, 300).unwrap();
-    let c2 = Geer::new(&slow_ctx, config.reseeded(202)).estimate(1, 300).unwrap();
+    let c1 = Geer::new(&slow_ctx, config.reseeded(101))
+        .estimate(1, 300)
+        .unwrap();
+    let c2 = Geer::new(&slow_ctx, config.reseeded(202))
+        .estimate(1, 300)
+        .unwrap();
     assert!(c1.cost.random_walks > 0, "forced context must use walks");
     assert_ne!(
         c1.value, c2.value,

@@ -3,8 +3,7 @@
 //! exact ground truth, end to end through the public facade.
 
 use effective_resistance::apps::{
-    edge_criticality, estimate_kirchhoff_index, modularity, ClusteringConfig,
-    ResistanceClustering,
+    edge_criticality, estimate_kirchhoff_index, modularity, ClusteringConfig, ResistanceClustering,
 };
 use effective_resistance::graph::{generators, NodePairQuerySet};
 use effective_resistance::index::{
@@ -120,7 +119,10 @@ fn geer_scored_sparsifier_preserves_the_spectrum_and_foster_total() {
     let output = sample_sparsifier(
         &graph,
         &scores,
-        SampleBudget::SpectralGuarantee { epsilon: 0.4, scale: 1.5 },
+        SampleBudget::SpectralGuarantee {
+            epsilon: 0.4,
+            scale: 1.5,
+        },
         2,
     )
     .unwrap();
@@ -165,7 +167,10 @@ fn criticality_ranking_flags_the_planted_bottleneck_and_clusters_respect_it() {
     let config = ApproxConfig::with_epsilon(0.1);
     let ranking = edge_criticality(&graph, config).unwrap();
     let top20: Vec<(usize, usize)> = ranking.iter().take(20).map(|e| (e.u, e.v)).collect();
-    let crossing = top20.iter().filter(|&&(u, v)| (u < 120) != (v < 120)).count();
+    let crossing = top20
+        .iter()
+        .filter(|&&(u, v)| (u < 120) != (v < 120))
+        .count();
     assert!(
         crossing >= 1,
         "at least one inter-community bridge must appear in the top-20: {top20:?}"

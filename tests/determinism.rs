@@ -1,0 +1,104 @@
+//! Determinism guarantees of the parallel sampling layer, end to end.
+//!
+//! The contract: for a fixed seed, every estimator and every bulk walk
+//! operation produces **bit-identical** output at any thread count. These
+//! tests pin that contract at 1, 2 and 8 threads across the stack, and add a
+//! statistical sanity check that the parallel AMC still lands within ε of the
+//! exact answer (parallelism must change wall-clock only, never accuracy).
+
+use effective_resistance::graph::Graph;
+use effective_resistance::walks::WalkEngine;
+use effective_resistance::{Amc, ApproxConfig, Exact, Geer, GraphContext, ResistanceEstimator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph() -> Graph {
+    effective_resistance::graph::generators::social_network_like(600, 12.0, 0xd17).unwrap()
+}
+
+const PAIRS: [(usize, usize); 4] = [(0, 300), (5, 599), (42, 43), (17, 450)];
+
+fn estimates_at<E, F>(threads: usize, build: F) -> Vec<u64>
+where
+    E: ResistanceEstimator,
+    F: Fn(ApproxConfig) -> E,
+{
+    let config = ApproxConfig::with_epsilon(0.2)
+        .reseeded(0xfeed)
+        .with_threads(threads);
+    let mut estimator = build(config);
+    PAIRS
+        .iter()
+        .map(|&(s, t)| estimator.estimate(s, t).unwrap().value.to_bits())
+        .collect()
+}
+
+#[test]
+fn amc_estimates_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    // A pessimistic lambda forces real walk lengths, so the parallel fan-out
+    // actually runs (with the true lambda the refined length can be 0).
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let base = estimates_at(1, |cfg| Amc::new(&ctx, cfg));
+    for threads in [2, 8] {
+        let other = estimates_at(threads, |cfg| Amc::new(&ctx, cfg));
+        assert_eq!(base, other, "AMC differs at {threads} threads");
+    }
+}
+
+#[test]
+fn geer_estimates_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let base = estimates_at(1, |cfg| Geer::new(&ctx, cfg));
+    for threads in [2, 8] {
+        let other = estimates_at(threads, |cfg| Geer::new(&ctx, cfg));
+        assert_eq!(base, other, "GEER differs at {threads} threads");
+    }
+}
+
+#[test]
+fn walk_engine_histograms_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let run = |threads: usize| {
+        let mut engine = WalkEngine::new(&g).with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(0xbeef);
+        let hist = engine.endpoint_histogram(3, 16, 20_000, &mut rng);
+        let visits = engine.visit_counts(7, 10, 10_000, &mut rng);
+        (hist, visits, engine.total_steps(), engine.total_walks())
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let other = run(threads);
+        assert_eq!(base.0, other.0, "histogram differs at {threads} threads");
+        assert_eq!(base.1, other.1, "visit counts differ at {threads} threads");
+        assert_eq!(
+            base.2, other.2,
+            "step accounting differs at {threads} threads"
+        );
+        assert_eq!(base.3, other.3);
+    }
+}
+
+#[test]
+fn parallel_amc_stays_within_epsilon_of_exact() {
+    let g = graph();
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let mut exact = Exact::new(&ctx).unwrap();
+    let eps = 0.25;
+    let config = ApproxConfig::with_epsilon(eps).reseeded(3).with_threads(8);
+    let mut amc = Amc::new(&ctx, config);
+    for &(s, t) in &PAIRS {
+        let approx = amc.estimate(s, t).unwrap();
+        let truth = exact.estimate(s, t).unwrap().value;
+        assert!(
+            approx.cost.random_walks > 0,
+            "({s},{t}): no walks were sampled"
+        );
+        assert!(
+            (approx.value - truth).abs() <= eps,
+            "({s},{t}): parallel AMC {} vs exact {truth}",
+            approx.value
+        );
+    }
+}

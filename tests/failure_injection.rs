@@ -3,7 +3,9 @@
 //! silently returning garbage — the behaviours a downstream system depends on
 //! when it feeds real-world data into the library.
 
-use effective_resistance::apps::{ClusteringConfig, Recommender, ResistanceClustering, ResistanceMonitor};
+use effective_resistance::apps::{
+    ClusteringConfig, Recommender, ResistanceClustering, ResistanceMonitor,
+};
 use effective_resistance::graph::{analysis, generators, io, transform, GraphBuilder};
 use effective_resistance::index::{
     AllPairsResistance, DynamicEr, ErIndex, IndexError, LandmarkIndex, LandmarkSelection,
@@ -16,9 +18,12 @@ use effective_resistance::{
 
 /// A graph with two components (violates the connectivity assumption).
 fn disconnected() -> effective_resistance::graph::Graph {
-    GraphBuilder::from_edges(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (5, 6)])
-        .build()
-        .unwrap()
+    GraphBuilder::from_edges(
+        7,
+        vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (5, 6)],
+    )
+    .build()
+    .unwrap()
 }
 
 /// A bipartite graph (violates the aperiodicity assumption).
@@ -28,11 +33,16 @@ fn bipartite() -> effective_resistance::graph::Graph {
 
 #[test]
 fn spectral_preprocessing_rejects_invalid_graphs() {
-    assert!(matches!(GraphContext::preprocess(&disconnected()), Err(_)));
-    assert!(matches!(GraphContext::preprocess(&bipartite()), Err(_)));
+    assert!(GraphContext::preprocess(disconnected()).is_err());
+    assert!(GraphContext::preprocess(bipartite()).is_err());
     // The error message names the problem.
-    let message = GraphContext::preprocess(&bipartite()).unwrap_err().to_string();
-    assert!(message.to_lowercase().contains("bipartite"), "message: {message}");
+    let message = GraphContext::preprocess(bipartite())
+        .unwrap_err()
+        .to_string();
+    assert!(
+        message.to_lowercase().contains("bipartite"),
+        "message: {message}"
+    );
 }
 
 #[test]
@@ -43,15 +53,27 @@ fn estimators_validate_query_nodes_and_configs() {
     assert!(geer.estimate(0, 12).is_err());
     assert!(geer.estimate(99, 0).is_err());
 
-    let bad_epsilon = ApproxConfig { epsilon: 0.0, ..ApproxConfig::default() };
+    let bad_epsilon = ApproxConfig {
+        epsilon: 0.0,
+        ..ApproxConfig::default()
+    };
     assert!(bad_epsilon.validate().is_err());
-    let bad_delta = ApproxConfig { delta: 1.0, ..ApproxConfig::default() };
+    let bad_delta = ApproxConfig {
+        delta: 1.0,
+        ..ApproxConfig::default()
+    };
     assert!(bad_delta.validate().is_err());
-    let bad_tau = ApproxConfig { tau: 0, ..ApproxConfig::default() };
+    let bad_tau = ApproxConfig {
+        tau: 0,
+        ..ApproxConfig::default()
+    };
     assert!(bad_tau.validate().is_err());
 
     let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(0.1));
-    assert!(amc.estimate(3, 3).unwrap().value.abs() < 1e-12, "self pairs are exactly 0");
+    assert!(
+        amc.estimate(3, 3).unwrap().value.abs() < 1e-12,
+        "self pairs are exactly 0"
+    );
 }
 
 #[test]
@@ -68,17 +90,26 @@ fn memory_budgets_surface_as_errors_not_oom() {
     }
     match AllPairsResistance::compute_with_cap(&graph, 100) {
         Err(IndexError::BudgetExceeded { resource, .. }) => assert_eq!(resource, "memory"),
-        other => panic!("expected a budget error, got {:?}", other.err().map(|e| e.to_string())),
+        other => panic!(
+            "expected a budget error, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
     }
     assert!(ResistanceSketch::build_with_limit(&graph, 0.01, 24.0, 0, 10_000).is_err());
 }
 
 #[test]
 fn index_layer_rejects_invalid_graphs_and_nodes() {
-    assert!(ErIndex::build(&disconnected()).is_err());
-    assert!(ErIndex::build(&bipartite()).is_err());
+    assert!(ErIndex::build(disconnected()).is_err());
+    assert!(ErIndex::build(bipartite()).is_err());
     assert!(LandmarkIndex::build(&disconnected(), 3, LandmarkSelection::Random, 0).is_err());
-    assert!(LandmarkIndex::build(&generators::complete(8).unwrap(), 0, LandmarkSelection::Random, 0).is_err());
+    assert!(LandmarkIndex::build(
+        &generators::complete(8).unwrap(),
+        0,
+        LandmarkSelection::Random,
+        0
+    )
+    .is_err());
 
     let graph = generators::complete(10).unwrap();
     let mut index = ErIndex::build(&graph).unwrap();
@@ -102,7 +133,10 @@ fn dynamic_graph_surfaces_disconnection_and_out_of_range_edges() {
     for &u in &neighbors {
         dynamic.remove_edge(leaf, u).unwrap();
     }
-    assert!(matches!(dynamic.resistance(leaf, (leaf + 1) % 50), Err(IndexError::Graph(_))));
+    assert!(matches!(
+        dynamic.resistance(leaf, (leaf + 1) % 50),
+        Err(IndexError::Graph(_))
+    ));
     for &u in &neighbors {
         dynamic.insert_edge(leaf, u).unwrap();
     }
@@ -135,7 +169,10 @@ fn weighted_graph_and_io_reject_malformed_input() {
     let bad = "0 1\n1 two\n";
     let err = io::parse_edge_list(std::io::BufReader::new(bad.as_bytes())).unwrap_err();
     let message = err.to_string();
-    assert!(message.contains("line 2") || message.contains("2"), "message: {message}");
+    assert!(
+        message.contains("line 2") || message.contains("2"),
+        "message: {message}"
+    );
 }
 
 #[test]

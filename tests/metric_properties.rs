@@ -116,7 +116,10 @@ fn resistance_bounds_from_degrees() {
     let lol = generators::lollipop(5, 4).unwrap();
     let tail_end = lol.num_nodes() - 1; // degree-1 node
     let r = exact_resistance(&lol, tail_end, 0);
-    assert!(r >= 1.0 - 1e-9, "a degree-1 node sees at least its own edge");
+    assert!(
+        r >= 1.0 - 1e-9,
+        "a degree-1 node sees at least its own edge"
+    );
     assert!(r <= (lol.num_nodes() - 1) as f64);
 
     let graph = generators::social_network_like(300, 10.0, 0xbd).unwrap();
