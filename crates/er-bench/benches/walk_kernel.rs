@@ -1,0 +1,55 @@
+//! Criterion-style comparison of the PR-1 bulk-sampling path against the
+//! zero-allocation walk kernel.
+//!
+//! A smaller graph than the `walk_kernel` binary (so the bench suite stays
+//! fast); the binary is the canonical source of the numbers recorded in
+//! `BENCH_walk_kernel.json`. Three benches per thread-count-free workload:
+//! the old path (per-walk `StdRng`, `gen_range` stepping, dense tallies), the
+//! kernel path through `WalkEngine`, and the kernel's raw batched driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_bench::baseline::pr1_endpoint_histogram;
+use er_graph::generators;
+use er_walks::kernel::{par_tally, ScratchPool, WalkKernel};
+use er_walks::WalkEngine;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn bench_walk_kernel(c: &mut Criterion) {
+    let graph = generators::barabasi_albert(20_000, 8, 0xba).unwrap();
+    let mut group = c.benchmark_group("walk_kernel");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let (walks, len) = (2_000u64, 16usize);
+
+    group.bench_function("old_path_histogram", |b| {
+        b.iter(|| pr1_endpoint_histogram(&graph, 0, len, walks, 7).0[0])
+    });
+    group.bench_function("kernel_engine_histogram", |b| {
+        let mut engine = WalkEngine::new(&graph).with_threads(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let hist = engine.endpoint_histogram(0, len, walks, &mut rng);
+            hist.count(0)
+        })
+    });
+    group.bench_function("kernel_batched_tally", |b| {
+        let kernel = WalkKernel::new(&graph);
+        let pool = ScratchPool::new(graph.num_nodes());
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let fan_seed = rng.next_u64();
+            let (counts, _steps) = par_tally(walks, 1, &pool, |range, scratch| {
+                kernel.batch_endpoints(0, len, fan_seed, range, &mut |_, end, steps| {
+                    scratch.bump(end);
+                    scratch.add_steps(steps);
+                });
+            });
+            counts[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_kernel);
+criterion_main!(benches);

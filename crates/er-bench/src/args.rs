@@ -14,6 +14,9 @@
 //! * `--seed N` — global seed.
 //! * `--threads N` — worker threads for the parallel sampling layer
 //!   (default 0 = all cores; results are identical at any thread count).
+//! * `--quick` — flag (no value): shrink repetitions/measurement windows to
+//!   CI-smoke size while keeping the workload shape (used by the perf-smoke
+//!   job so every PR records a comparable number).
 
 use std::time::Duration;
 
@@ -43,6 +46,8 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Worker threads for the parallel sampling layer (0 = all cores).
     pub threads: usize,
+    /// CI-smoke mode: fewer repetitions, same workload shape.
+    pub quick: bool,
 }
 
 impl Default for BenchArgs {
@@ -55,6 +60,7 @@ impl Default for BenchArgs {
             datasets: None,
             seed: 42,
             threads: 0,
+            quick: false,
         }
     }
 }
@@ -106,10 +112,11 @@ impl BenchArgs {
                         .parse()
                         .map_err(|e| format!("bad --threads: {e}"))?
                 }
+                "--quick" => out.quick = true,
                 "--help" | "-h" => {
                     return Err("usage: --scale small|paper --queries N --budget-secs S \
                          --epsilons 0.5,0.2 --datasets facebook-like,dblp-like --seed N \
-                         --threads N"
+                         --threads N --quick"
                         .to_string())
                 }
                 other => return Err(format!("unknown argument '{other}'")),
@@ -170,6 +177,7 @@ mod tests {
             "7",
             "--threads",
             "3",
+            "--quick",
         ])
         .unwrap();
         assert_eq!(a.scale, Scale::Paper);
@@ -182,6 +190,8 @@ mod tests {
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.threads, 3);
+        assert!(a.quick);
+        assert!(!BenchArgs::default().quick);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Walk-kernel micro-benchmark: the PR-1 bulk-sampling path vs the
+//! zero-allocation kernel, on a 100k-node Barabási–Albert graph.
+//!
+//! Two workloads, both single-threaded so the numbers isolate the per-walk
+//! constant factor rather than parallel speedup:
+//!
+//! * `histogram_query` — many medium-sized `endpoint_histogram` queries (the
+//!   shape TP/AMC issue per query): the old path pays a per-query O(n) dense
+//!   tally on top of per-walk `StdRng` construction and `gen_range` stepping.
+//! * `bulk_walks` — one large bulk call, measuring steady-state walks/sec
+//!   where stepping dominates and the kernel's lane-interleaved lockstep
+//!   hides the dependent cache-miss chain of each walk.
+//!
+//! The old path is reproduced inline exactly as `WalkEngine` ran it before
+//! the kernel landed (per-walk `StdRng::seed_from_u64(mix_seed(seed, i))`,
+//! `Graph::random_neighbor` stepping, `vec![0; n]` tally). The binary also
+//! cross-checks that the kernel path stays bit-identical at 1/2/8 threads,
+//! and writes `BENCH_walk_kernel.json` into the current directory (the repo
+//! root in CI) so the perf trajectory is recorded per PR.
+//!
+//! Run with `cargo run --release -p er-bench --bin walk_kernel [--quick]
+//! [--seed N]`.
+
+use er_bench::args::BenchArgs;
+use er_bench::baseline::pr1_endpoint_histogram;
+use er_graph::{generators, Graph};
+use er_walks::WalkEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `work`, which must return its
+/// walk count (used as an optimisation barrier and sanity check).
+fn best_secs(reps: usize, mut work: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut walks = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        walks = work();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, walks)
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    queries: u64,
+    walks_per_query: u64,
+    walk_len: usize,
+    old_secs: f64,
+    kernel_secs: f64,
+}
+
+impl WorkloadResult {
+    fn total_walks(&self) -> u64 {
+        self.queries * self.walks_per_query
+    }
+    fn old_walks_per_sec(&self) -> f64 {
+        self.total_walks() as f64 / self.old_secs
+    }
+    fn kernel_walks_per_sec(&self) -> f64 {
+        self.total_walks() as f64 / self.kernel_secs
+    }
+    fn old_query_ms(&self) -> f64 {
+        1e3 * self.old_secs / self.queries as f64
+    }
+    fn kernel_query_ms(&self) -> f64 {
+        1e3 * self.kernel_secs / self.queries as f64
+    }
+    fn speedup(&self) -> f64 {
+        self.old_secs / self.kernel_secs
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"queries\": {},\n      \
+             \"walks_per_query\": {},\n      \"walk_len\": {},\n      \
+             \"old\": {{\"walks_per_sec\": {:.0}, \"query_ms\": {:.4}}},\n      \
+             \"kernel\": {{\"walks_per_sec\": {:.0}, \"query_ms\": {:.4}}},\n      \
+             \"speedup\": {:.3}\n    }}",
+            self.name,
+            self.queries,
+            self.walks_per_query,
+            self.walk_len,
+            self.old_walks_per_sec(),
+            self.old_query_ms(),
+            self.kernel_walks_per_sec(),
+            self.kernel_query_ms(),
+            self.speedup()
+        )
+    }
+}
+
+fn run_workload(
+    graph: &Graph,
+    name: &'static str,
+    queries: u64,
+    walks_per_query: u64,
+    walk_len: usize,
+    seed: u64,
+    reps: usize,
+) -> WorkloadResult {
+    // Both paths consume one fan seed per query from the same caller RNG
+    // position, mirroring how estimators drive the engine.
+    let (old_secs, old_walks) = best_secs(reps, || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0;
+        for q in 0..queries {
+            let start = (q as usize * 131) % graph.num_nodes();
+            let fan_seed = rand::RngCore::next_u64(&mut rng);
+            let (counts, _) =
+                pr1_endpoint_histogram(graph, start, walk_len, walks_per_query, fan_seed);
+            total += counts.iter().sum::<u64>();
+        }
+        total
+    });
+    let (kernel_secs, kernel_walks) = best_secs(reps, || {
+        let mut engine = WalkEngine::new(graph).with_threads(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0;
+        for q in 0..queries {
+            let start = (q as usize * 131) % graph.num_nodes();
+            let hist = engine.endpoint_histogram(start, walk_len, walks_per_query, &mut rng);
+            total += (0..graph.num_nodes()).map(|v| hist.count(v)).sum::<u64>();
+        }
+        total
+    });
+    assert_eq!(old_walks, queries * walks_per_query, "old path lost walks");
+    assert_eq!(kernel_walks, queries * walks_per_query, "kernel lost walks");
+    WorkloadResult {
+        name,
+        queries,
+        walks_per_query,
+        walk_len,
+        old_secs,
+        kernel_secs,
+    }
+}
+
+/// Bit-identity of the kernel path across thread counts, on the bench graph.
+fn check_determinism(graph: &Graph, seed: u64) -> bool {
+    let run = |threads: usize| {
+        let mut engine = WalkEngine::new(graph).with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = engine.endpoint_histogram(1, 12, 20_000, &mut rng);
+        (0..graph.num_nodes())
+            .map(|v| hist.count(v))
+            .collect::<Vec<_>>()
+    };
+    let base = run(1);
+    [2usize, 8].iter().all(|&t| run(t) == base)
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let attach = 8;
+    let nodes = 100_000;
+    eprintln!("generating barabasi_albert({nodes}, {attach}) ...");
+    let graph = generators::barabasi_albert(nodes, attach, 0xba).expect("generator");
+    eprintln!(
+        "graph: n = {}, m = {}, quick = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        args.quick
+    );
+
+    let reps = if args.quick { 2 } else { 5 };
+    let queries = if args.quick { 8 } else { 32 };
+    let workloads = [
+        run_workload(
+            &graph,
+            "histogram_query",
+            queries,
+            5_000,
+            16,
+            args.seed,
+            reps,
+        ),
+        run_workload(
+            &graph,
+            "bulk_walks",
+            1,
+            if args.quick { 100_000 } else { 400_000 },
+            16,
+            args.seed ^ 0xb0, // decorrelate from the query workload
+            reps,
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>14} {:>16} {:>12} {:>12} {:>9}",
+        "workload", "old walks/s", "kernel walks/s", "old ms/q", "kernel ms/q", "speedup"
+    );
+    for w in &workloads {
+        println!(
+            "{:<18} {:>14.0} {:>16.0} {:>12.4} {:>12.4} {:>8.2}x",
+            w.name,
+            w.old_walks_per_sec(),
+            w.kernel_walks_per_sec(),
+            w.old_query_ms(),
+            w.kernel_query_ms(),
+            w.speedup()
+        );
+    }
+
+    let deterministic = check_determinism(&graph, args.seed);
+    assert!(
+        deterministic,
+        "kernel path must be bit-identical at 1/2/8 threads"
+    );
+    println!("determinism: kernel results bit-identical at 1/2/8 threads");
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"walk_kernel\",\n  \"created_unix\": {created},\n  \
+         \"quick\": {},\n  \"seed\": {},\n  \
+         \"graph\": {{\"model\": \"barabasi_albert\", \"nodes\": {}, \"attach\": {attach}, \
+         \"edges\": {}}},\n  \
+         \"determinism\": {{\"threads_checked\": [1, 2, 8], \"bit_identical\": {deterministic}}},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        args.quick,
+        args.seed,
+        graph.num_nodes(),
+        graph.num_edges(),
+        workloads
+            .iter()
+            .map(|w| w.json())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = "BENCH_walk_kernel.json";
+    std::fs::write(path, json).expect("write BENCH_walk_kernel.json");
+    println!("wrote {path}");
+}

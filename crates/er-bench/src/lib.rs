@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod baseline;
 pub mod datasets;
 pub mod harness;
 pub mod methods;

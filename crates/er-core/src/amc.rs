@@ -21,7 +21,7 @@ use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use crate::length;
 use er_graph::{Graph, NodeId};
 use er_linalg::vector;
-use er_walks::{par, truncated};
+use er_walks::{par, WalkKernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -189,6 +189,10 @@ pub fn run_amc<R: Rng + ?Sized>(
         }
         batches_used += 1;
         let batch_seed = rng.next_u64();
+        // The walk-pair loop runs on the zero-allocation kernel: pair k's
+        // stream RNG is built inline from (batch_seed, k) and both walks of
+        // the pair draw from it, stepping directly over the CSR arrays.
+        let kernel = WalkKernel::new(graph);
         let (z_sum, z_sq_sum) = par::par_fold_indexed(
             eta,
             batch_seed,
@@ -196,10 +200,10 @@ pub fn run_amc<R: Rng + ?Sized>(
             || (0.0f64, 0.0f64),
             |_, walk_rng, acc| {
                 let mut z_k = 0.0;
-                truncated::walk_accumulate(graph, s, params.ell_f, walk_rng, |u| {
+                kernel.for_each_visit(s, params.ell_f, walk_rng, |u| {
                     z_k += s_vec[u] / ds - t_vec[u] / dt;
                 });
-                truncated::walk_accumulate(graph, t, params.ell_f, walk_rng, |u| {
+                kernel.for_each_visit(t, params.ell_f, walk_rng, |u| {
                     z_k += t_vec[u] / dt - s_vec[u] / ds;
                 });
                 acc.0 += z_k;

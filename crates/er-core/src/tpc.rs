@@ -23,19 +23,19 @@ use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use crate::length;
 use er_graph::{Graph, NodeId};
-use er_walks::par;
-use er_walks::truncated::walk_endpoint;
+use er_walks::kernel::{self, ScratchPool, WalkKernel};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Samples `eta` endpoints of length-`len` walks from `origin` into a count
-/// multiset, fanning the walks out deterministically (walk `k` uses the
-/// `(fan_seed, k)` stream; counts merge associatively, so the multiset is
-/// thread-count invariant). The multiset is a `BTreeMap` on purpose: the
-/// pilot-β and collision estimates fold these counts into floating-point
-/// sums, and ordered iteration keeps that rounding a pure function of the
-/// seed (a `HashMap` would iterate in per-process-random order).
+/// multiset — `(node, count)` pairs sorted by node id — plus the steps taken,
+/// fanning the walks out deterministically over the zero-allocation walk
+/// kernel (walk `k` uses the `(fan_seed, k)` stream; counts merge
+/// associatively, so the multiset is thread-count invariant). The pairs are
+/// sorted on purpose: the pilot-β and collision estimates fold these counts
+/// into floating-point sums, and ordered iteration keeps that rounding a pure
+/// function of the seed.
 fn sample_endpoints(
     graph: &Graph,
     origin: NodeId,
@@ -43,26 +43,15 @@ fn sample_endpoints(
     eta: u64,
     fan_seed: u64,
     threads: usize,
-) -> BTreeMap<NodeId, u64> {
-    par::par_fold_commutative(
-        eta,
-        fan_seed,
-        threads,
-        BTreeMap::new,
-        |_, walk_rng, acc: &mut BTreeMap<NodeId, u64>| {
-            let end = if len == 0 {
-                origin
-            } else {
-                walk_endpoint(graph, origin, len, walk_rng)
-            };
-            *acc.entry(end).or_insert(0) += 1;
-        },
-        |total, part| {
-            for (node, count) in part {
-                *total.entry(node).or_insert(0) += count;
-            }
-        },
-    )
+    pool: &ScratchPool,
+) -> (Vec<(NodeId, u64)>, u64) {
+    let walk_kernel = WalkKernel::new(graph);
+    kernel::par_tally_sparse(eta, threads, pool, |range, scratch| {
+        walk_kernel.batch_endpoints(origin, len, fan_seed, range, &mut |_, end, steps| {
+            scratch.bump(end);
+            scratch.add_steps(steps);
+        });
+    })
 }
 
 /// The TPC estimator.
@@ -74,6 +63,8 @@ pub struct Tpc {
     sample_scale: f64,
     pilot_walks: u64,
     walk_budget: Option<u64>,
+    /// Reusable endpoint-tally scratches, shared across clones and queries.
+    scratch: Arc<ScratchPool>,
 }
 
 impl Tpc {
@@ -82,6 +73,7 @@ impl Tpc {
 
     /// Creates a TPC estimator with the heuristic βᵢ pilot estimation.
     pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
+        let scratch = Arc::new(ScratchPool::new(context.graph().num_nodes()));
         Tpc {
             context: context.clone(),
             config,
@@ -89,6 +81,7 @@ impl Tpc {
             sample_scale: 1.0,
             pilot_walks: 200,
             walk_budget: None,
+            scratch,
         }
     }
 
@@ -122,9 +115,17 @@ impl Tpc {
     ) -> f64 {
         let eta = self.pilot_walks.max(1);
         let fan_seed = self.rng.next_u64();
-        let counts = sample_endpoints(graph, origin, half, eta, fan_seed, self.config.threads);
+        let (counts, steps) = sample_endpoints(
+            graph,
+            origin,
+            half,
+            eta,
+            fan_seed,
+            self.config.threads,
+            &self.scratch,
+        );
         cost.random_walks += eta;
-        cost.walk_steps += eta * half as u64;
+        cost.walk_steps += steps;
         let mut beta = 0.0;
         for (v, c) in counts {
             let p = c as f64 / eta as f64;
@@ -193,12 +194,14 @@ impl ResistanceEstimator for Tpc {
 
             // Sample endpoint multisets for the four collision estimates.
             let threads = self.config.threads;
+            let pool = Arc::clone(&self.scratch);
             let sample =
                 |origin: NodeId, len: usize, rng: &mut StdRng, cost: &mut CostBreakdown| {
                     let fan_seed = rng.next_u64();
-                    let counts = sample_endpoints(g, origin, len, eta, fan_seed, threads);
+                    let (counts, steps) =
+                        sample_endpoints(g, origin, len, eta, fan_seed, threads, &pool);
                     cost.random_walks += eta;
-                    cost.walk_steps += eta * len as u64;
+                    cost.walk_steps += steps;
                     counts
                 };
             let from_s_a = sample(s, a, &mut self.rng, &mut cost);
@@ -206,25 +209,25 @@ impl ResistanceEstimator for Tpc {
             let from_t_a = sample(t, a, &mut self.rng, &mut cost);
             let from_t_b = sample(t, b, &mut self.rng, &mut cost);
 
-            // p_i(x, y) ≈ Σ_v (count_x^a(v)/η) (count_y^b(v)/η) d(v)/d(y).
-            let collide = |xa: &BTreeMap<NodeId, u64>, yb: &BTreeMap<NodeId, u64>, d_y: f64| {
-                let (small, large, swap) = if xa.len() <= yb.len() {
-                    (xa, yb, false)
-                } else {
-                    (yb, xa, true)
-                };
+            // p_i(x, y) ≈ Σ_v (count_x^a(v)/η) (count_y^b(v)/η) d(v)/d(y),
+            // via a merge-join over the id-sorted multisets (ordered
+            // iteration keeps the rounding a pure function of the seed).
+            let collide = |xa: &[(NodeId, u64)], yb: &[(NodeId, u64)], d_y: f64| {
                 let mut total = 0.0;
-                for (&v, &c_small) in small {
-                    if let Some(&c_large) = large.get(&v) {
-                        let (cx, cy) = if swap {
-                            (c_large, c_small)
-                        } else {
-                            (c_small, c_large)
-                        };
-                        total += (cx as f64 / eta as f64)
-                            * (cy as f64 / eta as f64)
-                            * g.degree(v) as f64
-                            / d_y;
+                let (mut i, mut j) = (0, 0);
+                while i < xa.len() && j < yb.len() {
+                    match xa[i].0.cmp(&yb[j].0) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let v = xa[i].0;
+                            total += (xa[i].1 as f64 / eta as f64)
+                                * (yb[j].1 as f64 / eta as f64)
+                                * g.degree(v) as f64
+                                / d_y;
+                            i += 1;
+                            j += 1;
+                        }
                     }
                 }
                 total

@@ -21,7 +21,9 @@ use er_core::{
 };
 use er_graph::{Graph, NodeId};
 use er_linalg::{LaplacianSolver, ResistanceSketch};
+use er_walks::kernel::{self, ScratchPool};
 use er_walks::{par, sample_spanning_tree};
+use std::collections::HashMap;
 
 /// Strategy for computing per-edge resistance scores.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -109,25 +111,24 @@ impl EdgeScores {
             }
             ScoreMethod::SpanningTrees { samples } => {
                 let samples = samples.max(1);
-                let counts = par::par_fold_commutative(
-                    samples as u64,
-                    seed,
-                    threads,
-                    || vec![0u64; edges.len()],
-                    |_, tree_rng, acc: &mut Vec<u64>| {
-                        let tree = sample_spanning_tree(graph, 0, tree_rng);
-                        for (idx, &(u, v)) in edges.iter().enumerate() {
-                            if tree.contains_edge(u, v) {
-                                acc[idx] += 1;
-                            }
+                // Tally tree membership per *edge id* through the walk
+                // kernel's scratch layer: each Wilson tree contributes its
+                // n − 1 edges (looked up in a prebuilt edge index) instead of
+                // scanning all m edges per tree, and workers reuse
+                // epoch-stamped sparse tallies instead of zeroing a dense
+                // per-edge vector. Integer merges keep the counts
+                // thread-count invariant.
+                let edge_index: HashMap<(NodeId, NodeId), usize> =
+                    edges.iter().enumerate().map(|(idx, &e)| (e, idx)).collect();
+                let pool = ScratchPool::new(edges.len());
+                let (counts, _steps) =
+                    kernel::par_tally(samples as u64, threads, &pool, |range, scratch| {
+                        for i in range {
+                            let mut tree_rng = par::stream_rng(seed, i);
+                            let tree = sample_spanning_tree(graph, 0, &mut tree_rng);
+                            tree.for_each_edge(|u, v| scratch.bump(edge_index[&(u, v)]));
                         }
-                    },
-                    |total, part| {
-                        for (t, p) in total.iter_mut().zip(part) {
-                            *t += p;
-                        }
-                    },
-                );
+                    });
                 counts
                     .into_iter()
                     .map(|c| c as f64 / samples as f64)

@@ -3,7 +3,8 @@
 //! The Monte Carlo estimators simulate the same kind of walk thousands of
 //! times per query. [`WalkEngine`] owns the graph (as an `Arc`, so engines are
 //! `Send + Sync` and cheap to clone) and exposes bulk operations that fan the
-//! walks out over the [`crate::par`] layer:
+//! walks out over the [`crate::par`] layer, running them through the
+//! zero-allocation [`crate::kernel`]:
 //!
 //! * [`WalkEngine::endpoint_histogram`] — how often each node is the endpoint
 //!   of a length-`len` walk (TP's estimate of `p_len(s, ·)`),
@@ -15,8 +16,11 @@
 //! Each bulk call draws a single `u64` from the caller's RNG to seed the
 //! fan-out; per-walk streams are then derived from `(fan_seed, walk_index)`,
 //! so for a fixed caller seed the results are bit-identical at any thread
-//! count.
+//! count. Tallies go through a shared [`ScratchPool`], so steady-state bulk
+//! calls do O(walks · length) work — never O(n) zeroing — and allocate
+//! nothing beyond the returned vector.
 
+use crate::kernel::{self, ScratchPool, WalkKernel};
 use crate::par;
 use er_graph::{Graph, IntoGraphArc, NodeId};
 use rand::Rng;
@@ -51,7 +55,13 @@ impl EndpointHistogram {
 
     /// The empirical endpoint distribution as a dense probability vector.
     pub fn distribution(&self) -> Vec<f64> {
-        (0..self.counts.len()).map(|v| self.frequency(v)).collect()
+        if self.walks == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        // One reciprocal for the whole vector instead of a division (and a
+        // repeated zero-walk branch) per element.
+        let scale = 1.0 / self.walks as f64;
+        self.counts.iter().map(|&c| c as f64 * scale).collect()
     }
 
     /// Total variation distance between the empirical endpoint distribution
@@ -67,17 +77,12 @@ impl EndpointHistogram {
     }
 }
 
-/// Per-worker accumulator of the bulk walk operations: node counts plus the
-/// steps actually taken (walks stop early only at isolated nodes).
-struct WalkTally {
-    counts: Vec<u64>,
-    steps: u64,
-}
-
 /// Reusable executor for batches of simple random walks on one graph.
 #[derive(Clone, Debug)]
 pub struct WalkEngine {
     graph: Arc<Graph>,
+    /// Reusable per-worker tally scratches (shared across engine clones).
+    scratch: Arc<ScratchPool>,
     /// Worker threads for the bulk operations (0 = all cores).
     threads: usize,
     /// Total number of walk steps taken since construction (cost accounting).
@@ -89,8 +94,11 @@ pub struct WalkEngine {
 impl WalkEngine {
     /// Creates an engine over `graph`, using all cores for bulk operations.
     pub fn new(graph: impl IntoGraphArc) -> Self {
+        let graph = graph.into_graph_arc();
+        let scratch = Arc::new(ScratchPool::new(graph.num_nodes()));
         WalkEngine {
-            graph: graph.into_graph_arc(),
+            graph,
+            scratch,
             threads: par::AUTO,
             steps: 0,
             walks: 0,
@@ -115,6 +123,11 @@ impl WalkEngine {
         &self.graph
     }
 
+    /// The engine's shared tally-scratch pool.
+    pub fn scratch_pool(&self) -> &Arc<ScratchPool> {
+        &self.scratch
+    }
+
     /// Total number of walk steps taken so far.
     pub fn total_steps(&self) -> u64 {
         self.steps
@@ -127,7 +140,7 @@ impl WalkEngine {
 
     /// Simulates one length-`len` walk and returns its endpoint.
     pub fn endpoint<R: Rng + ?Sized>(&mut self, start: NodeId, len: usize, rng: &mut R) -> NodeId {
-        let (end, steps) = endpoint_with_steps(&self.graph, start, len, rng);
+        let (end, steps) = WalkKernel::new(&self.graph).endpoint(start, len, rng);
         self.steps += steps;
         self.walks += 1;
         end
@@ -143,16 +156,16 @@ impl WalkEngine {
         rng: &mut R,
     ) -> Vec<NodeId> {
         let fan_seed = rng.next_u64();
-        let graph = &*self.graph;
-        let out = par::par_fold_indexed(
+        let kernel = WalkKernel::new(&self.graph);
+        let out = par::par_fold_ranges(
             num_walks,
-            fan_seed,
             self.threads,
             || (Vec::new(), 0u64),
-            |_, walk_rng, acc: &mut (Vec<NodeId>, u64)| {
-                let (end, steps) = endpoint_with_steps(graph, start, len, walk_rng);
-                acc.0.push(end);
-                acc.1 += steps;
+            |range, acc: &mut (Vec<NodeId>, u64)| {
+                kernel.batch_endpoints(start, len, fan_seed, range, &mut |_, end, steps| {
+                    acc.0.push(end);
+                    acc.1 += steps;
+                });
             },
             |total, part| {
                 total.0.extend(part.0);
@@ -174,27 +187,18 @@ impl WalkEngine {
         rng: &mut R,
     ) -> EndpointHistogram {
         let fan_seed = rng.next_u64();
-        let graph = &*self.graph;
-        let n = graph.num_nodes();
-        let tally = par::par_fold_commutative(
-            num_walks,
-            fan_seed,
-            self.threads,
-            || WalkTally {
-                counts: vec![0; n],
-                steps: 0,
-            },
-            |_, walk_rng, acc| {
-                let (end, steps) = endpoint_with_steps(graph, start, len, walk_rng);
-                acc.counts[end] += 1;
-                acc.steps += steps;
-            },
-            merge_tallies,
-        );
-        self.steps += tally.steps;
+        let kernel = WalkKernel::new(&self.graph);
+        let (counts, steps) =
+            kernel::par_tally(num_walks, self.threads, &self.scratch, |range, scratch| {
+                kernel.batch_endpoints(start, len, fan_seed, range, &mut |_, end, steps| {
+                    scratch.bump(end);
+                    scratch.add_steps(steps);
+                });
+            });
+        self.steps += steps;
         self.walks += num_walks;
         EndpointHistogram {
-            counts: tally.counts,
+            counts,
             walks: num_walks,
         }
     }
@@ -211,64 +215,18 @@ impl WalkEngine {
         rng: &mut R,
     ) -> Vec<u64> {
         let fan_seed = rng.next_u64();
-        let graph = &*self.graph;
-        let n = graph.num_nodes();
-        let tally = par::par_fold_commutative(
-            num_walks,
-            fan_seed,
-            self.threads,
-            || WalkTally {
-                counts: vec![0; n],
-                steps: 0,
-            },
-            |_, walk_rng, acc| {
-                let mut current = start;
-                for _ in 0..len {
-                    match graph.random_neighbor(current, walk_rng) {
-                        Some(next) => {
-                            current = next;
-                            acc.counts[current] += 1;
-                            acc.steps += 1;
-                        }
-                        None => break,
-                    }
-                }
-            },
-            merge_tallies,
-        );
-        self.steps += tally.steps;
+        let kernel = WalkKernel::new(&self.graph);
+        let (counts, steps) =
+            kernel::par_tally(num_walks, self.threads, &self.scratch, |range, scratch| {
+                let steps = kernel.batch_visits(start, len, fan_seed, range, &mut |v| {
+                    scratch.bump(v);
+                });
+                scratch.add_steps(steps);
+            });
+        self.steps += steps;
         self.walks += num_walks;
-        tally.counts
+        counts
     }
-}
-
-fn merge_tallies(total: &mut WalkTally, part: WalkTally) {
-    for (t, p) in total.counts.iter_mut().zip(part.counts) {
-        *t += p;
-    }
-    total.steps += part.steps;
-}
-
-/// One length-`len` walk returning its endpoint and the steps actually taken.
-#[inline]
-fn endpoint_with_steps<R: Rng + ?Sized>(
-    graph: &Graph,
-    start: NodeId,
-    len: usize,
-    rng: &mut R,
-) -> (NodeId, u64) {
-    let mut current = start;
-    let mut steps = 0;
-    for _ in 0..len {
-        match graph.random_neighbor(current, rng) {
-            Some(next) => {
-                current = next;
-                steps += 1;
-            }
-            None => break,
-        }
-    }
-    (current, steps)
 }
 
 #[cfg(test)]
@@ -340,6 +298,7 @@ mod tests {
         let hist = engine.endpoint_histogram(2, 5, 0, &mut rng);
         assert_eq!(hist.num_walks(), 0);
         assert_eq!(hist.frequency(2), 0.0);
+        assert_eq!(hist.distribution(), vec![0.0; 4]);
         let hist = engine.endpoint_histogram(2, 0, 50, &mut rng);
         assert_eq!(hist.count(2), 50, "length-0 walks end where they start");
     }
@@ -366,6 +325,39 @@ mod tests {
                 "step accounting differs at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn repeated_bulk_calls_reuse_scratch_without_stale_counts() {
+        // The second call reuses the pooled scratch of the first; its counts
+        // must match a fresh engine's bit for bit.
+        let g = generators::social_network_like(150, 9.0, 6).unwrap();
+        let mut engine = WalkEngine::new(&g).with_threads(2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let first = engine.endpoint_histogram(0, 7, 2_000, &mut rng);
+        assert!(engine.scratch_pool().idle() > 0, "scratch returned to pool");
+        let second = engine.endpoint_histogram(0, 7, 2_000, &mut rng);
+        let visits = engine.visit_counts(3, 5, 1_500, &mut rng);
+
+        // Replay each call on a brand-new engine (whose pool has never been
+        // used) with the caller RNG advanced to the same point: the reused
+        // scratches must not have leaked any counts between calls.
+        let mut replay_rng = StdRng::seed_from_u64(10);
+        let fresh_first =
+            WalkEngine::new(&g)
+                .with_threads(2)
+                .endpoint_histogram(0, 7, 2_000, &mut replay_rng);
+        let fresh_second =
+            WalkEngine::new(&g)
+                .with_threads(2)
+                .endpoint_histogram(0, 7, 2_000, &mut replay_rng);
+        let fresh_visits =
+            WalkEngine::new(&g)
+                .with_threads(2)
+                .visit_counts(3, 5, 1_500, &mut replay_rng);
+        assert_eq!(first, fresh_first);
+        assert_eq!(second, fresh_second);
+        assert_eq!(visits, fresh_visits);
     }
 
     #[test]

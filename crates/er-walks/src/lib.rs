@@ -12,6 +12,10 @@
 //! * [`spanning`] — uniform spanning-tree sampling with Wilson's algorithm
 //!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`).
 //!
+//! * [`kernel`] — the zero-allocation walk kernel: per-walk
+//!   [`StreamRng`](kernel::StreamRng) streams, division-free CSR stepping
+//!   with lane-interleaved batching, and reusable epoch-stamped sparse
+//!   tallies ([`kernel::WalkScratch`] / [`kernel::ScratchPool`]).
 //! * [`par`] — the deterministic parallel sampling layer: indexed fan-out of
 //!   sampling tasks over scoped threads with per-task RNG streams derived from
 //!   `(seed, index)`, bit-identical at any thread count.
@@ -25,6 +29,7 @@
 
 pub mod engine;
 pub mod hitting;
+pub mod kernel;
 pub mod mixing;
 pub mod par;
 pub mod spanning;
@@ -32,7 +37,10 @@ pub mod truncated;
 
 pub use engine::{EndpointHistogram, WalkEngine};
 pub use hitting::{escape_walk, first_hit_walk, EscapeOutcome, FirstHitOutcome};
+pub use kernel::{ScratchPool, StreamRng, WalkKernel, WalkScratch};
 pub use mixing::{empirical_mixing_profile, empirical_mixing_time, MixingProfile};
-pub use par::{mix_seed, par_fold_indexed, par_map_indexed, resolve_threads, stream_rng};
+pub use par::{
+    mix_seed, par_fold_indexed, par_fold_ranges, par_map_indexed, resolve_threads, stream_rng,
+};
 pub use spanning::{sample_spanning_tree, SpanningTree};
 pub use truncated::{walk_accumulate, walk_endpoint, walk_nodes};

@@ -7,8 +7,10 @@
 //! **bit-identical for a fixed seed at any thread count**, including one:
 //!
 //! * Task `i` draws its randomness from a private RNG stream derived by a
-//!   SplitMix64 mix of `(seed, i)` ([`stream_rng`]), so no task's randomness
-//!   depends on which thread runs it or on how many tasks ran before it.
+//!   SplitMix64 mix of `(seed, i)` ([`stream_rng`], a
+//!   [`StreamRng`](crate::kernel::StreamRng) from the walk kernel), so no
+//!   task's randomness depends on which thread runs it or on how many tasks
+//!   ran before it.
 //! * Tasks are grouped into fixed-size chunks ([`CHUNK`]) whose boundaries
 //!   depend only on `n`, never on the thread count. Each chunk folds its tasks
 //!   in index order; chunk results are then merged in chunk order on the
@@ -20,10 +22,9 @@
 //! scoped threads also let tasks borrow the graph directly). Workers steal
 //! whole chunks, so load imbalance is bounded by one chunk per worker.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::kernel::StreamRng;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Thread-count value meaning "use all available cores".
 pub const AUTO: usize = 0;
@@ -33,6 +34,20 @@ pub const AUTO: usize = 0;
 /// identical at any parallelism level.
 pub const CHUNK: u64 = 1024;
 
+/// The machine's available parallelism, resolved once per process.
+///
+/// `std::thread::available_parallelism` can hit the filesystem (cgroup
+/// limits) on every call, and [`resolve_threads`] sits in per-query loops, so
+/// the lookup is cached behind a `OnceLock`.
+fn available_parallelism_cached() -> usize {
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// Resolves a `threads` knob: [`AUTO`] (0) becomes the number of available
 /// cores; explicit values are clamped to a sane ceiling (8× the available
 /// cores, at least 64) so a wild `--threads` value cannot exhaust the
@@ -40,9 +55,7 @@ pub const CHUNK: u64 = 1024;
 /// failure, and oversubscription past this point only adds overhead anyway.
 /// Results never depend on the resolved count, so clamping is safe.
 pub fn resolve_threads(threads: usize) -> usize {
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let available = available_parallelism_cached();
     if threads == AUTO {
         available
     } else {
@@ -66,12 +79,15 @@ pub fn mix_seed(seed: u64, stream: u64) -> u64 {
     splitmix(seed ^ splitmix(stream))
 }
 
-/// The RNG stream of task `index` under `seed`: an [`StdRng`] seeded with
+/// The RNG stream of task `index` under `seed`: a
+/// [`StreamRng`](crate::kernel::StreamRng) whose state is derived from
 /// [`mix_seed`]`(seed, index)`. This is the single derivation rule every
-/// parallel sampler in the workspace uses.
+/// parallel sampler in the workspace uses — and it is cheap enough (four
+/// SplitMix64 rounds, 16 bytes of state, no heap) to call once per walk
+/// inside the hot loop.
 #[inline]
-pub fn stream_rng(seed: u64, index: u64) -> StdRng {
-    StdRng::seed_from_u64(mix_seed(seed, index))
+pub fn stream_rng(seed: u64, index: u64) -> StreamRng {
+    StreamRng::new(seed, index)
 }
 
 /// Runs `n` indexed sampling tasks and folds their results deterministically.
@@ -86,12 +102,42 @@ pub fn par_fold_indexed<A, N, T, M>(
     threads: usize,
     new_acc: N,
     task: T,
-    mut merge: M,
+    merge: M,
 ) -> A
 where
     A: Send,
     N: Fn() -> A + Sync,
-    T: Fn(u64, &mut StdRng, &mut A) + Sync,
+    T: Fn(u64, &mut StreamRng, &mut A) + Sync,
+    M: FnMut(&mut A, A),
+{
+    par_fold_ranges(
+        n,
+        threads,
+        new_acc,
+        |range, acc| {
+            for i in range {
+                let mut rng = stream_rng(seed, i);
+                task(i, &mut rng, acc);
+            }
+        },
+        merge,
+    )
+}
+
+/// Runs a task over chunked index ranges and folds the per-chunk accumulators
+/// in chunk order — the range-based backbone of [`par_fold_indexed`].
+///
+/// `task` receives each [`CHUNK`]-sized range exactly once (boundaries depend
+/// only on `n`) and must process its indices in order, deriving any
+/// randomness from the index alone; the batched
+/// [`WalkKernel`](crate::kernel::WalkKernel) drivers do exactly that while
+/// keeping several walks of the range in flight at once. Chunk results are
+/// merged in chunk order, so the output is a pure function of `(n, task)`.
+pub fn par_fold_ranges<A, N, T, M>(n: u64, threads: usize, new_acc: N, task: T, mut merge: M) -> A
+where
+    A: Send,
+    N: Fn() -> A + Sync,
+    T: Fn(std::ops::Range<u64>, &mut A) + Sync,
     M: FnMut(&mut A, A),
 {
     let mut total = new_acc();
@@ -101,11 +147,7 @@ where
     let chunks = n.div_ceil(CHUNK);
     let run_chunk = |c: u64| {
         let mut acc = new_acc();
-        let end = ((c + 1) * CHUNK).min(n);
-        for i in c * CHUNK..end {
-            let mut rng = stream_rng(seed, i);
-            task(i, &mut rng, &mut acc);
-        }
+        task(c * CHUNK..((c + 1) * CHUNK).min(n), &mut acc);
         acc
     };
 
@@ -150,7 +192,9 @@ where
 /// bit-identical at any thread count. Use this when the accumulator is large
 /// (e.g. a per-node count vector) and a per-chunk copy would dominate the
 /// sampling work; use [`par_fold_indexed`] for floating-point accumulation,
-/// where merge order changes the rounding.
+/// where merge order changes the rounding. For node/edge tallies prefer
+/// [`crate::kernel::par_tally`], which additionally reuses epoch-stamped
+/// sparse scratch buffers instead of zeroing dense vectors.
 pub fn par_fold_commutative<A, N, T, M>(
     n: u64,
     seed: u64,
@@ -162,7 +206,7 @@ pub fn par_fold_commutative<A, N, T, M>(
 where
     A: Send,
     N: Fn() -> A + Sync,
-    T: Fn(u64, &mut StdRng, &mut A) + Sync,
+    T: Fn(u64, &mut StreamRng, &mut A) + Sync,
     M: FnMut(&mut A, A),
 {
     let mut total = new_acc();
@@ -212,7 +256,7 @@ where
 pub fn par_map_indexed<T, F>(n: u64, seed: u64, threads: usize, task: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(u64, &mut StdRng) -> T + Sync,
+    F: Fn(u64, &mut StreamRng) -> T + Sync,
 {
     par_fold_indexed(
         n,
@@ -279,6 +323,18 @@ mod tests {
         let a = par_map_indexed(10, 5, 2, |_, rng| rng.gen::<u64>());
         let b = par_map_indexed(2000, 5, 2, |_, rng| rng.gen::<u64>());
         assert_eq!(a[..10], b[..10]);
+    }
+
+    #[test]
+    fn fold_ranges_covers_every_index_once_in_chunk_order() {
+        let out = par_fold_ranges(
+            2 * CHUNK + 17,
+            8,
+            Vec::new,
+            |range, acc: &mut Vec<u64>| acc.extend(range),
+            |total, part| total.extend(part),
+        );
+        assert_eq!(out, (0..2 * CHUNK + 17).collect::<Vec<_>>());
     }
 
     #[test]

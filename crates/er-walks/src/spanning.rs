@@ -7,6 +7,7 @@
 //! together loop-erased random walks, in expected time proportional to the
 //! mean hitting time of the graph.
 
+use crate::kernel::WalkKernel;
 use er_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -31,12 +32,24 @@ impl SpanningTree {
 
     /// The `n − 1` undirected edges of the tree.
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter(|&(v, &p)| v != p)
-            .map(|(v, &p)| if v < p { (v, p) } else { (p, v) })
-            .collect()
+        let mut edges = Vec::with_capacity(self.parent.len().saturating_sub(1));
+        self.for_each_edge(|u, v| edges.push((u, v)));
+        edges
+    }
+
+    /// Calls `f` on each of the `n − 1` undirected edges `(u, v)` (with
+    /// `u < v`) without materialising them — the allocation-free counterpart
+    /// of [`SpanningTree::edges`] for per-tree hot loops.
+    pub fn for_each_edge(&self, mut f: impl FnMut(NodeId, NodeId)) {
+        for (v, &p) in self.parent.iter().enumerate() {
+            if v != p {
+                if v < p {
+                    f(v, p);
+                } else {
+                    f(p, v);
+                }
+            }
+        }
     }
 
     /// Number of nodes spanned.
@@ -58,6 +71,7 @@ pub fn sample_spanning_tree<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> SpanningTree {
     let n = graph.num_nodes();
+    let kernel = WalkKernel::new(graph);
     let mut in_tree = vec![false; n];
     let mut parent: Vec<NodeId> = (0..n).collect();
     in_tree[root] = true;
@@ -70,11 +84,12 @@ pub fn sample_spanning_tree<R: Rng + ?Sized>(
         }
         // Random walk from `start` until it hits the tree, remembering only
         // the latest successor of each visited node (this implicitly erases
-        // loops: revisiting a node overwrites the old successor).
+        // loops: revisiting a node overwrites the old successor). Steps go
+        // through the walk kernel (one row load + widening multiply each).
         let mut u = start;
         while !in_tree[u] {
-            let v = graph
-                .random_neighbor(u, rng)
+            let v = kernel
+                .step(u, rng)
                 .expect("connected graph has no isolated nodes");
             next[u] = v;
             u = v;

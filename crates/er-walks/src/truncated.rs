@@ -4,6 +4,7 @@
 //! at steps 1..=ℓ (the start node is *not* included, matching Lemma 3.3 of
 //! the paper, where a length-ℓ_f walk "contains ℓ_f visited nodes").
 
+use crate::kernel::WalkKernel;
 use er_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -11,7 +12,9 @@ use rand::Rng;
 /// on each of the `len` visited nodes (steps 1..=len).
 ///
 /// This is the allocation-free primitive behind AMC's inner loop: the caller
-/// accumulates `Σ_{u ∈ walk} (s(u)/d(s) − t(u)/d(t))` directly.
+/// accumulates `Σ_{u ∈ walk} (s(u)/d(s) − t(u)/d(t))` directly. Stepping goes
+/// through the [`crate::kernel`], which loads each CSR row once and picks the
+/// neighbour with a division-free widening multiply.
 ///
 /// If the walk reaches an isolated node it stops early (cannot happen on the
 /// connected graphs the estimators require, but the primitive stays total).
@@ -21,18 +24,9 @@ pub fn walk_accumulate<R: Rng + ?Sized>(
     start: NodeId,
     len: usize,
     rng: &mut R,
-    mut visit: impl FnMut(NodeId),
+    visit: impl FnMut(NodeId),
 ) {
-    let mut current = start;
-    for _ in 0..len {
-        match graph.random_neighbor(current, rng) {
-            Some(next) => {
-                current = next;
-                visit(current);
-            }
-            None => break,
-        }
-    }
+    WalkKernel::new(graph).for_each_visit(start, len, rng, visit);
 }
 
 /// Performs a length-`len` walk from `start` and returns the visited nodes
@@ -60,14 +54,7 @@ pub fn walk_endpoint<R: Rng + ?Sized>(
     len: usize,
     rng: &mut R,
 ) -> NodeId {
-    let mut current = start;
-    for _ in 0..len {
-        match graph.random_neighbor(current, rng) {
-            Some(next) => current = next,
-            None => break,
-        }
-    }
-    current
+    WalkKernel::new(graph).endpoint(start, len, rng).0
 }
 
 #[cfg(test)]

@@ -1,0 +1,125 @@
+//! End-to-end guarantees of the zero-allocation walk kernel.
+//!
+//! The kernel replaced the per-walk `StdRng` + dense-tally bulk path, so
+//! these tests pin the properties the refactor must preserve: bit-identical
+//! results at any thread count through the new path, scratch reuse that never
+//! leaks counts between bulk calls (including across an epoch wraparound),
+//! and statistical accuracy of the kernel-driven estimators.
+
+use effective_resistance::graph::generators;
+use effective_resistance::walks::kernel::{par_tally, ScratchPool, WalkKernel, WalkScratch};
+use effective_resistance::walks::WalkEngine;
+use effective_resistance::{Amc, ApproxConfig, Exact, GraphContext, ResistanceEstimator, Tpc};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn kernel_bulk_operations_are_bit_identical_at_1_2_8_threads() {
+    let g = generators::barabasi_albert(2_000, 6, 0xce).unwrap();
+    let run = |threads: usize| {
+        let mut engine = WalkEngine::new(&g).with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let hist = engine.endpoint_histogram(3, 14, 9_000, &mut rng);
+        let visits = engine.visit_counts(7, 10, 6_000, &mut rng);
+        let samples = engine.endpoint_samples(11, 6, 4_000, &mut rng);
+        (hist, visits, samples, engine.total_steps())
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            base,
+            run(threads),
+            "kernel path differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn tpc_through_the_kernel_is_bit_identical_across_thread_counts() {
+    let g = generators::social_network_like(500, 10.0, 0x7c).unwrap();
+    let ctx = GraphContext::preprocess(&g).unwrap();
+    let run = |threads: usize| {
+        let config = ApproxConfig::with_epsilon(0.3)
+            .reseeded(0xabc)
+            .with_threads(threads);
+        let mut tpc = Tpc::new(&ctx, config).with_sample_scale(1e-3);
+        tpc.estimate(0, 250).unwrap().value.to_bits()
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        assert_eq!(base, run(threads), "TPC differs at {threads} threads");
+    }
+}
+
+#[test]
+fn scratch_reuse_across_bulk_calls_never_leaks_counts() {
+    // Drive one shared pool through many differently-seeded bulk calls and
+    // replay each against a fresh pool: reuse must be invisible.
+    let g = generators::social_network_like(300, 8.0, 0x11).unwrap();
+    let kernel = WalkKernel::new(&g);
+    let shared_pool = ScratchPool::new(g.num_nodes());
+    let tally = |pool: &ScratchPool, seed: u64, threads: usize| {
+        par_tally(4_000, threads, pool, |range, scratch| {
+            kernel.batch_endpoints(2, 9, seed, range, &mut |_, end, steps| {
+                scratch.bump(end);
+                scratch.add_steps(steps);
+            });
+        })
+    };
+    for (round, &seed) in [3u64, 99, 3, 1234, 99].iter().enumerate() {
+        let threads = 1 + round % 3;
+        let reused = tally(&shared_pool, seed, threads);
+        let fresh = tally(&ScratchPool::new(g.num_nodes()), seed, threads);
+        assert_eq!(reused, fresh, "round {round} (seed {seed}) leaked state");
+    }
+    assert!(
+        shared_pool.idle() >= 1,
+        "workers must return scratches to the pool"
+    );
+}
+
+#[test]
+fn scratch_survives_epoch_wraparound_mid_pool() {
+    // A scratch parked in a pool right before its 32-bit epoch wraps must
+    // tally the next bulk call correctly (the wrap bulk-resets the stamps).
+    let g = generators::complete(40).unwrap();
+    let kernel = WalkKernel::new(&g);
+    let pool = ScratchPool::new(g.num_nodes());
+    let mut near_wrap = WalkScratch::new(g.num_nodes());
+    near_wrap.begin();
+    near_wrap.bump(5);
+    near_wrap.force_epoch(u32::MAX); // next begin() wraps to epoch 1
+    pool.put(near_wrap);
+    let tally = |pool: &ScratchPool| {
+        par_tally(2_500, 1, pool, |range, scratch| {
+            kernel.batch_endpoints(0, 5, 77, range, &mut |_, end, steps| {
+                scratch.bump(end);
+                scratch.add_steps(steps);
+            });
+        })
+    };
+    let wrapped = tally(&pool);
+    let fresh = tally(&ScratchPool::new(g.num_nodes()));
+    assert_eq!(wrapped, fresh, "wraparound leaked pre-wrap counts");
+    assert_eq!(wrapped.0.iter().sum::<u64>(), 2_500);
+}
+
+#[test]
+fn kernel_path_amc_stays_epsilon_accurate() {
+    let g = generators::social_network_like(250, 12.0, 0xacc).unwrap();
+    // A pessimistic lambda forces real walk lengths so AMC actually samples
+    // through the kernel instead of returning the deterministic prefix.
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let mut exact = Exact::new(&ctx).unwrap();
+    let eps = 0.25;
+    let mut amc = Amc::new(&ctx, ApproxConfig::with_epsilon(eps).reseeded(0xa3c));
+    for &(s, t) in &[(0usize, 125usize), (10, 240), (33, 34)] {
+        let est = amc.estimate(s, t).unwrap();
+        let truth = exact.estimate(s, t).unwrap().value;
+        assert!(
+            (est.value - truth).abs() <= eps,
+            "({s},{t}): kernel-path AMC {} vs exact {truth}",
+            est.value
+        );
+    }
+}
