@@ -1,6 +1,6 @@
 //! Anomaly detection on time-evolving graphs.
 //!
-//! The paper cites anomaly localisation in time-evolving graphs [64] as an ER
+//! The paper cites anomaly localisation in time-evolving graphs \[64\] as an ER
 //! application in the data-management community: effective resistance between
 //! probe pairs is a global connectivity summary, so a sudden jump of
 //! `r(s, t)` between consecutive snapshots signals that structure carrying
@@ -14,8 +14,9 @@
 //! with a small absolute floor so the very first snapshots cannot trigger on
 //! noise alone).
 
-use er_core::{ApproxConfig, EstimatorError, Geer, GraphContext, ResistanceEstimator};
+use er_core::{ApproxConfig, EstimatorError};
 use er_graph::{Graph, NodeId};
+use er_service::{Query, Request, ResistanceService};
 
 /// Per-snapshot monitoring outcome.
 #[derive(Clone, Debug)]
@@ -91,13 +92,14 @@ impl ResistanceMonitor {
     }
 
     /// Ingests the next snapshot and reports deltas/flags.
+    ///
+    /// Every snapshot is preprocessed fresh (the graph changed); the probe
+    /// pairs go through [`ResistanceService`] as one batch.
     pub fn observe(&mut self, snapshot: &Graph) -> Result<SnapshotReport, EstimatorError> {
-        let context = GraphContext::preprocess(snapshot)?;
-        let mut geer = Geer::new(&context, self.config);
-        let mut resistances = Vec::with_capacity(self.probes.len());
-        for &(s, t) in &self.probes {
-            resistances.push(geer.estimate(s, t)?.value);
-        }
+        let mut service = ResistanceService::with_config(snapshot, self.config)?;
+        let request =
+            Request::new(Query::batch(self.probes.clone())).with_accuracy(self.config.into());
+        let resistances = service.submit(&request)?.values;
         let index = self.snapshots_seen;
         self.snapshots_seen += 1;
 

@@ -2,12 +2,12 @@
 //!
 //! Effective resistance is a metric that shrinks when two nodes are joined by
 //! many short, edge-disjoint paths, which is exactly the "same community"
-//! signal clustering needs (the paper cites ER-based clustering [2, 51, 79]).
+//! signal clustering needs (the paper cites ER-based clustering \[2, 51, 79\]).
 //! This module implements resistance k-medoids: nodes are assigned to their
 //! closest medoid in resistance distance, and medoids are re-chosen from a
-//! candidate pool inside each cluster. Distances come from the exact
-//! column-based [`ErIndex`], so one medoid update costs one Laplacian solve
-//! per evaluated candidate.
+//! candidate pool inside each cluster. Distances are exact single-source
+//! rows served by [`ResistanceService`]'s index tier, so one medoid update
+//! costs one Laplacian solve per evaluated candidate.
 //!
 //! On graphs with moderately high degrees the raw resistance degenerates to
 //! `r(s, t) ≈ 1/d(s) + 1/d(t)` (von Luxburg–Radl–Hein), drowning the
@@ -22,8 +22,10 @@
 //! used by the tests and examples: adjusted Rand index against ground-truth
 //! labels and Newman modularity of the discovered partition.
 
+use er_core::ApproxConfig;
 use er_graph::{Graph, NodeId};
-use er_index::{ErIndex, IndexError};
+use er_index::IndexError;
+use er_service::{Accuracy, Query, Request, ResistanceService};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -111,8 +113,15 @@ impl<'g> ResistanceClustering<'g> {
     /// The clustering distance from `source` to every node: raw resistance,
     /// or the degree-corrected deviation `r(s, t) − 1/d(s) − 1/d(t)` (clamped
     /// at zero) when the correction is enabled.
-    fn distance_row(&self, index: &mut ErIndex, source: NodeId) -> Result<Vec<f64>, IndexError> {
-        let mut row = index.single_source(source)?;
+    ///
+    /// Rows are exact single-source answers from the service's index tier
+    /// (one Laplacian column per source, cached across medoid rounds).
+    fn distance_row(
+        &self,
+        service: &mut ResistanceService,
+        source: NodeId,
+    ) -> Result<Vec<f64>, IndexError> {
+        let mut row = service.single_source(source)?;
         if self.config.degree_correction {
             let inv_source = 1.0 / self.graph.degree(source) as f64;
             for (v, r) in row.iter_mut().enumerate() {
@@ -129,14 +138,17 @@ impl<'g> ResistanceClustering<'g> {
         let n = self.graph.num_nodes();
         let k = self.config.num_clusters.max(1).min(n);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut index = ErIndex::build(self.graph)?.with_column_capacity(k.max(2));
+        let mut service = ResistanceService::with_config(
+            self.graph,
+            ApproxConfig::default().reseeded(self.config.seed),
+        )?;
 
         // k-means++-style seeding in (corrected) resistance distance: first
         // medoid is a random node, each further medoid is sampled
         // proportionally to its squared distance from the closest existing
         // medoid.
         let mut medoids: Vec<NodeId> = vec![rng.gen_range(0..n)];
-        let mut closest = self.distance_row(&mut index, medoids[0])?;
+        let mut closest = self.distance_row(&mut service, medoids[0])?;
         while medoids.len() < k {
             let weights: Vec<f64> = closest.iter().map(|&d| d * d).collect();
             let total: f64 = weights.iter().sum();
@@ -157,7 +169,7 @@ impl<'g> ResistanceClustering<'g> {
                 chosen
             };
             medoids.push(next);
-            let distances = self.distance_row(&mut index, next)?;
+            let distances = self.distance_row(&mut service, next)?;
             for v in 0..n {
                 if distances[v] < closest[v] {
                     closest[v] = distances[v];
@@ -173,7 +185,7 @@ impl<'g> ResistanceClustering<'g> {
             // Assignment step: nearest medoid in (corrected) resistance distance.
             let mut distance_rows = Vec::with_capacity(k);
             for &m in &medoids {
-                distance_rows.push(self.distance_row(&mut index, m)?);
+                distance_rows.push(self.distance_row(&mut service, m)?);
             }
             let mut new_assignments = vec![0usize; n];
             for v in 0..n {
@@ -210,7 +222,7 @@ impl<'g> ResistanceClustering<'g> {
                 let mut best = medoids[c];
                 let mut best_cost = f64::INFINITY;
                 for &candidate in &candidates {
-                    let row = self.distance_row(&mut index, candidate)?;
+                    let row = self.distance_row(&mut service, candidate)?;
                     let cost: f64 = members.iter().map(|&v| row[v]).sum();
                     if cost < best_cost {
                         best_cost = cost;
@@ -300,7 +312,7 @@ pub fn resistance_separation(
     sample_pairs: usize,
     seed: u64,
 ) -> Result<(f64, f64), IndexError> {
-    let mut index = ErIndex::build(graph)?;
+    let mut service = ResistanceService::new(graph)?;
     let n = graph.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut intra = Vec::new();
@@ -313,7 +325,9 @@ pub fn resistance_separation(
         if s == t {
             continue;
         }
-        let r = index.resistance(s, t)?;
+        let r = service
+            .submit(&Request::new(Query::pair(s, t)).with_accuracy(Accuracy::Exact))?
+            .value();
         if assignments[s] == assignments[t] {
             if intra.len() < sample_pairs {
                 intra.push(r);

@@ -6,17 +6,17 @@
 //! `er-index` and `er-graph`:
 //!
 //! * [`clustering`] — resistance k-medoids graph clustering with modularity /
-//!   adjusted-Rand-index quality measures (graph clustering [2, 51, 79]).
+//!   adjusted-Rand-index quality measures (graph clustering \[2, 51, 79\]).
 //! * [`recommend`] — 2-hop candidate generation ranked by effective
 //!   resistance, plus an offline holdout evaluation against a
-//!   common-neighbours baseline (recommender systems [24, 36]).
+//!   common-neighbours baseline (recommender systems \[24, 36\]).
 //! * [`robustness`] — edge criticality, sampled Kirchhoff index and
 //!   targeted-vs-random attack simulation (power networks, cascading
-//!   failures [26, 59–61]).
+//!   failures \[26, 59–61\]).
 //! * [`anomaly`] — probe-pair monitoring across graph snapshots
-//!   (time-evolving anomaly localisation [64]).
+//!   (time-evolving anomaly localisation \[64\]).
 //! * [`segmentation`] — commute-time segmentation of pixel-grid similarity
-//!   graphs (image segmentation [9, 50]).
+//!   graphs (image segmentation \[9, 50\]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,6 +1,6 @@
 //! Link recommendation by effective-resistance proximity.
 //!
-//! The paper's introduction cites recommender systems [24, 36] as a core ER
+//! The paper's introduction cites recommender systems \[24, 36\] as a core ER
 //! application: a small `r(s, t)` means many short, edge-disjoint connections
 //! between `s` and `t` — a much more robust proximity signal than a raw
 //! common-neighbour count. The access pattern is exactly what ε-approximate
@@ -13,12 +13,14 @@
 //! ranker and for a common-neighbours baseline, so the example and tests can
 //! show the comparison the application literature makes.
 
-use er_core::{ApproxConfig, EstimatorError, Geer, GraphContext, ResistanceEstimator};
+use er_core::{ApproxConfig, EstimatorError, GraphContext};
 use er_graph::{transform, Graph, GraphError, NodeId};
+use er_service::{Query, Request, ResistanceService};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
 /// A ranked recommendation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,10 +36,15 @@ pub struct Recommendation {
 
 /// Effective-resistance link recommender over a static graph.
 ///
-/// Owns its [`GraphContext`], so recommenders are `Send + Sync` and storable
-/// in long-lived services.
+/// Owns a [`ResistanceService`], so recommenders are `Send + Sync` and
+/// storable in long-lived services. Each request is one [`Query::Batch`]
+/// whose pairs all share the query user; the service's planner routes such
+/// repeated-source batches to its exact index tier on graphs small enough
+/// to justify building it (or once the index exists), and to GEER
+/// otherwise.
 pub struct Recommender {
     context: GraphContext,
+    service: Mutex<ResistanceService>,
     config: ApproxConfig,
     max_candidates: usize,
 }
@@ -48,8 +55,11 @@ impl Recommender {
 
     /// Builds a recommender (runs the spectral preprocessing once).
     pub fn new(graph: &Graph, config: ApproxConfig) -> Result<Self, EstimatorError> {
+        let context = GraphContext::preprocess(graph)?;
+        let service = ResistanceService::from_context(context.clone(), config);
         Ok(Recommender {
-            context: GraphContext::preprocess(graph)?,
+            context,
+            service: Mutex::new(service),
             config,
             max_candidates: Self::DEFAULT_MAX_CANDIDATES,
         })
@@ -84,10 +94,21 @@ impl Recommender {
     pub fn recommend(&self, user: NodeId, k: usize) -> Result<Vec<Recommendation>, EstimatorError> {
         let graph = self.context.graph();
         let candidates = self.candidates(user)?;
-        let mut geer = Geer::new(&self.context, self.config);
-        let mut scored = Vec::with_capacity(candidates.len().min(self.max_candidates));
-        for &c in candidates.iter().take(self.max_candidates) {
-            let resistance = geer.estimate(user, c)?.value;
+        let pool: Vec<NodeId> = candidates
+            .iter()
+            .take(self.max_candidates)
+            .copied()
+            .collect();
+        let pairs: Vec<(NodeId, NodeId)> = pool.iter().map(|&c| (user, c)).collect();
+        let request = Request::new(Query::batch(pairs)).with_accuracy(self.config.into());
+        let values = self
+            .service
+            .lock()
+            .expect("recommender service mutex poisoned")
+            .submit(&request)?
+            .values;
+        let mut scored = Vec::with_capacity(pool.len());
+        for (&c, &resistance) in pool.iter().zip(&values) {
             let common_neighbors = graph
                 .neighbors(user)
                 .iter()

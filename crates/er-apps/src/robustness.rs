@@ -1,7 +1,7 @@
 //! Network robustness analysis with effective resistance.
 //!
 //! In infrastructure networks (the paper cites cascading failures and power
-//! grid stability [26, 59–61]) the effective resistance of an edge measures
+//! grid stability \[26, 59–61\]) the effective resistance of an edge measures
 //! how much of the connection between its endpoints is carried by that edge:
 //! `r(e) = 1` means the edge is a bridge, `r(e) ≈ 0` means plenty of parallel
 //! paths exist. The whole-graph Kirchhoff index `Σ_{s<t} r(s, t)` is the
@@ -13,8 +13,9 @@
 //! * targeted-vs-random attack simulation ([`simulate_attack`]) that tracks
 //!   connectivity and largest-component size as edges are removed.
 
-use er_core::{ApproxConfig, EstimatorError, Geer, GraphContext, ResistanceEstimator};
+use er_core::{ApproxConfig, EstimatorError};
 use er_graph::{analysis, transform, Graph, NodeId};
+use er_service::{Query, Request, ResistanceService};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -30,17 +31,23 @@ pub struct EdgeCriticality {
     pub resistance: f64,
 }
 
-/// Scores every edge by its effective resistance with GEER and returns the
-/// edges sorted by decreasing criticality.
+/// Scores every edge by its effective resistance and returns the edges
+/// sorted by decreasing criticality.
+///
+/// The whole edge list goes through [`ResistanceService`] as one
+/// [`Query::EdgeSet`] — the shape tree-sampling backends answer natively on
+/// large graphs, while small graphs are answered exactly.
 pub fn edge_criticality(
     graph: &Graph,
     config: ApproxConfig,
 ) -> Result<Vec<EdgeCriticality>, EstimatorError> {
-    let context = GraphContext::preprocess(graph)?;
-    let mut geer = Geer::new(&context, config);
-    let mut scored = Vec::with_capacity(graph.num_edges());
-    for (u, v) in graph.edges() {
-        let resistance = geer.estimate(u, v)?.value.clamp(0.0, 1.0);
+    let mut service = ResistanceService::with_config(graph, config)?;
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let request = Request::new(Query::edge_set(edges.clone())).with_accuracy(config.into());
+    let response = service.submit(&request)?;
+    let mut scored = Vec::with_capacity(edges.len());
+    for (&(u, v), &value) in edges.iter().zip(&response.values) {
+        let resistance = value.clamp(0.0, 1.0);
         scored.push(EdgeCriticality { u, v, resistance });
     }
     scored.sort_by(|a, b| {
@@ -62,19 +69,20 @@ pub fn estimate_kirchhoff_index(
 ) -> Result<(f64, f64), EstimatorError> {
     let n = graph.num_nodes();
     let total_pairs = (n * (n - 1) / 2) as f64;
-    let context = GraphContext::preprocess(graph)?;
-    let mut geer = Geer::new(&context, config);
+    let mut service = ResistanceService::with_config(graph, config)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let samples = sample_pairs.max(2);
-    let mut values = Vec::with_capacity(samples);
+    let mut pairs = Vec::with_capacity(samples);
     for _ in 0..samples {
         let s = rng.gen_range(0..n);
         let mut t = rng.gen_range(0..n);
         while t == s {
             t = rng.gen_range(0..n);
         }
-        values.push(geer.estimate(s, t)?.value);
+        pairs.push((s, t));
     }
+    let request = Request::new(Query::batch(pairs)).with_accuracy(config.into());
+    let values = service.submit(&request)?.values;
     let mean = values.iter().sum::<f64>() / samples as f64;
     let variance =
         values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (samples as f64 - 1.0);

@@ -1,6 +1,6 @@
 //! Commute-time image segmentation on pixel-grid graphs.
 //!
-//! The paper cites image segmentation [9, 50] as an ER application: pixels
+//! The paper cites image segmentation \[9, 50\] as an ER application: pixels
 //! are nodes, similar neighbouring pixels are connected, and commute-time
 //! (equivalently, effective-resistance) clustering separates regions because
 //! few edges cross a perceptual boundary, so the resistance across the

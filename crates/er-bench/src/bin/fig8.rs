@@ -1,6 +1,6 @@
 //! Fig. 8 — effect of the batch count τ on AMC and GEER at ε = 0.2.
 //!
-//! The paper sweeps τ ∈ [1, 8] on DBLP, YouTube and Orkut. A reasonable τ lets
+//! The paper sweeps τ ∈ \[1, 8\] on DBLP, YouTube and Orkut. A reasonable τ lets
 //! the empirical-Bernstein early termination fire without paying for many
 //! tiny batches; the paper's takeaway is that τ = 5 works well everywhere.
 //!

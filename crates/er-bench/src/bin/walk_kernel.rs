@@ -14,9 +14,14 @@
 //! The old path is reproduced inline exactly as `WalkEngine` ran it before
 //! the kernel landed (per-walk `StdRng::seed_from_u64(mix_seed(seed, i))`,
 //! `Graph::random_neighbor` stepping, `vec![0; n]` tally). The binary also
-//! cross-checks that the kernel path stays bit-identical at 1/2/8 threads,
-//! and writes `BENCH_walk_kernel.json` into the current directory (the repo
-//! root in CI) so the perf trajectory is recorded per PR.
+//! cross-checks that the kernel path stays bit-identical at 1/2/8 threads.
+//!
+//! `BENCH_walk_kernel.json` (current directory — the repo root in CI) is an
+//! **append-only trajectory**: a JSON array with one entry per PR, keyed by
+//! git SHA. The binary appends its entry, replacing an existing entry for
+//! the same SHA (re-runs must not duplicate), and never drops history — so
+//! CI can diff the newest entry against the previous one. Override the key
+//! with `BENCH_GIT_SHA=<sha>` when git is unavailable.
 //!
 //! Run with `cargo run --release -p er-bench --bin walk_kernel [--quick]
 //! [--seed N]`.
@@ -151,6 +156,85 @@ fn check_determinism(graph: &Graph, seed: u64) -> bool {
     [2usize, 8].iter().all(|&t| run(t) == base)
 }
 
+/// The short git SHA identifying this build in the trajectory:
+/// `$BENCH_GIT_SHA` if set, else `git rev-parse --short HEAD`, else
+/// `"unknown"`.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("BENCH_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Splits the body of a JSON array into its top-level `{…}` entries by brace
+/// depth (the trajectory's own serializer puts no braces inside strings, but
+/// string state is tracked anyway for safety).
+fn split_entries(array_body: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = None;
+    for (i, c) in array_body.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        entries.push(array_body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Appends `entry` to the trajectory at `path`, replacing any existing entry
+/// for the same SHA and preserving all other history.
+fn append_to_trajectory(path: &str, entry: &str, sha: &str) -> usize {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.trim_start().starts_with('[') => split_entries(existing.trim()),
+        // Missing file or pre-trajectory snapshot: start a fresh history.
+        _ => Vec::new(),
+    };
+    let sha_marker = format!("\"git_sha\": \"{sha}\"");
+    entries.retain(|e| !e.contains(&sha_marker));
+    entries.push(entry.trim().to_string());
+    let joined = entries.join(",\n");
+    std::fs::write(path, format!("[\n{joined}\n]\n")).expect("write bench trajectory");
+    entries.len()
+}
+
 fn main() {
     let args = BenchArgs::from_env();
     let attach = 8;
@@ -214,13 +298,15 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let json = format!(
-        "{{\n  \"bench\": \"walk_kernel\",\n  \"created_unix\": {created},\n  \
+    let sha = git_sha();
+    let entry = format!(
+        "{{\n  \"bench\": \"walk_kernel\",\n  \"git_sha\": \"{sha}\",\n  \
+         \"created_unix\": {created},\n  \
          \"quick\": {},\n  \"seed\": {},\n  \
          \"graph\": {{\"model\": \"barabasi_albert\", \"nodes\": {}, \"attach\": {attach}, \
          \"edges\": {}}},\n  \
          \"determinism\": {{\"threads_checked\": [1, 2, 8], \"bit_identical\": {deterministic}}},\n  \
-         \"workloads\": [\n{}\n  ]\n}}\n",
+         \"workloads\": [\n{}\n  ]\n}}",
         args.quick,
         args.seed,
         graph.num_nodes(),
@@ -232,6 +318,6 @@ fn main() {
             .join(",\n")
     );
     let path = "BENCH_walk_kernel.json";
-    std::fs::write(path, json).expect("write BENCH_walk_kernel.json");
-    println!("wrote {path}");
+    let total = append_to_trajectory(path, &entry, &sha);
+    println!("appended entry {sha} to {path} ({total} entries in the trajectory)");
 }

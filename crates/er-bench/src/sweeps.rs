@@ -114,7 +114,7 @@ fn sweep_dataset(
 }
 
 /// Runs the τ sweep shared by Fig. 8 (ε = 0.2) and Fig. 9 (ε = 0.02): AMC and
-/// GEER with τ ∈ [1, 8] on the given datasets (defaults to DBLP-, YouTube- and
+/// GEER with τ ∈ \[1, 8\] on the given datasets (defaults to DBLP-, YouTube- and
 /// Orkut-like, as in the paper).
 pub fn tau_sweep(args: &BenchArgs, epsilon: f64) -> Result<Vec<MethodRun>, String> {
     use crate::harness::run_estimator_on_workload;

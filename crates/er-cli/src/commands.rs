@@ -8,25 +8,54 @@ use crate::args::ParsedArgs;
 use er_apps::{
     adjusted_rand_index, edge_criticality, modularity, ClusteringConfig, ResistanceClustering,
 };
-use er_core::{
-    ApproxConfig, Geer, GraphContext, GroundTruth, GroundTruthMethod, ResistanceEstimator,
-};
+use er_core::{ApproxConfig, GraphContext, GroundTruth, GroundTruthMethod};
 use er_graph::{Graph, GraphStats, NodePairQuerySet};
-use er_index::{DiagonalStrategy, ErIndex, LandmarkIndex, LandmarkSelection};
+use er_service::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 use er_sparsify::{sample_sparsifier, EdgeScores, QualityEvaluator, SampleBudget, ScoreMethod};
 use std::fmt::Write as _;
 
 /// Shared estimator configuration from the common flags.
+///
+/// The defaults are [`ApproxConfig::default`] — in particular the seed, so
+/// the CLI, the library and the benches all start from the same RNG state
+/// unless `--seed` is passed.
 pub fn approx_config(args: &ParsedArgs) -> Result<ApproxConfig, String> {
+    let defaults = ApproxConfig::default();
     let config = ApproxConfig {
-        epsilon: args.flag("epsilon", 0.1)?,
-        delta: args.flag("delta", 0.01)?,
-        tau: args.flag("tau", 5usize)?,
-        seed: args.flag("seed", 42u64)?,
-        threads: args.flag("threads", 0usize)?,
+        epsilon: args.flag("epsilon", defaults.epsilon)?,
+        delta: args.flag("delta", defaults.delta)?,
+        tau: args.flag("tau", defaults.tau)?,
+        seed: args.flag("seed", defaults.seed)?,
+        threads: args.flag("threads", defaults.threads)?,
     };
     config.validate().map_err(|e| e.to_string())?;
     Ok(config)
+}
+
+/// The [`Accuracy`] requested by the common flags: `--exact`, or
+/// `--walk-budget N`, or the ε/δ of the estimator configuration.
+pub fn accuracy_from(args: &ParsedArgs, config: &ApproxConfig) -> Result<Accuracy, String> {
+    if args.is_set("exact") {
+        return Ok(Accuracy::Exact);
+    }
+    let budget: u64 = args.flag("walk-budget", 0u64)?;
+    if budget > 0 {
+        return Ok(Accuracy::WalkBudget(budget));
+    }
+    Ok(Accuracy::Epsilon {
+        eps: config.epsilon,
+        delta: config.delta,
+    })
+}
+
+/// The `--backend` override, if any.
+pub fn backend_from(args: &ParsedArgs) -> Result<Option<BackendChoice>, String> {
+    match args.flags.get("backend") {
+        None => Ok(None),
+        Some(raw) => BackendChoice::parse(raw)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --backend '{raw}'")),
+    }
 }
 
 /// `er stats`: structural and spectral summary of the graph.
@@ -49,12 +78,16 @@ pub fn stats(graph: &Graph, _args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
-/// `er query s t [more pairs…]`: ε-approximate PER queries with GEER, checked
-/// against the exact solver when `--check` is passed.
+/// `er query s t [more pairs…]`: PER queries through the unified
+/// [`ResistanceService`] — the planner picks the backend (override with
+/// `--backend`, request exact answers with `--exact` or budgeted sampling
+/// with `--walk-budget N`), and the report names the backend used and
+/// itemises its cost. `--check` cross-checks against the exact solver.
 pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = approx_config(args)?;
-    let context = GraphContext::preprocess(graph).map_err(|e| e.to_string())?;
-    let mut geer = Geer::new(&context, config);
+    let accuracy = accuracy_from(args, &config)?;
+    let backend = backend_from(args)?;
+    let mut service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
 
     // Pairs come from positionals ("s t s t …") or --random N.
     let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -82,32 +115,50 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
         return Err("no query pairs: pass node ids or --random N".into());
     }
 
+    // Edge-only backends (MC2, HAY) answer the edge-set shape; everything
+    // else gets a batch.
+    let query = match backend {
+        Some(BackendChoice::Mc2) | Some(BackendChoice::Hay) => Query::edge_set(pairs.clone()),
+        _ => Query::batch(pairs.clone()),
+    };
+    let request = Request {
+        query,
+        accuracy,
+        backend,
+    };
+    let response = service.submit(&request).map_err(|e| e.to_string())?;
+
     let check = args.is_set("check");
     let truth = GroundTruth::with_method(graph, GroundTruthMethod::LaplacianSolve);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>8} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "{:>8} {:>8} {:>12} {:>12}",
         "s",
         "t",
         "r'(s,t)",
-        "walks",
-        "matvec-ops",
         if check { "exact" } else { "" }
     );
-    for (s, t) in pairs {
-        let estimate = geer.estimate(s, t).map_err(|e| e.to_string())?;
+    for (&(s, t), &value) in pairs.iter().zip(&response.values) {
         let exact = if check {
             format!("{:.6}", truth.resistance(s, t).map_err(|e| e.to_string())?)
         } else {
             String::new()
         };
-        let _ = writeln!(
-            out,
-            "{s:>8} {t:>8} {:>12.6} {:>12} {:>10} {:>12}",
-            estimate.value, estimate.cost.random_walks, estimate.cost.matvec_ops, exact
-        );
+        let _ = writeln!(out, "{s:>8} {t:>8} {value:>12.6} {exact:>12}");
     }
+    let cost = response.cost;
+    let _ = writeln!(
+        out,
+        "backend: {} | walks {} | walk-steps {} | matvec-ops {} | solver-its {} | trees {} | cache-hits {}",
+        response.backend,
+        cost.random_walks,
+        cost.walk_steps,
+        cost.matvec_ops,
+        cost.solver_iterations,
+        cost.spanning_trees,
+        response.cache_hits
+    );
     Ok(out)
 }
 
@@ -204,7 +255,7 @@ pub fn cluster(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = ClusteringConfig {
         num_clusters: k,
         max_iterations: args.flag("iterations", 12usize)?,
-        seed: args.flag("seed", 42u64)?,
+        seed: args.flag("seed", ApproxConfig::default().seed)?,
         ..ClusteringConfig::default()
     };
     let result = ResistanceClustering::new(graph, config)
@@ -258,39 +309,40 @@ pub fn profile(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     };
     let top: usize = args.flag("top", 10usize)?;
     let config = approx_config(args)?;
-    let mut index = ErIndex::build_with_threads(
-        graph,
-        DiagonalStrategy::ExactSolves,
-        config.seed,
-        config.threads,
-    )
-    .map_err(|e| e.to_string())?;
-    let nearest = index.nearest(source, top).map_err(|e| e.to_string())?;
+    let mut service = ResistanceService::with_config(graph, config)
+        .map_err(|e| e.to_string())?
+        .with_landmarks(args.flag("landmarks", 8usize)?);
+    let nearest = service
+        .submit(&Request::new(Query::top_k(source, top)))
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "nearest {} nodes to {} by effective resistance:",
-        nearest.len(),
+        nearest.nodes.len(),
         source
     );
     let _ = writeln!(out, "{:>8} {:>12} {:>8}", "node", "r", "degree");
-    for (node, r) in &nearest {
+    for (node, r) in nearest.nodes.iter().zip(&nearest.values) {
         let _ = writeln!(out, "{node:>8} {r:>12.4} {:>8}", graph.degree(*node));
     }
-    let _ = writeln!(out, "\nKirchhoff index: {:.1}", index.kirchhoff_index());
-    let landmarks = LandmarkIndex::build(
-        graph,
-        args.flag("landmarks", 8usize)?,
-        LandmarkSelection::Mixed,
-        7,
-    )
-    .map_err(|e| e.to_string())?;
+    let kirchhoff = service.kirchhoff_index().map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "\nKirchhoff index: {kirchhoff:.1}");
+    // The landmark tier answers distant pairs in O(landmarks) with no
+    // per-query solves — shown here against the service's planned answer.
     let far = graph.num_nodes() - 1;
-    let bounds = landmarks.bounds(source, far).map_err(|e| e.to_string())?;
+    let planned = service
+        .submit(&Request::new(Query::pair(source, far)))
+        .map_err(|e| e.to_string())?;
+    let landmark = service
+        .submit(&Request::new(Query::pair(source, far)).with_backend(BackendChoice::Landmark))
+        .map_err(|e| e.to_string())?;
     let _ = writeln!(
         out,
-        "landmark bounds for r({source}, {far}): [{:.4}, {:.4}]",
-        bounds.lower, bounds.upper
+        "r({source}, {far}) = {:.4} via {} | landmark point estimate {:.4}",
+        planned.value(),
+        planned.backend,
+        landmark.value()
     );
     Ok(out)
 }
@@ -304,7 +356,10 @@ USAGE:
 
 COMMANDS:
     stats                       structural + spectral summary of the graph
-    query <s> <t> […]           ε-approximate PER queries with GEER (--random N, --check)
+    query <s> <t> […]           PER queries through the ResistanceService planner
+                                (--random N, --check, --exact, --walk-budget N,
+                                --backend geer|amc|smm|tp|tpc|rp|mc|mc2|hay|
+                                          exact|exact-cg|index|landmark)
     profile <s>                 single-source resistance profile (--top K, --landmarks K)
     critical                    rank edges by criticality (--top K)
     sparsify                    build and evaluate a spectral sparsifier (--scores exact|geer|trees)
@@ -316,7 +371,7 @@ COMMON FLAGS:
     --epsilon <f>               additive error ε (default 0.1)
     --delta <f>                 failure probability δ (default 0.01)
     --tau <n>                   AMC/GEER batches τ (default 5)
-    --seed <n>                  RNG seed (default 42)
+    --seed <n>                  RNG seed (default: the library default, 0x5eed)
     --threads <n>               worker threads for parallel sampling (default 0 = all
                                 cores; results are identical at any thread count)
 "
@@ -347,12 +402,48 @@ mod tests {
     fn query_supports_pairs_random_and_check() {
         let g = graph();
         let out = query(&g, &args("query 0 120 5 17 --epsilon 0.2 --check")).unwrap();
-        assert_eq!(out.lines().count(), 3, "header plus two result rows");
+        assert_eq!(
+            out.lines().count(),
+            4,
+            "header, two result rows, backend/cost summary"
+        );
         assert!(out.contains("exact"));
+        assert!(out.contains("backend:"));
         let out = query(&g, &args("query --random 3")).unwrap();
-        assert_eq!(out.lines().count(), 4);
+        assert_eq!(out.lines().count(), 5);
         assert!(query(&g, &args("query 1")).is_err(), "odd number of ids");
         assert!(query(&g, &args("query")).is_err(), "no pairs at all");
+    }
+
+    #[test]
+    fn query_backend_override_and_accuracy_flags() {
+        let g = graph();
+        // The 240-node test graph sits below the planner's exact threshold.
+        let auto = query(&g, &args("query 0 120")).unwrap();
+        assert!(auto.contains("backend: EXACT-CG"), "{auto}");
+        let forced = query(&g, &args("query 0 120 --backend geer")).unwrap();
+        assert!(forced.contains("backend: GEER"), "{forced}");
+        let exact = query(&g, &args("query 0 120 --exact")).unwrap();
+        assert!(exact.contains("backend: EXACT-CG"), "{exact}");
+        let budgeted = query(
+            &g,
+            &args("query 0 120 --epsilon 0.5 --walk-budget 100000 --backend amc"),
+        )
+        .unwrap();
+        assert!(budgeted.contains("backend: AMC"), "{budgeted}");
+        // Edge-only backends are reachable when the queried pairs are edges.
+        let (s, t) = g.edges().next().unwrap();
+        let hay = query(
+            &g,
+            &args(&format!("query {s} {t} --epsilon 0.3 --backend hay")),
+        )
+        .unwrap();
+        assert!(hay.contains("backend: HAY"), "{hay}");
+        assert!(
+            query(&g, &args("query 0 120 --backend hay")).is_err(),
+            "(0, 120) is not an edge"
+        );
+        assert!(query(&g, &args("query 0 120 --backend bogus")).is_err());
     }
 
     #[test]
@@ -401,5 +492,45 @@ mod tests {
             0,
             "default: all cores"
         );
+    }
+
+    #[test]
+    fn default_seed_is_the_library_default() {
+        // The CLI must not invent its own seed default: the single source of
+        // truth is ApproxConfig::default().
+        assert_eq!(
+            approx_config(&args("query")).unwrap().seed,
+            ApproxConfig::default().seed
+        );
+        assert_eq!(
+            approx_config(&args("query")).unwrap(),
+            ApproxConfig::default()
+        );
+    }
+
+    #[test]
+    fn accuracy_and_backend_flags_parse() {
+        let config = ApproxConfig::default();
+        assert_eq!(
+            accuracy_from(&args("query --exact"), &config).unwrap(),
+            Accuracy::Exact
+        );
+        assert_eq!(
+            accuracy_from(&args("query --walk-budget 500"), &config).unwrap(),
+            Accuracy::WalkBudget(500)
+        );
+        assert_eq!(
+            accuracy_from(&args("query"), &config).unwrap(),
+            Accuracy::Epsilon {
+                eps: config.epsilon,
+                delta: config.delta
+            }
+        );
+        assert_eq!(
+            backend_from(&args("query --backend index")).unwrap(),
+            Some(BackendChoice::Index)
+        );
+        assert_eq!(backend_from(&args("query")).unwrap(), None);
+        assert!(backend_from(&args("query --backend nope")).is_err());
     }
 }

@@ -1,5 +1,5 @@
 //! HAY — spanning-tree sampling for *edge* effective resistance
-//! (Hayashi, Akiba & Yoshida [29]; the edge-query baseline of Fig. 5/7).
+//! (Hayashi, Akiba & Yoshida \[29\]; the edge-query baseline of Fig. 5/7).
 //!
 //! By the matrix-tree theorem, for an edge `(s, t) ∈ E` the effective
 //! resistance equals the probability that the edge belongs to a uniformly

@@ -1,5 +1,5 @@
 //! MC — the commute-time / escape-probability Monte Carlo baseline
-//! (Section 2.3.1 of the paper, from Peng et al. [49]).
+//! (Section 2.3.1 of the paper, from Peng et al. \[49\]).
 //!
 //! MC exploits the identity `Pr[walk from s hits t before returning to s]
 //! = 1 / (d(s) · r(s, t))`: it runs η independent escape trials from `s`,

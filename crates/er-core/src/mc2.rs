@@ -1,5 +1,5 @@
 //! MC2 — the first-visit-via-edge Monte Carlo baseline for *edge* queries
-//! (Section 2.3.1 of the paper, from Peng et al. [49]).
+//! (Section 2.3.1 of the paper, from Peng et al. \[49\]).
 //!
 //! For `(s, t) ∈ E`, `r(s, t)` equals the probability that a random walk
 //! started at `s` makes its first visit to `t` over the edge `(s, t)` itself.

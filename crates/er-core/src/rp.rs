@@ -1,4 +1,4 @@
-//! RP — the random-projection baseline of Spielman & Srivastava [62].
+//! RP — the random-projection baseline of Spielman & Srivastava \[62\].
 //!
 //! RP preprocesses the graph into a `(24 ln n / ε²) × n` sketch (each row one
 //! Laplacian solve); afterwards every pairwise query is `O(k)` work. The

@@ -1,11 +1,11 @@
 //! TP — the truncated-walk Monte Carlo baseline (Section 2.3.2 of the paper,
-//! from Peng et al. [49]); the state-of-the-art competitor AMC improves on.
+//! from Peng et al. \[49\]); the state-of-the-art competitor AMC improves on.
 //!
 //! TP evaluates the truncated series of Eq. (4) term by term: for every walk
 //! length `i ∈ [1, ℓ]` (with Peng et al.'s pair-independent ℓ of Eq. 5) it
 //! simulates a fresh batch of length-`i` walks from `s` and from `t` and uses
 //! the empirical fractions ending at `s`/`t` as estimates of `p_i(·, ·)`.
-//! The Chernoff–Hoeffding analysis of [49] requires
+//! The Chernoff–Hoeffding analysis of \[49\] requires
 //! `40 ℓ² ln(8ℓ/δ) / ε²` walks *per length*, i.e. `Θ(ℓ³ log ℓ / ε²)` walks in
 //! total — the sheer sample count that motivates AMC.
 //!
@@ -37,7 +37,7 @@ pub struct Tp {
 }
 
 impl Tp {
-    /// Creates a TP estimator with the faithful sample budget of [49].
+    /// Creates a TP estimator with the faithful sample budget of \[49\].
     pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
         Tp {
             context: context.clone(),

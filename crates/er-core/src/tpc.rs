@@ -1,5 +1,5 @@
 //! TPC — the collision-probability variant of TP (Section 2.3.2 of the paper,
-//! from Peng et al. [49]).
+//! from Peng et al. \[49\]).
 //!
 //! TPC writes `p_i(s, t)` as a collision probability of two independent
 //! half-length walks: with `a = ⌈i/2⌉`, `b = ⌊i/2⌋`,
@@ -9,7 +9,7 @@
 //! an unbiased estimate with far better variance than TP's direct endpoint
 //! matching on well-mixing graphs.
 //!
-//! The sample-size formula of [49] involves a parameter βᵢ that must upper
+//! The sample-size formula of \[49\] involves a parameter βᵢ that must upper
 //! bound `max{Σ_v p_i(s,v)²/d(v), Σ_v p_i(t,v)²/d(v)}` — a quantity that is
 //! unknown in practice. The paper's experiments fall back to "heuristic
 //! settings"; we do the same and document ours: βᵢ is estimated from a small
@@ -68,7 +68,7 @@ pub struct Tpc {
 }
 
 impl Tpc {
-    /// Constant in the sample-size formula of [49] (`40000 × (…)`).
+    /// Constant in the sample-size formula of \[49\] (`40000 × (…)`).
     pub const SAMPLE_CONSTANT: f64 = 40_000.0;
 
     /// Creates a TPC estimator with the heuristic βᵢ pilot estimation.
@@ -134,7 +134,7 @@ impl Tpc {
         beta.max(1.0 / graph.num_directed_edges() as f64)
     }
 
-    /// Walks per side for length `i`, using the formula of [49]:
+    /// Walks per side for length `i`, using the formula of \[49\]:
     /// `40000 (ℓ √(ℓ βᵢ) / ε + ℓ³ βᵢ^{3/2} / ε²)`, scaled by `sample_scale`.
     pub fn walks_for_beta(&self, beta: f64) -> u64 {
         let ell = self.max_length().max(1) as f64;

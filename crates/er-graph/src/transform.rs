@@ -7,7 +7,7 @@
 //! * the robustness / cascading-failure analyses delete edges and re-query,
 //! * the dynamic-graph index rebuilds a graph after edge insertions/deletions,
 //! * the spanning-tree identity `r(s, t) = |T(G')| / |T(G)|` (Corollary 4.2 of
-//!   [40] in the paper) needs the graph `G'` obtained by identifying `s` and
+//!   \[40\] in the paper) needs the graph `G'` obtained by identifying `s` and
 //!   `t`,
 //! * k-core pruning is a common preprocessing step before similarity search.
 //!

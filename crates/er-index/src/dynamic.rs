@@ -3,13 +3,13 @@
 //! The paper's estimators assume a static graph plus a one-off spectral
 //! preprocessing step (λ = max{|λ₂|, |λₙ|}). Applications such as anomaly
 //! detection on time-evolving graphs (cited in the paper's introduction via
-//! [64]) instead interleave edge insertions/deletions with queries.
+//! \[64\]) instead interleave edge insertions/deletions with queries.
 //! [`DynamicEr`] keeps an editable edge set and rebuilds the CSR snapshot and
 //! its spectral preprocessing *lazily*: mutations are O(log m) set updates,
 //! and the first query after a burst of mutations pays the rebuild once.
 
 use crate::error::IndexError;
-use er_core::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use er_core::{ApproxConfig, GraphContext};
 use er_graph::{Graph, GraphBuilder, NodeId};
 use er_linalg::{spectral_bounds, LaplacianSolver};
 use std::collections::BTreeSet;
@@ -145,17 +145,20 @@ impl DynamicEr {
         Ok(&self.snapshot.as_ref().expect("just ensured").0)
     }
 
-    /// Answers an ε-approximate PER query on the current graph with GEER,
-    /// reusing the cached spectral preprocessing when no mutation happened
-    /// since the last query.
-    pub fn resistance(&mut self, s: NodeId, t: NodeId) -> Result<f64, IndexError> {
-        self.check_node(s)?;
-        self.check_node(t)?;
+    /// A [`GraphContext`] for the current snapshot, re-using the cached
+    /// spectral preprocessing. Approximate queries go through the service
+    /// layer (`er_service::DynamicResistanceService`), which holds one of
+    /// these per snapshot version; this structure itself only manages the
+    /// evolving edge set.
+    pub fn context(&mut self) -> Result<GraphContext, IndexError> {
         self.ensure_snapshot()?;
         let (graph, lambda) = self.snapshot.as_ref().expect("just ensured");
-        let context = GraphContext::with_lambda(graph, *lambda)?;
-        let mut geer = Geer::new(&context, self.config);
-        Ok(geer.estimate(s, t)?.value)
+        Ok(GraphContext::with_lambda(graph, *lambda)?)
+    }
+
+    /// The estimator configuration queries on this graph should use.
+    pub fn config(&self) -> ApproxConfig {
+        self.config
     }
 
     /// Exact resistance on the current graph (CG solve), for callers that
@@ -207,17 +210,18 @@ mod tests {
     }
 
     #[test]
-    fn approximate_queries_track_exact_values_across_mutations() {
+    fn context_tracks_exact_values_across_mutations() {
         let g = generators::social_network_like(300, 10.0, 7).unwrap();
         let mut dynamic = DynamicEr::from_graph(&g, base_config());
-        let approx = dynamic.resistance(5, 200).unwrap();
-        let exact = dynamic.resistance_exact(5, 200).unwrap();
-        assert!((approx - exact).abs() <= base_config().epsilon);
+        let exact_before = dynamic.resistance_exact(5, 200).unwrap();
+        let ctx = dynamic.context().unwrap();
+        assert_eq!(ctx.graph().num_edges(), g.num_edges());
         dynamic.insert_edge(5, 200).unwrap();
-        dynamic.insert_edge(5, 201).unwrap();
-        let approx = dynamic.resistance(5, 200).unwrap();
-        let exact = dynamic.resistance_exact(5, 200).unwrap();
-        assert!((approx - exact).abs() <= base_config().epsilon);
+        let exact_after = dynamic.resistance_exact(5, 200).unwrap();
+        assert!(exact_after < exact_before, "Rayleigh monotonicity");
+        let ctx = dynamic.context().unwrap();
+        assert_eq!(ctx.graph().num_edges(), g.num_edges() + 1);
+        assert_eq!(dynamic.config().epsilon, base_config().epsilon);
     }
 
     #[test]
@@ -225,15 +229,15 @@ mod tests {
         let g = generators::complete(30).unwrap();
         let mut dynamic = DynamicEr::from_graph(&g, base_config());
         assert_eq!(dynamic.rebuilds(), 0);
-        dynamic.resistance(0, 5).unwrap();
+        dynamic.resistance_exact(0, 5).unwrap();
         assert_eq!(dynamic.rebuilds(), 1);
-        dynamic.resistance(1, 6).unwrap();
+        dynamic.resistance_exact(1, 6).unwrap();
         assert_eq!(dynamic.rebuilds(), 1, "no mutation, no rebuild");
         dynamic.insert_edge(0, 1).unwrap_or(false);
         dynamic.remove_edge(2, 3).unwrap();
         dynamic.remove_edge(4, 5).unwrap();
         assert_eq!(dynamic.rebuilds(), 1, "mutations alone do not rebuild");
-        dynamic.resistance(0, 5).unwrap();
+        dynamic.resistance_exact(0, 5).unwrap();
         assert_eq!(dynamic.rebuilds(), 2, "one rebuild for the whole burst");
     }
 
@@ -258,10 +262,10 @@ mod tests {
     #[test]
     fn disconnecting_the_graph_is_reported() {
         let mut dynamic = DynamicEr::new(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)], base_config());
-        assert!(dynamic.resistance(0, 3).is_ok());
+        assert!(dynamic.resistance_exact(0, 3).is_ok());
         dynamic.remove_edge(2, 3).unwrap();
         assert!(matches!(
-            dynamic.resistance(0, 3),
+            dynamic.resistance_exact(0, 3),
             Err(IndexError::Graph(_))
         ));
     }

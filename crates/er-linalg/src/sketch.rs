@@ -1,6 +1,6 @@
 //! Spielman–Srivastava random-projection sketch for effective resistance.
 //!
-//! The RP baseline of the paper [62] preprocesses the graph into a
+//! The RP baseline of the paper \[62\] preprocesses the graph into a
 //! `k × n` matrix `Z ≈ Q W^{1/2} B L†` with `k = ⌈c·ln n / ε²⌉` rows, where
 //! `B` is the edge–node incidence matrix, `W` the (identity) edge-weight
 //! matrix and `Q` a random ±1/√k matrix. Afterwards every pairwise query is

@@ -1,0 +1,634 @@
+//! The capability-declaring backend trait and its implementations.
+//!
+//! A [`Backend`] answers *planned* queries batch-natively: the service hands
+//! it a [`Plan`] (the deduplicated work items that survived the cache tier)
+//! plus a [`StreamPlan`] assigning every item the RNG stream it must use.
+//! Randomized backends fork one independent estimator per stream
+//! ([`ForkableEstimator`]), so the same plan produces bit-identical answers
+//! at any thread count and irrespective of scheduling order.
+//!
+//! Four families implement the trait:
+//!
+//! * [`EstimatorBackend`] — wraps any [`ForkableEstimator`] (GEER, AMC, SMM,
+//!   TP, TPC, RP, MC, MC2, EXACT) and fans the plan items out over worker
+//!   threads.
+//! * [`HayBatchBackend`] — the batch-native HAY: one pool of uniform
+//!   spanning trees scores *every* edge of the set at once, amortising the
+//!   trees the per-query estimator would sample per edge.
+//! * [`IndexBackend`] — the column-based [`ErIndex`]: single-source rows,
+//!   the pseudo-inverse diagonal, nearest-neighbour search and exact pairs.
+//! * [`LandmarkBackend`] — O(k)-per-query triangle-inequality point
+//!   estimates from landmark columns.
+
+use crate::capability::{QueryShape, QueryShapeSet};
+use crate::error::ServiceError;
+use crate::query::Accuracy;
+use crate::response::Response;
+use er_core::{ApproxConfig, CostBreakdown, EstimatorError, ForkableEstimator, GraphContext};
+use er_graph::NodeId;
+use er_index::{ErIndex, LandmarkIndex};
+use er_walks::par;
+use er_walks::spanning::sample_spanning_tree;
+use std::sync::Mutex;
+
+/// One unit of pair-shaped work: a distinct, uncached, non-trivial pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanItem {
+    /// Query source.
+    pub s: NodeId,
+    /// Query target.
+    pub t: NodeId,
+}
+
+/// A planned request, as handed to a backend: the shape and accuracy of the
+/// original query plus the work items that survived the service's cache and
+/// dedup tier.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Shape of the originating query.
+    pub shape: QueryShape,
+    /// Accuracy target of the originating request.
+    pub accuracy: Accuracy,
+    /// Distinct uncached pair items (pair-shaped queries only).
+    pub items: Vec<PlanItem>,
+    /// The source node of `SingleSource` / `TopK` queries.
+    pub source: Option<NodeId>,
+    /// `k` of a `TopK` query.
+    pub k: usize,
+}
+
+impl Plan {
+    /// A pair-shaped plan over `items`.
+    pub fn for_items(shape: QueryShape, accuracy: Accuracy, items: Vec<PlanItem>) -> Plan {
+        Plan {
+            shape,
+            accuracy,
+            items,
+            source: None,
+            k: 0,
+        }
+    }
+}
+
+/// Per-item RNG stream assignment plus the worker-thread knob.
+///
+/// Streams are derived by the service from each pair's first position in the
+/// *request* (before cache filtering), so a fixed request sequence yields the
+/// same streams — and therefore bit-identical values — at 1, 2 or 64
+/// threads.
+#[derive(Clone, Debug)]
+pub struct StreamPlan {
+    /// `streams[i]` is the RNG stream for `plan.items[i]`.
+    pub streams: Vec<u64>,
+    /// Worker threads for the fan-out (0 = all cores).
+    pub threads: usize,
+}
+
+impl StreamPlan {
+    /// A stream plan for sequentially numbered items (used by tests and by
+    /// backends that need no per-item streams).
+    pub fn sequential(n: usize, threads: usize) -> StreamPlan {
+        StreamPlan {
+            streams: (0..n as u64).collect(),
+            threads,
+        }
+    }
+}
+
+/// A query-plane backend: declares which shapes it can answer and answers
+/// planned requests batch-natively.
+pub trait Backend: Send + Sync {
+    /// Short stable name, matching
+    /// [`BackendChoice::name`](crate::BackendChoice::name).
+    fn name(&self) -> &'static str;
+
+    /// The query shapes this backend can answer.
+    fn capabilities(&self) -> QueryShapeSet;
+
+    /// Answers a planned request. `plan.items` values come back in item
+    /// order; source-shaped plans fill the response per the layout rules on
+    /// [`Response::values`].
+    fn answer(&self, plan: &Plan, streams: &StreamPlan) -> Result<Response, ServiceError>;
+}
+
+fn check_capability(backend: &dyn Backend, shape: QueryShape) -> Result<(), ServiceError> {
+    if backend.capabilities().contains(shape) {
+        Ok(())
+    } else {
+        Err(ServiceError::UnsupportedShape {
+            backend: backend.name(),
+            shape,
+        })
+    }
+}
+
+/// Wraps any [`ForkableEstimator`] as a batch-native backend: item `i` is
+/// answered by an independent fork of the prototype on stream
+/// `streams.streams[i]`.
+pub struct EstimatorBackend<E: ForkableEstimator> {
+    prototype: E,
+    name: &'static str,
+    capabilities: QueryShapeSet,
+}
+
+impl<E: ForkableEstimator> EstimatorBackend<E> {
+    /// Wraps `prototype` under the given display name and capability set.
+    pub fn new(prototype: E, name: &'static str, capabilities: QueryShapeSet) -> Self {
+        EstimatorBackend {
+            prototype,
+            name,
+            capabilities,
+        }
+    }
+}
+
+impl<E: ForkableEstimator> Backend for EstimatorBackend<E> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn capabilities(&self) -> QueryShapeSet {
+        self.capabilities
+    }
+
+    fn answer(&self, plan: &Plan, streams: &StreamPlan) -> Result<Response, ServiceError> {
+        check_capability(self, plan.shape)?;
+        debug_assert_eq!(plan.items.len(), streams.streams.len());
+        let results: Vec<Result<er_core::Estimate, EstimatorError>> = par::par_map_indexed(
+            plan.items.len() as u64,
+            0, // streams come from the plan, not from this seed
+            streams.threads,
+            |i, _| {
+                let item = plan.items[i as usize];
+                let mut fork = self.prototype.fork(streams.streams[i as usize]);
+                fork.estimate(item.s, item.t)
+            },
+        );
+        let mut values = Vec::with_capacity(results.len());
+        let mut cost = CostBreakdown::default();
+        for result in results {
+            // Items are in plan order, so the first error seen is the
+            // earliest-item error regardless of thread count.
+            let estimate = result?;
+            values.push(estimate.value);
+            cost += estimate.cost;
+        }
+        Ok(Response {
+            values,
+            nodes: Vec::new(),
+            backend: self.name,
+            cost,
+            cache_hits: 0,
+            backend_calls: plan.items.len() as u64,
+            trivial_queries: 0,
+        })
+    }
+}
+
+/// Batch-native HAY: samples one pool of uniform spanning trees (Wilson's
+/// algorithm) and scores every queried edge against the whole pool. The
+/// per-edge estimate is the fraction of trees containing the edge, exactly
+/// as in the per-query estimator — but `T` trees now answer `m` edges
+/// instead of one, a factor-`m` saving on edge-set workloads.
+pub struct HayBatchBackend {
+    context: GraphContext,
+    config: ApproxConfig,
+}
+
+impl HayBatchBackend {
+    /// Creates the backend over a preprocessed graph.
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
+        HayBatchBackend {
+            context: context.clone(),
+            config,
+        }
+    }
+
+    /// Number of spanning trees sampled for a given accuracy: the Hoeffding
+    /// count `⌈ln(2/δ) / (2ε²)⌉` for ε-targets, the budget itself for
+    /// [`Accuracy::WalkBudget`].
+    pub fn trees_for(&self, accuracy: Accuracy) -> u64 {
+        match accuracy {
+            Accuracy::Epsilon { eps, delta } => {
+                ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil().max(1.0) as u64
+            }
+            Accuracy::WalkBudget(budget) => budget.max(1),
+            // The planner never routes Exact here, but a forced override
+            // gets the config's Hoeffding count rather than an error.
+            Accuracy::Exact => {
+                let eps = self.config.epsilon;
+                ((2.0 / self.config.delta).ln() / (2.0 * eps * eps))
+                    .ceil()
+                    .max(1.0) as u64
+            }
+        }
+    }
+}
+
+impl Backend for HayBatchBackend {
+    fn name(&self) -> &'static str {
+        "HAY"
+    }
+
+    fn capabilities(&self) -> QueryShapeSet {
+        QueryShapeSet::EDGE_ONLY
+    }
+
+    fn answer(&self, plan: &Plan, streams: &StreamPlan) -> Result<Response, ServiceError> {
+        check_capability(self, plan.shape)?;
+        let g = self.context.graph();
+        for item in &plan.items {
+            self.context.check_pair(item.s, item.t)?;
+            if !g.has_edge(item.s, item.t) {
+                return Err(EstimatorError::NotAnEdge {
+                    s: item.s,
+                    t: item.t,
+                }
+                .into());
+            }
+        }
+        if plan.items.is_empty() {
+            return Ok(Response {
+                values: Vec::new(),
+                nodes: Vec::new(),
+                backend: self.name(),
+                cost: CostBreakdown::default(),
+                cache_hits: 0,
+                backend_calls: 0,
+                trivial_queries: 0,
+            });
+        }
+        let trees = self.trees_for(plan.accuracy);
+        // One RNG stream per tree, derived from the seed alone: the tree pool
+        // is a pure function of (seed, trees), identical at any thread count.
+        let fan_seed = par::mix_seed(self.config.seed, 0x11a7);
+        let counts = par::par_fold_indexed(
+            trees,
+            fan_seed,
+            streams.threads,
+            || vec![0u64; plan.items.len()],
+            |_, tree_rng, acc: &mut Vec<u64>| {
+                let tree = sample_spanning_tree(g, 0, tree_rng);
+                for (j, item) in plan.items.iter().enumerate() {
+                    if tree.contains_edge(item.s, item.t) {
+                        acc[j] += 1;
+                    }
+                }
+            },
+            |total, part| {
+                for (t, p) in total.iter_mut().zip(part) {
+                    *t += p;
+                }
+            },
+        );
+        let values = counts.iter().map(|&c| c as f64 / trees as f64).collect();
+        let cost = CostBreakdown {
+            spanning_trees: trees,
+            // Wilson's algorithm covers all n nodes per tree; record the
+            // n − 1 tree-edge lower bound, as the per-query estimator does.
+            walk_steps: trees * (g.num_nodes() - 1) as u64,
+            ..CostBreakdown::default()
+        };
+        Ok(Response {
+            values,
+            nodes: Vec::new(),
+            backend: self.name(),
+            cost,
+            cache_hits: 0,
+            backend_calls: plan.items.len() as u64,
+            trivial_queries: 0,
+        })
+    }
+}
+
+/// The column-based exact index as a backend: answers every shape.
+///
+/// Interior mutability (a mutex around the [`ErIndex`]) lets the shared
+/// `&self` answer path re-use the index's column cache; contention is not a
+/// concern because the service serialises submits anyway.
+pub struct IndexBackend {
+    index: Mutex<ErIndex>,
+}
+
+impl IndexBackend {
+    /// Wraps a built index.
+    pub fn new(index: ErIndex) -> Self {
+        IndexBackend {
+            index: Mutex::new(index),
+        }
+    }
+
+    /// Number of Laplacian solves performed so far (diagonal + columns).
+    pub fn total_solves(&self) -> u64 {
+        self.index
+            .lock()
+            .expect("index mutex poisoned")
+            .total_solves()
+    }
+}
+
+impl Backend for IndexBackend {
+    fn name(&self) -> &'static str {
+        "INDEX"
+    }
+
+    fn capabilities(&self) -> QueryShapeSet {
+        QueryShapeSet::ALL
+    }
+
+    fn answer(&self, plan: &Plan, _streams: &StreamPlan) -> Result<Response, ServiceError> {
+        check_capability(self, plan.shape)?;
+        let mut index = self.index.lock().expect("index mutex poisoned");
+        let solves_before = index.total_solves();
+        let mut nodes = Vec::new();
+        let values = match plan.shape {
+            QueryShape::SingleSource => {
+                let source = plan.source.expect("single-source plan carries a source");
+                index.single_source(source)?
+            }
+            QueryShape::Diagonal => {
+                let n = index.graph().num_nodes();
+                let mut diag = Vec::with_capacity(n);
+                for v in 0..n {
+                    diag.push(index.diagonal_entry(v)?);
+                }
+                diag
+            }
+            QueryShape::TopK => {
+                let source = plan.source.expect("top-k plan carries a source");
+                let nearest = index.nearest(source, plan.k)?;
+                nodes = nearest.iter().map(|&(v, _)| v).collect();
+                nearest.into_iter().map(|(_, r)| r).collect()
+            }
+            QueryShape::Pair | QueryShape::Batch | QueryShape::EdgeSet => {
+                let mut out = Vec::with_capacity(plan.items.len());
+                for item in &plan.items {
+                    out.push(index.resistance(item.s, item.t)?);
+                }
+                out
+            }
+        };
+        let backend_calls = plan.items.len() as u64;
+        let cost = CostBreakdown {
+            // The index's unit of work is the Laplacian solve; report the
+            // solves this plan triggered (cached columns cost none).
+            solver_iterations: index.total_solves() - solves_before,
+            ..CostBreakdown::default()
+        };
+        Ok(Response {
+            values,
+            nodes,
+            backend: self.name(),
+            cost,
+            cache_hits: 0,
+            backend_calls,
+            trivial_queries: 0,
+        })
+    }
+}
+
+/// Landmark triangle-inequality bounds as a backend. Answers pair-shaped
+/// queries with the bound midpoint in O(k) per pair — no solves, no walks —
+/// at the price of only bounded (not ε-controlled) error.
+pub struct LandmarkBackend {
+    index: LandmarkIndex,
+}
+
+impl LandmarkBackend {
+    /// Wraps a built landmark index.
+    pub fn new(index: LandmarkIndex) -> Self {
+        LandmarkBackend { index }
+    }
+
+    /// The underlying landmark index (for bound queries the midpoint
+    /// estimate discards).
+    pub fn index(&self) -> &LandmarkIndex {
+        &self.index
+    }
+}
+
+impl Backend for LandmarkBackend {
+    fn name(&self) -> &'static str {
+        "LANDMARK"
+    }
+
+    fn capabilities(&self) -> QueryShapeSet {
+        QueryShapeSet::PAIRWISE
+    }
+
+    fn answer(&self, plan: &Plan, _streams: &StreamPlan) -> Result<Response, ServiceError> {
+        check_capability(self, plan.shape)?;
+        let mut values = Vec::with_capacity(plan.items.len());
+        for item in &plan.items {
+            values.push(self.index.estimate(item.s, item.t)?);
+        }
+        Ok(Response {
+            values,
+            nodes: Vec::new(),
+            backend: self.name(),
+            cost: CostBreakdown::default(),
+            cache_hits: 0,
+            backend_calls: plan.items.len() as u64,
+            trivial_queries: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{Estimate, Exact, ResistanceEstimator};
+    use er_graph::generators;
+
+    fn ctx() -> GraphContext {
+        let g = generators::social_network_like(120, 8.0, 3).unwrap();
+        GraphContext::preprocess(&g).unwrap()
+    }
+
+    #[test]
+    fn estimator_backend_is_thread_invariant_and_stream_driven() {
+        #[derive(Clone)]
+        struct Probe {
+            stream: u64,
+        }
+        impl ResistanceEstimator for Probe {
+            fn name(&self) -> &'static str {
+                "PROBE"
+            }
+            fn estimate(&mut self, s: NodeId, t: NodeId) -> Result<Estimate, EstimatorError> {
+                Ok(Estimate::with_value(
+                    (s + t) as f64 + self.stream as f64 / 1e6,
+                ))
+            }
+        }
+        impl ForkableEstimator for Probe {
+            fn fork(&self, stream: u64) -> Self {
+                Probe { stream }
+            }
+        }
+        let backend = EstimatorBackend::new(Probe { stream: 0 }, "PROBE", QueryShapeSet::PAIRWISE);
+        let items = vec![
+            PlanItem { s: 1, t: 2 },
+            PlanItem { s: 3, t: 4 },
+            PlanItem { s: 5, t: 6 },
+        ];
+        let plan = Plan::for_items(QueryShape::Batch, Accuracy::default(), items);
+        let streams = StreamPlan {
+            streams: vec![7, 0, 3],
+            threads: 1,
+        };
+        let base = backend.answer(&plan, &streams).unwrap();
+        assert_eq!(base.values[0], 3.0 + 7.0 / 1e6, "stream 7 served item 0");
+        for threads in [2, 8] {
+            let other = backend
+                .answer(
+                    &plan,
+                    &StreamPlan {
+                        streams: streams.streams.clone(),
+                        threads,
+                    },
+                )
+                .unwrap();
+            assert_eq!(other.values, base.values);
+        }
+        // Shape checking happens before any work.
+        let bad = Plan {
+            shape: QueryShape::Diagonal,
+            ..plan
+        };
+        assert!(matches!(
+            backend.answer(&bad, &streams),
+            Err(ServiceError::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn hay_batch_matches_hoeffding_and_rejects_non_edges() {
+        let context = ctx();
+        let config = ApproxConfig::with_epsilon(0.2);
+        let backend = HayBatchBackend::new(&context, config);
+        assert_eq!(
+            backend.trees_for(Accuracy::WalkBudget(50)),
+            50,
+            "budget maps to trees"
+        );
+        let hoeffding = backend.trees_for(Accuracy::Epsilon {
+            eps: 0.2,
+            delta: 0.01,
+        });
+        assert!(hoeffding > 1);
+
+        let g = context.graph();
+        let (s, t) = g.edges().next().unwrap();
+        let plan = Plan::for_items(
+            QueryShape::EdgeSet,
+            Accuracy::Epsilon {
+                eps: 0.2,
+                delta: 0.01,
+            },
+            vec![PlanItem { s, t }],
+        );
+        let streams = StreamPlan::sequential(1, 1);
+        let base = backend.answer(&plan, &streams).unwrap();
+        assert!(base.values[0] > 0.0 && base.values[0] <= 1.0);
+        assert_eq!(base.cost.spanning_trees, hoeffding);
+        for threads in [2, 8] {
+            let other = backend
+                .answer(&plan, &StreamPlan::sequential(1, threads))
+                .unwrap();
+            assert_eq!(other.values, base.values, "thread invariance at {threads}");
+        }
+
+        // A non-edge in the set is rejected up front.
+        let mut non_edge = (0, 1);
+        'outer: for u in 0..g.num_nodes() {
+            for v in (u + 1)..g.num_nodes() {
+                if !g.has_edge(u, v) {
+                    non_edge = (u, v);
+                    break 'outer;
+                }
+            }
+        }
+        let bad = Plan::for_items(
+            QueryShape::EdgeSet,
+            Accuracy::default(),
+            vec![PlanItem {
+                s: non_edge.0,
+                t: non_edge.1,
+            }],
+        );
+        assert!(matches!(
+            backend.answer(&bad, &streams),
+            Err(ServiceError::Estimator(EstimatorError::NotAnEdge { .. }))
+        ));
+    }
+
+    #[test]
+    fn index_backend_answers_every_shape_and_agrees_with_exact() {
+        let context = ctx();
+        let backend = IndexBackend::new(ErIndex::build(context.graph_arc().clone()).unwrap());
+        let mut exact = Exact::with_solver(&context);
+        let streams = StreamPlan::sequential(0, 1);
+
+        let row = backend
+            .answer(
+                &Plan {
+                    shape: QueryShape::SingleSource,
+                    accuracy: Accuracy::Exact,
+                    items: vec![],
+                    source: Some(5),
+                    k: 0,
+                },
+                &streams,
+            )
+            .unwrap();
+        assert_eq!(row.values.len(), context.graph().num_nodes());
+        assert_eq!(row.values[5], 0.0);
+        let direct = exact.estimate(5, 40).unwrap().value;
+        assert!((row.values[40] - direct).abs() < 1e-6);
+
+        let diag = backend
+            .answer(
+                &Plan {
+                    shape: QueryShape::Diagonal,
+                    accuracy: Accuracy::Exact,
+                    items: vec![],
+                    source: None,
+                    k: 0,
+                },
+                &streams,
+            )
+            .unwrap();
+        assert_eq!(diag.values.len(), context.graph().num_nodes());
+        assert!(diag.values.iter().all(|&d| d > 0.0));
+
+        let top = backend
+            .answer(
+                &Plan {
+                    shape: QueryShape::TopK,
+                    accuracy: Accuracy::Exact,
+                    items: vec![],
+                    source: Some(5),
+                    k: 3,
+                },
+                &streams,
+            )
+            .unwrap();
+        assert_eq!(top.nodes.len(), 3);
+        assert_eq!(top.values.len(), 3);
+        assert!(top.values.windows(2).all(|w| w[0] <= w[1]));
+
+        let pair = backend
+            .answer(
+                &Plan::for_items(
+                    QueryShape::Pair,
+                    Accuracy::Exact,
+                    vec![PlanItem { s: 5, t: 40 }],
+                ),
+                &streams,
+            )
+            .unwrap();
+        assert!((pair.values[0] - direct).abs() < 1e-6);
+        assert!(backend.total_solves() > 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Query shapes and capability sets.
+//!
+//! Every [`Backend`](crate::Backend) declares which query shapes it can
+//! answer as a [`QueryShapeSet`]; the [`Planner`](crate::Planner) only routes
+//! a query to a backend whose set contains the query's shape, and an explicit
+//! backend override is rejected up front when the shapes do not match.
+
+use std::fmt;
+
+/// The shape of a [`Query`](crate::Query) — what kind of answer is requested,
+/// independent of the accuracy target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// One `(s, t)` resistance value.
+    Pair,
+    /// Many `(s, t)` resistance values, answered as one unit of work.
+    Batch,
+    /// `r(s, v)` for a fixed source `s` and every node `v`.
+    SingleSource,
+    /// The diagonal of the Laplacian pseudo-inverse, `L†(v, v)` for every `v`.
+    Diagonal,
+    /// Resistance of pairs that are *edges* of the graph (`(s, t) ∈ E`).
+    EdgeSet,
+    /// The `k` nodes closest to a source in resistance distance.
+    TopK,
+}
+
+impl QueryShape {
+    const ALL: [QueryShape; 6] = [
+        QueryShape::Pair,
+        QueryShape::Batch,
+        QueryShape::SingleSource,
+        QueryShape::Diagonal,
+        QueryShape::EdgeSet,
+        QueryShape::TopK,
+    ];
+
+    const fn bit(self) -> u8 {
+        match self {
+            QueryShape::Pair => 1 << 0,
+            QueryShape::Batch => 1 << 1,
+            QueryShape::SingleSource => 1 << 2,
+            QueryShape::Diagonal => 1 << 3,
+            QueryShape::EdgeSet => 1 << 4,
+            QueryShape::TopK => 1 << 5,
+        }
+    }
+}
+
+impl fmt::Display for QueryShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QueryShape::Pair => "pair",
+            QueryShape::Batch => "batch",
+            QueryShape::SingleSource => "single-source",
+            QueryShape::Diagonal => "diagonal",
+            QueryShape::EdgeSet => "edge-set",
+            QueryShape::TopK => "top-k",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A set of [`QueryShape`]s — the capability declaration of a backend.
+///
+/// ```
+/// use er_service::{QueryShape, QueryShapeSet};
+///
+/// let pairwise = QueryShapeSet::PAIRWISE;
+/// assert!(pairwise.contains(QueryShape::Batch));
+/// assert!(!pairwise.contains(QueryShape::Diagonal));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryShapeSet(u8);
+
+impl QueryShapeSet {
+    /// The empty set.
+    pub const EMPTY: QueryShapeSet = QueryShapeSet(0);
+
+    /// Every shape.
+    pub const ALL: QueryShapeSet = QueryShapeSet(0b11_1111);
+
+    /// The pair-shaped queries: [`QueryShape::Pair`], [`QueryShape::Batch`]
+    /// and [`QueryShape::EdgeSet`] (an edge set is a batch whose pairs happen
+    /// to be edges) — what a generic [`ResistanceEstimator`] can answer.
+    ///
+    /// [`ResistanceEstimator`]: er_core::ResistanceEstimator
+    pub const PAIRWISE: QueryShapeSet =
+        QueryShapeSet(QueryShape::Pair.bit() | QueryShape::Batch.bit() | QueryShape::EdgeSet.bit());
+
+    /// Only edge queries — the MC2/HAY restriction.
+    pub const EDGE_ONLY: QueryShapeSet = QueryShapeSet(QueryShape::EdgeSet.bit());
+
+    /// Builds a set from individual shapes.
+    pub fn of(shapes: &[QueryShape]) -> QueryShapeSet {
+        QueryShapeSet(shapes.iter().fold(0, |acc, s| acc | s.bit()))
+    }
+
+    /// Whether the set contains `shape`.
+    pub fn contains(self, shape: QueryShape) -> bool {
+        self.0 & shape.bit() != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: QueryShapeSet) -> QueryShapeSet {
+        QueryShapeSet(self.0 | other.0)
+    }
+
+    /// The shapes in the set, in declaration order.
+    pub fn shapes(self) -> Vec<QueryShape> {
+        QueryShape::ALL
+            .into_iter()
+            .filter(|&s| self.contains(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_and_union() {
+        let set = QueryShapeSet::of(&[QueryShape::Pair, QueryShape::TopK]);
+        assert!(set.contains(QueryShape::Pair));
+        assert!(set.contains(QueryShape::TopK));
+        assert!(!set.contains(QueryShape::EdgeSet));
+        let both = set.union(QueryShapeSet::EDGE_ONLY);
+        assert!(both.contains(QueryShape::EdgeSet));
+        assert_eq!(both.shapes().len(), 3);
+    }
+
+    #[test]
+    fn named_sets() {
+        assert_eq!(QueryShapeSet::ALL.shapes().len(), 6);
+        assert_eq!(QueryShapeSet::EMPTY.shapes().len(), 0);
+        assert!(QueryShapeSet::PAIRWISE.contains(QueryShape::EdgeSet));
+        assert!(!QueryShapeSet::PAIRWISE.contains(QueryShape::SingleSource));
+        assert!(QueryShapeSet::EDGE_ONLY.contains(QueryShape::EdgeSet));
+        assert!(!QueryShapeSet::EDGE_ONLY.contains(QueryShape::Pair));
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(QueryShape::SingleSource.to_string(), "single-source");
+        assert_eq!(QueryShape::EdgeSet.to_string(), "edge-set");
+    }
+}

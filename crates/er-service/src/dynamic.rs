@@ -1,0 +1,184 @@
+//! The query plane over an evolving graph.
+//!
+//! [`DynamicEr`] (er-index) manages an editable edge set with lazily rebuilt
+//! spectral preprocessing; [`DynamicResistanceService`] puts a
+//! [`ResistanceService`] in front of it, rebuilding the service — planner
+//! state, cache tier, memoized backends — once per mutation burst. Queries
+//! between mutations reuse everything; the first query after a mutation pays
+//! the rebuild once, exactly like the snapshot underneath.
+
+use crate::error::ServiceError;
+use crate::query::{Query, Request};
+use crate::response::Response;
+use crate::service::ResistanceService;
+use er_core::ApproxConfig;
+use er_graph::{Graph, NodeId};
+use er_index::DynamicEr;
+
+/// A [`ResistanceService`] over an editable graph.
+///
+/// ```
+/// use er_service::DynamicResistanceService;
+/// use er_graph::generators;
+///
+/// let graph = generators::social_network_like(200, 8.0, 3).unwrap();
+/// let mut dynamic = DynamicResistanceService::from_graph(&graph, Default::default());
+/// let before = dynamic.resistance(0, 100).unwrap();
+/// dynamic.insert_edge(0, 100).unwrap();
+/// let after = dynamic.resistance(0, 100).unwrap();
+/// assert!(after < before, "Rayleigh monotonicity");
+/// ```
+pub struct DynamicResistanceService {
+    dynamic: DynamicEr,
+    config: ApproxConfig,
+    /// The service for snapshot `version`, rebuilt when the version moves.
+    service: Option<(u64, ResistanceService)>,
+}
+
+impl DynamicResistanceService {
+    /// Creates a dynamic service from an initial edge list.
+    pub fn new(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+        config: ApproxConfig,
+    ) -> Self {
+        DynamicResistanceService {
+            dynamic: DynamicEr::new(num_nodes, edges, config),
+            config,
+            service: None,
+        }
+    }
+
+    /// Creates a dynamic service seeded from an existing static graph.
+    pub fn from_graph(graph: &Graph, config: ApproxConfig) -> Self {
+        Self::new(graph.num_nodes(), graph.edges(), config)
+    }
+
+    /// Inserts the undirected edge `{u, v}` (see [`DynamicEr::insert_edge`]).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, ServiceError> {
+        Ok(self.dynamic.insert_edge(u, v)?)
+    }
+
+    /// Removes the undirected edge `{u, v}` (see [`DynamicEr::remove_edge`]).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, ServiceError> {
+        Ok(self.dynamic.remove_edge(u, v)?)
+    }
+
+    /// Whether the undirected edge `{u, v}` is currently present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.dynamic.has_edge(u, v)
+    }
+
+    /// Number of undirected edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.dynamic.num_edges()
+    }
+
+    /// Monotone counter bumped by every successful mutation.
+    pub fn version(&self) -> u64 {
+        self.dynamic.version()
+    }
+
+    /// How many service rebuilds queries have paid for so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.dynamic.rebuilds()
+    }
+
+    /// The service for the current snapshot, rebuilding it if a mutation
+    /// happened since the last query.
+    pub fn service(&mut self) -> Result<&mut ResistanceService, ServiceError> {
+        let version = self.dynamic.version();
+        let stale = !matches!(&self.service, Some((v, _)) if *v == version);
+        if stale {
+            let context = self.dynamic.context()?;
+            self.service = Some((
+                version,
+                ResistanceService::from_context(context, self.config),
+            ));
+        }
+        Ok(&mut self.service.as_mut().expect("rebuilt above").1)
+    }
+
+    /// Submits a request against the current snapshot.
+    pub fn submit(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        self.service()?.submit(request)
+    }
+
+    /// One ε-approximate pair query at the configured accuracy.
+    pub fn resistance(&mut self, s: NodeId, t: NodeId) -> Result<f64, ServiceError> {
+        let accuracy = self.config.into();
+        Ok(self
+            .submit(&Request::new(Query::pair(s, t)).with_accuracy(accuracy))?
+            .value())
+    }
+
+    /// Exact resistance on the current snapshot (CG solve), for callers that
+    /// want ground truth after a mutation burst.
+    pub fn resistance_exact(&mut self, s: NodeId, t: NodeId) -> Result<f64, ServiceError> {
+        Ok(self.dynamic.resistance_exact(s, t)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    fn config() -> ApproxConfig {
+        ApproxConfig {
+            epsilon: 0.05,
+            ..ApproxConfig::default()
+        }
+    }
+
+    #[test]
+    fn approximate_queries_track_exact_values_across_mutations() {
+        let g = generators::social_network_like(300, 10.0, 7).unwrap();
+        let mut dynamic = DynamicResistanceService::from_graph(&g, config());
+        let approx = dynamic.resistance(5, 200).unwrap();
+        let exact = dynamic.resistance_exact(5, 200).unwrap();
+        assert!((approx - exact).abs() <= config().epsilon);
+        dynamic.insert_edge(5, 200).unwrap();
+        dynamic.insert_edge(5, 201).unwrap();
+        let approx = dynamic.resistance(5, 200).unwrap();
+        let exact = dynamic.resistance_exact(5, 200).unwrap();
+        assert!((approx - exact).abs() <= config().epsilon);
+        assert!(dynamic.has_edge(5, 201));
+    }
+
+    #[test]
+    fn service_is_rebuilt_once_per_mutation_burst() {
+        let g = generators::complete(30).unwrap();
+        let mut dynamic = DynamicResistanceService::from_graph(&g, config());
+        dynamic.resistance(0, 5).unwrap();
+        let first = dynamic.version();
+        // Same version: the service (and its cache) is reused — a repeat of
+        // the query is a cache hit, not a recomputation.
+        let repeat = dynamic
+            .submit(&Request::new(Query::pair(0, 5)).with_accuracy(config().into()))
+            .unwrap();
+        assert_eq!(repeat.backend_calls, 0, "served from the cache tier");
+        dynamic.insert_edge(0, 9).unwrap_or(false);
+        dynamic.remove_edge(2, 3).unwrap();
+        assert!(dynamic.version() > first);
+        // After the burst, the next query rebuilds and recomputes.
+        let fresh = dynamic
+            .submit(&Request::new(Query::pair(0, 5)).with_accuracy(config().into()))
+            .unwrap();
+        assert_eq!(fresh.backend_calls, 1, "cache was dropped with the rebuild");
+    }
+
+    #[test]
+    fn mutations_change_answers_in_the_right_direction() {
+        let g = generators::social_network_like(200, 8.0, 1).unwrap();
+        let mut dynamic = DynamicResistanceService::from_graph(&g, config());
+        let before = dynamic.resistance(3, 150).unwrap();
+        dynamic.insert_edge(3, 150).unwrap();
+        let after = dynamic.resistance(3, 150).unwrap();
+        assert!(after < before + config().epsilon);
+        assert!(
+            after <= 1.0 + config().epsilon,
+            "edge endpoints have r <= 1"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Error type of the query plane.
+
+use crate::capability::QueryShape;
+use er_core::EstimatorError;
+use er_index::IndexError;
+use std::fmt;
+
+/// Errors produced while planning or answering a request.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A wrapped estimator failed (invalid node, budget exceeded, …).
+    Estimator(EstimatorError),
+    /// The index tier failed (diagonal build, column solve, …).
+    Index(IndexError),
+    /// The requested (or planned) backend cannot answer this query shape.
+    UnsupportedShape {
+        /// Backend at fault.
+        backend: &'static str,
+        /// The query shape it was asked to answer.
+        shape: QueryShape,
+    },
+    /// The request itself is malformed (non-edge in an edge set, k = 0, …).
+    InvalidRequest {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Estimator(e) => write!(f, "estimator error: {e}"),
+            ServiceError::Index(e) => write!(f, "index error: {e}"),
+            ServiceError::UnsupportedShape { backend, shape } => {
+                write!(f, "backend {backend} cannot answer {shape} queries")
+            }
+            ServiceError::InvalidRequest { message } => {
+                write!(f, "invalid request: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Estimator(e) => Some(e),
+            ServiceError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EstimatorError> for ServiceError {
+    fn from(e: EstimatorError) -> Self {
+        ServiceError::Estimator(e)
+    }
+}
+
+impl From<IndexError> for ServiceError {
+    fn from(e: IndexError) -> Self {
+        ServiceError::Index(e)
+    }
+}
+
+/// Callers that still speak [`EstimatorError`] (the er-apps pipelines) can
+/// funnel service failures through their existing signatures.
+impl From<ServiceError> for EstimatorError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Estimator(inner) => inner,
+            ServiceError::Index(IndexError::Estimator(inner)) => inner,
+            ServiceError::Index(IndexError::Graph(g)) => EstimatorError::Graph(g),
+            other => EstimatorError::InvalidParameter {
+                name: "service",
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Callers that still speak [`IndexError`] can likewise funnel service
+/// failures through their existing signatures.
+impl From<ServiceError> for IndexError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Index(inner) => inner,
+            ServiceError::Estimator(inner) => IndexError::Estimator(inner),
+            other => IndexError::InvalidConfiguration {
+                name: "service",
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::GraphError;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let e: ServiceError = EstimatorError::NotAnEdge { s: 1, t: 2 }.into();
+        assert!(e.to_string().contains("not an edge"));
+        let i: ServiceError = IndexError::Graph(GraphError::NotConnected).into();
+        assert!(i.to_string().contains("connected"));
+        let u = ServiceError::UnsupportedShape {
+            backend: "HAY",
+            shape: QueryShape::SingleSource,
+        };
+        assert!(u.to_string().contains("HAY"));
+        assert!(u.to_string().contains("single-source"));
+        let b = ServiceError::InvalidRequest {
+            message: "k must be positive".into(),
+        };
+        assert!(b.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn conversions_round_trip_into_legacy_error_types() {
+        use std::error::Error;
+        let e = ServiceError::Estimator(EstimatorError::NotAnEdge { s: 0, t: 1 });
+        assert!(e.source().is_some());
+        let back: EstimatorError = e.into();
+        assert!(matches!(back, EstimatorError::NotAnEdge { .. }));
+
+        let nested = ServiceError::Index(IndexError::Estimator(EstimatorError::NotAnEdge {
+            s: 0,
+            t: 1,
+        }));
+        let back: EstimatorError = nested.into();
+        assert!(matches!(back, EstimatorError::NotAnEdge { .. }));
+
+        let shape = ServiceError::UnsupportedShape {
+            backend: "MC2",
+            shape: QueryShape::Pair,
+        };
+        let back: IndexError = shape.into();
+        assert!(matches!(back, IndexError::InvalidConfiguration { .. }));
+    }
+}

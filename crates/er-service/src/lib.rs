@@ -1,0 +1,69 @@
+//! Unified query plane for effective-resistance estimation.
+//!
+//! The paper (Yang & Tang, SIGMOD 2023) contributes a *family* of
+//! ε-approximate PER estimators whose relative cost depends on the query
+//! shape, the accuracy target and the graph — its Section 5 harness picks a
+//! method per `(ε, workload)` point. This crate turns that observation into
+//! an API: callers submit typed requests to one front door, the
+//! [`ResistanceService`], and a [`Planner`] routes each request to the
+//! cheapest capable [`Backend`].
+//!
+//! * [`Query`] — what is asked: `Pair`, `Batch`, `SingleSource`, `Diagonal`,
+//!   `EdgeSet` or `TopK`.
+//! * [`Accuracy`] — how precisely: `Epsilon { eps, delta }` (Definition 2.2),
+//!   `WalkBudget(n)` or `Exact`.
+//! * [`Response`] — the values plus the chosen backend's name and a
+//!   [`CostBreakdown`](er_core::CostBreakdown) of the work performed.
+//!
+//! # Example
+//!
+//! ```
+//! use er_service::{Accuracy, BackendChoice, Query, Request, ResistanceService};
+//! use er_graph::generators;
+//!
+//! let graph = generators::social_network_like(500, 10.0, 7).unwrap();
+//! let mut service = ResistanceService::new(&graph).unwrap();
+//!
+//! // The planner picks the backend: small graph + ε target ⇒ exact CG.
+//! let response = service.submit(&Query::pair(0, 250).into()).unwrap();
+//! assert_eq!(response.backend, "EXACT-CG");
+//!
+//! // Callers can force a backend (here: the paper's GEER) and inspect cost.
+//! let forced = Request::new(Query::pair(0, 250))
+//!     .with_accuracy(Accuracy::epsilon(0.2))
+//!     .with_backend(BackendChoice::Geer);
+//! let response = service.submit(&forced).unwrap();
+//! assert_eq!(response.backend, "GEER");
+//! assert!(response.cost.total_operations() > 0);
+//! ```
+//!
+//! # Determinism
+//!
+//! Every randomized backend answers through per-item estimator forks
+//! ([`er_core::ForkableEstimator`]) whose RNG streams are assigned from the
+//! request itself, never from scheduling order: for a fixed seed and request
+//! sequence, responses are bit-identical at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod capability;
+pub mod dynamic;
+pub mod error;
+pub mod planner;
+pub mod query;
+pub mod response;
+pub mod service;
+
+pub use backend::{
+    Backend, EstimatorBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan, PlanItem,
+    StreamPlan,
+};
+pub use capability::{QueryShape, QueryShapeSet};
+pub use dynamic::DynamicResistanceService;
+pub use error::ServiceError;
+pub use planner::{dominant_source_count, BackendChoice, Planner, PlannerState};
+pub use query::{Accuracy, Query, Request};
+pub use response::Response;
+pub use service::ResistanceService;

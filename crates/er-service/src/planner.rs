@@ -1,0 +1,418 @@
+//! Capability- and cost-based query planning.
+//!
+//! The paper's Section 5 evaluation shows no single estimator dominates: the
+//! cheapest method depends on the query shape (arbitrary pair vs. edge vs.
+//! one-source-many-targets), the accuracy target and the graph size. The
+//! [`Planner`] encodes those trade-offs as explicit, testable routing rules;
+//! [`ResistanceService`](crate::ResistanceService) consults it per request
+//! unless the caller forces a backend.
+//!
+//! Routing rules (first match wins):
+//!
+//! 1. Source-shaped queries (`SingleSource`, `Diagonal`, `TopK`) go to the
+//!    column-based [`ErIndex`](er_index::ErIndex) backend — one Laplacian
+//!    solve answers a whole row, which no pairwise sampler can match.
+//! 2. `Accuracy::Exact` pair queries go to the index when it is already
+//!    built (marginal cost: one cached column) or when the batch re-uses one
+//!    source heavily; otherwise to EXACT-CG, one conjugate-gradient solve per
+//!    pair with no preprocessing.
+//! 3. `Accuracy::Epsilon` on a graph at or below
+//!    [`Planner::exact_node_threshold`] goes to EXACT-CG: below that size a
+//!    CG solve undercuts any sampling scheme, and exact answers trivially
+//!    satisfy every ε.
+//! 4. `Accuracy::Epsilon` batches that re-use one source at least
+//!    [`Planner::repeated_source_threshold`] times go to the index once it
+//!    exists (repeated-source workloads amortise its columns); edge sets go
+//!    to the batch-native HAY backend (one pool of spanning trees scores the
+//!    whole set); everything else goes to GEER, which applies the paper's
+//!    Eq. 17 walk-vs-SpMV switch rule per pair.
+//! 5. `Accuracy::WalkBudget` requests explicitly ask for budgeted sampling:
+//!    edge sets go to HAY (budget = trees), pairs to AMC (budget = walks).
+
+use crate::capability::{QueryShape, QueryShapeSet};
+use crate::query::{Accuracy, Query};
+use er_graph::NodeId;
+use std::collections::HashMap;
+
+/// The backends the service can route to. The first ten wrap the er-core
+/// estimators one-to-one; the last two wrap the er-index structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// GEER (Algorithm 3) — SMM prefix + AMC tail with the Eq. 17 switch.
+    Geer,
+    /// AMC (Algorithm 1) — adaptive Monte Carlo with Bernstein stopping.
+    Amc,
+    /// SMM (Algorithm 2) — deterministic sparse matrix–vector iterations.
+    Smm,
+    /// TP — truncated-path Monte Carlo.
+    Tp,
+    /// TPC — truncated-path with collision counting.
+    Tpc,
+    /// RP — random-projection sketch.
+    Rp,
+    /// MC — commute-time / escape-probability sampling.
+    Mc,
+    /// MC2 — edge-query Monte Carlo.
+    Mc2,
+    /// HAY — spanning-tree sampling, batch-native over edge sets.
+    Hay,
+    /// EXACT — dense Laplacian pseudo-inverse (node-capped).
+    ExactDense,
+    /// EXACT-CG — one conjugate-gradient Laplacian solve per query.
+    ExactCg,
+    /// The column-based [`ErIndex`](er_index::ErIndex): single-source rows,
+    /// pseudo-inverse diagonal, nearest-neighbour search, exact pairs.
+    Index,
+    /// Landmark triangle-inequality bounds (point estimate = bound midpoint).
+    Landmark,
+}
+
+impl BackendChoice {
+    /// Short stable display name (matches `Backend::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendChoice::Geer => "GEER",
+            BackendChoice::Amc => "AMC",
+            BackendChoice::Smm => "SMM",
+            BackendChoice::Tp => "TP",
+            BackendChoice::Tpc => "TPC",
+            BackendChoice::Rp => "RP",
+            BackendChoice::Mc => "MC",
+            BackendChoice::Mc2 => "MC2",
+            BackendChoice::Hay => "HAY",
+            BackendChoice::ExactDense => "EXACT",
+            BackendChoice::ExactCg => "EXACT-CG",
+            BackendChoice::Index => "INDEX",
+            BackendChoice::Landmark => "LANDMARK",
+        }
+    }
+
+    /// The query shapes this backend can answer — the static policy behind
+    /// each instance's [`Backend::capabilities`](crate::Backend::capabilities),
+    /// so the service can reject a mismatched request before paying any
+    /// backend construction cost.
+    pub fn capabilities(&self) -> QueryShapeSet {
+        match self {
+            BackendChoice::Mc2 | BackendChoice::Hay => QueryShapeSet::EDGE_ONLY,
+            BackendChoice::Index => QueryShapeSet::ALL,
+            _ => QueryShapeSet::PAIRWISE,
+        }
+    }
+
+    /// Parses the names accepted by the CLI's `--backend` flag
+    /// (case-insensitive, `-`/`_` equivalent).
+    pub fn parse(raw: &str) -> Option<BackendChoice> {
+        let canon = raw.to_ascii_lowercase().replace('_', "-");
+        Some(match canon.as_str() {
+            "geer" => BackendChoice::Geer,
+            "amc" => BackendChoice::Amc,
+            "smm" => BackendChoice::Smm,
+            "tp" => BackendChoice::Tp,
+            "tpc" => BackendChoice::Tpc,
+            "rp" => BackendChoice::Rp,
+            "mc" => BackendChoice::Mc,
+            "mc2" => BackendChoice::Mc2,
+            "hay" => BackendChoice::Hay,
+            "exact" | "exact-dense" => BackendChoice::ExactDense,
+            "exact-cg" | "cg" => BackendChoice::ExactCg,
+            "index" => BackendChoice::Index,
+            "landmark" => BackendChoice::Landmark,
+            _ => return None,
+        })
+    }
+}
+
+/// What the planner can observe about the service when routing (planning is
+/// stateful: an already-built index changes the cheapest choice).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerState {
+    /// Whether the service has already paid for its [`ErIndex`] tier
+    /// (diagonal + column cache), making index answers marginally free.
+    ///
+    /// [`ErIndex`]: er_index::ErIndex
+    pub index_ready: bool,
+}
+
+/// The routing policy. All thresholds are overridable; the defaults are
+/// tuned for the CG/sampling cost crossover observed in the benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Planner {
+    /// At or below this many nodes, a CG solve per query is cheaper than any
+    /// sampling scheme, so ε-accuracy requests are answered exactly.
+    pub exact_node_threshold: usize,
+    /// A batch whose most frequent endpoint appears in at least this many
+    /// distinct pairs counts as a repeated-source workload.
+    pub repeated_source_threshold: usize,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            exact_node_threshold: 1024,
+            repeated_source_threshold: 16,
+        }
+    }
+}
+
+impl Planner {
+    /// Routes a query to the cheapest capable backend under the given
+    /// accuracy target. `n` is the graph's node count.
+    ///
+    /// The decision is a pure function of its arguments, so the routing
+    /// table is unit-testable without building a service.
+    pub fn route(
+        &self,
+        query: &Query,
+        accuracy: Accuracy,
+        n: usize,
+        state: PlannerState,
+    ) -> BackendChoice {
+        match query.shape() {
+            QueryShape::SingleSource | QueryShape::Diagonal | QueryShape::TopK => {
+                BackendChoice::Index
+            }
+            shape @ (QueryShape::Pair | QueryShape::Batch | QueryShape::EdgeSet) => {
+                let repeated_source =
+                    dominant_source_count(&query.pairs()) >= self.repeated_source_threshold;
+                match accuracy {
+                    Accuracy::Exact => {
+                        // The index is only worth *building* (n diagonal
+                        // solves) on small graphs; on large graphs it is used
+                        // when already paid for, and EXACT-CG (one solve per
+                        // pair) wins otherwise.
+                        if state.index_ready || (repeated_source && n <= self.exact_node_threshold)
+                        {
+                            BackendChoice::Index
+                        } else {
+                            BackendChoice::ExactCg
+                        }
+                    }
+                    Accuracy::Epsilon { .. } => {
+                        if state.index_ready && repeated_source {
+                            BackendChoice::Index
+                        } else if n <= self.exact_node_threshold {
+                            if repeated_source {
+                                BackendChoice::Index
+                            } else {
+                                BackendChoice::ExactCg
+                            }
+                        } else if shape == QueryShape::EdgeSet {
+                            BackendChoice::Hay
+                        } else {
+                            BackendChoice::Geer
+                        }
+                    }
+                    Accuracy::WalkBudget(_) => {
+                        if shape == QueryShape::EdgeSet {
+                            BackendChoice::Hay
+                        } else {
+                            BackendChoice::Amc
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The number of distinct (unordered, non-self) pairs in which the most
+/// frequent endpoint participates — the planner's repeated-source signal.
+pub fn dominant_source_count(pairs: &[(NodeId, NodeId)]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for &(s, t) in pairs {
+        if s == t {
+            continue;
+        }
+        let key = (s.min(t), s.max(t));
+        if seen.insert(key) {
+            *counts.entry(key.0).or_insert(0) += 1;
+            *counts.entry(key.1).or_insert(0) += 1;
+        }
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> Planner {
+        Planner::default()
+    }
+
+    #[test]
+    fn source_shapes_always_go_to_the_index() {
+        let p = planner();
+        for accuracy in [
+            Accuracy::default(),
+            Accuracy::Exact,
+            Accuracy::WalkBudget(10),
+        ] {
+            for query in [Query::single_source(0), Query::Diagonal, Query::top_k(0, 5)] {
+                assert_eq!(
+                    p.route(&query, accuracy, 1_000_000, PlannerState::default()),
+                    BackendChoice::Index,
+                    "{query:?} under {accuracy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_graphs_are_answered_exactly_even_for_epsilon_requests() {
+        let p = planner();
+        let q = Query::pair(0, 1);
+        assert_eq!(
+            p.route(&q, Accuracy::default(), 500, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        assert_eq!(
+            p.route(&q, Accuracy::default(), 100_000, PlannerState::default()),
+            BackendChoice::Geer,
+            "above the threshold sampling wins"
+        );
+    }
+
+    #[test]
+    fn edge_sets_route_to_hay_and_budgets_to_amc() {
+        let p = planner();
+        let edges = Query::edge_set(vec![(0, 1), (1, 2)]);
+        assert_eq!(
+            p.route(
+                &edges,
+                Accuracy::default(),
+                100_000,
+                PlannerState::default()
+            ),
+            BackendChoice::Hay
+        );
+        assert_eq!(
+            p.route(
+                &edges,
+                Accuracy::WalkBudget(100),
+                100_000,
+                PlannerState::default()
+            ),
+            BackendChoice::Hay
+        );
+        let pair = Query::pair(0, 9);
+        assert_eq!(
+            p.route(
+                &pair,
+                Accuracy::WalkBudget(100),
+                100_000,
+                PlannerState::default()
+            ),
+            BackendChoice::Amc
+        );
+    }
+
+    #[test]
+    fn repeated_source_batches_prefer_the_index() {
+        let p = planner();
+        let pairs: Vec<_> = (1..40).map(|t| (0usize, t)).collect();
+        let batch = Query::batch(pairs);
+        // Small graph: the index is worth building outright.
+        assert_eq!(
+            p.route(&batch, Accuracy::default(), 500, PlannerState::default()),
+            BackendChoice::Index
+        );
+        // Large graph, index not built: GEER (building a full diagonal for
+        // one batch would be n solves).
+        assert_eq!(
+            p.route(
+                &batch,
+                Accuracy::default(),
+                100_000,
+                PlannerState::default()
+            ),
+            BackendChoice::Geer
+        );
+        // Large graph, index already paid for: re-use it.
+        assert_eq!(
+            p.route(
+                &batch,
+                Accuracy::default(),
+                100_000,
+                PlannerState { index_ready: true }
+            ),
+            BackendChoice::Index
+        );
+    }
+
+    #[test]
+    fn exact_accuracy_routes_to_cg_or_index() {
+        let p = planner();
+        let q = Query::pair(0, 1);
+        assert_eq!(
+            p.route(&q, Accuracy::Exact, 100_000, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        assert_eq!(
+            p.route(
+                &q,
+                Accuracy::Exact,
+                100_000,
+                PlannerState { index_ready: true }
+            ),
+            BackendChoice::Index
+        );
+        // A repeated-source exact batch justifies *building* the index only
+        // on small graphs: on a large graph without an index, per-pair CG
+        // (16 solves) beats the n-solve diagonal build.
+        let batch = Query::batch((1..40).map(|t| (0usize, t)).collect());
+        assert_eq!(
+            p.route(&batch, Accuracy::Exact, 500, PlannerState::default()),
+            BackendChoice::Index
+        );
+        assert_eq!(
+            p.route(&batch, Accuracy::Exact, 100_000, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        assert_eq!(
+            p.route(
+                &batch,
+                Accuracy::Exact,
+                100_000,
+                PlannerState { index_ready: true }
+            ),
+            BackendChoice::Index
+        );
+    }
+
+    #[test]
+    fn dominant_source_ignores_duplicates_and_self_pairs() {
+        assert_eq!(dominant_source_count(&[]), 0);
+        assert_eq!(dominant_source_count(&[(3, 3)]), 0);
+        // (0,1) repeated and reversed counts once; 0 appears in two distinct pairs.
+        assert_eq!(dominant_source_count(&[(0, 1), (1, 0), (0, 2), (5, 5)]), 2);
+    }
+
+    #[test]
+    fn backend_names_parse_back() {
+        for choice in [
+            BackendChoice::Geer,
+            BackendChoice::Amc,
+            BackendChoice::Smm,
+            BackendChoice::Tp,
+            BackendChoice::Tpc,
+            BackendChoice::Rp,
+            BackendChoice::Mc,
+            BackendChoice::Mc2,
+            BackendChoice::Hay,
+            BackendChoice::ExactDense,
+            BackendChoice::ExactCg,
+            BackendChoice::Index,
+            BackendChoice::Landmark,
+        ] {
+            assert_eq!(
+                BackendChoice::parse(choice.name()),
+                Some(choice),
+                "{choice:?}"
+            );
+        }
+        assert_eq!(BackendChoice::parse("cg"), Some(BackendChoice::ExactCg));
+        assert_eq!(BackendChoice::parse("bogus"), None);
+    }
+}

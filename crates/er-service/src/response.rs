@@ -1,0 +1,86 @@
+//! The answer to a request.
+
+use er_core::CostBreakdown;
+use er_graph::NodeId;
+
+/// An answered request: the values, which backend produced them and what the
+/// work cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The resistance values, laid out by query shape:
+    ///
+    /// * `Pair` — one value.
+    /// * `Batch` / `EdgeSet` — one value per input pair, in input order.
+    /// * `SingleSource` — `r(source, v)` indexed by node id `v`.
+    /// * `Diagonal` — `L†(v, v)` indexed by node id `v`.
+    /// * `TopK` — one value per returned neighbour, aligned with
+    ///   [`Response::nodes`], closest first.
+    pub values: Vec<f64>,
+    /// For `TopK` responses, the neighbour ids aligned with `values`; empty
+    /// for every other shape.
+    pub nodes: Vec<NodeId>,
+    /// Short stable name of the backend that answered ("GEER", "EXACT-CG",
+    /// "INDEX", …) — the observable outcome of planning.
+    pub backend: &'static str,
+    /// Work performed, broken down by primitive (walks, matvec ops, solver
+    /// iterations, spanning trees).
+    pub cost: CostBreakdown,
+    /// Pair queries served from the service's cache tier (including repeats
+    /// inside this request).
+    pub cache_hits: u64,
+    /// Distinct pair queries the backend actually answered.
+    pub backend_calls: u64,
+    /// Self-pair queries answered as 0 without backend or cache work.
+    pub trivial_queries: u64,
+}
+
+impl Response {
+    /// The single value of a `Pair` response (first value otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the response carries no values (empty batch).
+    pub fn value(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Fraction of non-trivial pair queries served from the cache.
+    pub fn cache_savings(&self) -> f64 {
+        let total = self.cache_hits + self.backend_calls;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_and_savings() {
+        let response = Response {
+            values: vec![0.25, 0.5],
+            nodes: vec![],
+            backend: "GEER",
+            cost: CostBreakdown::default(),
+            cache_hits: 1,
+            backend_calls: 1,
+            trivial_queries: 0,
+        };
+        assert_eq!(response.value(), 0.25);
+        assert!((response.cache_savings() - 0.5).abs() < 1e-12);
+        let empty = Response {
+            values: vec![],
+            nodes: vec![],
+            backend: "INDEX",
+            cost: CostBreakdown::default(),
+            cache_hits: 0,
+            backend_calls: 0,
+            trivial_queries: 0,
+        };
+        assert_eq!(empty.cache_savings(), 0.0);
+    }
+}

@@ -1,0 +1,739 @@
+//! The `ResistanceService` front door.
+
+use crate::backend::{
+    Backend, EstimatorBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan, PlanItem,
+    StreamPlan,
+};
+use crate::capability::QueryShape;
+use crate::error::ServiceError;
+use crate::planner::{BackendChoice, Planner, PlannerState};
+use crate::query::{Accuracy, Query, Request};
+use crate::response::Response;
+use er_core::{Amc, ApproxConfig, Exact, Geer, GraphContext, Mc, Mc2, Rp, Smm, Tp, Tpc};
+use er_graph::{IntoGraphArc, NodeId};
+use er_index::{DiagonalStrategy, ErIndex, LandmarkIndex, LandmarkSelection, QueryCache};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache entries are only reused for requests in the same class: the same
+/// accuracy (a value produced at ε = 0.5 must not serve an ε = 0.01 or
+/// exact request) *and* the same backend override (a request that forces
+/// AMC must be answered by AMC, not by a value GEER cached earlier —
+/// planner-routed requests share the `backend: None` class).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheClass {
+    accuracy: AccuracyClass,
+    backend: Option<BackendChoice>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum AccuracyClass {
+    Exact,
+    Epsilon { eps_bits: u64, delta_bits: u64 },
+    Budget(u64),
+}
+
+impl CacheClass {
+    fn of(accuracy: Accuracy, backend: Option<BackendChoice>) -> CacheClass {
+        let accuracy = match accuracy {
+            Accuracy::Exact => AccuracyClass::Exact,
+            Accuracy::Epsilon { eps, delta } => AccuracyClass::Epsilon {
+                eps_bits: eps.to_bits(),
+                delta_bits: delta.to_bits(),
+            },
+            Accuracy::WalkBudget(b) => AccuracyClass::Budget(b),
+        };
+        CacheClass { accuracy, backend }
+    }
+}
+
+/// The unified query plane: one front door for every estimator.
+///
+/// Callers describe *what* they want — a typed [`Query`] plus an
+/// [`Accuracy`] target — and the service plans *how*: a capability check, a
+/// cache-tier pass, a routing decision by the [`Planner`], and a batch-native
+/// [`Backend`] answer built on per-stream estimator forks (bit-identical at
+/// any thread count for a fixed seed).
+///
+/// ```
+/// use er_service::{Accuracy, Query, Request, ResistanceService};
+/// use er_graph::generators;
+///
+/// let graph = generators::social_network_like(400, 10.0, 7).unwrap();
+/// let mut service = ResistanceService::new(&graph).unwrap();
+///
+/// let request = Request::new(Query::pair(0, 200)).with_accuracy(Accuracy::epsilon(0.1));
+/// let response = service.submit(&request).unwrap();
+/// assert!(response.value() > 0.0);
+/// // The response names the backend the planner picked and itemises cost.
+/// assert!(!response.backend.is_empty());
+/// ```
+pub struct ResistanceService {
+    context: GraphContext,
+    config: ApproxConfig,
+    planner: Planner,
+    cache_capacity: usize,
+    caches: HashMap<CacheClass, QueryCache>,
+    landmark_count: usize,
+    // Memoized heavy backends (cheap ones are rebuilt per request).
+    index: Option<Arc<IndexBackend>>,
+    landmark: Option<Arc<LandmarkBackend>>,
+    exact_dense: Option<Arc<EstimatorBackend<Exact>>>,
+    /// RP's sketch is ε/δ-specific, so it is memoized per operating point
+    /// (`(eps_bits, delta_bits)` of the effective config).
+    rp: Option<(RpKey, Arc<EstimatorBackend<Rp>>)>,
+}
+
+/// `(eps_bits, delta_bits)` identifying an RP sketch's operating point.
+type RpKey = (u64, u64);
+
+impl ResistanceService {
+    /// Default capacity of each accuracy-class cache.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+    /// Default number of landmarks for the LANDMARK backend.
+    pub const DEFAULT_LANDMARKS: usize = 16;
+
+    /// Builds a service over `graph` with [`ApproxConfig::default`] (runs the
+    /// spectral preprocessing once).
+    pub fn new(graph: impl IntoGraphArc) -> Result<Self, ServiceError> {
+        Self::with_config(graph, ApproxConfig::default())
+    }
+
+    /// Builds a service with an explicit estimator configuration (seed,
+    /// default ε/δ/τ, worker threads).
+    pub fn with_config(
+        graph: impl IntoGraphArc,
+        config: ApproxConfig,
+    ) -> Result<Self, ServiceError> {
+        let context = GraphContext::preprocess(graph)?;
+        Ok(Self::from_context(context, config))
+    }
+
+    /// Builds a service over an already-preprocessed [`GraphContext`].
+    pub fn from_context(context: GraphContext, config: ApproxConfig) -> Self {
+        ResistanceService {
+            context,
+            config,
+            planner: Planner::default(),
+            cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
+            caches: HashMap::new(),
+            landmark_count: Self::DEFAULT_LANDMARKS,
+            index: None,
+            landmark: None,
+            exact_dense: None,
+            rp: None,
+        }
+    }
+
+    /// Overrides the routing policy.
+    #[must_use]
+    pub fn with_planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Overrides the per-accuracy-class cache capacity (entries).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the landmark count of the LANDMARK backend.
+    #[must_use]
+    pub fn with_landmarks(mut self, count: usize) -> Self {
+        self.landmark_count = count.max(1);
+        self
+    }
+
+    /// The preprocessed graph context the service answers over.
+    pub fn context(&self) -> &GraphContext {
+        &self.context
+    }
+
+    /// The service's estimator configuration.
+    pub fn config(&self) -> ApproxConfig {
+        self.config
+    }
+
+    /// The routing policy in force.
+    pub fn planner(&self) -> Planner {
+        self.planner
+    }
+
+    /// What the planner can currently observe about this service.
+    pub fn planner_state(&self) -> PlannerState {
+        PlannerState {
+            index_ready: self.index.is_some(),
+        }
+    }
+
+    /// The backend the service would use for `request` right now, without
+    /// doing any work. Honors the request's override.
+    pub fn plan(&self, request: &Request) -> BackendChoice {
+        request.backend.unwrap_or_else(|| {
+            self.planner.route(
+                &request.query,
+                request.accuracy,
+                self.context.graph().num_nodes(),
+                self.planner_state(),
+            )
+        })
+    }
+
+    /// Answers a request: validates it, consults the cache tier, routes to a
+    /// backend and assembles the response in request order.
+    ///
+    /// Determinism: for a fixed service seed and a fixed request sequence,
+    /// every response is bit-identical at any
+    /// [`threads`](ApproxConfig::threads) setting.
+    pub fn submit(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        match &request.query {
+            Query::Pair { .. } | Query::Batch { .. } | Query::EdgeSet { .. } => {
+                self.submit_pairs(request)
+            }
+            Query::SingleSource { source } => self.submit_source(request, *source, 0),
+            Query::TopK { source, k } => self.submit_source(request, *source, *k),
+            Query::Diagonal => self.submit_diagonal(request),
+        }
+    }
+
+    /// Convenience: one pair at the service's default accuracy.
+    pub fn resistance(&mut self, s: NodeId, t: NodeId) -> Result<f64, ServiceError> {
+        Ok(self.submit(&Request::new(Query::pair(s, t)))?.value())
+    }
+
+    /// Convenience: `r(source, v)` for every `v`, exactly.
+    pub fn single_source(&mut self, source: NodeId) -> Result<Vec<f64>, ServiceError> {
+        Ok(self
+            .submit(&Request::new(Query::single_source(source)))?
+            .values)
+    }
+
+    /// Convenience: the Kirchhoff index `Σ_{s<t} r(s, t) = n · tr(L†)`,
+    /// computed from a [`Query::Diagonal`] answer.
+    pub fn kirchhoff_index(&mut self) -> Result<f64, ServiceError> {
+        let diag = self.submit(&Request::new(Query::Diagonal))?;
+        let n = self.context.graph().num_nodes() as f64;
+        Ok(n * diag.values.iter().sum::<f64>())
+    }
+
+    fn submit_pairs(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let pairs = request.query.pairs().into_owned();
+        let shape = request.query.shape();
+        for &(s, t) in &pairs {
+            self.context.check_pair(s, t)?;
+            if shape == QueryShape::EdgeSet && s != t && !self.context.graph().has_edge(s, t) {
+                return Err(ServiceError::InvalidRequest {
+                    message: format!("({s}, {t}) is not an edge of the graph"),
+                });
+            }
+        }
+        let choice = self.plan(request);
+        // Static capability check, before any backend-construction or cache
+        // cost is paid.
+        if !choice.capabilities().contains(shape) {
+            return Err(ServiceError::UnsupportedShape {
+                backend: choice.name(),
+                shape,
+            });
+        }
+
+        // Cache tier: trivial self-pairs short-circuit, repeats (within the
+        // request and across requests in the same accuracy class) are cache
+        // hits, distinct misses become plan items. Each miss carries the RNG
+        // stream of its first position in the request, so stream assignment
+        // is independent of both cache state *within* the request and thread
+        // count.
+        let class = CacheClass::of(request.accuracy, request.backend);
+        let cache = self
+            .caches
+            .entry(class)
+            .or_insert_with(|| QueryCache::new(self.cache_capacity));
+        let mut values = vec![0.0; pairs.len()];
+        let mut cache_hits = 0u64;
+        let mut trivial_queries = 0u64;
+        let mut miss_index: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        let mut items: Vec<PlanItem> = Vec::new();
+        let mut streams: Vec<u64> = Vec::new();
+        let mut resolve: Vec<(usize, usize)> = Vec::new();
+        for (pos, &(s, t)) in pairs.iter().enumerate() {
+            if s == t {
+                trivial_queries += 1;
+                continue;
+            }
+            if let Some(v) = cache.get(s, t) {
+                cache_hits += 1;
+                values[pos] = v;
+                continue;
+            }
+            let key = (s.min(t), s.max(t));
+            match miss_index.get(&key) {
+                Some(&slot) => {
+                    cache_hits += 1;
+                    resolve.push((pos, slot));
+                }
+                None => {
+                    let slot = items.len();
+                    miss_index.insert(key, slot);
+                    items.push(PlanItem { s, t });
+                    streams.push(pos as u64);
+                    resolve.push((pos, slot));
+                }
+            }
+        }
+
+        // Fully cache-served requests never touch (or build) a backend.
+        if items.is_empty() {
+            return Ok(Response {
+                values,
+                nodes: Vec::new(),
+                backend: choice.name(),
+                cost: er_core::CostBreakdown::default(),
+                cache_hits,
+                backend_calls: 0,
+                trivial_queries,
+            });
+        }
+
+        let plan = Plan::for_items(shape, request.accuracy, items);
+        let stream_plan = StreamPlan {
+            streams,
+            threads: self.config.threads,
+        };
+        let backend = self.backend_instance(choice, request.accuracy)?;
+        let mut answer = backend.answer(&plan, &stream_plan)?;
+        let cache = self
+            .caches
+            .get_mut(&class)
+            .expect("cache created earlier in submit");
+        for (item, &value) in plan.items.iter().zip(&answer.values) {
+            cache.insert(item.s, item.t, value);
+        }
+        for (pos, slot) in resolve {
+            values[pos] = answer.values[slot];
+        }
+        answer.values = values;
+        answer.cache_hits = cache_hits;
+        answer.trivial_queries = trivial_queries;
+        Ok(answer)
+    }
+
+    fn submit_source(
+        &mut self,
+        request: &Request,
+        source: NodeId,
+        k: usize,
+    ) -> Result<Response, ServiceError> {
+        self.context.check_pair(source, source)?;
+        let shape = request.query.shape();
+        let choice = self.plan(request);
+        if !choice.capabilities().contains(shape) {
+            return Err(ServiceError::UnsupportedShape {
+                backend: choice.name(),
+                shape,
+            });
+        }
+        let backend = self.backend_instance(choice, request.accuracy)?;
+        let plan = Plan {
+            shape,
+            accuracy: request.accuracy,
+            items: vec![],
+            source: Some(source),
+            k,
+        };
+        let streams = StreamPlan {
+            streams: vec![],
+            threads: self.config.threads,
+        };
+        backend.answer(&plan, &streams)
+    }
+
+    fn submit_diagonal(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let choice = self.plan(request);
+        if !choice.capabilities().contains(QueryShape::Diagonal) {
+            return Err(ServiceError::UnsupportedShape {
+                backend: choice.name(),
+                shape: QueryShape::Diagonal,
+            });
+        }
+        let backend = self.backend_instance(choice, request.accuracy)?;
+        let plan = Plan {
+            shape: QueryShape::Diagonal,
+            accuracy: request.accuracy,
+            items: vec![],
+            source: None,
+            k: 0,
+        };
+        let streams = StreamPlan {
+            streams: vec![],
+            threads: self.config.threads,
+        };
+        backend.answer(&plan, &streams)
+    }
+
+    /// The estimator configuration a backend prototype should run with under
+    /// the given accuracy: ε-targets override the service's default ε/δ.
+    fn effective_config(&self, accuracy: Accuracy) -> ApproxConfig {
+        match accuracy {
+            Accuracy::Epsilon { eps, delta } => ApproxConfig {
+                epsilon: eps,
+                delta,
+                ..self.config
+            },
+            _ => self.config,
+        }
+    }
+
+    /// Builds (or fetches the memoized instance of) the backend for a
+    /// routing choice. The index, landmark, dense-exact and RP backends
+    /// carry expensive preprocessing and are memoized; the remaining
+    /// estimator prototypes are free to construct and are rebuilt per
+    /// request so they pick up the request's accuracy target.
+    fn backend_instance(
+        &mut self,
+        choice: BackendChoice,
+        accuracy: Accuracy,
+    ) -> Result<Arc<dyn Backend>, ServiceError> {
+        use crate::capability::QueryShapeSet;
+        let cfg = self.effective_config(accuracy);
+        let budget = match accuracy {
+            Accuracy::WalkBudget(b) => Some(b),
+            _ => None,
+        };
+        let ctx = &self.context;
+        Ok(match choice {
+            BackendChoice::Geer => {
+                let mut proto = Geer::new(ctx, cfg);
+                if let Some(b) = budget {
+                    proto = proto.with_walk_budget(b);
+                }
+                Arc::new(EstimatorBackend::new(
+                    proto,
+                    "GEER",
+                    QueryShapeSet::PAIRWISE,
+                ))
+            }
+            BackendChoice::Amc => {
+                let mut proto = Amc::new(ctx, cfg);
+                if let Some(b) = budget {
+                    proto = proto.with_walk_budget(b);
+                }
+                Arc::new(EstimatorBackend::new(proto, "AMC", QueryShapeSet::PAIRWISE))
+            }
+            BackendChoice::Smm => Arc::new(EstimatorBackend::new(
+                Smm::new(ctx, cfg),
+                "SMM",
+                QueryShapeSet::PAIRWISE,
+            )),
+            BackendChoice::Tp => {
+                let mut proto = Tp::new(ctx, cfg);
+                if let Some(b) = budget {
+                    proto = proto.with_walk_budget(b);
+                }
+                Arc::new(EstimatorBackend::new(proto, "TP", QueryShapeSet::PAIRWISE))
+            }
+            BackendChoice::Tpc => {
+                let mut proto = Tpc::new(ctx, cfg);
+                if let Some(b) = budget {
+                    proto = proto.with_walk_budget(b);
+                }
+                Arc::new(EstimatorBackend::new(proto, "TPC", QueryShapeSet::PAIRWISE))
+            }
+            BackendChoice::Rp => {
+                // RP pays its preprocessing (a multi-row sketch of Laplacian
+                // solves) up front; rebuild only when the operating point
+                // changes.
+                let key = (cfg.epsilon.to_bits(), cfg.delta.to_bits());
+                match &self.rp {
+                    Some((k, backend)) if *k == key => backend.clone(),
+                    _ => {
+                        let backend = Arc::new(EstimatorBackend::new(
+                            Rp::with_entry_budget(ctx, cfg, 10_000_000)?,
+                            "RP",
+                            QueryShapeSet::PAIRWISE,
+                        ));
+                        self.rp = Some((key, backend.clone()));
+                        backend
+                    }
+                }
+            }
+            BackendChoice::Mc => {
+                let mut proto = Mc::new(ctx, cfg);
+                if let Some(b) = budget {
+                    proto = proto.with_walk_budget(b);
+                }
+                Arc::new(EstimatorBackend::new(proto, "MC", QueryShapeSet::PAIRWISE))
+            }
+            BackendChoice::Mc2 => {
+                let mut proto = Mc2::new(ctx, cfg);
+                if let Some(b) = budget {
+                    proto = proto.with_walk_budget(b);
+                }
+                Arc::new(EstimatorBackend::new(
+                    proto,
+                    "MC2",
+                    QueryShapeSet::EDGE_ONLY,
+                ))
+            }
+            BackendChoice::Hay => Arc::new(HayBatchBackend::new(ctx, cfg)),
+            BackendChoice::ExactCg => Arc::new(EstimatorBackend::new(
+                Exact::with_solver(ctx),
+                "EXACT-CG",
+                QueryShapeSet::PAIRWISE,
+            )),
+            BackendChoice::ExactDense => {
+                if self.exact_dense.is_none() {
+                    self.exact_dense = Some(Arc::new(EstimatorBackend::new(
+                        Exact::new(ctx)?,
+                        "EXACT",
+                        QueryShapeSet::PAIRWISE,
+                    )));
+                }
+                self.exact_dense.clone().expect("memoized above")
+            }
+            BackendChoice::Index => {
+                if self.index.is_none() {
+                    let index = ErIndex::build_with_threads(
+                        self.context.graph_arc().clone(),
+                        DiagonalStrategy::ExactSolves,
+                        self.config.seed,
+                        self.config.threads,
+                    )?;
+                    self.index = Some(Arc::new(IndexBackend::new(index)));
+                }
+                self.index.clone().expect("memoized above")
+            }
+            BackendChoice::Landmark => {
+                if self.landmark.is_none() {
+                    let index = LandmarkIndex::build(
+                        self.context.graph(),
+                        self.landmark_count,
+                        LandmarkSelection::Mixed,
+                        self.config.seed,
+                    )?;
+                    self.landmark = Some(Arc::new(LandmarkBackend::new(index)));
+                }
+                self.landmark.clone().expect("memoized above")
+            }
+        })
+    }
+
+    /// Hit/miss statistics of the cache tier, summed over accuracy classes:
+    /// `(hits, misses, entries)`.
+    pub fn cache_stats(&self) -> (u64, u64, usize) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut entries = 0;
+        for cache in self.caches.values() {
+            hits += cache.hits();
+            misses += cache.misses();
+            entries += cache.len();
+        }
+        (hits, misses, entries)
+    }
+
+    /// Hint that upcoming requests are repeated-source workloads: builds the
+    /// index tier now so the planner can route to it immediately.
+    pub fn warm_index(&mut self) -> Result<(), ServiceError> {
+        self.backend_instance(BackendChoice::Index, Accuracy::Exact)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::generators;
+
+    fn service(n: usize) -> ResistanceService {
+        let g = generators::social_network_like(n, 8.0, 7).unwrap();
+        ResistanceService::new(&g).unwrap()
+    }
+
+    #[test]
+    fn pair_and_batch_round_trip_with_cache() {
+        let mut s = service(200);
+        let response = s
+            .submit(&Request::new(Query::batch(vec![
+                (0, 10),
+                (10, 0),
+                (3, 3),
+                (0, 10),
+            ])))
+            .unwrap();
+        assert_eq!(response.values.len(), 4);
+        assert_eq!(response.values[0], response.values[1]);
+        assert_eq!(response.values[2], 0.0);
+        assert_eq!(response.backend_calls, 1, "one distinct non-trivial pair");
+        assert_eq!(response.cache_hits, 2);
+        assert_eq!(response.trivial_queries, 1);
+        // Same pair again: served from the cache, zero backend calls.
+        let again = s.submit(&Request::new(Query::pair(10, 0))).unwrap();
+        assert_eq!(again.backend_calls, 0);
+        assert_eq!(again.cache_hits, 1);
+        assert_eq!(again.value(), response.values[0]);
+        // QueryCache-level statistics count only cross-request reuse: the
+        // in-batch repeats above were resolved by the dedup pass before
+        // reaching the cache, so exactly one lookup hit.
+        let (hits, _, entries) = s.cache_stats();
+        assert_eq!(hits, 1);
+        assert!(entries >= 1);
+    }
+
+    #[test]
+    fn accuracy_classes_do_not_share_cache_entries() {
+        let mut s = service(200);
+        let coarse = s
+            .submit(&Request::new(Query::pair(0, 50)).with_accuracy(Accuracy::epsilon(0.5)))
+            .unwrap();
+        let exact = s
+            .submit(&Request::new(Query::pair(0, 50)).with_accuracy(Accuracy::Exact))
+            .unwrap();
+        // The exact request must not be served the coarse cached value: it
+        // performed its own backend call.
+        assert_eq!(exact.backend_calls, 1);
+        assert_eq!(coarse.backend_calls, 1);
+    }
+
+    #[test]
+    fn backend_overrides_do_not_share_cache_entries() {
+        let mut s = service(200);
+        let planned = s.submit(&Request::new(Query::pair(0, 50))).unwrap();
+        let forced_geer = s
+            .submit(&Request::new(Query::pair(0, 50)).with_backend(BackendChoice::Geer))
+            .unwrap();
+        let forced_amc = s
+            .submit(&Request::new(Query::pair(0, 50)).with_backend(BackendChoice::Amc))
+            .unwrap();
+        // Each override must do its own work, not inherit another backend's
+        // cached value.
+        assert_eq!(planned.backend_calls, 1);
+        assert_eq!(forced_geer.backend_calls, 1);
+        assert_eq!(forced_amc.backend_calls, 1);
+        assert_eq!(forced_geer.backend, "GEER");
+        assert_eq!(forced_amc.backend, "AMC");
+        // But a repeat of the same override is a cache hit.
+        let repeat = s
+            .submit(&Request::new(Query::pair(50, 0)).with_backend(BackendChoice::Amc))
+            .unwrap();
+        assert_eq!(repeat.backend_calls, 0);
+        assert_eq!(repeat.value(), forced_amc.value());
+    }
+
+    #[test]
+    fn small_graph_epsilon_requests_are_answered_exactly() {
+        let mut s = service(150);
+        let response = s.submit(&Request::new(Query::pair(0, 75))).unwrap();
+        assert_eq!(response.backend, "EXACT-CG");
+        // Cross-check against the index tier.
+        let row = s.single_source(0).unwrap();
+        assert!((row[75] - response.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn override_knob_forces_a_backend() {
+        let mut s = service(150);
+        let forced = s
+            .submit(&Request::new(Query::pair(0, 75)).with_backend(BackendChoice::Geer))
+            .unwrap();
+        assert_eq!(forced.backend, "GEER");
+        assert!(forced.cost.random_walks > 0 || forced.cost.matvec_ops > 0);
+        // An estimator that cannot answer the shape is rejected.
+        let err = s
+            .submit(&Request::new(Query::single_source(0)).with_backend(BackendChoice::Geer))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::UnsupportedShape { .. }));
+    }
+
+    #[test]
+    fn edge_sets_validate_membership() {
+        let mut s = service(150);
+        let g_edges: Vec<_> = s.context().graph().edges().take(4).collect();
+        let ok = s.submit(&Request::new(Query::edge_set(g_edges))).unwrap();
+        assert_eq!(ok.values.len(), 4);
+        let mut non_edge = None;
+        let g = s.context().graph();
+        'outer: for u in 0..g.num_nodes() {
+            for v in (u + 1)..g.num_nodes() {
+                if !g.has_edge(u, v) {
+                    non_edge = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let err = s
+            .submit(&Request::new(Query::edge_set(vec![non_edge.unwrap()])))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn source_shapes_route_to_the_index_and_kirchhoff_matches() {
+        let mut s = service(150);
+        let request = Request::new(Query::top_k(0, 5));
+        assert_eq!(s.plan(&request), BackendChoice::Index);
+        let top = s.submit(&request).unwrap();
+        assert_eq!(top.backend, "INDEX");
+        assert_eq!(top.nodes.len(), 5);
+        assert!(top.values.windows(2).all(|w| w[0] <= w[1]));
+        let kf = s.kirchhoff_index().unwrap();
+        assert!(kf > 0.0);
+        // After the index is built the planner observes it.
+        assert!(s.planner_state().index_ready);
+        assert_eq!(
+            s.plan(&Request::new(Query::pair(0, 1)).with_accuracy(Accuracy::Exact)),
+            BackendChoice::Index
+        );
+    }
+
+    #[test]
+    fn static_capabilities_match_backend_instances() {
+        // The early-rejection policy on BackendChoice must agree with what
+        // each constructed backend actually declares.
+        let mut s = service(120);
+        for choice in [
+            BackendChoice::Geer,
+            BackendChoice::Amc,
+            BackendChoice::Smm,
+            BackendChoice::Tp,
+            BackendChoice::Tpc,
+            BackendChoice::Rp,
+            BackendChoice::Mc,
+            BackendChoice::Mc2,
+            BackendChoice::Hay,
+            BackendChoice::ExactDense,
+            BackendChoice::ExactCg,
+            BackendChoice::Index,
+            BackendChoice::Landmark,
+        ] {
+            let backend = s.backend_instance(choice, Accuracy::epsilon(0.5)).unwrap();
+            assert_eq!(backend.capabilities(), choice.capabilities(), "{choice:?}");
+            assert_eq!(backend.name(), choice.name(), "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected_up_front() {
+        let mut s = service(100);
+        assert!(s.submit(&Request::new(Query::pair(0, 5_000))).is_err());
+        assert!(s
+            .submit(&Request::new(Query::single_source(5_000)))
+            .is_err());
+    }
+
+    #[test]
+    fn walk_budget_is_forwarded() {
+        let mut s = service(150);
+        let response = s
+            .submit(
+                &Request::new(Query::pair(0, 75))
+                    .with_accuracy(Accuracy::WalkBudget(500))
+                    .with_backend(BackendChoice::Amc),
+            )
+            .unwrap();
+        assert_eq!(response.backend, "AMC");
+        assert!(response.cost.random_walks <= 500);
+    }
+}

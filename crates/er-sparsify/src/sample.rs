@@ -4,7 +4,7 @@
 //! edges *with replacement* from the distribution `p_e ∝ score_e` and gives
 //! every sampled copy weight `1 / (q · p_e)`. The expected weighted Laplacian
 //! equals the original Laplacian, and with `q = O(n log n / ε²)` samples the
-//! quadratic form is preserved within `1 ± ε` with high probability [62].
+//! quadratic form is preserved within `1 ± ε` with high probability \[62\].
 //!
 //! This module also provides a deterministic *threshold* variant (keep every
 //! edge whose score exceeds a cut-off, reweighted by the inverse keep

@@ -16,11 +16,10 @@
 //!   the score of `e` is the fraction of trees containing `e`
 //!   (`r(e) = Pr[e ∈ UST]`, the HAY identity).
 
-use er_core::{
-    ApproxConfig, EstimatorError, ForkableEstimator, Geer, GraphContext, ResistanceEstimator,
-};
+use er_core::{ApproxConfig, EstimatorError};
 use er_graph::{Graph, NodeId};
 use er_linalg::{LaplacianSolver, ResistanceSketch};
+use er_service::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 use er_walks::kernel::{self, ScratchPool};
 use er_walks::{par, sample_spanning_tree};
 use std::collections::HashMap;
@@ -91,19 +90,28 @@ impl EdgeScores {
                 })
             }
             ScoreMethod::Geer { epsilon } => {
-                let context = GraphContext::preprocess(graph)?;
+                // One edge-set request through the unified query plane, with
+                // GEER forced: the service forks one estimator per edge on
+                // the edge-index RNG stream — the same stream assignment the
+                // hand-rolled fan-out used, so scores are unchanged and
+                // remain thread-count invariant.
                 let config = ApproxConfig {
                     epsilon,
                     seed,
-                    threads: 1, // parallelism comes from the per-edge fan-out
+                    threads,
                     ..ApproxConfig::default()
                 };
-                let geer = Geer::new(&context, config);
-                let results = par::par_map_indexed(edges.len() as u64, seed, threads, |i, _| {
-                    let (u, v) = edges[i as usize];
-                    geer.fork(i).estimate(u, v).map(|e| e.value)
-                });
-                results.into_iter().collect::<Result<Vec<f64>, _>>()?
+                let mut service = ResistanceService::with_config(graph, config)?;
+                let request = Request::new(Query::edge_set(edges.clone()))
+                    .with_accuracy(Accuracy::Epsilon {
+                        eps: epsilon,
+                        delta: config.delta,
+                    })
+                    .with_backend(BackendChoice::Geer);
+                service
+                    .submit(&request)
+                    .map_err(EstimatorError::from)?
+                    .values
             }
             ScoreMethod::Sketch { epsilon } => {
                 let sketch = ResistanceSketch::build(graph, epsilon, 24.0, seed);

@@ -13,7 +13,7 @@
 //!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`).
 //!
 //! * [`kernel`] — the zero-allocation walk kernel: per-walk
-//!   [`StreamRng`](kernel::StreamRng) streams, division-free CSR stepping
+//!   [`kernel::StreamRng`] streams, division-free CSR stepping
 //!   with lane-interleaved batching, and reusable epoch-stamped sparse
 //!   tallies ([`kernel::WalkScratch`] / [`kernel::ScratchPool`]).
 //! * [`par`] — the deterministic parallel sampling layer: indexed fan-out of

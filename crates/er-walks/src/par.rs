@@ -8,7 +8,7 @@
 //!
 //! * Task `i` draws its randomness from a private RNG stream derived by a
 //!   SplitMix64 mix of `(seed, i)` ([`stream_rng`], a
-//!   [`StreamRng`](crate::kernel::StreamRng) from the walk kernel), so no
+//!   [`crate::kernel::StreamRng`] from the walk kernel), so no
 //!   task's randomness depends on which thread runs it or on how many tasks
 //!   ran before it.
 //! * Tasks are grouped into fixed-size chunks ([`CHUNK`]) whose boundaries
@@ -80,7 +80,7 @@ pub fn mix_seed(seed: u64, stream: u64) -> u64 {
 }
 
 /// The RNG stream of task `index` under `seed`: a
-/// [`StreamRng`](crate::kernel::StreamRng) whose state is derived from
+/// [`crate::kernel::StreamRng`] whose state is derived from
 /// [`mix_seed`]`(seed, index)`. This is the single derivation rule every
 /// parallel sampler in the workspace uses — and it is cheap enough (four
 /// SplitMix64 rounds, 16 bytes of state, no heap) to call once per walk

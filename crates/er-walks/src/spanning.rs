@@ -1,6 +1,6 @@
 //! Uniform spanning-tree sampling with Wilson's algorithm.
 //!
-//! The HAY baseline [29] estimates the effective resistance of an *edge*
+//! The HAY baseline \[29\] estimates the effective resistance of an *edge*
 //! `(s, t) ∈ E` through the matrix-tree identity
 //! `r(s, t) = Pr[(s, t) ∈ T]` where `T` is a uniformly random spanning tree.
 //! Wilson's algorithm samples exact uniform spanning trees by stitching

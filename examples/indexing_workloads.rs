@@ -7,15 +7,19 @@
 //!
 //! 1. [`ErIndex`] — single-source profiles and nearest-neighbour search,
 //! 2. [`LandmarkIndex`] — O(k) bounds used as a filter in front of GEER,
-//! 3. [`DynamicEr`] — edge insertions/deletions interleaved with queries,
+//! 3. [`DynamicResistanceService`] — edge insertions/deletions interleaved
+//!    with queries through the service front door,
 //!
 //! and cross-checks everything against the GEER estimator.
 //!
 //! Run with `cargo run --release --example indexing_workloads`.
 
 use effective_resistance::graph::generators;
-use effective_resistance::index::{DynamicEr, ErIndex, LandmarkIndex, LandmarkSelection};
-use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use effective_resistance::index::{ErIndex, LandmarkIndex, LandmarkSelection};
+use effective_resistance::{
+    Accuracy, ApproxConfig, BackendChoice, DynamicResistanceService, Query, Request,
+    ResistanceService,
+};
 
 fn main() {
     let graph =
@@ -44,11 +48,12 @@ fn main() {
         index.kirchhoff_index()
     );
 
-    // 2. Landmark bounds as a cheap filter in front of GEER.
+    // 2. Landmark bounds as a cheap filter in front of GEER (forced through
+    //    the service's override knob so the comparison is explicit).
     let landmarks = LandmarkIndex::build(&graph, 12, LandmarkSelection::Mixed, 3)
         .expect("landmark construction");
-    let ctx = GraphContext::preprocess(&graph).expect("spectral preprocessing");
-    let mut geer = Geer::new(&ctx, config);
+    let mut service =
+        ResistanceService::with_config(&graph, config).expect("spectral preprocessing");
     let query_pairs = [(17usize, 500usize), (3, 780), (250, 251), (600, 610)];
     println!(
         "\nlandmark bounds vs GEER ({} landmarks):",
@@ -61,7 +66,14 @@ fn main() {
     let mut skipped = 0;
     for &(s, t) in &query_pairs {
         let bounds = landmarks.bounds(s, t).expect("bounds");
-        let estimate = geer.estimate(s, t).expect("query").value;
+        let estimate = service
+            .submit(
+                &Request::new(Query::pair(s, t))
+                    .with_accuracy(Accuracy::from(config))
+                    .with_backend(BackendChoice::Geer),
+            )
+            .expect("query")
+            .value();
         let skip = bounds.width() <= 2.0 * config.epsilon;
         if skip {
             skipped += 1;
@@ -82,8 +94,9 @@ fn main() {
         query_pairs.len()
     );
 
-    // 3. Dynamic updates: resistances react to edge insertions/removals.
-    let mut dynamic = DynamicEr::from_graph(&graph, config);
+    // 3. Dynamic updates: resistances react to edge insertions/removals. The
+    //    dynamic service rebuilds its planner/cache once per mutation burst.
+    let mut dynamic = DynamicResistanceService::from_graph(&graph, config);
     let (s, t) = (40usize, 700usize);
     let before = dynamic.resistance(s, t).expect("query");
     dynamic.insert_edge(s, t).expect("insert");

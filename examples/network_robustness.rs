@@ -8,16 +8,18 @@
 //! plenty of parallel paths exist.
 //!
 //! This example builds a power-grid-like topology (a sparse mesh with a few
-//! long-distance ties), scores every edge with the HAY spanning-tree estimator
-//! and with GEER, flags the most critical lines, and verifies the top-ranked
-//! edge really is the most damaging single failure by measuring how much the
-//! average resistance across the cut grows after removing it.
+//! long-distance ties), scores every line through the `ResistanceService`
+//! front door — once letting the planner pick and once forcing the HAY
+//! spanning-tree backend, which answers the whole edge set from one pool of
+//! trees — flags the most critical lines, and verifies the top-ranked edge
+//! really is the most damaging single failure by measuring how much the
+//! resistance across the cut grows after removing it.
 //!
 //! Run with `cargo run --release --example network_robustness`.
 
 use effective_resistance::graph::{analysis, generators, Graph, GraphBuilder};
 use effective_resistance::linalg::LaplacianSolver;
-use effective_resistance::{ApproxConfig, Geer, GraphContext, Hay, ResistanceEstimator};
+use effective_resistance::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 
 /// A synthetic transmission-grid topology: a 2D mesh (local distribution) plus
 /// a handful of long "tie lines", with one corridor intentionally left thin so
@@ -55,31 +57,45 @@ fn main() {
         graph.num_edges(),
         analysis::is_connected(&graph)
     );
-    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
-    let config = ApproxConfig::with_epsilon(0.05);
-    let mut geer = Geer::new(&ctx, config);
-    let mut hay = Hay::new(&ctx, config);
+    let mut service = ResistanceService::new(&graph).expect("ergodic graph");
+    let epsilon = 0.05;
+    let accuracy = Accuracy::epsilon(epsilon);
 
-    // Score every line by effective resistance with two independent methods.
-    let mut scored: Vec<(usize, usize, f64, f64)> = graph
-        .edges()
-        .map(|(u, v)| {
-            let by_geer = geer.estimate(u, v).expect("edge query").value;
-            let by_hay = hay.estimate(u, v).expect("edge query").value;
-            (u, v, by_geer, by_hay)
-        })
+    // Score every line by effective resistance with two independent methods:
+    // the planner's pick for this (small) grid, and the HAY spanning-tree
+    // backend forced via the override knob. Both answer the edge list as ONE
+    // edge-set query.
+    let edges: Vec<(usize, usize)> = graph.edges().collect();
+    let planned = service
+        .submit(&Request::new(Query::edge_set(edges.clone())).with_accuracy(accuracy))
+        .expect("edge-set query");
+    let by_hay = service
+        .submit(
+            &Request::new(Query::edge_set(edges.clone()))
+                .with_accuracy(accuracy)
+                .with_backend(BackendChoice::Hay),
+        )
+        .expect("edge-set query");
+    println!(
+        "planner chose {} for the edge set; HAY sampled {} spanning trees",
+        planned.backend, by_hay.cost.spanning_trees
+    );
+    let mut scored: Vec<(usize, usize, f64, f64)> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| (u, v, planned.values[i], by_hay.values[i]))
         .collect();
     scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
 
     println!("\nmost critical lines (highest effective resistance):");
-    println!("{:>8} {:>8} {:>10} {:>10}", "from", "to", "GEER", "HAY");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10}",
+        "from", "to", planned.backend, "HAY"
+    );
     for &(u, v, g, h) in scored.iter().take(5) {
         println!("{u:>8} {v:>8} {g:>10.3} {h:>10.3}");
-        // the two estimators should agree to within their epsilons
-        assert!(
-            (g - h).abs() <= 2.0 * config.epsilon + 0.02,
-            "estimators agree"
-        );
+        // the two backends should agree to within their epsilons
+        assert!((g - h).abs() <= 2.0 * epsilon + 0.02, "backends agree");
     }
 
     // Verify the ranking is meaningful: removing the top-ranked line must

@@ -1,12 +1,11 @@
-//! Quickstart: answer ε-approximate pairwise effective-resistance queries with
-//! GEER and compare against the exact value.
+//! Quickstart: answer pairwise effective-resistance queries through the
+//! unified `ResistanceService` front door, compare backends, and let the
+//! planner pick.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use effective_resistance::graph::generators;
-use effective_resistance::{
-    Amc, ApproxConfig, Exact, Geer, GraphContext, ResistanceEstimator, Smm,
-};
+use effective_resistance::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 
 fn main() {
     // 1. Build (or load) an undirected, connected, non-bipartite graph.
@@ -19,39 +18,68 @@ fn main() {
         graph.average_degree()
     );
 
-    // 2. Preprocess once per graph: validates the assumptions and estimates
-    //    lambda = max{|lambda_2|, |lambda_n|} (Section 3.1 of the paper).
-    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
-    println!("lambda = {:.4}", ctx.lambda());
+    // 2. Build the service once per graph: it validates the assumptions,
+    //    estimates lambda = max{|lambda_2|, |lambda_n|} (Section 3.1 of the
+    //    paper) and lazily constructs backends as queries need them.
+    let mut service = ResistanceService::new(&graph).expect("ergodic graph");
+    println!("lambda = {:.4}", service.context().lambda());
 
-    // 3. Answer queries. epsilon is the additive error target; each estimator
-    //    answers with probability >= 1 - delta within that error.
-    let config = ApproxConfig::with_epsilon(0.05);
-    let mut geer = Geer::new(&ctx, config);
-    let mut amc = Amc::new(&ctx, config);
-    let mut smm = Smm::new(&ctx, config);
-    let mut exact = Exact::new(&ctx).expect("small enough for the dense pseudo-inverse");
+    // 3. Submit typed queries. The accuracy target is part of the request;
+    //    the planner routes each query to the cheapest capable backend and
+    //    the response reports which one answered.
+    let accuracy = Accuracy::epsilon(0.05);
+    let pairs = [(0usize, 1usize), (0, 2_500), (17, 4_999), (123, 124)];
 
     println!(
-        "\n{:>6} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>12} {:>12}",
-        "s", "t", "EXACT", "GEER", "AMC", "SMM", "GEER walks", "GEER matvec"
+        "\n{:>6} {:>6} | {:>10} {:>10} {:>10} {:>10} | planned backend",
+        "s", "t", "EXACT", "planned", "GEER", "AMC"
     );
-    for &(s, t) in &[(0usize, 1usize), (0, 2_500), (17, 4_999), (123, 124)] {
-        let truth = exact.estimate(s, t).unwrap().value;
-        let g = geer.estimate(s, t).unwrap();
-        let a = amc.estimate(s, t).unwrap();
-        let m = smm.estimate(s, t).unwrap();
+    for &(s, t) in &pairs {
+        let exact = service
+            .submit(&Request::new(Query::pair(s, t)).with_accuracy(Accuracy::Exact))
+            .unwrap();
+        let planned = service
+            .submit(&Request::new(Query::pair(s, t)).with_accuracy(accuracy))
+            .unwrap();
+        // The override knob forces specific estimators — useful for research
+        // and benchmarking; everyday callers just take the planned answer.
+        let geer = service
+            .submit(
+                &Request::new(Query::pair(s, t))
+                    .with_accuracy(accuracy)
+                    .with_backend(BackendChoice::Geer),
+            )
+            .unwrap();
+        let amc = service
+            .submit(
+                &Request::new(Query::pair(s, t))
+                    .with_accuracy(accuracy)
+                    .with_backend(BackendChoice::Amc),
+            )
+            .unwrap();
         println!(
-            "{:>6} {:>6} | {:>10.5} {:>10.5} {:>10.5} {:>10.5} | {:>12} {:>12}",
-            s, t, truth, g.value, a.value, m.value, g.cost.random_walks, g.cost.matvec_ops
+            "{:>6} {:>6} | {:>10.5} {:>10.5} {:>10.5} {:>10.5} | {}",
+            s,
+            t,
+            exact.value(),
+            planned.value(),
+            geer.value(),
+            amc.value(),
+            planned.backend
         );
         assert!(
-            (g.value - truth).abs() <= config.epsilon,
+            (geer.value() - exact.value()).abs() <= 0.05,
             "GEER within epsilon"
         );
     }
+
+    // 4. Shaped queries: one Laplacian column answers a whole source profile.
+    let profile = service
+        .submit(&Request::new(Query::top_k(0, 5)))
+        .expect("top-k");
     println!(
-        "\nall GEER answers were within epsilon = {} of the exact value",
-        config.epsilon
+        "\n5 nearest nodes to 0 (via {}): {:?}",
+        profile.backend, profile.nodes
     );
+    println!("all GEER answers were within epsilon = 0.05 of the exact value");
 }

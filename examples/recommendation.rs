@@ -6,15 +6,16 @@
 //! proximity signal than shortest-path distance or common-neighbour counts.
 //!
 //! This example builds a synthetic social network, picks a user, gathers the
-//! user's 2-hop candidate pool, and ranks the candidates by ER estimated with
-//! GEER — exactly the "compute a handful of pairwise queries per request"
-//! access pattern the epsilon-approximate PER problem is designed for.
+//! user's 2-hop candidate pool, and ranks the candidates through one
+//! `ResistanceService` batch request — exactly the "handful of pairwise
+//! queries per request, all sharing one source" access pattern the service's
+//! planner recognises as a repeated-source workload.
 //!
 //! Run with `cargo run --release --example recommendation`.
 
 use effective_resistance::graph::generators;
 use effective_resistance::graph::Graph;
-use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use effective_resistance::{Accuracy, ApproxConfig, Query, Request, ResistanceService};
 use std::collections::BTreeSet;
 
 /// Collects the 2-hop neighbourhood of `user` (excluding direct friends and
@@ -34,9 +35,8 @@ fn two_hop_candidates(graph: &Graph, user: usize) -> Vec<usize> {
 
 fn main() {
     let graph = generators::social_network_like(8_000, 14.0, 7).expect("graph generation");
-    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
     let config = ApproxConfig::with_epsilon(0.02);
-    let mut geer = Geer::new(&ctx, config);
+    let mut service = ResistanceService::with_config(&graph, config).expect("ergodic graph");
 
     // Recommend for a mid-degree user (hubs are trivially similar to everyone).
     let user = graph
@@ -50,14 +50,24 @@ fn main() {
         candidates.len()
     );
 
-    // Rank candidates by estimated effective resistance (ascending).
-    let mut scored: Vec<(usize, f64, u64)> = candidates
+    // Rank candidates by estimated effective resistance (ascending): one
+    // batch request, planned and answered as a unit.
+    let pool: Vec<usize> = candidates.iter().take(200).copied().collect(); // cap the demo pool
+    let pairs: Vec<(usize, usize)> = pool.iter().map(|&c| (user, c)).collect();
+    let response = service
+        .submit(&Request::new(Query::batch(pairs)).with_accuracy(Accuracy::from(config)))
+        .expect("valid batch");
+    println!(
+        "scored {} candidates via {} ({} walks, {} matvec ops)",
+        pool.len(),
+        response.backend,
+        response.cost.random_walks,
+        response.cost.matvec_ops
+    );
+    let mut scored: Vec<(usize, f64)> = pool
         .iter()
-        .take(200) // cap the demo pool
-        .map(|&c| {
-            let est = geer.estimate(user, c).expect("valid query");
-            (c, est.value, est.cost.random_walks)
-        })
+        .zip(&response.values)
+        .map(|(&c, &r)| (c, r))
         .collect();
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
@@ -66,7 +76,7 @@ fn main() {
         "{:>8} {:>10} {:>10} {:>14}",
         "node", "r(user,v)", "degree", "common friends"
     );
-    for &(c, r, _) in scored.iter().take(10) {
+    for &(c, r) in scored.iter().take(10) {
         let common = graph
             .neighbors(user)
             .iter()
@@ -83,8 +93,8 @@ fn main() {
 
     // Sanity: the top recommendation should share at least one friend, and the
     // bottom of the ranking should have higher resistance than the top.
-    let (best, best_r, _) = scored.first().copied().unwrap();
-    let (_, worst_r, _) = scored.last().copied().unwrap();
+    let (best, best_r) = scored.first().copied().unwrap();
+    let (_, worst_r) = scored.last().copied().unwrap();
     assert!(worst_r >= best_r);
     let common_best = graph
         .neighbors(user)

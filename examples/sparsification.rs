@@ -7,15 +7,16 @@
 //! primary application of fast ER computation (cut/flow approximation, linear
 //! system solving).
 //!
-//! This example estimates the ER of every edge with GEER, samples a
-//! sparsifier, and verifies the quality by comparing Laplacian quadratic forms
-//! on random test vectors and by checking connectivity.
+//! This example estimates the ER of every edge with one `ResistanceService`
+//! edge-set request (GEER forced via the override knob), samples a
+//! sparsifier, and verifies the quality by comparing Laplacian quadratic
+//! forms on random test vectors and by checking connectivity.
 //!
 //! Run with `cargo run --release --example sparsification`.
 
 use effective_resistance::graph::{analysis, generators, Graph, GraphBuilder};
 use effective_resistance::linalg::{LaplacianOp, LinearOperator};
-use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+use effective_resistance::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,19 +38,18 @@ fn main() {
     println!("original graph: {} nodes, {m} edges", graph.num_nodes());
 
     // 1. Estimate the ER of every edge with GEER (epsilon = 0.05 is plenty:
-    //    the scores only steer a sampling distribution).
-    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
-    let mut geer = Geer::new(&ctx, ApproxConfig::with_epsilon(0.05));
+    //    the scores only steer a sampling distribution) — one edge-set
+    //    request through the service front door.
+    let mut service = ResistanceService::new(&graph).expect("ergodic graph");
     let edges: Vec<(usize, usize)> = graph.edges().collect();
-    let scores: Vec<f64> = edges
-        .iter()
-        .map(|&(u, v)| {
-            geer.estimate(u, v)
-                .expect("valid edge query")
-                .value
-                .max(1e-6)
-        })
-        .collect();
+    let response = service
+        .submit(
+            &Request::new(Query::edge_set(edges.clone()))
+                .with_accuracy(Accuracy::epsilon(0.05))
+                .with_backend(BackendChoice::Geer),
+        )
+        .expect("valid edge query");
+    let scores: Vec<f64> = response.values.iter().map(|&r| r.max(1e-6)).collect();
     let total_score: f64 = scores.iter().sum();
     println!(
         "sum of edge ER scores = {total_score:.1} (Foster's theorem says the exact sum is n - 1 = {})",

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Diff the newest walk-kernel bench entry against the previous one.
+
+The trajectory file (BENCH_walk_kernel.json) is a JSON array with one entry
+per PR, keyed by git SHA; the walk_kernel binary appends to it. This script
+compares the last two entries per workload and prints the deltas. It never
+fails the build (CI runners have noisy perf); regressions beyond the
+threshold are surfaced as GitHub warning annotations instead.
+"""
+
+import json
+import sys
+
+REGRESSION_THRESHOLD = 0.80  # warn when kernel walks/sec drops below 80% of the previous entry
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        entries = json.load(f)
+    if not isinstance(entries, list) or not entries:
+        print(f"::warning::{path} is not a non-empty trajectory array")
+        return 0
+    if len(entries) < 2:
+        sha = entries[-1].get("git_sha", "?")
+        print(f"only one entry ({sha}) in the trajectory; nothing to diff yet")
+        return 0
+
+    prev, curr = entries[-2], entries[-1]
+    print(
+        f"diffing {curr.get('git_sha', '?')} (quick={curr.get('quick')}) "
+        f"against {prev.get('git_sha', '?')} (quick={prev.get('quick')})"
+    )
+    prev_workloads = {w["name"]: w for w in prev.get("workloads", [])}
+    print(f"{'workload':<20} {'prev walks/s':>14} {'curr walks/s':>14} {'ratio':>8}")
+    for workload in curr.get("workloads", []):
+        name = workload["name"]
+        before = prev_workloads.get(name)
+        if before is None:
+            print(f"{name:<20} {'(new)':>14}")
+            continue
+        prev_rate = before["kernel"]["walks_per_sec"]
+        curr_rate = workload["kernel"]["walks_per_sec"]
+        ratio = curr_rate / prev_rate if prev_rate else float("inf")
+        print(f"{name:<20} {prev_rate:>14.0f} {curr_rate:>14.0f} {ratio:>7.2f}x")
+        if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
+            print(
+                f"::warning::walk-kernel workload '{name}' regressed to "
+                f"{ratio:.2f}x of the previous entry "
+                f"({prev_rate:.0f} -> {curr_rate:.0f} walks/s)"
+            )
+    if not curr.get("determinism", {}).get("bit_identical", False):
+        print("::error::newest bench entry reports a determinism failure")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_walk_kernel.json"))

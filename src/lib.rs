@@ -12,6 +12,9 @@
 //!   and every baseline the paper compares against.
 //! * [`index`] (= `er-index`) — single-source / all-pairs ER, landmark
 //!   bounds, query caching and dynamic graphs.
+//! * [`service`] (= `er-service`) — the **unified query plane**: typed
+//!   queries, capability-based planning, one front door
+//!   ([`ResistanceService`]) for every estimator.
 //! * [`sparsify`] (= `er-sparsify`) — Spielman–Srivastava sparsification
 //!   driven by the estimators.
 //! * [`apps`] (= `er-apps`) — clustering, recommendation, robustness,
@@ -19,16 +22,26 @@
 //!
 //! # Example
 //!
+//! Applications talk to the [`ResistanceService`]: describe *what* you want
+//! (a typed [`Query`] plus an [`Accuracy`] target) and the planner decides
+//! *how* to answer it, reporting the chosen backend and its cost.
+//!
 //! ```
-//! use effective_resistance::{ApproxConfig, Geer, GraphContext, ResistanceEstimator};
+//! use effective_resistance::{Accuracy, Query, Request, ResistanceService};
 //! use effective_resistance::graph::generators;
 //!
 //! let graph = generators::social_network_like(1_000, 10.0, 1).unwrap();
-//! let ctx = GraphContext::preprocess(&graph).unwrap();
-//! let mut geer = Geer::new(&ctx, ApproxConfig::with_epsilon(0.1));
-//! let r = geer.estimate(0, 500).unwrap().value;
-//! assert!(r > 0.0);
+//! let mut service = ResistanceService::new(&graph).unwrap();
+//! let response = service
+//!     .submit(&Request::new(Query::pair(0, 500)).with_accuracy(Accuracy::epsilon(0.1)))
+//!     .unwrap();
+//! assert!(response.value() > 0.0);
+//! println!("r(0, 500) ≈ {:.4} via {}", response.value(), response.backend);
 //! ```
+//!
+//! Direct estimator construction (`Geer::new(&ctx, config)`) remains
+//! available for benchmarking and research, but applications should prefer
+//! the service front door.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +67,12 @@ pub mod index {
     pub use er_index::*;
 }
 
+/// The unified query plane: typed queries, capability-based planning and the
+/// [`ResistanceService`] front door (re-export of the `er-service` crate).
+pub mod service {
+    pub use er_service::*;
+}
+
 /// Spectral sparsification by effective-resistance sampling (re-export of the
 /// `er-sparsify` crate).
 pub mod sparsify {
@@ -67,3 +86,7 @@ pub mod apps {
 }
 
 pub use er_core::*;
+pub use er_service::{
+    Accuracy, Backend, BackendChoice, DynamicResistanceService, Planner, PlannerState, Query,
+    QueryShape, QueryShapeSet, Request, ResistanceService, Response, ServiceError,
+};

@@ -7,7 +7,7 @@ use effective_resistance::apps::{
 };
 use effective_resistance::graph::{generators, NodePairQuerySet};
 use effective_resistance::index::{
-    AllPairsResistance, BatchExecutor, DynamicEr, ErIndex, LandmarkIndex, LandmarkSelection,
+    AllPairsResistance, BatchExecutor, ErIndex, LandmarkIndex, LandmarkSelection,
 };
 use effective_resistance::sparsify::{
     sample_sparsifier, EdgeScores, QualityEvaluator, SampleBudget, ScoreMethod,
@@ -193,7 +193,7 @@ fn criticality_ranking_flags_the_planted_bottleneck_and_clusters_respect_it() {
 fn dynamic_graph_matches_static_estimators_after_mutations() {
     let graph = shared_graph();
     let config = ApproxConfig::with_epsilon(0.05);
-    let mut dynamic = DynamicEr::from_graph(&graph, config);
+    let mut dynamic = effective_resistance::DynamicResistanceService::from_graph(&graph, config);
     // Mutate: add a shortcut inside one community, remove a random edge.
     dynamic.insert_edge(2, 77).unwrap();
     let some_edge = graph.edges().nth(42).unwrap();

@@ -8,12 +8,13 @@ use effective_resistance::apps::{
 };
 use effective_resistance::graph::{analysis, generators, io, transform, GraphBuilder};
 use effective_resistance::index::{
-    AllPairsResistance, DynamicEr, ErIndex, IndexError, LandmarkIndex, LandmarkSelection,
+    AllPairsResistance, ErIndex, IndexError, LandmarkIndex, LandmarkSelection,
 };
 use effective_resistance::linalg::ResistanceSketch;
 use effective_resistance::sparsify::WeightedGraph;
 use effective_resistance::{
-    Amc, ApproxConfig, EstimatorError, Exact, Geer, GraphContext, ResistanceEstimator,
+    Amc, ApproxConfig, DynamicResistanceService, EstimatorError, Exact, Geer, GraphContext,
+    ResistanceEstimator, ServiceError,
 };
 
 /// A graph with two components (violates the connectivity assumption).
@@ -121,7 +122,7 @@ fn index_layer_rejects_invalid_graphs_and_nodes() {
 #[test]
 fn dynamic_graph_surfaces_disconnection_and_out_of_range_edges() {
     let graph = generators::social_network_like(50, 6.0, 2).unwrap();
-    let mut dynamic = DynamicEr::from_graph(&graph, ApproxConfig::with_epsilon(0.1));
+    let mut dynamic = DynamicResistanceService::from_graph(&graph, ApproxConfig::with_epsilon(0.1));
     assert!(dynamic.insert_edge(0, 50).is_err());
     assert!(dynamic.remove_edge(50, 0).is_err());
     assert!(dynamic.resistance(0, 50).is_err());
@@ -135,7 +136,7 @@ fn dynamic_graph_surfaces_disconnection_and_out_of_range_edges() {
     }
     assert!(matches!(
         dynamic.resistance(leaf, (leaf + 1) % 50),
-        Err(IndexError::Graph(_))
+        Err(ServiceError::Index(IndexError::Graph(_)))
     ));
     for &u in &neighbors {
         dynamic.insert_edge(leaf, u).unwrap();

@@ -1,0 +1,170 @@
+//! Integration tests for the `ResistanceService` query plane: planner
+//! routing observed end-to-end, bit-identical answers across thread counts,
+//! and ε-accuracy of planned answers against ground truth.
+
+use effective_resistance::graph::{generators, Graph};
+use effective_resistance::{
+    Accuracy, ApproxConfig, BackendChoice, GroundTruth, GroundTruthMethod, Query, Request,
+    ResistanceService, Response,
+};
+
+fn small_graph() -> Graph {
+    generators::social_network_like(600, 10.0, 33).unwrap()
+}
+
+fn large_graph() -> Graph {
+    generators::social_network_like(2_000, 12.0, 9).unwrap()
+}
+
+fn service_at(graph: &Graph, threads: usize) -> ResistanceService {
+    let config = ApproxConfig::with_epsilon(0.2)
+        .reseeded(7)
+        .with_threads(threads);
+    ResistanceService::with_config(graph, config).unwrap()
+}
+
+/// Runs the same request sequence through a fresh service per thread count
+/// and returns all responses, so cache interactions are exercised too.
+fn run_sequence(graph: &Graph, threads: usize, requests: &[Request]) -> Vec<Response> {
+    let mut service = service_at(graph, threads);
+    requests
+        .iter()
+        .map(|r| service.submit(r).unwrap())
+        .collect()
+}
+
+#[test]
+fn responses_are_bit_identical_at_1_2_8_threads() {
+    let graph = small_graph();
+    let edges: Vec<(usize, usize)> = graph.edges().take(6).collect();
+    let requests = vec![
+        // Randomized pair backends, forced so sampling paths are exercised
+        // even though the planner would answer this small graph exactly.
+        Request::new(Query::pair(0, 300)).with_backend(BackendChoice::Geer),
+        Request::new(Query::batch(vec![(1, 2), (2, 1), (5, 599), (9, 9), (1, 2)]))
+            .with_backend(BackendChoice::Amc),
+        Request::new(Query::edge_set(edges.clone())).with_backend(BackendChoice::Hay),
+        // Budgeted sampling.
+        Request::new(Query::pair(3, 400))
+            .with_accuracy(Accuracy::WalkBudget(20_000))
+            .with_backend(BackendChoice::Tpc),
+        Request::new(Query::edge_set(vec![edges[0]]))
+            .with_accuracy(Accuracy::WalkBudget(20_000))
+            .with_backend(BackendChoice::Mc2),
+        // Planner-routed work: exact pair tier, index tier, repeat from cache.
+        Request::new(Query::batch(vec![(0, 300), (10, 20), (0, 300)])),
+        Request::new(Query::single_source(42)),
+        Request::new(Query::top_k(42, 5)),
+        Request::new(Query::Diagonal),
+        Request::new(Query::pair(0, 300)),
+    ];
+    let base = run_sequence(&graph, 1, &requests);
+    for threads in [2, 8] {
+        let other = run_sequence(&graph, threads, &requests);
+        for (i, (a, b)) in base.iter().zip(&other).enumerate() {
+            assert_eq!(
+                a.values, b.values,
+                "request {i} differs at {threads} threads"
+            );
+            assert_eq!(a.nodes, b.nodes, "request {i} nodes differ");
+            assert_eq!(a.backend, b.backend, "request {i} backend differs");
+        }
+    }
+}
+
+#[test]
+fn planner_routing_is_observable_end_to_end() {
+    // Small graph + ε target: the exact CG tier undercuts sampling.
+    let small = small_graph();
+    let mut service = service_at(&small, 0);
+    let pair = service.submit(&Request::new(Query::pair(0, 100))).unwrap();
+    assert_eq!(pair.backend, "EXACT-CG");
+
+    // Large graph + ε target: GEER for pairs, batch-native HAY for edge sets.
+    let large = large_graph();
+    let mut service = service_at(&large, 0);
+    let pair = service
+        .submit(&Request::new(Query::pair(0, 1_000)))
+        .unwrap();
+    assert_eq!(pair.backend, "GEER");
+    assert!(pair.cost.random_walks > 0 || pair.cost.matvec_ops > 0);
+    let edges: Vec<(usize, usize)> = large.edges().take(8).collect();
+    let set = service
+        .submit(&Request::new(Query::edge_set(edges)))
+        .unwrap();
+    assert_eq!(set.backend, "HAY");
+    assert!(set.cost.spanning_trees > 0);
+
+    // Source shapes always use the index; once the index exists, exact
+    // pair queries ride it for free.
+    let row = service
+        .submit(&Request::new(Query::single_source(5)))
+        .unwrap();
+    assert_eq!(row.backend, "INDEX");
+    assert_eq!(row.values.len(), large.num_nodes());
+    let exact_pair = service
+        .submit(&Request::new(Query::pair(5, 6)).with_accuracy(Accuracy::Exact))
+        .unwrap();
+    assert_eq!(exact_pair.backend, "INDEX");
+    assert!((exact_pair.value() - row.values[6]).abs() < 1e-9);
+
+    // Budgeted sampling goes to AMC.
+    let budgeted = service
+        .submit(&Request::new(Query::pair(0, 1_000)).with_accuracy(Accuracy::WalkBudget(100_000)))
+        .unwrap();
+    assert_eq!(budgeted.backend, "AMC");
+    assert!(budgeted.cost.random_walks <= 100_000);
+}
+
+#[test]
+fn planned_answers_meet_the_epsilon_target() {
+    let graph = large_graph();
+    let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let mut service = service_at(&graph, 0);
+    for &(s, t) in &[(0usize, 1_000usize), (17, 1_999), (250, 251)] {
+        let response = service
+            .submit(&Request::new(Query::pair(s, t)).with_accuracy(Accuracy::epsilon(0.2)))
+            .unwrap();
+        let exact = truth.resistance(s, t).unwrap();
+        assert!(
+            (response.value() - exact).abs() <= 0.2,
+            "({s},{t}): {} via {} vs exact {exact}",
+            response.value(),
+            response.backend
+        );
+    }
+}
+
+#[test]
+fn exact_tier_matches_ground_truth_closely() {
+    let graph = small_graph();
+    let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
+    let mut service = service_at(&graph, 0);
+    let pairs = [(0usize, 300usize), (1, 2), (598, 599)];
+    let response = service
+        .submit(&Request::new(Query::batch(pairs.to_vec())))
+        .unwrap();
+    for (&(s, t), &value) in pairs.iter().zip(&response.values) {
+        let exact = truth.resistance(s, t).unwrap();
+        assert!(
+            (value - exact).abs() < 1e-6,
+            "({s},{t}): {value} vs {exact}"
+        );
+    }
+}
+
+#[test]
+fn cache_tier_survives_across_requests_and_accuracies() {
+    let graph = small_graph();
+    let mut service = service_at(&graph, 0);
+    let first = service.submit(&Request::new(Query::pair(0, 100))).unwrap();
+    assert_eq!(first.backend_calls, 1);
+    let repeat = service.submit(&Request::new(Query::pair(100, 0))).unwrap();
+    assert_eq!(repeat.backend_calls, 0, "symmetric repeat is a cache hit");
+    assert_eq!(repeat.value(), first.value());
+    // A different accuracy class must not reuse the entry.
+    let exact = service
+        .submit(&Request::new(Query::pair(0, 100)).with_accuracy(Accuracy::Exact))
+        .unwrap();
+    assert_eq!(exact.backend_calls, 1);
+}
