@@ -96,7 +96,7 @@ impl ResistanceMonitor {
     /// Every snapshot is preprocessed fresh (the graph changed); the probe
     /// pairs go through [`ResistanceService`] as one batch.
     pub fn observe(&mut self, snapshot: &Graph) -> Result<SnapshotReport, EstimatorError> {
-        let mut service = ResistanceService::with_config(snapshot, self.config)?;
+        let service = ResistanceService::with_config(snapshot, self.config)?;
         let request =
             Request::new(Query::batch(self.probes.clone())).with_accuracy(self.config.into());
         let resistances = service.submit(&request)?.values;

@@ -118,7 +118,7 @@ impl<'g> ResistanceClustering<'g> {
     /// (one Laplacian column per source, cached across medoid rounds).
     fn distance_row(
         &self,
-        service: &mut ResistanceService,
+        service: &ResistanceService,
         source: NodeId,
     ) -> Result<Vec<f64>, IndexError> {
         let mut row = service.single_source(source)?;
@@ -138,7 +138,7 @@ impl<'g> ResistanceClustering<'g> {
         let n = self.graph.num_nodes();
         let k = self.config.num_clusters.max(1).min(n);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut service = ResistanceService::with_config(
+        let service = ResistanceService::with_config(
             self.graph,
             ApproxConfig::default().reseeded(self.config.seed),
         )?;
@@ -148,7 +148,7 @@ impl<'g> ResistanceClustering<'g> {
         // proportionally to its squared distance from the closest existing
         // medoid.
         let mut medoids: Vec<NodeId> = vec![rng.gen_range(0..n)];
-        let mut closest = self.distance_row(&mut service, medoids[0])?;
+        let mut closest = self.distance_row(&service, medoids[0])?;
         while medoids.len() < k {
             let weights: Vec<f64> = closest.iter().map(|&d| d * d).collect();
             let total: f64 = weights.iter().sum();
@@ -169,7 +169,7 @@ impl<'g> ResistanceClustering<'g> {
                 chosen
             };
             medoids.push(next);
-            let distances = self.distance_row(&mut service, next)?;
+            let distances = self.distance_row(&service, next)?;
             for v in 0..n {
                 if distances[v] < closest[v] {
                     closest[v] = distances[v];
@@ -185,7 +185,7 @@ impl<'g> ResistanceClustering<'g> {
             // Assignment step: nearest medoid in (corrected) resistance distance.
             let mut distance_rows = Vec::with_capacity(k);
             for &m in &medoids {
-                distance_rows.push(self.distance_row(&mut service, m)?);
+                distance_rows.push(self.distance_row(&service, m)?);
             }
             let mut new_assignments = vec![0usize; n];
             for v in 0..n {
@@ -222,7 +222,7 @@ impl<'g> ResistanceClustering<'g> {
                 let mut best = medoids[c];
                 let mut best_cost = f64::INFINITY;
                 for &candidate in &candidates {
-                    let row = self.distance_row(&mut service, candidate)?;
+                    let row = self.distance_row(&service, candidate)?;
                     let cost: f64 = members.iter().map(|&v| row[v]).sum();
                     if cost < best_cost {
                         best_cost = cost;
@@ -312,7 +312,7 @@ pub fn resistance_separation(
     sample_pairs: usize,
     seed: u64,
 ) -> Result<(f64, f64), IndexError> {
-    let mut service = ResistanceService::new(graph)?;
+    let service = ResistanceService::new(graph)?;
     let n = graph.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut intra = Vec::new();

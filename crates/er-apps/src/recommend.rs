@@ -20,7 +20,6 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
-use std::sync::Mutex;
 
 /// A ranked recommendation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,15 +35,17 @@ pub struct Recommendation {
 
 /// Effective-resistance link recommender over a static graph.
 ///
-/// Owns a [`ResistanceService`], so recommenders are `Send + Sync` and
-/// storable in long-lived services. Each request is one [`Query::Batch`]
-/// whose pairs all share the query user; the service's planner routes such
-/// repeated-source batches to its exact index tier on graphs small enough
-/// to justify building it (or once the index exists), and to GEER
-/// otherwise.
+/// Owns a [`ResistanceService`] — which is itself `Send + Sync` with a
+/// `&self` submit path since the concurrent-serving redesign — so
+/// recommenders are shareable in long-lived services and any number of
+/// threads can call [`recommend`](Self::recommend) at once. Each request is
+/// one [`Query::Batch`] whose pairs all share the query user; the service's
+/// planner routes such repeated-source batches to its exact index tier on
+/// graphs small enough to justify building it (or once the index exists),
+/// and to GEER otherwise.
 pub struct Recommender {
     context: GraphContext,
-    service: Mutex<ResistanceService>,
+    service: ResistanceService,
     config: ApproxConfig,
     max_candidates: usize,
 }
@@ -59,7 +60,7 @@ impl Recommender {
         let service = ResistanceService::from_context(context.clone(), config);
         Ok(Recommender {
             context,
-            service: Mutex::new(service),
+            service,
             config,
             max_candidates: Self::DEFAULT_MAX_CANDIDATES,
         })
@@ -101,12 +102,7 @@ impl Recommender {
             .collect();
         let pairs: Vec<(NodeId, NodeId)> = pool.iter().map(|&c| (user, c)).collect();
         let request = Request::new(Query::batch(pairs)).with_accuracy(self.config.into());
-        let values = self
-            .service
-            .lock()
-            .expect("recommender service mutex poisoned")
-            .submit(&request)?
-            .values;
+        let values = self.service.submit(&request)?.values;
         let mut scored = Vec::with_capacity(pool.len());
         for (&c, &resistance) in pool.iter().zip(&values) {
             let common_neighbors = graph

@@ -41,7 +41,7 @@ pub fn edge_criticality(
     graph: &Graph,
     config: ApproxConfig,
 ) -> Result<Vec<EdgeCriticality>, EstimatorError> {
-    let mut service = ResistanceService::with_config(graph, config)?;
+    let service = ResistanceService::with_config(graph, config)?;
     let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
     let request = Request::new(Query::edge_set(edges.clone())).with_accuracy(config.into());
     let response = service.submit(&request)?;
@@ -69,7 +69,7 @@ pub fn estimate_kirchhoff_index(
 ) -> Result<(f64, f64), EstimatorError> {
     let n = graph.num_nodes();
     let total_pairs = (n * (n - 1) / 2) as f64;
-    let mut service = ResistanceService::with_config(graph, config)?;
+    let service = ResistanceService::with_config(graph, config)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let samples = sample_pairs.max(2);
     let mut pairs = Vec::with_capacity(samples);

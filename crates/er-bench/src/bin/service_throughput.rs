@@ -1,0 +1,252 @@
+//! Serving-plane throughput benchmark: the `&self` `ResistanceService` under
+//! a `ResistanceServer` worker pool, versus a plain sequential caller.
+//!
+//! The workload is a fixed, seeded set of ε-target pair requests on a graph
+//! large enough that the planner routes them to GEER (the sampling path the
+//! serving plane is built to amortize), with a controlled fraction of exact
+//! repeats so the dedup/cache tiers see realistic pressure. Four client
+//! threads submit through cloned `ServerHandle`s; the sweep measures
+//! requests/sec at 1, 2 and 4 workers and cross-checks that every response
+//! stays **bit-identical** to the sequential single-caller run — the serving
+//! plane's headline invariant.
+//!
+//! The service's internal sampling fan-out is pinned to one thread so the
+//! numbers isolate *server* concurrency (and stay comparable on any runner).
+//!
+//! `BENCH_service.json` (current directory — the repo root in CI) is an
+//! **append-only trajectory** keyed by git SHA, exactly like
+//! `BENCH_walk_kernel.json`; `scripts/bench_diff.py` diffs the newest two
+//! entries. Override the key with `BENCH_GIT_SHA=<sha>`.
+//!
+//! Run with `cargo run --release -p er-bench --bin service_throughput
+//! [--quick] [--seed N]`.
+
+use er_bench::args::BenchArgs;
+use er_bench::trajectory::{append_to_trajectory, git_sha};
+use er_core::ApproxConfig;
+use er_graph::{generators, Graph};
+use er_service::{Query, Request, ResistanceServer, ResistanceService, ServerConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Deterministic request mix: seeded pair selection with ~25% repeats of an
+/// earlier request (dedup/cache pressure).
+fn build_requests(graph: &Graph, count: usize, seed: u64) -> Vec<Request> {
+    let n = graph.num_nodes();
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut requests: Vec<Request> = Vec::with_capacity(count);
+    for i in 0..count {
+        if i > 4 && next() % 4 == 0 {
+            let j = (next() as usize) % requests.len();
+            requests.push(requests[j].clone());
+        } else {
+            let s = (next() as usize) % n;
+            let mut t = (next() as usize) % n;
+            if t == s {
+                t = (t + 1) % n;
+            }
+            requests.push(Request::new(Query::pair(s, t)));
+        }
+    }
+    requests
+}
+
+fn fresh_service(graph: &Graph, seed: u64) -> ResistanceService {
+    // threads = 1: measure server workers, not per-request fan-out.
+    let config = ApproxConfig {
+        epsilon: 0.2,
+        seed,
+        threads: 1,
+        ..ApproxConfig::default()
+    };
+    ResistanceService::with_config(graph, config)
+        .expect("ergodic graph")
+        // Route ε pairs to GEER in both quick (800-node) and full (2000-node)
+        // mode, so the sweep measures the sampling path the server amortizes.
+        .with_planner_config(er_service::PlannerConfig::default().with_exact_node_threshold(256))
+}
+
+/// One sequential pass; returns (seconds, per-request value bits).
+fn run_sequential(graph: &Graph, requests: &[Request], seed: u64) -> (f64, Vec<u64>) {
+    let service = fresh_service(graph, seed);
+    let start = Instant::now();
+    let bits = requests
+        .iter()
+        .map(|r| service.submit(r).expect("valid request").value().to_bits())
+        .collect();
+    (start.elapsed().as_secs_f64(), bits)
+}
+
+/// One server pass at `workers` workers with 4 submitting clients; returns
+/// (seconds, per-request value bits in request order).
+fn run_server(graph: &Graph, requests: &[Request], seed: u64, workers: usize) -> (f64, Vec<u64>) {
+    const CLIENTS: usize = 4;
+    let handle = ResistanceServer::spawn(
+        fresh_service(graph, seed),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    );
+    let results: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; requests.len()]));
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let handle = handle.clone();
+            let results = results.clone();
+            let mine: Vec<(usize, Request)> = requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % CLIENTS == c)
+                .map(|(i, r)| (i, r.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let tickets: Vec<_> = mine
+                    .into_iter()
+                    .map(|(i, r)| (i, handle.submit(r).expect("admitted")))
+                    .collect();
+                for (i, ticket) in tickets {
+                    let value = ticket.wait().expect("served").value().to_bits();
+                    results.lock().unwrap()[i] = value;
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    handle.shutdown();
+    let bits = Arc::try_unwrap(results).unwrap().into_inner().unwrap();
+    (secs, bits)
+}
+
+struct WorkloadResult {
+    name: String,
+    requests: usize,
+    secs: f64,
+}
+
+impl WorkloadResult {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.secs
+    }
+    fn avg_ms(&self) -> f64 {
+        1e3 * self.secs / self.requests as f64
+    }
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"requests\": {},\n      \
+             \"throughput\": {{\"requests_per_sec\": {:.1}, \"avg_ms\": {:.4}}}\n    }}",
+            self.name,
+            self.requests,
+            self.requests_per_sec(),
+            self.avg_ms()
+        )
+    }
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let (nodes, count, reps) = if args.quick {
+        (800usize, 48usize, 2usize)
+    } else {
+        (2_000, 200, 3)
+    };
+    eprintln!("generating social_network_like({nodes}) ...");
+    let graph = generators::social_network_like(nodes, 10.0, 9).expect("generator");
+    let requests = build_requests(&graph, count, args.seed);
+    eprintln!(
+        "graph: n = {}, m = {}, requests = {}, quick = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        requests.len(),
+        args.quick
+    );
+
+    fn best(reps: usize, mut run: impl FnMut() -> (f64, Vec<u64>)) -> (f64, Vec<u64>) {
+        let mut best_secs = f64::INFINITY;
+        let mut bits = Vec::new();
+        for _ in 0..reps {
+            let (secs, b) = run();
+            best_secs = best_secs.min(secs);
+            bits = b;
+        }
+        (best_secs, bits)
+    }
+
+    let seed = args.seed;
+    let (seq_secs, baseline) = best(reps, || run_sequential(&graph, &requests, seed));
+    let mut workloads = vec![WorkloadResult {
+        name: "direct_sequential".into(),
+        requests: requests.len(),
+        secs: seq_secs,
+    }];
+    let worker_counts = [1usize, 2, 4];
+    let mut bit_identical = true;
+    for &workers in &worker_counts {
+        let (secs, bits) = best(reps, || run_server(&graph, &requests, seed, workers));
+        if bits != baseline {
+            bit_identical = false;
+            eprintln!("DETERMINISM FAILURE at {workers} workers");
+        }
+        workloads.push(WorkloadResult {
+            name: format!("server_w{workers}"),
+            requests: requests.len(),
+            secs,
+        });
+    }
+
+    println!(
+        "{:<20} {:>10} {:>16} {:>12}",
+        "workload", "requests", "requests/sec", "avg ms"
+    );
+    for w in &workloads {
+        println!(
+            "{:<20} {:>10} {:>16.1} {:>12.4}",
+            w.name,
+            w.requests,
+            w.requests_per_sec(),
+            w.avg_ms()
+        );
+    }
+    assert!(
+        bit_identical,
+        "server responses must be bit-identical to the sequential run at every worker count"
+    );
+    println!("determinism: responses bit-identical at 1/2/4 workers vs sequential");
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let sha = git_sha();
+    let entry = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"git_sha\": \"{sha}\",\n  \
+         \"created_unix\": {created},\n  \
+         \"quick\": {},\n  \"seed\": {},\n  \
+         \"graph\": {{\"model\": \"social_network_like\", \"nodes\": {}, \"edges\": {}}},\n  \
+         \"determinism\": {{\"workers_checked\": [1, 2, 4], \"bit_identical\": {bit_identical}}},\n  \
+         \"workloads\": [\n{}\n  ]\n}}",
+        args.quick,
+        args.seed,
+        graph.num_nodes(),
+        graph.num_edges(),
+        workloads
+            .iter()
+            .map(|w| w.json())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = "BENCH_service.json";
+    let total = append_to_trajectory(path, &entry, &sha);
+    println!("appended entry {sha} to {path} ({total} entries in the trajectory)");
+}

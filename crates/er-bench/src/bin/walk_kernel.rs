@@ -28,6 +28,7 @@
 
 use er_bench::args::BenchArgs;
 use er_bench::baseline::pr1_endpoint_histogram;
+use er_bench::trajectory::{append_to_trajectory, git_sha};
 use er_graph::{generators, Graph};
 use er_walks::WalkEngine;
 use rand::rngs::StdRng;
@@ -154,85 +155,6 @@ fn check_determinism(graph: &Graph, seed: u64) -> bool {
     };
     let base = run(1);
     [2usize, 8].iter().all(|&t| run(t) == base)
-}
-
-/// The short git SHA identifying this build in the trajectory:
-/// `$BENCH_GIT_SHA` if set, else `git rev-parse --short HEAD`, else
-/// `"unknown"`.
-fn git_sha() -> String {
-    if let Ok(sha) = std::env::var("BENCH_GIT_SHA") {
-        let sha = sha.trim().to_string();
-        if !sha.is_empty() {
-            return sha;
-        }
-    }
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// Splits the body of a JSON array into its top-level `{…}` entries by brace
-/// depth (the trajectory's own serializer puts no braces inside strings, but
-/// string state is tracked anyway for safety).
-fn split_entries(array_body: &str) -> Vec<String> {
-    let mut entries = Vec::new();
-    let mut depth = 0usize;
-    let mut in_string = false;
-    let mut escaped = false;
-    let mut start = None;
-    for (i, c) in array_body.char_indices() {
-        if in_string {
-            if escaped {
-                escaped = false;
-            } else if c == '\\' {
-                escaped = true;
-            } else if c == '"' {
-                in_string = false;
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' => {
-                if depth == 0 {
-                    start = Some(i);
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    if let Some(s) = start.take() {
-                        entries.push(array_body[s..=i].to_string());
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    entries
-}
-
-/// Appends `entry` to the trajectory at `path`, replacing any existing entry
-/// for the same SHA and preserving all other history.
-fn append_to_trajectory(path: &str, entry: &str, sha: &str) -> usize {
-    let mut entries = match std::fs::read_to_string(path) {
-        Ok(existing) if existing.trim_start().starts_with('[') => split_entries(existing.trim()),
-        // Missing file or pre-trajectory snapshot: start a fresh history.
-        _ => Vec::new(),
-    };
-    let sha_marker = format!("\"git_sha\": \"{sha}\"");
-    entries.retain(|e| !e.contains(&sha_marker));
-    entries.push(entry.trim().to_string());
-    let joined = entries.join(",\n");
-    std::fs::write(path, format!("[\n{joined}\n]\n")).expect("write bench trajectory");
-    entries.len()
 }
 
 fn main() {

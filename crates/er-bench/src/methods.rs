@@ -238,7 +238,7 @@ mod tests {
     fn every_method_maps_onto_the_service_plane() {
         use er_service::{Accuracy, Query, Request, ResistanceService};
         let g = generators::social_network_like(200, 10.0, 5).unwrap();
-        let mut service = ResistanceService::new(&g).unwrap();
+        let service = ResistanceService::new(&g).unwrap();
         let (s, t) = g.edges().next().unwrap();
         for kind in MethodKind::random_query_lineup()
             .into_iter()

@@ -1,0 +1,137 @@
+//! Append-only benchmark trajectories keyed by git SHA.
+//!
+//! Perf-smoke artifacts (`BENCH_walk_kernel.json`, `BENCH_service.json`) are
+//! JSON arrays with one entry per PR. A bench binary appends its entry —
+//! replacing an existing entry for the same SHA, so re-runs never duplicate
+//! — and never drops history; CI diffs the newest two entries via
+//! `scripts/bench_diff.py`. This module holds the shared plumbing: SHA
+//! discovery, entry splitting and the append itself.
+
+/// The short git SHA identifying this build in the trajectory:
+/// `$BENCH_GIT_SHA` if set, else `git rev-parse --short HEAD`, else
+/// `"unknown"`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("BENCH_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Splits the body of a JSON array into its top-level `{…}` entries by brace
+/// depth (the trajectory's own serializer puts no braces inside strings, but
+/// string state is tracked anyway for safety).
+pub fn split_entries(array_body: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = None;
+    for (i, c) in array_body.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        entries.push(array_body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Appends `entry` to the trajectory at `path`, replacing any existing entry
+/// for the same SHA and preserving all other history. Returns the number of
+/// entries now in the trajectory.
+pub fn append_to_trajectory(path: &str, entry: &str, sha: &str) -> usize {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.trim_start().starts_with('[') => split_entries(existing.trim()),
+        // Missing file or pre-trajectory snapshot: start a fresh history.
+        _ => Vec::new(),
+    };
+    let sha_marker = format!("\"git_sha\": \"{sha}\"");
+    entries.retain(|e| !e.contains(&sha_marker));
+    entries.push(entry.trim().to_string());
+    let joined = entries.join(",\n");
+    std::fs::write(path, format!("[\n{joined}\n]\n")).expect("write bench trajectory");
+    entries.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_nested_objects_and_strings() {
+        let body = r#"[{"a": {"b": 1}, "s": "br{ace"}, {"c": 2}]"#;
+        let entries = split_entries(body);
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].contains("br{ace"));
+        assert_eq!(entries[1], r#"{"c": 2}"#);
+        assert!(split_entries("not json").is_empty());
+    }
+
+    #[test]
+    fn append_replaces_same_sha_and_keeps_history() {
+        let dir = std::env::temp_dir().join(format!("er-trajectory-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let entry = |sha: &str, v: u32| format!("{{\n  \"git_sha\": \"{sha}\",\n  \"v\": {v}\n}}");
+        assert_eq!(append_to_trajectory(path, &entry("aaa", 1), "aaa"), 1);
+        assert_eq!(append_to_trajectory(path, &entry("bbb", 2), "bbb"), 2);
+        // Re-running the same SHA replaces, never duplicates.
+        assert_eq!(append_to_trajectory(path, &entry("bbb", 3), "bbb"), 2);
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"v\": 1"));
+        assert!(content.contains("\"v\": 3"));
+        assert!(!content.contains("\"v\": 2"), "old bbb entry replaced");
+        let order: Vec<String> = split_entries(&content)
+            .iter()
+            .map(|e| e.contains("aaa").to_string())
+            .collect();
+        assert_eq!(order, ["true", "false"], "history order preserved");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn env_override_wins_for_the_sha() {
+        // `git_sha` must prefer the env override (used by CI when the
+        // checkout is shallow or detached); avoid mutating the process env
+        // in-test, just cover the fallback path's type contract.
+        let sha = git_sha();
+        assert!(!sha.is_empty());
+    }
+}

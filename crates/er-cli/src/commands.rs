@@ -87,7 +87,7 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = approx_config(args)?;
     let accuracy = accuracy_from(args, &config)?;
     let backend = backend_from(args)?;
-    let mut service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
+    let service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
 
     // Pairs come from positionals ("s t s t …") or --random N.
     let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -309,7 +309,7 @@ pub fn profile(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     };
     let top: usize = args.flag("top", 10usize)?;
     let config = approx_config(args)?;
-    let mut service = ResistanceService::with_config(graph, config)
+    let service = ResistanceService::with_config(graph, config)
         .map_err(|e| e.to_string())?
         .with_landmarks(args.flag("landmarks", 8usize)?);
     let nearest = service

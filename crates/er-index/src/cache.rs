@@ -53,6 +53,13 @@ impl QueryCache {
         }
     }
 
+    /// Looks up a pair *without* counting a hit or miss — for opportunistic
+    /// probes (e.g. a coarser cache tier checking whether an exact tier
+    /// already holds the answer) that must not skew this cache's statistics.
+    pub fn peek(&self, s: NodeId, t: NodeId) -> Option<f64> {
+        self.values.get(&Self::key(s, t)).copied()
+    }
+
     /// Inserts (or overwrites) the value for a pair, evicting the oldest
     /// entry when full.
     pub fn insert(&mut self, s: NodeId, t: NodeId, value: f64) {
@@ -159,6 +166,17 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 4);
         assert_eq!(cache.hits(), 1, "statistics survive clear");
+    }
+
+    #[test]
+    fn peek_serves_both_orientations_without_touching_statistics() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(2, 9, 0.25);
+        assert_eq!(cache.peek(9, 2), Some(0.25));
+        assert_eq!(cache.peek(2, 9), Some(0.25));
+        assert_eq!(cache.peek(0, 1), None);
+        assert_eq!(cache.hits(), 0, "peek never counts a hit");
+        assert_eq!(cache.misses(), 0, "peek never counts a miss");
     }
 
     #[test]

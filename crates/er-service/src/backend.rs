@@ -72,10 +72,11 @@ impl Plan {
 
 /// Per-item RNG stream assignment plus the worker-thread knob.
 ///
-/// Streams are derived by the service from each pair's first position in the
-/// *request* (before cache filtering), so a fixed request sequence yields the
-/// same streams — and therefore bit-identical values — at 1, 2 or 64
-/// threads.
+/// Streams are derived by the service from each pair's *content* (symmetric
+/// in `s`/`t`, independent of request position, cache state and scheduling
+/// order), so a pair yields bit-identical values at 1, 2 or 64 threads,
+/// whether served alone, batched, coalesced across requests or replayed
+/// from the cache.
 #[derive(Clone, Debug)]
 pub struct StreamPlan {
     /// `streams[i]` is the RNG stream for `plan.items[i]`.
@@ -304,8 +305,10 @@ impl Backend for HayBatchBackend {
 /// The column-based exact index as a backend: answers every shape.
 ///
 /// Interior mutability (a mutex around the [`ErIndex`]) lets the shared
-/// `&self` answer path re-use the index's column cache; contention is not a
-/// concern because the service serialises submits anyway.
+/// `&self` answer path re-use the index's column cache. Since the service
+/// went concurrent (`submit(&self)`), this mutex is what serialises
+/// index-tier answers; its answers are deterministic solves, so the
+/// serialisation affects throughput only, never values.
 pub struct IndexBackend {
     index: Mutex<ErIndex>,
 }

@@ -45,6 +45,13 @@ impl QueryShape {
             QueryShape::TopK => 1 << 5,
         }
     }
+
+    /// Whether this is a pair-shaped query (`Pair`, `Batch`, `EdgeSet`) —
+    /// the shapes that flow through the cache/dedup tier and that the
+    /// server may coalesce across requests.
+    pub const fn is_pairwise(self) -> bool {
+        QueryShapeSet::PAIRWISE.0 & self.bit() != 0
+    }
 }
 
 impl fmt::Display for QueryShape {
@@ -144,5 +151,18 @@ mod tests {
     fn display_names_are_stable() {
         assert_eq!(QueryShape::SingleSource.to_string(), "single-source");
         assert_eq!(QueryShape::EdgeSet.to_string(), "edge-set");
+    }
+
+    #[test]
+    fn pairwise_predicate_matches_the_pairwise_set() {
+        for shape in QueryShapeSet::ALL.shapes() {
+            assert_eq!(
+                shape.is_pairwise(),
+                QueryShapeSet::PAIRWISE.contains(shape),
+                "{shape}"
+            );
+        }
+        assert!(QueryShape::Pair.is_pairwise());
+        assert!(!QueryShape::Diagonal.is_pairwise());
     }
 }

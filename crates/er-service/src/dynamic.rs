@@ -86,7 +86,13 @@ impl DynamicResistanceService {
 
     /// The service for the current snapshot, rebuilding it if a mutation
     /// happened since the last query.
-    pub fn service(&mut self) -> Result<&mut ResistanceService, ServiceError> {
+    ///
+    /// This is the *only* `&mut` left on the query path: it guards the
+    /// rebuild-on-stale check. The returned service itself answers through
+    /// `&self`, so callers that pin a snapshot can fan queries out across
+    /// threads (or spawn a [`crate::ResistanceServer`] over a clone of the
+    /// snapshot's context).
+    pub fn service(&mut self) -> Result<&ResistanceService, ServiceError> {
         let version = self.dynamic.version();
         let stale = !matches!(&self.service, Some((v, _)) if *v == version);
         if stale {
@@ -96,10 +102,11 @@ impl DynamicResistanceService {
                 ResistanceService::from_context(context, self.config),
             ));
         }
-        Ok(&mut self.service.as_mut().expect("rebuilt above").1)
+        Ok(&self.service.as_ref().expect("rebuilt above").1)
     }
 
-    /// Submits a request against the current snapshot.
+    /// Submits a request against the current snapshot (`&mut` only for the
+    /// possible rebuild; the submit itself is `&self`).
     pub fn submit(&mut self, request: &Request) -> Result<Response, ServiceError> {
         self.service()?.submit(request)
     }

@@ -24,6 +24,17 @@ pub enum ServiceError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// The serving queue is full: admission control rejected the request
+    /// instead of letting latency grow without bound. Back off and retry.
+    Overloaded {
+        /// The configured queue depth that was exhausted.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed before a worker picked it up; the
+    /// computation was skipped entirely.
+    DeadlineExceeded,
+    /// The server is shutting down and no longer admits requests.
+    ServerShutdown,
 }
 
 impl fmt::Display for ServiceError {
@@ -37,6 +48,15 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidRequest { message } => {
                 write!(f, "invalid request: {message}")
             }
+            ServiceError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded: queue depth {queue_depth} exhausted")
+            }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request was scheduled")
+            }
+            ServiceError::ServerShutdown => {
+                write!(f, "server is shutting down and no longer admits requests")
+            }
         }
     }
 }
@@ -47,6 +67,79 @@ impl std::error::Error for ServiceError {
             ServiceError::Estimator(e) => Some(e),
             ServiceError::Index(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+fn duplicate_graph(e: &er_graph::GraphError) -> er_graph::GraphError {
+    use er_graph::GraphError;
+    match e {
+        GraphError::Empty => GraphError::Empty,
+        GraphError::NodeOutOfRange { node, n } => GraphError::NodeOutOfRange { node: *node, n: *n },
+        GraphError::NotConnected => GraphError::NotConnected,
+        GraphError::Bipartite => GraphError::Bipartite,
+        GraphError::Parse { line, message } => GraphError::Parse {
+            line: *line,
+            message: message.clone(),
+        },
+        // std::io::Error is not Clone; preserve the kind and re-render the
+        // payload.
+        GraphError::Io(io) => GraphError::Io(std::io::Error::new(io.kind(), io.to_string())),
+    }
+}
+
+fn duplicate_estimator(e: &EstimatorError) -> EstimatorError {
+    match e {
+        EstimatorError::Graph(g) => EstimatorError::Graph(duplicate_graph(g)),
+        EstimatorError::InvalidParameter { name, message } => EstimatorError::InvalidParameter {
+            name,
+            message: message.clone(),
+        },
+        EstimatorError::NotAnEdge { s, t } => EstimatorError::NotAnEdge { s: *s, t: *t },
+        EstimatorError::BudgetExceeded { resource, message } => EstimatorError::BudgetExceeded {
+            resource,
+            message: message.clone(),
+        },
+    }
+}
+
+fn duplicate_index(e: &IndexError) -> IndexError {
+    match e {
+        IndexError::Graph(g) => IndexError::Graph(duplicate_graph(g)),
+        IndexError::Estimator(inner) => IndexError::Estimator(duplicate_estimator(inner)),
+        IndexError::InvalidConfiguration { name, message } => IndexError::InvalidConfiguration {
+            name,
+            message: message.clone(),
+        },
+        IndexError::BudgetExceeded { resource, message } => IndexError::BudgetExceeded {
+            resource,
+            message: message.clone(),
+        },
+    }
+}
+
+impl ServiceError {
+    /// A structural copy of this error, for fanning one failed computation
+    /// out to several waiters (deduplicated or coalesced server tickets share
+    /// one execution). Every variant round-trips exactly except wrapped IO
+    /// failures, whose payload is re-rendered into the message
+    /// (`std::io::Error` is not `Clone`).
+    pub fn duplicate(&self) -> ServiceError {
+        match self {
+            ServiceError::Estimator(e) => ServiceError::Estimator(duplicate_estimator(e)),
+            ServiceError::Index(e) => ServiceError::Index(duplicate_index(e)),
+            ServiceError::UnsupportedShape { backend, shape } => ServiceError::UnsupportedShape {
+                backend,
+                shape: *shape,
+            },
+            ServiceError::InvalidRequest { message } => ServiceError::InvalidRequest {
+                message: message.clone(),
+            },
+            ServiceError::Overloaded { queue_depth } => ServiceError::Overloaded {
+                queue_depth: *queue_depth,
+            },
+            ServiceError::DeadlineExceeded => ServiceError::DeadlineExceeded,
+            ServiceError::ServerShutdown => ServiceError::ServerShutdown,
         }
     }
 }
@@ -115,6 +208,44 @@ mod tests {
             message: "k must be positive".into(),
         };
         assert!(b.to_string().contains("k must be positive"));
+        let o = ServiceError::Overloaded { queue_depth: 64 };
+        assert!(o.to_string().contains("64"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServiceError::ServerShutdown.to_string().contains("shut"));
+    }
+
+    #[test]
+    fn duplicate_preserves_variants_and_messages() {
+        let samples = [
+            ServiceError::Estimator(EstimatorError::NotAnEdge { s: 3, t: 9 }),
+            ServiceError::Index(IndexError::Graph(GraphError::NotConnected)),
+            ServiceError::UnsupportedShape {
+                backend: "HAY",
+                shape: QueryShape::Diagonal,
+            },
+            ServiceError::InvalidRequest {
+                message: "bad".into(),
+            },
+            ServiceError::Overloaded { queue_depth: 7 },
+            ServiceError::DeadlineExceeded,
+            ServiceError::ServerShutdown,
+        ];
+        for e in &samples {
+            let copy = e.duplicate();
+            assert_eq!(copy.to_string(), e.to_string());
+            assert_eq!(
+                std::mem::discriminant(&copy),
+                std::mem::discriminant(e),
+                "{e}"
+            );
+        }
+        // IO payloads survive as kind + rendered message.
+        let io = ServiceError::Estimator(EstimatorError::Graph(GraphError::Io(
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing edges"),
+        )));
+        assert!(io.duplicate().to_string().contains("missing edges"));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! use er_graph::generators;
 //!
 //! let graph = generators::social_network_like(500, 10.0, 7).unwrap();
-//! let mut service = ResistanceService::new(&graph).unwrap();
+//! let service = ResistanceService::new(&graph).unwrap();
 //!
 //! // The planner picks the backend: small graph + ε target ⇒ exact CG.
 //! let response = service.submit(&Query::pair(0, 250).into()).unwrap();
@@ -37,12 +37,24 @@
 //! assert!(response.cost.total_operations() > 0);
 //! ```
 //!
+//! # Serving
+//!
+//! [`ResistanceService::submit`] takes `&self` and the service is
+//! `Send + Sync`, so concurrent callers share one instance directly. For a
+//! managed front end, [`ResistanceServer::spawn`] puts a worker pool with
+//! admission control (bounded queue → [`ServiceError::Overloaded`]),
+//! request dedup, cross-client coalescing and deadline/priority scheduling
+//! in front of the service; clients hold cloneable [`ServerHandle`]s and
+//! collect responses through [`Ticket`]s.
+//!
 //! # Determinism
 //!
 //! Every randomized backend answers through per-item estimator forks
-//! ([`er_core::ForkableEstimator`]) whose RNG streams are assigned from the
-//! request itself, never from scheduling order: for a fixed seed and request
-//! sequence, responses are bit-identical at any thread count.
+//! ([`er_core::ForkableEstimator`]) whose RNG streams are derived from the
+//! *content* of each queried pair, never from request positions, cache
+//! state or scheduling order: for a fixed seed, responses are bit-identical
+//! at any thread count, any server worker count and any arrival order —
+//! including deduplicated and coalesced requests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,7 +66,9 @@ pub mod error;
 pub mod planner;
 pub mod query;
 pub mod response;
+pub mod server;
 pub mod service;
+pub mod session;
 
 pub use backend::{
     Backend, EstimatorBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan, PlanItem,
@@ -63,7 +77,9 @@ pub use backend::{
 pub use capability::{QueryShape, QueryShapeSet};
 pub use dynamic::DynamicResistanceService;
 pub use error::ServiceError;
-pub use planner::{dominant_source_count, BackendChoice, Planner, PlannerState};
+pub use planner::{dominant_source_count, BackendChoice, Planner, PlannerConfig, PlannerState};
 pub use query::{Accuracy, Query, Request};
 pub use response::Response;
+pub use server::{ResistanceServer, ServerConfig, ServerHandle, ServerStats};
 pub use service::ResistanceService;
+pub use session::{Priority, Session, SubmitOptions, Ticket};

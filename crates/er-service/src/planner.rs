@@ -17,11 +17,11 @@
 //!    source heavily; otherwise to EXACT-CG, one conjugate-gradient solve per
 //!    pair with no preprocessing.
 //! 3. `Accuracy::Epsilon` on a graph at or below
-//!    [`Planner::exact_node_threshold`] goes to EXACT-CG: below that size a
-//!    CG solve undercuts any sampling scheme, and exact answers trivially
-//!    satisfy every ε.
+//!    [`PlannerConfig::exact_node_threshold`] goes to EXACT-CG: below that
+//!    size a CG solve undercuts any sampling scheme, and exact answers
+//!    trivially satisfy every ε.
 //! 4. `Accuracy::Epsilon` batches that re-use one source at least
-//!    [`Planner::repeated_source_threshold`] times go to the index once it
+//!    [`PlannerConfig::repeated_source_threshold`] times go to the index once it
 //!    exists (repeated-source workloads amortise its columns); edge sets go
 //!    to the batch-native HAY backend (one pool of spanning trees scores the
 //!    whole set); everything else goes to GEER, which applies the paper's
@@ -133,10 +133,24 @@ pub struct PlannerState {
     pub index_ready: bool,
 }
 
-/// The routing policy. All thresholds are overridable; the defaults are
-/// tuned for the CG/sampling cost crossover observed in the benches.
+/// The planner's tunable thresholds.
+///
+/// The defaults were tuned blind against the CG/sampling cost crossover
+/// observed in the benches; the `planner_calibration` bench bin
+/// (`cargo run --release -p er-bench --bin planner_calibration`) sweeps the
+/// crossover per graph family so the thresholds can be re-derived from data.
+///
+/// ```
+/// use er_service::{Planner, PlannerConfig};
+///
+/// let config = PlannerConfig::default()
+///     .with_exact_node_threshold(2048)
+///     .with_repeated_source_threshold(8);
+/// let planner = Planner::new(config);
+/// assert_eq!(planner.config().exact_node_threshold, 2048);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Planner {
+pub struct PlannerConfig {
     /// At or below this many nodes, a CG solve per query is cheaper than any
     /// sampling scheme, so ε-accuracy requests are answered exactly.
     pub exact_node_threshold: usize,
@@ -145,16 +159,47 @@ pub struct Planner {
     pub repeated_source_threshold: usize,
 }
 
-impl Default for Planner {
+impl Default for PlannerConfig {
     fn default() -> Self {
-        Planner {
+        PlannerConfig {
             exact_node_threshold: 1024,
             repeated_source_threshold: 16,
         }
     }
 }
 
+impl PlannerConfig {
+    /// Sets the node count at or below which ε requests are answered exactly.
+    #[must_use]
+    pub fn with_exact_node_threshold(mut self, nodes: usize) -> Self {
+        self.exact_node_threshold = nodes;
+        self
+    }
+
+    /// Sets the repeated-source batch threshold.
+    #[must_use]
+    pub fn with_repeated_source_threshold(mut self, count: usize) -> Self {
+        self.repeated_source_threshold = count.max(1);
+        self
+    }
+}
+
+/// The routing policy: a pure function of a [`PlannerConfig`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Planner {
+    config: PlannerConfig,
+}
+
 impl Planner {
+    /// A planner with explicit thresholds.
+    pub fn new(config: PlannerConfig) -> Planner {
+        Planner { config }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
     /// Routes a query to the cheapest capable backend under the given
     /// accuracy target. `n` is the graph's node count.
     ///
@@ -173,14 +218,15 @@ impl Planner {
             }
             shape @ (QueryShape::Pair | QueryShape::Batch | QueryShape::EdgeSet) => {
                 let repeated_source =
-                    dominant_source_count(&query.pairs()) >= self.repeated_source_threshold;
+                    dominant_source_count(&query.pairs()) >= self.config.repeated_source_threshold;
                 match accuracy {
                     Accuracy::Exact => {
                         // The index is only worth *building* (n diagonal
                         // solves) on small graphs; on large graphs it is used
                         // when already paid for, and EXACT-CG (one solve per
                         // pair) wins otherwise.
-                        if state.index_ready || (repeated_source && n <= self.exact_node_threshold)
+                        if state.index_ready
+                            || (repeated_source && n <= self.config.exact_node_threshold)
                         {
                             BackendChoice::Index
                         } else {
@@ -190,7 +236,7 @@ impl Planner {
                     Accuracy::Epsilon { .. } => {
                         if state.index_ready && repeated_source {
                             BackendChoice::Index
-                        } else if n <= self.exact_node_threshold {
+                        } else if n <= self.config.exact_node_threshold {
                             if repeated_source {
                                 BackendChoice::Index
                             } else {
@@ -378,6 +424,53 @@ mod tests {
                 PlannerState { index_ready: true }
             ),
             BackendChoice::Index
+        );
+    }
+
+    #[test]
+    fn planner_config_thresholds_steer_routing() {
+        // Raising the exact-node threshold pulls a mid-sized graph back into
+        // the exact tier; lowering it pushes a small graph to sampling.
+        let q = Query::pair(0, 1);
+        let eager = Planner::new(PlannerConfig::default().with_exact_node_threshold(100_000));
+        assert_eq!(
+            eager.route(&q, Accuracy::default(), 50_000, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        let lazy = Planner::new(PlannerConfig::default().with_exact_node_threshold(10));
+        assert_eq!(
+            lazy.route(&q, Accuracy::default(), 500, PlannerState::default()),
+            BackendChoice::Geer
+        );
+        // A lower repeated-source threshold routes smaller one-source batches
+        // to the index.
+        let batch = Query::batch((1..5).map(|t| (0usize, t)).collect());
+        let keen = Planner::new(PlannerConfig::default().with_repeated_source_threshold(4));
+        assert_eq!(
+            keen.route(
+                &batch,
+                Accuracy::default(),
+                100_000,
+                PlannerState { index_ready: true }
+            ),
+            BackendChoice::Index
+        );
+        assert_eq!(
+            Planner::default().route(
+                &batch,
+                Accuracy::default(),
+                100_000,
+                PlannerState { index_ready: true }
+            ),
+            BackendChoice::Geer,
+            "default threshold (16) leaves a 4-pair batch with GEER"
+        );
+        // The threshold floor: 0 is clamped to 1.
+        assert_eq!(
+            PlannerConfig::default()
+                .with_repeated_source_threshold(0)
+                .repeated_source_threshold,
+            1
         );
     }
 

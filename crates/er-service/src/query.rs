@@ -12,7 +12,7 @@ use er_graph::NodeId;
 /// use er_graph::generators;
 ///
 /// let graph = generators::social_network_like(300, 8.0, 7).unwrap();
-/// let mut service = ResistanceService::new(&graph).unwrap();
+/// let service = ResistanceService::new(&graph).unwrap();
 ///
 /// // One pair.
 /// let r = service.submit(&Query::pair(0, 120).into()).unwrap();

@@ -23,7 +23,10 @@ pub struct Response {
     /// "INDEX", …) — the observable outcome of planning.
     pub backend: &'static str,
     /// Work performed, broken down by primitive (walks, matvec ops, solver
-    /// iterations, spanning trees).
+    /// iterations, spanning trees). For a request answered as part of a
+    /// coalesced server batch this is the cost of the *shared* computation
+    /// (the whole point of coalescing is that members split it), attributed
+    /// to every member.
     pub cost: CostBreakdown,
     /// Pair queries served from the service's cache tier (including repeats
     /// inside this request).

@@ -1,0 +1,842 @@
+//! The concurrent serving front end: a worker pool over one shared
+//! [`ResistanceService`].
+//!
+//! [`ResistanceServer::spawn`] takes ownership of a service and starts
+//! `workers` threads; the returned [`ServerHandle`] is cheaply cloneable, so
+//! any number of client threads can [`submit`](ServerHandle::submit)
+//! concurrently. Each submit is *admitted* (or rejected with
+//! [`ServiceError::Overloaded`] when the bounded queue is full) and returns a
+//! [`Ticket`] immediately; the response is collected with [`Ticket::wait`].
+//!
+//! The scheduler layers four policies over the plain FIFO queue:
+//!
+//! * **Admission / backpressure** — at most
+//!   [`queue_depth`](ServerConfig::queue_depth) jobs wait at once; beyond
+//!   that, submits fail fast instead of hiding unbounded latency.
+//! * **Priorities and deadlines** — workers pick the highest
+//!   [`Priority`](crate::Priority) first, earliest start-deadline within a
+//!   priority; a job whose deadline lapses before it starts completes with
+//!   [`ServiceError::DeadlineExceeded`] without running.
+//! * **Dedup** — a submit identical to a *queued* request (same query,
+//!   accuracy, backend override) attaches to the existing job: one
+//!   computation fans out to every waiter's ticket. Deadline-free submits
+//!   only — a request with a deadline always gets its own job, so nobody
+//!   inherits (or loses) an expiry they did not ask for.
+//! * **Coalescing** — when a worker picks a pair-shaped job it also drains
+//!   compatible queued jobs (same accuracy class and planned backend) and
+//!   answers them as one batch plan via
+//!   [`ResistanceService::submit_coalesced`], so GEER's parallel fan-out and
+//!   HAY's spanning-tree pool amortize across clients.
+//!
+//! **Determinism.** RNG streams derive from request content (see
+//! [`ResistanceService::submit`]), so every response is bit-identical
+//! regardless of worker count, arrival order, or whether a query was
+//! coalesced, deduped, cached or served alone — pinned by `tests/server.rs`.
+
+use crate::error::ServiceError;
+use crate::query::{Accuracy, Query, Request};
+use crate::response::Response;
+use crate::service::ResistanceService;
+use crate::session::{ResponseSlot, Session, SubmitOptions, Ticket};
+use er_walks::par::resolve_threads;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`ResistanceServer`] worker pool.
+///
+/// ```
+/// use er_service::ServerConfig;
+///
+/// let config = ServerConfig {
+///     workers: 4,
+///     queue_depth: 128,
+///     ..ServerConfig::default()
+/// };
+/// assert!(config.coalescing);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (0 = all cores). Responses are
+    /// bit-identical at any worker count.
+    pub workers: usize,
+    /// Bound on jobs waiting in the queue; submits beyond it are rejected
+    /// with [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Whether workers coalesce compatible queued pair queries into one
+    /// batch plan (identical values either way; coalescing only saves work).
+    pub coalescing: bool,
+    /// Maximum number of requests merged into one coalesced execution.
+    pub max_coalesce: usize,
+    /// Start with the workers paused (jobs are admitted and queued but not
+    /// executed until [`ServerHandle::resume`]); used to stage queue-level
+    /// tests and warm-up sequences deterministically.
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_depth: 1024,
+            coalescing: true,
+            max_coalesce: 32,
+            start_paused: false,
+        }
+    }
+}
+
+/// Counters describing what the server has done so far (monotone; read with
+/// [`ServerHandle::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted into the queue (including deduplicated attachers).
+    pub submitted: u64,
+    /// Tickets fulfilled (successfully or with an error).
+    pub completed: u64,
+    /// Backend executions performed (a deduplicated or coalesced execution
+    /// counts once however many tickets it served).
+    pub executed_jobs: u64,
+    /// Submits that attached to an identical queued request instead of
+    /// enqueuing a new job.
+    pub deduplicated: u64,
+    /// Coalesced executions (each merging ≥ 2 requests into one plan).
+    pub coalesced_batches: u64,
+    /// Requests answered through a coalesced execution.
+    pub coalesced_requests: u64,
+    /// Submits rejected by admission control ([`ServiceError::Overloaded`]).
+    pub rejected_overloaded: u64,
+    /// Jobs whose deadline lapsed before a worker picked them up.
+    pub expired: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    executed_jobs: AtomicU64,
+    deduplicated: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_requests: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    expired: AtomicU64,
+}
+
+/// One admitted request: the work, its scheduling attributes and every
+/// ticket waiting on it (more than one after dedup).
+struct Job {
+    request: Request,
+    fingerprint: u64,
+    deadline: Option<Instant>,
+    waiters: Vec<Arc<ResponseSlot>>,
+}
+
+/// Heap entry ordering: priority first, then earliest deadline, then FIFO.
+/// A job re-prioritized by a deduplicated submit gets a second entry; stale
+/// entries (their job already taken) are skipped on pop.
+#[derive(PartialEq, Eq)]
+struct QueueEntry {
+    priority: crate::session::Priority,
+    deadline: Option<Instant>,
+    seq: u64,
+    job: u64,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| match (self.deadline, other.deadline) {
+                // Earlier deadline = more urgent = greater (BinaryHeap pops max).
+                (Some(a), Some(b)) => b.cmp(&a),
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (None, None) => std::cmp::Ordering::Equal,
+            })
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SchedulerState {
+    queue: BinaryHeap<QueueEntry>,
+    /// Queued jobs by id (removed when a worker takes the job).
+    jobs: HashMap<u64, Job>,
+    /// Dedup map: request fingerprint → queued job id.
+    in_flight: HashMap<u64, u64>,
+    next_job: u64,
+    next_seq: u64,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct ServerShared {
+    service: ResistanceService,
+    config: ServerConfig,
+    state: Mutex<SchedulerState>,
+    work_ready: Condvar,
+    stats: StatsInner,
+    handles: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A stable content hash of a request, for dedup of identical in-flight
+/// queries. Collisions are tolerated: the scheduler confirms with a full
+/// equality check before attaching.
+fn fingerprint(request: &Request) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    match &request.query {
+        Query::Pair { s, t } => {
+            0u8.hash(&mut h);
+            s.hash(&mut h);
+            t.hash(&mut h);
+        }
+        Query::Batch { pairs } => {
+            1u8.hash(&mut h);
+            pairs.hash(&mut h);
+        }
+        Query::SingleSource { source } => {
+            2u8.hash(&mut h);
+            source.hash(&mut h);
+        }
+        Query::Diagonal => 3u8.hash(&mut h),
+        Query::EdgeSet { edges } => {
+            4u8.hash(&mut h);
+            edges.hash(&mut h);
+        }
+        Query::TopK { source, k } => {
+            5u8.hash(&mut h);
+            source.hash(&mut h);
+            k.hash(&mut h);
+        }
+    }
+    match request.accuracy {
+        Accuracy::Epsilon { eps, delta } => {
+            0u8.hash(&mut h);
+            eps.to_bits().hash(&mut h);
+            delta.to_bits().hash(&mut h);
+        }
+        Accuracy::WalkBudget(b) => {
+            1u8.hash(&mut h);
+            b.hash(&mut h);
+        }
+        Accuracy::Exact => 2u8.hash(&mut h),
+    }
+    request.backend.hash(&mut h);
+    h.finish()
+}
+
+fn is_pair_shaped(request: &Request) -> bool {
+    request.query.shape().is_pairwise()
+}
+
+/// The serving front end. [`spawn`](Self::spawn) is the only entry point: it
+/// consumes a [`ResistanceService`] and hands back a [`ServerHandle`].
+///
+/// ```
+/// use er_service::{Query, Request, ResistanceServer, ResistanceService, ServerConfig};
+/// use er_graph::generators;
+///
+/// let graph = generators::social_network_like(300, 8.0, 7).unwrap();
+/// let service = ResistanceService::new(&graph).unwrap();
+/// let handle = ResistanceServer::spawn(service, ServerConfig::default());
+///
+/// // Submit returns immediately with a ticket; wait() collects the answer.
+/// let fast = handle.submit(Request::new(Query::pair(0, 100))).unwrap();
+/// let slow = handle.submit(Request::new(Query::pair(0, 150))).unwrap();
+/// assert!(fast.wait().unwrap().value() > 0.0);
+/// assert!(slow.wait().unwrap().value() > 0.0);
+///
+/// // Handles clone cheaply for other client threads.
+/// let clone = handle.clone();
+/// assert!(clone.stats().completed >= 2);
+/// handle.shutdown();
+/// ```
+pub struct ResistanceServer {
+    _private: (),
+}
+
+impl ResistanceServer {
+    /// Starts the worker pool over `service` and returns the first handle.
+    /// Workers exit once every handle is dropped (draining the queue first)
+    /// or on [`ServerHandle::shutdown`].
+    pub fn spawn(service: ResistanceService, config: ServerConfig) -> ServerHandle {
+        let config = ServerConfig {
+            workers: resolve_threads(config.workers),
+            queue_depth: config.queue_depth.max(1),
+            max_coalesce: config.max_coalesce.max(1),
+            ..config
+        };
+        let shared = Arc::new(ServerShared {
+            service,
+            config,
+            state: Mutex::new(SchedulerState {
+                queue: BinaryHeap::new(),
+                jobs: HashMap::new(),
+                in_flight: HashMap::new(),
+                next_job: 0,
+                next_seq: 0,
+                paused: config.start_paused,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            stats: StatsInner::default(),
+            handles: AtomicUsize::new(1),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut threads = Vec::with_capacity(config.workers);
+        for worker in 0..config.workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("er-serve-{worker}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn server worker"),
+            );
+        }
+        *shared.workers.lock().expect("worker list poisoned") = threads;
+        ServerHandle { shared }
+    }
+}
+
+/// A cloneable client handle on a running [`ResistanceServer`].
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl Clone for ServerHandle {
+    fn clone(&self) -> Self {
+        self.shared.handles.fetch_add(1, AtomicOrdering::SeqCst);
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.shared.handles.fetch_sub(1, AtomicOrdering::SeqCst) == 1 {
+            // Last handle gone: drain the queue and let the workers exit.
+            begin_shutdown(&self.shared);
+        }
+    }
+}
+
+fn begin_shutdown(shared: &ServerShared) {
+    let mut st = shared.state.lock().expect("scheduler state poisoned");
+    st.shutdown = true;
+    // A paused server still drains: pending tickets must complete.
+    st.paused = false;
+    drop(st);
+    shared.work_ready.notify_all();
+}
+
+impl ServerHandle {
+    /// Admits a request with default options; returns its [`Ticket`], or
+    /// [`ServiceError::Overloaded`] when the queue is full.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServiceError> {
+        self.submit_with(request, SubmitOptions::default())
+    }
+
+    /// Admits a request with explicit priority/deadline options.
+    pub fn submit_with(
+        &self,
+        request: Request,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServiceError> {
+        let slot = ResponseSlot::new();
+        let fp = fingerprint(&request);
+        let mut st = self.shared.state.lock().expect("scheduler state poisoned");
+        if st.shutdown {
+            return Err(ServiceError::ServerShutdown);
+        }
+        // Dedup: attach to an identical queued job (one computation, many
+        // tickets). A higher-priority attacher re-queues the job so it keeps
+        // the most urgent of its waiters' priorities. Requests carrying a
+        // deadline never participate — a job has ONE deadline, and silently
+        // merging waiters with different (or no) deadlines could expire a
+        // ticket whose caller never asked for one. Deadline submits enqueue
+        // their own job instead; the cache tier still dedups the *work*.
+        if let Some(&job_id) = st.in_flight.get(&fp) {
+            let identical = options.deadline.is_none()
+                && st
+                    .jobs
+                    .get(&job_id)
+                    .is_some_and(|job| job.request == request && job.deadline.is_none());
+            if identical {
+                let deadline = {
+                    let job = st.jobs.get_mut(&job_id).expect("in_flight maps live jobs");
+                    job.waiters.push(slot.clone());
+                    job.deadline
+                };
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queue.push(QueueEntry {
+                    priority: options.priority,
+                    deadline,
+                    seq,
+                    job: job_id,
+                });
+                self.shared
+                    .stats
+                    .submitted
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.shared
+                    .stats
+                    .deduplicated
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                drop(st);
+                self.shared.work_ready.notify_one();
+                return Ok(Ticket::new(slot));
+            }
+        }
+        // Admission control: bounded queue.
+        if st.jobs.len() >= self.shared.config.queue_depth {
+            self.shared
+                .stats
+                .rejected_overloaded
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return Err(ServiceError::Overloaded {
+                queue_depth: self.shared.config.queue_depth,
+            });
+        }
+        let job_id = st.next_job;
+        st.next_job += 1;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let deadline = options.deadline.map(|d| Instant::now() + d);
+        st.in_flight.insert(fp, job_id);
+        st.jobs.insert(
+            job_id,
+            Job {
+                request,
+                fingerprint: fp,
+                deadline,
+                waiters: vec![slot.clone()],
+            },
+        );
+        st.queue.push(QueueEntry {
+            priority: options.priority,
+            deadline,
+            seq,
+            job: job_id,
+        });
+        self.shared
+            .stats
+            .submitted
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        drop(st);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket::new(slot))
+    }
+
+    /// A [`Session`] bound to this server, for per-client defaults.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone())
+    }
+
+    /// The shared service underneath (e.g. for [`plan`] previews or cache
+    /// statistics).
+    ///
+    /// [`plan`]: ResistanceService::plan
+    pub fn service(&self) -> &ResistanceService {
+        &self.shared.service
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            submitted: s.submitted.load(AtomicOrdering::Relaxed),
+            completed: s.completed.load(AtomicOrdering::Relaxed),
+            executed_jobs: s.executed_jobs.load(AtomicOrdering::Relaxed),
+            deduplicated: s.deduplicated.load(AtomicOrdering::Relaxed),
+            coalesced_batches: s.coalesced_batches.load(AtomicOrdering::Relaxed),
+            coalesced_requests: s.coalesced_requests.load(AtomicOrdering::Relaxed),
+            rejected_overloaded: s.rejected_overloaded.load(AtomicOrdering::Relaxed),
+            expired: s.expired.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Number of jobs currently waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("scheduler state poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Number of worker threads serving this server.
+    pub fn worker_count(&self) -> usize {
+        self.shared.config.workers
+    }
+
+    /// Unpauses a server spawned with
+    /// [`start_paused`](ServerConfig::start_paused).
+    pub fn resume(&self) {
+        let mut st = self.shared.state.lock().expect("scheduler state poisoned");
+        st.paused = false;
+        drop(st);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Stops admitting requests, drains every queued job (all outstanding
+    /// tickets complete) and joins the worker threads.
+    pub fn shutdown(self) {
+        begin_shutdown(&self.shared);
+        let threads = std::mem::take(&mut *self.shared.workers.lock().expect("worker list"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Completes every waiter of a job with copies of one result. The counter
+/// moves first so a caller woken by the last ticket observes it.
+fn complete_job(shared: &ServerShared, job: &Job, result: &Result<Response, ServiceError>) {
+    shared
+        .stats
+        .completed
+        .fetch_add(job.waiters.len() as u64, AtomicOrdering::Relaxed);
+    for slot in &job.waiters {
+        slot.complete(ResponseSlot::clone_result(result));
+    }
+}
+
+fn worker_loop(shared: &ServerShared) {
+    loop {
+        // Take the most urgent live job — plus, when coalescing is on, every
+        // compatible queued pair job — under the scheduler lock.
+        let mut batch: Vec<Job> = Vec::new();
+        {
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            let primary = loop {
+                if !st.paused {
+                    let mut found = None;
+                    while let Some(entry) = st.queue.pop() {
+                        // Stale entries (job already taken by another worker
+                        // or by a coalesced batch) are skipped.
+                        if let Some(job) = st.jobs.remove(&entry.job) {
+                            st.in_flight.remove(&job.fingerprint);
+                            found = Some(job);
+                            break;
+                        }
+                    }
+                    if let Some(job) = found {
+                        break job;
+                    }
+                }
+                if st.shutdown && st.jobs.is_empty() {
+                    return;
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .expect("scheduler state poisoned");
+            };
+            let coalescible = shared.config.coalescing && is_pair_shaped(&primary.request);
+            batch.push(primary);
+            if coalescible {
+                let head = &batch[0].request;
+                let choice = shared.service.plan(head);
+                let mut picked: Vec<u64> = Vec::new();
+                for (&id, job) in st.jobs.iter() {
+                    if batch.len() + picked.len() >= shared.config.max_coalesce {
+                        break;
+                    }
+                    if is_pair_shaped(&job.request)
+                        && job.request.accuracy == head.accuracy
+                        && job.request.backend == head.backend
+                        && shared.service.plan(&job.request) == choice
+                    {
+                        picked.push(id);
+                    }
+                }
+                for id in picked {
+                    let job = st.jobs.remove(&id).expect("picked from live jobs");
+                    st.in_flight.remove(&job.fingerprint);
+                    batch.push(job);
+                }
+            }
+        }
+
+        // Expire jobs whose start deadline has already lapsed.
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| job.deadline.is_none_or(|d| now <= d));
+        for job in &expired {
+            shared.stats.expired.fetch_add(1, AtomicOrdering::Relaxed);
+            complete_job(shared, job, &Err(ServiceError::DeadlineExceeded));
+        }
+
+        // Execute outside the lock: other workers keep popping meanwhile.
+        match live.len() {
+            0 => {}
+            1 => {
+                let job = &live[0];
+                let result = shared.service.submit(&job.request);
+                shared
+                    .stats
+                    .executed_jobs
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                complete_job(shared, job, &result);
+            }
+            n => {
+                let requests: Vec<&Request> = live.iter().map(|job| &job.request).collect();
+                match shared.service.submit_coalesced(&requests) {
+                    Ok(responses) => {
+                        shared
+                            .stats
+                            .executed_jobs
+                            .fetch_add(1, AtomicOrdering::Relaxed);
+                        shared
+                            .stats
+                            .coalesced_batches
+                            .fetch_add(1, AtomicOrdering::Relaxed);
+                        shared
+                            .stats
+                            .coalesced_requests
+                            .fetch_add(n as u64, AtomicOrdering::Relaxed);
+                        for (job, response) in live.iter().zip(responses) {
+                            complete_job(shared, job, &Ok(response));
+                        }
+                    }
+                    Err(_) => {
+                        // One bad member (e.g. an out-of-range node) must not
+                        // poison its peers: fall back to solo execution, which
+                        // yields identical values and isolates the error.
+                        for job in &live {
+                            let result = shared.service.submit(&job.request);
+                            shared
+                                .stats
+                                .executed_jobs
+                                .fetch_add(1, AtomicOrdering::Relaxed);
+                            complete_job(shared, job, &result);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Priority;
+    use er_graph::generators;
+    use std::time::Duration;
+
+    fn server(n: usize, config: ServerConfig) -> ServerHandle {
+        let g = generators::social_network_like(n, 8.0, 7).unwrap();
+        ResistanceServer::spawn(ResistanceService::new(&g).unwrap(), config)
+    }
+
+    #[test]
+    fn queue_entries_order_by_priority_then_deadline_then_fifo() {
+        let now = Instant::now();
+        let entry = |priority, deadline, seq| QueueEntry {
+            priority,
+            deadline,
+            seq,
+            job: 0,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(entry(Priority::Low, None, 0));
+        heap.push(entry(Priority::High, None, 3));
+        heap.push(entry(
+            Priority::Normal,
+            Some(now + Duration::from_secs(5)),
+            2,
+        ));
+        heap.push(entry(
+            Priority::Normal,
+            Some(now + Duration::from_secs(1)),
+            4,
+        ));
+        heap.push(entry(Priority::Normal, None, 1));
+        let order: Vec<(Priority, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.priority, e.seq))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (Priority::High, 3),
+                (Priority::Normal, 4), // earliest deadline
+                (Priority::Normal, 2),
+                (Priority::Normal, 1), // no deadline, FIFO
+                (Priority::Low, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_accuracy_and_backend() {
+        let base = Request::new(Query::pair(0, 9));
+        assert_eq!(fingerprint(&base), fingerprint(&base.clone()));
+        assert_ne!(
+            fingerprint(&base),
+            fingerprint(&base.clone().with_accuracy(Accuracy::Exact))
+        );
+        assert_ne!(
+            fingerprint(&base),
+            fingerprint(&base.clone().with_backend(crate::BackendChoice::Geer))
+        );
+        assert_ne!(
+            fingerprint(&base),
+            fingerprint(&Request::new(Query::pair(0, 10)))
+        );
+    }
+
+    #[test]
+    fn server_round_trip_and_shutdown() {
+        let handle = server(150, ServerConfig::default());
+        let tickets: Vec<Ticket> = (1..5)
+            .map(|t| handle.submit(Request::new(Query::pair(0, t * 30))).unwrap())
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().unwrap().value() > 0.0);
+        }
+        let clone = handle.clone();
+        clone.shutdown(); // joins the workers, so the counters are settled
+        let stats = handle.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected_overloaded, 0);
+        // The surviving handle is refused after shutdown.
+        assert!(matches!(
+            handle.submit(Request::new(Query::pair(0, 1))),
+            Err(ServiceError::ServerShutdown)
+        ));
+    }
+
+    #[test]
+    fn dropping_all_handles_drains_outstanding_tickets() {
+        let handle = server(120, ServerConfig::default());
+        let ticket = handle.submit(Request::new(Query::pair(0, 60))).unwrap();
+        drop(handle);
+        assert!(ticket.wait().unwrap().value() > 0.0);
+    }
+
+    #[test]
+    fn paused_server_expires_lapsed_deadlines_without_running_them() {
+        let handle = server(
+            120,
+            ServerConfig {
+                workers: 1,
+                start_paused: true,
+                ..ServerConfig::default()
+            },
+        );
+        let doomed = handle
+            .submit_with(
+                Request::new(Query::pair(0, 60)),
+                SubmitOptions::default().with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        let healthy = handle.submit(Request::new(Query::pair(0, 70))).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        handle.resume();
+        assert!(matches!(doomed.wait(), Err(ServiceError::DeadlineExceeded)));
+        assert!(healthy.wait().unwrap().value() > 0.0);
+        let stats = handle.stats();
+        assert_eq!(stats.expired, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn deadline_submits_never_merge_with_deduplicated_jobs() {
+        let handle = server(
+            120,
+            ServerConfig {
+                workers: 1,
+                start_paused: true,
+                coalescing: false,
+                ..ServerConfig::default()
+            },
+        );
+        let request = Request::new(Query::pair(0, 60));
+        // A doomed deadline job, then an identical deadline-free submit: the
+        // latter must NOT attach to the former (it would inherit the expiry).
+        let doomed = handle
+            .submit_with(
+                request.clone(),
+                SubmitOptions::default().with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        let healthy = handle.submit(request.clone()).unwrap();
+        // And a deadline submit must not attach to the queued healthy job.
+        let second_doomed = handle
+            .submit_with(
+                request.clone(),
+                SubmitOptions::default().with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        handle.resume();
+        assert!(matches!(doomed.wait(), Err(ServiceError::DeadlineExceeded)));
+        assert!(matches!(
+            second_doomed.wait(),
+            Err(ServiceError::DeadlineExceeded)
+        ));
+        assert!(healthy.wait().unwrap().value() > 0.0);
+        let clone = handle.clone();
+        clone.shutdown();
+        let stats = handle.stats();
+        assert_eq!(stats.deduplicated, 0, "deadline submits never merge");
+        assert_eq!(stats.expired, 2);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn planner_state_is_lock_free_even_mid_index_build() {
+        // plan() must answer instantly while another thread holds the index
+        // slot mutex for a build — the scheduler calls it under its queue
+        // lock. Simulate the build-side contention by holding the service's
+        // planner-relevant state busy with a real index build in another
+        // thread and asserting plan() completes meanwhile.
+        let g = generators::social_network_like(200, 8.0, 7).unwrap();
+        let service = Arc::new(ResistanceService::new(&g).unwrap());
+        let builder = {
+            let service = service.clone();
+            std::thread::spawn(move || service.warm_index().unwrap())
+        };
+        // Regardless of build progress, planning stays responsive.
+        for _ in 0..100 {
+            let _ = service.plan(&Request::new(Query::pair(0, 10)));
+        }
+        builder.join().unwrap();
+        assert!(service.planner_state().index_ready);
+    }
+
+    #[test]
+    fn coalescing_falls_back_to_solo_on_a_poisoned_member() {
+        // An out-of-range pair queued next to a healthy one must fail alone.
+        let handle = server(
+            120,
+            ServerConfig {
+                workers: 1,
+                start_paused: true,
+                ..ServerConfig::default()
+            },
+        );
+        let good = handle.submit(Request::new(Query::pair(0, 60))).unwrap();
+        let bad = handle.submit(Request::new(Query::pair(0, 9_999))).unwrap();
+        handle.resume();
+        assert!(good.wait().unwrap().value() > 0.0);
+        assert!(bad.wait().is_err());
+        handle.shutdown();
+    }
+}

@@ -1,4 +1,19 @@
 //! The `ResistanceService` front door.
+//!
+//! Since PR 4 the service is built for *concurrent* callers: [`submit`]
+//! takes `&self`, the service is `Send + Sync`, and any number of threads
+//! (or the [`ResistanceServer`](crate::ResistanceServer) worker pool) can be
+//! in flight at once. Internally the service splits into
+//!
+//! * an immutable, `Arc`-shared core — graph context, configuration and the
+//!   routing [`Planner`] — that every submit only reads,
+//! * a sharded cache tier: one [`QueryCache`] shard per
+//!   accuracy/backend-override class, each behind its own mutex, so requests
+//!   in different classes never contend, and
+//! * a registry of memoized heavy backends (index, landmark, dense-exact,
+//!   RP sketch) built lazily behind per-backend locks.
+//!
+//! [`submit`]: ResistanceService::submit
 
 use crate::backend::{
     Backend, EstimatorBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan, PlanItem,
@@ -6,20 +21,23 @@ use crate::backend::{
 };
 use crate::capability::QueryShape;
 use crate::error::ServiceError;
-use crate::planner::{BackendChoice, Planner, PlannerState};
+use crate::planner::{BackendChoice, Planner, PlannerConfig, PlannerState};
 use crate::query::{Accuracy, Query, Request};
 use crate::response::Response;
 use er_core::{Amc, ApproxConfig, Exact, Geer, GraphContext, Mc, Mc2, Rp, Smm, Tp, Tpc};
 use er_graph::{IntoGraphArc, NodeId};
 use er_index::{DiagonalStrategy, ErIndex, LandmarkIndex, LandmarkSelection, QueryCache};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cache entries are only reused for requests in the same class: the same
-/// accuracy (a value produced at ε = 0.5 must not serve an ε = 0.01 or
-/// exact request) *and* the same backend override (a request that forces
+/// accuracy (a value produced at ε = 0.5 must not serve an ε = 0.01
+/// request) *and* the same backend override (a request that forces
 /// AMC must be answered by AMC, not by a value GEER cached earlier —
-/// planner-routed requests share the `backend: None` class).
+/// planner-routed requests share the `backend: None` class). One legal
+/// cross-class exception exists: an `Exact` entry may serve any `Epsilon`
+/// request of the same backend-override class, because an exact value
+/// satisfies every ε target (see [`ResistanceService::submit`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct CacheClass {
     accuracy: AccuracyClass,
@@ -45,6 +63,127 @@ impl CacheClass {
         };
         CacheClass { accuracy, backend }
     }
+
+    /// The `Exact`-accuracy class with the same backend override — the only
+    /// class whose entries may legally serve this one.
+    fn exact_sibling(&self) -> Option<CacheClass> {
+        match self.accuracy {
+            AccuracyClass::Epsilon { .. } => Some(CacheClass {
+                accuracy: AccuracyClass::Exact,
+                backend: self.backend,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The RNG stream a pair query runs on, derived from the pair *content*
+/// (symmetric in `s`/`t`), never from its position in a request or the
+/// scheduling order. This is what makes the whole serving plane
+/// reproducible: a pair computes the same bits whether it is served alone,
+/// deduplicated against an identical in-flight request, coalesced into a
+/// cross-client batch, or replayed from the cache — so responses are
+/// bit-identical at any worker count and any arrival order.
+fn pair_stream(s: NodeId, t: NodeId) -> u64 {
+    let (a, b) = if s <= t { (s, t) } else { (t, s) };
+    let mut x = (a as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((b as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    // SplitMix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// The immutable heart of the service: everything `submit` reads but never
+/// writes, shared by `Arc` so worker threads and handles stay cheap.
+struct ServiceCore {
+    context: GraphContext,
+    config: ApproxConfig,
+    planner: Planner,
+    landmark_count: usize,
+}
+
+/// The sharded cache tier: one bounded [`QueryCache`] per cache class, each
+/// behind its own stripe lock. Requests in different accuracy classes never
+/// contend; requests in the same class serialize only for the (cheap)
+/// lookup/insert passes, not for backend work.
+struct CacheTier {
+    capacity: usize,
+    shards: RwLock<HashMap<CacheClass, Arc<Mutex<QueryCache>>>>,
+}
+
+impl CacheTier {
+    fn new(capacity: usize) -> CacheTier {
+        CacheTier {
+            capacity,
+            shards: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The shard for `class`, created on first use.
+    fn shard(&self, class: CacheClass) -> Arc<Mutex<QueryCache>> {
+        if let Some(shard) = self
+            .shards
+            .read()
+            .expect("cache tier lock poisoned")
+            .get(&class)
+        {
+            return shard.clone();
+        }
+        self.shards
+            .write()
+            .expect("cache tier lock poisoned")
+            .entry(class)
+            .or_insert_with(|| Arc::new(Mutex::new(QueryCache::new(self.capacity))))
+            .clone()
+    }
+
+    /// The shard for `class` if it already exists (probes never create
+    /// shards).
+    fn existing_shard(&self, class: CacheClass) -> Option<Arc<Mutex<QueryCache>>> {
+        self.shards
+            .read()
+            .expect("cache tier lock poisoned")
+            .get(&class)
+            .cloned()
+    }
+}
+
+/// `(eps_bits, delta_bits)` identifying an RP sketch's operating point.
+type RpKey = (u64, u64);
+
+/// Lazily built, memoized heavy backends. Each slot has its own lock, held
+/// across construction so concurrent requests needing the same backend wait
+/// for one build instead of duplicating it; requests on other backends are
+/// unaffected.
+#[derive(Default)]
+struct BackendRegistry {
+    index: Mutex<Option<Arc<IndexBackend>>>,
+    /// Lock-free mirror of `index.is_some()`, so [`planner_state`] (called
+    /// on every plan, including by the server's scheduler under its queue
+    /// lock) never blocks behind a multi-second index *build* holding the
+    /// slot mutex.
+    ///
+    /// [`planner_state`]: ResistanceService::planner_state
+    index_ready: std::sync::atomic::AtomicBool,
+    landmark: Mutex<Option<Arc<LandmarkBackend>>>,
+    exact_dense: Mutex<Option<Arc<EstimatorBackend<Exact>>>>,
+    /// RP's sketch is ε/δ-specific, so it is memoized per operating point.
+    rp: Mutex<Option<(RpKey, Arc<EstimatorBackend<Rp>>)>>,
+}
+
+/// Per-request bookkeeping while a (possibly coalesced) group of pair-shaped
+/// requests runs through the cache tier and one shared backend plan.
+struct PendingPairs {
+    values: Vec<f64>,
+    resolve: Vec<(usize, usize)>,
+    cache_hits: u64,
+    trivial_queries: u64,
+    owned_items: u64,
 }
 
 /// The unified query plane: one front door for every estimator.
@@ -55,12 +194,17 @@ impl CacheClass {
 /// [`Backend`] answer built on per-stream estimator forks (bit-identical at
 /// any thread count for a fixed seed).
 ///
+/// The service is `Send + Sync` and [`submit`](Self::submit) takes `&self`:
+/// share it behind an `Arc` (or spawn a
+/// [`ResistanceServer`](crate::ResistanceServer) over it) and any number of
+/// callers can be in flight at once.
+///
 /// ```
 /// use er_service::{Accuracy, Query, Request, ResistanceService};
 /// use er_graph::generators;
 ///
 /// let graph = generators::social_network_like(400, 10.0, 7).unwrap();
-/// let mut service = ResistanceService::new(&graph).unwrap();
+/// let service = ResistanceService::new(&graph).unwrap();
 ///
 /// let request = Request::new(Query::pair(0, 200)).with_accuracy(Accuracy::epsilon(0.1));
 /// let response = service.submit(&request).unwrap();
@@ -69,26 +213,13 @@ impl CacheClass {
 /// assert!(!response.backend.is_empty());
 /// ```
 pub struct ResistanceService {
-    context: GraphContext,
-    config: ApproxConfig,
-    planner: Planner,
-    cache_capacity: usize,
-    caches: HashMap<CacheClass, QueryCache>,
-    landmark_count: usize,
-    // Memoized heavy backends (cheap ones are rebuilt per request).
-    index: Option<Arc<IndexBackend>>,
-    landmark: Option<Arc<LandmarkBackend>>,
-    exact_dense: Option<Arc<EstimatorBackend<Exact>>>,
-    /// RP's sketch is ε/δ-specific, so it is memoized per operating point
-    /// (`(eps_bits, delta_bits)` of the effective config).
-    rp: Option<(RpKey, Arc<EstimatorBackend<Rp>>)>,
+    core: Arc<ServiceCore>,
+    caches: CacheTier,
+    backends: BackendRegistry,
 }
 
-/// `(eps_bits, delta_bits)` identifying an RP sketch's operating point.
-type RpKey = (u64, u64);
-
 impl ResistanceService {
-    /// Default capacity of each accuracy-class cache.
+    /// Default capacity of each accuracy-class cache shard.
     pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
     /// Default number of landmarks for the LANDMARK backend.
@@ -113,59 +244,78 @@ impl ResistanceService {
     /// Builds a service over an already-preprocessed [`GraphContext`].
     pub fn from_context(context: GraphContext, config: ApproxConfig) -> Self {
         ResistanceService {
-            context,
-            config,
-            planner: Planner::default(),
-            cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
-            caches: HashMap::new(),
-            landmark_count: Self::DEFAULT_LANDMARKS,
-            index: None,
-            landmark: None,
-            exact_dense: None,
-            rp: None,
+            core: Arc::new(ServiceCore {
+                context,
+                config,
+                planner: Planner::default(),
+                landmark_count: Self::DEFAULT_LANDMARKS,
+            }),
+            caches: CacheTier::new(Self::DEFAULT_CACHE_CAPACITY),
+            backends: BackendRegistry::default(),
         }
+    }
+
+    /// The immutable core, for builder-time mutation only (before the
+    /// service is shared).
+    fn core_mut(&mut self) -> &mut ServiceCore {
+        Arc::get_mut(&mut self.core)
+            .expect("service builders must run before the service is shared")
     }
 
     /// Overrides the routing policy.
     #[must_use]
     pub fn with_planner(mut self, planner: Planner) -> Self {
-        self.planner = planner;
+        self.core_mut().planner = planner;
         self
     }
 
-    /// Overrides the per-accuracy-class cache capacity (entries).
+    /// Overrides the planner's thresholds (shorthand for
+    /// [`with_planner`](Self::with_planner) on [`Planner::new`]).
+    #[must_use]
+    pub fn with_planner_config(mut self, config: PlannerConfig) -> Self {
+        self.core_mut().planner = Planner::new(config);
+        self
+    }
+
+    /// Overrides the per-accuracy-class cache-shard capacity (entries).
     #[must_use]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache_capacity = capacity.max(1);
+        self.caches = CacheTier::new(capacity.max(1));
         self
     }
 
     /// Overrides the landmark count of the LANDMARK backend.
     #[must_use]
     pub fn with_landmarks(mut self, count: usize) -> Self {
-        self.landmark_count = count.max(1);
+        self.core_mut().landmark_count = count.max(1);
         self
     }
 
     /// The preprocessed graph context the service answers over.
     pub fn context(&self) -> &GraphContext {
-        &self.context
+        &self.core.context
     }
 
     /// The service's estimator configuration.
     pub fn config(&self) -> ApproxConfig {
-        self.config
+        self.core.config
     }
 
     /// The routing policy in force.
     pub fn planner(&self) -> Planner {
-        self.planner
+        self.core.planner
     }
 
     /// What the planner can currently observe about this service.
+    ///
+    /// Lock-free (an atomic load), so planning never blocks behind an
+    /// in-progress index build.
     pub fn planner_state(&self) -> PlannerState {
         PlannerState {
-            index_ready: self.index.is_some(),
+            index_ready: self
+                .backends
+                .index_ready
+                .load(std::sync::atomic::Ordering::Acquire),
         }
     }
 
@@ -173,10 +323,10 @@ impl ResistanceService {
     /// doing any work. Honors the request's override.
     pub fn plan(&self, request: &Request) -> BackendChoice {
         request.backend.unwrap_or_else(|| {
-            self.planner.route(
+            self.core.planner.route(
                 &request.query,
                 request.accuracy,
-                self.context.graph().num_nodes(),
+                self.core.context.graph().num_nodes(),
                 self.planner_state(),
             )
         })
@@ -185,13 +335,23 @@ impl ResistanceService {
     /// Answers a request: validates it, consults the cache tier, routes to a
     /// backend and assembles the response in request order.
     ///
-    /// Determinism: for a fixed service seed and a fixed request sequence,
-    /// every response is bit-identical at any
-    /// [`threads`](ApproxConfig::threads) setting.
-    pub fn submit(&mut self, request: &Request) -> Result<Response, ServiceError> {
+    /// Takes `&self`: any number of threads may submit concurrently.
+    ///
+    /// Determinism: the RNG stream of every pair is derived from the pair
+    /// *content* (not its request position or scheduling order), so for a
+    /// fixed service seed a pair's value is bit-identical whether it is
+    /// served alone, inside a batch, coalesced with other requests, from the
+    /// cache, or at any [`threads`](ApproxConfig::threads) setting. The one
+    /// history-dependent exception: an `Exact` value already in the cache
+    /// tier may serve a later ε request of the same backend-override class
+    /// (exact answers satisfy every ε target), substituting the exact bits
+    /// for the sampled ones.
+    pub fn submit(&self, request: &Request) -> Result<Response, ServiceError> {
         match &request.query {
             Query::Pair { .. } | Query::Batch { .. } | Query::EdgeSet { .. } => {
-                self.submit_pairs(request)
+                let choice = self.plan(request);
+                let mut responses = self.submit_pairs_planned(&[request], choice)?;
+                Ok(responses.pop().expect("one response per request"))
             }
             Query::SingleSource { source } => self.submit_source(request, *source, 0),
             Query::TopK { source, k } => self.submit_source(request, *source, *k),
@@ -199,13 +359,52 @@ impl ResistanceService {
         }
     }
 
+    /// Answers several pair-shaped requests as **one backend plan** — the
+    /// cross-request coalescing primitive behind the
+    /// [`ResistanceServer`](crate::ResistanceServer). All requests must share
+    /// one accuracy target, one backend override and one planned backend
+    /// (the server groups by exactly these), otherwise the call is rejected
+    /// with [`ServiceError::InvalidRequest`].
+    ///
+    /// Coalescing changes *work*, never *values*: distinct pairs across the
+    /// group are deduplicated into one plan, sampling backends amortize one
+    /// parallel fan-out (and HAY one spanning-tree pool) over all of them,
+    /// and each returned response carries values bit-identical to what its
+    /// request would have computed alone. The reported
+    /// [`cost`](Response::cost) is that of the shared computation, attributed
+    /// to every member of the group.
+    pub fn submit_coalesced(&self, requests: &[&Request]) -> Result<Vec<Response>, ServiceError> {
+        let Some(first) = requests.first() else {
+            return Ok(Vec::new());
+        };
+        let choice = self.plan(first);
+        for request in requests {
+            if !request.query.shape().is_pairwise() {
+                return Err(ServiceError::InvalidRequest {
+                    message: "only pair-shaped queries can be coalesced".into(),
+                });
+            }
+            if request.accuracy != first.accuracy || request.backend != first.backend {
+                return Err(ServiceError::InvalidRequest {
+                    message: "coalesced requests must share one accuracy class".into(),
+                });
+            }
+            if self.plan(request) != choice {
+                return Err(ServiceError::InvalidRequest {
+                    message: "coalesced requests must plan to the same backend".into(),
+                });
+            }
+        }
+        self.submit_pairs_planned(requests, choice)
+    }
+
     /// Convenience: one pair at the service's default accuracy.
-    pub fn resistance(&mut self, s: NodeId, t: NodeId) -> Result<f64, ServiceError> {
+    pub fn resistance(&self, s: NodeId, t: NodeId) -> Result<f64, ServiceError> {
         Ok(self.submit(&Request::new(Query::pair(s, t)))?.value())
     }
 
     /// Convenience: `r(source, v)` for every `v`, exactly.
-    pub fn single_source(&mut self, source: NodeId) -> Result<Vec<f64>, ServiceError> {
+    pub fn single_source(&self, source: NodeId) -> Result<Vec<f64>, ServiceError> {
         Ok(self
             .submit(&Request::new(Query::single_source(source)))?
             .values)
@@ -213,120 +412,187 @@ impl ResistanceService {
 
     /// Convenience: the Kirchhoff index `Σ_{s<t} r(s, t) = n · tr(L†)`,
     /// computed from a [`Query::Diagonal`] answer.
-    pub fn kirchhoff_index(&mut self) -> Result<f64, ServiceError> {
+    pub fn kirchhoff_index(&self) -> Result<f64, ServiceError> {
         let diag = self.submit(&Request::new(Query::Diagonal))?;
-        let n = self.context.graph().num_nodes() as f64;
+        let n = self.core.context.graph().num_nodes() as f64;
         Ok(n * diag.values.iter().sum::<f64>())
     }
 
-    fn submit_pairs(&mut self, request: &Request) -> Result<Response, ServiceError> {
-        let pairs = request.query.pairs().into_owned();
-        let shape = request.query.shape();
-        for &(s, t) in &pairs {
-            self.context.check_pair(s, t)?;
-            if shape == QueryShape::EdgeSet && s != t && !self.context.graph().has_edge(s, t) {
-                return Err(ServiceError::InvalidRequest {
-                    message: format!("({s}, {t}) is not an edge of the graph"),
+    /// The shared submit path for pair-shaped requests: validation, the
+    /// cache-tier pass (per-class shard plus the legal `Exact` → ε
+    /// cross-class probe), cross-request dedup into one plan on
+    /// content-derived streams, one backend call, and per-request response
+    /// assembly.
+    fn submit_pairs_planned(
+        &self,
+        requests: &[&Request],
+        choice: BackendChoice,
+    ) -> Result<Vec<Response>, ServiceError> {
+        let first = requests.first().expect("submit_pairs_planned needs input");
+        let accuracy = first.accuracy;
+
+        // Validation first (bad node ids / non-edges fail before any backend
+        // or cache cost is paid), then the static capability check.
+        for request in requests {
+            let shape = request.query.shape();
+            for &(s, t) in request.query.pairs().iter() {
+                self.core.context.check_pair(s, t)?;
+                if shape == QueryShape::EdgeSet
+                    && s != t
+                    && !self.core.context.graph().has_edge(s, t)
+                {
+                    return Err(ServiceError::InvalidRequest {
+                        message: format!("({s}, {t}) is not an edge of the graph"),
+                    });
+                }
+            }
+            if !choice.capabilities().contains(shape) {
+                return Err(ServiceError::UnsupportedShape {
+                    backend: choice.name(),
+                    shape,
                 });
             }
         }
-        let choice = self.plan(request);
-        // Static capability check, before any backend-construction or cache
-        // cost is paid.
-        if !choice.capabilities().contains(shape) {
-            return Err(ServiceError::UnsupportedShape {
-                backend: choice.name(),
-                shape,
-            });
-        }
 
-        // Cache tier: trivial self-pairs short-circuit, repeats (within the
-        // request and across requests in the same accuracy class) are cache
-        // hits, distinct misses become plan items. Each miss carries the RNG
-        // stream of its first position in the request, so stream assignment
-        // is independent of both cache state *within* the request and thread
+        // Cache tier: trivial self-pairs short-circuit, repeats (within a
+        // request, across coalesced requests, and across earlier requests in
+        // the same class) are hits, distinct misses become plan items. Each
+        // miss runs on the RNG stream derived from its pair content, so the
+        // answer is independent of cache state, group composition and thread
         // count.
-        let class = CacheClass::of(request.accuracy, request.backend);
-        let cache = self
-            .caches
-            .entry(class)
-            .or_insert_with(|| QueryCache::new(self.cache_capacity));
-        let mut values = vec![0.0; pairs.len()];
-        let mut cache_hits = 0u64;
-        let mut trivial_queries = 0u64;
+        let class = CacheClass::of(accuracy, first.backend);
+        let shard = self.caches.shard(class);
+        let exact_shard = class
+            .exact_sibling()
+            .and_then(|sibling| self.caches.existing_shard(sibling));
+        let mut pending: Vec<PendingPairs> = Vec::with_capacity(requests.len());
         let mut miss_index: HashMap<(NodeId, NodeId), usize> = HashMap::new();
         let mut items: Vec<PlanItem> = Vec::new();
         let mut streams: Vec<u64> = Vec::new();
-        let mut resolve: Vec<(usize, usize)> = Vec::new();
-        for (pos, &(s, t)) in pairs.iter().enumerate() {
-            if s == t {
-                trivial_queries += 1;
-                continue;
-            }
-            if let Some(v) = cache.get(s, t) {
-                cache_hits += 1;
-                values[pos] = v;
-                continue;
-            }
-            let key = (s.min(t), s.max(t));
-            match miss_index.get(&key) {
-                Some(&slot) => {
-                    cache_hits += 1;
-                    resolve.push((pos, slot));
+        {
+            let mut cache = shard.lock().expect("cache shard poisoned");
+            // Lock order is always ε-shard then Exact-shard; Exact requests
+            // never take a second shard, so the order is acyclic.
+            let exact_guard = exact_shard
+                .as_ref()
+                .map(|s| s.lock().expect("cache shard poisoned"));
+            for request in requests {
+                let pairs = request.query.pairs();
+                let mut p = PendingPairs {
+                    values: vec![0.0; pairs.len()],
+                    resolve: Vec::new(),
+                    cache_hits: 0,
+                    trivial_queries: 0,
+                    owned_items: 0,
+                };
+                for (pos, &(s, t)) in pairs.iter().enumerate() {
+                    if s == t {
+                        p.trivial_queries += 1;
+                        continue;
+                    }
+                    if let Some(v) = cache.get(s, t) {
+                        p.cache_hits += 1;
+                        p.values[pos] = v;
+                        continue;
+                    }
+                    // ROADMAP cache-tier fix: an Exact entry of the same
+                    // backend-override class legally serves any ε request —
+                    // probe without touching the exact shard's statistics.
+                    if let Some(exact) = exact_guard.as_deref() {
+                        if let Some(v) = exact.peek(s, t) {
+                            p.cache_hits += 1;
+                            p.values[pos] = v;
+                            continue;
+                        }
+                    }
+                    let key = (s.min(t), s.max(t));
+                    match miss_index.get(&key) {
+                        Some(&slot) => {
+                            p.cache_hits += 1;
+                            p.resolve.push((pos, slot));
+                        }
+                        None => {
+                            let slot = items.len();
+                            miss_index.insert(key, slot);
+                            items.push(PlanItem { s, t });
+                            streams.push(pair_stream(s, t));
+                            p.owned_items += 1;
+                            p.resolve.push((pos, slot));
+                        }
+                    }
                 }
-                None => {
-                    let slot = items.len();
-                    miss_index.insert(key, slot);
-                    items.push(PlanItem { s, t });
-                    streams.push(pos as u64);
-                    resolve.push((pos, slot));
-                }
+                pending.push(p);
             }
         }
 
-        // Fully cache-served requests never touch (or build) a backend.
+        // Fully cache-served groups never touch (or build) a backend.
         if items.is_empty() {
-            return Ok(Response {
-                values,
-                nodes: Vec::new(),
-                backend: choice.name(),
-                cost: er_core::CostBreakdown::default(),
-                cache_hits,
-                backend_calls: 0,
-                trivial_queries,
-            });
+            return Ok(pending
+                .into_iter()
+                .map(|p| Response {
+                    values: p.values,
+                    nodes: Vec::new(),
+                    backend: choice.name(),
+                    cost: er_core::CostBreakdown::default(),
+                    cache_hits: p.cache_hits,
+                    backend_calls: 0,
+                    trivial_queries: p.trivial_queries,
+                })
+                .collect());
         }
 
-        let plan = Plan::for_items(shape, request.accuracy, items);
+        // One shape for the merged plan: edge-set groups stay edge-sets (the
+        // HAY/MC2 capability), anything else is a batch.
+        let plan_shape = if requests.len() == 1 {
+            first.query.shape()
+        } else if requests
+            .iter()
+            .all(|r| r.query.shape() == QueryShape::EdgeSet)
+        {
+            QueryShape::EdgeSet
+        } else {
+            QueryShape::Batch
+        };
+        let plan = Plan::for_items(plan_shape, accuracy, items);
         let stream_plan = StreamPlan {
             streams,
-            threads: self.config.threads,
+            threads: self.core.config.threads,
         };
-        let backend = self.backend_instance(choice, request.accuracy)?;
-        let mut answer = backend.answer(&plan, &stream_plan)?;
-        let cache = self
-            .caches
-            .get_mut(&class)
-            .expect("cache created earlier in submit");
-        for (item, &value) in plan.items.iter().zip(&answer.values) {
-            cache.insert(item.s, item.t, value);
+        let backend = self.backend_instance(choice, accuracy)?;
+        let answer = backend.answer(&plan, &stream_plan)?;
+        {
+            let mut cache = shard.lock().expect("cache shard poisoned");
+            for (item, &value) in plan.items.iter().zip(&answer.values) {
+                cache.insert(item.s, item.t, value);
+            }
         }
-        for (pos, slot) in resolve {
-            values[pos] = answer.values[slot];
-        }
-        answer.values = values;
-        answer.cache_hits = cache_hits;
-        answer.trivial_queries = trivial_queries;
-        Ok(answer)
+        Ok(pending
+            .into_iter()
+            .map(|p| {
+                let mut values = p.values;
+                for &(pos, slot) in &p.resolve {
+                    values[pos] = answer.values[slot];
+                }
+                Response {
+                    values,
+                    nodes: Vec::new(),
+                    backend: choice.name(),
+                    cost: answer.cost,
+                    cache_hits: p.cache_hits,
+                    backend_calls: p.owned_items,
+                    trivial_queries: p.trivial_queries,
+                }
+            })
+            .collect())
     }
 
     fn submit_source(
-        &mut self,
+        &self,
         request: &Request,
         source: NodeId,
         k: usize,
     ) -> Result<Response, ServiceError> {
-        self.context.check_pair(source, source)?;
+        self.core.context.check_pair(source, source)?;
         let shape = request.query.shape();
         let choice = self.plan(request);
         if !choice.capabilities().contains(shape) {
@@ -345,12 +611,12 @@ impl ResistanceService {
         };
         let streams = StreamPlan {
             streams: vec![],
-            threads: self.config.threads,
+            threads: self.core.config.threads,
         };
         backend.answer(&plan, &streams)
     }
 
-    fn submit_diagonal(&mut self, request: &Request) -> Result<Response, ServiceError> {
+    fn submit_diagonal(&self, request: &Request) -> Result<Response, ServiceError> {
         let choice = self.plan(request);
         if !choice.capabilities().contains(QueryShape::Diagonal) {
             return Err(ServiceError::UnsupportedShape {
@@ -368,7 +634,7 @@ impl ResistanceService {
         };
         let streams = StreamPlan {
             streams: vec![],
-            threads: self.config.threads,
+            threads: self.core.config.threads,
         };
         backend.answer(&plan, &streams)
     }
@@ -380,19 +646,20 @@ impl ResistanceService {
             Accuracy::Epsilon { eps, delta } => ApproxConfig {
                 epsilon: eps,
                 delta,
-                ..self.config
+                ..self.core.config
             },
-            _ => self.config,
+            _ => self.core.config,
         }
     }
 
     /// Builds (or fetches the memoized instance of) the backend for a
     /// routing choice. The index, landmark, dense-exact and RP backends
-    /// carry expensive preprocessing and are memoized; the remaining
-    /// estimator prototypes are free to construct and are rebuilt per
-    /// request so they pick up the request's accuracy target.
+    /// carry expensive preprocessing and are memoized behind per-slot locks
+    /// (concurrent requests wait for one build instead of duplicating it);
+    /// the remaining estimator prototypes are free to construct and are
+    /// rebuilt per request so they pick up the request's accuracy target.
     fn backend_instance(
-        &mut self,
+        &self,
         choice: BackendChoice,
         accuracy: Accuracy,
     ) -> Result<Arc<dyn Backend>, ServiceError> {
@@ -402,7 +669,7 @@ impl ResistanceService {
             Accuracy::WalkBudget(b) => Some(b),
             _ => None,
         };
-        let ctx = &self.context;
+        let ctx = &self.core.context;
         Ok(match choice {
             BackendChoice::Geer => {
                 let mut proto = Geer::new(ctx, cfg);
@@ -446,7 +713,8 @@ impl ResistanceService {
                 // solves) up front; rebuild only when the operating point
                 // changes.
                 let key = (cfg.epsilon.to_bits(), cfg.delta.to_bits());
-                match &self.rp {
+                let mut slot = self.backends.rp.lock().expect("rp slot poisoned");
+                match slot.as_ref() {
                     Some((k, backend)) if *k == key => backend.clone(),
                     _ => {
                         let backend = Arc::new(EstimatorBackend::new(
@@ -454,7 +722,7 @@ impl ResistanceService {
                             "RP",
                             QueryShapeSet::PAIRWISE,
                         ));
-                        self.rp = Some((key, backend.clone()));
+                        *slot = Some((key, backend.clone()));
                         backend
                     }
                 }
@@ -484,38 +752,52 @@ impl ResistanceService {
                 QueryShapeSet::PAIRWISE,
             )),
             BackendChoice::ExactDense => {
-                if self.exact_dense.is_none() {
-                    self.exact_dense = Some(Arc::new(EstimatorBackend::new(
+                let mut slot = self
+                    .backends
+                    .exact_dense
+                    .lock()
+                    .expect("exact-dense slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(Arc::new(EstimatorBackend::new(
                         Exact::new(ctx)?,
                         "EXACT",
                         QueryShapeSet::PAIRWISE,
                     )));
                 }
-                self.exact_dense.clone().expect("memoized above")
+                slot.clone().expect("memoized above")
             }
             BackendChoice::Index => {
-                if self.index.is_none() {
+                let mut slot = self.backends.index.lock().expect("index slot poisoned");
+                if slot.is_none() {
                     let index = ErIndex::build_with_threads(
-                        self.context.graph_arc().clone(),
+                        self.core.context.graph_arc().clone(),
                         DiagonalStrategy::ExactSolves,
-                        self.config.seed,
-                        self.config.threads,
+                        self.core.config.seed,
+                        self.core.config.threads,
                     )?;
-                    self.index = Some(Arc::new(IndexBackend::new(index)));
+                    *slot = Some(Arc::new(IndexBackend::new(index)));
+                    self.backends
+                        .index_ready
+                        .store(true, std::sync::atomic::Ordering::Release);
                 }
-                self.index.clone().expect("memoized above")
+                slot.clone().expect("memoized above")
             }
             BackendChoice::Landmark => {
-                if self.landmark.is_none() {
+                let mut slot = self
+                    .backends
+                    .landmark
+                    .lock()
+                    .expect("landmark slot poisoned");
+                if slot.is_none() {
                     let index = LandmarkIndex::build(
-                        self.context.graph(),
-                        self.landmark_count,
+                        self.core.context.graph(),
+                        self.core.landmark_count,
                         LandmarkSelection::Mixed,
-                        self.config.seed,
+                        self.core.config.seed,
                     )?;
-                    self.landmark = Some(Arc::new(LandmarkBackend::new(index)));
+                    *slot = Some(Arc::new(LandmarkBackend::new(index)));
                 }
-                self.landmark.clone().expect("memoized above")
+                slot.clone().expect("memoized above")
             }
         })
     }
@@ -526,7 +808,14 @@ impl ResistanceService {
         let mut hits = 0;
         let mut misses = 0;
         let mut entries = 0;
-        for cache in self.caches.values() {
+        for shard in self
+            .caches
+            .shards
+            .read()
+            .expect("cache tier lock poisoned")
+            .values()
+        {
+            let cache = shard.lock().expect("cache shard poisoned");
             hits += cache.hits();
             misses += cache.misses();
             entries += cache.len();
@@ -536,7 +825,7 @@ impl ResistanceService {
 
     /// Hint that upcoming requests are repeated-source workloads: builds the
     /// index tier now so the planner can route to it immediately.
-    pub fn warm_index(&mut self) -> Result<(), ServiceError> {
+    pub fn warm_index(&self) -> Result<(), ServiceError> {
         self.backend_instance(BackendChoice::Index, Accuracy::Exact)?;
         Ok(())
     }
@@ -553,8 +842,39 @@ mod tests {
     }
 
     #[test]
+    fn service_is_send_and_sync_and_shareable() {
+        fn check<T: Send + Sync>(_: &T) {}
+        let s = service(80);
+        check(&s);
+        // Two threads submit through one &self concurrently.
+        let s = Arc::new(s);
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    s.submit(&Request::new(Query::pair(i, 40 + i)))
+                        .unwrap()
+                        .value()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pair_streams_are_symmetric_and_content_addressed() {
+        assert_eq!(pair_stream(3, 9), pair_stream(9, 3));
+        assert_ne!(pair_stream(3, 9), pair_stream(3, 10));
+        // A pair's stream does not depend on anything but the pair.
+        let a = pair_stream(123, 456);
+        assert_eq!(a, pair_stream(123, 456));
+    }
+
+    #[test]
     fn pair_and_batch_round_trip_with_cache() {
-        let mut s = service(200);
+        let s = service(200);
         let response = s
             .submit(&Request::new(Query::batch(vec![
                 (0, 10),
@@ -583,23 +903,78 @@ mod tests {
     }
 
     #[test]
+    fn cached_values_match_a_fresh_computation_bit_for_bit() {
+        // Streams are content-derived, so a value served from the cache is
+        // the same bits a fresh service computes for the same pair — the
+        // property the serving plane's arrival-order invariance rests on.
+        let g = generators::social_network_like(200, 8.0, 7).unwrap();
+        let warm = ResistanceService::new(&g).unwrap();
+        warm.submit(&Request::new(Query::batch(vec![(7, 90), (8, 120)])))
+            .unwrap();
+        let cached = warm
+            .submit(&Request::new(Query::pair(8, 120)).with_accuracy(Accuracy::default()))
+            .unwrap();
+        assert_eq!(cached.backend_calls, 0, "served from cache");
+        let fresh = ResistanceService::new(&g).unwrap();
+        let computed = fresh.submit(&Request::new(Query::pair(8, 120))).unwrap();
+        assert_eq!(computed.backend_calls, 1);
+        assert_eq!(cached.value().to_bits(), computed.value().to_bits());
+    }
+
+    #[test]
     fn accuracy_classes_do_not_share_cache_entries() {
-        let mut s = service(200);
+        let s = service(200);
         let coarse = s
             .submit(&Request::new(Query::pair(0, 50)).with_accuracy(Accuracy::epsilon(0.5)))
             .unwrap();
-        let exact = s
-            .submit(&Request::new(Query::pair(0, 50)).with_accuracy(Accuracy::Exact))
+        let finer = s
+            .submit(&Request::new(Query::pair(0, 50)).with_accuracy(Accuracy::epsilon(0.05)))
             .unwrap();
-        // The exact request must not be served the coarse cached value: it
+        // The finer request must not be served the coarse cached value: it
         // performed its own backend call.
-        assert_eq!(exact.backend_calls, 1);
+        assert_eq!(finer.backend_calls, 1);
         assert_eq!(coarse.backend_calls, 1);
     }
 
     #[test]
+    fn exact_entries_serve_later_epsilon_requests() {
+        // ROADMAP cache-tier fix: a CG-exact value short-circuits a later ε
+        // query in the same backend-override class.
+        let s = service(200);
+        let exact = s
+            .submit(&Request::new(Query::pair(0, 50)).with_accuracy(Accuracy::Exact))
+            .unwrap();
+        assert_eq!(exact.backend_calls, 1);
+        let eps = s
+            .submit(&Request::new(Query::pair(50, 0)).with_accuracy(Accuracy::epsilon(0.3)))
+            .unwrap();
+        assert_eq!(eps.backend_calls, 0, "served from the Exact shard");
+        assert_eq!(eps.cache_hits, 1);
+        assert_eq!(eps.value().to_bits(), exact.value().to_bits());
+        // The reverse direction must NOT hold: ε entries never serve Exact.
+        let eps_first = s
+            .submit(&Request::new(Query::pair(3, 90)).with_accuracy(Accuracy::epsilon(0.3)))
+            .unwrap();
+        assert_eq!(eps_first.backend_calls, 1);
+        let exact_after = s
+            .submit(&Request::new(Query::pair(3, 90)).with_accuracy(Accuracy::Exact))
+            .unwrap();
+        assert_eq!(exact_after.backend_calls, 1, "exact recomputes");
+        // Nor across backend-override classes: a forced-GEER ε request must
+        // not see the planner-class exact entry.
+        let forced = s
+            .submit(
+                &Request::new(Query::pair(0, 50))
+                    .with_accuracy(Accuracy::epsilon(0.3))
+                    .with_backend(BackendChoice::Geer),
+            )
+            .unwrap();
+        assert_eq!(forced.backend_calls, 1);
+    }
+
+    #[test]
     fn backend_overrides_do_not_share_cache_entries() {
-        let mut s = service(200);
+        let s = service(200);
         let planned = s.submit(&Request::new(Query::pair(0, 50))).unwrap();
         let forced_geer = s
             .submit(&Request::new(Query::pair(0, 50)).with_backend(BackendChoice::Geer))
@@ -623,8 +998,55 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_submission_is_value_identical_to_solo_submission() {
+        let g = generators::social_network_like(200, 8.0, 7).unwrap();
+        let solo = ResistanceService::new(&g).unwrap();
+        let a = Request::new(Query::pair(0, 100)).with_backend(BackendChoice::Geer);
+        let b = Request::new(Query::batch(vec![(5, 60), (0, 100), (7, 7)]))
+            .with_backend(BackendChoice::Geer);
+        let solo_a = solo.submit(&a).unwrap();
+        let solo_b = solo.submit(&b).unwrap();
+
+        let grouped = ResistanceService::new(&g).unwrap();
+        let responses = grouped.submit_coalesced(&[&a, &b]).unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].values, solo_a.values);
+        assert_eq!(responses[1].values, solo_b.values);
+        assert_eq!(responses[0].backend, "GEER");
+        // The shared pair (0, 100) is computed once: request b sees it as a
+        // group-level hit.
+        assert_eq!(responses[0].backend_calls, 1);
+        assert_eq!(responses[1].backend_calls, 1, "only (5, 60) is new");
+        assert_eq!(responses[1].cache_hits, 1);
+        assert_eq!(responses[1].trivial_queries, 1);
+    }
+
+    #[test]
+    fn coalesced_submission_rejects_mixed_classes() {
+        let s = service(150);
+        let a = Request::new(Query::pair(0, 75));
+        let mismatched_accuracy =
+            Request::new(Query::pair(0, 76)).with_accuracy(Accuracy::epsilon(0.4));
+        assert!(matches!(
+            s.submit_coalesced(&[&a, &mismatched_accuracy]),
+            Err(ServiceError::InvalidRequest { .. })
+        ));
+        let source_shaped = Request::new(Query::single_source(0));
+        assert!(matches!(
+            s.submit_coalesced(&[&a, &source_shaped]),
+            Err(ServiceError::InvalidRequest { .. })
+        ));
+        let mismatched_backend = Request::new(Query::pair(0, 76)).with_backend(BackendChoice::Amc);
+        assert!(matches!(
+            s.submit_coalesced(&[&a, &mismatched_backend]),
+            Err(ServiceError::InvalidRequest { .. })
+        ));
+        assert!(s.submit_coalesced(&[]).unwrap().is_empty());
+    }
+
+    #[test]
     fn small_graph_epsilon_requests_are_answered_exactly() {
-        let mut s = service(150);
+        let s = service(150);
         let response = s.submit(&Request::new(Query::pair(0, 75))).unwrap();
         assert_eq!(response.backend, "EXACT-CG");
         // Cross-check against the index tier.
@@ -634,7 +1056,7 @@ mod tests {
 
     #[test]
     fn override_knob_forces_a_backend() {
-        let mut s = service(150);
+        let s = service(150);
         let forced = s
             .submit(&Request::new(Query::pair(0, 75)).with_backend(BackendChoice::Geer))
             .unwrap();
@@ -649,7 +1071,7 @@ mod tests {
 
     #[test]
     fn edge_sets_validate_membership() {
-        let mut s = service(150);
+        let s = service(150);
         let g_edges: Vec<_> = s.context().graph().edges().take(4).collect();
         let ok = s.submit(&Request::new(Query::edge_set(g_edges))).unwrap();
         assert_eq!(ok.values.len(), 4);
@@ -671,7 +1093,7 @@ mod tests {
 
     #[test]
     fn source_shapes_route_to_the_index_and_kirchhoff_matches() {
-        let mut s = service(150);
+        let s = service(150);
         let request = Request::new(Query::top_k(0, 5));
         assert_eq!(s.plan(&request), BackendChoice::Index);
         let top = s.submit(&request).unwrap();
@@ -692,7 +1114,7 @@ mod tests {
     fn static_capabilities_match_backend_instances() {
         // The early-rejection policy on BackendChoice must agree with what
         // each constructed backend actually declares.
-        let mut s = service(120);
+        let s = service(120);
         for choice in [
             BackendChoice::Geer,
             BackendChoice::Amc,
@@ -716,7 +1138,7 @@ mod tests {
 
     #[test]
     fn out_of_range_nodes_are_rejected_up_front() {
-        let mut s = service(100);
+        let s = service(100);
         assert!(s.submit(&Request::new(Query::pair(0, 5_000))).is_err());
         assert!(s
             .submit(&Request::new(Query::single_source(5_000)))
@@ -725,7 +1147,7 @@ mod tests {
 
     #[test]
     fn walk_budget_is_forwarded() {
-        let mut s = service(150);
+        let s = service(150);
         let response = s
             .submit(
                 &Request::new(Query::pair(0, 75))
@@ -735,5 +1157,19 @@ mod tests {
             .unwrap();
         assert_eq!(response.backend, "AMC");
         assert!(response.cost.random_walks <= 500);
+    }
+
+    #[test]
+    fn planner_config_builder_reaches_the_routing_table() {
+        let g = generators::social_network_like(150, 8.0, 7).unwrap();
+        // Threshold below the graph size: the ε request goes to sampling.
+        let s = ResistanceService::new(&g)
+            .unwrap()
+            .with_planner_config(PlannerConfig::default().with_exact_node_threshold(10));
+        assert_eq!(
+            s.plan(&Request::new(Query::pair(0, 75))),
+            BackendChoice::Geer
+        );
+        assert_eq!(s.planner().config().exact_node_threshold, 10);
     }
 }

@@ -1,0 +1,288 @@
+//! Client-side vocabulary of the serving plane: [`Ticket`]s, submit-time
+//! scheduling hints ([`Priority`], [`SubmitOptions`]) and the per-client
+//! [`Session`] convenience wrapper.
+//!
+//! A [`ServerHandle::submit`](crate::ServerHandle::submit) enqueues work and
+//! returns a [`Ticket`] immediately; the caller collects the [`Response`]
+//! with [`Ticket::wait`] (blocking) or polls with [`Ticket::try_wait`].
+//! Deduplicated requests share one completion slot, so `k` identical
+//! in-flight tickets are all fulfilled by a single computation.
+
+use crate::error::ServiceError;
+use crate::planner::BackendChoice;
+use crate::query::{Accuracy, Query, Request};
+use crate::response::Response;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Scheduling priority of a request. Workers always pick the
+/// highest-priority queued job first; within a priority, earlier deadlines
+/// run first, then FIFO order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: runs when nothing more urgent is queued.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: jumps the queue.
+    High,
+}
+
+/// Per-submit scheduling options: a [`Priority`] and an optional deadline
+/// (relative to the submit call). A request whose deadline passes before a
+/// worker picks it up is completed with [`ServiceError::DeadlineExceeded`]
+/// without running — admission control for callers that would discard a
+/// stale answer anyway. Requests carrying a deadline are never merged by
+/// the server's dedup tier (each keeps its own expiry); they still benefit
+/// from the service cache like everyone else.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Scheduling priority (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Drop the request (with [`ServiceError::DeadlineExceeded`]) if it has
+    /// not *started* within this duration of being submitted. `None` = never.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Options with an explicit priority.
+    pub fn with_priority(mut self, priority: Priority) -> SubmitOptions {
+        self.priority = priority;
+        self
+    }
+
+    /// Options with a start deadline relative to submit time.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The completion slot shared between a submitter and the worker that
+/// fulfils the job — and, for deduplicated requests, between *all* waiters
+/// of the shared computation.
+#[derive(Debug)]
+pub(crate) struct ResponseSlot {
+    state: Mutex<Option<Result<Response, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Arc<ResponseSlot> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Stores the result and wakes every waiter. Idempotent: the first
+    /// completion wins (a job is only fulfilled once).
+    pub(crate) fn complete(&self, result: Result<Response, ServiceError>) {
+        let mut state = self.state.lock().expect("response slot poisoned");
+        if state.is_none() {
+            *state = Some(result);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Copies a result for fan-out to several waiters (`Response` clones,
+    /// `ServiceError` goes through [`ServiceError::duplicate`]).
+    pub(crate) fn clone_result(
+        result: &Result<Response, ServiceError>,
+    ) -> Result<Response, ServiceError> {
+        match result {
+            Ok(response) => Ok(response.clone()),
+            Err(e) => Err(e.duplicate()),
+        }
+    }
+}
+
+/// A claim on an in-flight request's [`Response`].
+///
+/// Returned by [`ServerHandle::submit`](crate::ServerHandle::submit).
+/// Dropping a ticket abandons the claim; the computation still runs (other
+/// deduplicated waiters may hold tickets on it).
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Ticket {
+        Ticket { slot }
+    }
+
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        let mut state = self.slot.state.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = state.as_ref() {
+                return ResponseSlot::clone_result(result);
+            }
+            state = self.slot.ready.wait(state).expect("response slot poisoned");
+        }
+    }
+
+    /// Non-blocking poll: `Some(result)` once the request has completed,
+    /// `None` while it is still queued or running. The ticket stays valid
+    /// either way — poll again or [`wait`](Self::wait) later.
+    pub fn try_wait(&self) -> Option<Result<Response, ServiceError>> {
+        self.slot
+            .state
+            .lock()
+            .expect("response slot poisoned")
+            .as_ref()
+            .map(ResponseSlot::clone_result)
+    }
+
+    /// Whether the request has completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        self.slot
+            .state
+            .lock()
+            .expect("response slot poisoned")
+            .is_some()
+    }
+}
+
+/// A per-client view of a server: carries default accuracy, backend
+/// override, priority and deadline, so call sites submit plain [`Query`]s.
+///
+/// ```
+/// use er_service::{Accuracy, Priority, Query, ResistanceServer, ResistanceService, ServerConfig};
+/// use er_graph::generators;
+///
+/// let graph = generators::social_network_like(200, 8.0, 7).unwrap();
+/// let service = ResistanceService::new(&graph).unwrap();
+/// let handle = ResistanceServer::spawn(service, ServerConfig::default());
+///
+/// let session = handle
+///     .session()
+///     .with_accuracy(Accuracy::epsilon(0.2))
+///     .with_priority(Priority::High);
+/// let r = session.resistance(0, 100).unwrap();
+/// assert!(r > 0.0);
+/// handle.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    handle: crate::server::ServerHandle,
+    accuracy: Accuracy,
+    backend: Option<BackendChoice>,
+    options: SubmitOptions,
+}
+
+impl Session {
+    pub(crate) fn new(handle: crate::server::ServerHandle) -> Session {
+        Session {
+            handle,
+            accuracy: Accuracy::default(),
+            backend: None,
+            options: SubmitOptions::default(),
+        }
+    }
+
+    /// Sets the session's default accuracy target.
+    #[must_use]
+    pub fn with_accuracy(mut self, accuracy: Accuracy) -> Session {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Forces a backend for every query of this session.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Session {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the session's scheduling priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Session {
+        self.options.priority = priority;
+        self
+    }
+
+    /// Sets a start deadline applied to every query of this session.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Session {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Submits a query with the session's defaults; returns its [`Ticket`].
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
+        let mut request = Request::new(query).with_accuracy(self.accuracy);
+        if let Some(backend) = self.backend {
+            request = request.with_backend(backend);
+        }
+        self.handle.submit_with(request, self.options)
+    }
+
+    /// Convenience: one pair query, submitted and awaited.
+    pub fn resistance(
+        &self,
+        s: er_graph::NodeId,
+        t: er_graph::NodeId,
+    ) -> Result<f64, ServiceError> {
+        Ok(self.submit(Query::pair(s, t))?.wait()?.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_order_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn submit_options_builders() {
+        let opts = SubmitOptions::default()
+            .with_priority(Priority::High)
+            .with_deadline(Duration::from_millis(5));
+        assert_eq!(opts.priority, Priority::High);
+        assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(SubmitOptions::default().deadline, None);
+    }
+
+    #[test]
+    fn tickets_observe_slot_completion() {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket::new(slot.clone());
+        assert!(!ticket.is_done());
+        assert!(ticket.try_wait().is_none());
+        slot.complete(Err(ServiceError::DeadlineExceeded));
+        // Completion is idempotent: a second result is ignored.
+        slot.complete(Err(ServiceError::ServerShutdown));
+        assert!(ticket.is_done());
+        assert!(matches!(
+            ticket.try_wait(),
+            Some(Err(ServiceError::DeadlineExceeded))
+        ));
+        assert!(matches!(ticket.wait(), Err(ServiceError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn fanout_waiters_all_receive_the_result() {
+        let slot = ResponseSlot::new();
+        let tickets: Vec<Ticket> = (0..3).map(|_| Ticket::new(slot.clone())).collect();
+        let waiters: Vec<_> = tickets
+            .into_iter()
+            .map(|t| std::thread::spawn(move || t.wait()))
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        slot.complete(Err(ServiceError::ServerShutdown));
+        for w in waiters {
+            assert!(matches!(
+                w.join().unwrap(),
+                Err(ServiceError::ServerShutdown)
+            ));
+        }
+    }
+}

@@ -92,16 +92,17 @@ impl EdgeScores {
             ScoreMethod::Geer { epsilon } => {
                 // One edge-set request through the unified query plane, with
                 // GEER forced: the service forks one estimator per edge on
-                // the edge-index RNG stream — the same stream assignment the
-                // hand-rolled fan-out used, so scores are unchanged and
-                // remain thread-count invariant.
+                // an RNG stream derived from the edge's endpoints (content-
+                // addressed since the concurrent-serving redesign), so scores
+                // are thread-count invariant and independent of the order in
+                // which edges are scored.
                 let config = ApproxConfig {
                     epsilon,
                     seed,
                     threads,
                     ..ApproxConfig::default()
                 };
-                let mut service = ResistanceService::with_config(graph, config)?;
+                let service = ResistanceService::with_config(graph, config)?;
                 let request = Request::new(Query::edge_set(edges.clone()))
                     .with_accuracy(Accuracy::Epsilon {
                         eps: epsilon,

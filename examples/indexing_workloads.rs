@@ -52,8 +52,7 @@ fn main() {
     //    the service's override knob so the comparison is explicit).
     let landmarks = LandmarkIndex::build(&graph, 12, LandmarkSelection::Mixed, 3)
         .expect("landmark construction");
-    let mut service =
-        ResistanceService::with_config(&graph, config).expect("spectral preprocessing");
+    let service = ResistanceService::with_config(&graph, config).expect("spectral preprocessing");
     let query_pairs = [(17usize, 500usize), (3, 780), (250, 251), (600, 610)];
     println!(
         "\nlandmark bounds vs GEER ({} landmarks):",

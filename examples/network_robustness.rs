@@ -57,7 +57,7 @@ fn main() {
         graph.num_edges(),
         analysis::is_connected(&graph)
     );
-    let mut service = ResistanceService::new(&graph).expect("ergodic graph");
+    let service = ResistanceService::new(&graph).expect("ergodic graph");
     let epsilon = 0.05;
     let accuracy = Accuracy::epsilon(epsilon);
 

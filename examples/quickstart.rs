@@ -21,7 +21,7 @@ fn main() {
     // 2. Build the service once per graph: it validates the assumptions,
     //    estimates lambda = max{|lambda_2|, |lambda_n|} (Section 3.1 of the
     //    paper) and lazily constructs backends as queries need them.
-    let mut service = ResistanceService::new(&graph).expect("ergodic graph");
+    let service = ResistanceService::new(&graph).expect("ergodic graph");
     println!("lambda = {:.4}", service.context().lambda());
 
     // 3. Submit typed queries. The accuracy target is part of the request;

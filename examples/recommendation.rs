@@ -36,7 +36,7 @@ fn two_hop_candidates(graph: &Graph, user: usize) -> Vec<usize> {
 fn main() {
     let graph = generators::social_network_like(8_000, 14.0, 7).expect("graph generation");
     let config = ApproxConfig::with_epsilon(0.02);
-    let mut service = ResistanceService::with_config(&graph, config).expect("ergodic graph");
+    let service = ResistanceService::with_config(&graph, config).expect("ergodic graph");
 
     // Recommend for a mid-degree user (hubs are trivially similar to everyone).
     let user = graph

@@ -40,7 +40,7 @@ fn main() {
     // 1. Estimate the ER of every edge with GEER (epsilon = 0.05 is plenty:
     //    the scores only steer a sampling distribution) — one edge-set
     //    request through the service front door.
-    let mut service = ResistanceService::new(&graph).expect("ergodic graph");
+    let service = ResistanceService::new(&graph).expect("ergodic graph");
     let edges: Vec<(usize, usize)> = graph.edges().collect();
     let response = service
         .submit(

@@ -1,17 +1,33 @@
 #!/usr/bin/env python3
-"""Diff the newest walk-kernel bench entry against the previous one.
+"""Diff the newest bench-trajectory entry against the previous one.
 
-The trajectory file (BENCH_walk_kernel.json) is a JSON array with one entry
-per PR, keyed by git SHA; the walk_kernel binary appends to it. This script
-compares the last two entries per workload and prints the deltas. It never
-fails the build (CI runners have noisy perf); regressions beyond the
-threshold are surfaced as GitHub warning annotations instead.
+Trajectory files (BENCH_walk_kernel.json, BENCH_service.json) are JSON
+arrays with one entry per PR, keyed by git SHA; the bench binaries append to
+them. This script compares the last two entries per workload and prints the
+deltas. It never fails the build for perf (CI runners have noisy perf);
+regressions beyond the threshold are surfaced as GitHub warning annotations.
+A determinism failure in the newest entry is a hard error.
+
+Workload rate extraction is format-agnostic: walk-kernel workloads carry
+`kernel.walks_per_sec`, serving workloads carry
+`throughput.requests_per_sec`.
 """
 
 import json
 import sys
 
-REGRESSION_THRESHOLD = 0.80  # warn when kernel walks/sec drops below 80% of the previous entry
+REGRESSION_THRESHOLD = 0.80  # warn when the rate drops below 80% of the previous entry
+
+
+def rate_of(workload):
+    """The headline rate of a workload entry, with its unit label."""
+    kernel = workload.get("kernel")
+    if kernel and "walks_per_sec" in kernel:
+        return kernel["walks_per_sec"], "walks/s"
+    throughput = workload.get("throughput")
+    if throughput and "requests_per_sec" in throughput:
+        return throughput["requests_per_sec"], "req/s"
+    return None, "?"
 
 
 def main(path: str) -> int:
@@ -20,39 +36,48 @@ def main(path: str) -> int:
     if not isinstance(entries, list) or not entries:
         print(f"::warning::{path} is not a non-empty trajectory array")
         return 0
+    status = 0
+    curr = entries[-1]
     if len(entries) < 2:
-        sha = entries[-1].get("git_sha", "?")
-        print(f"only one entry ({sha}) in the trajectory; nothing to diff yet")
-        return 0
-
-    prev, curr = entries[-2], entries[-1]
-    print(
-        f"diffing {curr.get('git_sha', '?')} (quick={curr.get('quick')}) "
-        f"against {prev.get('git_sha', '?')} (quick={prev.get('quick')})"
-    )
-    prev_workloads = {w["name"]: w for w in prev.get("workloads", [])}
-    print(f"{'workload':<20} {'prev walks/s':>14} {'curr walks/s':>14} {'ratio':>8}")
-    for workload in curr.get("workloads", []):
-        name = workload["name"]
-        before = prev_workloads.get(name)
-        if before is None:
-            print(f"{name:<20} {'(new)':>14}")
-            continue
-        prev_rate = before["kernel"]["walks_per_sec"]
-        curr_rate = workload["kernel"]["walks_per_sec"]
-        ratio = curr_rate / prev_rate if prev_rate else float("inf")
-        print(f"{name:<20} {prev_rate:>14.0f} {curr_rate:>14.0f} {ratio:>7.2f}x")
-        if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
+        sha = curr.get("git_sha", "?")
+        print(f"only one entry ({sha}) in {path}; nothing to diff yet")
+    else:
+        prev = entries[-2]
+        print(
+            f"{path}: diffing {curr.get('git_sha', '?')} (quick={curr.get('quick')}) "
+            f"against {prev.get('git_sha', '?')} (quick={prev.get('quick')})"
+        )
+        prev_workloads = {w["name"]: w for w in prev.get("workloads", [])}
+        print(f"{'workload':<20} {'prev rate':>14} {'curr rate':>14} {'ratio':>8}")
+        for workload in curr.get("workloads", []):
+            name = workload["name"]
+            before = prev_workloads.get(name)
+            if before is None:
+                print(f"{name:<20} {'(new)':>14}")
+                continue
+            prev_rate, unit = rate_of(before)
+            curr_rate, _ = rate_of(workload)
+            if prev_rate is None or curr_rate is None:
+                print(f"{name:<20} {'(no rate)':>14}")
+                continue
+            ratio = curr_rate / prev_rate if prev_rate else float("inf")
             print(
-                f"::warning::walk-kernel workload '{name}' regressed to "
-                f"{ratio:.2f}x of the previous entry "
-                f"({prev_rate:.0f} -> {curr_rate:.0f} walks/s)"
+                f"{name:<20} {prev_rate:>12.0f} {unit:<4} {curr_rate:>10.0f} {unit:<4} "
+                f"{ratio:>5.2f}x"
             )
-    if not curr.get("determinism", {}).get("bit_identical", False):
-        print("::error::newest bench entry reports a determinism failure")
-        return 1
-    return 0
+            if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
+                print(
+                    f"::warning::workload '{name}' in {path} regressed to "
+                    f"{ratio:.2f}x of the previous entry "
+                    f"({prev_rate:.0f} -> {curr_rate:.0f} {unit})"
+                )
+    determinism = curr.get("determinism", {})
+    if not determinism.get("bit_identical", False):
+        print(f"::error::newest entry in {path} reports a determinism failure")
+        status = 1
+    return status
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_walk_kernel.json"))
+    paths = sys.argv[1:] or ["BENCH_walk_kernel.json"]
+    sys.exit(max(main(p) for p in paths))

@@ -14,7 +14,10 @@
 //!   bounds, query caching and dynamic graphs.
 //! * [`service`] (= `er-service`) — the **unified query plane**: typed
 //!   queries, capability-based planning, one front door
-//!   ([`ResistanceService`]) for every estimator.
+//!   ([`ResistanceService`], `&self`-submittable and `Send + Sync`) for
+//!   every estimator, plus the concurrent serving front end
+//!   ([`ResistanceServer`] with admission control, request dedup,
+//!   cross-client coalescing and deadline-aware scheduling).
 //! * [`sparsify`] (= `er-sparsify`) — Spielman–Srivastava sparsification
 //!   driven by the estimators.
 //! * [`apps`] (= `er-apps`) — clustering, recommendation, robustness,
@@ -31,7 +34,7 @@
 //! use effective_resistance::graph::generators;
 //!
 //! let graph = generators::social_network_like(1_000, 10.0, 1).unwrap();
-//! let mut service = ResistanceService::new(&graph).unwrap();
+//! let service = ResistanceService::new(&graph).unwrap();
 //! let response = service
 //!     .submit(&Request::new(Query::pair(0, 500)).with_accuracy(Accuracy::epsilon(0.1)))
 //!     .unwrap();
@@ -87,6 +90,8 @@ pub mod apps {
 
 pub use er_core::*;
 pub use er_service::{
-    Accuracy, Backend, BackendChoice, DynamicResistanceService, Planner, PlannerState, Query,
-    QueryShape, QueryShapeSet, Request, ResistanceService, Response, ServiceError,
+    Accuracy, Backend, BackendChoice, DynamicResistanceService, Planner, PlannerConfig,
+    PlannerState, Priority, Query, QueryShape, QueryShapeSet, Request, ResistanceServer,
+    ResistanceService, Response, ServerConfig, ServerHandle, ServerStats, ServiceError, Session,
+    SubmitOptions, Ticket,
 };

@@ -26,7 +26,7 @@ fn service_at(graph: &Graph, threads: usize) -> ResistanceService {
 /// Runs the same request sequence through a fresh service per thread count
 /// and returns all responses, so cache interactions are exercised too.
 fn run_sequence(graph: &Graph, threads: usize, requests: &[Request]) -> Vec<Response> {
-    let mut service = service_at(graph, threads);
+    let service = service_at(graph, threads);
     requests
         .iter()
         .map(|r| service.submit(r).unwrap())
@@ -76,13 +76,13 @@ fn responses_are_bit_identical_at_1_2_8_threads() {
 fn planner_routing_is_observable_end_to_end() {
     // Small graph + ε target: the exact CG tier undercuts sampling.
     let small = small_graph();
-    let mut service = service_at(&small, 0);
+    let service = service_at(&small, 0);
     let pair = service.submit(&Request::new(Query::pair(0, 100))).unwrap();
     assert_eq!(pair.backend, "EXACT-CG");
 
     // Large graph + ε target: GEER for pairs, batch-native HAY for edge sets.
     let large = large_graph();
-    let mut service = service_at(&large, 0);
+    let service = service_at(&large, 0);
     let pair = service
         .submit(&Request::new(Query::pair(0, 1_000)))
         .unwrap();
@@ -120,7 +120,7 @@ fn planner_routing_is_observable_end_to_end() {
 fn planned_answers_meet_the_epsilon_target() {
     let graph = large_graph();
     let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
-    let mut service = service_at(&graph, 0);
+    let service = service_at(&graph, 0);
     for &(s, t) in &[(0usize, 1_000usize), (17, 1_999), (250, 251)] {
         let response = service
             .submit(&Request::new(Query::pair(s, t)).with_accuracy(Accuracy::epsilon(0.2)))
@@ -139,7 +139,7 @@ fn planned_answers_meet_the_epsilon_target() {
 fn exact_tier_matches_ground_truth_closely() {
     let graph = small_graph();
     let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
-    let mut service = service_at(&graph, 0);
+    let service = service_at(&graph, 0);
     let pairs = [(0usize, 300usize), (1, 2), (598, 599)];
     let response = service
         .submit(&Request::new(Query::batch(pairs.to_vec())))
@@ -156,7 +156,7 @@ fn exact_tier_matches_ground_truth_closely() {
 #[test]
 fn cache_tier_survives_across_requests_and_accuracies() {
     let graph = small_graph();
-    let mut service = service_at(&graph, 0);
+    let service = service_at(&graph, 0);
     let first = service.submit(&Request::new(Query::pair(0, 100))).unwrap();
     assert_eq!(first.backend_calls, 1);
     let repeat = service.submit(&Request::new(Query::pair(100, 0))).unwrap();
