@@ -10,6 +10,19 @@
 //! * `bulk_walks` — one large bulk call, measuring steady-state walks/sec
 //!   where stepping dominates and the kernel's lane-interleaved lockstep
 //!   hides the dependent cache-miss chain of each walk.
+//! * `mc_escape` — MC-shaped variable-length escape walks: per-walk
+//!   `escape_walk` stepping vs the variable-length lockstep lanes with
+//!   immediate refill (`escape_trials`); the `mc_escape_walks_per_sec`
+//!   metric in the trajectory entry.
+//! * `amc_paired` — AMC-shaped walk pairs: sequential s-then-t walks per
+//!   pair vs the paired lockstep driver (`batch_pairs`); the
+//!   `amc_paired_pairs_per_sec` metric.
+//!
+//! A lane-width sweep (8/16/32 lanes, fixed-length bulk walks) prints next
+//! to the `LaneWidth::auto` pick and lands in the entry's `lane_sweep`
+//! object — the calibration data behind the heuristic's thresholds. Both
+//! new workloads assert bit-identical tallies between the old and kernel
+//! paths before timing them.
 //!
 //! The old path is reproduced inline exactly as `WalkEngine` ran it before
 //! the kernel landed (per-walk `StdRng::seed_from_u64(mix_seed(seed, i))`,
@@ -30,7 +43,9 @@ use er_bench::args::BenchArgs;
 use er_bench::baseline::pr1_endpoint_histogram;
 use er_bench::trajectory::{append_to_trajectory, git_sha};
 use er_graph::{generators, Graph};
-use er_walks::WalkEngine;
+use er_walks::hitting::{escape_trials, escape_walk, EscapeOutcome, EscapeTally};
+use er_walks::kernel::LaneWidth;
+use er_walks::{par, WalkEngine, WalkKernel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -143,6 +158,151 @@ fn run_workload(
     }
 }
 
+/// MC-shaped escape walks (variable length, first-hit-or-return
+/// termination): the PR-4 path stepped each trial alone through
+/// `escape_walk`; the kernel path runs the same streams on the
+/// variable-length lockstep lanes with immediate refill. Both paths consume
+/// identical draws, so the tallies must agree bit for bit — asserted here.
+fn run_mc_escape(
+    graph: &Graph,
+    trials: u64,
+    max_steps: usize,
+    seed: u64,
+    reps: usize,
+) -> WorkloadResult {
+    let (s, t) = (0, graph.neighbors(0)[0]);
+    let mut old_tally = EscapeTally::default();
+    let (old_secs, old_walks) = best_secs(reps, || {
+        let mut tally = EscapeTally::default();
+        for i in 0..trials {
+            let mut rng = par::stream_rng(seed, i);
+            match escape_walk(graph, s, t, max_steps, &mut rng) {
+                EscapeOutcome::ReachedTarget { steps } => {
+                    tally.reached += 1;
+                    tally.steps += steps as u64;
+                }
+                EscapeOutcome::ReturnedToSource { steps } => {
+                    tally.returned += 1;
+                    tally.steps += steps as u64;
+                }
+                EscapeOutcome::Truncated => {
+                    tally.truncated += 1;
+                    tally.steps += max_steps as u64;
+                }
+            }
+        }
+        old_tally = tally;
+        tally.trials()
+    });
+    let (kernel_secs, kernel_walks) = best_secs(reps, || {
+        let tally = escape_trials(graph, s, t, max_steps, trials, seed, 1);
+        assert_eq!(tally, old_tally, "lane port must preserve escape tallies");
+        tally.trials()
+    });
+    assert_eq!(old_walks, trials);
+    assert_eq!(kernel_walks, trials);
+    WorkloadResult {
+        name: "mc_escape",
+        queries: 1,
+        walks_per_query: trials,
+        walk_len: max_steps,
+        old_secs,
+        kernel_secs,
+    }
+}
+
+/// AMC-shaped walk pairs: the PR-4 path ran each pair's s-walk then t-walk
+/// sequentially on its own stream; the kernel path advances a lane block of
+/// pairs together through `batch_pairs` on the same streams. Per-pair f64
+/// accumulation order is preserved, so the sums must agree bit for bit.
+fn run_amc_paired(graph: &Graph, pairs: u64, len: usize, seed: u64, reps: usize) -> WorkloadResult {
+    let (s, t) = (0, graph.num_nodes() / 2);
+    let (ds, dt) = (graph.degree(s) as f64, graph.degree(t) as f64);
+    let weight = move |u: usize| {
+        if u == s {
+            1.0 / ds
+        } else if u == t {
+            -1.0 / dt
+        } else {
+            0.0
+        }
+    };
+    let mut old_sums = (0u64, 0u64);
+    let (old_secs, old_pairs) = best_secs(reps, || {
+        let kernel = WalkKernel::new(graph);
+        let mut z_sum = 0.0f64;
+        let mut z_sq = 0.0f64;
+        for k in 0..pairs {
+            let mut rng = par::stream_rng(seed, k);
+            let mut z_k = 0.0;
+            kernel.for_each_visit(s, len, &mut rng, |u| z_k += weight(u));
+            kernel.for_each_visit(t, len, &mut rng, |u| z_k -= weight(u));
+            z_sum += z_k;
+            z_sq += z_k * z_k;
+        }
+        old_sums = (z_sum.to_bits(), z_sq.to_bits());
+        pairs
+    });
+    let (kernel_secs, kernel_pairs) = best_secs(reps, || {
+        let kernel = WalkKernel::new(graph);
+        let mut z_sum = 0.0f64;
+        let mut z_sq = 0.0f64;
+        kernel.batch_pairs(
+            s,
+            t,
+            len,
+            seed,
+            0..pairs,
+            &|u, z_k: &mut f64| *z_k += weight(u),
+            &|u, z_k: &mut f64| *z_k -= weight(u),
+            &mut |_, z_k, _| {
+                z_sum += z_k;
+                z_sq += z_k * z_k;
+            },
+        );
+        assert_eq!(
+            (z_sum.to_bits(), z_sq.to_bits()),
+            old_sums,
+            "paired driver must preserve AMC's accumulation bits"
+        );
+        pairs
+    });
+    assert_eq!(old_pairs, pairs);
+    assert_eq!(kernel_pairs, pairs);
+    WorkloadResult {
+        name: "amc_paired",
+        queries: 1,
+        walks_per_query: pairs,
+        walk_len: len,
+        old_secs,
+        kernel_secs,
+    }
+}
+
+/// Single-thread walks/sec of fixed-length bulk walks at each lane width —
+/// the calibration data behind `LaneWidth::auto`'s thresholds.
+fn lane_sweep(
+    graph: &Graph,
+    walks: u64,
+    len: usize,
+    seed: u64,
+    reps: usize,
+) -> Vec<(LaneWidth, f64)> {
+    [LaneWidth::L8, LaneWidth::L16, LaneWidth::L32]
+        .into_iter()
+        .map(|width| {
+            let kernel = WalkKernel::new(graph).with_lanes(width);
+            let (secs, done) = best_secs(reps, || {
+                let mut count = 0;
+                kernel.batch_endpoints(0, len, seed, 0..walks, &mut |_, _, _| count += 1);
+                count
+            });
+            assert_eq!(done, walks);
+            (width, walks as f64 / secs)
+        })
+        .collect()
+}
+
 /// Bit-identity of the kernel path across thread counts, on the bench graph.
 fn check_determinism(graph: &Graph, seed: u64) -> bool {
     let run = |threads: usize| {
@@ -191,7 +351,35 @@ fn main() {
             args.seed ^ 0xb0, // decorrelate from the query workload
             reps,
         ),
+        run_mc_escape(
+            &graph,
+            if args.quick { 1_000 } else { 4_000 },
+            100_000,
+            args.seed ^ 0xe5,
+            reps,
+        ),
+        run_amc_paired(
+            &graph,
+            if args.quick { 50_000 } else { 200_000 },
+            16,
+            args.seed ^ 0xa3,
+            reps,
+        ),
     ];
+
+    let sweep = lane_sweep(
+        &graph,
+        if args.quick { 50_000 } else { 200_000 },
+        16,
+        args.seed ^ 0x5e,
+        reps,
+    );
+    let auto = LaneWidth::auto(graph.num_nodes(), graph.num_edges());
+    println!("lane sweep (fixed-length bulk walks, single thread):");
+    for &(width, rate) in &sweep {
+        let marker = if width == auto { "  <- auto pick" } else { "" };
+        println!("  {width:?}: {rate:>14.0} walks/s{marker}");
+    }
 
     println!(
         "{:<18} {:>14} {:>16} {:>12} {:>12} {:>9}",
@@ -221,6 +409,19 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let sha = git_sha();
+    let mc_escape = workloads
+        .iter()
+        .find(|w| w.name == "mc_escape")
+        .expect("mc_escape workload present");
+    let amc_paired = workloads
+        .iter()
+        .find(|w| w.name == "amc_paired")
+        .expect("amc_paired workload present");
+    let sweep_json = sweep
+        .iter()
+        .map(|(width, rate)| format!("\"{width:?}\": {rate:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let entry = format!(
         "{{\n  \"bench\": \"walk_kernel\",\n  \"git_sha\": \"{sha}\",\n  \
          \"created_unix\": {created},\n  \
@@ -228,11 +429,15 @@ fn main() {
          \"graph\": {{\"model\": \"barabasi_albert\", \"nodes\": {}, \"attach\": {attach}, \
          \"edges\": {}}},\n  \
          \"determinism\": {{\"threads_checked\": [1, 2, 8], \"bit_identical\": {deterministic}}},\n  \
+         \"metrics\": {{\"mc_escape_walks_per_sec\": {:.0}, \"amc_paired_pairs_per_sec\": {:.0}}},\n  \
+         \"lane_sweep\": {{{sweep_json}, \"auto\": \"{auto:?}\"}},\n  \
          \"workloads\": [\n{}\n  ]\n}}",
         args.quick,
         args.seed,
         graph.num_nodes(),
         graph.num_edges(),
+        mc_escape.kernel_walks_per_sec(),
+        amc_paired.kernel_walks_per_sec(),
         workloads
             .iter()
             .map(|w| w.json())

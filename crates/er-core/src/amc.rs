@@ -189,25 +189,37 @@ pub fn run_amc<R: Rng + ?Sized>(
         }
         batches_used += 1;
         let batch_seed = rng.next_u64();
-        // The walk-pair loop runs on the zero-allocation kernel: pair k's
-        // stream RNG is built inline from (batch_seed, k) and both walks of
-        // the pair draw from it, stepping directly over the CSR arrays.
+        // The walk-pair loop runs on the kernel's paired lockstep driver:
+        // pair k's stream RNG is built from (batch_seed, k) and both walks
+        // of the pair draw from it in the original order (s-walk first),
+        // while the s-walks (then t-walks) of a whole lane block advance
+        // together so their cache misses overlap. Per-pair float
+        // accumulation order and the index-ordered fold are unchanged, so
+        // the port preserved AMC's golden values bit for bit (pinned by
+        // tests/determinism.rs).
         let kernel = WalkKernel::new(graph);
-        let (z_sum, z_sq_sum) = par::par_fold_indexed(
+        let (z_sum, z_sq_sum) = par::par_fold_ranges(
             eta,
-            batch_seed,
             params.threads,
             || (0.0f64, 0.0f64),
-            |_, walk_rng, acc| {
-                let mut z_k = 0.0;
-                kernel.for_each_visit(s, params.ell_f, walk_rng, |u| {
-                    z_k += s_vec[u] / ds - t_vec[u] / dt;
-                });
-                kernel.for_each_visit(t, params.ell_f, walk_rng, |u| {
-                    z_k += t_vec[u] / dt - s_vec[u] / ds;
-                });
-                acc.0 += z_k;
-                acc.1 += z_k * z_k;
+            |range, acc: &mut (f64, f64)| {
+                kernel.batch_pairs(
+                    s,
+                    t,
+                    params.ell_f,
+                    batch_seed,
+                    range,
+                    &|u: er_graph::NodeId, z_k: &mut f64| {
+                        *z_k += s_vec[u] / ds - t_vec[u] / dt;
+                    },
+                    &|u: er_graph::NodeId, z_k: &mut f64| {
+                        *z_k += t_vec[u] / dt - s_vec[u] / ds;
+                    },
+                    &mut |_, z_k, _steps| {
+                        acc.0 += z_k;
+                        acc.1 += z_k * z_k;
+                    },
+                );
             },
             |total, part| {
                 total.0 += part.0;

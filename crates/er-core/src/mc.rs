@@ -17,8 +17,7 @@ use crate::context::GraphContext;
 use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
-use er_walks::hitting::{escape_walk, EscapeOutcome};
-use er_walks::par;
+use er_walks::hitting::escape_trials;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -102,31 +101,22 @@ impl ResistanceEstimator for Mc {
         }
         let mut cost = CostBreakdown::default();
         let fan_seed = self.rng.next_u64();
-        let max_steps = self.max_steps_per_walk;
-        let (hits, steps) = par::par_fold_indexed(
+        // The escape trials run on the kernel's variable-length lockstep
+        // lanes; trial i draws from stream (fan_seed, i) with exactly the
+        // draw schedule of the old per-walk loop, so the port changed no
+        // golden value (pinned by tests/determinism.rs).
+        let tally = escape_trials(
+            g,
+            s,
+            t,
+            self.max_steps_per_walk,
             trials,
             fan_seed,
             self.config.threads,
-            || (0u64, 0u64),
-            |_, walk_rng, acc| match escape_walk(g, s, t, max_steps, walk_rng) {
-                EscapeOutcome::ReachedTarget { steps } => {
-                    acc.0 += 1;
-                    acc.1 += steps as u64;
-                }
-                EscapeOutcome::ReturnedToSource { steps } => {
-                    acc.1 += steps as u64;
-                }
-                EscapeOutcome::Truncated => {
-                    acc.1 += max_steps as u64;
-                }
-            },
-            |total, part| {
-                total.0 += part.0;
-                total.1 += part.1;
-            },
         );
+        let hits = tally.reached;
         cost.random_walks = trials;
-        cost.walk_steps = steps;
+        cost.walk_steps = tally.steps;
         // With zero hits the escape probability estimate is 0 and the
         // resistance estimate diverges; report the largest value consistent
         // with the assumption instead (the paper's analysis assumes r ≤ γ).

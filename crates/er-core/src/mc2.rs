@@ -14,8 +14,7 @@ use crate::context::GraphContext;
 use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
-use er_walks::hitting::{first_hit_walk, FirstHitOutcome};
-use er_walks::par;
+use er_walks::hitting::first_hit_trials;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -101,33 +100,21 @@ impl ResistanceEstimator for Mc2 {
         }
         let mut cost = CostBreakdown::default();
         let fan_seed = self.rng.next_u64();
-        let max_steps = self.max_steps_per_walk;
-        let (direct, steps) = par::par_fold_indexed(
+        // First-hit trials run on the kernel's variable-length lockstep
+        // lanes with the old per-walk draw schedule — golden values
+        // unchanged by the port (pinned by tests/determinism.rs).
+        let tally = first_hit_trials(
+            g,
+            s,
+            t,
+            self.max_steps_per_walk,
             trials,
             fan_seed,
             self.config.threads,
-            || (0u64, 0u64),
-            |_, walk_rng, acc| match first_hit_walk(g, s, t, max_steps, walk_rng) {
-                FirstHitOutcome::Hit {
-                    via_direct_edge,
-                    steps,
-                } => {
-                    if via_direct_edge {
-                        acc.0 += 1;
-                    }
-                    acc.1 += steps as u64;
-                }
-                FirstHitOutcome::Truncated => {
-                    acc.1 += max_steps as u64;
-                }
-            },
-            |total, part| {
-                total.0 += part.0;
-                total.1 += part.1;
-            },
         );
+        let direct = tally.via_edge;
         cost.random_walks = trials;
-        cost.walk_steps = steps;
+        cost.walk_steps = tally.steps;
         Ok(Estimate {
             value: direct as f64 / trials as f64,
             cost,

@@ -38,4 +38,6 @@ pub use diagonal::{pseudo_inverse_diagonal, DiagonalStrategy};
 pub use dynamic::DynamicEr;
 pub use error::IndexError;
 pub use landmark::{LandmarkBounds, LandmarkIndex, LandmarkSelection};
-pub use single_source::ErIndex;
+pub use single_source::{
+    nearest_from_row, resistance_from_column, row_from_column, solve_column, ErIndex,
+};

@@ -23,6 +23,52 @@ use er_walks::par;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Solves the pseudo-inverse column `L† e_s` — the one Laplacian solve both
+/// [`ErIndex`] and any external column tier (the service's concurrent
+/// `IndexBackend`) must perform identically, so a tolerance or centring
+/// change lands in every tier at once.
+pub fn solve_column(graph: &Graph, s: NodeId) -> Vec<f64> {
+    let solver = LaplacianSolver::for_ground_truth(graph);
+    let mut rhs = vec![0.0; graph.num_nodes()];
+    rhs[s] = 1.0;
+    let (x, _) = solver.solve(&rhs);
+    x
+}
+
+/// `r(s, t)` from the pseudo-inverse diagonal and the column `L† e_s`, with
+/// the `.max(0.0)` clamp absorbing solver-tolerance negatives near zero.
+/// The single source of truth for the column identity — [`ErIndex`] and any
+/// external column tier (the service's concurrent `IndexBackend`) must
+/// agree bit for bit, so both call this.
+pub fn resistance_from_column(diagonal: &[f64], column: &[f64], s: NodeId, t: NodeId) -> f64 {
+    if s == t {
+        return 0.0;
+    }
+    (diagonal[s] + diagonal[t] - 2.0 * column[t]).max(0.0)
+}
+
+/// The full row `r(s, ·)` from the diagonal and the column `L† e_s`
+/// (`r(s, s) = 0`); shared like [`resistance_from_column`].
+pub fn row_from_column(diagonal: &[f64], column: &[f64], s: NodeId) -> Vec<f64> {
+    (0..diagonal.len())
+        .map(|t| resistance_from_column(diagonal, column, s, t))
+        .collect()
+}
+
+/// The `k` nodes nearest to `s` given its full resistance row, sorted
+/// ascending with `s` itself excluded; shared tie-breaking for every
+/// nearest-neighbour surface.
+pub fn nearest_from_row(row: Vec<f64>, s: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    let mut scored: Vec<(NodeId, f64)> = row
+        .into_iter()
+        .enumerate()
+        .filter(|&(v, _)| v != s)
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
 /// Exact (up to solver tolerance) effective-resistance index built from
 /// Laplacian pseudo-inverse columns and a pre-computed diagonal.
 ///
@@ -113,6 +159,13 @@ impl ErIndex {
         Ok(self.diagonal[v])
     }
 
+    /// The full pre-computed pseudo-inverse diagonal `diag(L†)`, indexed by
+    /// node id — for callers that build their own column tier on top of the
+    /// index (e.g. the service's concurrent `IndexBackend`).
+    pub fn diagonal(&self) -> &[f64] {
+        &self.diagonal
+    }
+
     /// Total number of Laplacian solves performed so far (build + queries).
     pub fn total_solves(&self) -> u64 {
         self.solves
@@ -123,7 +176,20 @@ impl ErIndex {
         self.columns.len()
     }
 
-    fn column(&mut self, s: NodeId) -> &Vec<f64> {
+    /// The configured column-cache capacity.
+    pub fn column_capacity(&self) -> usize {
+        self.column_capacity
+    }
+
+    /// Takes the cached columns out of the index — for handing the warm
+    /// working set over to an external column tier without re-solving.
+    pub fn take_cached_columns(&mut self) -> HashMap<NodeId, Vec<f64>> {
+        std::mem::take(&mut self.columns)
+    }
+
+    /// Makes the column `L† e_s` resident in the cache, then hands it back
+    /// as a shared borrow so callers can read `self.diagonal` alongside it.
+    fn column(&mut self, s: NodeId) -> &[f64] {
         if !self.columns.contains_key(&s) {
             if self.columns.len() >= self.column_capacity {
                 // Evict an arbitrary column; the cache is a working set, not
@@ -133,10 +199,7 @@ impl ErIndex {
                     self.columns.remove(&evict);
                 }
             }
-            let solver = LaplacianSolver::for_ground_truth(&self.graph);
-            let mut rhs = vec![0.0; self.graph.num_nodes()];
-            rhs[s] = 1.0;
-            let (x, _) = solver.solve(&rhs);
+            let x = solve_column(&self.graph, s);
             self.solves += 1;
             self.columns.insert(s, x);
         }
@@ -150,44 +213,27 @@ impl ErIndex {
         if s == t {
             return Ok(0.0);
         }
-        let ds = self.diagonal[s];
-        let dt = self.diagonal[t];
-        let column = self.column(s);
-        Ok((ds + dt - 2.0 * column[t]).max(0.0))
+        self.column(s);
+        Ok(resistance_from_column(
+            &self.diagonal,
+            &self.columns[&s],
+            s,
+            t,
+        ))
     }
 
     /// The resistance from `s` to every node of the graph (`r(s, s) = 0`),
     /// using exactly one Laplacian solve beyond the cached state.
     pub fn single_source(&mut self, s: NodeId) -> Result<Vec<f64>, IndexError> {
         self.graph.check_node(s)?;
-        let ds = self.diagonal[s];
-        let diagonal = self.diagonal.clone();
-        let column = self.column(s);
-        Ok(diagonal
-            .iter()
-            .enumerate()
-            .map(|(t, &dt)| {
-                if t == s {
-                    0.0
-                } else {
-                    (ds + dt - 2.0 * column[t]).max(0.0)
-                }
-            })
-            .collect())
+        self.column(s);
+        Ok(row_from_column(&self.diagonal, &self.columns[&s], s))
     }
 
     /// The `k` nodes closest to `s` in effective resistance (excluding `s`
     /// itself), sorted ascending — the "similarity search" access pattern.
     pub fn nearest(&mut self, s: NodeId, k: usize) -> Result<Vec<(NodeId, f64)>, IndexError> {
-        let all = self.single_source(s)?;
-        let mut scored: Vec<(NodeId, f64)> = all
-            .into_iter()
-            .enumerate()
-            .filter(|&(v, _)| v != s)
-            .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        Ok(scored)
+        Ok(nearest_from_row(self.single_source(s)?, s, k))
     }
 
     /// The Kirchhoff index `Σ_{s<t} r(s, t) = n · trace(L†)` of the graph, a

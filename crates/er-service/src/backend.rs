@@ -25,11 +25,13 @@ use crate::error::ServiceError;
 use crate::query::Accuracy;
 use crate::response::Response;
 use er_core::{ApproxConfig, CostBreakdown, EstimatorError, ForkableEstimator, GraphContext};
-use er_graph::NodeId;
+use er_graph::{Graph, NodeId};
 use er_index::{ErIndex, LandmarkIndex};
 use er_walks::par;
 use er_walks::spanning::sample_spanning_tree;
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// One unit of pair-shaped work: a distinct, uncached, non-trivial pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -302,31 +304,135 @@ impl Backend for HayBatchBackend {
     }
 }
 
-/// The column-based exact index as a backend: answers every shape.
-///
-/// Interior mutability (a mutex around the [`ErIndex`]) lets the shared
-/// `&self` answer path re-use the index's column cache. Since the service
-/// went concurrent (`submit(&self)`), this mutex is what serialises
-/// index-tier answers; its answers are deterministic solves, so the
-/// serialisation affects throughput only, never values.
-pub struct IndexBackend {
-    index: Mutex<ErIndex>,
+/// A read-mostly cache of Laplacian pseudo-inverse columns: a `RwLock`ed map
+/// of per-column once-cells. Readers of an already-solved column take only
+/// the read lock (shared, uncontended); a missing column inserts its cell
+/// under a brief write lock and then solves **outside** any map lock inside
+/// the cell's `OnceLock`, so concurrent requests for *different* columns
+/// solve in parallel and concurrent requests for the *same* column solve
+/// exactly once (the losers block on the cell, not on the map).
+/// One column slot: shared so readers can clone it out of the map and block
+/// on the `OnceLock` (not the map lock) while the first requester solves.
+type ColumnCell = Arc<OnceLock<Arc<Vec<f64>>>>;
+
+struct ColumnCache {
+    cells: RwLock<HashMap<NodeId, ColumnCell>>,
+    capacity: usize,
+    solves: AtomicU64,
 }
 
-impl IndexBackend {
-    /// Wraps a built index.
-    pub fn new(index: ErIndex) -> Self {
-        IndexBackend {
-            index: Mutex::new(index),
+impl ColumnCache {
+    fn new(capacity: usize) -> Self {
+        ColumnCache {
+            cells: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            solves: AtomicU64::new(0),
         }
     }
 
-    /// Number of Laplacian solves performed so far (diagonal + columns).
+    /// Seeds an already-solved column (the warm working set handed over by
+    /// the wrapped `ErIndex`).
+    fn seed(&self, s: NodeId, column: Vec<f64>) {
+        let cell: ColumnCell = Arc::new(OnceLock::new());
+        let _ = cell.set(Arc::new(column));
+        self.cells
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(s, cell);
+    }
+
+    /// The column `L† e_s`, solving it at most once per residency.
+    fn column(&self, graph: &Graph, s: NodeId) -> Arc<Vec<f64>> {
+        let existing = self
+            .cells
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&s)
+            .cloned();
+        let cell = match existing {
+            Some(cell) => cell,
+            None => {
+                let mut map = self.cells.write().unwrap_or_else(|e| e.into_inner());
+                if !map.contains_key(&s) && map.len() >= self.capacity {
+                    // Evict an arbitrary *initialized* column, like the
+                    // ErIndex working-set cache; in-flight readers keep
+                    // their Arc alive, so eviction never blocks on them.
+                    // Cells still solving are never evicted from under
+                    // their waiters.
+                    if let Some(&evict) = map
+                        .iter()
+                        .find(|(_, cell)| cell.get().is_some())
+                        .map(|(k, _)| k)
+                    {
+                        map.remove(&evict);
+                    }
+                }
+                map.entry(s)
+                    .or_insert_with(|| Arc::new(OnceLock::new()))
+                    .clone()
+            }
+        };
+        cell.get_or_init(|| {
+            let x = er_index::solve_column(graph, s);
+            self.solves.fetch_add(1, AtomicOrdering::Relaxed);
+            Arc::new(x)
+        })
+        .clone()
+    }
+}
+
+/// The column-based exact index as a backend: answers every shape.
+///
+/// Built from an [`ErIndex`] (whose pre-computed `diag(L†)` it keeps), but
+/// the query path is its own: the diagonal is immutable shared state and the
+/// column tier is a `ColumnCache` — a read-mostly `RwLock` map of
+/// per-column once-cells — so source-shaped queries on already-resident
+/// columns run concurrently across server workers instead of serialising
+/// behind the single index mutex this backend used to hold. Values are
+/// deterministic CG solves either way; concurrency changes throughput only.
+pub struct IndexBackend {
+    graph: Arc<Graph>,
+    diagonal: Vec<f64>,
+    columns: ColumnCache,
+    build_solves: u64,
+}
+
+impl IndexBackend {
+    /// Wraps a built index, taking over its graph handle, pre-computed
+    /// diagonal, configured column capacity and already-solved columns (a
+    /// pre-warmed working set stays warm, and its solves are not repeated).
+    pub fn new(mut index: ErIndex) -> Self {
+        let columns = ColumnCache::new(index.column_capacity());
+        for (s, column) in index.take_cached_columns() {
+            columns.seed(s, column);
+        }
+        IndexBackend {
+            graph: index.graph_arc().clone(),
+            diagonal: index.diagonal().to_vec(),
+            columns,
+            build_solves: index.total_solves(),
+        }
+    }
+
+    /// Number of Laplacian solves performed so far (index build + columns).
     pub fn total_solves(&self) -> u64 {
-        self.index
-            .lock()
-            .expect("index mutex poisoned")
-            .total_solves()
+        self.build_solves + self.columns.solves.load(AtomicOrdering::Relaxed)
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), ServiceError> {
+        self.graph
+            .check_node(v)
+            .map_err(er_index::IndexError::from)?;
+        Ok(())
+    }
+
+    /// `r(source, ·)` for every node, from the diagonal and one column —
+    /// the same shared identity `ErIndex` answers with, so the two tiers
+    /// can never drift apart.
+    fn single_source_row(&self, source: NodeId) -> Result<Vec<f64>, ServiceError> {
+        self.check_node(source)?;
+        let column = self.columns.column(&self.graph, source);
+        Ok(er_index::row_from_column(&self.diagonal, &column, source))
     }
 }
 
@@ -341,32 +447,37 @@ impl Backend for IndexBackend {
 
     fn answer(&self, plan: &Plan, _streams: &StreamPlan) -> Result<Response, ServiceError> {
         check_capability(self, plan.shape)?;
-        let mut index = self.index.lock().expect("index mutex poisoned");
-        let solves_before = index.total_solves();
+        let solves_before = self.total_solves();
         let mut nodes = Vec::new();
         let values = match plan.shape {
             QueryShape::SingleSource => {
                 let source = plan.source.expect("single-source plan carries a source");
-                index.single_source(source)?
+                self.single_source_row(source)?
             }
-            QueryShape::Diagonal => {
-                let n = index.graph().num_nodes();
-                let mut diag = Vec::with_capacity(n);
-                for v in 0..n {
-                    diag.push(index.diagonal_entry(v)?);
-                }
-                diag
-            }
+            QueryShape::Diagonal => self.diagonal.clone(),
             QueryShape::TopK => {
                 let source = plan.source.expect("top-k plan carries a source");
-                let nearest = index.nearest(source, plan.k)?;
-                nodes = nearest.iter().map(|&(v, _)| v).collect();
-                nearest.into_iter().map(|(_, r)| r).collect()
+                let scored =
+                    er_index::nearest_from_row(self.single_source_row(source)?, source, plan.k);
+                nodes = scored.iter().map(|&(v, _)| v).collect();
+                scored.into_iter().map(|(_, r)| r).collect()
             }
             QueryShape::Pair | QueryShape::Batch | QueryShape::EdgeSet => {
                 let mut out = Vec::with_capacity(plan.items.len());
                 for item in &plan.items {
-                    out.push(index.resistance(item.s, item.t)?);
+                    self.check_node(item.s)?;
+                    self.check_node(item.t)?;
+                    if item.s == item.t {
+                        out.push(0.0);
+                    } else {
+                        let column = self.columns.column(&self.graph, item.s);
+                        out.push(er_index::resistance_from_column(
+                            &self.diagonal,
+                            &column,
+                            item.s,
+                            item.t,
+                        ));
+                    }
                 }
                 out
             }
@@ -374,8 +485,10 @@ impl Backend for IndexBackend {
         let backend_calls = plan.items.len() as u64;
         let cost = CostBreakdown {
             // The index's unit of work is the Laplacian solve; report the
-            // solves this plan triggered (cached columns cost none).
-            solver_iterations: index.total_solves() - solves_before,
+            // solves observed during this plan (cached columns cost none;
+            // under concurrent plans the attribution is approximate, as the
+            // cache-state-dependent count always was).
+            solver_iterations: self.total_solves() - solves_before,
             ..CostBreakdown::default()
         };
         Ok(Response {
@@ -564,6 +677,46 @@ mod tests {
             backend.answer(&bad, &streams),
             Err(ServiceError::Estimator(EstimatorError::NotAnEdge { .. }))
         ));
+    }
+
+    #[test]
+    fn index_backend_inherits_capacity_and_warm_columns() {
+        let context = ctx();
+        let mut index = ErIndex::build(context.graph_arc().clone())
+            .unwrap()
+            .with_column_capacity(7);
+        index.resistance(5, 40).unwrap(); // warms column 5
+        let warm_solves = index.total_solves();
+        let backend = IndexBackend::new(index);
+        assert_eq!(backend.total_solves(), warm_solves, "no solves on handoff");
+        let pair = backend
+            .answer(
+                &Plan::for_items(
+                    QueryShape::Pair,
+                    Accuracy::Exact,
+                    vec![PlanItem { s: 5, t: 40 }],
+                ),
+                &StreamPlan::sequential(1, 1),
+            )
+            .unwrap();
+        assert_eq!(
+            backend.total_solves(),
+            warm_solves,
+            "a pre-warmed column must not be re-solved"
+        );
+        assert_eq!(pair.cost.solver_iterations, 0);
+        // A cold column still solves exactly once.
+        backend
+            .answer(
+                &Plan::for_items(
+                    QueryShape::Pair,
+                    Accuracy::Exact,
+                    vec![PlanItem { s: 9, t: 40 }],
+                ),
+                &StreamPlan::sequential(1, 1),
+            )
+            .unwrap();
+        assert_eq!(backend.total_solves(), warm_solves + 1);
     }
 
     #[test]

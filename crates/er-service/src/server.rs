@@ -26,7 +26,10 @@
 //!   compatible queued jobs (same accuracy class and planned backend) and
 //!   answers them as one batch plan via
 //!   [`ResistanceService::submit_coalesced`], so GEER's parallel fan-out and
-//!   HAY's spanning-tree pool amortize across clients.
+//!   HAY's spanning-tree pool amortize across clients. Compatibility is
+//!   resolved **at admission** into per-class ready-lists, so a worker finds
+//!   its peers with one map lookup and O(1) pops instead of re-planning the
+//!   whole queued-job map under the scheduler lock.
 //!
 //! **Determinism.** RNG streams derive from request content (see
 //! [`ResistanceService::submit`]), so every response is bit-identical
@@ -39,7 +42,7 @@ use crate::response::Response;
 use crate::service::ResistanceService;
 use crate::session::{ResponseSlot, Session, SubmitOptions, Ticket};
 use er_walks::par::resolve_threads;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -131,6 +134,46 @@ struct Job {
     fingerprint: u64,
     deadline: Option<Instant>,
     waiters: Vec<Arc<ResponseSlot>>,
+    /// The coalescing class this job was filed under at admission
+    /// (pair-shaped jobs with coalescing enabled only).
+    coalesce_key: Option<CoalesceKey>,
+}
+
+/// The equivalence class under which pair-shaped jobs may be answered as one
+/// batch plan: accuracy target, backend override and the planner's solo
+/// choice, all captured **at admission**, so a worker picks coalescing peers
+/// with one ready-list lookup instead of scanning (and re-planning) the
+/// whole queued-job map.
+///
+/// The planner's choice can drift between admission and execution (e.g. the
+/// index warms up mid-queue); [`ResistanceService::submit_coalesced`]
+/// re-validates the batch and the worker falls back to solo execution on a
+/// mismatch, so a stale key costs at most the coalescing saving, never
+/// correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CoalesceKey {
+    /// `Accuracy` with its floats bit-cast, so the key is hashable.
+    accuracy: (u8, u64, u64),
+    backend: Option<crate::BackendChoice>,
+    choice: crate::BackendChoice,
+}
+
+impl CoalesceKey {
+    fn of(service: &ResistanceService, request: &Request) -> Option<CoalesceKey> {
+        if !request.query.shape().is_pairwise() {
+            return None;
+        }
+        let accuracy = match request.accuracy {
+            Accuracy::Epsilon { eps, delta } => (0u8, eps.to_bits(), delta.to_bits()),
+            Accuracy::WalkBudget(budget) => (1u8, budget, 0),
+            Accuracy::Exact => (2u8, 0, 0),
+        };
+        Some(CoalesceKey {
+            accuracy,
+            backend: request.backend,
+            choice: service.plan(request),
+        })
+    }
 }
 
 /// Heap entry ordering: priority first, then earliest deadline, then FIFO.
@@ -171,6 +214,11 @@ struct SchedulerState {
     jobs: HashMap<u64, Job>,
     /// Dedup map: request fingerprint → queued job id.
     in_flight: HashMap<u64, u64>,
+    /// Per-[`CoalesceKey`] ready-lists of queued job ids, FIFO. Peer
+    /// selection pops from the picked job's list in O(1) per peer; ids whose
+    /// job was already taken (as a primary, a peer, or expired) are dropped
+    /// lazily on pop, so every drain also cleans its list.
+    ready: HashMap<CoalesceKey, VecDeque<u64>>,
     next_job: u64,
     next_seq: u64,
     paused: bool,
@@ -235,10 +283,6 @@ fn fingerprint(request: &Request) -> u64 {
     h.finish()
 }
 
-fn is_pair_shaped(request: &Request) -> bool {
-    request.query.shape().is_pairwise()
-}
-
 /// The serving front end. [`spawn`](Self::spawn) is the only entry point: it
 /// consumes a [`ResistanceService`] and hands back a [`ServerHandle`].
 ///
@@ -283,6 +327,7 @@ impl ResistanceServer {
                 queue: BinaryHeap::new(),
                 jobs: HashMap::new(),
                 in_flight: HashMap::new(),
+                ready: HashMap::new(),
                 next_job: 0,
                 next_seq: 0,
                 paused: config.start_paused,
@@ -355,6 +400,16 @@ impl ServerHandle {
     ) -> Result<Ticket, ServiceError> {
         let slot = ResponseSlot::new();
         let fp = fingerprint(&request);
+        // Planning is lock-free, so the coalescing class is computed before
+        // the scheduler lock; workers then find peers by list lookup alone.
+        // max_coalesce <= 1 means no batch can ever grow beyond its primary,
+        // so filing jobs in ready-lists would only accumulate ids that no
+        // drain ever pops — treat it as coalescing off.
+        let coalesce_key = if self.shared.config.coalescing && self.shared.config.max_coalesce > 1 {
+            CoalesceKey::of(&self.shared.service, &request)
+        } else {
+            None
+        };
         let mut st = self.shared.state.lock().expect("scheduler state poisoned");
         if st.shutdown {
             return Err(ServiceError::ServerShutdown);
@@ -415,6 +470,9 @@ impl ServerHandle {
         st.next_seq += 1;
         let deadline = options.deadline.map(|d| Instant::now() + d);
         st.in_flight.insert(fp, job_id);
+        if let Some(key) = coalesce_key {
+            st.ready.entry(key).or_default().push_back(job_id);
+        }
         st.jobs.insert(
             job_id,
             Job {
@@ -422,6 +480,7 @@ impl ServerHandle {
                 fingerprint: fp,
                 deadline,
                 waiters: vec![slot.clone()],
+                coalesce_key,
             },
         );
         st.queue.push(QueueEntry {
@@ -545,28 +604,32 @@ fn worker_loop(shared: &ServerShared) {
                     .wait(st)
                     .expect("scheduler state poisoned");
             };
-            let coalescible = shared.config.coalescing && is_pair_shaped(&primary.request);
+            let coalesce_key = if shared.config.coalescing {
+                primary.coalesce_key
+            } else {
+                None
+            };
             batch.push(primary);
-            if coalescible {
-                let head = &batch[0].request;
-                let choice = shared.service.plan(head);
-                let mut picked: Vec<u64> = Vec::new();
-                for (&id, job) in st.jobs.iter() {
-                    if batch.len() + picked.len() >= shared.config.max_coalesce {
-                        break;
+            if let Some(key) = coalesce_key {
+                // O(1) peer selection: pop queued job ids off the key's
+                // ready-list. Stale ids (job already taken or expired) are
+                // dropped as they surface, so the drain doubles as cleanup;
+                // the primary's own entry is one of them.
+                let state = &mut *st;
+                let emptied = if let Some(list) = state.ready.get_mut(&key) {
+                    while batch.len() < shared.config.max_coalesce {
+                        let Some(id) = list.pop_front() else { break };
+                        if let Some(job) = state.jobs.remove(&id) {
+                            state.in_flight.remove(&job.fingerprint);
+                            batch.push(job);
+                        }
                     }
-                    if is_pair_shaped(&job.request)
-                        && job.request.accuracy == head.accuracy
-                        && job.request.backend == head.backend
-                        && shared.service.plan(&job.request) == choice
-                    {
-                        picked.push(id);
-                    }
-                }
-                for id in picked {
-                    let job = st.jobs.remove(&id).expect("picked from live jobs");
-                    st.in_flight.remove(&job.fingerprint);
-                    batch.push(job);
+                    list.is_empty()
+                } else {
+                    false
+                };
+                if emptied {
+                    state.ready.remove(&key);
                 }
             }
         }

@@ -1,5 +1,25 @@
 //! First-hit and escape-probability walks (the MC and MC2 baselines).
+//!
+//! Two layers live here:
+//!
+//! * Single-walk reference functions ([`escape_walk`], [`first_hit_walk`])
+//!   that step one walk at a time — the executable specification the batch
+//!   layer is tested against, and still the right tool for one-off trials.
+//! * Lane-batched bulk trials ([`escape_trials`], [`first_hit_trials`],
+//!   [`commute_trials`]) that run whole trial budgets on the zero-allocation
+//!   kernel's variable-length lockstep driver
+//!   ([`WalkKernel::batch_until`](crate::kernel::WalkKernel::batch_until)):
+//!   every lane carries its own termination predicate and retired lanes are
+//!   refilled immediately, so the dependent cache-miss chains of concurrent
+//!   walks overlap from the first trial to the last. Trial `i` draws from
+//!   stream `(seed, i)` with exactly the draw schedule of the single-walk
+//!   functions, so the MC and MC2 estimators produced bit-identical values
+//!   when they moved onto this path; the `threads` fan-out uses
+//!   [`par::par_fold_ranges`] with commutative integer tallies, so results
+//!   are also bit-identical at any thread count.
 
+use crate::kernel::WalkKernel;
+use crate::par;
 use er_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -54,6 +74,94 @@ pub fn escape_walk<R: Rng + ?Sized>(
     EscapeOutcome::Truncated
 }
 
+/// Outcome tallies of a bulk escape-trial run ([`escape_trials`]).
+///
+/// Field-wise integer addition is the merge, so tallies are commutative and
+/// the parallel fan-out is thread-count invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EscapeTally {
+    /// Walks that reached `t` before returning to `s` (the "escapes").
+    pub reached: u64,
+    /// Walks that returned to `s` first.
+    pub returned: u64,
+    /// Walks that hit the step cap (or an isolated node) undecided.
+    pub truncated: u64,
+    /// Total steps charged: actual steps for decided walks, `max_steps` for
+    /// truncated ones — the accounting the MC estimator has always used.
+    pub steps: u64,
+}
+
+impl EscapeTally {
+    /// Total number of trials tallied.
+    pub fn trials(&self) -> u64 {
+        self.reached + self.returned + self.truncated
+    }
+
+    fn merge(&mut self, other: EscapeTally) {
+        self.reached += other.reached;
+        self.returned += other.returned;
+        self.truncated += other.truncated;
+        self.steps += other.steps;
+    }
+}
+
+/// Runs `trials` escape-probability trials for the pair `(s, t)` on the
+/// lane-batched kernel, fanned out over `threads` workers (0 = all cores).
+///
+/// Trial `i` draws from RNG stream `(seed, i)` with exactly the draw
+/// schedule of [`escape_walk`], so the tally is a pure function of
+/// `(graph, s, t, max_steps, trials, seed)` — bit-identical at any thread
+/// count and any [`LaneWidth`](crate::kernel::LaneWidth).
+pub fn escape_trials(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> EscapeTally {
+    debug_assert_ne!(s, t);
+    let kernel = WalkKernel::new(graph);
+    par::par_fold_ranges(
+        trials,
+        threads,
+        EscapeTally::default,
+        |range, tally: &mut EscapeTally| {
+            kernel.batch_until(
+                s,
+                max_steps,
+                seed,
+                range,
+                &|_prev, next, _steps, _flags: &mut u64| {
+                    if next == t {
+                        Some(true)
+                    } else if next == s {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                },
+                &mut |_, verdict, steps| match verdict {
+                    Some(true) => {
+                        tally.reached += 1;
+                        tally.steps += steps;
+                    }
+                    Some(false) => {
+                        tally.returned += 1;
+                        tally.steps += steps;
+                    }
+                    None => {
+                        tally.truncated += 1;
+                        tally.steps += max_steps as u64;
+                    }
+                },
+            );
+        },
+        |total, part| total.merge(part),
+    )
+}
+
 /// Outcome of a first-hit walk used by the MC2 baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FirstHitOutcome {
@@ -98,50 +206,169 @@ pub fn first_hit_walk<R: Rng + ?Sized>(
     FirstHitOutcome::Truncated
 }
 
+/// Outcome tallies of a bulk first-hit run ([`first_hit_trials`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FirstHitTally {
+    /// Walks whose first visit to `t` arrived over the edge `(s, t)` itself.
+    pub via_edge: u64,
+    /// Walks that hit `t` by any other arriving step.
+    pub indirect: u64,
+    /// Walks that hit the step cap (or an isolated node) before reaching `t`.
+    pub truncated: u64,
+    /// Total steps charged: actual steps for hits, `max_steps` for truncated
+    /// walks.
+    pub steps: u64,
+}
+
+impl FirstHitTally {
+    /// Total number of trials tallied.
+    pub fn trials(&self) -> u64 {
+        self.via_edge + self.indirect + self.truncated
+    }
+
+    fn merge(&mut self, other: FirstHitTally) {
+        self.via_edge += other.via_edge;
+        self.indirect += other.indirect;
+        self.truncated += other.truncated;
+        self.steps += other.steps;
+    }
+}
+
+/// Runs `trials` first-hit trials for the pair `(s, t)` on the lane-batched
+/// kernel, fanned out over `threads` workers (0 = all cores). Same
+/// determinism contract as [`escape_trials`]; per-trial draw schedule is
+/// exactly [`first_hit_walk`]'s.
+pub fn first_hit_trials(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> FirstHitTally {
+    debug_assert_ne!(s, t);
+    let kernel = WalkKernel::new(graph);
+    par::par_fold_ranges(
+        trials,
+        threads,
+        FirstHitTally::default,
+        |range, tally: &mut FirstHitTally| {
+            kernel.batch_until(
+                s,
+                max_steps,
+                seed,
+                range,
+                &|prev, next, _steps, _flags: &mut u64| (next == t).then_some(prev == s),
+                &mut |_, verdict, steps| match verdict {
+                    Some(true) => {
+                        tally.via_edge += 1;
+                        tally.steps += steps;
+                    }
+                    Some(false) => {
+                        tally.indirect += 1;
+                        tally.steps += steps;
+                    }
+                    None => {
+                        tally.truncated += 1;
+                        tally.steps += max_steps as u64;
+                    }
+                },
+            );
+        },
+        |total, part| total.merge(part),
+    )
+}
+
+/// Outcome tallies of a bulk commute-time run ([`commute_trials`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommuteTally {
+    /// Round trips `s → t → s` completed within the step cap.
+    pub completed: u64,
+    /// Total steps of the completed round trips.
+    pub completed_steps: u64,
+    /// Walks that hit the step cap mid-trip.
+    pub truncated: u64,
+}
+
+/// Runs `trials` round-trip (`s → t → s`) walks on the lane-batched kernel
+/// and tallies the completed commute lengths. The per-lane flag word of the
+/// variable-length driver carries the "has visited `t` yet" bit, the state a
+/// round-trip predicate needs.
+pub fn commute_trials(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> CommuteTally {
+    debug_assert_ne!(s, t);
+    let kernel = WalkKernel::new(graph);
+    par::par_fold_ranges(
+        trials,
+        threads,
+        CommuteTally::default,
+        |range, tally: &mut CommuteTally| {
+            kernel.batch_until(
+                s,
+                max_steps,
+                seed,
+                range,
+                &|_prev, next, _steps, reached_t: &mut u64| {
+                    if *reached_t == 0 {
+                        if next == t {
+                            *reached_t = 1;
+                        }
+                        None
+                    } else if next == s {
+                        Some(())
+                    } else {
+                        None
+                    }
+                },
+                &mut |_, verdict, steps| match verdict {
+                    Some(()) => {
+                        tally.completed += 1;
+                        tally.completed_steps += steps;
+                    }
+                    None => tally.truncated += 1,
+                },
+            );
+        },
+        |total, part| {
+            total.completed += part.completed;
+            total.completed_steps += part.completed_steps;
+            total.truncated += part.truncated;
+        },
+    )
+}
+
 /// Estimates the commute time `c(s, t)` (expected steps of a round trip
-/// `s → t → s`) from `trials` independent round-trip walks. Returns `None`
-/// if every trial hit the step cap.
+/// `s → t → s`) from `trials` independent round-trip walks on the
+/// lane-batched kernel. Returns `None` if every trial hit the step cap.
 ///
 /// `r(s, t) = c(s, t) / 2m` gives yet another consistency check used by the
 /// integration tests; this estimator is not part of the paper's evaluated
 /// methods but documents the commute-time interpretation of Section 1.
-pub fn commute_time_estimate<R: Rng + ?Sized>(
+pub fn commute_time_estimate(
     graph: &Graph,
     s: NodeId,
     t: NodeId,
     trials: usize,
     max_steps: usize,
-    rng: &mut R,
+    seed: u64,
+    threads: usize,
 ) -> Option<f64> {
     if s == t {
         return Some(0.0);
     }
-    let mut total = 0usize;
-    let mut completed = 0usize;
-    for _ in 0..trials {
-        let mut current = s;
-        let mut steps = 0usize;
-        let mut reached_t = false;
-        let mut done = false;
-        while steps < max_steps {
-            current = graph.random_neighbor(current, rng)?;
-            steps += 1;
-            if !reached_t && current == t {
-                reached_t = true;
-            } else if reached_t && current == s {
-                done = true;
-                break;
-            }
-        }
-        if done {
-            total += steps;
-            completed += 1;
-        }
-    }
-    if completed == 0 {
+    let tally = commute_trials(graph, s, t, max_steps, trials as u64, seed, threads);
+    if tally.completed == 0 {
         None
     } else {
-        Some(total as f64 / completed as f64)
+        Some(tally.completed_steps as f64 / tally.completed as f64)
     }
 }
 
@@ -186,24 +413,22 @@ mod tests {
                 EscapeOutcome::ReachedTarget { steps: 1 }
             ));
         }
+        // The bulk tally agrees: every trial escapes in one step.
+        let tally = escape_trials(&g, 0, 1, 10, 500, 7, 1);
+        assert_eq!(tally.reached, 500);
+        assert_eq!(tally.returned + tally.truncated, 0);
+        assert_eq!(tally.steps, 500);
     }
 
     #[test]
     fn escape_probability_on_triangle() {
         // Triangle: r(s, t) = 2/3, d(s) = 2, escape prob = 1/(d(s) r) = 3/4.
         let g = generators::complete(3).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
         let trials = 40_000;
-        let mut hits = 0;
-        for _ in 0..trials {
-            if matches!(
-                escape_walk(&g, 0, 1, 10_000, &mut rng),
-                EscapeOutcome::ReachedTarget { .. }
-            ) {
-                hits += 1;
-            }
-        }
-        let p = hits as f64 / trials as f64;
+        let tally = escape_trials(&g, 0, 1, 10_000, trials, 11, 1);
+        assert_eq!(tally.trials(), trials);
+        assert_eq!(tally.truncated, 0);
+        let p = tally.reached as f64 / trials as f64;
         assert!((p - 0.75).abs() < 0.01, "escape probability {p}");
     }
 
@@ -212,26 +437,88 @@ mod tests {
         // For an edge (s, t) of the triangle, r(s, t) = 2/3 equals the
         // probability the first visit to t arrives over the edge (s, t).
         let g = generators::complete(3).unwrap();
-        let mut rng = StdRng::seed_from_u64(13);
         let trials = 40_000;
-        let mut direct = 0;
-        for _ in 0..trials {
-            match first_hit_walk(&g, 0, 1, 10_000, &mut rng) {
-                FirstHitOutcome::Hit {
-                    via_direct_edge, ..
-                } => {
-                    if via_direct_edge {
-                        direct += 1;
-                    }
-                }
-                FirstHitOutcome::Truncated => panic!("no truncation expected"),
-            }
-        }
-        let p = direct as f64 / trials as f64;
+        let tally = first_hit_trials(&g, 0, 1, 10_000, trials, 13, 1);
+        assert_eq!(tally.trials(), trials);
+        assert_eq!(tally.truncated, 0);
+        let p = tally.via_edge as f64 / trials as f64;
         assert!(
             (p - 2.0 / 3.0).abs() < 0.01,
             "first-hit-via-edge probability {p}"
         );
+    }
+
+    #[test]
+    fn bulk_trials_match_single_walk_outcomes_stream_for_stream() {
+        // The bulk tallies must equal running the single-walk reference on
+        // each trial's stream — the lanes only overlap memory accesses.
+        let g = generators::social_network_like(150, 7.0, 4).unwrap();
+        let (s, t, max_steps, seed) = (0, 75, 400, 0x5eed);
+        for trials in [1u64, 5, 16, 61, 200] {
+            let bulk = escape_trials(&g, s, t, max_steps, trials, seed, 1);
+            let mut reference = EscapeTally::default();
+            for i in 0..trials {
+                let mut rng = crate::par::stream_rng(seed, i);
+                match escape_walk(&g, s, t, max_steps, &mut rng) {
+                    EscapeOutcome::ReachedTarget { steps } => {
+                        reference.reached += 1;
+                        reference.steps += steps as u64;
+                    }
+                    EscapeOutcome::ReturnedToSource { steps } => {
+                        reference.returned += 1;
+                        reference.steps += steps as u64;
+                    }
+                    EscapeOutcome::Truncated => {
+                        reference.truncated += 1;
+                        reference.steps += max_steps as u64;
+                    }
+                }
+            }
+            assert_eq!(bulk, reference, "{trials} escape trials");
+
+            let bulk = first_hit_trials(&g, s, t, max_steps, trials, seed, 1);
+            let mut reference = FirstHitTally::default();
+            for i in 0..trials {
+                let mut rng = crate::par::stream_rng(seed, i);
+                match first_hit_walk(&g, s, t, max_steps, &mut rng) {
+                    FirstHitOutcome::Hit {
+                        via_direct_edge,
+                        steps,
+                    } => {
+                        if via_direct_edge {
+                            reference.via_edge += 1;
+                        } else {
+                            reference.indirect += 1;
+                        }
+                        reference.steps += steps as u64;
+                    }
+                    FirstHitOutcome::Truncated => {
+                        reference.truncated += 1;
+                        reference.steps += max_steps as u64;
+                    }
+                }
+            }
+            assert_eq!(bulk, reference, "{trials} first-hit trials");
+        }
+    }
+
+    #[test]
+    fn bulk_trials_are_thread_count_invariant() {
+        let g = generators::social_network_like(200, 8.0, 9).unwrap();
+        let base = escape_trials(&g, 0, 100, 10_000, 5_000, 42, 1);
+        let base_hit = first_hit_trials(&g, 0, 100, 10_000, 3_000, 42, 1);
+        let base_commute = commute_trials(&g, 0, 100, 100_000, 500, 42, 1);
+        for threads in [2, 8] {
+            assert_eq!(base, escape_trials(&g, 0, 100, 10_000, 5_000, 42, threads));
+            assert_eq!(
+                base_hit,
+                first_hit_trials(&g, 0, 100, 10_000, 3_000, 42, threads)
+            );
+            assert_eq!(
+                base_commute,
+                commute_trials(&g, 0, 100, 100_000, 500, 42, threads)
+            );
+        }
     }
 
     #[test]
@@ -247,15 +534,20 @@ mod tests {
             first_hit_walk(&g, 0, 49, 1, &mut rng),
             FirstHitOutcome::Truncated
         );
+        let tally = escape_trials(&g, 0, 49, 1, 100, 5, 1);
+        assert_eq!(tally.truncated, 100);
+        assert_eq!(tally.steps, 100, "truncated walks charge max_steps each");
     }
 
     #[test]
     fn commute_time_matches_er_identity_on_triangle() {
         // c(s, t) = 2 m r(s, t) = 2 * 3 * 2/3 = 4 on the triangle.
         let g = generators::complete(3).unwrap();
-        let mut rng = StdRng::seed_from_u64(23);
-        let c = commute_time_estimate(&g, 0, 1, 20_000, 100_000, &mut rng).unwrap();
+        let c = commute_time_estimate(&g, 0, 1, 20_000, 100_000, 23, 1).unwrap();
         assert!((c - 4.0).abs() < 0.1, "commute time {c}");
-        assert_eq!(commute_time_estimate(&g, 2, 2, 5, 10, &mut rng), Some(0.0));
+        assert_eq!(commute_time_estimate(&g, 2, 2, 5, 10, 23, 1), Some(0.0));
+        // An unreachable cap leaves no completed trips.
+        let path = generators::path(40).unwrap();
+        assert_eq!(commute_time_estimate(&path, 0, 39, 50, 2, 23, 1), None);
     }
 }

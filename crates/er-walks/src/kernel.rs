@@ -39,24 +39,78 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Number of walks the batched kernel drivers keep in flight per worker.
-///
-/// Each lane advances an independent walk, so one lockstep round issues
-/// [`LANES`] independent memory accesses instead of one — enough outstanding
-/// loads to cover L2/L3 latency without spilling the lane state out of
-/// registers/L1.
+/// The default (middle) lockstep lane width, [`LaneWidth::L16`] as a plain
+/// constant. Kept for callers that size work blocks around the lane count;
+/// the kernel itself now picks its width per graph (see [`LaneWidth::auto`])
+/// and every driver produces identical results at any width.
 pub const LANES: usize = 16;
 
-// The lockstep drivers track live lanes in a u64 bitmask; a wider LANES would
-// silently truncate it, so fail the build instead if anyone retunes past 64.
-const _: () = assert!(LANES <= 64, "lane masks are u64");
+// The lockstep drivers track live lanes in a u64 bitmask; a wider lane count
+// would silently truncate it, so fail the build instead if anyone retunes
+// past 64.
+const _: () = assert!(MAX_LANES <= 64, "lane masks are u64");
 
-/// Bitmask with one live bit per lane.
-const ALL_LANES: u64 = if LANES == 64 {
-    u64::MAX
-} else {
-    (1u64 << LANES) - 1
-};
+/// The widest lane configuration the dispatcher can select.
+const MAX_LANES: usize = 32;
+
+/// Bitmask with the low `lanes` bits set.
+#[inline]
+const fn lane_mask(lanes: usize) -> u64 {
+    if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Lockstep lane width of a [`WalkKernel`]: how many independent walks each
+/// driver keeps in flight at once.
+///
+/// More lanes overlap more of the dependent cache-miss chain — which pays
+/// off exactly when the CSR arrays miss cache. A cache-resident graph gains
+/// nothing from extra in-flight loads and instead pays for the larger lane
+/// state, so the width is chosen per graph by [`LaneWidth::auto`] (a bench
+/// sweep lives in the `walk_kernel` bin). Every driver is **results-neutral
+/// in the width**: per-walk draws come from per-walk streams and per-walk
+/// results are reported either in index order or into commutative
+/// accumulators, so retuning can never change a value — pinned by tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// 8 lanes — cache-resident graphs, where latency hiding buys nothing.
+    L8,
+    /// 16 lanes — the default middle ground.
+    L16,
+    /// 32 lanes — large, latency-bound graphs.
+    L32,
+}
+
+impl LaneWidth {
+    /// The number of lanes this width runs.
+    pub const fn lanes(self) -> usize {
+        match self {
+            LaneWidth::L8 => 8,
+            LaneWidth::L16 => 16,
+            LaneWidth::L32 => 32,
+        }
+    }
+
+    /// Picks a lane width from the graph's CSR footprint: graphs whose
+    /// offset+neighbour arrays fit comfortably in the private caches walk
+    /// with 8 lanes, graphs past the last-level cache with 32, the middle
+    /// band with 16. Thresholds come from the `walk_kernel` bench sweep
+    /// (`--quick` prints per-width walks/sec next to the heuristic's pick).
+    pub fn auto(num_nodes: usize, num_edges: usize) -> LaneWidth {
+        let csr_bytes = (num_nodes + 1) * std::mem::size_of::<usize>()
+            + 2 * num_edges * std::mem::size_of::<NodeId>();
+        if csr_bytes <= 512 << 10 {
+            LaneWidth::L8
+        } else if csr_bytes <= 16 << 20 {
+            LaneWidth::L16
+        } else {
+            LaneWidth::L32
+        }
+    }
+}
 
 /// A 16-byte xoroshiro128++ generator, the RNG stream of one walk.
 ///
@@ -120,14 +174,33 @@ fn bounded(draw: u64, n: u64) -> u64 {
 pub struct WalkKernel<'g> {
     offsets: &'g [usize],
     neighbors: &'g [NodeId],
+    lanes: LaneWidth,
 }
 
 impl<'g> WalkKernel<'g> {
-    /// Creates a kernel over `graph`'s CSR arrays.
+    /// Creates a kernel over `graph`'s CSR arrays, with the lockstep lane
+    /// width chosen per graph by [`LaneWidth::auto`].
     #[inline]
     pub fn new(graph: &'g Graph) -> Self {
         let (offsets, neighbors) = graph.csr();
-        WalkKernel { offsets, neighbors }
+        WalkKernel {
+            offsets,
+            neighbors,
+            lanes: LaneWidth::auto(graph.num_nodes(), graph.num_edges()),
+        }
+    }
+
+    /// Overrides the lockstep lane width (results are identical at any
+    /// width; only throughput changes).
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: LaneWidth) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The lockstep lane width this kernel runs.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
     }
 
     /// One step of the simple random walk from `v`: a uniformly random
@@ -194,12 +267,13 @@ impl<'g> WalkKernel<'g> {
     }
 
     /// Runs the walks with indices `range` (RNG stream `(seed, i)` for walk
-    /// `i`), [`LANES`] at a time in lockstep, and reports each walk's
+    /// `i`), a lane block at a time in lockstep, and reports each walk's
     /// endpoint and step count to `sink` **in index order**.
     ///
     /// Lockstep execution only reorders the memory accesses of independent
     /// walks, never the draws within one walk, so every walk's result is
-    /// identical to running [`WalkKernel::endpoint`] on its own stream.
+    /// identical to running [`WalkKernel::endpoint`] on its own stream —
+    /// at any [`LaneWidth`].
     pub fn batch_endpoints(
         &self,
         start: NodeId,
@@ -208,12 +282,16 @@ impl<'g> WalkKernel<'g> {
         range: Range<u64>,
         sink: &mut impl FnMut(u64, NodeId, u64),
     ) {
-        self.lockstep(start, len, seed, range, &mut |_| {}, sink);
+        match self.lanes {
+            LaneWidth::L8 => self.lockstep::<8>(start, len, seed, range, &mut |_| {}, sink),
+            LaneWidth::L16 => self.lockstep::<16>(start, len, seed, range, &mut |_| {}, sink),
+            LaneWidth::L32 => self.lockstep::<32>(start, len, seed, range, &mut |_| {}, sink),
+        }
     }
 
-    /// Runs the walks with indices `range`, [`LANES`] at a time in lockstep,
-    /// calling `visit` on every visited node of every walk and returning the
-    /// total steps taken.
+    /// Runs the walks with indices `range`, a lane block at a time in
+    /// lockstep, calling `visit` on every visited node of every walk and
+    /// returning the total steps taken.
     ///
     /// The order in which different walks' visits interleave depends on the
     /// lane layout, so `visit` must feed a commutative accumulator (node
@@ -227,14 +305,101 @@ impl<'g> WalkKernel<'g> {
         visit: &mut impl FnMut(NodeId),
     ) -> u64 {
         let mut total_steps = 0u64;
-        self.lockstep(start, len, seed, range, visit, &mut |_, _, steps| {
-            total_steps += steps;
-        });
+        let mut finish = |_: u64, _: NodeId, steps: u64| total_steps += steps;
+        match self.lanes {
+            LaneWidth::L8 => self.lockstep::<8>(start, len, seed, range, visit, &mut finish),
+            LaneWidth::L16 => self.lockstep::<16>(start, len, seed, range, visit, &mut finish),
+            LaneWidth::L32 => self.lockstep::<32>(start, len, seed, range, visit, &mut finish),
+        }
         total_steps
     }
 
-    /// The single lockstep driver behind [`WalkKernel::batch_endpoints`] and
-    /// [`WalkKernel::batch_visits`]: full blocks of [`LANES`] walks advance
+    /// Runs the **variable-length** walks with indices `range` in lockstep
+    /// lanes, each walk stepping until `judge` returns a verdict or
+    /// `max_steps` is reached; retired lanes are refilled from the pending
+    /// range immediately, so the memory-level parallelism never drains while
+    /// work remains — unlike the fixed-length drivers, whose lanes all
+    /// retire together.
+    ///
+    /// Each step draws one `u64` from the walk's own stream (`(seed, i)` for
+    /// walk `i`) and moves to a uniformly random neighbour `next`; `judge`
+    /// then sees `(previous, next, steps_taken, &mut flags)` — `flags` is a
+    /// per-walk scratch word (zeroed per walk) for predicates that need
+    /// state, like "returned to `s` *after* visiting `t`". A `Some` verdict
+    /// retires the walk; exhausting `max_steps` (or stranding on an isolated
+    /// node) retires it with `None`. Every walk's draw sequence is identical
+    /// to stepping it alone on its own stream, so porting a sequential
+    /// walk-until loop onto this driver preserves its values bit for bit.
+    ///
+    /// `sink` receives `(index, verdict, steps)` once per walk in **retire
+    /// order**, which depends on the lane width and refill schedule (but not
+    /// on thread count — it is a pure function of `(seed, range, width)`).
+    /// Feed a commutative accumulator (outcome counts, step totals) to stay
+    /// results-neutral in the width; the bulk escape/first-hit tallies do.
+    pub fn batch_until<V, J>(
+        &self,
+        start: NodeId,
+        max_steps: usize,
+        seed: u64,
+        range: Range<u64>,
+        judge: &J,
+        sink: &mut impl FnMut(u64, Option<V>, u64),
+    ) where
+        J: Fn(NodeId, NodeId, u64, &mut u64) -> Option<V>,
+    {
+        match self.lanes {
+            LaneWidth::L8 => {
+                self.lockstep_until::<8, V, J>(start, max_steps, seed, range, judge, sink)
+            }
+            LaneWidth::L16 => {
+                self.lockstep_until::<16, V, J>(start, max_steps, seed, range, judge, sink)
+            }
+            LaneWidth::L32 => {
+                self.lockstep_until::<32, V, J>(start, max_steps, seed, range, judge, sink)
+            }
+        }
+    }
+
+    /// Runs the **walk pairs** with indices `range` in lockstep lanes: pair
+    /// `i` draws from stream `(seed, i)` and runs a length-`len` walk from
+    /// `s` followed by a length-`len` walk from `t` **on the same stream, in
+    /// that order** — exactly the draw schedule of stepping the pair alone —
+    /// while the s-walks (then t-walks) of a whole lane block advance
+    /// together so their cache misses overlap.
+    ///
+    /// `visit_s` / `visit_t` fold each visited node into the pair's private
+    /// accumulator in walk order (s-walk first), and `finish` receives
+    /// `(index, accumulator, steps)` **in index order**, so floating-point
+    /// accumulation per pair and across pairs is bit-identical to the
+    /// sequential loop at any [`LaneWidth`]. This is AMC's walk-pair driver.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_pairs<A, VS, VT>(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        len: usize,
+        seed: u64,
+        range: Range<u64>,
+        visit_s: &VS,
+        visit_t: &VT,
+        finish: &mut impl FnMut(u64, A, u64),
+    ) where
+        A: Default + Copy,
+        VS: Fn(NodeId, &mut A),
+        VT: Fn(NodeId, &mut A),
+    {
+        match self.lanes {
+            LaneWidth::L8 => self
+                .lockstep_pairs::<8, A, VS, VT>(s, t, len, seed, range, visit_s, visit_t, finish),
+            LaneWidth::L16 => self
+                .lockstep_pairs::<16, A, VS, VT>(s, t, len, seed, range, visit_s, visit_t, finish),
+            LaneWidth::L32 => self
+                .lockstep_pairs::<32, A, VS, VT>(s, t, len, seed, range, visit_s, visit_t, finish),
+        }
+    }
+
+    /// The fixed-length lockstep driver behind [`WalkKernel::batch_endpoints`]
+    /// and [`WalkKernel::batch_visits`]: full blocks of `L` walks advance
     /// together (a dead lane — one that hit an isolated node — is dropped
     /// from the `alive` mask), the remainder runs sequentially. `on_step`
     /// fires for every visited node of every walk (lane-interleaved across
@@ -242,7 +407,7 @@ impl<'g> WalkKernel<'g> {
     /// `(index, endpoint, steps)` **in index order**. Unused callbacks
     /// monomorphise away.
     #[inline]
-    fn lockstep(
+    fn lockstep<const L: usize>(
         &self,
         start: NodeId,
         len: usize,
@@ -252,17 +417,17 @@ impl<'g> WalkKernel<'g> {
         finish: &mut impl FnMut(u64, NodeId, u64),
     ) {
         let mut i = range.start;
-        while i + LANES as u64 <= range.end {
-            let mut rngs: [StreamRng; LANES] =
+        while i + L as u64 <= range.end {
+            let mut rngs: [StreamRng; L] =
                 std::array::from_fn(|lane| StreamRng::new(seed, i + lane as u64));
-            let mut current = [start; LANES];
-            let mut steps = [0u64; LANES];
-            let mut alive: u64 = if len == 0 { 0 } else { ALL_LANES };
+            let mut current = [start; L];
+            let mut steps = [0u64; L];
+            let mut alive: u64 = if len == 0 { 0 } else { lane_mask(L) };
             for _ in 0..len {
                 if alive == 0 {
                     break;
                 }
-                for lane in 0..LANES {
+                for lane in 0..L {
                     if alive & (1 << lane) != 0 {
                         match self.step(current[lane], &mut rngs[lane]) {
                             Some(next) => {
@@ -275,10 +440,10 @@ impl<'g> WalkKernel<'g> {
                     }
                 }
             }
-            for lane in 0..LANES {
+            for lane in 0..L {
                 finish(i + lane as u64, current[lane], steps[lane]);
             }
-            i += LANES as u64;
+            i += L as u64;
         }
         for j in i..range.end {
             let mut rng = StreamRng::new(seed, j);
@@ -295,6 +460,163 @@ impl<'g> WalkKernel<'g> {
                 }
             }
             finish(j, current, steps);
+        }
+    }
+
+    /// The variable-length lane state machine behind
+    /// [`WalkKernel::batch_until`]: every lane carries its own walk index,
+    /// RNG stream, step count and flag word; a retired lane (verdict, step
+    /// cap, or isolated node) is refilled from the pending range in the same
+    /// lockstep round, so all `L` memory accesses stay in flight until the
+    /// work runs out.
+    #[inline]
+    fn lockstep_until<const L: usize, V, J>(
+        &self,
+        start: NodeId,
+        max_steps: usize,
+        seed: u64,
+        range: Range<u64>,
+        judge: &J,
+        sink: &mut impl FnMut(u64, Option<V>, u64),
+    ) where
+        J: Fn(NodeId, NodeId, u64, &mut u64) -> Option<V>,
+    {
+        if max_steps == 0 {
+            // Every walk truncates before its first step.
+            for i in range {
+                sink(i, None, 0);
+            }
+            return;
+        }
+        let mut next_index = range.start;
+        let mut rngs: [StreamRng; L] = std::array::from_fn(|_| StreamRng::new(0, 0));
+        let mut current = [start; L];
+        let mut steps = [0u64; L];
+        let mut index = [0u64; L];
+        let mut flags = [0u64; L];
+        let mut alive: u64 = 0;
+        for lane in 0..L {
+            if next_index < range.end {
+                rngs[lane] = StreamRng::new(seed, next_index);
+                index[lane] = next_index;
+                next_index += 1;
+                alive |= 1 << lane;
+            }
+        }
+        while alive != 0 {
+            for lane in 0..L {
+                if alive & (1 << lane) == 0 {
+                    continue;
+                }
+                // `Some(verdict)` retires the lane this round.
+                let retired = match self.step(current[lane], &mut rngs[lane]) {
+                    Some(next) => {
+                        steps[lane] += 1;
+                        match judge(current[lane], next, steps[lane], &mut flags[lane]) {
+                            Some(v) => Some(Some(v)),
+                            None => {
+                                current[lane] = next;
+                                if steps[lane] as usize >= max_steps {
+                                    Some(None)
+                                } else {
+                                    None
+                                }
+                            }
+                        }
+                    }
+                    None => Some(None),
+                };
+                if let Some(verdict) = retired {
+                    sink(index[lane], verdict, steps[lane]);
+                    if next_index < range.end {
+                        rngs[lane] = StreamRng::new(seed, next_index);
+                        index[lane] = next_index;
+                        current[lane] = start;
+                        steps[lane] = 0;
+                        flags[lane] = 0;
+                        next_index += 1;
+                    } else {
+                        alive &= !(1 << lane);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paired lockstep driver behind [`WalkKernel::batch_pairs`]: a
+    /// (possibly partial) block of `L` pairs advances its s-walks together,
+    /// then its t-walks together, each pair continuing on its own stream, and
+    /// reports per-pair accumulators in index order.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn lockstep_pairs<const L: usize, A, VS, VT>(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        len: usize,
+        seed: u64,
+        range: Range<u64>,
+        visit_s: &VS,
+        visit_t: &VT,
+        finish: &mut impl FnMut(u64, A, u64),
+    ) where
+        A: Default + Copy,
+        VS: Fn(NodeId, &mut A),
+        VT: Fn(NodeId, &mut A),
+    {
+        let mut i = range.start;
+        while i < range.end {
+            let block = ((range.end - i).min(L as u64)) as usize;
+            // Streams beyond the block are never drawn from; building them
+            // unconditionally keeps the array initialisation branch-free.
+            let mut rngs: [StreamRng; L] =
+                std::array::from_fn(|lane| StreamRng::new(seed, i + lane as u64));
+            let mut acc = [A::default(); L];
+            let mut steps = [0u64; L];
+            // s-phase, then t-phase, each pair continuing on its own stream.
+            self.pair_phase::<L, A>(s, len, block, &mut rngs, &mut acc, &mut steps, visit_s);
+            self.pair_phase::<L, A>(t, len, block, &mut rngs, &mut acc, &mut steps, visit_t);
+            for lane in 0..block {
+                finish(i + lane as u64, acc[lane], steps[lane]);
+            }
+            i += block as u64;
+        }
+    }
+
+    /// One phase of [`WalkKernel::lockstep_pairs`]: the first `block` lanes
+    /// walk `len` steps from `start` in lockstep, each continuing on its own
+    /// stream and folding visits into its own accumulator; a lane hitting an
+    /// isolated node goes dead for the rest of the phase.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn pair_phase<const L: usize, A>(
+        &self,
+        start: NodeId,
+        len: usize,
+        block: usize,
+        rngs: &mut [StreamRng; L],
+        acc: &mut [A; L],
+        steps: &mut [u64; L],
+        visit: &impl Fn(NodeId, &mut A),
+    ) {
+        let mut current = [start; L];
+        let mut alive = if len == 0 { 0 } else { lane_mask(block) };
+        for _ in 0..len {
+            if alive == 0 {
+                break;
+            }
+            for lane in 0..block {
+                if alive & (1 << lane) != 0 {
+                    match self.step(current[lane], &mut rngs[lane]) {
+                        Some(next) => {
+                            current[lane] = next;
+                            steps[lane] += 1;
+                            visit(next, &mut acc[lane]);
+                        }
+                        None => alive &= !(1 << lane),
+                    }
+                }
+            }
         }
     }
 }
@@ -657,6 +979,154 @@ mod tests {
         }
         assert_eq!(batched, sequential);
         assert_eq!(steps_b, steps_s);
+    }
+
+    #[test]
+    fn lane_width_auto_tracks_csr_footprint() {
+        // Tiny graphs stay cache-resident -> fewest lanes; huge CSRs are
+        // latency-bound -> most lanes.
+        assert_eq!(LaneWidth::auto(100, 500), LaneWidth::L8);
+        assert_eq!(LaneWidth::auto(100_000, 400_000), LaneWidth::L16);
+        assert_eq!(LaneWidth::auto(2_000_000, 16_000_000), LaneWidth::L32);
+        assert_eq!(LaneWidth::L8.lanes(), 8);
+        assert_eq!(LaneWidth::L16.lanes(), 16);
+        assert_eq!(LaneWidth::L32.lanes(), 32);
+    }
+
+    #[test]
+    fn fixed_length_drivers_are_lane_width_invariant() {
+        let g = generators::social_network_like(250, 8.0, 5).unwrap();
+        let runs = |width: LaneWidth| {
+            let kernel = WalkKernel::new(&g).with_lanes(width);
+            let mut ends = Vec::new();
+            kernel.batch_endpoints(0, 11, 77, 0..101, &mut |i, end, steps| {
+                ends.push((i, end, steps));
+            });
+            let mut visits = vec![0u64; g.num_nodes()];
+            let steps = kernel.batch_visits(3, 9, 78, 0..67, &mut |v| visits[v] += 1);
+            (ends, visits, steps)
+        };
+        let base = runs(LaneWidth::L8);
+        assert_eq!(base, runs(LaneWidth::L16));
+        assert_eq!(base, runs(LaneWidth::L32));
+    }
+
+    #[test]
+    fn batch_until_matches_per_walk_reference_and_refills_lanes() {
+        // Walk until first return to the start (or the cap): compare the
+        // variable-length lockstep driver against stepping each stream
+        // alone, across ranges that exercise refill (more pending walks
+        // than lanes), a partial first block (fewer than one full block of
+        // the *widest* width) and an empty range — at every lane width.
+        let g = generators::social_network_like(300, 7.0, 6).unwrap();
+        let (start, max_steps, seed) = (5, 200, 0xface);
+        let judge = |_prev: NodeId, next: NodeId, _steps: u64, _flags: &mut u64| {
+            (next == start).then_some(())
+        };
+        let reference = |range: Range<u64>| {
+            let mut out = Vec::new();
+            for i in range {
+                let mut rng = StreamRng::new(seed, i);
+                let mut current = start;
+                let mut result = (i, None, max_steps as u64);
+                for step in 1..=max_steps as u64 {
+                    let Some(next) = WalkKernel::new(&g).step(current, &mut rng) else {
+                        result = (i, None, step - 1);
+                        break;
+                    };
+                    if next == start {
+                        result = (i, Some(()), step);
+                        break;
+                    }
+                    current = next;
+                }
+                out.push(result);
+            }
+            out.sort_unstable();
+            out
+        };
+        for width in [LaneWidth::L8, LaneWidth::L16, LaneWidth::L32] {
+            let kernel = WalkKernel::new(&g).with_lanes(width);
+            for range in [0u64..5, 7..7, 0..32, 3..(3 * 32 + 17)] {
+                let mut got = Vec::new();
+                kernel.batch_until(
+                    start,
+                    max_steps,
+                    seed,
+                    range.clone(),
+                    &judge,
+                    &mut |i, v, s| {
+                        got.push((i, v, s));
+                    },
+                );
+                assert_eq!(
+                    got.len() as u64,
+                    range.end - range.start,
+                    "every walk retires exactly once ({width:?}, {range:?})"
+                );
+                got.sort_unstable();
+                assert_eq!(got, reference(range.clone()), "{width:?} {range:?}");
+            }
+            // A zero step cap truncates every walk before its first draw.
+            let mut got = Vec::new();
+            kernel.batch_until(start, 0, seed, 4..9, &judge, &mut |i, v, s| {
+                got.push((i, v, s))
+            });
+            assert_eq!(got, (4..9).map(|i| (i, None, 0)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn batch_pairs_matches_sequential_pair_walks_bit_for_bit() {
+        // Pair i must see exactly the draw schedule and float accumulation
+        // order of running its s-walk then t-walk alone on stream (seed, i),
+        // and finish must fire in index order — at every lane width.
+        let g = generators::social_network_like(200, 9.0, 1).unwrap();
+        let (s, t, len, seed) = (0usize, 100usize, 13usize, 0x9a12u64);
+        let weight = |u: NodeId| (u as f64 + 1.0).ln();
+        let reference: Vec<(u64, f64, u64)> = (0..(2 * 32 + 9) as u64)
+            .map(|i| {
+                let mut rng = StreamRng::new(seed, i);
+                let kernel = WalkKernel::new(&g);
+                let mut z = 0.0;
+                let mut steps = 0;
+                steps += kernel.for_each_visit(s, len, &mut rng, |u| z += weight(u));
+                steps += kernel.for_each_visit(t, len, &mut rng, |u| z -= 0.5 * weight(u));
+                (i, z, steps)
+            })
+            .collect();
+        for width in [LaneWidth::L8, LaneWidth::L16, LaneWidth::L32] {
+            let kernel = WalkKernel::new(&g).with_lanes(width);
+            for (range, expect) in [
+                (0u64..reference.len() as u64, &reference[..]),
+                (0..5, &reference[..5]), // fewer pairs than one block
+                (9..9, &reference[..0]), // empty
+            ] {
+                let mut got = Vec::new();
+                kernel.batch_pairs(
+                    s,
+                    t,
+                    len,
+                    seed,
+                    range,
+                    &|u, z: &mut f64| *z += weight(u),
+                    &|u, z: &mut f64| *z -= 0.5 * weight(u),
+                    &mut |i, z, steps| got.push((i, z, steps)),
+                );
+                let expect: Vec<(u64, f64, u64)> = expect.to_vec();
+                assert_eq!(got.len(), expect.len());
+                for (g_r, e_r) in got.iter().zip(&expect) {
+                    assert_eq!(g_r.0, e_r.0, "index order preserved");
+                    assert_eq!(
+                        g_r.1.to_bits(),
+                        e_r.1.to_bits(),
+                        "pair {} at {width:?}",
+                        g_r.0
+                    );
+                    assert_eq!(g_r.2, e_r.2);
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!   TP's per-length walks, TPC's half-length collision walks).
 //! * [`hitting`] — first-hit and escape-probability walks (the MC and MC2
 //!   baselines, which walk until they reach the target or return to the
-//!   source).
+//!   source), as single-walk references plus lane-batched bulk trials on
+//!   the kernel's variable-length lockstep driver.
 //! * [`spanning`] — uniform spanning-tree sampling with Wilson's algorithm
 //!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`).
 //!
@@ -36,8 +37,11 @@ pub mod spanning;
 pub mod truncated;
 
 pub use engine::{EndpointHistogram, WalkEngine};
-pub use hitting::{escape_walk, first_hit_walk, EscapeOutcome, FirstHitOutcome};
-pub use kernel::{ScratchPool, StreamRng, WalkKernel, WalkScratch};
+pub use hitting::{
+    escape_trials, escape_walk, first_hit_trials, first_hit_walk, EscapeOutcome, EscapeTally,
+    FirstHitOutcome, FirstHitTally,
+};
+pub use kernel::{LaneWidth, ScratchPool, StreamRng, WalkKernel, WalkScratch};
 pub use mixing::{empirical_mixing_profile, empirical_mixing_time, MixingProfile};
 pub use par::{
     mix_seed, par_fold_indexed, par_fold_ranges, par_map_indexed, resolve_threads, stream_rng,

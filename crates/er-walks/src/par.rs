@@ -130,9 +130,13 @@ where
 /// `task` receives each [`CHUNK`]-sized range exactly once (boundaries depend
 /// only on `n`) and must process its indices in order, deriving any
 /// randomness from the index alone; the batched
-/// [`WalkKernel`](crate::kernel::WalkKernel) drivers do exactly that while
-/// keeping several walks of the range in flight at once. Chunk results are
-/// merged in chunk order, so the output is a pure function of `(n, task)`.
+/// [`WalkKernel`](crate::kernel::WalkKernel) drivers — fixed-length
+/// (`batch_endpoints`/`batch_visits`), variable-length (`batch_until`, which
+/// refills retired lanes from the range) and paired (`batch_pairs`) — do
+/// exactly that while keeping several walks of the range in flight at once.
+/// Chunk results are merged in chunk order, so the output is a pure function
+/// of `(n, task)` for index-ordered sinks; commutative tallies are pure in
+/// `(n, task)` regardless of sink order.
 pub fn par_fold_ranges<A, N, T, M>(n: u64, threads: usize, new_acc: N, task: T, mut merge: M) -> A
 where
     A: Send,

@@ -71,6 +71,22 @@ def main(path: str) -> int:
                     f"{ratio:.2f}x of the previous entry "
                     f"({prev_rate:.0f} -> {curr_rate:.0f} {unit})"
                 )
+        # Named headline metrics (e.g. mc_escape_walks_per_sec,
+        # amc_paired_pairs_per_sec) are diffed key by key; keys missing from
+        # the previous entry are reported as new.
+        prev_metrics = prev.get("metrics", {})
+        for key, curr_value in curr.get("metrics", {}).items():
+            before = prev_metrics.get(key)
+            if before is None:
+                print(f"metric {key:<32} (new) {curr_value:.0f}")
+                continue
+            ratio = curr_value / before if before else float("inf")
+            print(f"metric {key:<32} {before:>12.0f} -> {curr_value:>12.0f} {ratio:>5.2f}x")
+            if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
+                print(
+                    f"::warning::metric '{key}' in {path} regressed to "
+                    f"{ratio:.2f}x of the previous entry"
+                )
     determinism = curr.get("determinism", {})
     if not determinism.get("bit_identical", False):
         print(f"::error::newest entry in {path} reports a determinism failure")

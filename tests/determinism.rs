@@ -8,7 +8,9 @@
 
 use effective_resistance::graph::Graph;
 use effective_resistance::walks::WalkEngine;
-use effective_resistance::{Amc, ApproxConfig, Exact, Geer, GraphContext, ResistanceEstimator};
+use effective_resistance::{
+    Amc, ApproxConfig, Exact, Geer, GraphContext, Mc, Mc2, ResistanceEstimator,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,6 +79,91 @@ fn walk_engine_histograms_are_bit_identical_across_thread_counts() {
             "step accounting differs at {threads} threads"
         );
         assert_eq!(base.3, other.3);
+    }
+}
+
+#[test]
+fn mc_estimates_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let base = estimates_at(1, |cfg| Mc::new(&ctx, cfg).with_walk_budget(4_000));
+    for threads in [2, 8] {
+        let other = estimates_at(threads, |cfg| Mc::new(&ctx, cfg).with_walk_budget(4_000));
+        assert_eq!(base, other, "MC differs at {threads} threads");
+    }
+}
+
+#[test]
+fn mc2_estimates_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let edges: Vec<(usize, usize)> = g.edges().take(3).collect();
+    let run = |threads: usize| {
+        let config = ApproxConfig::with_epsilon(0.2)
+            .reseeded(0xfeed)
+            .with_threads(threads);
+        let mut mc2 = Mc2::new(&ctx, config).with_walk_budget(3_000);
+        edges
+            .iter()
+            .map(|&(s, t)| mc2.estimate(s, t).unwrap().value.to_bits())
+            .collect::<Vec<_>>()
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        assert_eq!(base, run(threads), "MC2 differs at {threads} threads");
+    }
+}
+
+/// Golden values captured on the pre-port implementations (per-walk
+/// `Graph::random_neighbor` stepping for MC/MC2, sequential walk pairs for
+/// AMC). The lane port preserved every draw schedule, so these exact bits
+/// must keep coming out of the variable-length / paired lockstep drivers —
+/// including the step accounting. If a future PR deliberately changes a draw
+/// schedule, re-pin these and say so in CHANGES.md.
+#[test]
+fn mc_mc2_amc_golden_values_survived_the_lane_port() {
+    let g = graph();
+    let ctx = GraphContext::with_lambda(&g, 0.9).unwrap();
+    let cfg = ApproxConfig::with_epsilon(0.2)
+        .reseeded(0xfeed)
+        .with_threads(1);
+
+    let mut mc = Mc::new(&ctx, cfg).with_walk_budget(4_000);
+    let goldens: [(usize, usize, u64, u64); 3] = [
+        (0, 300, 0x3fc19a0cf47407e3, 259_347),
+        (5, 599, 0x3fcc3ff526eda33a, 294_386),
+        (42, 43, 0x3fbdfb20caabddac, 708_330),
+    ];
+    for (s, t, bits, steps) in goldens {
+        let est = mc.estimate(s, t).unwrap();
+        assert_eq!(est.value.to_bits(), bits, "MC ({s},{t})");
+        assert_eq!(est.cost.walk_steps, steps, "MC ({s},{t}) steps");
+    }
+
+    let mut edges = g.edges();
+    let e1 = edges.next().unwrap();
+    let e2 = edges.nth(50).unwrap();
+    assert_eq!((e1, e2), ((0, 1), (0, 176)), "graph generator drifted");
+    let mut mc2 = Mc2::new(&ctx, cfg).with_walk_budget(3_000);
+    let goldens: [(usize, usize, u64, u64); 2] = [
+        (0, 1, 0x3fa3a06d3a06d3a0, 524_820),
+        (0, 176, 0x3fc015d867c3ece3, 2_498_428),
+    ];
+    for (s, t, bits, steps) in goldens {
+        let est = mc2.estimate(s, t).unwrap();
+        assert_eq!(est.value.to_bits(), bits, "MC2 ({s},{t})");
+        assert_eq!(est.cost.walk_steps, steps, "MC2 ({s},{t}) steps");
+    }
+
+    let mut amc = Amc::new(&ctx, cfg);
+    let goldens: [(usize, usize, u64, u64); 2] = [
+        (0, 300, 0x3fc107d67f5f74e0, 58_926),
+        (17, 450, 0x3fc5c9cfc93328c1, 132_496),
+    ];
+    for (s, t, bits, steps) in goldens {
+        let est = amc.estimate(s, t).unwrap();
+        assert_eq!(est.value.to_bits(), bits, "AMC ({s},{t})");
+        assert_eq!(est.cost.walk_steps, steps, "AMC ({s},{t}) steps");
     }
 }
 

@@ -123,3 +123,47 @@ fn kernel_path_amc_stays_epsilon_accurate() {
         );
     }
 }
+
+#[test]
+fn lane_batched_escape_and_first_hit_match_closed_forms() {
+    // Triangle: escape prob = 1/(d(s)·r) = 1/(2·2/3) = 3/4; the first visit
+    // to t arrives over the edge (s, t) with probability r(s, t) = 2/3.
+    let triangle = generators::complete(3).unwrap();
+    let trials = 60_000;
+    let escape =
+        effective_resistance::walks::escape_trials(&triangle, 0, 1, 10_000, trials, 0xe5c, 0);
+    assert_eq!(escape.trials(), trials);
+    let p = escape.reached as f64 / trials as f64;
+    assert!((p - 0.75).abs() < 0.01, "triangle escape probability {p}");
+    let hit =
+        effective_resistance::walks::first_hit_trials(&triangle, 0, 1, 10_000, trials, 0xf1a, 0);
+    let p = hit.via_edge as f64 / trials as f64;
+    assert!(
+        (p - 2.0 / 3.0).abs() < 0.01,
+        "triangle first-hit-via-edge {p}"
+    );
+
+    // 2-node path: r(0,1) = 1, d(0) = 1 — every escape trial hits t on its
+    // first step, exactly.
+    let path = generators::path(2).unwrap();
+    let escape = effective_resistance::walks::escape_trials(&path, 0, 1, 10, 5_000, 0x9a7, 0);
+    assert_eq!(escape.reached, 5_000);
+    assert_eq!(escape.steps, 5_000);
+}
+
+#[test]
+fn lane_refill_edge_cases_are_exact_at_any_thread_count() {
+    // More pending walks than lanes (refill churns), fewer than one full
+    // block (partial first fill), and a single trial: each must tally
+    // exactly the per-stream single-walk outcomes, at 1/2/8 threads.
+    let g = generators::social_network_like(300, 8.0, 0x1a9e).unwrap();
+    for trials in [1u64, 9, 33, 1_037] {
+        let base = effective_resistance::walks::escape_trials(&g, 0, 150, 5_000, trials, 7, 1);
+        assert_eq!(base.trials(), trials, "every trial retires exactly once");
+        for threads in [2, 8] {
+            let other =
+                effective_resistance::walks::escape_trials(&g, 0, 150, 5_000, trials, 7, threads);
+            assert_eq!(base, other, "{trials} trials at {threads} threads");
+        }
+    }
+}
