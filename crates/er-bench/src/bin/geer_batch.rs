@@ -1,0 +1,306 @@
+//! Batched-GEER benchmark: shared SMM frontiers versus per-pair solo GEER on
+//! a zipf-skewed shared-endpoint workload — the shape a public resistance
+//! endpoint sees, where a few popular nodes appear in most queries.
+//!
+//! Both sides answer the *same* pairs on the *same* pair-content RNG streams:
+//! the solo baseline forks one `Geer` estimator per pair (exactly the
+//! service's per-item path), the batched side runs `GeerBatch`, which pays
+//! each endpoint's SMM frontier sequence once per lockstep round no matter
+//! how many pairs read it. Values are asserted **bit-identical** before any
+//! timing is reported — the speedup is pure work-sharing, not a different
+//! estimator.
+//!
+//! `BENCH_geer_batch.json` (current directory — the repo root in CI) is an
+//! **append-only trajectory** keyed by git SHA, exactly like
+//! `BENCH_service.json`; `scripts/bench_diff.py` diffs the newest two
+//! entries, including the named headline metrics `geer_batch_pairs_per_sec`
+//! and `geer_batch_speedup`. Override the key with `BENCH_GIT_SHA=<sha>`.
+//!
+//! Run with `cargo run --release -p er-bench --bin geer_batch
+//! [--quick] [--seed N]`.
+
+use er_bench::args::BenchArgs;
+use er_bench::trajectory::{append_to_trajectory, git_sha};
+use er_core::{
+    ApproxConfig, ForkableEstimator, Geer, GeerBatch, GraphContext, ResistanceEstimator,
+};
+use er_graph::{generators, Graph};
+use er_walks::par;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// One SplitMix64 step (the workspace's seeding primitive).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws ranks from a Zipf(s) popularity law via inverse CDF over the
+/// weights `1/(rank+1)^s`, so a modest batch revisits the same popular
+/// endpoints constantly — the endpoint-popularity shape of a public API.
+struct ZipfNodes {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfNodes {
+    fn new(n: usize, exponent: f64) -> ZipfNodes {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += (rank as f64 + 1.0).powf(-exponent);
+            cumulative.push(total);
+        }
+        ZipfNodes { cumulative }
+    }
+
+    fn draw(&self, state: &mut u64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty graph");
+        let u = (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// A deduplicated batch of `count` distinct pairs whose endpoints are drawn
+/// zipf-skewed from a hot set of `pool` nodes spread across the graph — the
+/// shape a public resistance endpoint sees, where a small popular catalog
+/// soaks up almost all queries. **Both** endpoints are drawn from the hot set
+/// (skewing only sources would cap the shareable SMM work at 2×), and each
+/// pair gets a content-derived RNG stream — the same symmetric derivation
+/// idea the service uses, so solo and batched runs consume identical streams.
+fn build_pairs(
+    graph: &Graph,
+    count: usize,
+    pool: usize,
+    seed: u64,
+) -> (Vec<(usize, usize)>, Vec<u64>) {
+    let n = graph.num_nodes();
+    assert!(
+        pool * (pool - 1) / 2 >= count,
+        "hot set too small for {count} distinct pairs"
+    );
+    let zipf = ZipfNodes::new(pool, 1.0);
+    let hot: Vec<usize> = (0..pool).map(|rank| (rank * n / pool + 17) % n).collect();
+    let mut state = seed | 1;
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut pairs = Vec::with_capacity(count);
+    let mut streams = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let s = hot[zipf.draw(&mut state)];
+        let t = hot[zipf.draw(&mut state)];
+        if s == t || !seen.insert((s.min(t), s.max(t))) {
+            continue;
+        }
+        pairs.push((s, t));
+        let mut key = (s.min(t) as u64) << 32 | s.max(t) as u64;
+        streams.push(splitmix(&mut key));
+    }
+    (pairs, streams)
+}
+
+/// The solo baseline: one `Geer` fork per pair on that pair's stream, fanned
+/// out across pairs exactly like the service's per-item estimator path.
+fn run_solo(
+    ctx: &GraphContext,
+    config: ApproxConfig,
+    walk_budget: u64,
+    pairs: &[(usize, usize)],
+    streams: &[u64],
+    threads: usize,
+) -> (f64, Vec<u64>) {
+    let proto = Geer::new(ctx, config).with_walk_budget(walk_budget);
+    let start = Instant::now();
+    let bits = par::par_map_indexed(pairs.len() as u64, 0, threads, |i, _| {
+        let (s, t) = pairs[i as usize];
+        proto
+            .fork(streams[i as usize])
+            .estimate(s, t)
+            .expect("valid pair")
+            .value
+            .to_bits()
+    });
+    (start.elapsed().as_secs_f64(), bits)
+}
+
+/// The batched side: one `GeerBatch::run` over the whole workload.
+fn run_batched(
+    ctx: &GraphContext,
+    config: ApproxConfig,
+    walk_budget: u64,
+    pairs: &[(usize, usize)],
+    streams: &[u64],
+    threads: usize,
+) -> (f64, Vec<u64>, u64, u64) {
+    let batch = GeerBatch::new(ctx, config).with_walk_budget(walk_budget);
+    let start = Instant::now();
+    let run = batch.run(pairs, streams, threads).expect("valid batch");
+    let secs = start.elapsed().as_secs_f64();
+    let bits = run.values.iter().map(|v| v.to_bits()).collect();
+    let solo_matvec_equivalent = run.shared_cost.matvec_ops;
+    (secs, bits, solo_matvec_equivalent, run.sources_expanded)
+}
+
+struct WorkloadResult {
+    name: String,
+    pairs: usize,
+    secs: f64,
+}
+
+impl WorkloadResult {
+    fn pairs_per_sec(&self) -> f64 {
+        self.pairs as f64 / self.secs
+    }
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"pairs\": {},\n      \
+             \"throughput\": {{\"pairs_per_sec\": {:.1}, \"avg_ms\": {:.4}}}\n    }}",
+            self.name,
+            self.pairs,
+            self.pairs_per_sec(),
+            1e3 * self.secs / self.pairs as f64
+        )
+    }
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    // A moderately-mixing small-world graph: its spectral gap sits just above
+    // the planner's `lambda_gap_threshold` (0.1), so ε pairs still route to
+    // GEER — but the Eq. 17 switch keeps a long SMM prefix, which is exactly
+    // the shareable part. (Fast-mixing social graphs switch to walks after a
+    // couple of rounds, leaving little frontier work to share.)
+    let (nodes, count, pool, reps, epsilon) = if args.quick {
+        (2_000usize, 48usize, 24usize, 2usize, 0.003)
+    } else {
+        (3_000, 192, 32, 3, 0.002)
+    };
+    eprintln!("generating watts_strogatz({nodes}, 8, 0.25) ...");
+    let graph = generators::watts_strogatz(nodes, 8, 0.25, 9).expect("generator");
+    let ctx = GraphContext::preprocess(&graph).expect("ergodic graph");
+    eprintln!(
+        "spectral gap = {:.3} (GEER-routed: gap > 0.1)",
+        ctx.spectral_gap()
+    );
+    let (pairs, streams) = build_pairs(&graph, count, pool, args.seed);
+    let distinct: HashSet<usize> = pairs.iter().flat_map(|&(s, t)| [s, t]).collect();
+    eprintln!(
+        "graph: n = {}, m = {}, pairs = {} over {} distinct endpoints, quick = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        pairs.len(),
+        distinct.len(),
+        args.quick
+    );
+    // ε low enough that the Eq. 17 switch keeps a multi-round SMM prefix (the
+    // shareable part); threads = 1 inside each estimate so both sides
+    // parallelize only across pairs/lanes, keeping the comparison fair.
+    let config = ApproxConfig {
+        epsilon,
+        seed: args.seed,
+        threads: 1,
+        ..ApproxConfig::default()
+    };
+    // The serving configuration: a per-pair walk budget bounds AMC tail
+    // latency (the unshareable part), exactly as a high-QPS endpoint would
+    // cap it. Both sides run with the identical budget, so the comparison —
+    // and the bit-identity gate — is estimator-vs-itself.
+    let walk_budget = 4_000u64;
+    let fanout = args.threads;
+
+    // Bit-identity gate before any timing: the batched driver must hand back
+    // exactly the solo bits for every pair.
+    let (_, solo_bits) = run_solo(&ctx, config, walk_budget, &pairs, &streams, fanout);
+    let (_, batch_bits, shared_matvec, lanes) =
+        run_batched(&ctx, config, walk_budget, &pairs, &streams, fanout);
+    let bit_identical = solo_bits == batch_bits;
+    if !bit_identical {
+        eprintln!("DETERMINISM FAILURE: batched GEER diverged from solo forks");
+    }
+    assert!(
+        bit_identical,
+        "batched GEER must be bit-identical to per-pair solo GEER"
+    );
+    eprintln!(
+        "verified: {} pairs bit-identical; {} frontier lanes, shared matvec ops = {}",
+        pairs.len(),
+        lanes,
+        shared_matvec
+    );
+
+    let mut best_solo = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    for _ in 0..reps {
+        let (secs, bits) = run_solo(&ctx, config, walk_budget, &pairs, &streams, fanout);
+        assert_eq!(bits, solo_bits);
+        best_solo = best_solo.min(secs);
+        let (secs, bits, _, _) = run_batched(&ctx, config, walk_budget, &pairs, &streams, fanout);
+        assert_eq!(bits, solo_bits);
+        best_batched = best_batched.min(secs);
+    }
+
+    let workloads = [
+        WorkloadResult {
+            name: "geer_solo_pairs".into(),
+            pairs: pairs.len(),
+            secs: best_solo,
+        },
+        WorkloadResult {
+            name: "geer_batch_shared".into(),
+            pairs: pairs.len(),
+            secs: best_batched,
+        },
+    ];
+    println!(
+        "{:<20} {:>10} {:>16} {:>12}",
+        "workload", "pairs", "pairs/sec", "avg ms"
+    );
+    for w in &workloads {
+        println!(
+            "{:<20} {:>10} {:>16.1} {:>12.4}",
+            w.name,
+            w.pairs,
+            w.pairs_per_sec(),
+            1e3 * w.secs / w.pairs as f64
+        );
+    }
+    let speedup = best_solo / best_batched;
+    println!("shared-frontier speedup: {speedup:.2}x over per-pair GEER");
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let sha = git_sha();
+    let entry = format!(
+        "{{\n  \"bench\": \"geer_batch\",\n  \"git_sha\": \"{sha}\",\n  \
+         \"created_unix\": {created},\n  \
+         \"quick\": {},\n  \"seed\": {},\n  \
+         \"graph\": {{\"model\": \"social_network_like\", \"nodes\": {}, \"edges\": {}}},\n  \
+         \"workload\": {{\"pairs\": {}, \"distinct_endpoints\": {}, \"hot_set\": {pool}, \
+         \"epsilon\": {epsilon}, \"walk_budget\": {walk_budget}, \
+         \"skew\": \"zipf1_hot_set_both_endpoints\"}},\n  \
+         \"determinism\": {{\"checked\": \"solo_vs_batched\", \"bit_identical\": {bit_identical}}},\n  \
+         \"metrics\": {{\"geer_batch_pairs_per_sec\": {:.1}, \"geer_solo_pairs_per_sec\": {:.1}, \
+         \"geer_batch_speedup\": {:.3}}},\n  \
+         \"workloads\": [\n{}\n  ]\n}}",
+        args.quick,
+        args.seed,
+        graph.num_nodes(),
+        graph.num_edges(),
+        pairs.len(),
+        distinct.len(),
+        workloads[1].pairs_per_sec(),
+        workloads[0].pairs_per_sec(),
+        speedup,
+        workloads
+            .iter()
+            .map(|w| w.json())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = "BENCH_geer_batch.json";
+    let total = append_to_trajectory(path, &entry, &sha);
+    println!("appended entry {sha} to {path} ({total} entries in the trajectory)");
+}

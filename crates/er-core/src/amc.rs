@@ -91,6 +91,38 @@ pub fn psi_bound(
     degree_t: usize,
     ell_f: usize,
 ) -> f64 {
+    psi_bound_from_extrema(
+        vector::max1(s_vec),
+        vector::max2(s_vec),
+        vector::max1(t_vec),
+        vector::max2(t_vec),
+        s_vec.len(),
+        degree_s,
+        degree_t,
+        ell_f,
+    )
+}
+
+/// [`psi_bound`] evaluated from precomputed per-vector extrema
+/// (`max1`/`max2` of each weight vector) instead of the vectors themselves.
+///
+/// The two-argmax values of a weight vector depend only on that vector, so a
+/// batched caller sharing one SMM frontier across many pairs can compute the
+/// extrema once per source per iteration and still reproduce `psi_bound`
+/// bit for bit: this function performs the identical floating-point
+/// operations in the identical order. `len` is the length the weight vectors
+/// would have (the `max2` term is defined only for vectors of length ≥ 2).
+#[allow(clippy::too_many_arguments)]
+pub fn psi_bound_from_extrema(
+    max1_s: f64,
+    max2_s: f64,
+    max1_t: f64,
+    max2_t: f64,
+    len: usize,
+    degree_s: usize,
+    degree_t: usize,
+    ell_f: usize,
+) -> f64 {
     if ell_f == 0 {
         return 0.0;
     }
@@ -98,9 +130,9 @@ pub fn psi_bound(
     let dt = degree_t as f64;
     let half_up = ell_f.div_ceil(2) as f64;
     let half_down = (ell_f / 2) as f64;
-    let m1 = vector::max1(s_vec) / ds + vector::max1(t_vec) / dt;
-    let m2 = if s_vec.len() >= 2 {
-        vector::max2(s_vec) / ds + vector::max2(t_vec) / dt
+    let m1 = max1_s / ds + max1_t / dt;
+    let m2 = if len >= 2 {
+        max2_s / ds + max2_t / dt
     } else {
         0.0
     };

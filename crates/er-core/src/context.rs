@@ -96,6 +96,19 @@ impl GraphContext {
         self.lambda
     }
 
+    /// The spectral gap `1 − λ` of the transition matrix.
+    ///
+    /// Because [`lambda`](Self::lambda) is clamped into
+    /// `(1e-9, 1 − 1e-9)` at preprocessing time, the gap is always inside
+    /// `(1e-9, 1 − 1e-9)` too — callers (notably the planner's
+    /// `lambda_gap_threshold` rule) can compare it against thresholds without
+    /// re-deriving anything from `lambda2`/`lambda_n` or handling 0/1
+    /// degenerate values. Small gap ⇒ slow mixing (long walks, GEER's Monte
+    /// Carlo tail is expensive); large gap ⇒ fast mixing.
+    pub fn spectral_gap(&self) -> f64 {
+        1.0 - self.lambda
+    }
+
     /// The second-largest eigenvalue λ₂ of the transition matrix.
     pub fn lambda2(&self) -> f64 {
         self.lambda2

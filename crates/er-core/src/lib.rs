@@ -44,6 +44,7 @@ pub mod error;
 pub mod estimator;
 pub mod exact;
 pub mod geer;
+pub mod geer_batch;
 pub mod ground_truth;
 pub mod hay;
 pub mod length;
@@ -61,6 +62,7 @@ pub use error::EstimatorError;
 pub use estimator::{CostBreakdown, Estimate, ForkableEstimator, ResistanceEstimator};
 pub use exact::Exact;
 pub use geer::{Geer, GeerTrace, SwitchRule};
+pub use geer_batch::{GeerBatch, GeerBatchRun};
 pub use ground_truth::{GroundTruth, GroundTruthMethod};
 pub use hay::Hay;
 pub use length::{peng_length, refined_length};

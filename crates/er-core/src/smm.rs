@@ -60,21 +60,33 @@ pub fn transition_step(graph: &Graph, x: &[f64], out: &mut [f64]) -> u64 {
 
 /// Cost of the *next* SMM iteration given the current frontiers: the number
 /// of scalar operations `Σ_{v ∈ supp(s*)} d(v) + Σ_{v ∈ supp(t*)} d(v)`
-/// (the left-hand side of Eq. 17).
+/// (the left-hand side of Eq. 17). Exactly
+/// [`support_cost`]`(s*) + `[`support_cost`]`(t*)`, so a batched driver that
+/// keeps one frontier per *source* can price the per-pair switch rule from
+/// per-source summaries without re-scanning the vectors.
 pub fn next_iteration_cost(graph: &Graph, s_star: &[f64], t_star: &[f64]) -> u64 {
+    support_cost(graph, s_star) + support_cost(graph, t_star)
+}
+
+/// `Σ_{v ∈ supp(x)} d(v)` — the exact scalar-operation cost of one
+/// [`transition_step`] applied to `x` (an integer, so the per-source split of
+/// [`next_iteration_cost`] loses nothing to rounding).
+pub fn support_cost(graph: &Graph, x: &[f64]) -> u64 {
     let mut cost = 0u64;
     for v in graph.nodes() {
-        if s_star[v] != 0.0 {
-            cost += graph.degree(v) as u64;
-        }
-        if t_star[v] != 0.0 {
+        if x[v] != 0.0 {
             cost += graph.degree(v) as u64;
         }
     }
     cost
 }
 
-fn series_term(graph: &Graph, s: NodeId, t: NodeId, s_star: &[f64], t_star: &[f64]) -> f64 {
+/// One term of the truncated series of Eq. (4) at the current iteration:
+/// `s*(s)/d(s) + t*(t)/d(t) − s*(t)/d(s) − t*(s)/d(t)`, where `s*`/`t*` are
+/// the frontier vectors of `s` and `t`. Public so the batched GEER driver can
+/// accumulate `r_b` from *shared* per-source frontiers in the exact
+/// floating-point order the solo loop below uses.
+pub fn series_term(graph: &Graph, s: NodeId, t: NodeId, s_star: &[f64], t_star: &[f64]) -> f64 {
     let ds = graph.degree(s) as f64;
     let dt = graph.degree(t) as f64;
     s_star[s] / ds + t_star[t] / dt - s_star[t] / ds - t_star[s] / dt

@@ -7,11 +7,14 @@
 //! ([`ForkableEstimator`]), so the same plan produces bit-identical answers
 //! at any thread count and irrespective of scheduling order.
 //!
-//! Four families implement the trait:
+//! Five families implement the trait:
 //!
-//! * [`EstimatorBackend`] — wraps any [`ForkableEstimator`] (GEER, AMC, SMM,
+//! * [`EstimatorBackend`] — wraps any [`ForkableEstimator`] (AMC, SMM,
 //!   TP, TPC, RP, MC, MC2, EXACT) and fans the plan items out over worker
 //!   threads.
+//! * [`GeerBackend`] — batch-native GEER: one shared SMM frontier per
+//!   distinct endpoint of the plan, per-pair Eq. 17 switch points and AMC
+//!   tails on the per-item streams, bit-identical to per-pair forks.
 //! * [`HayBatchBackend`] — the batch-native HAY: one pool of uniform
 //!   spanning trees scores *every* edge of the set at once, amortising the
 //!   trees the per-query estimator would sample per edge.
@@ -24,7 +27,9 @@ use crate::capability::{QueryShape, QueryShapeSet};
 use crate::error::ServiceError;
 use crate::query::Accuracy;
 use crate::response::Response;
-use er_core::{ApproxConfig, CostBreakdown, EstimatorError, ForkableEstimator, GraphContext};
+use er_core::{
+    ApproxConfig, CostBreakdown, EstimatorError, ForkableEstimator, GeerBatch, GraphContext,
+};
 use er_graph::{Graph, NodeId};
 use er_index::{ErIndex, LandmarkIndex};
 use er_walks::par;
@@ -168,6 +173,7 @@ impl<E: ForkableEstimator> Backend for EstimatorBackend<E> {
             },
         );
         let mut values = Vec::with_capacity(results.len());
+        let mut item_costs = Vec::with_capacity(results.len());
         let mut cost = CostBreakdown::default();
         for result in results {
             // Items are in plan order, so the first error seen is the
@@ -175,12 +181,82 @@ impl<E: ForkableEstimator> Backend for EstimatorBackend<E> {
             let estimate = result?;
             values.push(estimate.value);
             cost += estimate.cost;
+            item_costs.push(estimate.cost);
         }
         Ok(Response {
             values,
             nodes: Vec::new(),
             backend: self.name,
             cost,
+            // Per-pair forks share nothing: every unit of work is owned by
+            // exactly one item.
+            shared_cost: CostBreakdown::default(),
+            item_costs,
+            cache_hits: 0,
+            backend_calls: plan.items.len() as u64,
+            trivial_queries: 0,
+        })
+    }
+}
+
+/// Batch-native GEER: the plan's pairs are answered by one
+/// [`GeerBatch`] run that expands a single SMM frontier per *distinct
+/// endpoint* and lets every pair touching that endpoint read it, instead of
+/// paying the source expansion once per pair as a per-item
+/// [`EstimatorBackend`] fork would. Per-pair Eq. 17 switch points and AMC
+/// tails run on the plan's content-derived streams, so every value is
+/// bit-identical to its solo execution — batching (and server coalescing on
+/// top of it) changes *work*, never *values*.
+///
+/// The response splits cost accordingly: the shared SMM expansion lands in
+/// [`Response::shared_cost`] (counted once for the whole plan), the private
+/// AMC tails in [`Response::item_costs`].
+pub struct GeerBackend {
+    batch: GeerBatch,
+}
+
+impl GeerBackend {
+    /// Creates the backend over a preprocessed graph.
+    pub fn new(context: &GraphContext, config: ApproxConfig) -> Self {
+        GeerBackend {
+            batch: GeerBatch::new(context, config),
+        }
+    }
+
+    /// Caps each pair's AMC tail at `budget` walks (mirrors
+    /// [`er_core::Geer::with_walk_budget`]).
+    #[must_use]
+    pub fn with_walk_budget(mut self, budget: u64) -> Self {
+        self.batch = self.batch.with_walk_budget(budget);
+        self
+    }
+}
+
+impl Backend for GeerBackend {
+    fn name(&self) -> &'static str {
+        "GEER"
+    }
+
+    fn capabilities(&self) -> QueryShapeSet {
+        QueryShapeSet::PAIRWISE
+    }
+
+    fn answer(&self, plan: &Plan, streams: &StreamPlan) -> Result<Response, ServiceError> {
+        check_capability(self, plan.shape)?;
+        debug_assert_eq!(plan.items.len(), streams.streams.len());
+        let pairs: Vec<(NodeId, NodeId)> = plan.items.iter().map(|i| (i.s, i.t)).collect();
+        let run = self.batch.run(&pairs, &streams.streams, streams.threads)?;
+        let mut cost = run.shared_cost;
+        for item in &run.item_costs {
+            cost += *item;
+        }
+        Ok(Response {
+            values: run.values,
+            nodes: Vec::new(),
+            backend: self.name(),
+            cost,
+            shared_cost: run.shared_cost,
+            item_costs: run.item_costs,
             cache_hits: 0,
             backend_calls: plan.items.len() as u64,
             trivial_queries: 0,
@@ -256,6 +332,8 @@ impl Backend for HayBatchBackend {
                 nodes: Vec::new(),
                 backend: self.name(),
                 cost: CostBreakdown::default(),
+                shared_cost: CostBreakdown::default(),
+                item_costs: Vec::new(),
                 cache_hits: 0,
                 backend_calls: 0,
                 trivial_queries: 0,
@@ -297,6 +375,10 @@ impl Backend for HayBatchBackend {
             nodes: Vec::new(),
             backend: self.name(),
             cost,
+            // The tree pool is the whole cost and answers every edge at
+            // once; no per-item work exists to attribute.
+            shared_cost: cost,
+            item_costs: vec![CostBreakdown::default(); plan.items.len()],
             cache_hits: 0,
             backend_calls: plan.items.len() as u64,
             trivial_queries: 0,
@@ -496,6 +578,10 @@ impl Backend for IndexBackend {
             nodes,
             backend: self.name(),
             cost,
+            // Column solves are shared across every item touching the
+            // column (and future plans via the cache).
+            shared_cost: cost,
+            item_costs: vec![CostBreakdown::default(); plan.items.len()],
             cache_hits: 0,
             backend_calls,
             trivial_queries: 0,
@@ -543,6 +629,8 @@ impl Backend for LandmarkBackend {
             nodes: Vec::new(),
             backend: self.name(),
             cost: CostBreakdown::default(),
+            shared_cost: CostBreakdown::default(),
+            item_costs: vec![CostBreakdown::default(); plan.items.len()],
             cache_hits: 0,
             backend_calls: plan.items.len() as u64,
             trivial_queries: 0,
@@ -607,6 +695,73 @@ mod tests {
                 .unwrap();
             assert_eq!(other.values, base.values);
         }
+        // Shape checking happens before any work.
+        let bad = Plan {
+            shape: QueryShape::Diagonal,
+            ..plan
+        };
+        assert!(matches!(
+            backend.answer(&bad, &streams),
+            Err(ServiceError::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn geer_backend_matches_per_pair_forks_bit_for_bit_and_splits_cost() {
+        let context = ctx();
+        let config = ApproxConfig::with_epsilon(0.2).reseeded(7);
+        let items = vec![
+            PlanItem { s: 0, t: 60 },
+            PlanItem { s: 0, t: 90 },
+            PlanItem { s: 7, t: 60 },
+            PlanItem { s: 4, t: 110 },
+        ];
+        let plan = Plan::for_items(QueryShape::Batch, Accuracy::default(), items);
+        let streams = StreamPlan {
+            streams: vec![11, 5, 900, 2],
+            threads: 1,
+        };
+        let solo = EstimatorBackend::new(
+            er_core::Geer::new(&context, config),
+            "GEER",
+            QueryShapeSet::PAIRWISE,
+        )
+        .answer(&plan, &streams)
+        .unwrap();
+        let backend = GeerBackend::new(&context, config);
+        let base = backend.answer(&plan, &streams).unwrap();
+        let solo_bits: Vec<u64> = solo.values.iter().map(|v| v.to_bits()).collect();
+        let base_bits: Vec<u64> = base.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(base_bits, solo_bits, "frontier sharing must not move bits");
+        for threads in [2usize, 8] {
+            let other = backend
+                .answer(
+                    &plan,
+                    &StreamPlan {
+                        streams: streams.streams.clone(),
+                        threads,
+                    },
+                )
+                .unwrap();
+            let bits: Vec<u64> = other.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, solo_bits, "thread invariance at {threads}");
+        }
+        // Cost split: the shared SMM expansion is reported once, the AMC
+        // tails per item, and the two components recombine into the full
+        // cost. The tails are exactly the solo tails.
+        assert!(base.shared_cost.matvec_ops > 0);
+        assert_eq!(base.item_costs.len(), plan.items.len());
+        let mut recombined = base.shared_cost;
+        for item in &base.item_costs {
+            recombined += *item;
+        }
+        assert_eq!(recombined, base.cost);
+        let solo_walks: u64 = solo.item_costs.iter().map(|c| c.random_walks).sum();
+        let batch_walks: u64 = base.item_costs.iter().map(|c| c.random_walks).sum();
+        assert_eq!(batch_walks, solo_walks);
+        // Two pairs share endpoint 0 and two share endpoint 60: the shared
+        // expansion must undercut the per-pair SMM sum.
+        assert!(base.shared_cost.matvec_ops < solo.cost.matvec_ops);
         // Shape checking happens before any work.
         let bad = Plan {
             shape: QueryShape::Diagonal,

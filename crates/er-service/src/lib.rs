@@ -21,15 +21,17 @@
 //! use er_service::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 //! use er_graph::generators;
 //!
-//! let graph = generators::social_network_like(500, 10.0, 7).unwrap();
+//! let graph = generators::social_network_like(200, 10.0, 7).unwrap();
 //! let service = ResistanceService::new(&graph).unwrap();
 //!
 //! // The planner picks the backend: small graph + ε target ⇒ exact CG.
-//! let response = service.submit(&Query::pair(0, 250).into()).unwrap();
+//! // (Larger fast-mixing graphs route to GEER; slow-mixing graphs — a
+//! // small spectral gap — stay exact at any size.)
+//! let response = service.submit(&Query::pair(0, 150).into()).unwrap();
 //! assert_eq!(response.backend, "EXACT-CG");
 //!
 //! // Callers can force a backend (here: the paper's GEER) and inspect cost.
-//! let forced = Request::new(Query::pair(0, 250))
+//! let forced = Request::new(Query::pair(0, 150))
 //!     .with_accuracy(Accuracy::epsilon(0.2))
 //!     .with_backend(BackendChoice::Geer);
 //! let response = service.submit(&forced).unwrap();
@@ -71,13 +73,15 @@ pub mod service;
 pub mod session;
 
 pub use backend::{
-    Backend, EstimatorBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan, PlanItem,
-    StreamPlan,
+    Backend, EstimatorBackend, GeerBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan,
+    PlanItem, StreamPlan,
 };
 pub use capability::{QueryShape, QueryShapeSet};
 pub use dynamic::DynamicResistanceService;
 pub use error::ServiceError;
-pub use planner::{dominant_source_count, BackendChoice, Planner, PlannerConfig, PlannerState};
+pub use planner::{
+    dominant_source_count, BackendChoice, GraphSignals, Planner, PlannerConfig, PlannerState,
+};
 pub use query::{Accuracy, Query, Request};
 pub use response::Response;
 pub use server::{ResistanceServer, ServerConfig, ServerHandle, ServerStats};

@@ -16,18 +16,34 @@
 //!    built (marginal cost: one cached column) or when the batch re-uses one
 //!    source heavily; otherwise to EXACT-CG, one conjugate-gradient solve per
 //!    pair with no preprocessing.
-//! 3. `Accuracy::Epsilon` on a graph at or below
-//!    [`PlannerConfig::exact_node_threshold`] goes to EXACT-CG: below that
-//!    size a CG solve undercuts any sampling scheme, and exact answers
-//!    trivially satisfy every ε.
-//! 4. `Accuracy::Epsilon` batches that re-use one source at least
-//!    [`PlannerConfig::repeated_source_threshold`] times go to the index once it
-//!    exists (repeated-source workloads amortise its columns); edge sets go
-//!    to the batch-native HAY backend (one pool of spanning trees scores the
-//!    whole set); everything else goes to GEER, which applies the paper's
-//!    Eq. 17 walk-vs-SpMV switch rule per pair.
-//! 5. `Accuracy::WalkBudget` requests explicitly ask for budgeted sampling:
+//! 3. `Accuracy::Epsilon` batches that re-use one source at least
+//!    [`PlannerConfig::repeated_source_threshold`] times go to the index once
+//!    it exists (repeated-source workloads amortise its columns).
+//! 4. `Accuracy::Epsilon` pair/batch queries route on the **spectral gap**
+//!    `1 − λ` reported by [`GraphSignals::lambda`]: a gap below
+//!    [`PlannerConfig::lambda_gap_threshold`] marks a slow-mixing graph
+//!    (long refined walk lengths, expensive Monte Carlo tails — the regime
+//!    the `planner_calibration` sweep showed is CG-bound regardless of
+//!    size), so the query is answered exactly (EXACT-CG; the index when a
+//!    repeated-source batch makes building it worthwhile on a graph at or
+//!    below [`PlannerConfig::exact_node_threshold`] nodes). Node count is
+//!    only the fallback signal: graphs at or below `exact_node_threshold`
+//!    take the same exact tier even when fast-mixing (or when λ is
+//!    unknown), because a CG solve undercuts sampling outright at that
+//!    size.
+//! 5. Remaining `Accuracy::Epsilon` queries are fast-mixing and large: edge
+//!    sets go to the batch-native HAY backend (one pool of spanning trees
+//!    scores the whole set); everything else goes to GEER, which applies
+//!    the paper's Eq. 17 walk-vs-SpMV switch rule per pair — the regime
+//!    where its sampling bound is cheapest.
+//! 6. `Accuracy::WalkBudget` requests explicitly ask for budgeted sampling:
 //!    edge sets go to HAY (budget = trees), pairs to AMC (budget = walks).
+//!
+//! The spectral signal reaches the planner through [`GraphSignals`]: the
+//! service fills it from
+//! [`GraphContext::spectral_gap`](er_core::GraphContext::spectral_gap) (the
+//! documented clamped accessor), callers routing without a preprocessed
+//! context use [`GraphSignals::of_nodes`] and get the node-count fallback.
 
 use crate::capability::{QueryShape, QueryShapeSet};
 use crate::query::{Accuracy, Query};
@@ -122,6 +138,47 @@ impl BackendChoice {
     }
 }
 
+/// What the planner knows about the *graph* when routing: the node count
+/// plus, when a preprocessed [`GraphContext`](er_core::GraphContext) is at
+/// hand, the spectral radius λ of the transition matrix that drives the
+/// spectral-gap rule (rule 4 of the module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphSignals {
+    /// Number of nodes in the graph.
+    pub nodes: usize,
+    /// `λ = max{|λ₂|, |λₙ|}` as reported by
+    /// [`GraphContext::lambda`](er_core::GraphContext::lambda) (clamped into
+    /// `(0, 1)` there); `None` when no spectral preprocessing is available,
+    /// which disables the gap rule and falls back to node count.
+    pub lambda: Option<f64>,
+}
+
+impl GraphSignals {
+    /// Signals with node count only — the spectral rule is skipped.
+    pub fn of_nodes(nodes: usize) -> GraphSignals {
+        GraphSignals {
+            nodes,
+            lambda: None,
+        }
+    }
+
+    /// Attaches the spectral radius λ from a preprocessed context.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> GraphSignals {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Whether the graph mixes slowly under the given gap threshold:
+    /// `1 − λ < gap_threshold`. Unknown λ is never considered slow (the
+    /// planner then falls back to node count alone).
+    pub fn is_slow_mixing(&self, gap_threshold: f64) -> bool {
+        self.lambda
+            .map(|lambda| 1.0 - lambda < gap_threshold)
+            .unwrap_or(false)
+    }
+}
+
 /// What the planner can observe about the service when routing (planning is
 /// stateful: an already-built index changes the cheapest choice).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -135,35 +192,49 @@ pub struct PlannerState {
 
 /// The planner's tunable thresholds.
 ///
-/// The defaults were tuned blind against the CG/sampling cost crossover
-/// observed in the benches; the `planner_calibration` bench bin
-/// (`cargo run --release -p er-bench --bin planner_calibration`) sweeps the
-/// crossover per graph family so the thresholds can be re-derived from data.
+/// The defaults are calibrated from the `planner_calibration` sweep
+/// (`cargo run --release -p er-bench --bin planner_calibration`) and a
+/// spectral probe over the generator families: social-network-like and
+/// Barabási–Albert graphs sit at a gap of ≈ 0.38–0.46 across sizes, while
+/// Watts–Strogatz small-world rings sit at ≈ 0.02–0.03 — a
+/// `lambda_gap_threshold` of 0.1 separates the families cleanly. With the
+/// spectral rule carrying the slow-mixing cases, the node-count fallback
+/// drops to 256: below that size CG undercuts sampling on every family the
+/// sweep covers, while fast-mixing graphs above it flip to GEER.
 ///
 /// ```
 /// use er_service::{Planner, PlannerConfig};
 ///
 /// let config = PlannerConfig::default()
 ///     .with_exact_node_threshold(2048)
-///     .with_repeated_source_threshold(8);
+///     .with_repeated_source_threshold(8)
+///     .with_lambda_gap_threshold(0.05);
 /// let planner = Planner::new(config);
 /// assert_eq!(planner.config().exact_node_threshold, 2048);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlannerConfig {
     /// At or below this many nodes, a CG solve per query is cheaper than any
-    /// sampling scheme, so ε-accuracy requests are answered exactly.
+    /// sampling scheme, so ε-accuracy requests are answered exactly. This is
+    /// the *fallback* size signal; the spectral-gap rule below dominates it
+    /// when λ is known.
     pub exact_node_threshold: usize,
     /// A batch whose most frequent endpoint appears in at least this many
     /// distinct pairs counts as a repeated-source workload.
     pub repeated_source_threshold: usize,
+    /// Spectral gaps `1 − λ` strictly below this mark the graph slow-mixing:
+    /// ε pair/batch queries are answered exactly (EXACT-CG/INDEX) no matter
+    /// the node count, because the refined walk length — and with it GEER's
+    /// whole sampling budget — scales like `1/gap`.
+    pub lambda_gap_threshold: f64,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
         PlannerConfig {
-            exact_node_threshold: 1024,
+            exact_node_threshold: 256,
             repeated_source_threshold: 16,
+            lambda_gap_threshold: 0.1,
         }
     }
 }
@@ -182,10 +253,18 @@ impl PlannerConfig {
         self.repeated_source_threshold = count.max(1);
         self
     }
+
+    /// Sets the spectral-gap threshold below which ε requests are answered
+    /// exactly. `0.0` disables the spectral rule (no gap is below it).
+    #[must_use]
+    pub fn with_lambda_gap_threshold(mut self, gap: f64) -> Self {
+        self.lambda_gap_threshold = gap;
+        self
+    }
 }
 
 /// The routing policy: a pure function of a [`PlannerConfig`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Planner {
     config: PlannerConfig,
 }
@@ -201,7 +280,7 @@ impl Planner {
         self.config
     }
     /// Routes a query to the cheapest capable backend under the given
-    /// accuracy target. `n` is the graph's node count.
+    /// accuracy target and graph signals.
     ///
     /// The decision is a pure function of its arguments, so the routing
     /// table is unit-testable without building a service.
@@ -209,9 +288,10 @@ impl Planner {
         &self,
         query: &Query,
         accuracy: Accuracy,
-        n: usize,
+        signals: GraphSignals,
         state: PlannerState,
     ) -> BackendChoice {
+        let n = signals.nodes;
         match query.shape() {
             QueryShape::SingleSource | QueryShape::Diagonal | QueryShape::TopK => {
                 BackendChoice::Index
@@ -234,10 +314,20 @@ impl Planner {
                         }
                     }
                     Accuracy::Epsilon { .. } => {
+                        // Slow mixing (rule 4): a small spectral gap blows up
+                        // the refined walk length, so CG wins on pair/batch
+                        // queries regardless of size. Edge sets stay with
+                        // HAY whose tree pool does not depend on mixing.
+                        let exact_tier = n <= self.config.exact_node_threshold
+                            || (shape != QueryShape::EdgeSet
+                                && signals.is_slow_mixing(self.config.lambda_gap_threshold));
                         if state.index_ready && repeated_source {
                             BackendChoice::Index
-                        } else if n <= self.config.exact_node_threshold {
-                            if repeated_source {
+                        } else if exact_tier {
+                            // Building the index (n diagonal solves) for one
+                            // batch only pays on small graphs; a slow-mixing
+                            // *large* repeated-source batch takes per-pair CG.
+                            if repeated_source && n <= self.config.exact_node_threshold {
                                 BackendChoice::Index
                             } else {
                                 BackendChoice::ExactCg
@@ -297,7 +387,12 @@ mod tests {
         ] {
             for query in [Query::single_source(0), Query::Diagonal, Query::top_k(0, 5)] {
                 assert_eq!(
-                    p.route(&query, accuracy, 1_000_000, PlannerState::default()),
+                    p.route(
+                        &query,
+                        accuracy,
+                        GraphSignals::of_nodes(1_000_000),
+                        PlannerState::default()
+                    ),
                     BackendChoice::Index,
                     "{query:?} under {accuracy:?}"
                 );
@@ -310,34 +405,133 @@ mod tests {
         let p = planner();
         let q = Query::pair(0, 1);
         assert_eq!(
-            p.route(&q, Accuracy::default(), 500, PlannerState::default()),
+            p.route(
+                &q,
+                Accuracy::default(),
+                GraphSignals::of_nodes(200),
+                PlannerState::default()
+            ),
             BackendChoice::ExactCg
         );
         assert_eq!(
-            p.route(&q, Accuracy::default(), 100_000, PlannerState::default()),
+            p.route(
+                &q,
+                Accuracy::default(),
+                GraphSignals::of_nodes(100_000),
+                PlannerState::default()
+            ),
             BackendChoice::Geer,
-            "above the threshold sampling wins"
+            "above the threshold, without spectral signals, sampling wins"
+        );
+    }
+
+    #[test]
+    fn spectral_gap_routes_slow_mixing_graphs_to_the_exact_tier() {
+        let p = planner();
+        let q = Query::pair(0, 1);
+        // A small-world-like λ (gap ≈ 0.03, below the 0.1 default): exact
+        // even though the graph is far above the node-count threshold.
+        let slow = GraphSignals::of_nodes(100_000).with_lambda(0.97);
+        assert_eq!(
+            p.route(&q, Accuracy::default(), slow, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        // A social/BA-like λ (gap ≈ 0.4): GEER.
+        let fast = GraphSignals::of_nodes(100_000).with_lambda(0.6);
+        assert_eq!(
+            p.route(&q, Accuracy::default(), fast, PlannerState::default()),
+            BackendChoice::Geer
+        );
+        // The rule only applies to ε targets and pair/batch shapes: edge
+        // sets keep HAY, budget requests keep AMC, exact requests were
+        // already exact.
+        let edges = Query::edge_set(vec![(0, 1)]);
+        assert_eq!(
+            p.route(&edges, Accuracy::default(), slow, PlannerState::default()),
+            BackendChoice::Hay
+        );
+        assert_eq!(
+            p.route(&q, Accuracy::WalkBudget(100), slow, PlannerState::default()),
+            BackendChoice::Amc
+        );
+        // Slow-mixing large repeated-source batch: per-pair CG, not an
+        // index build (n solves), unless the index already exists.
+        let batch = Query::batch((1..40).map(|t| (0usize, t)).collect());
+        assert_eq!(
+            p.route(&batch, Accuracy::default(), slow, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        assert_eq!(
+            p.route(
+                &batch,
+                Accuracy::default(),
+                slow,
+                PlannerState { index_ready: true }
+            ),
+            BackendChoice::Index
+        );
+    }
+
+    #[test]
+    fn spectral_rule_crosses_the_threshold_in_both_directions_on_real_families() {
+        use er_core::GraphContext;
+        use er_graph::generators;
+        // Lanczos-measured spectra: a Barabási–Albert graph mixes fast
+        // (gap ≈ 0.41), a Watts–Strogatz ring mixes slowly (gap ≈ 0.03).
+        let ba = GraphContext::preprocess(generators::barabasi_albert(500, 5, 5).unwrap()).unwrap();
+        let ws =
+            GraphContext::preprocess(generators::watts_strogatz(500, 6, 0.1, 5).unwrap()).unwrap();
+        assert!(ba.spectral_gap() > 0.1, "BA gap {}", ba.spectral_gap());
+        assert!(ws.spectral_gap() < 0.1, "WS gap {}", ws.spectral_gap());
+        let q = Query::pair(0, 1);
+        let nodes = 100_000; // well past the node-count fallback
+        let ba_signals = GraphSignals::of_nodes(nodes).with_lambda(ba.lambda());
+        let ws_signals = GraphSignals::of_nodes(nodes).with_lambda(ws.lambda());
+        // Default threshold 0.1 separates the families.
+        let p = planner();
+        assert_eq!(
+            p.route(&q, Accuracy::default(), ba_signals, PlannerState::default()),
+            BackendChoice::Geer
+        );
+        assert_eq!(
+            p.route(&q, Accuracy::default(), ws_signals, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        // Crossing upward: a threshold above the BA gap pulls BA into the
+        // exact tier too.
+        let strict = Planner::new(PlannerConfig::default().with_lambda_gap_threshold(0.9));
+        assert_eq!(
+            strict.route(&q, Accuracy::default(), ba_signals, PlannerState::default()),
+            BackendChoice::ExactCg
+        );
+        // Crossing downward: a threshold below the WS gap (or 0, disabling
+        // the rule) releases WS to GEER.
+        let lax = Planner::new(PlannerConfig::default().with_lambda_gap_threshold(0.01));
+        assert_eq!(
+            lax.route(&q, Accuracy::default(), ws_signals, PlannerState::default()),
+            BackendChoice::Geer
+        );
+        let off = Planner::new(PlannerConfig::default().with_lambda_gap_threshold(0.0));
+        assert_eq!(
+            off.route(&q, Accuracy::default(), ws_signals, PlannerState::default()),
+            BackendChoice::Geer
         );
     }
 
     #[test]
     fn edge_sets_route_to_hay_and_budgets_to_amc() {
         let p = planner();
+        let big = GraphSignals::of_nodes(100_000);
         let edges = Query::edge_set(vec![(0, 1), (1, 2)]);
         assert_eq!(
-            p.route(
-                &edges,
-                Accuracy::default(),
-                100_000,
-                PlannerState::default()
-            ),
+            p.route(&edges, Accuracy::default(), big, PlannerState::default()),
             BackendChoice::Hay
         );
         assert_eq!(
             p.route(
                 &edges,
                 Accuracy::WalkBudget(100),
-                100_000,
+                big,
                 PlannerState::default()
             ),
             BackendChoice::Hay
@@ -347,7 +541,7 @@ mod tests {
             p.route(
                 &pair,
                 Accuracy::WalkBudget(100),
-                100_000,
+                big,
                 PlannerState::default()
             ),
             BackendChoice::Amc
@@ -361,7 +555,12 @@ mod tests {
         let batch = Query::batch(pairs);
         // Small graph: the index is worth building outright.
         assert_eq!(
-            p.route(&batch, Accuracy::default(), 500, PlannerState::default()),
+            p.route(
+                &batch,
+                Accuracy::default(),
+                GraphSignals::of_nodes(200),
+                PlannerState::default()
+            ),
             BackendChoice::Index
         );
         // Large graph, index not built: GEER (building a full diagonal for
@@ -370,7 +569,7 @@ mod tests {
             p.route(
                 &batch,
                 Accuracy::default(),
-                100_000,
+                GraphSignals::of_nodes(100_000),
                 PlannerState::default()
             ),
             BackendChoice::Geer
@@ -380,7 +579,7 @@ mod tests {
             p.route(
                 &batch,
                 Accuracy::default(),
-                100_000,
+                GraphSignals::of_nodes(100_000),
                 PlannerState { index_ready: true }
             ),
             BackendChoice::Index
@@ -391,17 +590,13 @@ mod tests {
     fn exact_accuracy_routes_to_cg_or_index() {
         let p = planner();
         let q = Query::pair(0, 1);
+        let big = GraphSignals::of_nodes(100_000);
         assert_eq!(
-            p.route(&q, Accuracy::Exact, 100_000, PlannerState::default()),
+            p.route(&q, Accuracy::Exact, big, PlannerState::default()),
             BackendChoice::ExactCg
         );
         assert_eq!(
-            p.route(
-                &q,
-                Accuracy::Exact,
-                100_000,
-                PlannerState { index_ready: true }
-            ),
+            p.route(&q, Accuracy::Exact, big, PlannerState { index_ready: true }),
             BackendChoice::Index
         );
         // A repeated-source exact batch justifies *building* the index only
@@ -409,18 +604,23 @@ mod tests {
         // (16 solves) beats the n-solve diagonal build.
         let batch = Query::batch((1..40).map(|t| (0usize, t)).collect());
         assert_eq!(
-            p.route(&batch, Accuracy::Exact, 500, PlannerState::default()),
+            p.route(
+                &batch,
+                Accuracy::Exact,
+                GraphSignals::of_nodes(200),
+                PlannerState::default()
+            ),
             BackendChoice::Index
         );
         assert_eq!(
-            p.route(&batch, Accuracy::Exact, 100_000, PlannerState::default()),
+            p.route(&batch, Accuracy::Exact, big, PlannerState::default()),
             BackendChoice::ExactCg
         );
         assert_eq!(
             p.route(
                 &batch,
                 Accuracy::Exact,
-                100_000,
+                big,
                 PlannerState { index_ready: true }
             ),
             BackendChoice::Index
@@ -434,12 +634,22 @@ mod tests {
         let q = Query::pair(0, 1);
         let eager = Planner::new(PlannerConfig::default().with_exact_node_threshold(100_000));
         assert_eq!(
-            eager.route(&q, Accuracy::default(), 50_000, PlannerState::default()),
+            eager.route(
+                &q,
+                Accuracy::default(),
+                GraphSignals::of_nodes(50_000),
+                PlannerState::default()
+            ),
             BackendChoice::ExactCg
         );
         let lazy = Planner::new(PlannerConfig::default().with_exact_node_threshold(10));
         assert_eq!(
-            lazy.route(&q, Accuracy::default(), 500, PlannerState::default()),
+            lazy.route(
+                &q,
+                Accuracy::default(),
+                GraphSignals::of_nodes(500),
+                PlannerState::default()
+            ),
             BackendChoice::Geer
         );
         // A lower repeated-source threshold routes smaller one-source batches
@@ -450,7 +660,7 @@ mod tests {
             keen.route(
                 &batch,
                 Accuracy::default(),
-                100_000,
+                GraphSignals::of_nodes(100_000),
                 PlannerState { index_ready: true }
             ),
             BackendChoice::Index
@@ -459,7 +669,7 @@ mod tests {
             Planner::default().route(
                 &batch,
                 Accuracy::default(),
-                100_000,
+                GraphSignals::of_nodes(100_000),
                 PlannerState { index_ready: true }
             ),
             BackendChoice::Geer,

@@ -24,10 +24,27 @@ pub struct Response {
     pub backend: &'static str,
     /// Work performed, broken down by primitive (walks, matvec ops, solver
     /// iterations, spanning trees). For a request answered as part of a
-    /// coalesced server batch this is the cost of the *shared* computation
-    /// (the whole point of coalescing is that members split it), attributed
-    /// to every member.
+    /// coalesced server batch this is the cost of the *whole shared*
+    /// computation, attributed to every member — summing it over members
+    /// overstates the work done. Metrics-style reporting should use the
+    /// [`shared_cost`](Self::shared_cost) / [`item_costs`](Self::item_costs)
+    /// split instead: `shared_cost` (counted once per group) plus the
+    /// members' [`owned_cost`](Self::owned_cost) values adds up to the true
+    /// total.
     pub cost: CostBreakdown,
+    /// The group-level component of [`cost`](Self::cost): work paid **once**
+    /// for the whole (possibly coalesced) plan regardless of how many items
+    /// or members rode on it — the batched GEER backend's shared SMM
+    /// frontier expansion, HAY's spanning-tree pool, the index's solves.
+    /// Every member of a coalesced group carries the same `shared_cost`;
+    /// count it once per group when aggregating.
+    pub shared_cost: CostBreakdown,
+    /// Per-item private cost, aligned with the items *this request owned* in
+    /// the plan (the distinct uncached pairs it contributed first; length =
+    /// [`backend_calls`](Self::backend_calls)). For batched GEER these are
+    /// the per-pair AMC tails; backends whose work is entirely shared report
+    /// zero breakdowns here.
+    pub item_costs: Vec<CostBreakdown>,
     /// Pair queries served from the service's cache tier (including repeats
     /// inside this request).
     pub cache_hits: u64,
@@ -45,6 +62,18 @@ impl Response {
     /// Panics when the response carries no values (empty batch).
     pub fn value(&self) -> f64 {
         self.values[0]
+    }
+
+    /// The private cost attributable to this request alone: the sum of its
+    /// [`item_costs`](Self::item_costs). Group-wide accounting that adds
+    /// members' `owned_cost` and one [`shared_cost`](Self::shared_cost) per
+    /// group never double-counts coalesced work.
+    pub fn owned_cost(&self) -> CostBreakdown {
+        let mut total = CostBreakdown::default();
+        for cost in &self.item_costs {
+            total += *cost;
+        }
+        total
     }
 
     /// Fraction of non-trivial pair queries served from the cache.
@@ -69,6 +98,8 @@ mod tests {
             nodes: vec![],
             backend: "GEER",
             cost: CostBreakdown::default(),
+            shared_cost: CostBreakdown::default(),
+            item_costs: vec![],
             cache_hits: 1,
             backend_calls: 1,
             trivial_queries: 0,
@@ -80,10 +111,46 @@ mod tests {
             nodes: vec![],
             backend: "INDEX",
             cost: CostBreakdown::default(),
+            shared_cost: CostBreakdown::default(),
+            item_costs: vec![],
             cache_hits: 0,
             backend_calls: 0,
             trivial_queries: 0,
         };
         assert_eq!(empty.cache_savings(), 0.0);
+    }
+
+    #[test]
+    fn owned_cost_sums_item_costs_only() {
+        let item = CostBreakdown {
+            random_walks: 10,
+            walk_steps: 100,
+            ..CostBreakdown::default()
+        };
+        let shared = CostBreakdown {
+            matvec_ops: 777,
+            ..CostBreakdown::default()
+        };
+        let mut full = shared;
+        full += item;
+        full += item;
+        let response = Response {
+            values: vec![0.1, 0.2],
+            nodes: vec![],
+            backend: "GEER",
+            cost: full,
+            shared_cost: shared,
+            item_costs: vec![item, item],
+            cache_hits: 0,
+            backend_calls: 2,
+            trivial_queries: 0,
+        };
+        let owned = response.owned_cost();
+        assert_eq!(owned.random_walks, 20);
+        assert_eq!(owned.walk_steps, 200);
+        assert_eq!(owned.matvec_ops, 0, "shared matvec work is not owned");
+        let mut recombined = response.shared_cost;
+        recombined += owned;
+        assert_eq!(recombined, response.cost, "shared + owned = full cost");
     }
 }

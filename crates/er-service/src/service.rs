@@ -16,15 +16,15 @@
 //! [`submit`]: ResistanceService::submit
 
 use crate::backend::{
-    Backend, EstimatorBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan, PlanItem,
-    StreamPlan,
+    Backend, EstimatorBackend, GeerBackend, HayBatchBackend, IndexBackend, LandmarkBackend, Plan,
+    PlanItem, StreamPlan,
 };
 use crate::capability::QueryShape;
 use crate::error::ServiceError;
-use crate::planner::{BackendChoice, Planner, PlannerConfig, PlannerState};
+use crate::planner::{BackendChoice, GraphSignals, Planner, PlannerConfig, PlannerState};
 use crate::query::{Accuracy, Query, Request};
 use crate::response::Response;
-use er_core::{Amc, ApproxConfig, Exact, Geer, GraphContext, Mc, Mc2, Rp, Smm, Tp, Tpc};
+use er_core::{Amc, ApproxConfig, Exact, GraphContext, Mc, Mc2, Rp, Smm, Tp, Tpc};
 use er_graph::{IntoGraphArc, NodeId};
 use er_index::{DiagonalStrategy, ErIndex, LandmarkIndex, LandmarkSelection, QueryCache};
 use std::collections::HashMap;
@@ -184,6 +184,10 @@ struct PendingPairs {
     cache_hits: u64,
     trivial_queries: u64,
     owned_items: u64,
+    /// Plan slots this request contributed first (its *owned* items) — the
+    /// per-item costs at these slots are attributed to this request in the
+    /// response's shared/owned cost split.
+    owned_slots: Vec<usize>,
 }
 
 /// The unified query plane: one front door for every estimator.
@@ -321,12 +325,18 @@ impl ResistanceService {
 
     /// The backend the service would use for `request` right now, without
     /// doing any work. Honors the request's override.
+    ///
+    /// Planner-routed requests see the full [`GraphSignals`]: node count
+    /// plus the spectral radius λ the preprocessing measured, so the
+    /// spectral-gap rule is always active inside the service.
     pub fn plan(&self, request: &Request) -> BackendChoice {
         request.backend.unwrap_or_else(|| {
+            let signals = GraphSignals::of_nodes(self.core.context.graph().num_nodes())
+                .with_lambda(self.core.context.lambda());
             self.core.planner.route(
                 &request.query,
                 request.accuracy,
-                self.core.context.graph().num_nodes(),
+                signals,
                 self.planner_state(),
             )
         })
@@ -338,10 +348,12 @@ impl ResistanceService {
     /// Takes `&self`: any number of threads may submit concurrently.
     ///
     /// Determinism: the RNG stream of every pair is derived from the pair
-    /// *content* (not its request position or scheduling order), so for a
+    /// *content* (not its request position or scheduling order), and every
+    /// miss is computed in the canonical `(min, max)` orientation, so for a
     /// fixed service seed a pair's value is bit-identical whether it is
     /// served alone, inside a batch, coalesced with other requests, from the
-    /// cache, or at any [`threads`](ApproxConfig::threads) setting. The one
+    /// cache, as `(s, t)` or as `(t, s)`, or at any
+    /// [`threads`](ApproxConfig::threads) setting. The one
     /// history-dependent exception: an `Exact` value already in the cache
     /// tier may serve a later ε request of the same backend-override class
     /// (exact answers satisfy every ε target), substituting the exact bits
@@ -484,6 +496,7 @@ impl ResistanceService {
                     cache_hits: 0,
                     trivial_queries: 0,
                     owned_items: 0,
+                    owned_slots: Vec::new(),
                 };
                 for (pos, &(s, t)) in pairs.iter().enumerate() {
                     if s == t {
@@ -514,9 +527,18 @@ impl ResistanceService {
                         None => {
                             let slot = items.len();
                             miss_index.insert(key, slot);
-                            items.push(PlanItem { s, t });
+                            // Canonical orientation: r(s, t) = r(t, s), but
+                            // sampling backends draw different (equally
+                            // valid) bits per orientation. Computing every
+                            // miss as (min, max) keeps a pair's bits
+                            // identical no matter which orientation reaches
+                            // the plan first — without this, cross-request
+                            // dedup of (s, t) with a later (t, s) would make
+                            // the answer depend on arrival order.
+                            items.push(PlanItem { s: key.0, t: key.1 });
                             streams.push(pair_stream(s, t));
                             p.owned_items += 1;
+                            p.owned_slots.push(slot);
                             p.resolve.push((pos, slot));
                         }
                     }
@@ -534,6 +556,8 @@ impl ResistanceService {
                     nodes: Vec::new(),
                     backend: choice.name(),
                     cost: er_core::CostBreakdown::default(),
+                    shared_cost: er_core::CostBreakdown::default(),
+                    item_costs: Vec::new(),
                     cache_hits: p.cache_hits,
                     backend_calls: 0,
                     trivial_queries: p.trivial_queries,
@@ -573,11 +597,24 @@ impl ResistanceService {
                 for &(pos, slot) in &p.resolve {
                     values[pos] = answer.values[slot];
                 }
+                // Cost split (satellite of the batched-GEER work): `cost`
+                // keeps its historical meaning — the whole shared
+                // computation, attributed to every member — while
+                // `shared_cost` + the member's owned `item_costs` let
+                // metrics aggregate a coalesced group without overstating
+                // work: Σ members' owned + one shared = the true total.
+                let item_costs: Vec<er_core::CostBreakdown> = p
+                    .owned_slots
+                    .iter()
+                    .map(|&slot| answer.item_costs.get(slot).copied().unwrap_or_default())
+                    .collect();
                 Response {
                     values,
                     nodes: Vec::new(),
                     backend: choice.name(),
                     cost: answer.cost,
+                    shared_cost: answer.shared_cost,
+                    item_costs,
                     cache_hits: p.cache_hits,
                     backend_calls: p.owned_items,
                     trivial_queries: p.trivial_queries,
@@ -672,15 +709,13 @@ impl ResistanceService {
         let ctx = &self.core.context;
         Ok(match choice {
             BackendChoice::Geer => {
-                let mut proto = Geer::new(ctx, cfg);
+                // GEER is batch-native: one shared SMM frontier per distinct
+                // endpoint of the plan, bit-identical to per-pair forks.
+                let mut backend = GeerBackend::new(ctx, cfg);
                 if let Some(b) = budget {
-                    proto = proto.with_walk_budget(b);
+                    backend = backend.with_walk_budget(b);
                 }
-                Arc::new(EstimatorBackend::new(
-                    proto,
-                    "GEER",
-                    QueryShapeSet::PAIRWISE,
-                ))
+                Arc::new(backend)
             }
             BackendChoice::Amc => {
                 let mut proto = Amc::new(ctx, cfg);

@@ -10,7 +10,8 @@ A determinism failure in the newest entry is a hard error.
 
 Workload rate extraction is format-agnostic: walk-kernel workloads carry
 `kernel.walks_per_sec`, serving workloads carry
-`throughput.requests_per_sec`.
+`throughput.requests_per_sec`, batched-GEER workloads carry
+`throughput.pairs_per_sec`.
 """
 
 import json
@@ -27,6 +28,8 @@ def rate_of(workload):
     throughput = workload.get("throughput")
     if throughput and "requests_per_sec" in throughput:
         return throughput["requests_per_sec"], "req/s"
+    if throughput and "pairs_per_sec" in throughput:
+        return throughput["pairs_per_sec"], "pairs/s"
     return None, "?"
 
 

@@ -8,6 +8,11 @@ use effective_resistance::{
     ResistanceService, Response,
 };
 
+fn tiny_graph() -> Graph {
+    // Below the planner's node-count fallback (256): ε requests stay exact.
+    generators::social_network_like(200, 10.0, 33).unwrap()
+}
+
 fn small_graph() -> Graph {
     generators::social_network_like(600, 10.0, 33).unwrap()
 }
@@ -74,13 +79,23 @@ fn responses_are_bit_identical_at_1_2_8_threads() {
 
 #[test]
 fn planner_routing_is_observable_end_to_end() {
-    // Small graph + ε target: the exact CG tier undercuts sampling.
-    let small = small_graph();
-    let service = service_at(&small, 0);
+    // Tiny graph + ε target: the exact CG tier undercuts sampling.
+    let tiny = tiny_graph();
+    let service = service_at(&tiny, 0);
     let pair = service.submit(&Request::new(Query::pair(0, 100))).unwrap();
     assert_eq!(pair.backend, "EXACT-CG");
 
-    // Large graph + ε target: GEER for pairs, batch-native HAY for edge sets.
+    // A slow-mixing graph (small spectral gap) stays exact at any size: the
+    // planner's lambda rule overrides the node-count fallback.
+    let ring = generators::watts_strogatz(2_000, 6, 0.1, 5).unwrap();
+    let service = service_at(&ring, 0);
+    let slow = service
+        .submit(&Request::new(Query::pair(0, 1_000)))
+        .unwrap();
+    assert_eq!(slow.backend, "EXACT-CG");
+
+    // Large fast-mixing graph + ε target: GEER for pairs, batch-native HAY
+    // for edge sets.
     let large = large_graph();
     let service = service_at(&large, 0);
     let pair = service
@@ -137,13 +152,14 @@ fn planned_answers_meet_the_epsilon_target() {
 
 #[test]
 fn exact_tier_matches_ground_truth_closely() {
-    let graph = small_graph();
+    let graph = tiny_graph();
     let truth = GroundTruth::with_method(&graph, GroundTruthMethod::LaplacianSolve);
     let service = service_at(&graph, 0);
-    let pairs = [(0usize, 300usize), (1, 2), (598, 599)];
+    let pairs = [(0usize, 150usize), (1, 2), (198, 199)];
     let response = service
         .submit(&Request::new(Query::batch(pairs.to_vec())))
         .unwrap();
+    assert_eq!(response.backend, "EXACT-CG", "tiny graph stays exact");
     for (&(s, t), &value) in pairs.iter().zip(&response.values) {
         let exact = truth.resistance(s, t).unwrap();
         assert!(
@@ -151,6 +167,102 @@ fn exact_tier_matches_ground_truth_closely() {
             "({s},{t}): {value} vs {exact}"
         );
     }
+}
+
+/// The batched GEER backend (one shared SMM frontier per distinct endpoint)
+/// must answer every pair with exactly the bits a solo per-pair submission
+/// computes — at 1, 2 and 8 worker threads, through plain batch submission
+/// and through `submit_coalesced`.
+#[test]
+fn batched_geer_is_bit_identical_to_solo_pairs_at_1_2_8_threads() {
+    let graph = small_graph();
+    // A shared-endpoint workload: hub nodes 0 and 7 appear in many pairs.
+    let pairs: Vec<(usize, usize)> = vec![
+        (0, 300),
+        (0, 150),
+        (0, 480),
+        (7, 300),
+        (7, 90),
+        (12, 13),
+        (44, 44),
+        (0, 150),
+    ];
+    // Solo baseline: every pair submitted alone, fresh service (no cache).
+    let solo_bits: Vec<u64> = {
+        let service = service_at(&graph, 1);
+        pairs
+            .iter()
+            .map(|&(s, t)| {
+                service
+                    .submit(&Request::new(Query::pair(s, t)).with_backend(BackendChoice::Geer))
+                    .unwrap()
+                    .value()
+                    .to_bits()
+            })
+            .collect()
+    };
+    for threads in [1usize, 2, 8] {
+        // One batch: the whole workload shares one frontier set.
+        let service = service_at(&graph, threads);
+        let batch = service
+            .submit(&Request::new(Query::batch(pairs.clone())).with_backend(BackendChoice::Geer))
+            .unwrap();
+        let batch_bits: Vec<u64> = batch.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(batch_bits, solo_bits, "batch diverged at {threads} threads");
+        // The cost split never overstates work: shared SMM once, AMC tails
+        // per owned item, recombining to the full plan cost.
+        let mut recombined = batch.shared_cost;
+        recombined += batch.owned_cost();
+        assert_eq!(recombined, batch.cost);
+        assert_eq!(batch.item_costs.len() as u64, batch.backend_calls);
+
+        // Coalesced across requests: one frontier set for the whole group.
+        let service = service_at(&graph, threads);
+        let a = Request::new(Query::batch(pairs[..4].to_vec())).with_backend(BackendChoice::Geer);
+        let b = Request::new(Query::batch(pairs[4..].to_vec())).with_backend(BackendChoice::Geer);
+        let grouped = service.submit_coalesced(&[&a, &b]).unwrap();
+        let grouped_bits: Vec<u64> = grouped[0]
+            .values
+            .iter()
+            .chain(&grouped[1].values)
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(
+            grouped_bits, solo_bits,
+            "coalesced group diverged at {threads} threads"
+        );
+        // Both members carry the same group-level shared cost.
+        assert_eq!(grouped[0].shared_cost, grouped[1].shared_cost);
+    }
+}
+
+/// Regression test for an arrival-order dependence the concurrent server
+/// exposed: a batch carrying `(s, t)` coalesced with a request carrying
+/// `(t, s)` used to compute the pair in whichever orientation reached the
+/// plan first — and sampling backends draw different (equally valid) bits
+/// per orientation, so the answer raced with scheduling. Misses are now
+/// computed in canonical `(min, max)` orientation; both orientations must
+/// yield identical bits on fresh services, with no cache involved.
+#[test]
+fn pair_orientation_never_changes_bits() {
+    let graph = large_graph();
+    let forward = service_at(&graph, 1)
+        .submit(&Request::new(Query::pair(0, 1_000)))
+        .unwrap();
+    assert_eq!(forward.backend, "GEER", "sampling backend, not exact");
+    let reversed = service_at(&graph, 1)
+        .submit(&Request::new(Query::pair(1_000, 0)))
+        .unwrap();
+    assert_eq!(forward.value().to_bits(), reversed.value().to_bits());
+
+    // The server race, made deterministic: the reversed pair creates the
+    // plan item first and the forward batch dedups onto it.
+    let service = service_at(&graph, 1);
+    let rev = Request::new(Query::pair(1_000, 0));
+    let fwd = Request::new(Query::batch(vec![(0, 1_000), (10, 20)]));
+    let grouped = service.submit_coalesced(&[&rev, &fwd]).unwrap();
+    assert_eq!(grouped[0].value().to_bits(), forward.value().to_bits());
+    assert_eq!(grouped[1].values[0].to_bits(), forward.value().to_bits());
 }
 
 #[test]
