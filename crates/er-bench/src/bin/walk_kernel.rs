@@ -17,11 +17,22 @@
 //! * `amc_paired` — AMC-shaped walk pairs: sequential s-then-t walks per
 //!   pair vs the paired lockstep driver (`batch_pairs`); the
 //!   `amc_paired_pairs_per_sec` metric.
+//! * `wilson_trees` — HAY-shaped uniform spanning trees: the sequential
+//!   per-tree Wilson sampler vs the multi-root lockstep driver
+//!   (`sample_spanning_trees`), with every tree's edge fingerprint and draw
+//!   count asserted bit-identical before timing; the
+//!   `wilson_trees_per_sec` metric.
 //!
-//! A lane-width sweep (8/16/32 lanes, fixed-length bulk walks) prints next
-//! to the `LaneWidth::auto` pick and lands in the entry's `lane_sweep`
-//! object — the calibration data behind the heuristic's thresholds. Both
-//! new workloads assert bit-identical tallies between the old and kernel
+//! A lane-width sweep (8/16/32 lanes, fixed-length bulk walks) runs at 1, 2
+//! and 8 threads, prints next to the `LaneWidth::auto` pick and lands in the
+//! entry's `lane_sweep` object — the calibration data behind the heuristic's
+//! thresholds (tuned on a 1-CPU container; the per-thread sections record
+//! whether multi-core hardware disagrees). A prefetch on/off sweep times the
+//! bulk and Wilson drivers with prefetch-ahead forced off and on and reports
+//! the off/on time ratios as the `prefetch_speedup` /
+//! `prefetch_speedup_wilson` metrics — the measurements behind the kernel's
+//! prefetch defaults (off for wide drivers, on for the narrow Wilson lanes).
+//! Every workload asserts bit-identical results between the old and kernel
 //! paths before timing them.
 //!
 //! The old path is reproduced inline exactly as `WalkEngine` ran it before
@@ -45,9 +56,12 @@ use er_bench::trajectory::{append_to_trajectory, git_sha};
 use er_graph::{generators, Graph};
 use er_walks::hitting::{escape_trials, escape_walk, EscapeOutcome, EscapeTally};
 use er_walks::kernel::LaneWidth;
-use er_walks::{par, WalkEngine, WalkKernel};
+use er_walks::{
+    par, sample_spanning_tree, sample_spanning_trees, sample_spanning_trees_on, SpanningTree,
+    StreamRng, WalkEngine, WalkKernel,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock seconds for `work`, which must return its
@@ -279,23 +293,141 @@ fn run_amc_paired(graph: &Graph, pairs: u64, len: usize, seed: u64, reps: usize)
     }
 }
 
-/// Single-thread walks/sec of fixed-length bulk walks at each lane width —
-/// the calibration data behind `LaneWidth::auto`'s thresholds.
+/// Draw-counting RNG wrapper: lets the sequential Wilson path report how
+/// many u64s each tree consumed, for comparison against the lockstep
+/// driver's per-tree step counts (one draw per step, by construction).
+struct CountingRng {
+    inner: StreamRng,
+    draws: u64,
+}
+
+impl RngCore for CountingRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+/// Order-sensitive fingerprint of a tree's parent edges, cheap enough to
+/// fold into the timed loop without dominating it.
+fn tree_fingerprint(tree: &SpanningTree) -> u64 {
+    let mut h = 0u64;
+    tree.for_each_edge(|u, v| h = h.wrapping_add(par::mix_seed(u as u64 + 1, v as u64 + 1)));
+    h
+}
+
+/// HAY-shaped uniform spanning trees: the PR-6 path grew one tree at a time
+/// on its own `stream_rng(seed, i)`; the lockstep driver grows a lane block
+/// of trees concurrently on the same streams. Every tree's edge fingerprint
+/// and draw count must match the sequential sampler bit for bit — asserted
+/// before the kernel timing counts.
+fn run_wilson_trees(graph: &Graph, trees: u64, seed: u64, reps: usize) -> WorkloadResult {
+    let mut old_trees_fp: Vec<(u64, u64)> = Vec::new();
+    let (old_secs, old_done) = best_secs(reps, || {
+        let mut fps = Vec::with_capacity(trees as usize);
+        for i in 0..trees {
+            let mut rng = CountingRng {
+                inner: par::stream_rng(seed, i),
+                draws: 0,
+            };
+            let tree = sample_spanning_tree(graph, 0, &mut rng);
+            fps.push((tree_fingerprint(&tree), rng.draws));
+        }
+        old_trees_fp = fps;
+        trees
+    });
+    let (kernel_secs, kernel_done) = best_secs(reps, || {
+        let mut fps = vec![(0u64, 0u64); trees as usize];
+        sample_spanning_trees(graph, 0, seed, 0..trees, &mut |i, tree, steps| {
+            fps[i as usize] = (tree_fingerprint(tree), steps);
+        });
+        assert_eq!(
+            fps, old_trees_fp,
+            "lockstep Wilson must preserve every tree and its draw schedule"
+        );
+        trees
+    });
+    assert_eq!(old_done, trees);
+    assert_eq!(kernel_done, trees);
+    WorkloadResult {
+        name: "wilson_trees",
+        queries: 1,
+        walks_per_query: trees,
+        walk_len: 0,
+        old_secs,
+        kernel_secs,
+    }
+}
+
+/// Prefetch-ahead on/off time ratio (`off_secs / on_secs`; above 1.0 means
+/// prefetch wins) for the fixed-length bulk driver and the lockstep Wilson
+/// driver. Results-neutrality of the toggle is pinned by kernel unit tests
+/// and by `run_wilson_trees`' bit-identity assert, so this only times.
+fn prefetch_sweep(
+    graph: &Graph,
+    walks: u64,
+    len: usize,
+    trees: u64,
+    seed: u64,
+    reps: usize,
+) -> (f64, f64) {
+    let time_bulk = |prefetch: bool| {
+        let kernel = WalkKernel::new(graph).with_prefetch(prefetch);
+        best_secs(reps, || {
+            let mut count = 0;
+            kernel.batch_endpoints(0, len, seed, 0..walks, &mut |_, _, _| count += 1);
+            count
+        })
+        .0
+    };
+    // L8 is the narrowest width the explicit-kernel entry can request — the
+    // closest stand-in for the few-deep-lanes regime the production
+    // CSR-footprint rule picks on a graph this size.
+    let time_wilson = |prefetch: bool| {
+        let kernel = WalkKernel::new(graph)
+            .with_lanes(LaneWidth::L8)
+            .with_prefetch(prefetch);
+        best_secs(reps, || {
+            let mut count = 0;
+            sample_spanning_trees_on(kernel, 0, seed ^ 0x17, 0..trees, &mut |_, _, _| count += 1);
+            count
+        })
+        .0
+    };
+    (
+        time_bulk(false) / time_bulk(true),
+        time_wilson(false) / time_wilson(true),
+    )
+}
+
+/// Walks/sec of fixed-length bulk walks at each lane width and the given
+/// thread count — the calibration data behind `LaneWidth::auto`'s
+/// thresholds. Fan-out goes through the same chunked `par_fold_ranges`
+/// backbone the estimators use, so the multi-thread rows reflect how the
+/// widths behave under real contention (on multi-core hardware; on a 1-CPU
+/// container all rows collapse to the single-thread picture).
 fn lane_sweep(
     graph: &Graph,
     walks: u64,
     len: usize,
     seed: u64,
     reps: usize,
+    threads: usize,
 ) -> Vec<(LaneWidth, f64)> {
     [LaneWidth::L8, LaneWidth::L16, LaneWidth::L32]
         .into_iter()
         .map(|width| {
             let kernel = WalkKernel::new(graph).with_lanes(width);
             let (secs, done) = best_secs(reps, || {
-                let mut count = 0;
-                kernel.batch_endpoints(0, len, seed, 0..walks, &mut |_, _, _| count += 1);
-                count
+                par::par_fold_ranges(
+                    walks,
+                    threads,
+                    || 0u64,
+                    |range, count: &mut u64| {
+                        kernel.batch_endpoints(0, len, seed, range, &mut |_, _, _| *count += 1)
+                    },
+                    |total, part| *total += part,
+                )
             });
             assert_eq!(done, walks);
             (width, walks as f64 / secs)
@@ -365,21 +497,42 @@ fn main() {
             args.seed ^ 0xa3,
             reps,
         ),
+        run_wilson_trees(
+            &graph,
+            if args.quick { 8 } else { 32 },
+            args.seed ^ 0x77,
+            reps,
+        ),
     ];
 
-    let sweep = lane_sweep(
+    let sweep_walks = if args.quick { 50_000 } else { 200_000 };
+    let sweeps: Vec<(usize, Vec<(LaneWidth, f64)>)> = [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            (
+                threads,
+                lane_sweep(&graph, sweep_walks, 16, args.seed ^ 0x5e, reps, threads),
+            )
+        })
+        .collect();
+    let auto = LaneWidth::auto(graph.num_nodes(), graph.num_edges());
+    println!("lane sweep (fixed-length bulk walks):");
+    for (threads, sweep) in &sweeps {
+        for &(width, rate) in sweep {
+            let marker = if width == auto { "  <- auto pick" } else { "" };
+            println!("  {threads} thread(s) {width:?}: {rate:>14.0} walks/s{marker}");
+        }
+    }
+
+    let (prefetch_bulk, prefetch_wilson) = prefetch_sweep(
         &graph,
-        if args.quick { 50_000 } else { 200_000 },
+        sweep_walks,
         16,
-        args.seed ^ 0x5e,
+        if args.quick { 4 } else { 8 },
+        args.seed ^ 0x9f,
         reps,
     );
-    let auto = LaneWidth::auto(graph.num_nodes(), graph.num_edges());
-    println!("lane sweep (fixed-length bulk walks, single thread):");
-    for &(width, rate) in &sweep {
-        let marker = if width == auto { "  <- auto pick" } else { "" };
-        println!("  {width:?}: {rate:>14.0} walks/s{marker}");
-    }
+    println!("prefetch speedup (off/on): bulk {prefetch_bulk:.3}x, wilson {prefetch_wilson:.3}x");
 
     println!(
         "{:<18} {:>14} {:>16} {:>12} {:>12} {:>9}",
@@ -417,9 +570,20 @@ fn main() {
         .iter()
         .find(|w| w.name == "amc_paired")
         .expect("amc_paired workload present");
-    let sweep_json = sweep
+    let wilson = workloads
         .iter()
-        .map(|(width, rate)| format!("\"{width:?}\": {rate:.0}"))
+        .find(|w| w.name == "wilson_trees")
+        .expect("wilson_trees workload present");
+    let sweep_json = sweeps
+        .iter()
+        .map(|(threads, sweep)| {
+            let rows = sweep
+                .iter()
+                .map(|(width, rate)| format!("\"{width:?}\": {rate:.0}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("\"threads_{threads}\": {{{rows}}}")
+        })
         .collect::<Vec<_>>()
         .join(", ");
     let entry = format!(
@@ -429,7 +593,9 @@ fn main() {
          \"graph\": {{\"model\": \"barabasi_albert\", \"nodes\": {}, \"attach\": {attach}, \
          \"edges\": {}}},\n  \
          \"determinism\": {{\"threads_checked\": [1, 2, 8], \"bit_identical\": {deterministic}}},\n  \
-         \"metrics\": {{\"mc_escape_walks_per_sec\": {:.0}, \"amc_paired_pairs_per_sec\": {:.0}}},\n  \
+         \"metrics\": {{\"mc_escape_walks_per_sec\": {:.0}, \"amc_paired_pairs_per_sec\": {:.0}, \
+         \"wilson_trees_per_sec\": {:.2}, \"prefetch_speedup\": {prefetch_bulk:.3}, \
+         \"prefetch_speedup_wilson\": {prefetch_wilson:.3}}},\n  \
          \"lane_sweep\": {{{sweep_json}, \"auto\": \"{auto:?}\"}},\n  \
          \"workloads\": [\n{}\n  ]\n}}",
         args.quick,
@@ -438,6 +604,7 @@ fn main() {
         graph.num_edges(),
         mc_escape.kernel_walks_per_sec(),
         amc_paired.kernel_walks_per_sec(),
+        wilson.kernel_walks_per_sec(),
         workloads
             .iter()
             .map(|w| w.json())

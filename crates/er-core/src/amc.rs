@@ -156,11 +156,24 @@ pub fn empirical_bernstein_error(n_z: u64, sigma_sq: f64, psi: f64, delta: f64) 
 
 /// Total walk-pair budget `h(ℓ_f) = Σ_{i=1}^{τ} 2^{i−1} η = (2^τ − 1) ⌈η*/2^{τ−1}⌉`
 /// that Algorithm 1 can spend across all batches (Section 3.3.2). GEER's
-/// switch rule (Eq. 17) compares the next SpMV cost against this quantity.
+/// switch rule (Eq. 17) compares the next SpMV cost against the
+/// *step-denominated* form of this quantity, [`total_walk_step_budget`].
 pub fn total_walk_budget(eta_star: u64, tau: usize) -> u64 {
     let tau = tau.max(1) as u32;
     let first_batch = eta_star.div_ceil(1u64 << (tau - 1)).max(1);
     ((1u64 << tau) - 1).saturating_mul(first_batch)
+}
+
+/// The Eq. (17) Monte Carlo side in walk *steps*: each of the
+/// [`total_walk_budget`] pairs runs two length-`ℓ_f` walks, so the tail
+/// costs `2 ℓ_f · h(ℓ_f)` row loads — the same unit as the SpMV side's
+/// `Σ_{v ∈ supp} d(v)` operation count. Comparing pairs against operations
+/// (as this repo did before the recalibration) undercounted the walk side
+/// by a factor of `2 ℓ_f`, stopping SMM long before the walks it avoided
+/// had been paid for; with honest units SMM runs deeper and every AMC tail
+/// shrinks.
+pub fn total_walk_step_budget(eta_star: u64, tau: usize, ell_f: usize) -> u64 {
+    total_walk_budget(eta_star, tau).saturating_mul(2 * ell_f.max(1) as u64)
 }
 
 /// Runs Algorithm 1 for the pair `(s, t)` with weight vectors `s_vec`, `t_vec`.

@@ -139,12 +139,14 @@ impl Geer {
                 return false; // Fixed rule: run exactly `greedy_limit` iterations.
             }
             // Eq. (17): stop SMM once the next iteration's SpMV cost exceeds
-            // the remaining Monte Carlo budget h(ℓ − ℓ_b).
+            // the remaining Monte Carlo budget h(ℓ − ℓ_b) — both sides in
+            // *operations*: SpMV ops against walk steps (2(ℓ − ℓ_b) row
+            // loads per walk pair), not walk pairs.
             let spmv_cost = smm::next_iteration_cost(g, s_star, t_star);
             let remaining = ell - ell_b;
             let psi = amc::psi_bound(s_star, t_star, ds, dt, remaining);
             let eta = amc::eta_star(psi, epsilon, delta, tau);
-            let walk_budget = amc::total_walk_budget(eta, tau);
+            let walk_budget = amc::total_walk_step_budget(eta, tau, remaining);
             spmv_cost > walk_budget
         });
 

@@ -303,7 +303,9 @@ impl GeerBatch {
                             p.ell - round,
                         );
                         let eta = amc::eta_star(psi, epsilon, delta, tau);
-                        spmv_cost > amc::total_walk_budget(eta, tau)
+                        // Step-denominated Eq. (17), identical to the solo
+                        // switch in `Geer::run` so batching stays bit-exact.
+                        spmv_cost > amc::total_walk_step_budget(eta, tau, p.ell - round)
                     };
                     (term, stop)
                 };

@@ -14,7 +14,7 @@ use crate::error::EstimatorError;
 use crate::estimator::{CostBreakdown, Estimate, ResistanceEstimator};
 use er_graph::NodeId;
 use er_walks::par;
-use er_walks::spanning::sample_spanning_tree;
+use er_walks::spanning::sample_spanning_trees;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -84,23 +84,31 @@ impl ResistanceEstimator for Hay {
         }
         let mut cost = CostBreakdown::default();
         let fan_seed = self.rng.next_u64();
-        let containing = par::par_fold_indexed(
+        // Chunked range fan-out with the multi-root lockstep Wilson driver:
+        // tree `i` still draws from stream `(fan_seed, i)` exactly as the
+        // old per-tree fan-out did, so the tree pool (and the estimate) is
+        // bit-identical; several trees now grow per chunk in lockstep lanes.
+        let (containing, walk_steps) = par::par_fold_ranges(
             trees,
-            fan_seed,
             self.config.threads,
-            || 0u64,
-            |_, tree_rng, acc| {
-                let tree = sample_spanning_tree(g, s, tree_rng);
-                if tree.contains_edge(s, t) {
-                    *acc += 1;
-                }
+            || (0u64, 0u64),
+            |chunk, acc: &mut (u64, u64)| {
+                sample_spanning_trees(g, s, fan_seed, chunk, &mut |_, tree, steps| {
+                    if tree.contains_edge(s, t) {
+                        acc.0 += 1;
+                    }
+                    acc.1 += steps;
+                })
             },
-            |total, part| *total += part,
+            |total, part| {
+                total.0 += part.0;
+                total.1 += part.1;
+            },
         );
         cost.spanning_trees = trees;
-        // Wilson's algorithm walks at least n - 1 steps per tree; we do not
-        // track its exact step count, so record the tree-size lower bound.
-        cost.walk_steps = trees * (g.num_nodes() - 1) as u64;
+        // True loop-erased-walk step count summed over the pool (the driver
+        // reports it per tree), replacing the old `trees · (n − 1)` bound.
+        cost.walk_steps = walk_steps;
         Ok(Estimate {
             value: containing as f64 / trees as f64,
             cost,

@@ -33,7 +33,7 @@ use er_core::{
 use er_graph::{Graph, NodeId};
 use er_index::{ErIndex, LandmarkIndex};
 use er_walks::par;
-use er_walks::spanning::sample_spanning_tree;
+use er_walks::spanning::sample_spanning_trees;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -342,32 +342,38 @@ impl Backend for HayBatchBackend {
         let trees = self.trees_for(plan.accuracy);
         // One RNG stream per tree, derived from the seed alone: the tree pool
         // is a pure function of (seed, trees), identical at any thread count.
+        // The multi-root lockstep Wilson driver grows several trees of each
+        // chunk concurrently while preserving every tree's stream-`i` draw
+        // schedule, so the pool (and every value) is unchanged.
         let fan_seed = par::mix_seed(self.config.seed, 0x11a7);
-        let counts = par::par_fold_indexed(
+        let (counts, walk_steps) = par::par_fold_ranges(
             trees,
-            fan_seed,
             streams.threads,
-            || vec![0u64; plan.items.len()],
-            |_, tree_rng, acc: &mut Vec<u64>| {
-                let tree = sample_spanning_tree(g, 0, tree_rng);
-                for (j, item) in plan.items.iter().enumerate() {
-                    if tree.contains_edge(item.s, item.t) {
-                        acc[j] += 1;
+            || (vec![0u64; plan.items.len()], 0u64),
+            |chunk, acc: &mut (Vec<u64>, u64)| {
+                sample_spanning_trees(g, 0, fan_seed, chunk, &mut |_, tree, steps| {
+                    for (j, item) in plan.items.iter().enumerate() {
+                        if tree.contains_edge(item.s, item.t) {
+                            acc.0[j] += 1;
+                        }
                     }
-                }
+                    acc.1 += steps;
+                })
             },
             |total, part| {
-                for (t, p) in total.iter_mut().zip(part) {
+                for (t, p) in total.0.iter_mut().zip(part.0) {
                     *t += p;
                 }
+                total.1 += part.1;
             },
         );
         let values = counts.iter().map(|&c| c as f64 / trees as f64).collect();
         let cost = CostBreakdown {
             spanning_trees: trees,
-            // Wilson's algorithm covers all n nodes per tree; record the
-            // n − 1 tree-edge lower bound, as the per-query estimator does.
-            walk_steps: trees * (g.num_nodes() - 1) as u64,
+            // True per-tree loop-erased-walk steps summed over the pool,
+            // as reported by the lockstep driver (the per-query estimator
+            // reports the same true count).
+            walk_steps,
             ..CostBreakdown::default()
         };
         Ok(Response {

@@ -21,7 +21,7 @@ use er_graph::{Graph, NodeId};
 use er_linalg::{LaplacianSolver, ResistanceSketch};
 use er_service::{Accuracy, BackendChoice, Query, Request, ResistanceService};
 use er_walks::kernel::{self, ScratchPool};
-use er_walks::{par, sample_spanning_tree};
+use er_walks::{par, sample_spanning_trees};
 use std::collections::HashMap;
 
 /// Strategy for computing per-edge resistance scores.
@@ -130,13 +130,16 @@ impl EdgeScores {
                 let edge_index: HashMap<(NodeId, NodeId), usize> =
                     edges.iter().enumerate().map(|(idx, &e)| (e, idx)).collect();
                 let pool = ScratchPool::new(edges.len());
+                // The multi-root lockstep driver grows several of the
+                // range's trees concurrently; tree `i` still draws from
+                // stream `(seed, i)`, so the counts are bit-identical to
+                // the old one-tree-at-a-time loop.
                 let (counts, _steps) =
                     kernel::par_tally(samples as u64, threads, &pool, |range, scratch| {
-                        for i in range {
-                            let mut tree_rng = par::stream_rng(seed, i);
-                            let tree = sample_spanning_tree(graph, 0, &mut tree_rng);
+                        sample_spanning_trees(graph, 0, seed, range, &mut |_, tree, steps| {
                             tree.for_each_edge(|u, v| scratch.bump(edge_index[&(u, v)]));
-                        }
+                            scratch.add_steps(steps);
+                        })
                     });
                 counts
                     .into_iter()

@@ -11,7 +11,9 @@
 //!   source), as single-walk references plus lane-batched bulk trials on
 //!   the kernel's variable-length lockstep driver.
 //! * [`spanning`] — uniform spanning-tree sampling with Wilson's algorithm
-//!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`).
+//!   (the HAY baseline: `r(e) = Pr[e ∈ UST]`), as a single-tree reference
+//!   plus a multi-root lockstep driver that grows many trees at once with
+//!   per-tree draw schedules preserved bit for bit.
 //!
 //! * [`kernel`] — the zero-allocation walk kernel: per-walk
 //!   [`kernel::StreamRng`] streams, division-free CSR stepping
@@ -25,7 +27,10 @@
 //! seeding and reproducibility end to end; the bulk operations additionally
 //! accept a thread count and guarantee the result does not depend on it.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the walk kernel's prefetch helper needs one
+// `_mm_prefetch` intrinsic behind a scoped `#[allow(unsafe_code)]` (prefetch
+// has no architectural effect beyond the cache); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -46,5 +51,7 @@ pub use mixing::{empirical_mixing_profile, empirical_mixing_time, MixingProfile}
 pub use par::{
     mix_seed, par_fold_indexed, par_fold_ranges, par_map_indexed, resolve_threads, stream_rng,
 };
-pub use spanning::{sample_spanning_tree, SpanningTree};
+pub use spanning::{
+    sample_spanning_tree, sample_spanning_trees, sample_spanning_trees_on, SpanningTree,
+};
 pub use truncated::{walk_accumulate, walk_endpoint, walk_nodes};

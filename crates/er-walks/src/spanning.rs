@@ -7,9 +7,10 @@
 //! together loop-erased random walks, in expected time proportional to the
 //! mean hitting time of the graph.
 
-use crate::kernel::WalkKernel;
+use crate::kernel::{StreamRng, WalkKernel};
 use er_graph::{Graph, NodeId};
 use rand::Rng;
+use std::ops::Range;
 
 /// A sampled spanning tree, stored as `parent[v]` pointers towards the root
 /// (with `parent[root] == root`).
@@ -105,13 +106,412 @@ pub fn sample_spanning_tree<R: Rng + ?Sized>(
     SpanningTree { root, parent }
 }
 
+/// Cap on the total per-lane Wilson state (≈ 17 bytes per node per lane:
+/// in-tree flag + parent + loop-erasure successor). A graph big enough to
+/// bind this cap is past the last-level cache anyway, where fewer deeper
+/// lanes beat many thrashing ones — and since each tree is a pure function
+/// of `(seed, index)`, shrinking the lane count never changes a value.
+const WILSON_STATE_BUDGET: usize = 64 << 20;
+
+/// Below this CSR footprint [`sample_spanning_trees`] takes the single-lane
+/// sequential fast path: steps on a cache-resident graph are hits, so
+/// lockstep has no miss latency to hide and only adds per-step lane
+/// overhead. The `walk_kernel` bench sweep measured the crossover between a
+/// ~1.4 MiB CSR (every lane count loses) and a ~2.7 MiB CSR (2–3 lanes win
+/// ~1.25x).
+const WILSON_SEQUENTIAL_CSR_BYTES: usize = 2 << 20;
+
+/// Lockstep lane count for out-of-cache graphs. Each Wilson lane drags its
+/// own O(n) in-tree/parent/successor state through the cache, so — unlike
+/// the O(1)-state walk lanes — a few deep lanes beat a full lane block: the
+/// bench sweep peaked at 2–3 lanes (~1.15–1.25x over sequential) and gave
+/// the whole win back by 8–16 lanes.
+const WILSON_WIDE_LANES: usize = 3;
+
+/// Per-lane state of one in-flight Wilson tree: its index and RNG stream,
+/// the tree under construction (the `parent` vector doubles as the final
+/// [`SpanningTree`]), the in-tree flags, the loop-erasure successor array,
+/// the start-node scan cursor and the walk position.
+struct WilsonLane {
+    index: u64,
+    rng: StreamRng,
+    tree: SpanningTree,
+    in_tree: Vec<bool>,
+    next: Vec<NodeId>,
+    /// Scan position of the sequential `for start in 0..n` loop; the current
+    /// walk segment started here.
+    cursor: NodeId,
+    /// Current position of the walk segment.
+    u: NodeId,
+    steps: u64,
+}
+
+impl WilsonLane {
+    fn new(n: usize, root: NodeId) -> WilsonLane {
+        WilsonLane {
+            index: 0,
+            rng: StreamRng::new(0, 0),
+            tree: SpanningTree {
+                root,
+                parent: (0..n).collect(),
+            },
+            in_tree: vec![false; n],
+            next: vec![usize::MAX; n],
+            cursor: 0,
+            u: root,
+            steps: 0,
+        }
+    }
+
+    /// Resets the lane for tree `index` on stream `(seed, index)`. Returns
+    /// `false` if the tree is already complete (single-node graph), in which
+    /// case the caller emits it without any lockstep rounds.
+    fn begin(&mut self, seed: u64, index: u64) -> bool {
+        self.index = index;
+        self.rng = StreamRng::new(seed, index);
+        self.steps = 0;
+        self.in_tree.fill(false);
+        self.in_tree[self.tree.root] = true;
+        for (v, p) in self.tree.parent.iter_mut().enumerate() {
+            *p = v;
+        }
+        // `next` needs no reset: the retrace only reads successors of nodes
+        // visited by the current walk segment, which were all just written —
+        // the same argument that lets the sequential sampler keep `next`
+        // across segments.
+        self.cursor = 0;
+        self.find_start()
+    }
+
+    /// Advances the cursor to the next node outside the tree and begins a
+    /// walk segment there; `false` means the tree is complete.
+    fn find_start(&mut self) -> bool {
+        while self.cursor < self.in_tree.len() {
+            if !self.in_tree[self.cursor] {
+                self.u = self.cursor;
+                return true;
+            }
+            self.cursor += 1;
+        }
+        false
+    }
+
+    /// Retraces the loop-erased path of the finished walk segment (the walk
+    /// just hit the tree at `self.u`) and attaches it.
+    fn attach(&mut self) {
+        let mut u = self.cursor;
+        while !self.in_tree[u] {
+            self.in_tree[u] = true;
+            self.tree.parent[u] = self.next[u];
+            u = self.next[u];
+        }
+        self.cursor += 1;
+    }
+}
+
+/// Samples the uniform spanning trees with indices `range` — tree `i` from
+/// RNG stream `(seed, i)` — running several trees' loop-erased walks in
+/// lockstep lanes, and reports each finished tree to `sink` as
+/// `(index, &tree, walk_steps)`.
+///
+/// Each tree owns one lane: its own RNG stream, in-tree flags and
+/// loop-erasure state. Lockstep execution only interleaves the memory
+/// accesses of *different* trees; within one tree the draw schedule is
+/// exactly that of [`sample_spanning_tree`] on the same stream, so every
+/// tree's edge set (and parent orientation) is bit-identical to the
+/// sequential sampler — at any lane width or thread count. A lane whose
+/// tree completes refills from the pending range in the same round, so the
+/// memory-level parallelism never drains while trees remain.
+///
+/// `sink` fires once per tree in **retire order** (a pure function of
+/// `(seed, range, lanes)`, not of thread count); feed commutative
+/// accumulators — tree-membership counts and step totals are.
+/// `walk_steps` is the tree's true loop-erased-walk step count (one RNG draw
+/// per step), which the HAY cost accounting reports instead of the old
+/// `n − 1` lower bound.
+///
+/// Lane count is picked by CSR footprint (see [`sample_spanning_trees_on`]
+/// for an explicit override): a cache-resident graph takes the single-lane
+/// fast path — its steps are cache hits, so there is no miss latency for
+/// lockstep to hide and the lane machinery would only cost — while a larger
+/// graph runs a few (currently 3) trees in lockstep. Unlike plain walk
+/// lanes, every Wilson lane drags O(n) tree state with it, so the sweep in
+/// the `walk_kernel` bench found a few deep lanes beat a full lane block.
+///
+/// Panics on isolated nodes like [`sample_spanning_tree`]; callers must
+/// validate connectivity first.
+pub fn sample_spanning_trees(
+    graph: &Graph,
+    root: NodeId,
+    seed: u64,
+    range: Range<u64>,
+    sink: &mut impl FnMut(u64, &SpanningTree, u64),
+) {
+    let csr_bytes = (graph.num_nodes() + 1 + 2 * graph.num_edges()) * std::mem::size_of::<NodeId>();
+    let lanes = if csr_bytes <= WILSON_SEQUENTIAL_CSR_BYTES {
+        1
+    } else {
+        WILSON_WIDE_LANES
+    };
+    // Prefetch-ahead pays here precisely because lanes are scarce: with only
+    // a few walks in flight the out-of-order window cannot hide every row
+    // miss on its own (the wide drivers leave it off for the same reason).
+    let kernel = WalkKernel::new(graph).with_prefetch(lanes > 1);
+    run_lockstep(kernel, root, seed, range, lanes, sink)
+}
+
+/// [`sample_spanning_trees`] on an explicit [`WalkKernel`], with the lane
+/// count taken from the kernel's lane width instead of the CSR-footprint
+/// rule — the entry point for the bench sweeps and the width/prefetch
+/// bit-identity tests. Results are identical for any kernel configuration.
+pub fn sample_spanning_trees_on(
+    kernel: WalkKernel<'_>,
+    root: NodeId,
+    seed: u64,
+    range: Range<u64>,
+    sink: &mut impl FnMut(u64, &SpanningTree, u64),
+) {
+    let lanes = kernel.lanes().lanes();
+    run_lockstep(kernel, root, seed, range, lanes, sink)
+}
+
+/// Runs one reusable lane straight through the range — the cache-resident
+/// fast path, equivalent to [`sample_spanning_tree`] per index but without
+/// per-tree allocations or the lockstep round loop (and without prefetch,
+/// which is wasted work when every row is already resident).
+fn run_sequential(
+    kernel: WalkKernel<'_>,
+    root: NodeId,
+    seed: u64,
+    range: Range<u64>,
+    sink: &mut impl FnMut(u64, &SpanningTree, u64),
+) {
+    let mut lane = WilsonLane::new(kernel.num_nodes(), root);
+    for index in range {
+        if lane.begin(seed, index) {
+            loop {
+                let v = kernel
+                    .step(lane.u, &mut lane.rng)
+                    .expect("connected graph has no isolated nodes");
+                lane.steps += 1;
+                lane.next[lane.u] = v;
+                lane.u = v;
+                if lane.in_tree[lane.u] {
+                    lane.attach();
+                    if !lane.find_start() {
+                        break;
+                    }
+                }
+            }
+        }
+        sink(lane.index, &lane.tree, lane.steps);
+    }
+}
+
+fn run_lockstep(
+    kernel: WalkKernel<'_>,
+    root: NodeId,
+    seed: u64,
+    range: Range<u64>,
+    lanes: usize,
+    sink: &mut impl FnMut(u64, &SpanningTree, u64),
+) {
+    if range.is_empty() {
+        return;
+    }
+    let n = kernel.num_nodes();
+    let per_lane_bytes = n.max(1) * (std::mem::size_of::<NodeId>() * 2 + 1);
+    let lanes = lanes
+        .min((WILSON_STATE_BUDGET / per_lane_bytes).max(1))
+        .min((range.end - range.start).min(64) as usize)
+        .max(1);
+    if lanes == 1 {
+        return run_sequential(kernel, root, seed, range, sink);
+    }
+
+    let mut lane_state: Vec<WilsonLane> = (0..lanes).map(|_| WilsonLane::new(n, root)).collect();
+    let mut next_index = range.start;
+    let mut alive: u64 = 0;
+
+    // Fills `lane` with the next pending tree, emitting any trees that are
+    // complete at birth (single-node graphs take zero walk steps); returns
+    // whether the lane is live afterwards.
+    let refill = |lane: &mut WilsonLane,
+                  next_index: &mut u64,
+                  sink: &mut dyn FnMut(u64, &SpanningTree, u64)| {
+        while *next_index < range.end {
+            let index = *next_index;
+            *next_index += 1;
+            if lane.begin(seed, index) {
+                return true;
+            }
+            sink(lane.index, &lane.tree, lane.steps);
+        }
+        false
+    };
+
+    for (lane, state) in lane_state.iter_mut().enumerate() {
+        if refill(state, &mut next_index, sink) {
+            alive |= 1 << lane;
+        }
+    }
+    while alive != 0 {
+        for (lane, state) in lane_state.iter_mut().enumerate() {
+            if alive & (1 << lane) == 0 {
+                continue;
+            }
+            let v = kernel
+                .step(state.u, &mut state.rng)
+                .expect("connected graph has no isolated nodes");
+            kernel.prefetch_row(v);
+            state.steps += 1;
+            state.next[state.u] = v;
+            state.u = v;
+            if state.in_tree[state.u] {
+                state.attach();
+                if !state.find_start() {
+                    sink(state.index, &state.tree, state.steps);
+                    if !refill(state, &mut next_index, sink) {
+                        alive &= !(1 << lane);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::LaneWidth;
     use er_graph::generators;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use std::collections::HashSet;
+
+    /// Wraps a [`StreamRng`] and counts its `next_u64` draws, so the
+    /// sequential reference exposes its draw schedule length.
+    struct CountingRng {
+        inner: StreamRng,
+        draws: u64,
+    }
+
+    impl RngCore for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    /// The sequential reference for tree `i` under `seed`: the tree plus the
+    /// number of RNG draws its loop-erased walks consumed.
+    fn sequential_tree(g: &Graph, root: NodeId, seed: u64, i: u64) -> (SpanningTree, u64) {
+        let mut rng = CountingRng {
+            inner: StreamRng::new(seed, i),
+            draws: 0,
+        };
+        let tree = sample_spanning_tree(g, root, &mut rng);
+        (tree, rng.draws)
+    }
+
+    #[test]
+    fn lockstep_trees_match_sequential_draw_schedules_at_every_width() {
+        // Every tree the lockstep driver emits must equal the sequential
+        // sampler's tree on the same stream — same parent orientation, not
+        // just the same edge set — and its reported step count must equal
+        // the sequential draw count (one draw per step), at every width.
+        let g = generators::social_network_like(180, 7.0, 12).unwrap();
+        let (root, seed) = (3, 0x717e);
+        for width in [LaneWidth::L8, LaneWidth::L16, LaneWidth::L32] {
+            // Offset range: stream derivation must follow the absolute index.
+            for range in [5u64..77, 0..1, 9..9, 0..3] {
+                let mut got = Vec::new();
+                let kernel = WalkKernel::new(&g).with_lanes(width);
+                sample_spanning_trees_on(kernel, root, seed, range.clone(), &mut |i, t, s| {
+                    got.push((i, t.root(), t.parent.clone(), s));
+                });
+                assert_eq!(got.len() as u64, range.end - range.start);
+                got.sort_unstable_by_key(|e| e.0);
+                for (slot, i) in range.enumerate() {
+                    let (tree, draws) = sequential_tree(&g, root, seed, i);
+                    let (gi, groot, gparent, gsteps) = &got[slot];
+                    assert_eq!(*gi, i, "{width:?}");
+                    assert_eq!(*groot, tree.root());
+                    assert_eq!(*gparent, tree.parent, "tree {i} at {width:?}");
+                    assert_eq!(*gsteps, draws, "draw schedule of tree {i} at {width:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_refill_churn_preserves_every_tree() {
+        // A tiny graph retires trees quickly, churning the refill path many
+        // times per lane; every pending tree must still be emitted exactly
+        // once with its sequential bits.
+        let g = generators::complete(5).unwrap();
+        let (seed, range) = (42u64, 0u64..257);
+        // Once through the CSR-footprint entry (sequential fast path on a
+        // graph this small) and once through the explicit-kernel entry
+        // (8-lane lockstep churn); both must emit identical trees.
+        for lockstep in [false, true] {
+            let mut seen = vec![false; range.end as usize];
+            let mut sink = |i: u64, t: &SpanningTree, s: u64| {
+                assert!(!seen[i as usize], "tree {i} emitted twice");
+                seen[i as usize] = true;
+                let (tree, draws) = sequential_tree(&g, 0, seed, i);
+                assert_eq!(t.parent, tree.parent);
+                assert_eq!(s, draws);
+            };
+            if lockstep {
+                let kernel = WalkKernel::new(&g).with_lanes(LaneWidth::L8);
+                sample_spanning_trees_on(kernel, 0, seed, range.clone(), &mut sink);
+            } else {
+                sample_spanning_trees(&g, 0, seed, range.clone(), &mut sink);
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn lockstep_handles_degenerate_graphs() {
+        // Single-node graph: every tree is complete at birth, zero steps —
+        // on both the fast path and the lockstep refill path (where `begin`
+        // returns false and the refill loop emits the tree itself).
+        let singleton = er_graph::GraphBuilder::new(1).build().unwrap();
+        let mut emitted = Vec::new();
+        sample_spanning_trees(&singleton, 0, 7, 0..5, &mut |i, t, s| {
+            emitted.push((i, t.edges().len(), s));
+        });
+        assert_eq!(emitted, (0..5).map(|i| (i, 0, 0)).collect::<Vec<_>>());
+        emitted.clear();
+        let kernel = WalkKernel::new(&singleton).with_lanes(LaneWidth::L8);
+        sample_spanning_trees_on(kernel, 0, 7, 0..5, &mut |i, t, s| {
+            emitted.push((i, t.edges().len(), s));
+        });
+        assert_eq!(emitted, (0..5).map(|i| (i, 0, 0)).collect::<Vec<_>>());
+
+        // Two-node path: one forced edge, but the walk still draws.
+        let p2 = generators::path(2).unwrap();
+        sample_spanning_trees(&p2, 0, 7, 0..4, &mut |_, t, s| {
+            assert_eq!(t.edges(), vec![(0, 1)]);
+            assert!(s >= 1);
+        });
+    }
+
+    #[test]
+    fn lockstep_prefetch_toggle_never_changes_a_tree() {
+        let g = generators::barabasi_albert(400, 5, 9).unwrap();
+        let collect = |prefetch: bool| {
+            let mut out = Vec::new();
+            let kernel = WalkKernel::new(&g).with_prefetch(prefetch);
+            sample_spanning_trees_on(kernel, 1, 0xbee, 0..30, &mut |i, t, s| {
+                out.push((i, t.parent.clone(), s));
+            });
+            out
+        };
+        assert_eq!(collect(true), collect(false));
+    }
 
     fn is_spanning_tree(g: &Graph, tree: &SpanningTree) -> bool {
         let edges = tree.edges();

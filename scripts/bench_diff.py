@@ -75,16 +75,19 @@ def main(path: str) -> int:
                     f"({prev_rate:.0f} -> {curr_rate:.0f} {unit})"
                 )
         # Named headline metrics (e.g. mc_escape_walks_per_sec,
-        # amc_paired_pairs_per_sec) are diffed key by key; keys missing from
-        # the previous entry are reported as new.
+        # wilson_trees_per_sec, the prefetch_speedup ratios) are diffed key
+        # by key; keys missing from the previous entry are reported as new.
+        # Values spanning rates (millions) and ratios (~1.0) share a general
+        # format so small metrics don't round away.
         prev_metrics = prev.get("metrics", {})
+        fmt = lambda v: f"{v:.0f}" if abs(v) >= 1000 else f"{v:g}"
         for key, curr_value in curr.get("metrics", {}).items():
             before = prev_metrics.get(key)
             if before is None:
-                print(f"metric {key:<32} (new) {curr_value:.0f}")
+                print(f"metric {key:<32} (new) {fmt(curr_value)}")
                 continue
             ratio = curr_value / before if before else float("inf")
-            print(f"metric {key:<32} {before:>12.0f} -> {curr_value:>12.0f} {ratio:>5.2f}x")
+            print(f"metric {key:<32} {fmt(before):>12} -> {fmt(curr_value):>12} {ratio:>5.2f}x")
             if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
                 print(
                     f"::warning::metric '{key}' in {path} regressed to "
