@@ -1,0 +1,436 @@
+//! Production-shaped HTTP serving benchmark: real sockets, zipf-skewed pair
+//! popularity, per-request latency quantiles, and a bursty-identical phase
+//! that exercises attach-to-running dedup.
+//!
+//! Two phases:
+//!
+//! 1. **Zipf workload** — a pool of distinct pairs with zipf(1.0) popularity
+//!    (hot pairs hit the cache/dedup/attach tiers, the cold tail exercises
+//!    GEER) is driven by 4 keep-alive HTTP clients against an
+//!    [`HttpServer`] at 1/2/4 workers. Every response's values are parsed
+//!    back and must be **bit-identical** to an in-process
+//!    `ResistanceService::submit` baseline — the wire adds zero drift. Each
+//!    request's wall-clock latency is recorded; p50/p99 land in the
+//!    trajectory (`http_w*_p50_ms` / `p99_ms` metrics, lower is better).
+//! 2. **Bursty-identical phase** — one walk-heavy request is submitted over
+//!    HTTP, and as soon as the (single) worker has it running, a burst of
+//!    identical HTTP submits follows. They attach to the running execution
+//!    (or are served from its just-published result); the phase repeats
+//!    with fresh hot pairs until `/metrics` reports `attached_running > 0`,
+//!    and all burst responses must carry identical bits.
+//!
+//! `BENCH_service.json` is the same append-only trajectory the
+//! `service_throughput` bench writes; entries are distinguished by the
+//! `"bench"` field and diffed by `scripts/bench_diff.py`.
+//!
+//! Run with `cargo run --release -p er-bench --bin http_service [--quick]
+//! [--seed N]`.
+
+use er_bench::args::BenchArgs;
+use er_bench::trajectory::{append_to_trajectory, git_sha};
+use er_core::ApproxConfig;
+use er_graph::{generators, Graph};
+use er_http::json::Json;
+use er_http::{HttpConfig, HttpServer};
+use er_service::{Query, Request, ResistanceServer, ResistanceService, ServerConfig, ServerStats};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// SplitMix64 — the workspace's deterministic bench-mixing PRNG.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A zipf(s = 1.0) popularity distribution over `pool` distinct pairs:
+/// request i asks for pair of rank drawn with weight 1/rank.
+fn build_requests(graph: &Graph, pool: usize, count: usize, seed: u64) -> Vec<Request> {
+    let n = graph.num_nodes();
+    let mut mix = Mix(seed | 1);
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(pool);
+    while pairs.len() < pool {
+        let s = (mix.next() as usize) % n;
+        let mut t = (mix.next() as usize) % n;
+        if t == s {
+            t = (t + 1) % n;
+        }
+        if !pairs.contains(&(s, t)) {
+            pairs.push((s, t));
+        }
+    }
+    // Inverse-CDF sampling over harmonic weights.
+    let weights: Vec<f64> = (1..=pool).map(|rank| 1.0 / rank as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..count)
+        .map(|_| {
+            let mut u = mix.uniform() * total;
+            let mut rank = 0usize;
+            while rank + 1 < pool && u > weights[rank] {
+                u -= weights[rank];
+                rank += 1;
+            }
+            let (s, t) = pairs[rank];
+            Request::new(Query::pair(s, t))
+        })
+        .collect()
+}
+
+fn fresh_service(graph: &Graph, seed: u64) -> ResistanceService {
+    // threads = 1: measure the serving plane, not per-request fan-out.
+    let config = ApproxConfig {
+        epsilon: 0.2,
+        seed,
+        threads: 1,
+        ..ApproxConfig::default()
+    };
+    ResistanceService::with_config(graph, config)
+        .expect("ergodic graph")
+        .with_planner_config(er_service::PlannerConfig::default().with_exact_node_threshold(256))
+}
+
+/// Minimal blocking HTTP/1.1 client: writes one request on a kept-alive
+/// stream and reads the response (status, body) using Content-Length.
+fn http_roundtrip(stream: &mut TcpStream, method: &str, target: &str, body: &str) -> (u16, String) {
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Head complete?
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+            let status: u16 = head
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .expect("status line");
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    l.to_ascii_lowercase()
+                        .strip_prefix("content-length:")
+                        .map(str::to_string)
+                })
+                .and_then(|v| v.trim().parse().ok())
+                .expect("Content-Length");
+            let body_start = head_end + 4;
+            while buf.len() < body_start + content_length {
+                let n = stream.read(&mut chunk).expect("read body");
+                assert!(n > 0, "connection closed mid-body");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+                .expect("UTF-8 body");
+            return (status, body);
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-head");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn query_body(request: &Request) -> String {
+    let Query::Pair { s, t } = request.query else {
+        panic!("zipf workload is pair-shaped");
+    };
+    format!("{{\"query\":{{\"type\":\"pair\",\"s\":{s},\"t\":{t}}}}}")
+}
+
+/// Parses the `values` array of a `/query` response back to bit patterns.
+fn value_bits(body: &str) -> Vec<u64> {
+    let doc = Json::parse(body).unwrap_or_else(|e| panic!("bad response JSON: {e}\n{body}"));
+    doc.get("values")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("response without values: {body}"))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric value").to_bits())
+        .collect()
+}
+
+struct HttpRun {
+    secs: f64,
+    latencies_ms: Vec<f64>,
+    bits: Vec<u64>,
+}
+
+/// Drives `requests` through `clients` keep-alive connections against a
+/// fresh server at `workers` workers; returns wall time, per-request
+/// latencies and per-request first-value bits in request order.
+fn run_http(graph: &Graph, requests: &[Request], seed: u64, workers: usize) -> HttpRun {
+    const CLIENTS: usize = 4;
+    let handle = ResistanceServer::spawn(
+        fresh_service(graph, seed),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    );
+    let server = HttpServer::bind(handle, HttpConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let mine: Vec<(usize, String)> = requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % CLIENTS == c)
+                .map(|(i, r)| (i, query_body(r)))
+                .collect();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut out = Vec::with_capacity(mine.len());
+                for (i, body) in mine {
+                    let sent = Instant::now();
+                    let (status, reply) = http_roundtrip(&mut stream, "POST", "/query", &body);
+                    let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(status, 200, "{reply}");
+                    out.push((i, latency_ms, value_bits(&reply)[0]));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut latencies_ms = vec![0.0; requests.len()];
+    let mut bits = vec![0u64; requests.len()];
+    for t in threads {
+        for (i, latency, bit) in t.join().expect("client thread") {
+            latencies_ms[i] = latency;
+            bits[i] = bit;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    HttpRun {
+        secs,
+        latencies_ms,
+        bits,
+    }
+}
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    let ix = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[ix]
+}
+
+/// The bursty-identical phase: returns the attach stats once a burst has
+/// demonstrably attached to a running execution.
+///
+/// The leader's request uses the TP backend (which spends its walk budget
+/// literally — no adaptive early stopping) so the execution is long enough
+/// to attach to; the burst connections are opened and their threads parked
+/// on a barrier *before* the leader submits, so once the leader is observed
+/// running, releasing the barrier is only a few socket writes away.
+fn run_bursty(graph: &Graph, seed: u64, quick: bool) -> (ServerStats, usize) {
+    use std::sync::{Arc, Barrier};
+    const BURST: usize = 4;
+    // TP spends ~13 ms per 2M walks on the quick graph; tens of millions
+    // give the (possibly single-CPU) scheduler a wide window in which the
+    // burst can land behind the running execution.
+    let walks = if quick { 8_000_000u64 } else { 20_000_000 };
+    let n = graph.num_nodes();
+    let mut mix = Mix(seed ^ 0xB0B5);
+    for round in 0..20 {
+        let s = (mix.next() as usize) % n;
+        let mut t = (mix.next() as usize) % n;
+        if t == s {
+            t = (t + 1) % n;
+        }
+        let body = format!(
+            "{{\"query\":{{\"type\":\"pair\",\"s\":{s},\"t\":{t}}},\
+             \"accuracy\":{{\"type\":\"walk_budget\",\"walks\":{walks}}},\
+             \"backend\":\"tp\"}}"
+        );
+        let handle = ResistanceServer::spawn(
+            fresh_service(graph, seed),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let probe = handle.clone();
+        let server = HttpServer::bind(handle, HttpConfig::default()).expect("bind");
+        let addr = server.local_addr();
+
+        // Arm the burst: connected and parked, one barrier wait from firing.
+        let barrier = Arc::new(Barrier::new(BURST + 1));
+        let burst: Vec<_> = (0..BURST)
+            .map(|_| {
+                let body = body.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    barrier.wait();
+                    http_roundtrip(&mut stream, "POST", "/query", &body)
+                })
+            })
+            .collect();
+
+        let leader_body = body.clone();
+        let leader = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            http_roundtrip(&mut stream, "POST", "/query", &leader_body)
+        });
+        // Wait until the worker has taken the leader's job (queued →
+        // running), then release the burst at it.
+        let running = loop {
+            let stats = probe.stats();
+            if stats.completed > 0 {
+                break false;
+            }
+            if stats.submitted >= 1 && probe.pending() == 0 {
+                break true;
+            }
+            std::thread::yield_now();
+        };
+        barrier.wait();
+        let (leader_status, leader_reply) = leader.join().expect("leader");
+        assert_eq!(leader_status, 200, "{leader_reply}");
+        let leader_bits = value_bits(&leader_reply);
+        for t in burst {
+            let (status, reply) = t.join().expect("burst client");
+            assert_eq!(status, 200, "{reply}");
+            assert_eq!(
+                value_bits(&reply),
+                leader_bits,
+                "burst responses must be bit-identical to the leader"
+            );
+        }
+        // Scrape the counters over the wire, like a real metrics pipeline.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let (status, metrics) = http_roundtrip(&mut stream, "GET", "/metrics?format=json", "");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&metrics).expect("metrics JSON");
+        let attached = doc
+            .get("attached_running")
+            .and_then(Json::as_u64)
+            .expect("attached_running counter");
+        let stats = server.handle().stats();
+        server.shutdown();
+        if attached > 0 && running {
+            return (stats, round + 1);
+        }
+        eprintln!(
+            "bursty round {round}: attached_running = {attached} (retrying with a fresh pair)"
+        );
+    }
+    panic!("bursty phase never attached to a running execution in 20 rounds");
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let (nodes, pool, count) = if args.quick {
+        (800usize, 24usize, 64usize)
+    } else {
+        (2_000, 60, 240)
+    };
+    eprintln!("generating social_network_like({nodes}) ...");
+    let graph = generators::social_network_like(nodes, 10.0, 9).expect("generator");
+    let requests = build_requests(&graph, pool, count, args.seed);
+    eprintln!(
+        "graph: n = {}, m = {}, distinct pairs = {pool}, requests = {}, quick = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        requests.len(),
+        args.quick
+    );
+
+    // In-process baseline: the bits every HTTP response must reproduce.
+    let service = fresh_service(&graph, args.seed);
+    let baseline: Vec<u64> = requests
+        .iter()
+        .map(|r| service.submit(r).expect("valid request").value().to_bits())
+        .collect();
+    drop(service);
+
+    let worker_counts = [1usize, 2, 4];
+    let mut bit_identical = true;
+    let mut workload_json = Vec::new();
+    let mut metrics = Vec::new();
+    println!(
+        "{:<12} {:>10} {:>16} {:>10} {:>10}",
+        "workload", "requests", "requests/sec", "p50 ms", "p99 ms"
+    );
+    for &workers in &worker_counts {
+        let run = run_http(&graph, &requests, args.seed, workers);
+        if run.bits != baseline {
+            bit_identical = false;
+            eprintln!("DETERMINISM FAILURE: HTTP bits differ from in-process at {workers} workers");
+        }
+        let mut sorted = run.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let (p50, p99) = (quantile(&sorted, 0.50), quantile(&sorted, 0.99));
+        let rps = requests.len() as f64 / run.secs;
+        println!(
+            "http_w{workers:<5} {:>10} {rps:>16.1} {p50:>10.3} {p99:>10.3}",
+            requests.len()
+        );
+        workload_json.push(format!(
+            "    {{\n      \"name\": \"http_w{workers}\",\n      \"requests\": {},\n      \
+             \"throughput\": {{\"requests_per_sec\": {rps:.1}}},\n      \
+             \"latency_ms\": {{\"p50\": {p50:.4}, \"p99\": {p99:.4}}}\n    }}",
+            requests.len()
+        ));
+        metrics.push(format!("\"http_w{workers}_p50_ms\": {p50:.4}"));
+        metrics.push(format!("\"http_w{workers}_p99_ms\": {p99:.4}"));
+    }
+    assert!(
+        bit_identical,
+        "HTTP responses must be bit-identical to in-process submits at every worker count"
+    );
+    println!("determinism: HTTP bits identical to in-process submit at 1/2/4 workers");
+
+    let (burst_stats, rounds) = run_bursty(&graph, args.seed, args.quick);
+    println!(
+        "bursty phase: attached_running = {} after {rounds} round(s)",
+        burst_stats.attached_running
+    );
+    metrics.push(format!(
+        "\"attached_running\": {}",
+        burst_stats.attached_running
+    ));
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let sha = git_sha();
+    let entry = format!(
+        "{{\n  \"bench\": \"http_service\",\n  \"git_sha\": \"{sha}\",\n  \
+         \"created_unix\": {created},\n  \
+         \"quick\": {},\n  \"seed\": {},\n  \
+         \"graph\": {{\"model\": \"social_network_like\", \"nodes\": {}, \"edges\": {}}},\n  \
+         \"workload\": {{\"shape\": \"zipf_pair_popularity\", \"zipf_s\": 1.0, \
+         \"distinct_pairs\": {pool}, \"requests\": {}}},\n  \
+         \"determinism\": {{\"workers_checked\": [1, 2, 4], \"bit_identical\": {bit_identical}, \
+         \"http_vs_in_process\": true}},\n  \
+         \"metrics\": {{{}}},\n  \
+         \"workloads\": [\n{}\n  ]\n}}",
+        args.quick,
+        args.seed,
+        graph.num_nodes(),
+        graph.num_edges(),
+        requests.len(),
+        metrics.join(", "),
+        workload_json.join(",\n")
+    );
+    // Shares BENCH_service.json with service_throughput; entries are keyed
+    // by (git SHA, "bench") so the two benches never replace each other.
+    let path = "BENCH_service.json";
+    let total = append_to_trajectory(path, &entry, &sha);
+    println!("appended entry {sha} to {path} ({total} entries in the trajectory)");
+}

@@ -70,9 +70,20 @@ pub fn split_entries(array_body: &str) -> Vec<String> {
     entries
 }
 
+/// The `"bench"` tag of an entry, if it carries one. Trajectory files may
+/// interleave entries from several bench binaries (`BENCH_service.json`
+/// holds both `service_throughput` and `http_service`); the tag scopes
+/// same-SHA replacement to the bench that wrote the entry.
+fn bench_tag(entry: &str) -> Option<&str> {
+    let rest = &entry[entry.find("\"bench\": \"")? + "\"bench\": \"".len()..];
+    rest.split('"').next()
+}
+
 /// Appends `entry` to the trajectory at `path`, replacing any existing entry
-/// for the same SHA and preserving all other history. Returns the number of
-/// entries now in the trajectory.
+/// for the same SHA **and** the same `"bench"` tag (so re-runs never
+/// duplicate, and benches sharing a file never clobber each other), while
+/// preserving all other history. Returns the number of entries now in the
+/// trajectory.
 pub fn append_to_trajectory(path: &str, entry: &str, sha: &str) -> usize {
     let mut entries = match std::fs::read_to_string(path) {
         Ok(existing) if existing.trim_start().starts_with('[') => split_entries(existing.trim()),
@@ -80,7 +91,8 @@ pub fn append_to_trajectory(path: &str, entry: &str, sha: &str) -> usize {
         _ => Vec::new(),
     };
     let sha_marker = format!("\"git_sha\": \"{sha}\"");
-    entries.retain(|e| !e.contains(&sha_marker));
+    let tag = bench_tag(entry);
+    entries.retain(|e| !(e.contains(&sha_marker) && bench_tag(e) == tag));
     entries.push(entry.trim().to_string());
     let joined = entries.join(",\n");
     std::fs::write(path, format!("[\n{joined}\n]\n")).expect("write bench trajectory");
@@ -123,6 +135,38 @@ mod tests {
             .map(|e| e.contains("aaa").to_string())
             .collect();
         assert_eq!(order, ["true", "false"], "history order preserved");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn same_sha_different_bench_tags_coexist() {
+        let dir = std::env::temp_dir().join(format!("er-trajectory-tag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let entry = |bench: &str, sha: &str, v: u32| {
+            format!("{{\n  \"bench\": \"{bench}\",\n  \"git_sha\": \"{sha}\",\n  \"v\": {v}\n}}")
+        };
+        assert_eq!(
+            append_to_trajectory(path, &entry("throughput", "aaa", 1), "aaa"),
+            1
+        );
+        // A different bench at the same SHA appends instead of replacing…
+        assert_eq!(
+            append_to_trajectory(path, &entry("http", "aaa", 2), "aaa"),
+            2
+        );
+        // …while a re-run of the same bench at the same SHA still replaces.
+        assert_eq!(
+            append_to_trajectory(path, &entry("http", "aaa", 3), "aaa"),
+            2
+        );
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"v\": 1"));
+        assert!(content.contains("\"v\": 3"));
+        assert!(!content.contains("\"v\": 2"));
         let _ = std::fs::remove_file(path);
     }
 

@@ -162,6 +162,37 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// `er serve`: runs the HTTP/1.1 front end over a [`er_service::ResistanceServer`]
+/// until the process is killed (or the listener fails to bind).
+///
+/// The listen address is announced on stdout as `listening on <addr>` so
+/// scripts (and the CI smoke step) can scrape the bound port when `--addr`
+/// asked for port 0.
+pub fn serve(graph: Graph, args: &ParsedArgs) -> Result<String, String> {
+    let config = approx_config(args)?;
+    let service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
+    let server_config = er_service::ServerConfig {
+        workers: args.flag("workers", 0usize)?,
+        queue_depth: args.flag("queue-depth", 1024usize)?,
+        ..er_service::ServerConfig::default()
+    };
+    let handle = er_service::ResistanceServer::spawn(service, server_config);
+    let http_config = er_http::HttpConfig {
+        addr: args.flag_str("addr", "127.0.0.1:7411"),
+        max_connections: args.flag("max-connections", 256usize)?,
+        read_timeout: std::time::Duration::from_millis(args.flag("read-timeout-ms", 10_000u64)?),
+        ..er_http::HttpConfig::default()
+    };
+    let server = er_http::HttpServer::bind(handle, http_config)
+        .map_err(|e| format!("failed to bind listener: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    // Stdout may be piped (the CI smoke step scrapes the port) — flush so
+    // the announcement isn't stuck in a block buffer while we park.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.join();
+    Ok("server stopped".to_string())
+}
+
 /// `er critical`: the top `--top K` most critical (highest-resistance) edges.
 pub fn critical(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = approx_config(args)?;
@@ -364,6 +395,9 @@ COMMANDS:
     critical                    rank edges by criticality (--top K)
     sparsify                    build and evaluate a spectral sparsifier (--scores exact|geer|trees)
     cluster                     resistance k-medoids clustering (--k K, --stability)
+    serve                       HTTP/1.1 front end over a ResistanceServer
+                                (--addr HOST:PORT, --workers N, --queue-depth N,
+                                --max-connections N, --read-timeout-ms N)
     help                        print this message
 
 COMMON FLAGS:

@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         "critical" => commands::critical(&graph, &parsed),
         "sparsify" => commands::sparsify(&graph, &parsed),
         "cluster" => commands::cluster(&graph, &parsed),
+        "serve" => commands::serve(graph, &parsed),
         other => Err(format!(
             "unknown command '{other}'\n\n{}",
             commands::usage()

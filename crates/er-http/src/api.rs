@@ -1,0 +1,506 @@
+//! Mapping between the wire (JSON over HTTP) and the in-process serving
+//! types: request bodies → [`Request`], [`Response`] → JSON,
+//! [`ServiceError`] → HTTP status, and [`ServerStats`] → `/metrics`
+//! expositions.
+//!
+//! Response values are emitted with shortest-round-trip float formatting
+//! ([`crate::json::number`]), which is what makes an HTTP answer
+//! bit-identical to the in-process one once the client parses it back.
+
+use crate::json::{self, Json};
+use er_core::CostBreakdown;
+use er_service::{Accuracy, BackendChoice, Query, Request, Response, ServerStats, ServiceError};
+
+/// Parses a `POST /query` JSON body into a [`Request`].
+///
+/// Body schema (see the crate docs for examples):
+///
+/// ```text
+/// {
+///   "query":    {"type": "pair", "s": 0, "t": 7}
+///             | {"type": "batch", "pairs": [[0,1],[2,3]]}
+///             | {"type": "single_source", "source": 0}
+///             | {"type": "diagonal"}
+///             | {"type": "edge_set", "edges": [[0,1]]}
+///             | {"type": "top_k", "source": 0, "k": 5},
+///   "accuracy": {"type": "epsilon", "eps": 0.1, "delta": 0.01}   // optional
+///             | {"type": "walk_budget", "walks": 10000}
+///             | {"type": "exact"},
+///   "backend":  "geer"                                            // optional
+/// }
+/// ```
+pub fn parse_query_body(body: &str) -> Result<Request, String> {
+    parse_query_body_with_defaults(body, None, None)
+}
+
+/// [`parse_query_body`] with per-connection session defaults: when the body
+/// omits `"accuracy"` or `"backend"`, the connection's header-set defaults
+/// (from `X-ER-Accuracy` / `X-ER-Backend`) apply instead of the global ones.
+pub fn parse_query_body_with_defaults(
+    body: &str,
+    default_accuracy: Option<Accuracy>,
+    default_backend: Option<BackendChoice>,
+) -> Result<Request, String> {
+    let doc = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let query_field = doc.get("query").ok_or("missing \"query\" field")?;
+    let query = parse_query(query_field)?;
+    let mut request = Request::new(query);
+    match doc.get("accuracy") {
+        Some(acc) => request = request.with_accuracy(parse_accuracy(acc)?),
+        None => {
+            if let Some(acc) = default_accuracy {
+                request = request.with_accuracy(acc);
+            }
+        }
+    }
+    match doc.get("backend") {
+        Some(backend) => {
+            let raw = backend.as_str().ok_or("\"backend\" must be a string")?;
+            let choice =
+                BackendChoice::parse(raw).ok_or_else(|| format!("unknown backend \"{raw}\""))?;
+            request = request.with_backend(choice);
+        }
+        None => {
+            if let Some(choice) = default_backend {
+                request = request.with_backend(choice);
+            }
+        }
+    }
+    Ok(request)
+}
+
+fn parse_query(v: &Json) -> Result<Query, String> {
+    let kind = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("query needs a string \"type\"")?;
+    match kind {
+        "pair" => Ok(Query::Pair {
+            s: field_node(v, "s")?,
+            t: field_node(v, "t")?,
+        }),
+        "batch" => Ok(Query::Batch {
+            pairs: field_pairs(v, "pairs")?,
+        }),
+        "single_source" => Ok(Query::SingleSource {
+            source: field_node(v, "source")?,
+        }),
+        "diagonal" => Ok(Query::Diagonal),
+        "edge_set" => Ok(Query::EdgeSet {
+            edges: field_pairs(v, "edges")?,
+        }),
+        "top_k" => Ok(Query::TopK {
+            source: field_node(v, "source")?,
+            k: field_node(v, "k")?,
+        }),
+        other => Err(format!("unknown query type \"{other}\"")),
+    }
+}
+
+fn field_node(v: &Json, name: &str) -> Result<usize, String> {
+    v.get(name)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("\"{name}\" must be a non-negative integer"))
+}
+
+fn field_pairs(v: &Json, name: &str) -> Result<Vec<(usize, usize)>, String> {
+    let items = v
+        .get(name)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("\"{name}\" must be an array of [s, t] pairs"))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2);
+            match pair {
+                Some(p) => match (p[0].as_usize(), p[1].as_usize()) {
+                    (Some(s), Some(t)) => Ok((s, t)),
+                    _ => Err(format!("\"{name}\" entries must hold two node ids")),
+                },
+                None => Err(format!("\"{name}\" entries must be [s, t] pairs")),
+            }
+        })
+        .collect()
+}
+
+/// Parses an `"accuracy"` object; also used for the `X-ER-Accuracy` session
+/// header's structured form (`exact`, `walks:N`, `epsilon:EPS[:DELTA]`) via
+/// [`parse_accuracy_spec`].
+fn parse_accuracy(v: &Json) -> Result<Accuracy, String> {
+    let kind = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("accuracy needs a string \"type\"")?;
+    match kind {
+        "epsilon" => {
+            let default = Accuracy::default();
+            let (default_eps, default_delta) = match default {
+                Accuracy::Epsilon { eps, delta } => (eps, delta),
+                _ => unreachable!("default accuracy is epsilon"),
+            };
+            let eps = match v.get("eps") {
+                Some(e) => e.as_f64().ok_or("\"eps\" must be a number")?,
+                None => default_eps,
+            };
+            let delta = match v.get("delta") {
+                Some(d) => d.as_f64().ok_or("\"delta\" must be a number")?,
+                None => default_delta,
+            };
+            if !(eps > 0.0 && eps.is_finite() && delta > 0.0 && delta < 1.0) {
+                return Err("epsilon accuracy needs eps > 0 and 0 < delta < 1".into());
+            }
+            Ok(Accuracy::Epsilon { eps, delta })
+        }
+        "walk_budget" => {
+            let walks = v
+                .get("walks")
+                .and_then(Json::as_u64)
+                .ok_or("\"walks\" must be a non-negative integer")?;
+            Ok(Accuracy::WalkBudget(walks))
+        }
+        "exact" => Ok(Accuracy::Exact),
+        other => Err(format!("unknown accuracy type \"{other}\"")),
+    }
+}
+
+/// Parses the compact accuracy spelling used by the `X-ER-Accuracy` session
+/// header: `exact`, `walks:N`, or `epsilon:EPS[:DELTA]`.
+pub fn parse_accuracy_spec(spec: &str) -> Result<Accuracy, String> {
+    let spec = spec.trim();
+    if spec.eq_ignore_ascii_case("exact") {
+        return Ok(Accuracy::Exact);
+    }
+    if let Some(n) = spec.strip_prefix("walks:") {
+        let walks = n
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("invalid walk budget \"{n}\""))?;
+        return Ok(Accuracy::WalkBudget(walks));
+    }
+    if let Some(rest) = spec.strip_prefix("epsilon:") {
+        let mut parts = rest.splitn(2, ':');
+        let eps = parts
+            .next()
+            .unwrap_or("")
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("invalid epsilon in \"{spec}\""))?;
+        let delta = match parts.next() {
+            Some(d) => d
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("invalid delta in \"{spec}\""))?,
+            None => 0.01,
+        };
+        if !(eps > 0.0 && eps.is_finite() && delta > 0.0 && delta < 1.0) {
+            return Err("epsilon accuracy needs eps > 0 and 0 < delta < 1".into());
+        }
+        return Ok(Accuracy::Epsilon { eps, delta });
+    }
+    Err(format!(
+        "unknown accuracy spec \"{spec}\" (expected exact | walks:N | epsilon:EPS[:DELTA])"
+    ))
+}
+
+fn cost_json(cost: &CostBreakdown) -> String {
+    format!(
+        "{{\"random_walks\":{},\"walk_steps\":{},\"matvec_ops\":{},\"solver_iterations\":{},\"spanning_trees\":{}}}",
+        cost.random_walks, cost.walk_steps, cost.matvec_ops, cost.solver_iterations, cost.spanning_trees
+    )
+}
+
+/// Renders a successful [`Response`] as the `POST /query` JSON body.
+///
+/// `values` uses shortest-round-trip float formatting, so
+/// `str::parse::<f64>()` on each element recovers the in-process bits
+/// exactly. `cost` is the whole (possibly shared) plan cost; the
+/// `shared_cost` / `owned_cost` split is what metrics pipelines should
+/// aggregate (shared counted once per coalesced group).
+pub fn render_response(response: &Response) -> String {
+    let values: Vec<String> = response.values.iter().map(|v| json::number(*v)).collect();
+    let nodes: Vec<String> = response.nodes.iter().map(|n| n.to_string()).collect();
+    format!(
+        "{{\"values\":[{}],\"nodes\":[{}],\"backend\":\"{}\",\"cost\":{},\"shared_cost\":{},\"owned_cost\":{},\"cache_hits\":{},\"backend_calls\":{},\"trivial_queries\":{}}}",
+        values.join(","),
+        nodes.join(","),
+        json::escape(response.backend),
+        cost_json(&response.cost),
+        cost_json(&response.shared_cost),
+        cost_json(&response.owned_cost()),
+        response.cache_hits,
+        response.backend_calls,
+        response.trivial_queries,
+    )
+}
+
+/// Renders an error JSON body: `{"error": <kind>, "message": <text>}`.
+pub fn render_error(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\",\"message\":\"{}\"}}",
+        json::escape(kind),
+        json::escape(message)
+    )
+}
+
+/// Maps a [`ServiceError`] to its HTTP status and a machine-readable kind.
+///
+/// * malformed / unanswerable requests → `400`
+/// * internal index failures → `500`
+/// * [`ServiceError::Overloaded`] and shutdown → `503` (back off, retry)
+/// * [`ServiceError::DeadlineExceeded`] → `504`
+pub fn error_status(err: &ServiceError) -> (u16, &'static str) {
+    match err {
+        ServiceError::Estimator(_) => (400, "estimator"),
+        ServiceError::UnsupportedShape { .. } => (400, "unsupported_shape"),
+        ServiceError::InvalidRequest { .. } => (400, "invalid_request"),
+        ServiceError::Index(_) => (500, "index"),
+        ServiceError::Overloaded { .. } => (503, "overloaded"),
+        ServiceError::ServerShutdown => (503, "shutting_down"),
+        ServiceError::DeadlineExceeded => (504, "deadline_exceeded"),
+    }
+}
+
+/// The counter list backing both `/metrics` expositions, in stable order.
+fn stat_fields(stats: &ServerStats) -> [(&'static str, u64, &'static str); 9] {
+    [
+        (
+            "submitted",
+            stats.submitted,
+            "Requests admitted into the queue (including dedup attachers)",
+        ),
+        (
+            "completed",
+            stats.completed,
+            "Tickets fulfilled, successfully or with an error",
+        ),
+        (
+            "executed_jobs",
+            stats.executed_jobs,
+            "Backend executions performed",
+        ),
+        (
+            "deduplicated",
+            stats.deduplicated,
+            "Submits attached to an identical queued request",
+        ),
+        (
+            "attached_running",
+            stats.attached_running,
+            "Submits attached to an identical running execution",
+        ),
+        (
+            "coalesced_batches",
+            stats.coalesced_batches,
+            "Coalesced executions merging two or more requests",
+        ),
+        (
+            "coalesced_requests",
+            stats.coalesced_requests,
+            "Requests answered through a coalesced execution",
+        ),
+        (
+            "rejected_overloaded",
+            stats.rejected_overloaded,
+            "Submits rejected by admission control",
+        ),
+        (
+            "expired",
+            stats.expired,
+            "Jobs whose deadline lapsed before pickup",
+        ),
+    ]
+}
+
+/// Renders a coherent [`ServerStats`] snapshot as the `/metrics` JSON body.
+pub fn render_stats_json(stats: &ServerStats) -> String {
+    let fields: Vec<String> = stat_fields(stats)
+        .iter()
+        .map(|(name, value, _)| format!("\"{name}\":{value}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders a coherent [`ServerStats`] snapshot in Prometheus text
+/// exposition format (one `er_server_<counter>` family per field).
+pub fn render_stats_prometheus(stats: &ServerStats) -> String {
+    let mut out = String::new();
+    for (name, value, help) in stat_fields(stats) {
+        out.push_str(&format!(
+            "# HELP er_server_{name} {help}\n# TYPE er_server_{name} counter\ner_server_{name} {value}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_query_shape() {
+        let pair = parse_query_body(r#"{"query":{"type":"pair","s":3,"t":9}}"#).unwrap();
+        assert_eq!(pair.query, Query::Pair { s: 3, t: 9 });
+        assert_eq!(pair.accuracy, Accuracy::default());
+        assert_eq!(pair.backend, None);
+
+        let batch =
+            parse_query_body(r#"{"query":{"type":"batch","pairs":[[0,1],[2,3]]}}"#).unwrap();
+        assert_eq!(
+            batch.query,
+            Query::Batch {
+                pairs: vec![(0, 1), (2, 3)]
+            }
+        );
+
+        let ss = parse_query_body(r#"{"query":{"type":"single_source","source":5}}"#).unwrap();
+        assert_eq!(ss.query, Query::SingleSource { source: 5 });
+
+        let diag = parse_query_body(r#"{"query":{"type":"diagonal"}}"#).unwrap();
+        assert_eq!(diag.query, Query::Diagonal);
+
+        let edges = parse_query_body(r#"{"query":{"type":"edge_set","edges":[[1,2]]}}"#).unwrap();
+        assert_eq!(
+            edges.query,
+            Query::EdgeSet {
+                edges: vec![(1, 2)]
+            }
+        );
+
+        let topk = parse_query_body(r#"{"query":{"type":"top_k","source":0,"k":4}}"#).unwrap();
+        assert_eq!(topk.query, Query::TopK { source: 0, k: 4 });
+    }
+
+    #[test]
+    fn parses_accuracy_and_backend() {
+        let r = parse_query_body(
+            r#"{"query":{"type":"pair","s":0,"t":1},
+                "accuracy":{"type":"epsilon","eps":0.2,"delta":0.05},
+                "backend":"geer"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.accuracy,
+            Accuracy::Epsilon {
+                eps: 0.2,
+                delta: 0.05
+            }
+        );
+        assert_eq!(r.backend, Some(BackendChoice::Geer));
+
+        let r = parse_query_body(
+            r#"{"query":{"type":"pair","s":0,"t":1},"accuracy":{"type":"walk_budget","walks":500}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.accuracy, Accuracy::WalkBudget(500));
+
+        let r = parse_query_body(
+            r#"{"query":{"type":"pair","s":0,"t":1},"accuracy":{"type":"exact"}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.accuracy, Accuracy::Exact);
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"query":{"type":"warp","s":0,"t":1}}"#,
+            r#"{"query":{"type":"pair","s":-1,"t":1}}"#,
+            r#"{"query":{"type":"pair","s":0.5,"t":1}}"#,
+            r#"{"query":{"type":"pair","s":0}}"#,
+            r#"{"query":{"type":"batch","pairs":[[0]]}}"#,
+            r#"{"query":{"type":"pair","s":0,"t":1},"backend":"quantum"}"#,
+            r#"{"query":{"type":"pair","s":0,"t":1},"accuracy":{"type":"epsilon","eps":-1}}"#,
+            r#"{"query":{"type":"pair","s":0,"t":1},"accuracy":{"type":"walk_budget"}}"#,
+        ] {
+            assert!(parse_query_body(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn accuracy_spec_header_forms() {
+        assert_eq!(parse_accuracy_spec("exact").unwrap(), Accuracy::Exact);
+        assert_eq!(
+            parse_accuracy_spec("walks:1000").unwrap(),
+            Accuracy::WalkBudget(1000)
+        );
+        assert_eq!(
+            parse_accuracy_spec("epsilon:0.2").unwrap(),
+            Accuracy::Epsilon {
+                eps: 0.2,
+                delta: 0.01
+            }
+        );
+        assert_eq!(
+            parse_accuracy_spec("epsilon:0.2:0.05").unwrap(),
+            Accuracy::Epsilon {
+                eps: 0.2,
+                delta: 0.05
+            }
+        );
+        assert!(parse_accuracy_spec("bogus").is_err());
+        assert!(parse_accuracy_spec("walks:-3").is_err());
+        assert!(parse_accuracy_spec("epsilon:0").is_err());
+    }
+
+    #[test]
+    fn error_statuses_match_the_contract() {
+        assert_eq!(
+            error_status(&ServiceError::Overloaded { queue_depth: 4 }).0,
+            503
+        );
+        assert_eq!(error_status(&ServiceError::DeadlineExceeded).0, 504);
+        assert_eq!(error_status(&ServiceError::ServerShutdown).0, 503);
+        assert_eq!(
+            error_status(&ServiceError::InvalidRequest {
+                message: "x".into()
+            })
+            .0,
+            400
+        );
+    }
+
+    #[test]
+    fn response_rendering_round_trips_value_bits() {
+        let response = Response {
+            values: vec![1.0 / 3.0, 0.1 + 0.2],
+            nodes: vec![4, 7],
+            backend: "GEER",
+            cost: CostBreakdown::default(),
+            shared_cost: CostBreakdown::default(),
+            item_costs: Vec::new(),
+            cache_hits: 1,
+            backend_calls: 2,
+            trivial_queries: 0,
+        };
+        let body = render_response(&response);
+        let doc = Json::parse(&body).unwrap();
+        let values = doc.get("values").and_then(Json::as_array).unwrap();
+        for (got, want) in values.iter().zip(&response.values) {
+            assert_eq!(got.as_f64().unwrap().to_bits(), want.to_bits());
+        }
+        assert_eq!(doc.get("backend").and_then(Json::as_str), Some("GEER"));
+        assert_eq!(doc.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert!(doc.get("shared_cost").is_some());
+        assert!(doc.get("owned_cost").is_some());
+    }
+
+    #[test]
+    fn stats_expositions_cover_every_counter() {
+        let stats = ServerStats {
+            submitted: 10,
+            completed: 9,
+            attached_running: 2,
+            ..ServerStats::default()
+        };
+        let json_body = render_stats_json(&stats);
+        let doc = Json::parse(&json_body).unwrap();
+        assert_eq!(doc.get("submitted").and_then(Json::as_u64), Some(10));
+        assert_eq!(doc.get("attached_running").and_then(Json::as_u64), Some(2));
+        let prom = render_stats_prometheus(&stats);
+        assert!(prom.contains("# TYPE er_server_submitted counter"));
+        assert!(prom.contains("er_server_attached_running 2"));
+        assert!(prom.contains("er_server_completed 9"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Incremental HTTP/1.1 request parsing and response serialisation.
+//!
+//! The parser is *incremental*: it is fed the connection's receive buffer
+//! and either yields a complete request (reporting how many bytes it
+//! consumed, so pipelined requests queued behind it survive in the buffer),
+//! asks for more bytes, or rejects the input with the HTTP status the
+//! connection should answer before closing. Hard limits on the request
+//! line, header block and body keep a hostile peer from ballooning memory:
+//! an oversized line or header block is a `431`, an oversized body a `413`,
+//! anything malformed a `400`.
+
+use std::collections::HashMap;
+
+/// Parser limits; see [`crate::HttpConfig`] for the server-level knobs that
+/// feed these.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version), bytes.
+    pub max_request_line: usize,
+    /// Largest accepted head (request line + headers + blank line), bytes.
+    pub max_head_bytes: usize,
+    /// Most headers accepted on one request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length` body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_head_bytes: 32 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A fully parsed request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as received (path plus optional `?query`).
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header fields, names lowercased; repeated names keep the last value.
+    pub headers: HashMap<String, String>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Header lookup by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// The target's path with any `?query` suffix split off.
+    pub fn path_and_query(&self) -> (&str, Option<&str>) {
+        match self.target.split_once('?') {
+            Some((path, query)) => (path, Some(query)),
+            None => (self.target.as_str(), None),
+        }
+    }
+}
+
+/// One step of incremental parsing.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// The buffer holds a prefix of a valid request; read more bytes.
+    NeedMore,
+    /// A complete request; `consumed` bytes of the buffer belong to it
+    /// (drain exactly that many — pipelined successors follow).
+    Complete {
+        /// The parsed request.
+        request: Box<HttpRequest>,
+        /// Bytes of the input buffer this request occupied.
+        consumed: usize,
+    },
+    /// The input can never become a valid request (or violates a limit).
+    /// Answer with `status` and close the connection.
+    Invalid {
+        /// HTTP status to answer with (400, 413, 431, 501).
+        status: u16,
+        /// Human-readable reason, surfaced in the JSON error body.
+        message: String,
+    },
+}
+
+fn invalid(status: u16, message: impl Into<String>) -> ParseStep {
+    ParseStep::Invalid {
+        status,
+        message: message.into(),
+    }
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// ```
+/// use er_http::http1::{parse_request, Limits, ParseStep};
+///
+/// let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+/// match parse_request(raw, &Limits::default()) {
+///     ParseStep::Complete { request, consumed } => {
+///         assert_eq!(request.method, "GET");
+///         assert_eq!(request.target, "/healthz");
+///         assert_eq!(consumed, raw.len());
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// // A prefix of the same request just needs more bytes:
+/// assert!(matches!(
+///     parse_request(&raw[..10], &Limits::default()),
+///     ParseStep::NeedMore
+/// ));
+/// ```
+pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseStep {
+    // Robustness: tolerate blank lines before the request line (RFC 9112
+    // §2.2 says a server SHOULD ignore at least one leading CRLF).
+    let mut start = 0usize;
+    while buf[start..].starts_with(b"\r\n") {
+        start += 2;
+    }
+    let work = &buf[start..];
+
+    // Locate end of head: CRLFCRLF. Enforce head-size limits even before
+    // the terminator arrives so a peer cannot stream an unbounded head.
+    let head_end = match find_subslice(work, b"\r\n\r\n") {
+        Some(ix) => ix,
+        None => {
+            if work.len() > limits.max_head_bytes {
+                return invalid(431, "request head exceeds limit");
+            }
+            // The request line alone may already be over its limit.
+            if let Some(line_end) = find_subslice(work, b"\r\n") {
+                if line_end > limits.max_request_line {
+                    return invalid(431, "request line exceeds limit");
+                }
+            } else if work.len() > limits.max_request_line {
+                return invalid(431, "request line exceeds limit");
+            }
+            return ParseStep::NeedMore;
+        }
+    };
+    if head_end + 4 > limits.max_head_bytes {
+        return invalid(431, "request head exceeds limit");
+    }
+
+    let head = match std::str::from_utf8(&work[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return invalid(400, "request head is not valid UTF-8"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > limits.max_request_line {
+        return invalid(431, "request line exceeds limit");
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION, single spaces only.
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return invalid(400, "malformed request line"),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return invalid(400, "malformed method");
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return invalid(400, "unsupported HTTP version"),
+    };
+
+    let mut headers = HashMap::new();
+    let mut header_count = 0usize;
+    for line in lines {
+        header_count += 1;
+        if header_count > limits.max_headers {
+            return invalid(431, "too many headers");
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return invalid(400, "malformed header line");
+        };
+        // Obsolete line folding (leading whitespace) and whitespace before
+        // the colon are both rejected outright (RFC 9112 §5.2).
+        if name.is_empty()
+            || name != name.trim()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"-_!#$%&'*+.^`|~".contains(&b))
+        {
+            return invalid(400, "malformed header name");
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    // Body framing. Only Content-Length is implemented; chunked uploads
+    // get an honest 501 rather than a silent misread.
+    if let Some(te) = headers.get("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return invalid(501, "transfer-encoding is not supported");
+        }
+    }
+    let body_len = match headers.get("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            // usize::MAX could overflow total length math below; anything
+            // over the limit is rejected before we ever buffer it.
+            Ok(n) if n <= limits.max_body_bytes => n,
+            Ok(_) => return invalid(413, "body exceeds limit"),
+            Err(_) => return invalid(400, "malformed Content-Length"),
+        },
+    };
+
+    let body_start = head_end + 4;
+    let total = body_start + body_len;
+    if work.len() < total {
+        return ParseStep::NeedMore;
+    }
+    ParseStep::Complete {
+        request: Box::new(HttpRequest {
+            method: method.to_string(),
+            target: target.to_string(),
+            http11,
+            headers,
+            body: work[body_start..total].to_vec(),
+        }),
+        consumed: start + total,
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises a response with the given body and content type.
+/// `keep_alive` controls the `Connection` header (the server closes the
+/// socket after writing when it is `false`).
+pub fn write_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            reason_phrase(status),
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(raw: &[u8]) -> (HttpRequest, usize) {
+        match parse_request(raw, &Limits::default()) {
+            ParseStep::Complete { request, consumed } => (*request, consumed),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    fn status_of(raw: &[u8], limits: &Limits) -> u16 {
+        match parse_request(raw, limits) {
+            ParseStep::Invalid { status, .. } => status,
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_request_with_body_and_reports_consumed() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 4\r\nX-Er-Priority: high\r\n\r\nabcdGET /next";
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/query");
+        assert!(req.http11);
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("x-er-priority"), Some("high"));
+        assert_eq!(&raw[consumed..], b"GET /next", "pipelined tail preserved");
+    }
+
+    #[test]
+    fn incremental_prefixes_need_more() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+        for cut in [0, 3, 22, 40, raw.len()] {
+            assert!(
+                matches!(
+                    parse_request(&raw[..cut], &Limits::default()),
+                    ParseStep::NeedMore
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn keep_alive_semantics_by_version() {
+        let (req, _) = complete(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(req.keep_alive());
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive());
+        let (req, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive());
+        let (req, _) = complete(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_400() {
+        let limits = Limits::default();
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET  /x HTTP/1.1\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert_eq!(
+                status_of(raw, &limits),
+                400,
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let limits = Limits {
+            max_request_line: 64,
+            max_head_bytes: 256,
+            max_headers: 4,
+            max_body_bytes: 32,
+        };
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        assert_eq!(status_of(long_target.as_bytes(), &limits), 431);
+        // Oversized request line detected even before its CRLF arrives.
+        let partial_line = format!("GET /{}", "a".repeat(100));
+        assert_eq!(status_of(partial_line.as_bytes(), &limits), 431);
+        let many_headers = format!("GET / HTTP/1.1\r\n{}\r\n", "X-H: v\r\n".repeat(10));
+        assert_eq!(status_of(many_headers.as_bytes(), &limits), 431);
+        let big_head = format!("GET / HTTP/1.1\r\nX-H: {}\r\n\r\n", "v".repeat(400));
+        assert_eq!(status_of(big_head.as_bytes(), &limits), 431);
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        assert_eq!(status_of(big_body, &limits), 413);
+        let chunked = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(status_of(chunked, &limits), 501);
+    }
+
+    #[test]
+    fn skips_leading_crlf_and_splits_query_string() {
+        let raw = b"\r\n\r\nGET /metrics?format=json HTTP/1.1\r\n\r\n";
+        let (req, consumed) = complete(raw);
+        assert_eq!(consumed, raw.len());
+        let (path, query) = req.path_and_query();
+        assert_eq!(path, "/metrics");
+        assert_eq!(query, Some("format=json"));
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let bytes = write_response(200, "application/json", "{}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,69 @@
+//! A hand-rolled, std-only HTTP/1.1 front end over the effective-resistance
+//! serving plane.
+//!
+//! [`HttpServer`] binds a TCP listener over a
+//! [`ServerHandle`](er_service::ServerHandle) and serves three routes:
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /query` | JSON body → [`Request`](er_service::Request) → ticket wait → JSON response |
+//! | `GET /metrics` | Coherent [`ServerStats`](er_service::ServerStats) snapshot (Prometheus text, or JSON with `?format=json`) |
+//! | `GET /healthz` | Liveness plus worker/queue gauges |
+//!
+//! The protocol layer is written against the workspace's offline-shim
+//! policy: no crates.io, just `std::net`. It still behaves like a grown-up
+//! server — incremental parsing with keep-alive and pipelining, hard limits
+//! on request line / header block / body sizes (`431`/`431`/`413`), a
+//! bounded connection pool (`503` beyond it), read timeouts that turn
+//! slow-loris stalls into `408`, and scheduler back-pressure surfaced as
+//! `503` ([`ServiceError::Overloaded`](er_service::ServiceError)) and `504`
+//! ([`ServiceError::DeadlineExceeded`](er_service::ServiceError)).
+//!
+//! Per-connection session defaults ride on headers and persist across
+//! keep-alive requests: `X-ER-Priority` (`low`/`normal`/`high`),
+//! `X-ER-Deadline-Ms` (`<ms>` or `none`), `X-ER-Accuracy` (`exact`,
+//! `walks:N`, `epsilon:EPS[:DELTA]`, or `default`), and `X-ER-Backend`
+//! (a backend name or `auto`).
+//!
+//! Float values are emitted with shortest-round-trip formatting, so an HTTP
+//! response parsed back with `str::parse::<f64>()` is **bit-identical** to
+//! the in-process answer — the serving plane's determinism invariant
+//! survives the socket.
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use std::net::TcpStream;
+//!
+//! use er_http::{HttpConfig, HttpServer};
+//! use er_service::{ResistanceServer, ResistanceService, ServerConfig};
+//!
+//! let graph = er_graph::generators::complete(12).unwrap();
+//! let service = ResistanceService::new(graph).unwrap();
+//! let handle = ResistanceServer::spawn(service, ServerConfig::default());
+//! let server = HttpServer::bind(handle, HttpConfig::default()).unwrap();
+//!
+//! let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+//! let body = r#"{"query": {"type": "pair", "s": 0, "t": 11}, "accuracy": {"type": "exact"}}"#;
+//! write!(
+//!     conn,
+//!     "POST /query HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.contains("\"backend\":"));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http1;
+pub mod json;
+mod server;
+
+pub use server::{HttpConfig, HttpServer};

@@ -1,0 +1,432 @@
+//! The TCP acceptor, bounded connection pool, and per-connection protocol
+//! loop tying [`http1`](crate::http1) to a [`ServerHandle`].
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use er_service::{Accuracy, BackendChoice, Priority, ServerHandle, SubmitOptions};
+
+use crate::api;
+use crate::http1::{self, HttpRequest, Limits, ParseStep};
+
+/// Configuration for [`HttpServer::bind`].
+#[derive(Clone, Debug)]
+pub struct HttpConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port — read it back
+    /// with [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Bound on concurrently served connections; one beyond it is answered
+    /// `503` and closed immediately.
+    pub max_connections: usize,
+    /// Socket read timeout. A connection idle between requests for this
+    /// long is closed quietly; one that stalls *mid-request* (slow-loris
+    /// partial writes) is answered `408` and closed.
+    pub read_timeout: Duration,
+    /// Longest accepted request line, bytes (`431` beyond it).
+    pub max_request_line: usize,
+    /// Largest accepted head (request line + headers), bytes (`431`).
+    pub max_head_bytes: usize,
+    /// Most headers accepted on one request (`431`).
+    pub max_headers: usize,
+    /// Largest accepted request body, bytes (`413`).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        let limits = Limits::default();
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            read_timeout: Duration::from_secs(10),
+            max_request_line: limits.max_request_line,
+            max_head_bytes: limits.max_head_bytes,
+            max_headers: limits.max_headers,
+            max_body_bytes: limits.max_body_bytes,
+        }
+    }
+}
+
+impl HttpConfig {
+    fn limits(&self) -> Limits {
+        Limits {
+            max_request_line: self.max_request_line,
+            max_head_bytes: self.max_head_bytes,
+            max_headers: self.max_headers,
+            max_body_bytes: self.max_body_bytes,
+        }
+    }
+}
+
+struct HttpShared {
+    handle: ServerHandle,
+    limits: Limits,
+    read_timeout: Duration,
+    max_connections: usize,
+    active: AtomicUsize,
+    shutting_down: AtomicBool,
+    /// Live connection streams (clones), keyed by connection id, so
+    /// shutdown can unblock reads instead of waiting out their timeouts.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running HTTP front end over a [`ServerHandle`].
+///
+/// Dropping the server without calling [`shutdown`](HttpServer::shutdown)
+/// leaves the acceptor thread running for the life of the process; prefer
+/// an explicit shutdown (tests do) or [`join`](HttpServer::join) (the CLI
+/// does, serving until the process is killed).
+pub struct HttpServer {
+    shared: Arc<HttpShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl HttpServer {
+    /// Binds `config.addr` and starts accepting connections, serving
+    /// queries through `handle`.
+    pub fn bind(handle: ServerHandle, config: HttpConfig) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(HttpShared {
+            handle,
+            limits: config.limits(),
+            read_timeout: config.read_timeout,
+            max_connections: config.max_connections,
+            active: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let workers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("er-http-acceptor".into())
+                .spawn(move || acceptor_loop(listener, shared, workers))?
+        };
+        Ok(HttpServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound socket address (the actual port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying serving-plane handle (for stats, in-process submits).
+    pub fn handle(&self) -> &ServerHandle {
+        &self.shared.handle
+    }
+
+    /// Stops accepting, unblocks and joins every connection thread, then
+    /// joins the acceptor. The inner [`ServerHandle`] drops with the server
+    /// (draining the query workers if this was the last handle).
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with one throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock connection reads so their threads notice the flag now
+        // rather than at their next read timeout.
+        for (_, stream) in self.shared.conns.lock().expect("conn registry").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let threads = std::mem::take(&mut *self.workers.lock().expect("worker list"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the acceptor thread exits (it never does unless
+    /// [`shutdown`](HttpServer::shutdown) is called from another thread or
+    /// the process dies) — what `er-cli serve` parks on.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: Arc<HttpShared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Bounded pool: admission is an atomic increment; over the bound we
+        // answer 503 so clients see back-pressure instead of a hang.
+        if shared.active.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            let body = api::render_error("overloaded", "connection limit reached");
+            let _ = (&stream).write_all(&http1::write_response(
+                503,
+                "application/json",
+                &body,
+                false,
+            ));
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conn registry")
+                .insert(conn_id, clone);
+        }
+        let shared_conn = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("er-http-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &shared_conn);
+                shared_conn
+                    .conns
+                    .lock()
+                    .expect("conn registry")
+                    .remove(&conn_id);
+                shared_conn.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(t) => workers.lock().expect("worker list").push(t),
+            Err(_) => {
+                shared.conns.lock().expect("conn registry").remove(&conn_id);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Session defaults a connection accumulates from `X-ER-*` headers; they
+/// persist across keep-alive requests on the same connection.
+#[derive(Default)]
+struct ConnDefaults {
+    priority: Priority,
+    deadline: Option<Duration>,
+    accuracy: Option<Accuracy>,
+    backend: Option<BackendChoice>,
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &HttpShared) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut defaults = ConnDefaults::default();
+
+    loop {
+        // Drain every complete pipelined request already buffered before
+        // touching the socket again.
+        match http1::parse_request(&buf, &shared.limits) {
+            ParseStep::Complete { request, consumed } => {
+                buf.drain(..consumed);
+                let keep_alive =
+                    request.keep_alive() && !shared.shutting_down.load(Ordering::SeqCst);
+                let (status, content_type, body) = handle_request(&request, shared, &mut defaults);
+                let response = http1::write_response(status, &content_type, &body, keep_alive);
+                if stream.write_all(&response).is_err() || !keep_alive {
+                    break;
+                }
+                continue;
+            }
+            ParseStep::Invalid { status, message } => {
+                let body = api::render_error("bad_request", &message);
+                let _ = stream.write_all(&http1::write_response(
+                    status,
+                    "application/json",
+                    &body,
+                    false,
+                ));
+                break;
+            }
+            ParseStep::NeedMore => {}
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if buf.is_empty() {
+                    // Idle keep-alive connection: close quietly.
+                    break;
+                }
+                // Mid-request stall (slow-loris): tell the peer and close.
+                let body = api::render_error("timeout", "timed out reading the request");
+                let _ = stream.write_all(&http1::write_response(
+                    408,
+                    "application/json",
+                    &body,
+                    false,
+                ));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Applies any `X-ER-*` session headers to the connection defaults.
+/// `X-ER-Priority: low|normal|high`; `X-ER-Deadline-Ms: <ms>|none`;
+/// `X-ER-Accuracy: exact|walks:N|epsilon:EPS[:DELTA]|default`;
+/// `X-ER-Backend: <name>|auto`.
+fn apply_session_headers(request: &HttpRequest, defaults: &mut ConnDefaults) -> Result<(), String> {
+    if let Some(p) = request.header("x-er-priority") {
+        defaults.priority = match p.to_ascii_lowercase().as_str() {
+            "low" => Priority::Low,
+            "normal" => Priority::Normal,
+            "high" => Priority::High,
+            other => return Err(format!("unknown priority \"{other}\"")),
+        };
+    }
+    if let Some(d) = request.header("x-er-deadline-ms") {
+        defaults.deadline = if d.eq_ignore_ascii_case("none") {
+            None
+        } else {
+            let ms = d
+                .parse::<u64>()
+                .map_err(|_| format!("invalid deadline \"{d}\""))?;
+            Some(Duration::from_millis(ms))
+        };
+    }
+    if let Some(a) = request.header("x-er-accuracy") {
+        defaults.accuracy = if a.eq_ignore_ascii_case("default") {
+            None
+        } else {
+            Some(api::parse_accuracy_spec(a)?)
+        };
+    }
+    if let Some(b) = request.header("x-er-backend") {
+        defaults.backend = if b.eq_ignore_ascii_case("auto") {
+            None
+        } else {
+            Some(BackendChoice::parse(b).ok_or_else(|| format!("unknown backend \"{b}\""))?)
+        };
+    }
+    Ok(())
+}
+
+fn handle_request(
+    request: &HttpRequest,
+    shared: &HttpShared,
+    defaults: &mut ConnDefaults,
+) -> (u16, String, String) {
+    if let Err(message) = apply_session_headers(request, defaults) {
+        return (
+            400,
+            "application/json".into(),
+            api::render_error("bad_session_header", &message),
+        );
+    }
+    let (path, query_string) = request.path_and_query();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"workers\":{},\"pending\":{}}}",
+                shared.handle.worker_count(),
+                shared.handle.pending()
+            );
+            (200, "application/json".into(), body)
+        }
+        ("GET", "/metrics") => {
+            let stats = shared.handle.stats();
+            let wants_json = query_string
+                .map(|q| q.split('&').any(|kv| kv == "format=json"))
+                .unwrap_or(false)
+                || request
+                    .header("accept")
+                    .is_some_and(|a| a.contains("application/json"));
+            if wants_json {
+                (
+                    200,
+                    "application/json".into(),
+                    api::render_stats_json(&stats),
+                )
+            } else {
+                (
+                    200,
+                    "text/plain; version=0.0.4".into(),
+                    api::render_stats_prometheus(&stats),
+                )
+            }
+        }
+        ("POST", "/query") => {
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(b) => b,
+                Err(_) => {
+                    return (
+                        400,
+                        "application/json".into(),
+                        api::render_error("bad_request", "body is not valid UTF-8"),
+                    )
+                }
+            };
+            let parsed =
+                api::parse_query_body_with_defaults(body, defaults.accuracy, defaults.backend);
+            let service_request = match parsed {
+                Ok(r) => r,
+                Err(message) => {
+                    return (
+                        400,
+                        "application/json".into(),
+                        api::render_error("bad_request", &message),
+                    )
+                }
+            };
+            let options = SubmitOptions {
+                priority: defaults.priority,
+                deadline: defaults.deadline,
+            };
+            let outcome = shared
+                .handle
+                .submit_with(service_request, options)
+                .and_then(|ticket| ticket.wait());
+            match outcome {
+                Ok(response) => (
+                    200,
+                    "application/json".into(),
+                    api::render_response(&response),
+                ),
+                Err(err) => {
+                    let (status, kind) = api::error_status(&err);
+                    (
+                        status,
+                        "application/json".into(),
+                        api::render_error(kind, &err.to_string()),
+                    )
+                }
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/query") => (
+            405,
+            "application/json".into(),
+            api::render_error("method_not_allowed", "wrong method for this route"),
+        ),
+        _ => (
+            404,
+            "application/json".into(),
+            api::render_error("not_found", "unknown route"),
+        ),
+    }
+}

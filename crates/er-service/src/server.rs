@@ -19,7 +19,11 @@
 //!   [`ServiceError::DeadlineExceeded`] without running.
 //! * **Dedup** — a submit identical to a *queued* request (same query,
 //!   accuracy, backend override) attaches to the existing job: one
-//!   computation fans out to every waiter's ticket. Deadline-free submits
+//!   computation fans out to every waiter's ticket. A submit identical to a
+//!   **running** job attaches to that execution too (counted by
+//!   [`ServerStats::attached_running`]); if the job finishes between lookup
+//!   and attach, the submit is served from its just-published result
+//!   instead, so the completion race costs nothing. Deadline-free submits
 //!   only — a request with a deadline always gets its own job, so nobody
 //!   inherits (or loses) an expiry they did not ask for.
 //! * **Coalescing** — when a worker picks a pair-shaped job it also drains
@@ -43,7 +47,7 @@ use crate::service::ResistanceService;
 use crate::session::{ResponseSlot, Session, SubmitOptions, Ticket};
 use er_walks::par::resolve_threads;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -93,6 +97,11 @@ impl Default for ServerConfig {
 
 /// Counters describing what the server has done so far (monotone; read with
 /// [`ServerHandle::stats`]).
+///
+/// A snapshot is **coherent**: every counter is read under one lock, and the
+/// scheduler groups causally-related increments into single critical
+/// sections, so a mid-scrape snapshot never reports impossibilities like
+/// `completed > submitted` or a coalesced batch without its execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests admitted into the queue (including deduplicated attachers).
@@ -105,6 +114,10 @@ pub struct ServerStats {
     /// Submits that attached to an identical queued request instead of
     /// enqueuing a new job.
     pub deduplicated: u64,
+    /// Submits that attached to an identical **running** execution (or, when
+    /// that execution finished between lookup and attach, were served from
+    /// its just-published result).
+    pub attached_running: u64,
     /// Coalesced executions (each merging ≥ 2 requests into one plan).
     pub coalesced_batches: u64,
     /// Requests answered through a coalesced execution.
@@ -115,16 +128,22 @@ pub struct ServerStats {
     pub expired: u64,
 }
 
+/// The live counters, behind one lock so readers get a coherent
+/// [`ServerStats`] snapshot (never `completed > submitted` mid-scrape) and
+/// writers batch causally-related increments into one critical section.
 #[derive(Default)]
-struct StatsInner {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    executed_jobs: AtomicU64,
-    deduplicated: AtomicU64,
-    coalesced_batches: AtomicU64,
-    coalesced_requests: AtomicU64,
-    rejected_overloaded: AtomicU64,
-    expired: AtomicU64,
+struct StatsCell {
+    inner: Mutex<ServerStats>,
+}
+
+impl StatsCell {
+    fn update(&self, apply: impl FnOnce(&mut ServerStats)) {
+        apply(&mut self.inner.lock().expect("stats poisoned"));
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        *self.inner.lock().expect("stats poisoned")
+    }
 }
 
 /// One admitted request: the work, its scheduling attributes and every
@@ -137,6 +156,67 @@ struct Job {
     /// The coalescing class this job was filed under at admission
     /// (pair-shaped jobs with coalescing enabled only).
     coalesce_key: Option<CoalesceKey>,
+    /// This job's attach-to-running entry, installed when a worker takes the
+    /// job (deadline-free jobs only, under the take lock) and published to
+    /// when the result is known.
+    running: Option<Arc<Mutex<RunningJob>>>,
+}
+
+/// A job a worker has taken off the queue and is executing right now.
+/// Registered (deadline-free jobs only) in [`SchedulerState::running`] under
+/// the same lock acquisition that removed the job from the queue, so there is
+/// no window in which an identical submit sees the request neither queued nor
+/// running.
+///
+/// Late identical submits push their slot into `late_waiters` while `outcome`
+/// is `None`; the worker publishes the result into `outcome` (draining
+/// `late_waiters`) *before* unregistering the entry, so a submitter that
+/// found the entry just as the job finished reads the published result
+/// instead of attaching to a drained list — the completion race always
+/// resolves to a served ticket.
+struct RunningJob {
+    /// The executing request, for the full equality check behind the
+    /// fingerprint (hash collisions must not attach).
+    request: Request,
+    /// `None` while executing; the published result afterwards.
+    outcome: Option<Result<Response, ServiceError>>,
+    /// Tickets attached after the job started running.
+    late_waiters: Vec<Arc<ResponseSlot>>,
+}
+
+/// What a submit found when it tried to attach to a running execution.
+enum AttachOutcome {
+    /// The execution is still in flight; the slot now waits on it.
+    Attached,
+    /// The execution finished between lookup and attach: its published
+    /// result serves the submit immediately.
+    ServedFromPublished(Result<Response, ServiceError>),
+}
+
+/// Tries to attach `slot` to a running execution of `request`. Must be called
+/// with the scheduler lock held (the registry lives inside it); locks each
+/// candidate entry only long enough to equality-check and either push the
+/// slot or copy the published outcome.
+fn try_attach_running(
+    running: &HashMap<u64, Vec<Arc<Mutex<RunningJob>>>>,
+    fingerprint: u64,
+    request: &Request,
+    slot: &Arc<ResponseSlot>,
+) -> Option<AttachOutcome> {
+    for entry in running.get(&fingerprint)? {
+        let mut run = entry.lock().expect("running job poisoned");
+        if run.request != *request {
+            continue;
+        }
+        return Some(match &run.outcome {
+            None => {
+                run.late_waiters.push(slot.clone());
+                AttachOutcome::Attached
+            }
+            Some(result) => AttachOutcome::ServedFromPublished(ResponseSlot::clone_result(result)),
+        });
+    }
+    None
 }
 
 /// The equivalence class under which pair-shaped jobs may be answered as one
@@ -214,6 +294,12 @@ struct SchedulerState {
     jobs: HashMap<u64, Job>,
     /// Dedup map: request fingerprint → queued job id.
     in_flight: HashMap<u64, u64>,
+    /// Attach-to-running registry: fingerprint → the deadline-free jobs
+    /// currently executing under it (a `Vec` because distinct requests can
+    /// collide on the fingerprint; entries are told apart by `Arc` identity).
+    /// Entries are inserted under the take lock and removed after their
+    /// result is published.
+    running: HashMap<u64, Vec<Arc<Mutex<RunningJob>>>>,
     /// Per-[`CoalesceKey`] ready-lists of queued job ids, FIFO. Peer
     /// selection pops from the picked job's list in O(1) per peer; ids whose
     /// job was already taken (as a primary, a peer, or expired) are dropped
@@ -230,7 +316,7 @@ struct ServerShared {
     config: ServerConfig,
     state: Mutex<SchedulerState>,
     work_ready: Condvar,
-    stats: StatsInner,
+    stats: StatsCell,
     handles: AtomicUsize,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -327,6 +413,7 @@ impl ResistanceServer {
                 queue: BinaryHeap::new(),
                 jobs: HashMap::new(),
                 in_flight: HashMap::new(),
+                running: HashMap::new(),
                 ready: HashMap::new(),
                 next_job: 0,
                 next_seq: 0,
@@ -334,7 +421,7 @@ impl ResistanceServer {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
-            stats: StatsInner::default(),
+            stats: StatsCell::default(),
             handles: AtomicUsize::new(1),
             workers: Mutex::new(Vec::new()),
         });
@@ -441,25 +528,46 @@ impl ServerHandle {
                     seq,
                     job: job_id,
                 });
-                self.shared
-                    .stats
-                    .submitted
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-                self.shared
-                    .stats
-                    .deduplicated
-                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.shared.stats.update(|s| {
+                    s.submitted += 1;
+                    s.deduplicated += 1;
+                });
                 drop(st);
                 self.shared.work_ready.notify_one();
                 return Ok(Ticket::new(slot));
             }
         }
+        // Attach-to-running: a submit identical to a job a worker is
+        // executing *right now* rides that execution instead of enqueuing a
+        // duplicate. Same deadline rule as queued dedup; additionally only
+        // deadline-free jobs register in the running map, so an attacher can
+        // never observe a `DeadlineExceeded` it did not ask for. If the job
+        // finished between lookup and attach, its just-published result
+        // serves the submit directly (see [`RunningJob`]).
+        if options.deadline.is_none() {
+            match try_attach_running(&st.running, fp, &request, &slot) {
+                Some(AttachOutcome::Attached) => {
+                    self.shared.stats.update(|s| {
+                        s.submitted += 1;
+                        s.attached_running += 1;
+                    });
+                    return Ok(Ticket::new(slot));
+                }
+                Some(AttachOutcome::ServedFromPublished(result)) => {
+                    self.shared.stats.update(|s| {
+                        s.submitted += 1;
+                        s.attached_running += 1;
+                        s.completed += 1;
+                    });
+                    slot.complete(result);
+                    return Ok(Ticket::new(slot));
+                }
+                None => {}
+            }
+        }
         // Admission control: bounded queue.
         if st.jobs.len() >= self.shared.config.queue_depth {
-            self.shared
-                .stats
-                .rejected_overloaded
-                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.shared.stats.update(|s| s.rejected_overloaded += 1);
             return Err(ServiceError::Overloaded {
                 queue_depth: self.shared.config.queue_depth,
             });
@@ -481,6 +589,7 @@ impl ServerHandle {
                 deadline,
                 waiters: vec![slot.clone()],
                 coalesce_key,
+                running: None,
             },
         );
         st.queue.push(QueueEntry {
@@ -489,10 +598,7 @@ impl ServerHandle {
             seq,
             job: job_id,
         });
-        self.shared
-            .stats
-            .submitted
-            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.shared.stats.update(|s| s.submitted += 1);
         drop(st);
         self.shared.work_ready.notify_one();
         Ok(Ticket::new(slot))
@@ -511,19 +617,11 @@ impl ServerHandle {
         &self.shared.service
     }
 
-    /// Snapshot of the server's counters.
+    /// Coherent snapshot of the server's counters: every field is read under
+    /// one lock, so the snapshot never exhibits mid-update impossibilities
+    /// (e.g. `completed > submitted`) — what a `/metrics` scrape relies on.
     pub fn stats(&self) -> ServerStats {
-        let s = &self.shared.stats;
-        ServerStats {
-            submitted: s.submitted.load(AtomicOrdering::Relaxed),
-            completed: s.completed.load(AtomicOrdering::Relaxed),
-            executed_jobs: s.executed_jobs.load(AtomicOrdering::Relaxed),
-            deduplicated: s.deduplicated.load(AtomicOrdering::Relaxed),
-            coalesced_batches: s.coalesced_batches.load(AtomicOrdering::Relaxed),
-            coalesced_requests: s.coalesced_requests.load(AtomicOrdering::Relaxed),
-            rejected_overloaded: s.rejected_overloaded.load(AtomicOrdering::Relaxed),
-            expired: s.expired.load(AtomicOrdering::Relaxed),
-        }
+        self.shared.stats.snapshot()
     }
 
     /// Number of jobs currently waiting in the queue.
@@ -561,15 +659,49 @@ impl ServerHandle {
     }
 }
 
-/// Completes every waiter of a job with copies of one result. The counter
-/// moves first so a caller woken by the last ticket observes it.
-fn complete_job(shared: &ServerShared, job: &Job, result: &Result<Response, ServiceError>) {
-    shared
-        .stats
-        .completed
-        .fetch_add(job.waiters.len() as u64, AtomicOrdering::Relaxed);
+/// Completes every waiter of a job with copies of one result. The counters
+/// move first (in one coherent update that also covers `extra`) so a caller
+/// woken by the last ticket observes them.
+fn complete_job(
+    shared: &ServerShared,
+    job: &Job,
+    result: &Result<Response, ServiceError>,
+    extra: impl FnOnce(&mut ServerStats),
+) {
+    shared.stats.update(|s| {
+        s.completed += job.waiters.len() as u64;
+        extra(s);
+    });
     for slot in &job.waiters {
         slot.complete(ResponseSlot::clone_result(result));
+    }
+}
+
+/// Publishes a finished job's result to its attach-to-running entry: the
+/// outcome is stored and the late waiters drained *before* the entry is
+/// unregistered, so a submitter that looked the entry up just as the job
+/// finished still reads the published result (the completion race of the
+/// dedup tier). No-op for jobs that never registered (deadline jobs).
+fn publish_running(shared: &ServerShared, job: &Job, result: &Result<Response, ServiceError>) {
+    let Some(entry) = &job.running else { return };
+    let late = {
+        let mut run = entry.lock().expect("running job poisoned");
+        run.outcome = Some(ResponseSlot::clone_result(result));
+        std::mem::take(&mut run.late_waiters)
+    };
+    if !late.is_empty() {
+        shared.stats.update(|s| s.completed += late.len() as u64);
+        for slot in &late {
+            slot.complete(ResponseSlot::clone_result(result));
+        }
+    }
+    // Unregister last: submits that already hold the Arc observe `outcome`.
+    let mut st = shared.state.lock().expect("scheduler state poisoned");
+    if let Some(list) = st.running.get_mut(&job.fingerprint) {
+        list.retain(|candidate| !Arc::ptr_eq(candidate, entry));
+        if list.is_empty() {
+            st.running.remove(&job.fingerprint);
+        }
     }
 }
 
@@ -632,6 +764,26 @@ fn worker_loop(shared: &ServerShared) {
                     state.ready.remove(&key);
                 }
             }
+            // Register every deadline-free job taken this round in the
+            // attach-to-running registry — under the SAME lock acquisition
+            // that removed it from the queue, so an identical submit never
+            // finds the request neither queued nor running. Deadline jobs
+            // stay out (nobody may attach to them) and are exactly the ones
+            // that can still expire below.
+            for job in &mut batch {
+                if job.deadline.is_none() {
+                    let entry = Arc::new(Mutex::new(RunningJob {
+                        request: job.request.clone(),
+                        outcome: None,
+                        late_waiters: Vec::new(),
+                    }));
+                    st.running
+                        .entry(job.fingerprint)
+                        .or_default()
+                        .push(entry.clone());
+                    job.running = Some(entry);
+                }
+            }
         }
 
         // Expire jobs whose start deadline has already lapsed.
@@ -640,8 +792,9 @@ fn worker_loop(shared: &ServerShared) {
             .into_iter()
             .partition(|job| job.deadline.is_none_or(|d| now <= d));
         for job in &expired {
-            shared.stats.expired.fetch_add(1, AtomicOrdering::Relaxed);
-            complete_job(shared, job, &Err(ServiceError::DeadlineExceeded));
+            complete_job(shared, job, &Err(ServiceError::DeadlineExceeded), |s| {
+                s.expired += 1
+            });
         }
 
         // Execute outside the lock: other workers keep popping meanwhile.
@@ -650,30 +803,22 @@ fn worker_loop(shared: &ServerShared) {
             1 => {
                 let job = &live[0];
                 let result = shared.service.submit(&job.request);
-                shared
-                    .stats
-                    .executed_jobs
-                    .fetch_add(1, AtomicOrdering::Relaxed);
-                complete_job(shared, job, &result);
+                complete_job(shared, job, &result, |s| s.executed_jobs += 1);
+                publish_running(shared, job, &result);
             }
             n => {
                 let requests: Vec<&Request> = live.iter().map(|job| &job.request).collect();
                 match shared.service.submit_coalesced(&requests) {
                     Ok(responses) => {
-                        shared
-                            .stats
-                            .executed_jobs
-                            .fetch_add(1, AtomicOrdering::Relaxed);
-                        shared
-                            .stats
-                            .coalesced_batches
-                            .fetch_add(1, AtomicOrdering::Relaxed);
-                        shared
-                            .stats
-                            .coalesced_requests
-                            .fetch_add(n as u64, AtomicOrdering::Relaxed);
+                        shared.stats.update(|s| {
+                            s.executed_jobs += 1;
+                            s.coalesced_batches += 1;
+                            s.coalesced_requests += n as u64;
+                        });
                         for (job, response) in live.iter().zip(responses) {
-                            complete_job(shared, job, &Ok(response));
+                            let result = Ok(response);
+                            complete_job(shared, job, &result, |_| {});
+                            publish_running(shared, job, &result);
                         }
                     }
                     Err(_) => {
@@ -682,11 +827,8 @@ fn worker_loop(shared: &ServerShared) {
                         // yields identical values and isolates the error.
                         for job in &live {
                             let result = shared.service.submit(&job.request);
-                            shared
-                                .stats
-                                .executed_jobs
-                                .fetch_add(1, AtomicOrdering::Relaxed);
-                            complete_job(shared, job, &result);
+                            complete_job(shared, job, &result, |s| s.executed_jobs += 1);
+                            publish_running(shared, job, &result);
                         }
                     }
                 }
@@ -761,6 +903,84 @@ mod tests {
             fingerprint(&base),
             fingerprint(&Request::new(Query::pair(0, 10)))
         );
+    }
+
+    /// Deterministic reproduction of the attach/completion race at the
+    /// registry level: a submit that found a running entry *after* the worker
+    /// published the result (but before the entry was unregistered) must be
+    /// served from the published outcome, never attach to a drained waiter
+    /// list.
+    #[test]
+    fn attach_after_publish_is_served_from_the_published_result() {
+        let request = Request::new(Query::pair(0, 9));
+        let fp = fingerprint(&request);
+        let entry = Arc::new(Mutex::new(RunningJob {
+            request: request.clone(),
+            outcome: None,
+            late_waiters: Vec::new(),
+        }));
+        let mut running: HashMap<u64, Vec<Arc<Mutex<RunningJob>>>> = HashMap::new();
+        running.insert(fp, vec![entry.clone()]);
+
+        // While the job runs, an identical submit attaches.
+        let early = ResponseSlot::new();
+        assert!(matches!(
+            try_attach_running(&running, fp, &request, &early),
+            Some(AttachOutcome::Attached)
+        ));
+        assert_eq!(entry.lock().unwrap().late_waiters.len(), 1);
+
+        // The worker publishes the outcome and drains the late waiters —
+        // exactly what `publish_running` does before unregistering.
+        {
+            let mut run = entry.lock().unwrap();
+            run.outcome = Some(Err(ServiceError::ServerShutdown));
+            for slot in std::mem::take(&mut run.late_waiters) {
+                slot.complete(Err(ServiceError::ServerShutdown));
+            }
+        }
+        assert!(matches!(
+            Ticket::new(early).wait(),
+            Err(ServiceError::ServerShutdown)
+        ));
+
+        // The race window: the entry is still registered, the result already
+        // published. A new identical submit is served from the outcome.
+        let late = ResponseSlot::new();
+        match try_attach_running(&running, fp, &request, &late) {
+            Some(AttachOutcome::ServedFromPublished(result)) => {
+                assert!(matches!(result, Err(ServiceError::ServerShutdown)));
+            }
+            other => panic!(
+                "expected ServedFromPublished, got {:?}",
+                other.map(|o| matches!(o, AttachOutcome::Attached))
+            ),
+        }
+        assert!(
+            entry.lock().unwrap().late_waiters.is_empty(),
+            "nothing may attach to a drained waiter list"
+        );
+    }
+
+    /// A fingerprint collision between *different* requests must never
+    /// attach: the registry confirms with a full equality check.
+    #[test]
+    fn attach_requires_full_request_equality_not_just_the_fingerprint() {
+        let running_request = Request::new(Query::pair(0, 9));
+        let fp = fingerprint(&running_request);
+        let entry = Arc::new(Mutex::new(RunningJob {
+            request: running_request,
+            outcome: None,
+            late_waiters: Vec::new(),
+        }));
+        let mut running: HashMap<u64, Vec<Arc<Mutex<RunningJob>>>> = HashMap::new();
+        running.insert(fp, vec![entry.clone()]);
+
+        // Same (colliding) fingerprint, different request: no attach.
+        let other = Request::new(Query::pair(0, 10));
+        let slot = ResponseSlot::new();
+        assert!(try_attach_running(&running, fp, &other, &slot).is_none());
+        assert!(entry.lock().unwrap().late_waiters.is_empty());
     }
 
     #[test]

@@ -3,15 +3,22 @@
 
 Trajectory files (BENCH_walk_kernel.json, BENCH_service.json) are JSON
 arrays with one entry per PR, keyed by git SHA; the bench binaries append to
-them. This script compares the last two entries per workload and prints the
-deltas. It never fails the build for perf (CI runners have noisy perf);
-regressions beyond the threshold are surfaced as GitHub warning annotations.
-A determinism failure in the newest entry is a hard error.
+them. One file may interleave entries from several bench binaries (the
+`"bench"` tag — BENCH_service.json holds both `service_throughput` and
+`http_service`), so entries are grouped by tag and the newest two entries
+*per bench* are compared. This script prints the deltas per workload. It
+never fails the build for perf (CI runners have noisy perf); regressions
+beyond the threshold are surfaced as GitHub warning annotations. A
+determinism failure in a newest entry is a hard error.
 
 Workload rate extraction is format-agnostic: walk-kernel workloads carry
 `kernel.walks_per_sec`, serving workloads carry
 `throughput.requests_per_sec`, batched-GEER workloads carry
 `throughput.pairs_per_sec`.
+
+Metric polarity: most metrics are higher-is-better rates; latency-quantile
+metrics (key ends in `_ms`, or contains `p50`/`p99`) are lower-is-better
+and warned about when they *grow* beyond the inverse threshold.
 """
 
 import json
@@ -33,6 +40,73 @@ def rate_of(workload):
     return None, "?"
 
 
+def lower_is_better(metric_key: str) -> bool:
+    """Latency-quantile metrics improve by shrinking."""
+    key = metric_key.lower()
+    return key.endswith("_ms") or "p50" in key or "p99" in key
+
+
+def diff_pair(path: str, prev, curr) -> None:
+    print(
+        f"{path}: diffing {curr.get('git_sha', '?')} (quick={curr.get('quick')}) "
+        f"against {prev.get('git_sha', '?')} (quick={prev.get('quick')})"
+    )
+    comparable = curr.get("quick") == prev.get("quick")
+    prev_workloads = {w["name"]: w for w in prev.get("workloads", [])}
+    print(f"{'workload':<20} {'prev rate':>14} {'curr rate':>14} {'ratio':>8}")
+    for workload in curr.get("workloads", []):
+        name = workload["name"]
+        before = prev_workloads.get(name)
+        if before is None:
+            print(f"{name:<20} {'(new)':>14}")
+            continue
+        prev_rate, unit = rate_of(before)
+        curr_rate, _ = rate_of(workload)
+        if prev_rate is None or curr_rate is None:
+            print(f"{name:<20} {'(no rate)':>14}")
+            continue
+        ratio = curr_rate / prev_rate if prev_rate else float("inf")
+        print(
+            f"{name:<20} {prev_rate:>12.0f} {unit:<4} {curr_rate:>10.0f} {unit:<4} "
+            f"{ratio:>5.2f}x"
+        )
+        if ratio < REGRESSION_THRESHOLD and comparable:
+            print(
+                f"::warning::workload '{name}' in {path} regressed to "
+                f"{ratio:.2f}x of the previous entry "
+                f"({prev_rate:.0f} -> {curr_rate:.0f} {unit})"
+            )
+    # Named headline metrics (e.g. mc_escape_walks_per_sec,
+    # wilson_trees_per_sec, http_w4_p99_ms) are diffed key by key; keys
+    # missing from the previous entry are reported as new. Values spanning
+    # rates (millions) and ratios (~1.0) share a general format so small
+    # metrics don't round away. Latency-quantile metrics are lower-is-better
+    # and warned about when they grow.
+    prev_metrics = prev.get("metrics", {})
+    fmt = lambda v: f"{v:.0f}" if abs(v) >= 1000 else f"{v:g}"
+    for key, curr_value in curr.get("metrics", {}).items():
+        before = prev_metrics.get(key)
+        if before is None:
+            print(f"metric {key:<32} (new) {fmt(curr_value)}")
+            continue
+        ratio = curr_value / before if before else float("inf")
+        print(f"metric {key:<32} {fmt(before):>12} -> {fmt(curr_value):>12} {ratio:>5.2f}x")
+        if not comparable:
+            continue
+        if lower_is_better(key):
+            if ratio > 1.0 / REGRESSION_THRESHOLD:
+                print(
+                    f"::warning::latency metric '{key}' in {path} grew to "
+                    f"{ratio:.2f}x of the previous entry "
+                    f"({fmt(before)} -> {fmt(curr_value)})"
+                )
+        elif ratio < REGRESSION_THRESHOLD:
+            print(
+                f"::warning::metric '{key}' in {path} regressed to "
+                f"{ratio:.2f}x of the previous entry"
+            )
+
+
 def main(path: str) -> int:
     with open(path) as f:
         entries = json.load(f)
@@ -40,63 +114,24 @@ def main(path: str) -> int:
         print(f"::warning::{path} is not a non-empty trajectory array")
         return 0
     status = 0
-    curr = entries[-1]
-    if len(entries) < 2:
-        sha = curr.get("git_sha", "?")
-        print(f"only one entry ({sha}) in {path}; nothing to diff yet")
-    else:
-        prev = entries[-2]
-        print(
-            f"{path}: diffing {curr.get('git_sha', '?')} (quick={curr.get('quick')}) "
-            f"against {prev.get('git_sha', '?')} (quick={prev.get('quick')})"
-        )
-        prev_workloads = {w["name"]: w for w in prev.get("workloads", [])}
-        print(f"{'workload':<20} {'prev rate':>14} {'curr rate':>14} {'ratio':>8}")
-        for workload in curr.get("workloads", []):
-            name = workload["name"]
-            before = prev_workloads.get(name)
-            if before is None:
-                print(f"{name:<20} {'(new)':>14}")
-                continue
-            prev_rate, unit = rate_of(before)
-            curr_rate, _ = rate_of(workload)
-            if prev_rate is None or curr_rate is None:
-                print(f"{name:<20} {'(no rate)':>14}")
-                continue
-            ratio = curr_rate / prev_rate if prev_rate else float("inf")
+    # Group by bench tag so files shared by several bench binaries diff each
+    # bench's own history.
+    groups = {}
+    for entry in entries:
+        groups.setdefault(entry.get("bench", "?"), []).append(entry)
+    for bench, group in groups.items():
+        curr = group[-1]
+        if len(group) < 2:
+            sha = curr.get("git_sha", "?")
+            print(f"only one '{bench}' entry ({sha}) in {path}; nothing to diff yet")
+        else:
+            diff_pair(path, group[-2], curr)
+        determinism = curr.get("determinism", {})
+        if not determinism.get("bit_identical", False):
             print(
-                f"{name:<20} {prev_rate:>12.0f} {unit:<4} {curr_rate:>10.0f} {unit:<4} "
-                f"{ratio:>5.2f}x"
+                f"::error::newest '{bench}' entry in {path} reports a determinism failure"
             )
-            if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
-                print(
-                    f"::warning::workload '{name}' in {path} regressed to "
-                    f"{ratio:.2f}x of the previous entry "
-                    f"({prev_rate:.0f} -> {curr_rate:.0f} {unit})"
-                )
-        # Named headline metrics (e.g. mc_escape_walks_per_sec,
-        # wilson_trees_per_sec, the prefetch_speedup ratios) are diffed key
-        # by key; keys missing from the previous entry are reported as new.
-        # Values spanning rates (millions) and ratios (~1.0) share a general
-        # format so small metrics don't round away.
-        prev_metrics = prev.get("metrics", {})
-        fmt = lambda v: f"{v:.0f}" if abs(v) >= 1000 else f"{v:g}"
-        for key, curr_value in curr.get("metrics", {}).items():
-            before = prev_metrics.get(key)
-            if before is None:
-                print(f"metric {key:<32} (new) {fmt(curr_value)}")
-                continue
-            ratio = curr_value / before if before else float("inf")
-            print(f"metric {key:<32} {fmt(before):>12} -> {fmt(curr_value):>12} {ratio:>5.2f}x")
-            if ratio < REGRESSION_THRESHOLD and curr.get("quick") == prev.get("quick"):
-                print(
-                    f"::warning::metric '{key}' in {path} regressed to "
-                    f"{ratio:.2f}x of the previous entry"
-                )
-    determinism = curr.get("determinism", {})
-    if not determinism.get("bit_identical", False):
-        print(f"::error::newest entry in {path} reports a determinism failure")
-        status = 1
+            status = 1
     return status
 
 

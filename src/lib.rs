@@ -18,6 +18,10 @@
 //!   every estimator, plus the concurrent serving front end
 //!   ([`ResistanceServer`] with admission control, request dedup,
 //!   cross-client coalescing and deadline-aware scheduling).
+//! * [`http`] (= `er-http`) — a std-only HTTP/1.1 front end
+//!   ([`HttpServer`]) serving `POST /query`, `GET /metrics` and
+//!   `GET /healthz` over a [`ServerHandle`], bit-identical to in-process
+//!   submits.
 //! * [`sparsify`] (= `er-sparsify`) — Spielman–Srivastava sparsification
 //!   driven by the estimators.
 //! * [`apps`] (= `er-apps`) — clustering, recommendation, robustness,
@@ -76,6 +80,12 @@ pub mod service {
     pub use er_service::*;
 }
 
+/// Cross-process serving: the std-only HTTP/1.1 front end over
+/// [`ServerHandle`] (re-export of the `er-http` crate).
+pub mod http {
+    pub use er_http::*;
+}
+
 /// Spectral sparsification by effective-resistance sampling (re-export of the
 /// `er-sparsify` crate).
 pub mod sparsify {
@@ -89,6 +99,7 @@ pub mod apps {
 }
 
 pub use er_core::*;
+pub use er_http::{HttpConfig, HttpServer};
 pub use er_service::{
     Accuracy, Backend, BackendChoice, DynamicResistanceService, Planner, PlannerConfig,
     PlannerState, Priority, Query, QueryShape, QueryShapeSet, Request, ResistanceServer,

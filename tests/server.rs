@@ -249,6 +249,77 @@ fn coalesced_batches_amortize_work_without_changing_values() {
 }
 
 #[test]
+fn late_identical_submits_attach_to_the_running_execution() {
+    let g = graph();
+    // TP spends its walk budget literally (no adaptive early stopping), so a
+    // large budget keeps the execution running long enough to attach to even
+    // on a single-CPU runner.
+    let request = Request::new(Query::pair(11, 273))
+        .with_accuracy(Accuracy::WalkBudget(8_000_000))
+        .with_backend(BackendChoice::Tp);
+    let solo = service(&g).submit(&request).unwrap();
+
+    // The attach window is timing-dependent: retry with a fresh server until
+    // a round observes the leader running before the followers land. In
+    // practice round 0 succeeds; the loop just keeps the test deterministic
+    // in outcome rather than in schedule.
+    for round in 0..20 {
+        let handle = ResistanceServer::spawn(
+            service(&g),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let leader = handle.submit(request.clone()).unwrap();
+        // queued → running: the single worker has taken the job once it has
+        // left the queue without completing.
+        let running = loop {
+            let stats = handle.stats();
+            if stats.completed > 0 {
+                break false;
+            }
+            if stats.submitted >= 1 && handle.pending() == 0 {
+                break true;
+            }
+            std::thread::yield_now();
+        };
+        let followers: Vec<_> = (0..3)
+            .map(|_| handle.submit(request.clone()).unwrap())
+            .collect();
+        let leader_bits = leader.wait().unwrap().value().to_bits();
+        assert_eq!(leader_bits, solo.value().to_bits());
+        for follower in followers {
+            let response = follower.wait().unwrap();
+            assert_eq!(
+                response.value().to_bits(),
+                leader_bits,
+                "attached ticket must carry the leader's exact bits"
+            );
+            assert_eq!(response.backend, "TP");
+        }
+        let stats = handle.stats();
+        handle.shutdown();
+        if running && stats.attached_running > 0 {
+            assert_eq!(stats.submitted, 4);
+            assert_eq!(stats.completed, 4, "every ticket completed");
+            assert_eq!(stats.executed_jobs, 1, "one execution served all four");
+            assert_eq!(
+                stats.attached_running + stats.deduplicated,
+                3,
+                "all three followers were absorbed without re-execution"
+            );
+            return;
+        }
+        eprintln!(
+            "attach round {round}: running={running} attached={}",
+            stats.attached_running
+        );
+    }
+    panic!("followers never attached to a running execution in 20 rounds");
+}
+
+#[test]
 fn sessions_carry_defaults_and_cross_class_cache_serves_epsilon_from_exact() {
     let g = graph();
     let handle = ResistanceServer::spawn(service(&g), ServerConfig::default());
