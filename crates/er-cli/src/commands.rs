@@ -48,6 +48,32 @@ pub fn accuracy_from(args: &ParsedArgs, config: &ApproxConfig) -> Result<Accurac
     })
 }
 
+/// Builds the serving plane for the common `--shards N` flag: the ordinary
+/// single service at `N <= 1`, the partitioned [`er_shard::ShardedService`]
+/// (same front-door interface, plus a router handle for stats) otherwise.
+fn service_from(
+    graph: &Graph,
+    config: ApproxConfig,
+    args: &ParsedArgs,
+) -> Result<
+    (
+        ResistanceService,
+        Option<std::sync::Arc<er_shard::ShardRouter>>,
+    ),
+    String,
+> {
+    let shards: usize = args.flag("shards", 1usize)?;
+    if shards <= 1 {
+        let service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
+        return Ok((service, None));
+    }
+    let shard_config = er_shard::ShardConfig::with_shards(shards).with_seed(config.seed);
+    let sharded =
+        er_shard::ShardedService::build(graph, shard_config, config).map_err(|e| e.to_string())?;
+    let router = sharded.router().clone();
+    Ok((sharded.into_service(), Some(router)))
+}
+
 /// The `--backend` override, if any.
 pub fn backend_from(args: &ParsedArgs) -> Result<Option<BackendChoice>, String> {
     match args.flags.get("backend") {
@@ -87,7 +113,7 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = approx_config(args)?;
     let accuracy = accuracy_from(args, &config)?;
     let backend = backend_from(args)?;
-    let service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
+    let (service, router) = service_from(graph, config, args)?;
 
     // Pairs come from positionals ("s t s t …") or --random N.
     let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -159,6 +185,18 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
         cost.spanning_trees,
         response.cache_hits
     );
+    if let Some(router) = router {
+        let stats = router.stats();
+        let _ = writeln!(
+            out,
+            "shards: {} | intra {} | cross {} | escalated {} | edge-cut {}",
+            router.num_shards(),
+            stats.intra,
+            stats.cross,
+            stats.escalated,
+            router.partition().edge_cut
+        );
+    }
     Ok(out)
 }
 
@@ -170,7 +208,14 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
 /// asked for port 0.
 pub fn serve(graph: Graph, args: &ParsedArgs) -> Result<String, String> {
     let config = approx_config(args)?;
-    let service = ResistanceService::with_config(graph, config).map_err(|e| e.to_string())?;
+    let (service, router) = service_from(&graph, config, args)?;
+    if let Some(router) = &router {
+        println!(
+            "sharded: {} shards, edge cut {}",
+            router.num_shards(),
+            router.partition().edge_cut
+        );
+    }
     let server_config = er_service::ServerConfig {
         workers: args.flag("workers", 0usize)?,
         queue_depth: args.flag("queue-depth", 1024usize)?,
@@ -408,6 +453,10 @@ COMMON FLAGS:
     --seed <n>                  RNG seed (default: the library default, 0x5eed)
     --threads <n>               worker threads for parallel sampling (default 0 = all
                                 cores; results are identical at any thread count)
+    --shards <n>                serve over an n-way graph partition (query/serve):
+                                intra-shard answers are bit-identical to unsharded,
+                                cross-shard answers come from sound boundary-landmark
+                                intervals with exact escalation
 "
     .to_string()
 }
@@ -447,6 +496,18 @@ mod tests {
         assert_eq!(out.lines().count(), 5);
         assert!(query(&g, &args("query 1")).is_err(), "odd number of ids");
         assert!(query(&g, &args("query")).is_err(), "no pairs at all");
+    }
+
+    #[test]
+    fn query_routes_through_shards() {
+        let g = graph();
+        let out = query(&g, &args("query 0 120 5 17 --shards 2 --epsilon 0.2")).unwrap();
+        assert!(out.contains("backend: SHARD"), "{out}");
+        assert!(out.contains("shards: 2"), "{out}");
+        assert!(out.contains("edge-cut"), "{out}");
+        // An explicit backend override bypasses the router even when sharded.
+        let forced = query(&g, &args("query 0 120 --shards 2 --backend geer")).unwrap();
+        assert!(forced.contains("backend: GEER"), "{forced}");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   bipartiteness tests (the paper assumes a connected, non-bipartite graph).
 //! * [`queries`] — random node-pair and random edge query-set generation
 //!   matching Section 5.1 of the paper.
+//! * [`partition`] — BFS-seeded label-propagation partitioning into
+//!   balanced, connected parts, the substrate of the sharded serving plane.
 //!
 //! The crate is dependency-light by design: only `rand` is used, and only for
 //! the generators and query sets.
@@ -29,6 +31,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod partition;
 pub mod queries;
 pub mod stats;
 pub mod transform;
@@ -36,5 +39,7 @@ pub mod transform;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{Graph, IntoGraphArc, NodeId};
+pub use partition::{Partition, PartitionConfig, PartitionStats, Partitioner};
 pub use queries::{EdgeQuerySet, NodePairQuerySet, QueryPair};
 pub use stats::GraphStats;
+pub use transform::SubgraphMap;

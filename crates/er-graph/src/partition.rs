@@ -1,0 +1,636 @@
+//! Graph partitioning for the sharded serving plane.
+//!
+//! A [`Partitioner`] cuts a connected graph into `k` balanced, connected
+//! parts using BFS-seeded label propagation: seeds are spread by
+//! farthest-point BFS, parts grow by balanced multi-source BFS, and a few
+//! label-propagation sweeps then trade boundary nodes between parts whenever
+//! a move reduces the edge cut without violating the balance constraint.
+//! A final repair pass reassigns stray components so every part is connected
+//! — per-shard services require connected subgraphs.
+//!
+//! The output [`Partition`] carries the per-node assignment, the sorted
+//! boundary-node list (nodes with at least one neighbour in another part)
+//! and the edge cut; [`Partition::stats`] summarises balance and cut
+//! quality.
+
+use crate::analysis;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Tuning knobs of the [`Partitioner`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of parts to produce (clamped to the node count).
+    pub num_parts: usize,
+    /// Balance slack: no part may exceed `ceil((1 + slack) · n / k)` nodes
+    /// during label propagation. The connectivity repair pass may exceed the
+    /// cap — connectedness of every part trumps balance.
+    pub balance_slack: f64,
+    /// Label-propagation sweeps over all nodes.
+    pub sweeps: usize,
+    /// Seed for deterministic tie-breaking (currently ties break by node id;
+    /// the seed is kept in the config so future refinement passes stay
+    /// reproducible without an API change).
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            num_parts: 2,
+            balance_slack: 0.1,
+            sweeps: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A config for `num_parts` parts with default slack and sweeps.
+    pub fn with_parts(num_parts: usize) -> Self {
+        PartitionConfig {
+            num_parts,
+            ..PartitionConfig::default()
+        }
+    }
+}
+
+/// A `k`-way node partition of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Number of parts actually produced.
+    pub num_parts: usize,
+    /// `assignment[v]` is the part of node `v` (`0..num_parts`).
+    pub assignment: Vec<usize>,
+    /// All nodes with at least one neighbour in a different part, sorted
+    /// ascending.
+    pub boundary_nodes: Vec<NodeId>,
+    /// Number of edges whose endpoints lie in different parts.
+    pub edge_cut: usize,
+}
+
+/// Quality summary of a [`Partition`] (see [`Partition::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// Largest part size divided by the ideal `n / k`.
+    pub balance: f64,
+    /// `edge_cut / m`: the fraction of edges crossing parts.
+    pub cut_fraction: f64,
+    /// `boundary_nodes.len() / n`.
+    pub boundary_fraction: f64,
+    /// Whether every part induces a connected subgraph.
+    pub parts_connected: bool,
+}
+
+impl Partition {
+    /// Node count of each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &p in &self.assignment {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+
+    /// The nodes of part `p`, ascending — the canonical node order for
+    /// building the part's induced subgraph (pinned by the sharded-serving
+    /// bit-identity tests).
+    pub fn part_nodes(&self, p: usize) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q == p)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// The boundary nodes belonging to part `p`, ascending.
+    pub fn boundary_of(&self, p: usize) -> Vec<NodeId> {
+        self.boundary_nodes
+            .iter()
+            .copied()
+            .filter(|&v| self.assignment[v] == p)
+            .collect()
+    }
+
+    /// Quality summary against the graph the partition was computed on.
+    pub fn stats(&self, g: &Graph) -> PartitionStats {
+        let n = g.num_nodes().max(1);
+        let m = g.num_edges().max(1);
+        let ideal = n as f64 / self.num_parts as f64;
+        let largest = self.part_sizes().into_iter().max().unwrap_or(0);
+        let parts_connected = (0..self.num_parts).all(|p| {
+            let nodes = self.part_nodes(p);
+            !nodes.is_empty() && part_is_connected(g, &self.assignment, p, &nodes)
+        });
+        PartitionStats {
+            balance: largest as f64 / ideal,
+            cut_fraction: self.edge_cut as f64 / m as f64,
+            boundary_fraction: self.boundary_nodes.len() as f64 / n as f64,
+            parts_connected,
+        }
+    }
+}
+
+/// BFS within part `p` from `nodes[0]`, over edges internal to the part.
+fn part_is_connected(g: &Graph, assignment: &[usize], p: usize, nodes: &[NodeId]) -> bool {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    seen[nodes[0]] = true;
+    queue.push_back(nodes[0]);
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if assignment[v] == p && !seen[v] {
+                seen[v] = true;
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    reached == nodes.len()
+}
+
+/// BFS-seeded label-propagation partitioner.
+///
+/// ```
+/// use er_graph::generators;
+/// use er_graph::partition::{PartitionConfig, Partitioner};
+///
+/// let g = generators::social_network_like(400, 8.0, 7).unwrap();
+/// let partition = Partitioner::new(PartitionConfig::with_parts(4))
+///     .partition(&g)
+///     .unwrap();
+/// assert_eq!(partition.num_parts, 4);
+/// assert_eq!(partition.assignment.len(), g.num_nodes());
+/// let stats = partition.stats(&g);
+/// assert!(stats.parts_connected);
+/// assert!(stats.cut_fraction < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Partitioner {
+    config: PartitionConfig,
+}
+
+impl Partitioner {
+    /// A partitioner with the given configuration.
+    pub fn new(config: PartitionConfig) -> Partitioner {
+        Partitioner { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> PartitionConfig {
+        self.config
+    }
+
+    /// Partitions `g` into [`PartitionConfig::num_parts`] balanced,
+    /// connected parts.
+    ///
+    /// Requires a connected graph ([`GraphError::NotConnected`] otherwise) —
+    /// disconnected inputs have no meaningful boundary structure; extract the
+    /// largest component first. `num_parts` is clamped to the node count;
+    /// `num_parts <= 1` yields the trivial one-part partition.
+    pub fn partition(&self, g: &Graph) -> Result<Partition, GraphError> {
+        if g.num_nodes() == 0 {
+            return Err(GraphError::Empty);
+        }
+        if !analysis::is_connected(g) {
+            return Err(GraphError::NotConnected);
+        }
+        let n = g.num_nodes();
+        let k = self.config.num_parts.clamp(1, n);
+        if k == 1 {
+            return Ok(finalize(g, vec![0; n], 1));
+        }
+
+        let seeds = spread_seeds(g, k);
+        let mut assignment = grow_parts(g, &seeds);
+        let cap = part_cap(n, k, self.config.balance_slack);
+        label_propagation(g, &mut assignment, k, cap, self.config.sweeps);
+        repair_connectivity(g, &mut assignment, k);
+        rebalance(g, &mut assignment, k, cap);
+        Ok(finalize(g, assignment, k))
+    }
+}
+
+/// The balance cap: `ceil((1 + slack) · n / k)`, at least 1.
+fn part_cap(n: usize, k: usize, slack: f64) -> usize {
+    let ideal = n as f64 / k as f64;
+    ((1.0 + slack.max(0.0)) * ideal).ceil().max(1.0) as usize
+}
+
+/// Farthest-point BFS seed spreading: the first seed is the highest-degree
+/// node, each further seed the node maximising its BFS distance to all
+/// chosen seeds (ties break toward higher degree, then lower id).
+fn spread_seeds(g: &Graph, k: usize) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let first = (0..n)
+        .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+        .expect("non-empty graph");
+    let mut seeds = vec![first];
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    while seeds.len() < k {
+        // Multi-source BFS distance to the nearest chosen seed.
+        let newest = *seeds.last().expect("at least one seed");
+        dist[newest] = 0;
+        queue.push_back(newest);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if dist[v] > dist[u] + 1 {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let next = (0..n)
+            .filter(|v| !seeds.contains(v))
+            .max_by_key(|&v| (dist[v], g.degree(v), std::cmp::Reverse(v)))
+            .expect("k <= n leaves an unchosen node");
+        seeds.push(next);
+    }
+    seeds
+}
+
+/// Balanced multi-source BFS growth: parts claim one unvisited node per
+/// round-robin turn, so initial regions are connected and near-balanced.
+fn grow_parts(g: &Graph, seeds: &[NodeId]) -> Vec<usize> {
+    let n = g.num_nodes();
+    let k = seeds.len();
+    let mut assignment = vec![usize::MAX; n];
+    let mut queues: Vec<VecDeque<NodeId>> =
+        seeds.iter().map(|&s| VecDeque::from(vec![s])).collect();
+    for (p, &s) in seeds.iter().enumerate() {
+        assignment[s] = p;
+    }
+    let mut remaining = n - k;
+    while remaining > 0 {
+        let mut progressed = false;
+        for (p, queue) in queues.iter_mut().enumerate() {
+            // Pop until this part claims one new node (or exhausts its
+            // frontier for this round).
+            while let Some(u) = queue.pop_front() {
+                let mut claimed = false;
+                for &v in g.neighbors(u) {
+                    if assignment[v] == usize::MAX {
+                        if claimed {
+                            // Re-examine u later for its remaining
+                            // unvisited neighbours.
+                            queue.push_front(u);
+                        } else {
+                            assignment[v] = p;
+                            queue.push_back(v);
+                            remaining -= 1;
+                            progressed = true;
+                            claimed = true;
+                            continue;
+                        }
+                        break;
+                    }
+                }
+                if claimed {
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            // Connected input ⇒ unreachable, but guard against livelock:
+            // sweep leftovers onto an assigned neighbour (or part 0).
+            for v in 0..n {
+                if assignment[v] == usize::MAX {
+                    assignment[v] = g
+                        .neighbors(v)
+                        .iter()
+                        .map(|&u| assignment[u])
+                        .find(|&p| p != usize::MAX)
+                        .unwrap_or(0);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    assignment
+}
+
+/// Label-propagation sweeps: move a node to its majority neighbour label
+/// when that strictly reduces its cut edges, the target part has room and
+/// the source part keeps at least one node. Deterministic: fixed node order,
+/// ties break toward the lower part id.
+fn label_propagation(g: &Graph, assignment: &mut [usize], k: usize, cap: usize, sweeps: usize) {
+    let n = g.num_nodes();
+    let mut sizes = vec![0usize; k];
+    for &p in assignment.iter() {
+        sizes[p] += 1;
+    }
+    let mut label_count = vec![0usize; k];
+    for _ in 0..sweeps {
+        let mut moved = false;
+        for v in 0..n {
+            let current = assignment[v];
+            if sizes[current] <= 1 {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                label_count[assignment[u]] += 1;
+            }
+            let mut best = current;
+            for p in 0..k {
+                if p != current && sizes[p] < cap && label_count[p] > label_count[best] {
+                    best = p;
+                }
+            }
+            if best != current {
+                assignment[v] = best;
+                sizes[current] -= 1;
+                sizes[best] += 1;
+                moved = true;
+            }
+            // Neighbour assignments are untouched by v's move, so zeroing
+            // the same cells the count pass incremented clears the scratch.
+            for &u in g.neighbors(v) {
+                label_count[assignment[u]] = 0;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Reassigns every non-largest connected component of each part to an
+/// adjacent part, leaving all parts connected. Processing parts in order is
+/// sufficient: a component attaches to its new part by at least one edge,
+/// so parts already made connected stay connected.
+fn repair_connectivity(g: &Graph, assignment: &mut [usize], k: usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    for p in 0..k {
+        // Component labelling within part p.
+        for v in 0..n {
+            if assignment[v] == p {
+                comp[v] = usize::MAX;
+            }
+        }
+        let mut comps: Vec<Vec<NodeId>> = Vec::new();
+        for v in 0..n {
+            if assignment[v] != p || comp[v] != usize::MAX {
+                continue;
+            }
+            let id = comps.len();
+            let mut members = vec![v];
+            comp[v] = id;
+            let mut queue = VecDeque::from(vec![v]);
+            while let Some(u) = queue.pop_front() {
+                for &w in g.neighbors(u) {
+                    if assignment[w] == p && comp[w] == usize::MAX {
+                        comp[w] = id;
+                        members.push(w);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            comps.push(members);
+        }
+        if comps.len() <= 1 {
+            continue;
+        }
+        let largest = comps
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (c.len(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .expect("at least two components");
+        for (i, members) in comps.iter().enumerate() {
+            if i == largest {
+                continue;
+            }
+            // The adjacent part with the most edges from this component
+            // (connected input guarantees one exists).
+            let mut votes = vec![0usize; k];
+            for &v in members {
+                for &u in g.neighbors(v) {
+                    if assignment[u] != p {
+                        votes[assignment[u]] += 1;
+                    }
+                }
+            }
+            let target = (0..k)
+                .filter(|&q| q != p)
+                .max_by_key(|&q| (votes[q], std::cmp::Reverse(q)))
+                .expect("k >= 2");
+            for &v in members {
+                assignment[v] = target;
+            }
+        }
+    }
+}
+
+/// Shrinks parts the connectivity repair pushed over the balance cap: one
+/// boundary node at a time moves to an adjacent under-cap part, but only
+/// when its removal keeps the source part connected (a move can only attach
+/// to the target part through an edge, so targets stay connected for free).
+/// Every move reduces total overflow by one, so the pass terminates; if no
+/// connectivity-preserving move exists the overflow stands — connectedness
+/// trumps balance.
+fn rebalance(g: &Graph, assignment: &mut [usize], k: usize, cap: usize) {
+    let n = g.num_nodes();
+    let mut sizes = vec![0usize; k];
+    for &p in assignment.iter() {
+        sizes[p] += 1;
+    }
+    loop {
+        let mut moved = false;
+        for v in 0..n {
+            let p = assignment[v];
+            if sizes[p] <= cap || sizes[p] <= 1 {
+                continue;
+            }
+            // The adjacent under-cap part with the most edges to v.
+            let mut votes = vec![0usize; k];
+            for &u in g.neighbors(v) {
+                if assignment[u] != p {
+                    votes[assignment[u]] += 1;
+                }
+            }
+            let target = (0..k)
+                .filter(|&q| q != p && sizes[q] < cap && votes[q] > 0)
+                .max_by_key(|&q| (votes[q], std::cmp::Reverse(q)));
+            let Some(target) = target else {
+                continue;
+            };
+            // Only move if the source part stays connected without v.
+            assignment[v] = target;
+            let rest: Vec<NodeId> = (0..n).filter(|&u| assignment[u] == p).collect();
+            if part_is_connected(g, assignment, p, &rest) {
+                sizes[p] -= 1;
+                sizes[target] += 1;
+                moved = true;
+            } else {
+                assignment[v] = p;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Computes boundary nodes and the edge cut from a final assignment.
+fn finalize(g: &Graph, assignment: Vec<usize>, num_parts: usize) -> Partition {
+    let mut boundary_nodes = Vec::new();
+    let mut edge_cut = 0usize;
+    for v in g.nodes() {
+        let mut on_boundary = false;
+        for &u in g.neighbors(v) {
+            if assignment[u] != assignment[v] {
+                on_boundary = true;
+                if v < u {
+                    edge_cut += 1;
+                }
+            }
+        }
+        if on_boundary {
+            boundary_nodes.push(v);
+        }
+    }
+    Partition {
+        num_parts,
+        assignment,
+        boundary_nodes,
+        edge_cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Brute-force edge-cut recount, independent of the partitioner's own
+    /// bookkeeping.
+    fn brute_force_cut(g: &Graph, assignment: &[usize]) -> usize {
+        g.edges()
+            .filter(|&(u, v)| assignment[u] != assignment[v])
+            .count()
+    }
+
+    fn check_quality(g: &Graph, config: PartitionConfig) -> Partition {
+        let partition = Partitioner::new(config).partition(g).unwrap();
+        let n = g.num_nodes();
+        let k = partition.num_parts;
+        // Every node assigned exactly once, to a valid part.
+        assert_eq!(partition.assignment.len(), n);
+        assert!(partition.assignment.iter().all(|&p| p < k));
+        let sizes = partition.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), n);
+        assert!(sizes.iter().all(|&s| s > 0), "no empty parts: {sizes:?}");
+        // part_nodes covers the node set disjointly.
+        let mut covered = vec![false; n];
+        for p in 0..k {
+            for v in partition.part_nodes(p) {
+                assert!(!covered[v], "node {v} in two parts");
+                covered[v] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+        // Edge cut equals the brute-force recount.
+        assert_eq!(
+            partition.edge_cut,
+            brute_force_cut(g, &partition.assignment)
+        );
+        // Boundary nodes are exactly the nodes with a cross-part neighbour.
+        for v in g.nodes() {
+            let crosses = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| partition.assignment[u] != partition.assignment[v]);
+            assert_eq!(partition.boundary_nodes.contains(&v), crosses, "node {v}");
+        }
+        assert!(partition.boundary_nodes.windows(2).all(|w| w[0] < w[1]));
+        partition
+    }
+
+    #[test]
+    fn quality_on_barabasi_albert() {
+        let g = generators::barabasi_albert(300, 3, 11).unwrap();
+        for k in [2, 4] {
+            let config = PartitionConfig::with_parts(k);
+            let partition = check_quality(&g, config);
+            let stats = partition.stats(&g);
+            assert!(stats.parts_connected, "k={k}: parts must be connected");
+            // Balance within the configured slack (repair may exceed the
+            // cap, but on these graphs it does not).
+            let cap = part_cap(g.num_nodes(), k, config.balance_slack);
+            assert!(
+                partition.part_sizes().iter().all(|&s| s <= cap),
+                "k={k}: sizes {:?} exceed cap {cap}",
+                partition.part_sizes()
+            );
+            assert!(stats.cut_fraction < 1.0);
+        }
+    }
+
+    #[test]
+    fn quality_on_watts_strogatz() {
+        let g = generators::watts_strogatz(240, 6, 0.1, 5).unwrap();
+        let config = PartitionConfig {
+            num_parts: 3,
+            ..PartitionConfig::default()
+        };
+        let partition = check_quality(&g, config);
+        let stats = partition.stats(&g);
+        assert!(stats.parts_connected);
+        let cap = part_cap(g.num_nodes(), 3, config.balance_slack);
+        assert!(partition.part_sizes().iter().all(|&s| s <= cap));
+        // A ring-ish graph cut into 3 contiguous arcs should cut only a
+        // small fraction of edges.
+        assert!(
+            stats.cut_fraction < 0.5,
+            "cut fraction {} too large",
+            stats.cut_fraction
+        );
+    }
+
+    #[test]
+    fn single_part_and_clamping() {
+        let g = generators::complete(8).unwrap();
+        let one = Partitioner::new(PartitionConfig::with_parts(1))
+            .partition(&g)
+            .unwrap();
+        assert_eq!(one.num_parts, 1);
+        assert_eq!(one.edge_cut, 0);
+        assert!(one.boundary_nodes.is_empty());
+        assert!(one.stats(&g).parts_connected);
+        // More parts than nodes clamps to n.
+        let many = Partitioner::new(PartitionConfig::with_parts(99))
+            .partition(&g)
+            .unwrap();
+        assert_eq!(many.num_parts, 8);
+        assert!(many.part_sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let g = generators::social_network_like(260, 7.0, 9).unwrap();
+        let config = PartitionConfig::with_parts(4);
+        let a = Partitioner::new(config).partition(&g).unwrap();
+        let b = Partitioner::new(config).partition(&g).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disconnected_and_empty_inputs_are_rejected() {
+        let g = generators::star(4).unwrap();
+        // Two disjoint stars.
+        let mut b = crate::GraphBuilder::new(8);
+        for (u, v) in g.edges() {
+            b = b.add_edge(u, v).add_edge(u + 4, v + 4);
+        }
+        let disconnected = b.build().unwrap();
+        assert!(matches!(
+            Partitioner::new(PartitionConfig::with_parts(2)).partition(&disconnected),
+            Err(GraphError::NotConnected)
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Exact global resistances between shard boundary portals.
+//!
+//! Cross-shard bound stitching needs one global quantity: the exact
+//! effective resistance `r_G(a, b)` between portal `a` of one shard and
+//! portal `b` of another, measured on the *full* graph (shard-local
+//! resistances overestimate it). The [`BoundaryIndex`] pays one full-graph
+//! Laplacian solve per portal at build time and stores `√r_G(a, b)` for
+//! every portal pair, so query-time stitching is a table lookup.
+
+use er_graph::{Graph, NodeId, Partition};
+use er_index::solve_column;
+use er_walks::par;
+
+/// Per-shard portal sets plus the `√r_G(portal, portal)` distance table.
+pub struct BoundaryIndex {
+    /// `portals[p]` — global ids of shard `p`'s portals: its boundary nodes
+    /// ordered by degree (descending, ties by lower id), capped at the
+    /// configured maximum.
+    portals: Vec<Vec<NodeId>>,
+    /// Offset of shard `p`'s portals in the flattened distance table.
+    offsets: Vec<usize>,
+    /// `√r_G` between every pair of portals, row-major over the flattened
+    /// portal list.
+    sqrt_between: Vec<f64>,
+    /// Total portal count across all shards.
+    total: usize,
+}
+
+impl BoundaryIndex {
+    /// Selects portals for every shard of `partition` and solves their
+    /// exact global resistances on `graph` (one Laplacian solve per portal,
+    /// parallelised over `threads`).
+    pub fn build(
+        graph: &Graph,
+        partition: &Partition,
+        max_portals: usize,
+        threads: usize,
+    ) -> BoundaryIndex {
+        let max_portals = max_portals.max(1);
+        let mut portals: Vec<Vec<NodeId>> = Vec::with_capacity(partition.num_parts);
+        for p in 0..partition.num_parts {
+            let mut boundary = partition.boundary_of(p);
+            // Hub portals first: high-degree boundary nodes are the nodes
+            // cross-cut commodity actually flows through, so they anchor the
+            // tightest triangle bounds.
+            boundary.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+            boundary.truncate(max_portals);
+            portals.push(boundary);
+        }
+        let mut offsets = Vec::with_capacity(portals.len());
+        let mut total = 0;
+        for shard_portals in &portals {
+            offsets.push(total);
+            total += shard_portals.len();
+        }
+        let flat: Vec<NodeId> = portals.iter().flatten().copied().collect();
+        // One pseudo-inverse column per portal; r(a, b) then follows from the
+        // column identity r(a, b) = x_a[a] + x_b[b] − x_a[b] − x_b[a]
+        // without needing the full diagonal.
+        let columns = par::par_map_indexed(total as u64, 0, threads, |i, _rng| {
+            solve_column(graph, flat[i as usize])
+        });
+        let mut sqrt_between = vec![0.0; total * total];
+        for i in 0..total {
+            for j in (i + 1)..total {
+                let r = columns[i][flat[i]] + columns[j][flat[j]]
+                    - columns[i][flat[j]]
+                    - columns[j][flat[i]];
+                let d = r.max(0.0).sqrt();
+                sqrt_between[i * total + j] = d;
+                sqrt_between[j * total + i] = d;
+            }
+        }
+        BoundaryIndex {
+            portals,
+            offsets,
+            sqrt_between,
+            total,
+        }
+    }
+
+    /// Global ids of shard `p`'s portals, in table order.
+    pub fn portals_of(&self, p: usize) -> &[NodeId] {
+        &self.portals[p]
+    }
+
+    /// `√r_G` between portal `i` of shard `a` and portal `j` of shard `b`
+    /// (indices into [`portals_of`](Self::portals_of) order).
+    pub fn sqrt_between(&self, a: usize, i: usize, b: usize, j: usize) -> f64 {
+        debug_assert!(i < self.portals[a].len() && j < self.portals[b].len());
+        let row = self.offsets[a] + i;
+        let col = self.offsets[b] + j;
+        self.sqrt_between[row * self.total + col]
+    }
+
+    /// Total portal count across all shards.
+    pub fn num_portals(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::{generators, PartitionConfig, Partitioner};
+    use er_index::AllPairsResistance;
+
+    #[test]
+    fn portal_distances_match_all_pairs_ground_truth() {
+        let g = generators::watts_strogatz(60, 6, 0.1, 5).unwrap();
+        let partition = Partitioner::new(PartitionConfig::with_parts(2))
+            .partition(&g)
+            .unwrap();
+        let index = BoundaryIndex::build(&g, &partition, 4, 1);
+        assert!(index.num_portals() >= 2);
+        let truth = AllPairsResistance::compute(&g).unwrap();
+        for (i, &a) in index.portals_of(0).iter().enumerate() {
+            for (j, &b) in index.portals_of(1).iter().enumerate() {
+                let stored = index.sqrt_between(0, i, 1, j);
+                let exact = truth.get(a, b).sqrt();
+                assert!(
+                    (stored - exact).abs() < 1e-6,
+                    "√r({a},{b}): stored {stored}, exact {exact}"
+                );
+                // Symmetric lookup.
+                assert_eq!(stored, index.sqrt_between(1, j, 0, i));
+            }
+        }
+    }
+
+    #[test]
+    fn portal_cap_and_ordering() {
+        let g = generators::barabasi_albert(80, 3, 9).unwrap();
+        let partition = Partitioner::new(PartitionConfig::with_parts(2))
+            .partition(&g)
+            .unwrap();
+        let index = BoundaryIndex::build(&g, &partition, 3, 1);
+        for p in 0..2 {
+            let portals = index.portals_of(p);
+            assert!(!portals.is_empty() && portals.len() <= 3);
+            for w in portals.windows(2) {
+                assert!(
+                    g.degree(w[0]) > g.degree(w[1])
+                        || (g.degree(w[0]) == g.degree(w[1]) && w[0] < w[1]),
+                    "portals must be degree-desc, id-asc"
+                );
+            }
+            for &v in portals {
+                assert_eq!(partition.assignment[v], p);
+                assert!(partition.boundary_nodes.binary_search(&v).is_ok());
+            }
+        }
+    }
+}

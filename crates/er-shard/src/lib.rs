@@ -1,0 +1,51 @@
+//! Sharded serving plane for pairwise effective resistance.
+//!
+//! One `ResistanceService` per machine stops scaling when the graph (or the
+//! query rate) outgrows it. This crate splits the graph into `k` balanced,
+//! connected parts ([`er_graph::Partitioner`]) and serves each part with its
+//! own [`ResistanceService`](er_service::ResistanceService) over the induced
+//! subgraph. A [`ShardRouter`] sits in front:
+//!
+//! * **Intra-shard** pairs (both endpoints in one part) are forwarded to the
+//!   owning shard unchanged — answers are *bit-identical* to an unsharded
+//!   service over the same induced subgraph, because the per-shard services
+//!   run the same planner, the same estimator configuration and the same
+//!   content-derived RNG streams on the same local node ids.
+//! * **Cross-shard** pairs are answered from a sound interval stitched out
+//!   of boundary-landmark distances. Each shard pins its boundary *portals*
+//!   as landmarks of a shard-local index; the [`BoundaryIndex`] stores the
+//!   exact *global* resistance between every pair of portals. Because `√r`
+//!   is a metric and shard-local resistances only overestimate global ones
+//!   (Rayleigh monotonicity: deleting the rest of the graph can only raise
+//!   resistance), the triangle inequality composes the two soundly:
+//!
+//!   ```text
+//!   upper = min over portals a ∈ shard(s), b ∈ shard(t) of
+//!           (√r_A(s,a) + √r_G(a,b) + √r_B(b,t))²
+//!   lower = max over the same portals of
+//!           max(0, √r_G(a,b) − √r_A(s,a) − √r_B(b,t))²
+//!   ```
+//!
+//!   The router answers with the interval midpoint; when the interval is
+//!   wider than [`ShardConfig::width_threshold`] (or the request demands
+//!   [`Accuracy::Exact`](er_service::Accuracy)) it *escalates* to a global
+//!   exact CG solve instead.
+//!
+//! [`ShardedService`] bundles the partition, the per-shard services and the
+//! router behind the ordinary service front door: it is a full-graph
+//! `ResistanceService` with the router installed via
+//! `with_pair_router`, so the server, HTTP front end and CLI all work on a
+//! sharded topology unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod config;
+pub mod router;
+pub mod service;
+
+pub use boundary::BoundaryIndex;
+pub use config::ShardConfig;
+pub use router::{RouteKind, RoutedAnswer, RouterStats, ShardRouter};
+pub use service::ShardedService;

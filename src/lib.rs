@@ -18,6 +18,12 @@
 //!   every estimator, plus the concurrent serving front end
 //!   ([`ResistanceServer`] with admission control, request dedup,
 //!   cross-client coalescing and deadline-aware scheduling).
+//! * [`shard`] (= `er-shard`) — the **sharded serving plane**: graph
+//!   partitioning into balanced connected parts, one service per shard,
+//!   and a boundary-landmark [`ShardRouter`] that answers intra-shard pairs
+//!   bit-identically to an unsharded service and cross-shard pairs with
+//!   sound stitched intervals plus exact-solve escalation
+//!   ([`ShardedService`]).
 //! * [`http`] (= `er-http`) — a std-only HTTP/1.1 front end
 //!   ([`HttpServer`]) serving `POST /query`, `GET /metrics` and
 //!   `GET /healthz` over a [`ServerHandle`], bit-identical to in-process
@@ -80,6 +86,12 @@ pub mod service {
     pub use er_service::*;
 }
 
+/// Sharded serving: graph partitioning, per-shard services and the
+/// cross-shard boundary-landmark router (re-export of the `er-shard` crate).
+pub mod shard {
+    pub use er_shard::*;
+}
+
 /// Cross-process serving: the std-only HTTP/1.1 front end over
 /// [`ServerHandle`] (re-export of the `er-http` crate).
 pub mod http {
@@ -106,3 +118,4 @@ pub use er_service::{
     ResistanceService, Response, ServerConfig, ServerHandle, ServerStats, ServiceError, Session,
     SubmitOptions, Ticket,
 };
+pub use er_shard::{ShardConfig, ShardRouter, ShardedService};
