@@ -1,0 +1,465 @@
+//! Dynamic-serving benchmark: a zipf query mix interleaved with an edge
+//! stream, comparing **rebuild-per-burst** (refresh interval 1 — the
+//! pre-incremental behaviour) against **incremental** serving
+//! (Sherman–Morrison carried INDEX state, overlay snapshots, warm-started
+//! Lanczos, epoch swap) on a Barabási–Albert graph.
+//!
+//! Before any timing, the refresh contract is asserted on a small graph:
+//! after a full (interval-reaching) refresh, answers must be
+//! **bit-identical** to a service built cold on the equivalent static
+//! graph. Timing then replays the same mutation/query stream through both
+//! modes and records `mutations_per_sec`, `post_mutation_p50_ms` (latency
+//! of the first query after each burst — the one that pays the refresh)
+//! and `full_rebuilds` per mode.
+//!
+//! The incremental mode seeds resident INDEX state the way a warmed-up
+//! serving tier would hold it — a Hutchinson-estimated L⁺ diagonal plus a
+//! handful of CG-solved resident columns — and the stream mutates edges
+//! between resident sources, so rank-1 updates come from column
+//! differences instead of fresh solves.
+//!
+//! `BENCH_dynamic.json` (current directory — the repo root in CI) is an
+//! **append-only trajectory** keyed by git SHA; `scripts/bench_diff.py`
+//! diffs the newest two entries with the `_ms` metrics treated as
+//! lower-is-better.
+//!
+//! Run with `cargo run --release -p er-bench --bin dynamic_stream
+//! [--quick] [--seed N]`.
+
+use er_bench::args::BenchArgs;
+use er_bench::trajectory::{append_to_trajectory, git_sha};
+use er_core::ApproxConfig;
+use er_graph::transform::{add_edges, remove_edges};
+use er_graph::{generators, Graph};
+use er_linalg::LaplacianSolver;
+use er_service::{Accuracy, DynamicResistanceService, Query, Request};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One SplitMix64 step (the workspace's seeding primitive).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Zipf(1) rank sampler via inverse CDF, as in the other serving benches.
+struct ZipfNodes {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfNodes {
+    fn new(n: usize) -> ZipfNodes {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / (rank as f64 + 1.0);
+            cumulative.push(total);
+        }
+        ZipfNodes { cumulative }
+    }
+
+    fn draw(&self, state: &mut u64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty graph");
+        let u = (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// The replayed stream: bursts of edge mutations, each followed by queries.
+enum Step {
+    Insert(usize, usize),
+    Remove(usize, usize),
+    /// Marks the end of a burst: the next query pays the refresh.
+    Query(usize, usize),
+}
+
+/// Builds one deterministic mutation/query stream. Mutated edges connect
+/// *resident* sources (so the incremental mode updates from column
+/// differences); deletes replay earlier inserts, guaranteeing non-bridges.
+fn build_stream(
+    graph: &Graph,
+    resident: &[usize],
+    bursts: usize,
+    queries_per_burst: usize,
+    seed: u64,
+) -> Vec<Step> {
+    let n = graph.num_nodes();
+    let zipf = ZipfNodes::new(n);
+    let spread: Vec<usize> = (0..n).map(|rank| (rank * 31 + 17) % n).collect();
+    let mut state = seed | 1;
+    let mut stream = Vec::new();
+    let mut fresh: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut present: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..bursts {
+        // Two inserts between resident sources not currently connected.
+        for _ in 0..2 {
+            let pair = loop {
+                let u = resident[(splitmix(&mut state) as usize) % resident.len()];
+                let v = resident[(splitmix(&mut state) as usize) % resident.len()];
+                let key = (u.min(v), u.max(v));
+                if u != v && !graph.has_edge(u, v) && !present.contains(&key) {
+                    break key;
+                }
+            };
+            present.push(pair);
+            fresh.push_back(pair);
+            stream.push(Step::Insert(pair.0, pair.1));
+        }
+        // One delete of an edge inserted by an earlier burst (non-bridge:
+        // the base graph already connects its endpoints).
+        if fresh.len() > 2 {
+            let (u, v) = fresh.pop_front().expect("non-empty");
+            present.retain(|&p| p != (u, v));
+            stream.push(Step::Remove(u, v));
+        }
+        for _ in 0..queries_per_burst {
+            let s = spread[zipf.draw(&mut state)];
+            let t = spread[zipf.draw(&mut state)];
+            if s != t {
+                stream.push(Step::Query(s, t));
+            }
+        }
+    }
+    stream
+}
+
+/// Exact centred `L⁺ e_source` via CG on the static graph.
+fn exact_column(solver: &LaplacianSolver, n: usize, source: usize) -> Vec<f64> {
+    let mut b = vec![0.0; n];
+    b[source] = 1.0;
+    let (column, outcome) = solver.solve(&b);
+    assert!(outcome.converged, "resident-column solve must converge");
+    column
+}
+
+/// Hutchinson estimate of `diag(L⁺)` from `probes` Rademacher solves.
+fn hutchinson_diagonal(solver: &LaplacianSolver, n: usize, probes: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    let mut diag = vec![0.0; n];
+    for _ in 0..probes {
+        let z: Vec<f64> = (0..n)
+            .map(|_| {
+                if splitmix(&mut state) & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let (x, _) = solver.solve(&z);
+        for ((d, &zi), &xi) in diag.iter_mut().zip(&z).zip(&x) {
+            *d += zi * xi;
+        }
+    }
+    for d in &mut diag {
+        *d /= probes as f64;
+    }
+    diag
+}
+
+struct ModeResult {
+    name: &'static str,
+    mutations: u64,
+    queries: u64,
+    secs: f64,
+    post_mutation_ms: Vec<f64>,
+    full_rebuilds: u64,
+    snapshot_rebuilds: u64,
+    service_refreshes: u64,
+    sm_updates: u64,
+    cg_fallbacks: u64,
+}
+
+impl ModeResult {
+    fn mutations_per_sec(&self) -> f64 {
+        self.mutations as f64 / self.secs
+    }
+
+    fn post_mutation_p50_ms(&self) -> f64 {
+        let mut sorted = self.post_mutation_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[sorted.len() / 2]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"mutations\": {},\n      \
+             \"queries\": {},\n      \"mutations_per_sec\": {:.2},\n      \
+             \"post_mutation_p50_ms\": {:.3},\n      \"full_rebuilds\": {},\n      \
+             \"snapshot_rebuilds\": {},\n      \"service_refreshes\": {},\n      \
+             \"sm_updates\": {},\n      \"cg_fallbacks\": {}\n    }}",
+            self.name,
+            self.mutations,
+            self.queries,
+            self.mutations_per_sec(),
+            self.post_mutation_p50_ms(),
+            self.full_rebuilds,
+            self.snapshot_rebuilds,
+            self.service_refreshes,
+            self.sm_updates,
+            self.cg_fallbacks
+        )
+    }
+}
+
+/// Replays the stream through one serving mode and measures it.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    name: &'static str,
+    graph: &Graph,
+    approx: ApproxConfig,
+    accuracy: Accuracy,
+    stream: &[Step],
+    refresh_interval: u64,
+    resident: &[usize],
+    probes: usize,
+    seed: u64,
+) -> ModeResult {
+    let dynamic =
+        DynamicResistanceService::from_graph(graph, approx).with_refresh_interval(refresh_interval);
+    // Warm-up: install the first epoch outside the timed stream.
+    dynamic
+        .submit(&Request::new(Query::pair(0, 1)).with_accuracy(accuracy))
+        .expect("warm-up query");
+    if !resident.is_empty() {
+        // Seed the resident INDEX tier a warmed-up server would hold.
+        eprintln!(
+            "  [{name}] seeding {} resident columns + {probes}-probe diagonal ...",
+            resident.len()
+        );
+        let solver = LaplacianSolver::for_ground_truth(graph);
+        let n = graph.num_nodes();
+        let columns: Vec<(usize, Vec<f64>)> = resident
+            .iter()
+            .map(|&s| (s, exact_column(&solver, n, s)))
+            .collect();
+        let diagonal = hutchinson_diagonal(&solver, n, probes, seed ^ 0xd1a);
+        dynamic
+            .seed_index_state(diagonal, columns)
+            .expect("seeding resident state");
+    }
+    let baseline_rebuilds = dynamic.snapshot_full_rebuilds();
+    let mut mutations = 0u64;
+    let mut queries = 0u64;
+    let mut post_mutation_ms = Vec::new();
+    let mut pending_refresh = false;
+    let start = Instant::now();
+    for step in stream {
+        match *step {
+            Step::Insert(u, v) => {
+                assert!(
+                    dynamic.insert_edge(u, v).expect("insert"),
+                    "stream replays cleanly"
+                );
+                mutations += 1;
+                pending_refresh = true;
+            }
+            Step::Remove(u, v) => {
+                assert!(
+                    dynamic.remove_edge(u, v).expect("remove"),
+                    "stream replays cleanly"
+                );
+                mutations += 1;
+                pending_refresh = true;
+            }
+            Step::Query(s, t) => {
+                let begin = Instant::now();
+                dynamic
+                    .submit(&Request::new(Query::pair(s, t)).with_accuracy(accuracy))
+                    .expect("stream query");
+                if pending_refresh {
+                    post_mutation_ms.push(begin.elapsed().as_secs_f64() * 1e3);
+                    pending_refresh = false;
+                }
+                queries += 1;
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ModeResult {
+        name,
+        mutations,
+        queries,
+        secs,
+        post_mutation_ms,
+        full_rebuilds: dynamic.snapshot_full_rebuilds() - baseline_rebuilds,
+        snapshot_rebuilds: dynamic.snapshot_rebuilds(),
+        service_refreshes: dynamic.service_refreshes(),
+        sm_updates: dynamic.sm_updates(),
+        cg_fallbacks: dynamic.cg_fallbacks(),
+    }
+}
+
+/// Pre-timing contract gate: after an interval-reaching (full) refresh the
+/// dynamic service must answer bit-identically to a cold build on the
+/// equivalent static graph.
+fn assert_full_refresh_bit_identity(seed: u64) -> bool {
+    let g = generators::social_network_like(150, 8.0, seed ^ 0x5eed).expect("gate graph");
+    let config = ApproxConfig {
+        epsilon: 0.1,
+        ..ApproxConfig::default()
+    };
+    let dynamic = DynamicResistanceService::from_graph(&g, config).with_refresh_interval(4);
+    dynamic.resistance(0, 75).expect("gate query");
+    let inserts = [(0usize, 75usize), (10, 90), (20, 100)];
+    let removed = g.edges().nth(7).expect("edge");
+    for &(u, v) in &inserts {
+        dynamic.insert_edge(u, v).expect("gate insert");
+    }
+    dynamic
+        .remove_edge(removed.0, removed.1)
+        .expect("gate remove");
+    dynamic.refresh().expect("gate refresh");
+    let mutated = add_edges(&g, &inserts).expect("add");
+    let mutated = remove_edges(&mutated, &[removed]).expect("remove");
+    let cold = DynamicResistanceService::from_graph(&mutated, config);
+    [(0usize, 75usize), (5, 120), (33, 140)]
+        .iter()
+        .all(|&(s, t)| {
+            dynamic.resistance(s, t).expect("warm").to_bits()
+                == cold.resistance(s, t).expect("cold").to_bits()
+        })
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let (nodes, m_attach, bursts, resident_count, probes) = if args.quick {
+        (2_000usize, 4usize, 4usize, 8usize, 2usize)
+    } else {
+        (100_000, 4, 8, 16, 4)
+    };
+    let bit_identical = assert_full_refresh_bit_identity(args.seed);
+    eprintln!("verified: full refresh bit-identical to cold rebuild = {bit_identical}");
+
+    eprintln!("generating barabasi_albert({nodes}, {m_attach}) ...");
+    let graph = generators::barabasi_albert(nodes, m_attach, 9).expect("generator");
+    let n = graph.num_nodes();
+    // Resident sources, spread over the id space like the query mix.
+    let resident: Vec<usize> = (0..resident_count).map(|r| (r * 31 + 17) % n).collect();
+    let stream = build_stream(&graph, &resident, bursts, 2, args.seed);
+    let total_mutations = stream
+        .iter()
+        .filter(|s| !matches!(s, Step::Query(_, _)))
+        .count();
+    eprintln!(
+        "graph: n = {}, m = {}, stream = {} steps ({} mutations over {} bursts), quick = {}",
+        n,
+        graph.num_edges(),
+        stream.len(),
+        total_mutations,
+        bursts,
+        args.quick
+    );
+    let approx = ApproxConfig {
+        epsilon: 0.2,
+        seed: args.seed,
+        threads: args.threads,
+        ..ApproxConfig::default()
+    };
+    // A fixed walk budget keeps per-query work constant across modes, so
+    // the stream time differences isolate refresh + mutation cost.
+    let accuracy = Accuracy::WalkBudget(20_000);
+
+    // Baseline: every burst pays a full rebuild at its first query (the
+    // pre-incremental serving behaviour), no resident state to carry.
+    let rebuild = run_mode(
+        "rebuild_per_burst",
+        &graph,
+        approx,
+        accuracy,
+        &stream,
+        1,
+        &[],
+        0,
+        args.seed,
+    );
+    eprintln!(
+        "rebuild-per-burst: {:.2} mutations/sec, post-mutation p50 {:.1} ms, {} full rebuilds",
+        rebuild.mutations_per_sec(),
+        rebuild.post_mutation_p50_ms(),
+        rebuild.full_rebuilds
+    );
+    // Incremental: Sherman–Morrison carried state over resident columns,
+    // overlay snapshots and warm Lanczos; full rebuild only every 64th
+    // mutation.
+    let incremental = run_mode(
+        "incremental",
+        &graph,
+        approx,
+        accuracy,
+        &stream,
+        64,
+        &resident,
+        probes,
+        args.seed,
+    );
+    eprintln!(
+        "incremental:       {:.2} mutations/sec, post-mutation p50 {:.1} ms, {} full rebuilds",
+        incremental.mutations_per_sec(),
+        incremental.post_mutation_p50_ms(),
+        incremental.full_rebuilds
+    );
+    let speedup = incremental.mutations_per_sec() / rebuild.mutations_per_sec();
+    println!(
+        "{:<20} {:>16} {:>20} {:>14}",
+        "mode", "mutations/sec", "post-mutation p50", "full rebuilds"
+    );
+    for r in [&rebuild, &incremental] {
+        println!(
+            "{:<20} {:>16.2} {:>17.1} ms {:>14}",
+            r.name,
+            r.mutations_per_sec(),
+            r.post_mutation_p50_ms(),
+            r.full_rebuilds
+        );
+    }
+    println!("incremental vs rebuild-per-burst: {speedup:.1}x mutations/sec");
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let sha = git_sha();
+    let entry = format!(
+        "{{\n  \"bench\": \"dynamic_stream\",\n  \"git_sha\": \"{sha}\",\n  \
+         \"created_unix\": {created},\n  \
+         \"quick\": {},\n  \"seed\": {},\n  \
+         \"graph\": {{\"model\": \"barabasi_albert\", \"nodes\": {}, \"edges\": {}}},\n  \
+         \"workload\": {{\"bursts\": {}, \"mutations\": {}, \"resident_columns\": {}, \
+         \"walk_budget\": 20000, \"skew\": \"zipf1_spread\"}},\n  \
+         \"determinism\": {{\"checked\": \"full_refresh_vs_cold_rebuild\", \
+         \"bit_identical\": {bit_identical}}},\n  \
+         \"metrics\": {{\"dynamic_mutations_per_sec\": {:.2}, \
+         \"dynamic_rebuild_mutations_per_sec\": {:.2}, \
+         \"dynamic_speedup\": {:.2}, \
+         \"dynamic_post_mutation_p50_ms\": {:.3}, \
+         \"dynamic_rebuild_post_mutation_p50_ms\": {:.3}}},\n  \
+         \"workloads\": [\n{}\n  ]\n}}",
+        args.quick,
+        args.seed,
+        n,
+        graph.num_edges(),
+        bursts,
+        total_mutations,
+        resident.len(),
+        incremental.mutations_per_sec(),
+        rebuild.mutations_per_sec(),
+        speedup,
+        incremental.post_mutation_p50_ms(),
+        rebuild.post_mutation_p50_ms(),
+        [&rebuild, &incremental]
+            .iter()
+            .map(|r| r.json())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = "BENCH_dynamic.json";
+    let total = append_to_trajectory(path, &entry, &sha);
+    println!("appended entry {sha} to {path} ({total} entries in the trajectory)");
+}

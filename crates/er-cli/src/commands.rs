@@ -110,6 +110,9 @@ pub fn stats(graph: &Graph, _args: &ParsedArgs) -> Result<String, String> {
 /// with `--walk-budget N`), and the report names the backend used and
 /// itemises its cost. `--check` cross-checks against the exact solver.
 pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
+    if let Some(path) = args.flags.get("stream") {
+        return query_stream(graph, args, path);
+    }
     let config = approx_config(args)?;
     let accuracy = accuracy_from(args, &config)?;
     let backend = backend_from(args)?;
@@ -197,6 +200,90 @@ pub fn query(graph: &Graph, args: &ParsedArgs) -> Result<String, String> {
             router.partition().edge_cut
         );
     }
+    Ok(out)
+}
+
+/// `er query --stream <file>`: replays an edge-mutation/query trace through
+/// the incremental [`er_service::DynamicResistanceService`].
+///
+/// Trace format, one op per line (`#` comments and blank lines skipped):
+///
+/// ```text
+/// + u v    insert the undirected edge {u, v}
+/// - u v    remove it
+/// ? s t    query r(s, t) on the current graph
+/// ```
+///
+/// Mutations between queries ride the Sherman–Morrison/overlay path (full
+/// cold rebuild only every `--refresh-interval K` mutations, default 64);
+/// the closing report splits the work into incremental vs full refreshes so
+/// the savings over rebuild-per-burst are visible.
+fn query_stream(graph: &Graph, args: &ParsedArgs, path: &str) -> Result<String, String> {
+    let config = approx_config(args)?;
+    let accuracy = accuracy_from(args, &config)?;
+    let interval: u64 = args.flag("refresh-interval", 64u64)?;
+    let trace = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read stream trace '{path}': {e}"))?;
+    let dynamic = er_service::DynamicResistanceService::from_graph(graph, config)
+        .with_refresh_interval(interval);
+    let mut out = String::new();
+    let (mut inserts, mut deletes, mut queries) = (0u64, 0u64, 0u64);
+    let _ = writeln!(out, "{:>6} {:>8} {:>8} {:>12}", "op", "s", "t", "r'(s,t)");
+    for (lineno, raw) in trace.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line");
+        let mut node = |what: &str| -> Result<usize, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing {what} node id", lineno + 1))?
+                .parse::<usize>()
+                .map_err(|_| format!("line {}: {what} is not a node id", lineno + 1))
+        };
+        let u = node("first")?;
+        let v = node("second")?;
+        match op {
+            "+" | "insert" => {
+                dynamic.insert_edge(u, v).map_err(|e| e.to_string())?;
+                inserts += 1;
+            }
+            "-" | "remove" | "delete" => {
+                dynamic.remove_edge(u, v).map_err(|e| e.to_string())?;
+                deletes += 1;
+            }
+            "?" | "query" => {
+                let response = dynamic
+                    .submit(&Request::new(Query::pair(u, v)).with_accuracy(accuracy))
+                    .map_err(|e| e.to_string())?;
+                queries += 1;
+                let _ = writeln!(out, "{:>6} {u:>8} {v:>8} {:>12.6}", "?", response.value());
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown op '{other}' (use + / - / ?)",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "stream: {} mutations ({inserts} inserts, {deletes} deletes), {queries} queries",
+        inserts + deletes
+    );
+    let _ = writeln!(
+        out,
+        "refreshes: snapshot {} ({} full + {} incremental) | service {} | sm-updates {} | cg-fallbacks {}",
+        dynamic.snapshot_rebuilds(),
+        dynamic.snapshot_full_rebuilds(),
+        dynamic.incremental_refreshes(),
+        dynamic.service_refreshes(),
+        dynamic.sm_updates(),
+        dynamic.cg_fallbacks()
+    );
     Ok(out)
 }
 
@@ -436,6 +523,11 @@ COMMANDS:
                                 (--random N, --check, --exact, --walk-budget N,
                                 --backend geer|amc|smm|tp|tpc|rp|mc|mc2|hay|
                                           exact|exact-cg|index|landmark)
+                                --stream <file> replays an edge-mutation/query
+                                trace ('+ u v' | '- u v' | '? s t' per line)
+                                through the incremental dynamic service and
+                                reports incremental-vs-full refresh counters
+                                (--refresh-interval K, default 64)
     profile <s>                 single-source resistance profile (--top K, --landmarks K)
     critical                    rank edges by criticality (--top K)
     sparsify                    build and evaluate a spectral sparsifier (--scores exact|geer|trees)
@@ -539,6 +631,35 @@ mod tests {
             "(0, 120) is not an edge"
         );
         assert!(query(&g, &args("query 0 120 --backend bogus")).is_err());
+    }
+
+    #[test]
+    fn query_stream_replays_a_trace_and_reports_refresh_counters() {
+        let g = graph();
+        let path = std::env::temp_dir().join("er_cli_stream_trace.txt");
+        std::fs::write(
+            &path,
+            "# mutation/query trace\n\
+             ? 0 120\n\
+             + 0 120\n\
+             + 5 17\n\
+             ? 0 120\n\
+             - 0 120\n\
+             ? 0 120\n",
+        )
+        .unwrap();
+        let line = format!("query --stream {} --epsilon 0.2", path.display());
+        let out = query(&g, &args(&line)).unwrap();
+        assert_eq!(out.matches('?').count(), 3, "three query rows: {out}");
+        assert!(out.contains("stream: 3 mutations (2 inserts, 1 deletes), 3 queries"));
+        assert!(out.contains("refreshes: snapshot"), "{out}");
+        assert!(out.contains("incremental) | service"), "{out}");
+        assert!(out.contains("sm-updates"), "{out}");
+        // Unknown ops and unreadable traces are reported, not panicked on.
+        std::fs::write(&path, "! 0 1\n").unwrap();
+        assert!(query(&g, &args(&line)).is_err());
+        let _ = std::fs::remove_file(&path);
+        assert!(query(&g, &args(&line)).is_err(), "missing trace file");
     }
 
     #[test]

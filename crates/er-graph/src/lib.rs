@@ -18,6 +18,9 @@
 //!   matching Section 5.1 of the paper.
 //! * [`partition`] — BFS-seeded label-propagation partitioning into
 //!   balanced, connected parts, the substrate of the sharded serving plane.
+//! * [`OverlayGraph`] — an updatable view over an immutable CSR base
+//!   (per-node sorted adjacency deltas merged on read), the substrate of
+//!   incremental dynamic serving: small mutation bursts never rebuild the CSR.
 //!
 //! The crate is dependency-light by design: only `rand` is used, and only for
 //! the generators and query sets.
@@ -31,6 +34,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod overlay;
 pub mod partition;
 pub mod queries;
 pub mod stats;
@@ -39,6 +43,7 @@ pub mod transform;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{Graph, IntoGraphArc, NodeId};
+pub use overlay::OverlayGraph;
 pub use partition::{Partition, PartitionConfig, PartitionStats, Partitioner};
 pub use queries::{EdgeQuerySet, NodePairQuerySet, QueryPair};
 pub use stats::GraphStats;

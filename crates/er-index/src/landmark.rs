@@ -187,6 +187,62 @@ impl LandmarkIndex {
         })
     }
 
+    /// Reassembles an index from previously extracted parts —
+    /// `sqrt_resistances[j][v]` must be `√r(landmarks[j], v)` on the graph
+    /// the index will serve. This is the re-injection seam of incremental
+    /// dynamic serving: the dynamic service extracts the table, advances it
+    /// through Sherman–Morrison rank-1 updates as edges mutate, and rebuilds
+    /// the index for the next epoch without re-solving any landmark column.
+    ///
+    /// ```
+    /// use er_graph::generators;
+    /// use er_index::{LandmarkIndex, LandmarkSelection};
+    ///
+    /// let g = generators::social_network_like(100, 7.0, 2).unwrap();
+    /// let built = LandmarkIndex::build(&g, 4, LandmarkSelection::Mixed, 1).unwrap();
+    /// let table: Vec<Vec<f64>> = (0..4)
+    ///     .map(|j| (0..100).map(|v| built.sqrt_resistance(j, v)).collect())
+    ///     .collect();
+    /// let rebuilt =
+    ///     LandmarkIndex::from_parts(built.landmarks().to_vec(), table, 100).unwrap();
+    /// assert_eq!(rebuilt.bounds(5, 60).unwrap(), built.bounds(5, 60).unwrap());
+    /// ```
+    pub fn from_parts(
+        landmarks: Vec<NodeId>,
+        sqrt_resistances: Vec<Vec<f64>>,
+        num_nodes: usize,
+    ) -> Result<Self, IndexError> {
+        if landmarks.is_empty() || landmarks.len() != sqrt_resistances.len() {
+            return Err(IndexError::InvalidConfiguration {
+                name: "landmarks",
+                message: format!(
+                    "need matching non-empty landmark ({}) and table ({}) lengths",
+                    landmarks.len(),
+                    sqrt_resistances.len()
+                ),
+            });
+        }
+        for &l in &landmarks {
+            if l >= num_nodes {
+                return Err(IndexError::Graph(er_graph::GraphError::NodeOutOfRange {
+                    node: l,
+                    n: num_nodes,
+                }));
+            }
+        }
+        if sqrt_resistances.iter().any(|row| row.len() != num_nodes) {
+            return Err(IndexError::InvalidConfiguration {
+                name: "sqrt_resistances",
+                message: format!("every row must have num_nodes = {num_nodes} entries"),
+            });
+        }
+        Ok(LandmarkIndex {
+            landmarks,
+            sqrt_resistances,
+            num_nodes,
+        })
+    }
+
     /// The landmark node ids.
     pub fn landmarks(&self) -> &[NodeId] {
         &self.landmarks

@@ -48,12 +48,56 @@ impl LanczosResult {
 /// `max_iter` bounds the Krylov dimension; `seed` fixes the random start
 /// vector so results are reproducible.
 pub fn lanczos<Op: LinearOperator>(op: &Op, max_iter: usize, seed: u64) -> LanczosResult {
+    let q = seeded_start(op.dim(), seed);
+    lanczos_core(op, max_iter, q, false).0
+}
+
+/// Like [`lanczos`], but takes an optional warm-start vector and returns a
+/// Ritz vector alongside the result, for warm-starting the *next* run.
+///
+/// `start` is used (normalised) when it has the right dimension and a
+/// nonzero norm; otherwise the seeded random start of [`lanczos`] is used.
+/// The returned vector is the normalised sum of the extreme Ritz vectors
+/// (largest + smallest Ritz value) — a Krylov start that re-converges to
+/// both spectral extremes in a handful of iterations when the operator has
+/// only drifted slightly, which is exactly the incremental-refresh situation
+/// after a small mutation burst.
+pub fn lanczos_with_start<Op: LinearOperator>(
+    op: &Op,
+    max_iter: usize,
+    seed: u64,
+    start: Option<&[f64]>,
+) -> (LanczosResult, Option<Vec<f64>>) {
     let n = op.dim();
-    let k_max = max_iter.min(n);
+    let q = match start {
+        Some(s) if s.len() == n && vector::norm2(s) > 1e-12 => {
+            let mut q = s.to_vec();
+            let norm = vector::norm2(&q);
+            vector::scale(1.0 / norm, &mut q);
+            q
+        }
+        _ => seeded_start(n, seed),
+    };
+    lanczos_core(op, max_iter, q, true)
+}
+
+/// The reproducible random start vector shared by the cold and warm drivers.
+fn seeded_start(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut q: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
     let norm = vector::norm2(&q);
     vector::scale(1.0 / norm, &mut q);
+    q
+}
+
+fn lanczos_core<Op: LinearOperator>(
+    op: &Op,
+    max_iter: usize,
+    mut q: Vec<f64>,
+    want_ritz_vector: bool,
+) -> (LanczosResult, Option<Vec<f64>>) {
+    let n = op.dim();
+    let k_max = max_iter.min(n);
 
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(k_max);
     let mut alphas: Vec<f64> = Vec::with_capacity(k_max);
@@ -100,12 +144,34 @@ pub fn lanczos<Op: LinearOperator>(op: &Op, max_iter: usize, seed: u64) -> Lancz
             t.set(i + 1, i, betas[i]);
         }
     }
-    let (ritz_values, _) = t.symmetric_eigen();
-    LanczosResult {
-        ritz_values,
-        iterations: k,
-        invariant_subspace: invariant,
-    }
+    let (ritz_values, tridiag_vectors) = t.symmetric_eigen();
+    // Ritz vector for a tridiagonal eigenpair (θ, s): y = Σ_i basis[i]·s(i).
+    // The warm-start vector combines the extreme pairs so the next Krylov
+    // space reaches both ends of the spectrum immediately.
+    let ritz_vector = if want_ritz_vector && k > 0 {
+        let mut y = vec![0.0; n];
+        for (i, b) in basis.iter().enumerate() {
+            let coeff = tridiag_vectors.get(i, 0) + tridiag_vectors.get(i, k - 1);
+            vector::axpy(coeff, b, &mut y);
+        }
+        let norm = vector::norm2(&y);
+        if norm > 1e-12 {
+            vector::scale(1.0 / norm, &mut y);
+            Some(y)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    (
+        LanczosResult {
+            ritz_values,
+            iterations: k,
+            invariant_subspace: invariant,
+        },
+        ritz_vector,
+    )
 }
 
 /// Spectral bounds of the random-walk transition matrix `P` of a graph:
@@ -134,6 +200,33 @@ pub fn spectral_bounds(g: &Graph, max_iter: usize, seed: u64) -> (f64, f64) {
     let deflated = DeflatedOp::new(&op, phi, 1.0);
     let res = lanczos(&deflated, max_iter, seed);
     (res.max().min(1.0), res.min().max(-1.0))
+}
+
+/// Warm-startable variant of [`spectral_bounds`]: returns the `(λ₂, λₙ)`
+/// bounds plus a Ritz vector for warm-starting the next call.
+///
+/// With `start = None` and the same `max_iter`, the bounds are identical to
+/// [`spectral_bounds`] (same seeded start, same iteration). With a `start`
+/// carried over from the previous call on a slightly-mutated graph, a much
+/// smaller `max_iter` (a third of the cold budget) reaches the same accuracy
+/// — this is how the dynamic index refreshes λ after a mutation burst
+/// without paying 120 cold iterations. On the dense exact path (n ≤ 256)
+/// there is no iteration to warm, so the returned vector is `None`.
+pub fn spectral_bounds_warm(
+    g: &Graph,
+    max_iter: usize,
+    seed: u64,
+    start: Option<&[f64]>,
+) -> ((f64, f64), Option<Vec<f64>>) {
+    let n = g.num_nodes();
+    if n <= 256 {
+        return (spectral_bounds(g, max_iter, seed), None);
+    }
+    let op = NormalizedAdjacencyOp::new(g);
+    let phi = op.perron_vector();
+    let deflated = DeflatedOp::new(&op, phi, 1.0);
+    let (res, ritz_vector) = lanczos_with_start(&deflated, max_iter, seed, start);
+    ((res.max().min(1.0), res.min().max(-1.0)), ritz_vector)
 }
 
 /// `λ = max{|λ₂|, |λₙ|}` for a graph, clamped away from 1 for numerical
@@ -215,6 +308,49 @@ mod tests {
             let lambda = lambda_max_magnitude(&g, 80, seed);
             assert!(lambda > 0.0 && lambda < 1.0, "lambda {lambda}");
         }
+    }
+
+    #[test]
+    fn warm_variant_without_start_matches_cold_bounds_bitwise() {
+        let g = generators::barabasi_albert(500, 3, 13).unwrap();
+        let cold = spectral_bounds(&g, 60, 21);
+        let (warm, ritz) = spectral_bounds_warm(&g, 60, 21, None);
+        assert_eq!(cold.0.to_bits(), warm.0.to_bits());
+        assert_eq!(cold.1.to_bits(), warm.1.to_bits());
+        assert!(ritz.is_some(), "large graph returns a warm-start vector");
+    }
+
+    #[test]
+    fn warm_start_reaches_cold_accuracy_with_a_third_of_the_iterations() {
+        let g = generators::social_network_like(600, 8.0, 5).unwrap();
+        let (reference, ritz) = spectral_bounds_warm(&g, 120, 0xd1a, None);
+        let start = ritz.expect("warm vector");
+        // Re-run on the same graph with a much smaller budget from the warm
+        // start: the extremes are already in the start vector's Krylov space.
+        let (warm, _) = spectral_bounds_warm(&g, 40, 0xd1a, Some(&start));
+        assert!(
+            (warm.0 - reference.0).abs() < 1e-6,
+            "{} vs {}",
+            warm.0,
+            reference.0
+        );
+        assert!(
+            (warm.1 - reference.1).abs() < 1e-6,
+            "{} vs {}",
+            warm.1,
+            reference.1
+        );
+        // And a cold run at the same reduced budget is (weakly) worse.
+        let cold_small = spectral_bounds(&g, 40, 0xd1a);
+        assert!((warm.0 - reference.0).abs() <= (cold_small.0 - reference.0).abs() + 1e-9);
+    }
+
+    #[test]
+    fn dense_path_returns_no_warm_vector() {
+        let g = generators::complete(10).unwrap();
+        let (bounds, ritz) = spectral_bounds_warm(&g, 30, 2, None);
+        assert!(ritz.is_none());
+        assert!((bounds.0 - (-1.0 / 9.0)).abs() < 1e-8);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   the EXACT-via-solves path and the RP sketch).
 //! * [`sketch`] — the Spielman–Srivastava random-projection sketch used by
 //!   the RP baseline.
+//! * [`update`] — rank-1 Sherman–Morrison updates of resident pseudo-inverse
+//!   state (columns, diagonal, resistance tables) for edge insert/delete,
+//!   the linear-algebra core of incremental dynamic serving.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +33,16 @@ pub mod ops;
 pub mod sketch;
 pub mod solver;
 pub mod sparse;
+pub mod update;
 pub mod vector;
 
 pub use dense::DenseMatrix;
-pub use lanczos::{spectral_bounds, LanczosResult};
-pub use ops::{AdjacencyOp, LaplacianOp, LinearOperator, NormalizedAdjacencyOp, TransitionOp};
+pub use lanczos::{lanczos_with_start, spectral_bounds, spectral_bounds_warm, LanczosResult};
+pub use ops::{
+    AdjacencyOp, LaplacianOp, LinearOperator, NormalizedAdjacencyOp, OverlayLaplacianOp,
+    TransitionOp,
+};
 pub use sketch::ResistanceSketch;
-pub use solver::{CgOutcome, LaplacianSolver};
+pub use solver::{solve_overlay_laplacian, solve_preconditioned, CgOutcome, LaplacianSolver};
 pub use sparse::CsrMatrix;
+pub use update::{RankOneUpdate, MIN_DELETE_DENOMINATOR};

@@ -11,9 +11,9 @@
 //! ground-truth oracle (cross-checking the SMM-based ground truth of the
 //! paper's Section 5.1) and as the Laplacian-solve primitive of the RP sketch.
 
-use crate::ops::{LaplacianOp, LinearOperator};
+use crate::ops::{LaplacianOp, LinearOperator, OverlayLaplacianOp};
 use crate::vector;
-use er_graph::Graph;
+use er_graph::{Graph, OverlayGraph};
 
 /// Outcome of a CG solve.
 #[derive(Clone, Debug, PartialEq)]
@@ -57,62 +57,12 @@ impl<'g> LaplacianSolver<'g> {
     pub fn solve(&self, b: &[f64]) -> (Vec<f64>, CgOutcome) {
         let n = self.graph.num_nodes();
         assert_eq!(b.len(), n);
-        let mut rhs = b.to_vec();
-        vector::remove_mean(&mut rhs);
-
         let inv_diag: Vec<f64> = self
             .graph
             .nodes()
             .map(|v| 1.0 / (self.graph.degree(v).max(1) as f64))
             .collect();
-
-        let mut x = vec![0.0; n];
-        let mut r = rhs.clone();
-        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-        vector::remove_mean(&mut z);
-        let mut p = z.clone();
-        let mut rz = vector::dot(&r, &z);
-        let b_norm = vector::norm2(&rhs).max(1e-300);
-
-        let mut iterations = 0;
-        let mut converged = vector::norm2(&r) / b_norm <= self.tolerance;
-        while !converged && iterations < self.max_iterations {
-            iterations += 1;
-            let ap = self.op.apply_vec(&p);
-            let p_ap = vector::dot(&p, &ap);
-            if p_ap.abs() < 1e-300 {
-                break;
-            }
-            let alpha = rz / p_ap;
-            vector::axpy(alpha, &p, &mut x);
-            vector::axpy(-alpha, &ap, &mut r);
-            if vector::norm2(&r) / b_norm <= self.tolerance {
-                converged = true;
-                break;
-            }
-            z = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-            vector::remove_mean(&mut z);
-            let rz_new = vector::dot(&r, &z);
-            let beta = rz_new / rz;
-            rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
-            }
-        }
-        vector::remove_mean(&mut x);
-        let mut residual = self.op.apply_vec(&x);
-        for i in 0..n {
-            residual[i] = rhs[i] - residual[i];
-        }
-        let residual_norm = vector::norm2(&residual);
-        (
-            x,
-            CgOutcome {
-                iterations,
-                residual_norm,
-                converged: converged || residual_norm / b_norm <= self.tolerance,
-            },
-        )
+        solve_preconditioned(&self.op, &inv_diag, b, self.tolerance, self.max_iterations)
     }
 
     /// Computes the exact effective resistance `r(s, t)` by a single Laplacian
@@ -128,6 +78,90 @@ impl<'g> LaplacianSolver<'g> {
         let (x, _) = self.solve(&b);
         x[s] - x[t]
     }
+}
+
+/// Jacobi-preconditioned CG for a singular-consistent system `Op x = b` over
+/// any matrix-free [`LinearOperator`] whose null space is spanned by the
+/// all-ones vector (a graph Laplacian in any representation). The right-hand
+/// side is centred internally and iterates are kept in `1⊥`, exactly as
+/// [`LaplacianSolver::solve`] — which delegates here, so the float-op
+/// sequence (and therefore every bit of every ground-truth answer) is shared
+/// between the CSR path and the overlay path.
+pub fn solve_preconditioned<Op: LinearOperator>(
+    op: &Op,
+    inv_diag: &[f64],
+    b: &[f64],
+    tolerance: f64,
+    max_iterations: usize,
+) -> (Vec<f64>, CgOutcome) {
+    let n = op.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(inv_diag.len(), n);
+    let mut rhs = b.to_vec();
+    vector::remove_mean(&mut rhs);
+
+    let mut x = vec![0.0; n];
+    let mut r = rhs.clone();
+    let mut z: Vec<f64> = r.iter().zip(inv_diag).map(|(ri, di)| ri * di).collect();
+    vector::remove_mean(&mut z);
+    let mut p = z.clone();
+    let mut rz = vector::dot(&r, &z);
+    let b_norm = vector::norm2(&rhs).max(1e-300);
+
+    let mut iterations = 0;
+    let mut converged = vector::norm2(&r) / b_norm <= tolerance;
+    while !converged && iterations < max_iterations {
+        iterations += 1;
+        let ap = op.apply_vec(&p);
+        let p_ap = vector::dot(&p, &ap);
+        if p_ap.abs() < 1e-300 {
+            break;
+        }
+        let alpha = rz / p_ap;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &ap, &mut r);
+        if vector::norm2(&r) / b_norm <= tolerance {
+            converged = true;
+            break;
+        }
+        z = r.iter().zip(inv_diag).map(|(ri, di)| ri * di).collect();
+        vector::remove_mean(&mut z);
+        let rz_new = vector::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    vector::remove_mean(&mut x);
+    let mut residual = op.apply_vec(&x);
+    for i in 0..n {
+        residual[i] = rhs[i] - residual[i];
+    }
+    let residual_norm = vector::norm2(&residual);
+    (
+        x,
+        CgOutcome {
+            iterations,
+            residual_norm,
+            converged: converged || residual_norm / b_norm <= tolerance,
+        },
+    )
+}
+
+/// Solves `L x = b` against the merged view of an [`OverlayGraph`] — no CSR
+/// materialisation, same CG sequence as the ground-truth solver. This is how
+/// a Sherman–Morrison update obtains `w = L⁺ b_e` when one of the edge's
+/// endpoint columns is not resident.
+pub fn solve_overlay_laplacian(
+    overlay: &OverlayGraph,
+    b: &[f64],
+    tolerance: f64,
+    max_iterations: usize,
+) -> (Vec<f64>, CgOutcome) {
+    let op = OverlayLaplacianOp::new(overlay);
+    let inv_diag = op.inv_degrees();
+    solve_preconditioned(&op, &inv_diag, b, tolerance, max_iterations)
 }
 
 #[cfg(test)]
@@ -200,6 +234,46 @@ mod tests {
             let cg = solver.effective_resistance(s, t);
             assert!((exact - cg).abs() < 1e-6, "({s},{t}): {exact} vs {cg}");
         }
+    }
+
+    #[test]
+    fn overlay_solve_is_bit_identical_to_csr_solve() {
+        // A clean overlay over g must reproduce the CSR solver bit-for-bit:
+        // same operator values, same preconditioner, same CG sequence.
+        let g = generators::social_network_like(150, 7.0, 6).unwrap();
+        let n = g.num_nodes();
+        let mut b = vec![0.0; n];
+        b[4] = 1.0;
+        b[99] = -1.0;
+        let (x_csr, out_csr) = LaplacianSolver::for_ground_truth(&g).solve(&b);
+        let overlay = er_graph::OverlayGraph::new(std::sync::Arc::new(g));
+        let (x_ovl, out_ovl) = solve_overlay_laplacian(&overlay, &b, 1e-10, 10 * n.max(100));
+        assert_eq!(out_csr, out_ovl);
+        for i in 0..n {
+            assert_eq!(x_csr[i].to_bits(), x_ovl[i].to_bits(), "component {i}");
+        }
+    }
+
+    #[test]
+    fn overlay_solve_tracks_mutated_resistance() {
+        // After overlay mutations, the overlay solve must agree with a
+        // ground-truth solve on the collapsed graph to solver precision.
+        let g = generators::social_network_like(120, 6.0, 11).unwrap();
+        let mut overlay = er_graph::OverlayGraph::new(std::sync::Arc::new(g));
+        overlay.insert_edge(2, 87);
+        overlay.insert_edge(30, 55);
+        let nbrs = overlay.neighbors(10);
+        overlay.remove_edge(10, nbrs[0]);
+        let collapsed = overlay.collapse();
+        let n = collapsed.num_nodes();
+        let mut b = vec![0.0; n];
+        b[2] = 1.0;
+        b[87] = -1.0;
+        let (x_ovl, out) = solve_overlay_laplacian(&overlay, &b, 1e-10, 10 * n);
+        assert!(out.converged);
+        let solver = LaplacianSolver::for_ground_truth(&collapsed);
+        let r_direct = solver.effective_resistance(2, 87);
+        assert!((x_ovl[2] - x_ovl[87] - r_direct).abs() < 1e-8);
     }
 
     #[test]

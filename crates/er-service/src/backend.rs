@@ -429,6 +429,20 @@ impl ColumnCache {
             .insert(s, cell);
     }
 
+    /// Every currently-resident (initialized) column, sorted by source node
+    /// for determinism. In-flight cells still solving are skipped.
+    fn resident(&self) -> Vec<(NodeId, Vec<f64>)> {
+        let mut out: Vec<(NodeId, Vec<f64>)> = self
+            .cells
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter_map(|(&s, cell)| cell.get().map(|col| (s, col.as_ref().clone())))
+            .collect();
+        out.sort_unstable_by_key(|&(s, _)| s);
+        out
+    }
+
     /// The column `L† e_s`, solving it at most once per residency.
     fn column(&self, graph: &Graph, s: NodeId) -> Arc<Vec<f64>> {
         let existing = self
@@ -502,9 +516,67 @@ impl IndexBackend {
         }
     }
 
+    /// Reassembles a backend from previously extracted parts. `diagonal`
+    /// must be `diag(L†)` of `graph` and every entry of `columns` a solved
+    /// `L† e_s` on `graph` — or, in incremental dynamic serving, the
+    /// Sherman–Morrison-advanced versions of both after a mutation burst.
+    /// No solves are performed; `build_solves` seeds the solve counter so
+    /// cost accounting carries across epochs.
+    pub fn from_parts(
+        graph: Arc<Graph>,
+        diagonal: Vec<f64>,
+        column_capacity: usize,
+        columns: Vec<(NodeId, Vec<f64>)>,
+        build_solves: u64,
+    ) -> Self {
+        assert_eq!(
+            diagonal.len(),
+            graph.num_nodes(),
+            "diagonal must cover every node"
+        );
+        let cache = ColumnCache::new(column_capacity);
+        for (s, column) in columns {
+            assert_eq!(column.len(), graph.num_nodes());
+            cache.seed(s, column);
+        }
+        IndexBackend {
+            graph,
+            diagonal,
+            columns: cache,
+            build_solves,
+        }
+    }
+
+    /// The pre-computed pseudo-inverse diagonal `diag(L†)`.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.diagonal
+    }
+
+    /// The currently-resident columns `(s, L† e_s)`, sorted by source —
+    /// the extraction side of the [`from_parts`](Self::from_parts) seam.
+    pub fn resident_columns(&self) -> Vec<(NodeId, Vec<f64>)> {
+        self.columns.resident()
+    }
+
+    /// The configured column-cache capacity.
+    pub fn column_capacity(&self) -> usize {
+        self.columns.capacity
+    }
+
+    /// The shared graph handle the backend answers over.
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
     /// Number of Laplacian solves performed so far (index build + columns).
     pub fn total_solves(&self) -> u64 {
         self.build_solves + self.columns.solves.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The solve count the backend was built with (excluding on-demand
+    /// column solves since).
+    pub fn build_solves(&self) -> u64 {
+        self.build_solves
     }
 
     fn check_node(&self, v: NodeId) -> Result<(), ServiceError> {

@@ -77,7 +77,7 @@ pub use backend::{
     PlanItem, StreamPlan,
 };
 pub use capability::{QueryShape, QueryShapeSet};
-pub use dynamic::DynamicResistanceService;
+pub use dynamic::{DynamicResistanceService, ServiceEpoch};
 pub use error::ServiceError;
 pub use planner::{
     dominant_source_count, BackendChoice, GraphSignals, Planner, PlannerConfig, PlannerState,

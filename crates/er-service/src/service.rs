@@ -335,6 +335,67 @@ impl ResistanceService {
         self
     }
 
+    /// Installs a pre-built INDEX backend, marking the index tier ready so
+    /// the planner routes to it immediately (no lazy build, no solves).
+    ///
+    /// The backend's state must describe this service's graph exactly —
+    /// e.g. an [`IndexBackend::from_parts`] reassembly of state carried
+    /// across epochs by the dynamic service's Sherman–Morrison updates.
+    /// The graph handle must cover the same node set; this is asserted.
+    #[must_use]
+    pub fn with_prebuilt_index(self, backend: Arc<IndexBackend>) -> Self {
+        assert_eq!(
+            backend.graph_arc().num_nodes(),
+            self.core.context.graph().num_nodes(),
+            "prebuilt index must cover the service's node set"
+        );
+        *self.backends.index.lock().expect("index slot poisoned") = Some(backend);
+        self.backends
+            .index_ready
+            .store(true, std::sync::atomic::Ordering::Release);
+        self
+    }
+
+    /// Installs a pre-built LANDMARK backend (no lazy build, no solves).
+    /// Same contract as [`with_prebuilt_index`](Self::with_prebuilt_index):
+    /// the index must describe this service's graph.
+    #[must_use]
+    pub fn with_prebuilt_landmarks(self, backend: Arc<LandmarkBackend>) -> Self {
+        assert_eq!(
+            backend.index().num_nodes(),
+            self.core.context.graph().num_nodes(),
+            "prebuilt landmarks must cover the service's node set"
+        );
+        *self
+            .backends
+            .landmark
+            .lock()
+            .expect("landmark slot poisoned") = Some(backend);
+        self
+    }
+
+    /// The INDEX backend if it has been built (or installed pre-built);
+    /// never triggers a build. The extraction side of epoch handover: the
+    /// dynamic service peeks here to harvest resident columns before a
+    /// mutation burst.
+    pub fn index_backend(&self) -> Option<Arc<IndexBackend>> {
+        self.backends
+            .index
+            .lock()
+            .expect("index slot poisoned")
+            .clone()
+    }
+
+    /// The LANDMARK backend if it has been built (or installed pre-built);
+    /// never triggers a build.
+    pub fn landmark_backend(&self) -> Option<Arc<LandmarkBackend>> {
+        self.backends
+            .landmark
+            .lock()
+            .expect("landmark slot poisoned")
+            .clone()
+    }
+
     /// The preprocessed graph context the service answers over.
     pub fn context(&self) -> &GraphContext {
         &self.core.context

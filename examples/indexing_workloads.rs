@@ -95,7 +95,7 @@ fn main() {
 
     // 3. Dynamic updates: resistances react to edge insertions/removals. The
     //    dynamic service rebuilds its planner/cache once per mutation burst.
-    let mut dynamic = DynamicResistanceService::from_graph(&graph, config);
+    let dynamic = DynamicResistanceService::from_graph(&graph, config);
     let (s, t) = (40usize, 700usize);
     let before = dynamic.resistance(s, t).expect("query");
     dynamic.insert_edge(s, t).expect("insert");

@@ -115,7 +115,7 @@ pub use er_http::{HttpConfig, HttpServer};
 pub use er_service::{
     Accuracy, Backend, BackendChoice, DynamicResistanceService, Planner, PlannerConfig,
     PlannerState, Priority, Query, QueryShape, QueryShapeSet, Request, ResistanceServer,
-    ResistanceService, Response, ServerConfig, ServerHandle, ServerStats, ServiceError, Session,
-    SubmitOptions, Ticket,
+    ResistanceService, Response, ServerConfig, ServerHandle, ServerStats, ServiceEpoch,
+    ServiceError, Session, SubmitOptions, Ticket,
 };
 pub use er_shard::{ShardConfig, ShardRouter, ShardedService};

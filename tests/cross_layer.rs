@@ -193,7 +193,7 @@ fn criticality_ranking_flags_the_planted_bottleneck_and_clusters_respect_it() {
 fn dynamic_graph_matches_static_estimators_after_mutations() {
     let graph = shared_graph();
     let config = ApproxConfig::with_epsilon(0.05);
-    let mut dynamic = effective_resistance::DynamicResistanceService::from_graph(&graph, config);
+    let dynamic = effective_resistance::DynamicResistanceService::from_graph(&graph, config);
     // Mutate: add a shortcut inside one community, remove a random edge.
     dynamic.insert_edge(2, 77).unwrap();
     let some_edge = graph.edges().nth(42).unwrap();

@@ -122,7 +122,7 @@ fn index_layer_rejects_invalid_graphs_and_nodes() {
 #[test]
 fn dynamic_graph_surfaces_disconnection_and_out_of_range_edges() {
     let graph = generators::social_network_like(50, 6.0, 2).unwrap();
-    let mut dynamic = DynamicResistanceService::from_graph(&graph, ApproxConfig::with_epsilon(0.1));
+    let dynamic = DynamicResistanceService::from_graph(&graph, ApproxConfig::with_epsilon(0.1));
     assert!(dynamic.insert_edge(0, 50).is_err());
     assert!(dynamic.remove_edge(50, 0).is_err());
     assert!(dynamic.resistance(0, 50).is_err());
